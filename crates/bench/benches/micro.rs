@@ -1,0 +1,140 @@
+//! Criterion micro-benchmarks for the core mechanisms: allocation, free,
+//! dereference (checked vs direct), epoch pinning, enumeration per layout,
+//! and compaction. These complement the figure binaries with
+//! statistically-sound per-operation costs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use smc::{ContextConfig, Smc};
+use smc_memory::{Decimal, Runtime, Tabular};
+
+#[derive(Clone, Copy)]
+#[allow(dead_code)]
+struct Row {
+    key: u64,
+    price: Decimal,
+    pad: [u64; 12],
+}
+unsafe impl Tabular for Row {}
+
+fn row(i: u64) -> Row {
+    Row { key: i, price: Decimal::from_cents(i as i64), pad: [i; 12] }
+}
+
+fn bench_alloc_free(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alloc_free");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("smc_add", |b| {
+        let rt = Runtime::new();
+        let col: Smc<Row> = Smc::new(&rt);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            col.add(row(i))
+        });
+    });
+    g.bench_function("smc_add_remove", |b| {
+        let rt = Runtime::new();
+        let col: Smc<Row> = Smc::new(&rt);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let r = col.add(row(i));
+            col.remove(r)
+        });
+    });
+    g.finish();
+}
+
+fn bench_deref(c: &mut Criterion) {
+    let rt = Runtime::new();
+    let col: Smc<Row> = Smc::new(&rt);
+    let refs: Vec<_> = (0..10_000u64).map(|i| col.add(row(i))).collect();
+    let guard = rt.pin();
+    let directs: Vec<_> = refs.iter().map(|r| r.to_direct(&guard).unwrap()).collect();
+    let mut g = c.benchmark_group("deref");
+    g.throughput(Throughput::Elements(1));
+    let mut i = 0usize;
+    g.bench_function("checked_ref", |b| {
+        b.iter(|| {
+            i = (i + 1) % refs.len();
+            refs[i].get(&guard).unwrap().key
+        })
+    });
+    g.bench_function("direct_ref", |b| {
+        b.iter(|| {
+            i = (i + 1) % directs.len();
+            directs[i].get(&guard).unwrap().key
+        })
+    });
+    g.finish();
+    drop(guard);
+}
+
+fn bench_epoch(c: &mut Criterion) {
+    let rt = Runtime::new();
+    c.bench_function("epoch_pin_unpin", |b| b.iter(|| rt.pin()));
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let rt = Runtime::new();
+    let col: Smc<Row> = Smc::new(&rt);
+    for i in 0..100_000u64 {
+        col.add(row(i));
+    }
+    let mut g = c.benchmark_group("enumerate_100k");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("for_each", |b| {
+        b.iter(|| {
+            let guard = rt.pin();
+            let mut acc = 0u64;
+            col.for_each(&guard, |r| acc = acc.wrapping_add(r.key));
+            acc
+        })
+    });
+    g.bench_function("iter_refs", |b| {
+        b.iter(|| {
+            let guard = rt.pin();
+            col.iter(&guard).map(|(_, r)| r.key).fold(0u64, u64::wrapping_add)
+        })
+    });
+    g.finish();
+}
+
+fn bench_compaction(c: &mut Criterion) {
+    c.bench_function("compact_3_sparse_blocks", |b| {
+        b.iter_batched(
+            || {
+                let rt = Runtime::new();
+                let mut cfg = ContextConfig::default();
+                cfg.reclamation_threshold = 1.1;
+                let col: Smc<Row> = Smc::with_config(&rt, cfg);
+                let cap = col.context().layout().capacity as u64;
+                let refs: Vec<_> = (0..cap * 3).map(|i| col.add(row(i))).collect();
+                for (i, r) in refs.iter().enumerate() {
+                    if i % 10 != 0 {
+                        col.remove(*r);
+                    }
+                }
+                (rt, col)
+            },
+            |(_rt, col)| {
+                let rep = col.compact();
+                col.release_retired();
+                rep.moved
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_alloc_free, bench_deref, bench_epoch, bench_enumeration, bench_compaction
+}
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Figure 6: sensitivity to the reclamation (occupancy) threshold.
+//!
+//! Sweeps the limbo-slot threshold and reports, normalized to each series'
+//! maximum (as the paper plots them): allocation/removal performance,
+//! query (enumeration) performance, and total memory size.
+
+use std::time::Duration;
+
+use smc::{ContextConfig, Smc};
+use smc_bench::{arg_usize, csv, time_median};
+use smc_memory::{Runtime, Tabular};
+
+#[derive(Clone, Copy)]
+struct Row {
+    key: u64,
+    #[allow(dead_code)]
+    payload: [u64; 16], // ~lineitem-sized object (136 bytes + key)
+}
+unsafe impl Tabular for Row {}
+
+fn run_at_threshold(threshold: f64, n: usize, churn_rounds: usize) -> (f64, f64, f64) {
+    let rt = Runtime::new();
+    let config = ContextConfig { reclamation_threshold: threshold, ..ContextConfig::default() };
+    let c: Smc<Row> = Smc::with_config(&rt, config);
+    let mut refs = Vec::with_capacity(n);
+    for i in 0..n {
+        refs.push(c.add(Row { key: i as u64, payload: [i as u64; 16] }));
+    }
+    // Churn phase: measure combined remove+insert throughput. Removal
+    // pattern is strided so limbo slots spread across blocks.
+    let churn_time = time_median(3, || {
+        for round in 0..churn_rounds {
+            let stride = 7 + round;
+            let mut i = round % stride;
+            let mut removed = Vec::new();
+            while i < refs.len() {
+                if c.remove(refs[i]) {
+                    removed.push(i);
+                }
+                i += stride;
+            }
+            for &slot in &removed {
+                refs[slot] = c.add(Row { key: slot as u64, payload: [slot as u64; 16] });
+            }
+        }
+    });
+    // Query phase: enumeration with a cheap fold.
+    let query_time = time_median(3, || {
+        let g = rt.pin();
+        let mut acc = 0u64;
+        c.for_each(&g, |r| acc = acc.wrapping_add(r.key));
+        std::hint::black_box(acc);
+    });
+    let memory = c.memory_bytes() as f64;
+    (churn_ops(n, churn_rounds) / churn_time.as_secs_f64(), 1.0 / query_time.as_secs_f64(), memory)
+}
+
+fn churn_ops(n: usize, rounds: usize) -> f64 {
+    // Approximate: each round touches ~n/stride objects twice.
+    (0..rounds).map(|r| 2.0 * n as f64 / (7 + r) as f64).sum()
+}
+
+fn main() {
+    let n = arg_usize("--objects", 200_000);
+    let rounds = arg_usize("--rounds", 6);
+    println!("Figure 6: varying the reclamation threshold ({n} objects, {rounds} churn rounds)");
+    println!("{:>10} {:>18} {:>18} {:>14}", "threshold", "alloc/remove", "query perf", "memory");
+    let thresholds = [0.01, 0.02, 0.05, 0.10, 0.20, 0.30, 0.40, 0.50, 0.70, 0.90, 0.99];
+    let results: Vec<(f64, f64, f64, f64)> = thresholds
+        .iter()
+        .map(|&t| {
+            let (a, q, m) = run_at_threshold(t, n, rounds);
+            (t, a, q, m)
+        })
+        .collect();
+    let max_a = results.iter().map(|r| r.1).fold(0.0, f64::max);
+    let max_q = results.iter().map(|r| r.2).fold(0.0, f64::max);
+    let max_m = results.iter().map(|r| r.3).fold(0.0, f64::max);
+    csv(&["threshold_pct", "alloc_removal_norm", "query_norm", "memory_norm"]);
+    for (t, a, q, m) in results {
+        let (an, qn, mn) = (a / max_a, q / max_q, m / max_m);
+        println!("{:>9.0}% {:>18.3} {:>18.3} {:>14.3}", t * 100.0, an, qn, mn);
+        csv(&[
+            &format!("{:.0}", t * 100.0),
+            &format!("{an:.4}"),
+            &format!("{qn:.4}"),
+            &format!("{mn:.4}"),
+        ]);
+    }
+    let _ = Duration::ZERO;
+}

@@ -1,0 +1,124 @@
+//! Figure 7: batch allocation throughput (allocations per second, in
+//! millions) for 1/2/4 threads.
+//!
+//! Series, as in the paper: pure managed allocation (objects kept reachable
+//! from pre-allocated thread-local roots) under interactive and batch GC;
+//! `ConcurrentBag` and `ConcurrentDictionary` under both GC modes; and the
+//! SMC (whose behaviour does not depend on a GC mode).
+
+use std::sync::Arc;
+
+use managed_heap::{GcConcurrentBag, GcConcurrentDictionary, GcList, GcMode, HeapConfig, ManagedHeap, Trace};
+use smc::Smc;
+use smc_bench::{arg_usize, csv, mops, time_once};
+use smc_memory::{Runtime, Tabular};
+
+#[derive(Clone, Copy)]
+#[allow(dead_code)]
+struct Line {
+    key: u64,
+    payload: [u64; 16],
+}
+unsafe impl Tabular for Line {}
+
+#[allow(dead_code)]
+struct GcLine {
+    key: u64,
+    payload: [u64; 16],
+}
+impl Trace for GcLine {}
+
+fn heap(mode: GcMode) -> Arc<ManagedHeap> {
+    ManagedHeap::new(HeapConfig { mode, ..HeapConfig::default() })
+}
+
+fn run_threads(threads: usize, per_thread: usize, f: impl Fn(usize) + Send + Sync) -> std::time::Duration {
+    time_once(|| {
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let f = &f;
+                s.spawn(move || f(t));
+            }
+        });
+    })
+    .max(std::time::Duration::from_nanos(per_thread as u64 / 1_000_000 + 1))
+}
+
+fn bench_pure_alloc(mode: GcMode, threads: usize, per_thread: usize) -> f64 {
+    let heap = heap(mode);
+    // Pre-allocated thread-local roots keep every object reachable (§7 fn 3).
+    let roots: Vec<GcList<GcLine>> = (0..threads).map(|_| GcList::new(&heap)).collect();
+    let d = run_threads(threads, per_thread, |t| {
+        let list = &roots[t];
+        for i in 0..per_thread {
+            list.add(GcLine { key: i as u64, payload: [i as u64; 16] });
+        }
+    });
+    mops((threads * per_thread) as u64, d)
+}
+
+fn bench_bag(mode: GcMode, threads: usize, per_thread: usize) -> f64 {
+    let heap = heap(mode);
+    let bag: GcConcurrentBag<GcLine> = GcConcurrentBag::new(&heap);
+    let d = run_threads(threads, per_thread, |t| {
+        for i in 0..per_thread {
+            bag.add(GcLine { key: (t * per_thread + i) as u64, payload: [i as u64; 16] });
+        }
+    });
+    mops((threads * per_thread) as u64, d)
+}
+
+fn bench_dict(mode: GcMode, threads: usize, per_thread: usize) -> f64 {
+    let heap = heap(mode);
+    let dict: GcConcurrentDictionary<u64, GcLine> = GcConcurrentDictionary::new(&heap);
+    let d = run_threads(threads, per_thread, |t| {
+        for i in 0..per_thread {
+            let key = (t * per_thread + i) as u64;
+            dict.insert(key, GcLine { key, payload: [i as u64; 16] });
+        }
+    });
+    mops((threads * per_thread) as u64, d)
+}
+
+fn bench_smc(threads: usize, per_thread: usize) -> f64 {
+    let rt = Runtime::new();
+    let c: Smc<Line> = Smc::new(&rt);
+    let d = run_threads(threads, per_thread, |t| {
+        for i in 0..per_thread {
+            c.add(Line { key: (t * per_thread + i) as u64, payload: [i as u64; 16] });
+        }
+    });
+    mops((threads * per_thread) as u64, d)
+}
+
+fn main() {
+    let per_thread = arg_usize("--objects", 1_000_000);
+    println!("Figure 7: allocation throughput (millions of lineitem-sized objects/s)");
+    println!(
+        "{:>8} {:>14} {:>14} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "threads", "pure(inter)", "pure(batch)", "bag(inter)", "bag(batch)", "dict(inter)", "dict(batch)", "SMC"
+    );
+    csv(&["threads", "pure_interactive", "pure_batch", "bag_interactive", "bag_batch", "dict_interactive", "dict_batch", "smc"]);
+    for threads in [1usize, 2, 4] {
+        let pi = bench_pure_alloc(GcMode::Interactive, threads, per_thread);
+        let pb = bench_pure_alloc(GcMode::Batch, threads, per_thread);
+        let bi = bench_bag(GcMode::Interactive, threads, per_thread);
+        let bb = bench_bag(GcMode::Batch, threads, per_thread);
+        let di = bench_dict(GcMode::Interactive, threads, per_thread);
+        let db = bench_dict(GcMode::Batch, threads, per_thread);
+        let smc = bench_smc(threads, per_thread);
+        println!(
+            "{threads:>8} {pi:>14.2} {pb:>14.2} {bi:>12.2} {bb:>12.2} {di:>12.2} {db:>12.2} {smc:>10.2}"
+        );
+        csv(&[
+            &threads.to_string(),
+            &format!("{pi:.3}"),
+            &format!("{pb:.3}"),
+            &format!("{bi:.3}"),
+            &format!("{bb:.3}"),
+            &format!("{di:.3}"),
+            &format!("{db:.3}"),
+            &format!("{smc:.3}"),
+        ]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Figure 8: refresh-stream throughput (streams per minute) for 1/2/4
+//! threads over List, ConcurrentDictionary and SMC.
+//!
+//! Each thread alternates the two stream types of §7: insert 0.1 % of the
+//! initial population, then enumerate once removing 0.1 % by order-key
+//! predicate.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+use smc_bench::{arg_f64, arg_usize, csv, time_once};
+use tpch::gcdb::GcDb;
+use tpch::smcdb::SmcDb;
+use tpch::workloads;
+use tpch::Generator;
+
+fn main() {
+    let sf = arg_f64("--sf", 0.02);
+    let streams_per_thread = arg_usize("--streams", 6);
+    let gen = Generator::new(sf);
+    println!("Figure 8: refresh streams per minute (SF {sf}, {streams_per_thread} streams/thread)");
+    println!("{:>8} {:>12} {:>12} {:>12}", "threads", "List", "C.Dict", "SMC");
+    csv(&["threads", "list", "dict", "smc"]);
+
+    for threads in [1usize, 2, 4] {
+        // Fresh databases per run so wear does not accumulate across rows.
+        let smc = SmcDb::load(&gen, false);
+        let heap = managed_heap::ManagedHeap::new_batch();
+        let gc = GcDb::load(&gen, &heap);
+        let initial = smc.lineitems.len() as usize;
+        let batch = (initial / 1000).max(1); // 0.1 % of the population
+        let max_orderkey = gen.cardinalities().orders as i64;
+        let key_counter = AtomicI64::new(3_000_000_000);
+
+        let run = |do_stream: &(dyn Fn(usize, usize) + Sync)| -> f64 {
+            let d = time_once(|| {
+                std::thread::scope(|s| {
+                    for t in 0..threads {
+                        s.spawn(move || {
+                            for i in 0..streams_per_thread {
+                                do_stream(t, i);
+                            }
+                        });
+                    }
+                });
+            });
+            (threads * streams_per_thread) as f64 / d.as_secs_f64() * 60.0
+        };
+
+        let smc_rate = run(&|t, i| {
+            let mut rng = workloads::workload_rng((t * 1000 + i) as u64);
+            if i % 2 == 0 {
+                let base = key_counter.fetch_add(batch as i64, Ordering::Relaxed);
+                workloads::smc_insert_stream(&smc, &mut rng, base, batch);
+            } else {
+                let victims = workloads::pick_victims(&mut rng, max_orderkey, batch / 4);
+                workloads::smc_removal_stream(&smc, &victims);
+            }
+        });
+        let list_rate = run(&|t, i| {
+            let mut rng = workloads::workload_rng((t * 1000 + i) as u64);
+            if i % 2 == 0 {
+                let base = key_counter.fetch_add(batch as i64, Ordering::Relaxed);
+                workloads::gc_insert_stream(&gc, &mut rng, base, batch);
+            } else {
+                let victims = workloads::pick_victims(&mut rng, max_orderkey, batch / 4);
+                workloads::gc_list_removal_stream(&gc, &victims);
+            }
+        });
+        let dict_rate = run(&|t, i| {
+            let mut rng = workloads::workload_rng((t * 1000 + i) as u64);
+            if i % 2 == 0 {
+                let base = key_counter.fetch_add(batch as i64, Ordering::Relaxed);
+                workloads::gc_insert_stream(&gc, &mut rng, base, batch);
+            } else {
+                let victims = workloads::pick_victims(&mut rng, max_orderkey, batch / 4);
+                workloads::gc_dict_removal_stream(&gc, &victims);
+            }
+        });
+        println!("{threads:>8} {list_rate:>12.1} {dict_rate:>12.1} {smc_rate:>12.1}");
+        csv(&[
+            &threads.to_string(),
+            &format!("{list_rate:.2}"),
+            &format!("{dict_rate:.2}"),
+            &format!("{smc_rate:.2}"),
+        ]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Figure 9: application timeouts caused by garbage collection as the
+//! collection's live set grows.
+//!
+//! The paper's method: store N objects in a collection (managed or
+//! self-managed), then run two threads — one continuously allocating
+//! managed objects with varying lifetimes, one sleeping 1 ms and recording
+//! how much longer it actually slept. The worst overshoot approximates the
+//! longest stop-the-world stall. With the data in a managed collection the
+//! GC must trace it every cycle; in an SMC it never does.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use managed_heap::{GcList, GcMode, HeapConfig, ManagedHeap, Trace};
+use smc::Smc;
+use smc_bench::{arg_usize, csv};
+use smc_memory::{Runtime, Tabular};
+
+#[derive(Clone, Copy)]
+struct Line {
+    _k: u64,
+    _payload: [u64; 16],
+}
+unsafe impl Tabular for Line {}
+
+struct GcLine {
+    _k: u64,
+    _payload: [u64; 16],
+}
+impl Trace for GcLine {}
+
+struct Churn {
+    _k: u64,
+}
+impl Trace for Churn {}
+
+/// Runs the churn + sleeper pair against `heap` for `duration`; returns the
+/// maximum sleep overshoot observed.
+fn measure_max_timeout(heap: &Arc<ManagedHeap>, duration: Duration) -> Duration {
+    let stop = Arc::new(AtomicBool::new(false));
+    let churn_stop = stop.clone();
+    let churn_heap = heap.clone();
+    let churn = std::thread::spawn(move || {
+        let arena = churn_heap.arena::<Churn>();
+        // Varying lifetimes: a rolling window of live temporaries.
+        let keep: GcList<Churn> = GcList::new(&churn_heap);
+        let mut i = 0u64;
+        while !churn_stop.load(Ordering::Relaxed) {
+            if i % 16 == 0 {
+                keep.add(Churn { _k: i });
+            } else {
+                churn_heap.alloc(&arena, Churn { _k: i });
+            }
+            i += 1;
+        }
+    });
+    let deadline = Instant::now() + duration;
+    let mut max_overshoot = Duration::ZERO;
+    while Instant::now() < deadline {
+        let t0 = Instant::now();
+        std::thread::sleep(Duration::from_millis(1));
+        // A heap operation at the measurement point forces the sleeper to
+        // pass a safepoint, like any managed thread would.
+        let g = heap.enter();
+        drop(g);
+        let elapsed = t0.elapsed();
+        if elapsed > Duration::from_millis(1) {
+            max_overshoot = max_overshoot.max(elapsed - Duration::from_millis(1));
+        }
+    }
+    stop.store(true, Ordering::SeqCst);
+    churn.join().unwrap();
+    max_overshoot
+}
+
+fn main() {
+    let max_objects = arg_usize("--max-objects", 1_600_000);
+    let window = Duration::from_millis(arg_usize("--window-ms", 1500) as u64);
+    println!("Figure 9: longest thread timeout (ms) vs collection size");
+    println!(
+        "{:>12} {:>16} {:>16} {:>18} {:>18}",
+        "objects", "managed(batch)", "managed(inter)", "self-mgd(batch)", "self-mgd(inter)"
+    );
+    csv(&["objects", "managed_batch_ms", "managed_interactive_ms", "smc_batch_ms", "smc_interactive_ms"]);
+    let mut sizes = Vec::new();
+    let mut n = max_objects / 8;
+    while n <= max_objects {
+        sizes.push(n);
+        n *= 2;
+    }
+    for &objects in &sizes {
+        let mut row = Vec::new();
+        for mode in [GcMode::Batch, GcMode::Interactive] {
+            // Managed collection: the live set sits on the traced heap.
+            let heap = ManagedHeap::new(HeapConfig { mode, ..HeapConfig::default() });
+            let list: GcList<GcLine> = GcList::new(&heap);
+            for i in 0..objects {
+                list.add(GcLine { _k: i as u64, _payload: [0; 16] });
+            }
+            row.push(measure_max_timeout(&heap, window));
+        }
+        for mode in [GcMode::Batch, GcMode::Interactive] {
+            // Self-managed collection: data off-heap; the GC only sees the
+            // churn thread's temporaries.
+            let heap = ManagedHeap::new(HeapConfig { mode, ..HeapConfig::default() });
+            let rt = Runtime::new();
+            let c: Smc<Line> = Smc::new(&rt);
+            for i in 0..objects {
+                c.add(Line { _k: i as u64, _payload: [0; 16] });
+            }
+            row.push(measure_max_timeout(&heap, window));
+            drop(c);
+        }
+        let msf = |d: Duration| d.as_secs_f64() * 1e3;
+        println!(
+            "{objects:>12} {:>16.2} {:>16.2} {:>18.2} {:>18.2}",
+            msf(row[0]),
+            msf(row[1]),
+            msf(row[2]),
+            msf(row[3])
+        );
+        csv(&[
+            &objects.to_string(),
+            &format!("{:.3}", msf(row[0])),
+            &format!("{:.3}", msf(row[1])),
+            &format!("{:.3}", msf(row[2])),
+            &format!("{:.3}", msf(row[3])),
+        ]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Figure 10: enumeration performance, fresh vs worn, flat vs nested.
+//!
+//! Fresh = straight after bulk load; worn = after churn cycles that remove
+//! and insert objects, scattering managed objects across the heap and
+//! leaving limbo holes in SMC blocks. Nested enumeration follows
+//! lineitem → order → customer (§7).
+
+use smc_bench::{arg_f64, arg_usize, csv, ms, time_median};
+use tpch::gcdb::GcDb;
+#[allow(unused_imports)]
+use tpch::smcdb::SmcDb as _SmcDbAlias;
+use tpch::smcdb::SmcDb;
+use tpch::workloads;
+use tpch::Generator;
+
+fn main() {
+    let sf = arg_f64("--sf", 0.05);
+    let wear_cycles = arg_usize("--wear", 8);
+    let gen = Generator::new(sf);
+    println!("Figure 10: enumeration time (ms), SF {sf}");
+    println!(
+        "{:>22} {:>12} {:>12} {:>14} {:>14}",
+        "series", "flat fresh", "flat worn", "nested fresh", "nested worn"
+    );
+    csv(&["series", "flat_fresh_ms", "flat_worn_ms", "nested_fresh_ms", "nested_worn_ms"]);
+
+    // --- Managed list (and bag/dict views of the same objects).
+    let heap = managed_heap::ManagedHeap::new_batch();
+    let gc = GcDb::load(&gen, &heap);
+    // Bag view shares the list's handles.
+    let bag: managed_heap::GcConcurrentBag<tpch::gcdb::GcLineitem> =
+        managed_heap::GcConcurrentBag::new(&heap);
+    {
+        let g = heap.enter();
+        gc.lineitems.for_each_handle(&g, |h, _| bag.add_handle(h));
+    }
+    let t_list_flat_fresh = time_median(3, || {
+        std::hint::black_box(workloads::gc_enumerate_flat(&gc));
+    });
+    let t_list_nested_fresh = time_median(3, || {
+        std::hint::black_box(workloads::gc_enumerate_nested(&gc));
+    });
+    let t_bag_flat_fresh = time_median(3, || {
+        let g = heap.enter();
+        let mut acc = 0i64;
+        bag.for_each(&g, |l| acc = acc.wrapping_add(l.orderkey));
+        std::hint::black_box(acc);
+    });
+    let t_dict_flat_fresh = time_median(3, || {
+        let g = heap.enter();
+        let mut acc = 0i64;
+        gc.lineitem_dict.for_each(&g, |l| acc = acc.wrapping_add(l.orderkey));
+        std::hint::black_box(acc);
+    });
+    let t_dict_nested_fresh = time_median(3, || {
+        let g = heap.enter();
+        let mut acc = 0i64;
+        gc.lineitem_dict.for_each(&g, |l| {
+            if let Some(o) = gc.order_arena.get(l.order) {
+                if let Some(c) = gc.customer_arena.get(o.customer) {
+                    acc = acc.wrapping_add(c.key);
+                }
+            }
+        });
+        std::hint::black_box(acc);
+    });
+    // Wear the managed database.
+    let mut rng = workloads::workload_rng(11);
+    workloads::wear_gc(&gc, &mut rng, wear_cycles, 0.2);
+    heap.collect_full();
+    let t_list_flat_worn = time_median(3, || {
+        std::hint::black_box(workloads::gc_enumerate_flat(&gc));
+    });
+    let t_list_nested_worn = time_median(3, || {
+        std::hint::black_box(workloads::gc_enumerate_nested(&gc));
+    });
+    let t_dict_flat_worn = time_median(3, || {
+        let g = heap.enter();
+        let mut acc = 0i64;
+        gc.lineitem_dict.for_each(&g, |l| acc = acc.wrapping_add(l.orderkey));
+        std::hint::black_box(acc);
+    });
+
+    // --- SMC (indirect and direct nested access).
+    let smc = SmcDb::load(&gen, false);
+    let t_smc_flat_fresh = time_median(3, || {
+        std::hint::black_box(workloads::smc_enumerate_flat(&smc));
+    });
+    let t_smc_nested_fresh = time_median(3, || {
+        std::hint::black_box(workloads::smc_enumerate_nested(&smc));
+    });
+    let t_smc_direct_nested_fresh = time_median(3, || {
+        std::hint::black_box(workloads::smc_enumerate_nested_direct(&smc));
+    });
+    let mut rng = workloads::workload_rng(11);
+    workloads::wear_smc(&smc, &mut rng, wear_cycles, 0.2);
+    let t_smc_flat_worn = time_median(3, || {
+        std::hint::black_box(workloads::smc_enumerate_flat(&smc));
+    });
+    let t_smc_nested_worn = time_median(3, || {
+        std::hint::black_box(workloads::smc_enumerate_nested(&smc));
+    });
+    let t_smc_direct_nested_worn = time_median(3, || {
+        std::hint::black_box(workloads::smc_enumerate_nested_direct(&smc));
+    });
+
+    let na = "-".to_string();
+    let rows: Vec<(&str, String, String, String, String)> = vec![
+        ("List", ms(t_list_flat_fresh), ms(t_list_flat_worn), ms(t_list_nested_fresh), ms(t_list_nested_worn)),
+        ("C.Bag", ms(t_bag_flat_fresh), na.clone(), na.clone(), na.clone()),
+        ("C.Dictionary", ms(t_dict_flat_fresh), ms(t_dict_flat_worn), ms(t_dict_nested_fresh), na.clone()),
+        ("SMC", ms(t_smc_flat_fresh), ms(t_smc_flat_worn), ms(t_smc_nested_fresh), ms(t_smc_nested_worn)),
+        ("SMC (direct)", ms(t_smc_flat_fresh), ms(t_smc_flat_worn), ms(t_smc_direct_nested_fresh), ms(t_smc_direct_nested_worn)),
+    ];
+    for (name, a, b, c, d) in &rows {
+        println!("{name:>22} {a:>12} {b:>12} {c:>14} {d:>14}");
+        csv(&[name, a, b, c, d]);
+    }
+}

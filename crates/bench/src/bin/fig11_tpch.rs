@@ -1,0 +1,115 @@
+//! Figure 11: TPC-H queries 1–6, evaluation time relative to `List<T>`.
+//!
+//! Series: List (compiled), C.Dictionary (compiled), SMC (compiled safe),
+//! SMC (compiled unsafe). `--linq` adds the interpreted-LINQ column for Q1
+//! and Q6 (the §7 "40–400 % slower" observation).
+
+use smc_bench::{arg_f64, arg_flag, csv, ms, time_median};
+use tpch::gcdb::GcDb;
+use tpch::queries::gc_q::EnumVia;
+use tpch::queries::{gc_q, smc_q, Params};
+use tpch::smcdb::SmcDb;
+use tpch::Generator;
+
+fn main() {
+    let sf = arg_f64("--sf", 0.05);
+    let with_linq = arg_flag("--linq");
+    let gen = Generator::new(sf);
+    let p = Params::default();
+    println!("Figure 11: TPC-H Q1-Q6 (SF {sf}); times in ms, ratios relative to List");
+    let heap = managed_heap::ManagedHeap::new_batch();
+    let gc = GcDb::load(&gen, &heap);
+    let smc = SmcDb::load(&gen, false);
+
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>12} {:>11} {:>11} {:>13}{}",
+        "query", "List ms", "Dict ms", "SMC ms", "SMC-un ms", "Dict/List", "SMC/List", "SMC-un/List",
+        if with_linq { "   LINQ/SMC" } else { "" }
+    );
+    csv(&["query", "list_ms", "dict_ms", "smc_ms", "smc_unsafe_ms", "linq_ms"]);
+    for q in 1..=6u32 {
+        let t_list = time_median(3, || match q {
+            1 => std::hint::black_box(gc_q::q1(&gc, &p, EnumVia::List)).len(),
+            2 => std::hint::black_box(gc_q::q2(&gc, &p)).len(),
+            3 => std::hint::black_box(gc_q::q3(&gc, &p, EnumVia::List)).len(),
+            4 => std::hint::black_box(gc_q::q4(&gc, &p, EnumVia::List)).len(),
+            5 => std::hint::black_box(gc_q::q5(&gc, &p, EnumVia::List)).len(),
+            _ => {
+                std::hint::black_box(gc_q::q6(&gc, &p, EnumVia::List));
+                0
+            }
+        });
+        let t_dict = time_median(3, || match q {
+            1 => std::hint::black_box(gc_q::q1(&gc, &p, EnumVia::Dict)).len(),
+            2 => std::hint::black_box(gc_q::q2(&gc, &p)).len(),
+            3 => std::hint::black_box(gc_q::q3(&gc, &p, EnumVia::Dict)).len(),
+            4 => std::hint::black_box(gc_q::q4(&gc, &p, EnumVia::Dict)).len(),
+            5 => std::hint::black_box(gc_q::q5(&gc, &p, EnumVia::Dict)).len(),
+            _ => {
+                std::hint::black_box(gc_q::q6(&gc, &p, EnumVia::Dict));
+                0
+            }
+        });
+        let t_smc = time_median(3, || match q {
+            1 => std::hint::black_box(smc_q::q1(&smc, &p)).len(),
+            2 => std::hint::black_box(smc_q::q2(&smc, &p)).len(),
+            3 => std::hint::black_box(smc_q::q3(&smc, &p)).len(),
+            4 => std::hint::black_box(smc_q::q4(&smc, &p)).len(),
+            5 => std::hint::black_box(smc_q::q5(&smc, &p)).len(),
+            _ => {
+                std::hint::black_box(smc_q::q6(&smc, &p));
+                0
+            }
+        });
+        // The unsafe variant differs only where decimal math dominates (Q1);
+        // other queries delegate, as the paper observes "very little
+        // improvement from using unsafe code" for them.
+        let t_unsafe = time_median(3, || match q {
+            1 => std::hint::black_box(smc_q::q1_unsafe(&smc, &p)).len(),
+            2 => std::hint::black_box(smc_q::q2(&smc, &p)).len(),
+            3 => std::hint::black_box(smc_q::q3_direct(&smc, &p)).len(),
+            4 => std::hint::black_box(smc_q::q4_direct(&smc, &p)).len(),
+            5 => std::hint::black_box(smc_q::q5_direct(&smc, &p)).len(),
+            _ => {
+                std::hint::black_box(smc_q::q6(&smc, &p));
+                0
+            }
+        });
+        let t_linq = if with_linq && (q == 1 || q == 6) {
+            Some(time_median(3, || match q {
+                1 => std::hint::black_box(smc_q::q1_linq(&smc, &p)).len(),
+                _ => {
+                    std::hint::black_box(smc_q::q6_linq(&smc, &p));
+                    0
+                }
+            }))
+        } else {
+            None
+        };
+        let rel = |t: std::time::Duration| t.as_secs_f64() / t_list.as_secs_f64();
+        let linq_cell = match t_linq {
+            Some(t) => format!("{:>11.2}", t.as_secs_f64() / t_smc.as_secs_f64()),
+            None => String::new(),
+        };
+        println!(
+            "{:>6} {:>10} {:>10} {:>10} {:>12} {:>11.2} {:>11.2} {:>13.2}{}",
+            format!("Q{q}"),
+            ms(t_list),
+            ms(t_dict),
+            ms(t_smc),
+            ms(t_unsafe),
+            rel(t_dict),
+            rel(t_smc),
+            rel(t_unsafe),
+            linq_cell
+        );
+        csv(&[
+            &format!("Q{q}"),
+            &ms(t_list),
+            &ms(t_dict),
+            &ms(t_smc),
+            &ms(t_unsafe),
+            &t_linq.map(ms).unwrap_or_default(),
+        ]);
+    }
+}

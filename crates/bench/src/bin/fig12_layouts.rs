@@ -1,0 +1,70 @@
+//! Figure 12: the direct-pointer (§6) and columnar (§4.1) optimizations,
+//! relative to the base SMC. Direct pointers help join queries (Q3–Q5);
+//! columnar storage helps scan-dominated queries (Q1, Q6).
+
+use smc_bench::{arg_f64, csv, ms, time_median};
+use tpch::queries::{smc_q, Params};
+use tpch::smcdb::SmcDb;
+use tpch::Generator;
+
+fn main() {
+    let sf = arg_f64("--sf", 0.05);
+    let gen = Generator::new(sf);
+    let p = Params::default();
+    println!("Figure 12: SMC storage/pointer variants (SF {sf}); ratios relative to SMC");
+    let smc = SmcDb::load(&gen, true);
+    println!(
+        "{:>6} {:>10} {:>12} {:>14} {:>13} {:>15}",
+        "query", "SMC ms", "direct ms", "columnar ms", "direct/SMC", "columnar/SMC"
+    );
+    csv(&["query", "smc_ms", "direct_ms", "columnar_ms"]);
+    for q in 1..=6u32 {
+        let t_base = time_median(3, || match q {
+            1 => std::hint::black_box(smc_q::q1(&smc, &p)).len(),
+            2 => std::hint::black_box(smc_q::q2(&smc, &p)).len(),
+            3 => std::hint::black_box(smc_q::q3(&smc, &p)).len(),
+            4 => std::hint::black_box(smc_q::q4(&smc, &p)).len(),
+            5 => std::hint::black_box(smc_q::q5(&smc, &p)).len(),
+            _ => {
+                std::hint::black_box(smc_q::q6(&smc, &p));
+                0
+            }
+        });
+        // Direct pointers change only queries with reference joins.
+        let t_direct = time_median(3, || match q {
+            1 => std::hint::black_box(smc_q::q1(&smc, &p)).len(),
+            2 => std::hint::black_box(smc_q::q2(&smc, &p)).len(),
+            3 => std::hint::black_box(smc_q::q3_direct(&smc, &p)).len(),
+            4 => std::hint::black_box(smc_q::q4_direct(&smc, &p)).len(),
+            5 => std::hint::black_box(smc_q::q5_direct(&smc, &p)).len(),
+            _ => {
+                std::hint::black_box(smc_q::q6(&smc, &p));
+                0
+            }
+        });
+        // Columnar storage changes queries that scan lineitems; Q2 touches
+        // no lineitem columns and keeps the row plan.
+        let t_col = time_median(3, || match q {
+            1 => std::hint::black_box(smc_q::q1_columnar(&smc, &p)).len(),
+            2 => std::hint::black_box(smc_q::q2(&smc, &p)).len(),
+            3 => std::hint::black_box(smc_q::q3_columnar(&smc, &p)).len(),
+            4 => std::hint::black_box(smc_q::q4_direct(&smc, &p)).len(),
+            5 => std::hint::black_box(smc_q::q5_columnar(&smc, &p)).len(),
+            _ => {
+                std::hint::black_box(smc_q::q6_columnar(&smc, &p));
+                0
+            }
+        });
+        let rel = |t: std::time::Duration| t.as_secs_f64() / t_base.as_secs_f64();
+        println!(
+            "{:>6} {:>10} {:>12} {:>14} {:>13.2} {:>15.2}",
+            format!("Q{q}"),
+            ms(t_base),
+            ms(t_direct),
+            ms(t_col),
+            rel(t_direct),
+            rel(t_col)
+        );
+        csv(&[&format!("Q{q}"), &ms(t_base), &ms(t_direct), &ms(t_col)]);
+    }
+}

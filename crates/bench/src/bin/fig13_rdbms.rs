@@ -1,0 +1,72 @@
+//! Figure 13: SMC variants against the in-memory columnar RDBMS baseline
+//! (the SQL Server 2014 stand-in), ratios relative to the RDBMS.
+//!
+//! The expected shape (§7): the RDBMS wins queries its clustered date
+//! indexes prune hard (notably Q6); the SMC variants win the join-heavy
+//! queries thanks to reference joins.
+
+use smc_bench::{arg_f64, csv, ms, time_median};
+use tpch::csdb::CsDb;
+use tpch::queries::{cs_q, smc_q, Params};
+use tpch::smcdb::SmcDb;
+use tpch::Generator;
+
+fn main() {
+    let sf = arg_f64("--sf", 0.05);
+    let gen = Generator::new(sf);
+    let p = Params::default();
+    println!("Figure 13: vs the columnstore RDBMS (SF {sf}); ratios relative to RDBMS");
+    let smc = SmcDb::load(&gen, true);
+    let cs = CsDb::load(&gen);
+    println!(
+        "{:>6} {:>11} {:>12} {:>14} {:>13} {:>15}",
+        "query", "RDBMS ms", "direct ms", "columnar ms", "direct/RDBMS", "columnar/RDBMS"
+    );
+    csv(&["query", "rdbms_ms", "smc_direct_ms", "smc_columnar_ms"]);
+    for q in 1..=6u32 {
+        let t_cs = time_median(3, || match q {
+            1 => std::hint::black_box(cs_q::q1(&cs, &p)).len(),
+            2 => std::hint::black_box(cs_q::q2(&cs, &p)).len(),
+            3 => std::hint::black_box(cs_q::q3(&cs, &p)).len(),
+            4 => std::hint::black_box(cs_q::q4(&cs, &p)).len(),
+            5 => std::hint::black_box(cs_q::q5(&cs, &p)).len(),
+            _ => {
+                std::hint::black_box(cs_q::q6(&cs, &p));
+                0
+            }
+        });
+        let t_direct = time_median(3, || match q {
+            1 => std::hint::black_box(smc_q::q1_unsafe(&smc, &p)).len(),
+            2 => std::hint::black_box(smc_q::q2(&smc, &p)).len(),
+            3 => std::hint::black_box(smc_q::q3_direct(&smc, &p)).len(),
+            4 => std::hint::black_box(smc_q::q4_direct(&smc, &p)).len(),
+            5 => std::hint::black_box(smc_q::q5_direct(&smc, &p)).len(),
+            _ => {
+                std::hint::black_box(smc_q::q6(&smc, &p));
+                0
+            }
+        });
+        let t_col = time_median(3, || match q {
+            1 => std::hint::black_box(smc_q::q1_columnar(&smc, &p)).len(),
+            2 => std::hint::black_box(smc_q::q2(&smc, &p)).len(),
+            3 => std::hint::black_box(smc_q::q3_columnar(&smc, &p)).len(),
+            4 => std::hint::black_box(smc_q::q4_direct(&smc, &p)).len(),
+            5 => std::hint::black_box(smc_q::q5_columnar(&smc, &p)).len(),
+            _ => {
+                std::hint::black_box(smc_q::q6_columnar(&smc, &p));
+                0
+            }
+        });
+        let rel = |t: std::time::Duration| t.as_secs_f64() / t_cs.as_secs_f64();
+        println!(
+            "{:>6} {:>11} {:>12} {:>14} {:>13.2} {:>15.2}",
+            format!("Q{q}"),
+            ms(t_cs),
+            ms(t_direct),
+            ms(t_col),
+            rel(t_direct),
+            rel(t_col)
+        );
+        csv(&[&format!("Q{q}"), &ms(t_cs), &ms(t_direct), &ms(t_col)]);
+    }
+}

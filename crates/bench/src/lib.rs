@@ -1,0 +1,88 @@
+//! # smc-bench — the figure-regeneration harness
+//!
+//! One binary per evaluation figure (`fig06` … `fig13`); each prints the
+//! figure's series as an aligned table plus machine-readable CSV lines
+//! prefixed with `csv,`. EXPERIMENTS.md records the paper-vs-measured
+//! comparison produced by these binaries.
+//!
+//! Common conventions:
+//! * `--sf <f>` sets the TPC-H scale factor where applicable (default is a
+//!   laptop-friendly size; the paper's SF 3 is reachable but slow).
+//! * Timings are medians of several runs after a warm-up run.
+
+use std::time::{Duration, Instant};
+
+/// Median-of-`runs` wall time of `f`, after one warm-up call. The return
+/// value of `f` is black-boxed so the computation cannot be optimized out.
+pub fn time_median<R>(runs: usize, mut f: impl FnMut() -> R) -> Duration {
+    std::hint::black_box(f()); // warm-up
+    let mut samples: Vec<Duration> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Wall time of a single call.
+pub fn time_once<R>(mut f: impl FnMut() -> R) -> Duration {
+    let t0 = Instant::now();
+    std::hint::black_box(f());
+    t0.elapsed()
+}
+
+/// Parses `--name value` from argv, with a default.
+pub fn arg_f64(name: &str, default: f64) -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Parses an integer `--name value`.
+pub fn arg_usize(name: &str, default: usize) -> usize {
+    arg_f64(name, default as f64) as usize
+}
+
+/// True if the flag is present.
+pub fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// Prints a CSV record with the `csv,` prefix the harness greps for.
+pub fn csv(fields: &[&str]) {
+    println!("csv,{}", fields.join(","));
+}
+
+/// Formats a duration as fractional milliseconds.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// Throughput in million ops per second.
+pub fn mops(ops: u64, d: Duration) -> f64 {
+    ops as f64 / d.as_secs_f64() / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_orders_samples() {
+        let mut calls = 0;
+        let d = time_median(3, || calls += 1);
+        assert_eq!(calls, 4, "warmup + runs");
+        assert!(d >= Duration::ZERO);
+    }
+
+    #[test]
+    fn mops_math() {
+        assert!((mops(2_000_000, Duration::from_secs(1)) - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,315 @@
+//! Column storage: typed arrays, dictionary and run-length compression,
+//! per-segment min/max statistics.
+
+/// Rows per segment. Matches the order of magnitude of SQL Server's
+/// columnstore row groups (2^20) scaled to our laptop-sized datasets so
+//  that segment elimination has observable granularity.
+pub const SEGMENT_ROWS: usize = 1 << 14;
+
+/// Min/max statistics for one segment of one column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentStats {
+    /// Minimum encoded value in the segment.
+    pub min: i64,
+    /// Maximum encoded value in the segment.
+    pub max: i64,
+}
+
+impl SegmentStats {
+    /// True if the segment may contain values in `[lo, hi]`.
+    #[inline]
+    pub fn overlaps(&self, lo: i64, hi: i64) -> bool {
+        self.max >= lo && self.min <= hi
+    }
+}
+
+fn stats_of(values: &[i64]) -> Vec<SegmentStats> {
+    values
+        .chunks(SEGMENT_ROWS)
+        .map(|chunk| {
+            let mut min = i64::MAX;
+            let mut max = i64::MIN;
+            for &v in chunk {
+                min = min.min(v);
+                max = max.max(v);
+            }
+            SegmentStats { min, max }
+        })
+        .collect()
+}
+
+/// A dictionary-encoded string column: unique strings stored once, rows as
+/// u32 codes.
+#[derive(Debug, Default)]
+pub struct DictColumn {
+    dict: Vec<String>,
+    index: std::collections::HashMap<String, u32>,
+    codes: Vec<u32>,
+}
+
+impl DictColumn {
+    /// An empty column.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a value, interning it.
+    pub fn push(&mut self, value: &str) {
+        let code = match self.index.get(value) {
+            Some(&c) => c,
+            None => {
+                let c = self.dict.len() as u32;
+                self.dict.push(value.to_string());
+                self.index.insert(value.to_string(), c);
+                c
+            }
+        };
+        self.codes.push(code);
+    }
+
+    /// The code for `value`, if interned (predicates compare codes, not
+    /// strings — the dictionary-compression fast path).
+    pub fn code_of(&self, value: &str) -> Option<u32> {
+        self.index.get(value).copied()
+    }
+
+    /// The string behind a code.
+    pub fn decode(&self, code: u32) -> &str {
+        &self.dict[code as usize]
+    }
+
+    /// The code at `row`.
+    #[inline]
+    pub fn code(&self, row: usize) -> u32 {
+        self.codes[row]
+    }
+
+    /// The string at `row`.
+    pub fn get(&self, row: usize) -> &str {
+        self.decode(self.codes[row])
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True if no rows.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Distinct values.
+    pub fn cardinality(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// Raw code array for tight scan loops.
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// Approximate compressed bytes (codes + dictionary).
+    pub fn compressed_bytes(&self) -> usize {
+        self.codes.len() * 4 + self.dict.iter().map(|s| s.len() + 24).sum::<usize>()
+    }
+}
+
+/// A run-length-encoded i64 column — effective on the clustered sort column
+/// (sorted data has long runs).
+#[derive(Debug, Default)]
+pub struct RleColumn {
+    /// (value, run end exclusive), ends strictly increasing.
+    runs: Vec<(i64, u32)>,
+    len: usize,
+}
+
+impl RleColumn {
+    /// Encodes `values`.
+    pub fn encode(values: &[i64]) -> Self {
+        let mut runs = Vec::new();
+        let mut i = 0usize;
+        while i < values.len() {
+            let v = values[i];
+            let mut j = i + 1;
+            while j < values.len() && values[j] == v {
+                j += 1;
+            }
+            runs.push((v, j as u32));
+            i = j;
+        }
+        RleColumn { runs, len: values.len() }
+    }
+
+    /// The value at `row` (binary search over run ends).
+    pub fn get(&self, row: usize) -> i64 {
+        debug_assert!(row < self.len);
+        let idx = self.runs.partition_point(|&(_, end)| end as usize <= row);
+        self.runs[idx].0
+    }
+
+    /// Decodes back to a plain vector (for scans that want tight loops).
+    pub fn decode(&self) -> Vec<i64> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut start = 0u32;
+        for &(v, end) in &self.runs {
+            out.extend(std::iter::repeat(v).take((end - start) as usize));
+            start = end;
+        }
+        out
+    }
+
+    /// Iterates `(value, start, end)` runs — range scans process whole runs.
+    pub fn runs(&self) -> impl Iterator<Item = (i64, usize, usize)> + '_ {
+        let mut start = 0usize;
+        self.runs.iter().map(move |&(v, end)| {
+            let s = start;
+            start = end as usize;
+            (v, s, end as usize)
+        })
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of runs (compression effectiveness).
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Compressed size in bytes.
+    pub fn compressed_bytes(&self) -> usize {
+        self.runs.len() * 12
+    }
+}
+
+/// One column's storage.
+#[derive(Debug)]
+pub enum ColumnData {
+    /// Plain 64-bit integers (also dates as epoch days widened to i64).
+    I64 { values: Vec<i64>, stats: Vec<SegmentStats> },
+    /// Fixed-point decimals (mantissa only; scale lives in the schema).
+    Decimal { values: Vec<i128> },
+    /// Dictionary-encoded strings.
+    Str(DictColumn),
+    /// Run-length-encoded integers (clustered sort columns).
+    Rle { column: RleColumn, stats: Vec<SegmentStats> },
+}
+
+impl ColumnData {
+    /// Builds a plain integer column with segment statistics.
+    pub fn i64(values: Vec<i64>) -> ColumnData {
+        let stats = stats_of(&values);
+        ColumnData::I64 { values, stats }
+    }
+
+    /// Builds an RLE column (use on sorted data) with segment statistics.
+    pub fn rle(values: &[i64]) -> ColumnData {
+        let stats = stats_of(values);
+        ColumnData::Rle { column: RleColumn::encode(values), stats }
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::I64 { values, .. } => values.len(),
+            ColumnData::Decimal { values } => values.len(),
+            ColumnData::Str(d) => d.len(),
+            ColumnData::Rle { column, .. } => column.len(),
+        }
+    }
+
+    /// True if no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Per-segment statistics, if this column keeps them.
+    pub fn stats(&self) -> Option<&[SegmentStats]> {
+        match self {
+            ColumnData::I64 { stats, .. } | ColumnData::Rle { stats, .. } => Some(stats),
+            _ => None,
+        }
+    }
+
+    /// In-memory bytes after compression.
+    pub fn compressed_bytes(&self) -> usize {
+        match self {
+            ColumnData::I64 { values, .. } => values.len() * 8,
+            ColumnData::Decimal { values } => values.len() * 16,
+            ColumnData::Str(d) => d.compressed_bytes(),
+            ColumnData::Rle { column, .. } => column.compressed_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dict_interns_and_decodes() {
+        let mut c = DictColumn::new();
+        for s in ["a", "b", "a", "c", "b"] {
+            c.push(s);
+        }
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.cardinality(), 3);
+        assert_eq!(c.get(0), "a");
+        assert_eq!(c.get(4), "b");
+        assert_eq!(c.code(0), c.code(2));
+        assert_eq!(c.code_of("c"), Some(c.code(3)));
+        assert_eq!(c.code_of("zzz"), None);
+    }
+
+    #[test]
+    fn rle_round_trips() {
+        let values = vec![5, 5, 5, 7, 7, 9, 9, 9, 9];
+        let c = RleColumn::encode(&values);
+        assert_eq!(c.run_count(), 3);
+        assert_eq!(c.decode(), values);
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(c.get(i), v);
+        }
+        let runs: Vec<_> = c.runs().collect();
+        assert_eq!(runs, vec![(5, 0, 3), (7, 3, 5), (9, 5, 9)]);
+    }
+
+    #[test]
+    fn rle_compresses_sorted_data() {
+        let sorted: Vec<i64> = (0..100_000).map(|i| i / 1000).collect();
+        let c = RleColumn::encode(&sorted);
+        assert_eq!(c.run_count(), 100);
+        assert!(c.compressed_bytes() < sorted.len() * 8 / 100);
+    }
+
+    #[test]
+    fn segment_stats_enable_pruning() {
+        // Sorted data: each segment has a tight range.
+        let values: Vec<i64> = (0..(SEGMENT_ROWS * 3) as i64).collect();
+        let col = ColumnData::i64(values);
+        let stats = col.stats().unwrap();
+        assert_eq!(stats.len(), 3);
+        // A predicate on the top of the range overlaps only the last segment.
+        let lo = (SEGMENT_ROWS * 2 + 10) as i64;
+        let overlapping = stats.iter().filter(|s| s.overlaps(lo, i64::MAX)).count();
+        assert_eq!(overlapping, 1);
+    }
+
+    #[test]
+    fn stats_on_unsorted_data_cover_everything() {
+        let values = vec![100, -5, 60];
+        let col = ColumnData::i64(values);
+        let s = col.stats().unwrap()[0];
+        assert_eq!(s, SegmentStats { min: -5, max: 100 });
+        assert!(s.overlaps(0, 0));
+        assert!(!s.overlaps(101, 200));
+    }
+}

@@ -1,0 +1,468 @@
+//! Behavioral tests for `Smc<T>`: the §2 semantics (ownership, null-on-
+//! remove), §4 enumeration, §5 compaction with live references, and §6
+//! direct pointers.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use smc::{ColumnArrays, Columnar, ColumnarSmc, ContextConfig, DirectRef, Ref, Smc};
+use smc_memory::{Decimal, InlineStr, Runtime, Tabular};
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Person {
+    name: InlineStr<16>,
+    age: u32,
+}
+unsafe impl Tabular for Person {}
+
+fn person(name: &str, age: u32) -> Person {
+    Person { name: name.into(), age }
+}
+
+#[derive(Clone, Copy)]
+struct Order {
+    id: u64,
+    customer: Ref<Person>,
+    total: Decimal,
+}
+unsafe impl Tabular for Order {}
+
+#[test]
+fn paper_overview_example() {
+    // The §2 code excerpt: add, use, remove, observe nullness.
+    let rt = Runtime::new();
+    let persons: Smc<Person> = Smc::new(&rt);
+    let adam = persons.add(person("Adam", 27));
+    {
+        let g = rt.pin();
+        assert_eq!(adam.get(&g).unwrap().name, "Adam");
+    }
+    assert!(persons.remove(adam));
+    let g = rt.pin();
+    assert!(adam.get(&g).is_none(), "removed object dereferences to null");
+    assert!(!persons.remove(adam), "remove is not double-applied");
+}
+
+#[test]
+fn enumeration_matches_live_set() {
+    let rt = Runtime::new();
+    let persons: Smc<Person> = Smc::new(&rt);
+    let mut refs = Vec::new();
+    for i in 0..1000 {
+        refs.push(persons.add(person(&format!("p{i}"), i as u32 % 90)));
+    }
+    // Remove every third person.
+    for (i, r) in refs.iter().enumerate() {
+        if i % 3 == 0 {
+            assert!(persons.remove(*r));
+        }
+    }
+    let g = rt.pin();
+    let mut seen = 0u64;
+    let visited = persons.for_each(&g, |_| seen += 1);
+    assert_eq!(seen, visited);
+    assert_eq!(seen, persons.len());
+    assert_eq!(seen, 1000 - 334);
+}
+
+#[test]
+fn predicate_enumeration_like_generated_query() {
+    // The §4 compiled query: age > 17 over the whole collection.
+    let rt = Runtime::new();
+    let persons: Smc<Person> = Smc::new(&rt);
+    for i in 0..500 {
+        persons.add(person("x", i % 40));
+    }
+    let g = rt.pin();
+    let mut adults = 0;
+    persons.for_each(&g, |p| {
+        if p.age > 17 {
+            adults += 1;
+        }
+    });
+    // ages cycle 0..39; 22 of every 40 are > 17; 500 = 12*40 + 20.
+    let expected = 12 * 22 + 2; // ages 18,19 in the final partial cycle
+    assert_eq!(adults, expected);
+}
+
+#[test]
+fn iterator_yields_usable_refs() {
+    let rt = Runtime::new();
+    let persons: Smc<Person> = Smc::new(&rt);
+    for i in 0..100 {
+        persons.add(person("it", i));
+    }
+    let g = rt.pin();
+    let collected: Vec<(Ref<Person>, u32)> =
+        persons.iter(&g).map(|(r, p)| (r, p.age)).collect();
+    assert_eq!(collected.len(), 100);
+    // Each yielded ref dereferences to the same object.
+    for (r, age) in &collected {
+        assert_eq!(r.get(&g).unwrap().age, *age);
+    }
+    drop(g);
+    // Refs survive guard churn; removal nulls them.
+    let (r0, _) = collected[0];
+    persons.remove(r0);
+    let g = rt.pin();
+    assert!(r0.get(&g).is_none());
+}
+
+#[test]
+fn references_between_collections_join() {
+    // Reference-based joins, the TPC-H adaptation pattern (§7).
+    let rt = Runtime::new();
+    let persons: Smc<Person> = Smc::new(&rt);
+    let orders: Smc<Order> = Smc::new(&rt);
+    let alice = persons.add(person("Alice", 30));
+    let bob = persons.add(person("Bob", 40));
+    for i in 0..10 {
+        orders.add(Order {
+            id: i,
+            customer: if i % 2 == 0 { alice } else { bob },
+            total: Decimal::from_int(i as i64 * 10),
+        });
+    }
+    let g = rt.pin();
+    // "join" orders to customers through references.
+    let mut alice_total = Decimal::ZERO;
+    orders.for_each(&g, |o| {
+        if let Some(c) = o.customer.get(&g) {
+            if c.name == "Alice" {
+                alice_total += o.total;
+            }
+        }
+    });
+    assert_eq!(alice_total, Decimal::from_int(0 + 20 + 40 + 60 + 80));
+    drop(g);
+    // Removing a customer nulls the reference inside orders.
+    persons.remove(alice);
+    let g = rt.pin();
+    let mut dangling = 0;
+    orders.for_each(&g, |o| {
+        if o.customer.get(&g).is_none() {
+            dangling += 1;
+        }
+    });
+    assert_eq!(dangling, 5);
+}
+
+#[test]
+fn update_in_place() {
+    let rt = Runtime::new();
+    let persons: Smc<Person> = Smc::new(&rt);
+    let r = persons.add(person("Carol", 20));
+    let g = rt.pin();
+    persons.update(r, &g, |p| p.age += 1).unwrap();
+    assert_eq!(r.get(&g).unwrap().age, 21);
+    drop(g);
+    persons.remove(r);
+    let g = rt.pin();
+    assert!(persons.update(r, &g, |p| p.age += 1).is_none());
+}
+
+#[test]
+fn slot_reuse_does_not_resurrect_references() {
+    // Remove objects, advance epochs, allocate replacements into the same
+    // slots — the old references must stay null (incarnation protection).
+    let rt = Runtime::new();
+    let mut config = ContextConfig::default();
+    config.reclamation_threshold = 0.0;
+    let persons: Smc<Person> = Smc::with_config(&rt, config);
+    let cap = persons.context().layout().capacity as usize;
+    let old: Vec<Ref<Person>> = (0..cap * 2).map(|i| persons.add(person("old", i as u32))).collect();
+    for r in &old {
+        assert!(persons.remove(*r));
+    }
+    // Let epochs pass so slots are reclaimable.
+    rt.epochs.try_advance();
+    rt.epochs.try_advance();
+    for i in 0..cap * 2 {
+        persons.add(person("new", i as u32));
+    }
+    let g = rt.pin();
+    for r in &old {
+        assert!(r.get(&g).is_none(), "stale ref must not see slot reuse");
+    }
+    assert_eq!(persons.len(), (cap * 2) as u64);
+}
+
+#[test]
+fn compaction_preserves_references_and_values() {
+    let rt = Runtime::new();
+    let mut config = ContextConfig::default();
+    config.reclamation_threshold = 1.1; // isolate compaction from reclamation
+    let persons: Smc<Person> = Smc::with_config(&rt, config);
+    let cap = persons.context().layout().capacity as usize;
+    let refs: Vec<Ref<Person>> =
+        (0..cap * 5).map(|i| persons.add(person(&format!("c{i}"), i as u32))).collect();
+    // Keep 10%: five sparse blocks.
+    let mut kept = Vec::new();
+    for (i, r) in refs.iter().enumerate() {
+        if i % 10 == 0 {
+            kept.push((*r, i as u32));
+        } else {
+            persons.remove(*r);
+        }
+    }
+    let before_bytes = persons.memory_bytes();
+    let report = persons.compact();
+    assert!(report.moved > 0, "compaction should move survivors");
+    persons.release_retired();
+    rt.drain_graveyard_blocking();
+    assert!(persons.memory_bytes() < before_bytes, "memory footprint must shrink");
+    let g = rt.pin();
+    for (r, age) in &kept {
+        let p = r.get(&g).expect("survivor reachable after compaction");
+        assert_eq!(p.age, *age);
+    }
+    // Enumeration sees exactly the survivors.
+    let mut n = 0;
+    persons.for_each(&g, |_| n += 1);
+    assert_eq!(n, kept.len());
+}
+
+#[test]
+fn direct_refs_fast_path_and_tombstone_healing() {
+    let rt = Runtime::new();
+    let mut config = ContextConfig::default();
+    config.reclamation_threshold = 1.1;
+    let persons: Smc<Person> = Smc::with_config(&rt, config);
+    let cap = persons.context().layout().capacity as usize;
+    let refs: Vec<Ref<Person>> =
+        (0..cap * 3).map(|i| persons.add(person("d", i as u32))).collect();
+    let survivor = refs[7];
+    // Direct pointer taken before compaction.
+    let mut direct: DirectRef<Person> = {
+        let g = rt.pin();
+        survivor.to_direct(&g).unwrap()
+    };
+    for (i, r) in refs.iter().enumerate() {
+        if i != 7 {
+            persons.remove(*r);
+        }
+    }
+    let report = persons.compact();
+    assert!(report.moved >= 1);
+    // The direct ref crosses the tombstone and heals itself.
+    let g = rt.pin();
+    let old_addr = direct.addr();
+    let p = direct.get_healing(&g).expect("tombstone must forward");
+    assert_eq!(p.age, 7);
+    assert_ne!(direct.addr(), old_addr, "pointer rewritten to new location");
+    // Subsequent dereferences take the fast path at the new address.
+    assert_eq!(direct.get(&g).unwrap().age, 7);
+    drop(g);
+    persons.remove(survivor);
+    let g = rt.pin();
+    assert!(direct.get(&g).is_none(), "direct ref nulls after removal");
+}
+
+#[derive(Clone, Copy)]
+struct Wide {
+    a: u64,
+    b: Ref<Person>,
+    c: DirectRef<Person>,
+}
+unsafe impl Tabular for Wide {}
+
+#[test]
+fn fix_direct_refs_rewrites_pointers_into_retired_blocks() {
+    let rt = Runtime::new();
+    let mut config = ContextConfig::default();
+    config.reclamation_threshold = 1.1;
+    let persons: Smc<Person> = Smc::with_config(&rt, config);
+    let wides: Smc<Wide> = Smc::new(&rt);
+    let cap = persons.context().layout().capacity as usize;
+    let prefs: Vec<Ref<Person>> =
+        (0..cap * 3).map(|i| persons.add(person("w", i as u32))).collect();
+    // Wide objects hold direct pointers to every 20th person.
+    {
+        let g = rt.pin();
+        for (i, pr) in prefs.iter().enumerate().step_by(20) {
+            wides.add(Wide { a: i as u64, b: *pr, c: pr.to_direct(&g).unwrap() });
+        }
+    }
+    // Kill everyone not directly referenced.
+    for (i, pr) in prefs.iter().enumerate() {
+        if i % 20 != 0 {
+            persons.remove(*pr);
+        }
+    }
+    let report = persons.compact();
+    assert!(!report.retired_bases.is_empty());
+    let g = rt.pin();
+    let fixed = wides.fix_direct_refs(&report, &g, |w| &mut w.c);
+    assert!(fixed > 0, "fix-up must rewrite stale direct pointers");
+    // After fix-up every direct pointer resolves on the fast path and agrees
+    // with the checked reference.
+    let mut checked = 0;
+    wides.for_each(&g, |w| {
+        let via_direct = w.c.get(&g).expect("fixed pointer resolves");
+        let via_ref = w.b.get(&g).expect("checked ref resolves");
+        assert_eq!(via_direct.age, via_ref.age);
+        checked += 1;
+    });
+    assert!(checked > 0);
+    drop(g);
+    persons.release_retired();
+    rt.drain_graveyard_blocking();
+}
+
+#[test]
+fn concurrent_enumeration_during_compaction() {
+    // Readers enumerate continuously while compaction runs; every pass must
+    // observe exactly the live survivors (bag semantics, §5.2 consistency).
+    let rt = Runtime::new();
+    let mut config = ContextConfig::default();
+    config.reclamation_threshold = 1.1;
+    config.compaction_patience = std::time::Duration::from_millis(500);
+    let persons: Arc<Smc<Person>> = Arc::new(Smc::with_config(&rt, config));
+    let cap = persons.context().layout().capacity as usize;
+    let refs: Vec<Ref<Person>> =
+        (0..cap * 6).map(|i| persons.add(person("e", i as u32))).collect();
+    let mut survivors = 0u64;
+    for (i, r) in refs.iter().enumerate() {
+        if i % 8 == 0 {
+            survivors += 1;
+        } else {
+            persons.remove(*r);
+        }
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut readers = Vec::new();
+    for _ in 0..3 {
+        let p = persons.clone();
+        let rt = rt.clone();
+        let stop = stop.clone();
+        readers.push(std::thread::spawn(move || {
+            let mut enumerations = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let g = rt.pin();
+                let mut n = 0u64;
+                p.for_each(&g, |_| n += 1);
+                assert_eq!(n, survivors, "enumeration must never miss or duplicate");
+                drop(g);
+                enumerations += 1;
+            }
+            enumerations
+        }));
+    }
+    // Run several compaction passes under the readers.
+    let mut total_moved = 0;
+    for _ in 0..5 {
+        let report = persons.compact();
+        total_moved += report.moved;
+        persons.release_retired();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    stop.store(true, Ordering::SeqCst);
+    for r in readers {
+        assert!(r.join().unwrap() > 0);
+    }
+    assert!(total_moved > 0, "at least one pass should relocate objects");
+    rt.drain_graveyard_blocking();
+}
+
+// ---------------------------------------------------------------------
+// Columnar storage (§4.1)
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Point {
+    key: u64,
+    price: Decimal,
+    qty: u32,
+}
+unsafe impl Tabular for Point {}
+
+unsafe impl Columnar for Point {
+    const COLUMN_WIDTHS: &'static [usize] = &[8, 16, 4];
+
+    unsafe fn scatter(&self, cols: &ColumnArrays, slot: usize) {
+        cols.cell::<u64>(0, slot).write(self.key);
+        cols.cell::<Decimal>(1, slot).write(self.price);
+        cols.cell::<u32>(2, slot).write(self.qty);
+    }
+
+    unsafe fn gather(cols: &ColumnArrays, slot: usize) -> Self {
+        Point {
+            key: cols.cell::<u64>(0, slot).read(),
+            price: cols.cell::<Decimal>(1, slot).read(),
+            qty: cols.cell::<u32>(2, slot).read(),
+        }
+    }
+}
+
+#[test]
+fn columnar_round_trip_and_removal() {
+    let rt = Runtime::new();
+    let points: ColumnarSmc<Point> = ColumnarSmc::new(&rt);
+    let mut refs = Vec::new();
+    for i in 0..5000u64 {
+        refs.push(points.add(Point {
+            key: i,
+            price: Decimal::from_cents(i as i64),
+            qty: (i % 50) as u32,
+        }));
+    }
+    assert_eq!(points.len(), 5000);
+    let g = rt.pin();
+    let p = points.read(refs[1234], &g).unwrap();
+    assert_eq!(p, Point { key: 1234, price: Decimal::from_cents(1234), qty: 1234 % 50 });
+    drop(g);
+    assert!(points.remove(refs[1234]));
+    let g = rt.pin();
+    assert!(points.read(refs[1234], &g).is_none());
+    assert_eq!(points.len(), 4999);
+}
+
+#[test]
+fn columnar_single_column_scan() {
+    // The Fig 12 win: a single-column aggregate reads one array only.
+    let rt = Runtime::new();
+    let points: ColumnarSmc<Point> = ColumnarSmc::new(&rt);
+    for i in 0..10_000u64 {
+        points.add(Point { key: i, price: Decimal::from_cents(100), qty: 1 });
+    }
+    let g = rt.pin();
+    let mut sum = 0u64;
+    points.for_each_block(&g, |cols, block| {
+        let cap = block.header().capacity as usize;
+        // SAFETY: column 0 is the u64 key column.
+        let keys = unsafe { cols.column_slice::<u64>(0, cap) };
+        for slot in 0..cap {
+            if block.slot_word(slot as u32).state() == smc_memory::SlotState::Valid {
+                sum += keys[slot];
+            }
+        }
+    });
+    assert_eq!(sum, (0..10_000u64).sum());
+}
+
+#[test]
+fn columnar_enumeration_gathers_objects() {
+    let rt = Runtime::new();
+    let points: ColumnarSmc<Point> = ColumnarSmc::new(&rt);
+    let refs: Vec<_> = (0..300u64)
+        .map(|i| points.add(Point { key: i, price: Decimal::ZERO, qty: i as u32 }))
+        .collect();
+    points.remove(refs[0]);
+    points.remove(refs[299]);
+    let g = rt.pin();
+    let mut keys = Vec::new();
+    points.for_each(&g, |p| keys.push(p.key));
+    keys.sort_unstable();
+    assert_eq!(keys.len(), 298);
+    assert_eq!(keys[0], 1);
+    assert_eq!(*keys.last().unwrap(), 298);
+}
+
+#[test]
+fn memory_footprint_tracks_block_count() {
+    let rt = Runtime::new();
+    let persons: Smc<Person> = Smc::new(&rt);
+    assert_eq!(persons.memory_bytes(), 0);
+    persons.add(person("m", 1));
+    assert_eq!(persons.memory_bytes(), smc_memory::BLOCK_SIZE);
+}

@@ -1,0 +1,193 @@
+//! Targeted tests for the §5/§6 compaction protocol edges: repeated
+//! passes, bailed relocations retried later, reference stability across
+//! multiple generations of moves, and direct-pointer healing chains.
+
+use smc::{ContextConfig, DirectRef, Ref, Smc};
+use smc_memory::{Runtime, Tabular};
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Obj {
+    key: u64,
+    payload: [u64; 8],
+}
+unsafe impl Tabular for Obj {}
+
+fn obj(key: u64) -> Obj {
+    Obj { key, payload: [key; 8] }
+}
+
+fn sparse_collection(rt: &std::sync::Arc<Runtime>, blocks: usize, keep_mod: usize) -> (Smc<Obj>, Vec<(Ref<Obj>, u64)>) {
+    let mut cfg = ContextConfig::default();
+    cfg.reclamation_threshold = 1.1;
+    let c: Smc<Obj> = Smc::with_config(rt, cfg);
+    let cap = c.context().layout().capacity as usize;
+    let mut kept = Vec::new();
+    for i in 0..cap * blocks {
+        let r = c.add(obj(i as u64));
+        if i % keep_mod == 0 {
+            kept.push((r, i as u64));
+        } else {
+            c.remove(r);
+        }
+    }
+    (c, kept)
+}
+
+#[test]
+fn repeated_compactions_converge() {
+    let rt = Runtime::new();
+    let (c, kept) = sparse_collection(&rt, 6, 12);
+    // Compact repeatedly; each pass must preserve every survivor, and the
+    // second-and-later passes find progressively less to do.
+    let mut last_moved = usize::MAX;
+    for pass in 0..4 {
+        let report = c.compact();
+        c.release_retired();
+        assert!(!report.aborted, "pass {pass} aborted");
+        assert!(report.moved <= last_moved || report.moved == 0);
+        last_moved = report.moved.max(1);
+        let g = rt.pin();
+        for (r, key) in &kept {
+            assert_eq!(r.get(&g).unwrap().key, *key, "pass {pass}");
+        }
+    }
+    rt.drain_graveyard_blocking();
+    assert_eq!(c.len(), kept.len() as u64);
+}
+
+#[test]
+fn references_survive_multiple_generations_of_moves() {
+    // Move survivors, then shrink again and move them a second time: the
+    // original references (and their incarnations) must keep resolving.
+    let rt = Runtime::new();
+    let (c, kept) = sparse_collection(&rt, 4, 10);
+    c.compact();
+    c.release_retired();
+    // Second shrink: remove half the survivors, compact again.
+    let survivors: Vec<_> = kept.iter().step_by(2).copied().collect();
+    for (i, (r, _)) in kept.iter().enumerate() {
+        if i % 2 == 1 {
+            c.remove(*r);
+        }
+    }
+    let report = c.compact();
+    c.release_retired();
+    let _ = report;
+    let g = rt.pin();
+    for (r, key) in &survivors {
+        assert_eq!(r.get(&g).unwrap().key, *key, "second-generation move");
+    }
+    assert_eq!(c.len(), survivors.len() as u64);
+}
+
+#[test]
+fn direct_ref_heals_across_two_compactions() {
+    let rt = Runtime::new();
+    let (c, kept) = sparse_collection(&rt, 4, 50);
+    let (target, key) = kept[1];
+    let mut direct: DirectRef<Obj> = {
+        let g = rt.pin();
+        target.to_direct(&g).unwrap()
+    };
+    // First compaction: the direct ref crosses one tombstone.
+    c.compact();
+    {
+        let g = rt.pin();
+        assert_eq!(direct.get_healing(&g).unwrap().key, key);
+    }
+    // Keep old tombstoned blocks alive until the ref has healed, then
+    // release; compact again after another shrink.
+    c.release_retired();
+    let caps = c.context().layout().capacity as usize;
+    let fillers: Vec<_> = (0..caps * 2).map(|i| c.add(obj(900_000 + i as u64))).collect();
+    for f in &fillers {
+        c.remove(*f);
+    }
+    c.compact();
+    let g = rt.pin();
+    assert_eq!(direct.get_healing(&g).unwrap().key, key, "second heal");
+    // And the checked reference agrees.
+    assert_eq!(target.get(&g).unwrap().key, key);
+    drop(g);
+    c.release_retired();
+    rt.drain_graveyard_blocking();
+}
+
+#[test]
+fn enumeration_during_pre_state_pin_is_complete() {
+    // Take an iterator (which pins group pre-state when it hits a group
+    // mid-compaction) and verify counts even when a compaction pass runs
+    // between iterator construction and consumption.
+    let rt = Runtime::new();
+    let (c, kept) = sparse_collection(&rt, 5, 9);
+    let g = rt.pin();
+    let it = c.iter(&g);
+    // The guard pins our epoch, so a concurrent compaction cannot reach
+    // its moving phase while `it` is alive; consume and count.
+    let seen = it.count();
+    assert_eq!(seen, kept.len());
+    drop(g);
+    c.compact();
+    c.release_retired();
+    let g = rt.pin();
+    assert_eq!(c.iter(&g).count(), kept.len());
+}
+
+#[test]
+fn compaction_with_zero_occupancy_blocks_retires_them() {
+    let rt = Runtime::new();
+    let mut cfg = ContextConfig::default();
+    cfg.reclamation_threshold = 1.1;
+    let c: Smc<Obj> = Smc::with_config(&rt, cfg);
+    let cap = c.context().layout().capacity as usize;
+    // Two completely emptied blocks plus one partially filled.
+    let refs: Vec<_> = (0..cap * 2 + 5).map(|i| c.add(obj(i as u64))).collect();
+    for r in refs.iter().take(cap * 2) {
+        c.remove(*r);
+    }
+    let before = c.memory_bytes();
+    let report = c.compact();
+    c.release_retired();
+    rt.drain_graveyard_blocking();
+    let _ = report;
+    assert!(c.memory_bytes() < before, "empty blocks must be reclaimed");
+    assert_eq!(c.len(), 5);
+}
+
+#[test]
+fn update_in_place_survives_compaction() {
+    let rt = Runtime::new();
+    let (c, kept) = sparse_collection(&rt, 3, 20);
+    {
+        let g = rt.pin();
+        for (r, _) in &kept {
+            c.update(*r, &g, |o| o.payload[0] = o.key * 2).unwrap();
+        }
+    }
+    c.compact();
+    c.release_retired();
+    let g = rt.pin();
+    for (r, key) in &kept {
+        assert_eq!(r.get(&g).unwrap().payload[0], key * 2, "update preserved by move");
+    }
+}
+
+#[test]
+fn compaction_respects_occupancy_threshold_config() {
+    let rt = Runtime::new();
+    let mut cfg = ContextConfig::default();
+    cfg.reclamation_threshold = 1.1;
+    cfg.compaction_occupancy = 0.10; // only compact blocks under 10 % full
+    let c: Smc<Obj> = Smc::with_config(&rt, cfg);
+    let cap = c.context().layout().capacity as usize;
+    let refs: Vec<_> = (0..cap * 3).map(|i| c.add(obj(i as u64))).collect();
+    // Leave blocks 50 % full: above the 10 % threshold, so nothing moves.
+    for (i, r) in refs.iter().enumerate() {
+        if i % 2 == 0 {
+            c.remove(*r);
+        }
+    }
+    let report = c.compact();
+    assert_eq!(report.groups, 0);
+    assert_eq!(report.moved, 0);
+}

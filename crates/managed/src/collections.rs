@@ -1,0 +1,509 @@
+//! GC-backed collections: the paper's managed baselines.
+//!
+//! * [`GcList`] stands in for C#'s `List<T>` — a dynamic array of
+//!   references, not thread-safe in .NET (ours takes a light lock so the
+//!   benchmarks can share it, which only flatters the baseline).
+//! * [`GcConcurrentBag`] stands in for `ConcurrentBag<T>` — thread-safe
+//!   insertion and enumeration, but "does not allow the removal of specific
+//!   objects" (§7).
+//! * [`GcConcurrentDictionary`] stands in for
+//!   `ConcurrentDictionary<TKey, TValue>` — the only .NET collection the
+//!   paper found functionally comparable to SMCs (keyed removal).
+//!
+//! All three hold *handles*; the objects themselves live on the
+//! [`ManagedHeap`](crate::heap::ManagedHeap) and are traced from the
+//! collection root. Enumeration dereferences handle by handle — the
+//! scattered pointer chase of Fig 10.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
+
+use crate::arena::{Arena, Handle, Marker, Trace};
+use crate::heap::{HeapGuard, HeapRoot, ManagedHeap};
+
+/// Number of shards in the concurrent dictionary.
+const DICT_SHARDS: usize = 16;
+
+// ---------------------------------------------------------------------
+// GcList
+// ---------------------------------------------------------------------
+
+struct GcListInner<T: Trace> {
+    items: Mutex<Vec<Handle<T>>>,
+}
+
+impl<T: Trace> HeapRoot for GcListInner<T> {
+    fn trace_root(&self, marker: &mut Marker<'_>) {
+        for &h in self.items.lock().iter() {
+            marker.mark(h);
+        }
+    }
+}
+
+/// A `List<T>`-like collection of managed objects.
+pub struct GcList<T: Trace> {
+    heap: Arc<ManagedHeap>,
+    arena: Arc<Arena<T>>,
+    inner: Arc<GcListInner<T>>,
+}
+
+impl<T: Trace> Clone for GcList<T> {
+    fn clone(&self) -> Self {
+        GcList { heap: self.heap.clone(), arena: self.arena.clone(), inner: self.inner.clone() }
+    }
+}
+
+impl<T: Trace> GcList<T> {
+    /// Creates a list rooted on `heap`.
+    pub fn new(heap: &Arc<ManagedHeap>) -> GcList<T> {
+        let inner = Arc::new(GcListInner { items: Mutex::new(Vec::new()) });
+        heap.add_root(Arc::downgrade(&inner) as Weak<dyn HeapRoot>);
+        GcList { heap: heap.clone(), arena: heap.arena::<T>(), inner }
+    }
+
+    /// Allocates `value` on the heap and appends its handle.
+    pub fn add(&self, value: T) -> Handle<T> {
+        let h = self.heap.alloc(&self.arena, value);
+        self.inner.items.lock().push(h);
+        h
+    }
+
+    /// Appends an existing handle (shares an object already allocated by
+    /// another collection on the same heap).
+    pub fn add_handle(&self, h: Handle<T>) {
+        self.inner.items.lock().push(h);
+    }
+
+    /// Removes (by handle identity) — O(n), like `List<T>.Remove`.
+    pub fn remove(&self, handle: Handle<T>) -> bool {
+        let mut items = self.inner.items.lock();
+        if let Some(pos) = items.iter().position(|h| *h == handle) {
+            items.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes every element whose object satisfies `pred`; returns the
+    /// count removed. This is how the refresh streams delete (Fig 8).
+    pub fn remove_where(&self, guard: &HeapGuard<'_>, mut pred: impl FnMut(&T) -> bool) -> usize {
+        let _ = guard;
+        let mut items = self.inner.items.lock();
+        let before = items.len();
+        items.retain(|h| match self.arena.get(*h) {
+            Some(v) => !pred(v),
+            None => false,
+        });
+        before - items.len()
+    }
+
+    /// Dereferences a handle.
+    pub fn get<'g>(&self, handle: Handle<T>, _guard: &'g HeapGuard<'_>) -> Option<&'g T> {
+        // SAFETY of lifetime: the guard pins the world; sweeps cannot run.
+        unsafe { std::mem::transmute::<Option<&T>, Option<&'g T>>(self.arena.get(handle)) }
+    }
+
+    /// Enumerates every element: handle list walk + per-object dereference,
+    /// the managed pointer chase of Fig 10.
+    pub fn for_each(&self, _guard: &HeapGuard<'_>, mut f: impl FnMut(&T)) -> u64 {
+        let items = self.inner.items.lock();
+        let mut n = 0;
+        for &h in items.iter() {
+            if let Some(v) = self.arena.get(h) {
+                f(v);
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Enumerates `(handle, &T)` pairs.
+    pub fn for_each_handle(&self, _guard: &HeapGuard<'_>, mut f: impl FnMut(Handle<T>, &T)) -> u64 {
+        let items = self.inner.items.lock();
+        let mut n = 0;
+        for &h in items.iter() {
+            if let Some(v) = self.arena.get(h) {
+                f(h, v);
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// In-place update of one element.
+    pub fn update<R>(&self, handle: Handle<T>, f: impl FnOnce(&mut T) -> R) -> Option<R> {
+        self.arena.get_mut(handle).map(f)
+    }
+
+    /// Elements in the list.
+    pub fn len(&self) -> usize {
+        self.inner.items.lock().len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The arena holding this list's objects (for cross-collection derefs).
+    pub fn arena(&self) -> &Arc<Arena<T>> {
+        &self.arena
+    }
+
+    /// The backing heap.
+    pub fn heap(&self) -> &Arc<ManagedHeap> {
+        &self.heap
+    }
+}
+
+// ---------------------------------------------------------------------
+// GcConcurrentBag
+// ---------------------------------------------------------------------
+
+struct GcBagInner<T: Trace> {
+    shards: Vec<Mutex<Vec<Handle<T>>>>,
+}
+
+impl<T: Trace> HeapRoot for GcBagInner<T> {
+    fn trace_root(&self, marker: &mut Marker<'_>) {
+        for shard in &self.shards {
+            for &h in shard.lock().iter() {
+                marker.mark(h);
+            }
+        }
+    }
+}
+
+/// A `ConcurrentBag<T>`-like collection: thread-sharded insertion, whole-bag
+/// enumeration, no removal of specific elements (§7).
+pub struct GcConcurrentBag<T: Trace> {
+    heap: Arc<ManagedHeap>,
+    arena: Arc<Arena<T>>,
+    inner: Arc<GcBagInner<T>>,
+}
+
+impl<T: Trace> Clone for GcConcurrentBag<T> {
+    fn clone(&self) -> Self {
+        GcConcurrentBag {
+            heap: self.heap.clone(),
+            arena: self.arena.clone(),
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T: Trace> GcConcurrentBag<T> {
+    /// Creates a bag rooted on `heap`.
+    pub fn new(heap: &Arc<ManagedHeap>) -> GcConcurrentBag<T> {
+        let inner = Arc::new(GcBagInner {
+            shards: (0..DICT_SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+        });
+        heap.add_root(Arc::downgrade(&inner) as Weak<dyn HeapRoot>);
+        GcConcurrentBag { heap: heap.clone(), arena: heap.arena::<T>(), inner }
+    }
+
+    /// Adds a value (thread-safe; shard picked by thread identity hash).
+    pub fn add(&self, value: T) -> Handle<T> {
+        let h = self.heap.alloc(&self.arena, value);
+        let shard = shard_of_thread();
+        self.inner.shards[shard].lock().push(h);
+        h
+    }
+
+    /// Adds an existing handle (shares an object allocated elsewhere).
+    pub fn add_handle(&self, h: Handle<T>) {
+        self.inner.shards[shard_of_thread()].lock().push(h);
+    }
+
+    /// Enumerates every element.
+    pub fn for_each(&self, _guard: &HeapGuard<'_>, mut f: impl FnMut(&T)) -> u64 {
+        let mut n = 0;
+        for shard in &self.inner.shards {
+            for &h in shard.lock().iter() {
+                if let Some(v) = self.arena.get(h) {
+                    f(v);
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Elements across all shards.
+    pub fn len(&self) -> usize {
+        self.inner.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn shard_of_thread() -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    std::thread::current().id().hash(&mut h);
+    (h.finish() as usize) % DICT_SHARDS
+}
+
+// ---------------------------------------------------------------------
+// GcConcurrentDictionary
+// ---------------------------------------------------------------------
+
+struct GcDictInner<K: Send + Sync + 'static, V: Trace> {
+    shards: Vec<Mutex<HashMap<K, Handle<V>>>>,
+}
+
+impl<K: Send + Sync + 'static, V: Trace> HeapRoot for GcDictInner<K, V> {
+    fn trace_root(&self, marker: &mut Marker<'_>) {
+        for shard in &self.shards {
+            for &h in shard.lock().values() {
+                marker.mark(h);
+            }
+        }
+    }
+}
+
+/// A `ConcurrentDictionary<TKey, TValue>`-like collection: sharded hash map
+/// from keys to managed objects, with keyed removal — the paper's only
+/// functionally comparable thread-safe baseline (§7).
+pub struct GcConcurrentDictionary<K: Eq + Hash + Send + Sync + 'static, V: Trace> {
+    heap: Arc<ManagedHeap>,
+    arena: Arc<Arena<V>>,
+    inner: Arc<GcDictInner<K, V>>,
+}
+
+impl<K: Eq + Hash + Send + Sync + 'static, V: Trace> Clone for GcConcurrentDictionary<K, V> {
+    fn clone(&self) -> Self {
+        GcConcurrentDictionary {
+            heap: self.heap.clone(),
+            arena: self.arena.clone(),
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Send + Sync + 'static, V: Trace> GcConcurrentDictionary<K, V> {
+    /// Creates a dictionary rooted on `heap`.
+    pub fn new(heap: &Arc<ManagedHeap>) -> GcConcurrentDictionary<K, V> {
+        let inner = Arc::new(GcDictInner {
+            shards: (0..DICT_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        });
+        heap.add_root(Arc::downgrade(&inner) as Weak<dyn HeapRoot>);
+        GcConcurrentDictionary { heap: heap.clone(), arena: heap.arena::<V>(), inner }
+    }
+
+    fn shard(&self, key: &K) -> usize {
+        use std::hash::Hasher;
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % DICT_SHARDS
+    }
+
+    /// Inserts (or replaces) the value under `key`.
+    pub fn insert(&self, key: K, value: V) -> Handle<V> {
+        let h = self.heap.alloc(&self.arena, value);
+        let shard = self.shard(&key);
+        self.inner.shards[shard].lock().insert(key, h);
+        h
+    }
+
+    /// Registers an existing handle under `key` (shares an object already
+    /// allocated by another collection on the same heap).
+    pub fn insert_handle(&self, key: K, h: Handle<V>) {
+        let shard = self.shard(&key);
+        self.inner.shards[shard].lock().insert(key, h);
+    }
+
+    /// Removes the value under `key`.
+    pub fn remove(&self, key: &K) -> bool {
+        let shard = self.shard(key);
+        self.inner.shards[shard].lock().remove(key).is_some()
+    }
+
+    /// Dereferences the value under `key`.
+    pub fn get<'g>(&self, key: &K, _guard: &'g HeapGuard<'_>) -> Option<&'g V> {
+        let shard = self.shard(key);
+        let h = *self.inner.shards[shard].lock().get(key)?;
+        // SAFETY of lifetime: the guard pins the world.
+        unsafe { std::mem::transmute::<Option<&V>, Option<&'g V>>(self.arena.get(h)) }
+    }
+
+    /// Enumerates every value.
+    pub fn for_each(&self, _guard: &HeapGuard<'_>, mut f: impl FnMut(&V)) -> u64 {
+        let mut n = 0;
+        for shard in &self.inner.shards {
+            for &h in shard.lock().values() {
+                if let Some(v) = self.arena.get(h) {
+                    f(v);
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Removes every entry whose value satisfies `pred`; returns the count.
+    pub fn remove_where(&self, _guard: &HeapGuard<'_>, mut pred: impl FnMut(&V) -> bool) -> usize {
+        let mut removed = 0;
+        for shard in &self.inner.shards {
+            let mut map = shard.lock();
+            let before = map.len();
+            map.retain(|_, h| match self.arena.get(*h) {
+                Some(v) => !pred(v),
+                None => false,
+            });
+            removed += before - map.len();
+        }
+        removed
+    }
+
+    /// Entries across all shards.
+    pub fn len(&self) -> usize {
+        self.inner.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The arena holding this dictionary's objects.
+    pub fn arena(&self) -> &Arc<Arena<V>> {
+        &self.arena
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::HeapConfig;
+
+    fn heap() -> Arc<ManagedHeap> {
+        ManagedHeap::new(HeapConfig { nursery_budget: 2000, ..HeapConfig::default() })
+    }
+
+    #[test]
+    fn list_add_get_remove() {
+        let heap = heap();
+        let list: GcList<u64> = GcList::new(&heap);
+        let h = list.add(5);
+        {
+            let g = heap.enter();
+            assert_eq!(list.get(h, &g), Some(&5));
+        }
+        assert!(list.remove(h));
+        assert!(!list.remove(h));
+        assert_eq!(list.len(), 0);
+        // After collection the object is gone from the arena too.
+        heap.collect_full();
+        let g = heap.enter();
+        assert_eq!(list.get(h, &g), None);
+    }
+
+    #[test]
+    fn list_survives_gc_while_rooted() {
+        let heap = heap();
+        let list: GcList<u64> = GcList::new(&heap);
+        for i in 0..10_000 {
+            list.add(i);
+        }
+        // Many collections ran (budget 2000); everything stays reachable.
+        assert!(heap.collections() > 0);
+        let g = heap.enter();
+        let mut sum = 0u64;
+        list.for_each(&g, |v| sum += v);
+        assert_eq!(sum, (0..10_000).sum());
+    }
+
+    #[test]
+    fn list_remove_where_matches_predicate() {
+        let heap = heap();
+        let list: GcList<u64> = GcList::new(&heap);
+        for i in 0..100 {
+            list.add(i);
+        }
+        let g = heap.enter();
+        let removed = list.remove_where(&g, |v| v % 10 == 0);
+        assert_eq!(removed, 10);
+        assert_eq!(list.len(), 90);
+    }
+
+    #[test]
+    fn bag_concurrent_adds() {
+        let heap = heap();
+        let bag: GcConcurrentBag<u64> = GcConcurrentBag::new(&heap);
+        let mut joins = Vec::new();
+        for t in 0..4u64 {
+            let bag = bag.clone();
+            joins.push(std::thread::spawn(move || {
+                for i in 0..5000 {
+                    bag.add(t * 10_000 + i);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(bag.len(), 20_000);
+        let g = heap.enter();
+        let mut n = 0;
+        bag.for_each(&g, |_| n += 1);
+        assert_eq!(n, 20_000);
+    }
+
+    #[test]
+    fn dictionary_keyed_operations() {
+        let heap = heap();
+        let dict: GcConcurrentDictionary<u64, u64> = GcConcurrentDictionary::new(&heap);
+        for i in 0..1000 {
+            dict.insert(i, i * 2);
+        }
+        {
+            let g = heap.enter();
+            assert_eq!(dict.get(&500, &g), Some(&1000));
+        }
+        assert!(dict.remove(&500));
+        assert!(!dict.remove(&500));
+        assert_eq!(dict.len(), 999);
+        heap.collect_full();
+        let g = heap.enter();
+        assert_eq!(dict.get(&500, &g), None);
+        assert_eq!(dict.get(&501, &g), Some(&1002));
+    }
+
+    #[test]
+    fn dictionary_remove_where() {
+        let heap = heap();
+        let dict: GcConcurrentDictionary<u64, u64> = GcConcurrentDictionary::new(&heap);
+        for i in 0..200 {
+            dict.insert(i, i);
+        }
+        let g = heap.enter();
+        let removed = dict.remove_where(&g, |v| *v < 50);
+        assert_eq!(removed, 50);
+        assert_eq!(dict.len(), 150);
+    }
+
+    #[test]
+    fn dropped_collection_unroots_its_objects() {
+        let heap = heap();
+        let arena = heap.arena::<u64>();
+        {
+            let list: GcList<u64> = GcList::new(&heap);
+            for i in 0..500 {
+                list.add(i);
+            }
+            heap.collect_full();
+            assert_eq!(arena.live(), 500);
+        }
+        // List dropped: weak root dies, objects become garbage.
+        heap.collect_full();
+        assert_eq!(arena.live(), 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Pause accounting for the simulated collector.
+//!
+//! Fig 9 measures the longest mutator stall caused by garbage collection as
+//! the live heap grows. The collector records every stop-the-world interval
+//! here; benchmarks additionally measure stalls from the mutator side with
+//! a sleeper thread, exactly as the paper does.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Aggregated collector pause statistics.
+#[derive(Debug, Default)]
+pub struct PauseStats {
+    count: AtomicU64,
+    total_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+    minor_collections: AtomicU64,
+    major_collections: AtomicU64,
+    objects_traced: AtomicU64,
+    objects_swept: AtomicU64,
+}
+
+impl PauseStats {
+    /// Fresh, zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one stop-the-world interval.
+    pub fn record(&self, pause: Duration) {
+        let nanos = pause.as_nanos() as u64;
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Records a completed collection cycle.
+    pub fn record_cycle(&self, major: bool, traced: u64, swept: u64) {
+        if major {
+            self.major_collections.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.minor_collections.fetch_add(1, Ordering::Relaxed);
+        }
+        self.objects_traced.fetch_add(traced, Ordering::Relaxed);
+        self.objects_swept.fetch_add(swept, Ordering::Relaxed);
+    }
+
+    /// Snapshot for reporting.
+    pub fn report(&self) -> PauseReport {
+        let count = self.count.load(Ordering::Relaxed);
+        let total = self.total_nanos.load(Ordering::Relaxed);
+        PauseReport {
+            pauses: count,
+            total: Duration::from_nanos(total),
+            max: Duration::from_nanos(self.max_nanos.load(Ordering::Relaxed)),
+            mean: if count == 0 {
+                Duration::ZERO
+            } else {
+                Duration::from_nanos(total / count)
+            },
+            minor_collections: self.minor_collections.load(Ordering::Relaxed),
+            major_collections: self.major_collections.load(Ordering::Relaxed),
+            objects_traced: self.objects_traced.load(Ordering::Relaxed),
+            objects_swept: self.objects_swept.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter (between benchmark phases).
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.total_nanos.store(0, Ordering::Relaxed);
+        self.max_nanos.store(0, Ordering::Relaxed);
+        self.minor_collections.store(0, Ordering::Relaxed);
+        self.major_collections.store(0, Ordering::Relaxed);
+        self.objects_traced.store(0, Ordering::Relaxed);
+        self.objects_swept.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time pause summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PauseReport {
+    /// Number of stop-the-world intervals.
+    pub pauses: u64,
+    /// Sum of all pause durations.
+    pub total: Duration,
+    /// Longest single pause.
+    pub max: Duration,
+    /// Mean pause duration.
+    pub mean: Duration,
+    /// Minor (nursery) collections run.
+    pub minor_collections: u64,
+    /// Major (full-heap) collections run.
+    pub major_collections: u64,
+    /// Objects traced across all cycles.
+    pub objects_traced: u64,
+    /// Objects swept (reclaimed) across all cycles.
+    pub objects_swept: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_reports() {
+        let s = PauseStats::new();
+        s.record(Duration::from_micros(100));
+        s.record(Duration::from_micros(300));
+        s.record_cycle(false, 10, 4);
+        s.record_cycle(true, 50, 20);
+        let r = s.report();
+        assert_eq!(r.pauses, 2);
+        assert_eq!(r.max, Duration::from_micros(300));
+        assert_eq!(r.mean, Duration::from_micros(200));
+        assert_eq!(r.minor_collections, 1);
+        assert_eq!(r.major_collections, 1);
+        assert_eq!(r.objects_traced, 60);
+        assert_eq!(r.objects_swept, 24);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = PauseStats::new();
+        s.record(Duration::from_millis(5));
+        s.reset();
+        let r = s.report();
+        assert_eq!(r.pauses, 0);
+        assert_eq!(r.max, Duration::ZERO);
+    }
+}

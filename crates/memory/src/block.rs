@@ -1,0 +1,532 @@
+//! Typed memory blocks (§3.1–§3.2).
+//!
+//! The memory manager allocates objects from unmanaged memory blocks, where
+//! each block serves objects of exactly one type. Blocks are aligned to
+//! their own size so the block header is recoverable from any interior
+//! pointer with a single mask — this is how per-type information is stored
+//! "only once per block rather than with every object" (§3.1).
+//!
+//! Block layout (§3.2, Figure 1), in address order:
+//!
+//! ```text
+//! +--------------+-----------------+------------------+------------------+
+//! | BlockHeader  | slot directory  | back-pointers    | object store     |
+//! |              | capacity x u32  | capacity x usize | capacity x slot  |
+//! +--------------+-----------------+------------------+------------------+
+//! ```
+//!
+//! * The **slot directory** holds each slot's `Free`/`Valid`/`Limbo` state
+//!   and removal epoch ([`crate::slot`]). Placing it right after the header
+//!   keeps enumeration's skip-dead-slots scan within a dense prefix.
+//! * **Back-pointers** store, per slot, the address of the slot's
+//!   indirection-table entry; queries use them to materialize references to
+//!   qualifying objects and compaction uses them to find the entry to
+//!   repoint (§3.2).
+//! * The **object store** holds one fixed-size *slot* per object: a 4-byte
+//!   incarnation word (the object header of §6's refined layout, see
+//!   [`crate::incarnation`]) followed by the object's bytes, padded to the
+//!   object type's alignment.
+//!
+//! Row-wise layouts use a constant slot stride; columnar layouts (§4.1)
+//! reinterpret the object store as parallel column arrays — the block only
+//! records the store's bounds, and the collection owns the column geometry.
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+use crate::error::MemError;
+use crate::incarnation::IncWord;
+use crate::reloc::RelocationList;
+use crate::slot::{SlotId, SlotWord};
+
+/// Size of every memory block in bytes. 64 KiB holds a few hundred TPC-H
+/// lineitem-sized objects, matching the paper's "blocks host ~100 objects"
+/// working example (§3.5) at realistic row widths.
+pub const BLOCK_SIZE: usize = 1 << 16;
+/// Blocks are aligned to their size so headers are mask-recoverable.
+pub const BLOCK_ALIGN: usize = BLOCK_SIZE;
+
+const MAGIC: u32 = 0x534d_4342; // "SMCB"
+
+/// Geometry of a block for one object type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockLayout {
+    /// Number of object slots per block.
+    pub capacity: u32,
+    /// Byte offset of the slot directory from the block base.
+    pub slotdir_offset: u32,
+    /// Byte offset of the back-pointer array from the block base.
+    pub backptr_offset: u32,
+    /// Byte offset of the object store from the block base.
+    pub store_offset: u32,
+    /// Bytes consumed by the whole object store.
+    pub store_len: u32,
+    /// Distance between consecutive slots (0 for columnar stores, whose
+    /// geometry the collection owns).
+    pub slot_stride: u32,
+    /// Offset of object data within a slot, past the incarnation word
+    /// (row layouts only).
+    pub obj_offset: u32,
+}
+
+const fn align_up(x: usize, align: usize) -> usize {
+    (x + align - 1) & !(align - 1)
+}
+
+impl BlockLayout {
+    /// Layout for a row-wise store of objects of the given size/alignment.
+    pub fn rows(obj_size: usize, obj_align: usize) -> Result<BlockLayout, MemError> {
+        assert!(obj_align.is_power_of_two());
+        let align = obj_align.max(4);
+        let obj_offset = align_up(4, obj_align.max(1)); // inc word, then data
+        let stride = align_up(obj_offset + obj_size.max(1), align);
+        Self::build(stride, align, obj_offset as u32)
+    }
+
+    /// Layout for [`rows`](Self::rows) of a concrete type.
+    pub fn rows_of<T>() -> Result<BlockLayout, MemError> {
+        Self::rows(std::mem::size_of::<T>(), std::mem::align_of::<T>())
+    }
+
+    /// Layout for a columnar store that needs `bytes_per_slot` bytes of
+    /// store space per object (including the 4-byte incarnation column).
+    /// The collection computes the per-column offsets itself.
+    pub fn columnar(bytes_per_slot: usize, store_align: usize) -> Result<BlockLayout, MemError> {
+        let mut layout = Self::build(bytes_per_slot.max(1), store_align.max(16), 0)?;
+        layout.slot_stride = 0;
+        Ok(layout)
+    }
+
+    fn build(per_slot: usize, store_align: usize, obj_offset: u32) -> Result<BlockLayout, MemError> {
+        let header = align_up(std::mem::size_of::<BlockHeader>(), 64);
+        // Each slot costs: store bytes + 4 (slot directory) + 8 (back-pointer).
+        let budget = BLOCK_SIZE - header;
+        let mut cap = budget / (per_slot + 4 + std::mem::size_of::<usize>());
+        loop {
+            if cap == 0 {
+                return Err(MemError::ObjectTooLarge {
+                    size: per_slot,
+                    max: budget.saturating_sub(4 + std::mem::size_of::<usize>() + store_align),
+                });
+            }
+            let slotdir_offset = header;
+            let backptr_offset = align_up(slotdir_offset + cap * 4, std::mem::align_of::<usize>());
+            let store_offset =
+                align_up(backptr_offset + cap * std::mem::size_of::<usize>(), store_align);
+            let store_len = cap * per_slot;
+            if store_offset + store_len <= BLOCK_SIZE {
+                return Ok(BlockLayout {
+                    capacity: cap as u32,
+                    slotdir_offset: slotdir_offset as u32,
+                    backptr_offset: backptr_offset as u32,
+                    store_offset: store_offset as u32,
+                    store_len: store_len as u32,
+                    slot_stride: per_slot as u32,
+                    obj_offset,
+                });
+            }
+            cap -= 1;
+        }
+    }
+}
+
+/// The header at the base of every block.
+///
+/// `repr(C)` plain data plus atomics; lives inside the raw allocation.
+#[derive(Debug)]
+#[repr(C)]
+pub struct BlockHeader {
+    magic: u32,
+    /// Identity of the hosted object type; checked when blocks change hands.
+    pub type_id: u64,
+    /// Identity of the owning memory context (collection).
+    pub context_id: u64,
+    /// Globally unique block number.
+    pub block_id: u64,
+    /// Geometry (copied from [`BlockLayout`]).
+    pub capacity: u32,
+    slot_stride: u32,
+    obj_offset: u32,
+    slotdir_offset: u32,
+    backptr_offset: u32,
+    store_offset: u32,
+    /// Live objects in this block.
+    pub valid_count: AtomicU32,
+    /// Limbo (freed, unreclaimed) slots in this block.
+    pub limbo_count: AtomicU32,
+    /// Allocation scan cursor (§3.5: scans resume "from the slot of the last
+    /// allocation").
+    pub alloc_cursor: AtomicU32,
+    /// 1 while the block sits in its context's reclamation queue.
+    pub in_reclaim_queue: AtomicU32,
+    /// Thread-slot index + 1 of the thread currently allocating from this
+    /// block, or 0 (§3.5: "All allocations are performed from thread-local
+    /// blocks so that only one thread allocates slots in a block at a time").
+    pub active_owner: AtomicU32,
+    /// 1 while the block is scheduled for (or undergoing) compaction.
+    pub compacting: AtomicU32,
+    /// Relocation list for the in-flight compaction, if any (§5.1: "This
+    /// list is accessible through the block's header").
+    pub reloc_list: AtomicPtr<RelocationList>,
+    /// Pre-relocation read pins taken by queries processing this block's
+    /// compaction group (§5.2's query counter).
+    pub query_counter: AtomicU32,
+}
+
+static NEXT_BLOCK_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A copyable handle to a block. The context owns the allocation; handles
+/// are valid until the context deallocates the block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockRef(NonNull<BlockHeader>);
+
+unsafe impl Send for BlockRef {}
+unsafe impl Sync for BlockRef {}
+
+impl BlockRef {
+    /// Allocates and initializes a zeroed, aligned block.
+    pub fn allocate(layout: &BlockLayout, type_id: u64, context_id: u64) -> Result<BlockRef, MemError> {
+        let alloc_layout = Layout::from_size_align(BLOCK_SIZE, BLOCK_ALIGN).expect("static layout");
+        // Zeroed: slot directory all-Free, incarnation words all 0.
+        let base = unsafe { alloc_zeroed(alloc_layout) };
+        let Some(base) = NonNull::new(base) else {
+            handle_alloc_error(alloc_layout);
+        };
+        let header = base.cast::<BlockHeader>();
+        unsafe {
+            header.as_ptr().write(BlockHeader {
+                magic: MAGIC,
+                type_id,
+                context_id,
+                block_id: NEXT_BLOCK_ID.fetch_add(1, Ordering::Relaxed),
+                capacity: layout.capacity,
+                slot_stride: layout.slot_stride,
+                obj_offset: layout.obj_offset,
+                slotdir_offset: layout.slotdir_offset,
+                backptr_offset: layout.backptr_offset,
+                store_offset: layout.store_offset,
+                valid_count: AtomicU32::new(0),
+                limbo_count: AtomicU32::new(0),
+                alloc_cursor: AtomicU32::new(0),
+                in_reclaim_queue: AtomicU32::new(0),
+                active_owner: AtomicU32::new(0),
+                compacting: AtomicU32::new(0),
+                reloc_list: AtomicPtr::new(std::ptr::null_mut()),
+                query_counter: AtomicU32::new(0),
+            });
+        }
+        Ok(BlockRef(header))
+    }
+
+    /// Frees the block's memory. The caller must guarantee quiescence: no
+    /// thread can still hold pointers into the block (epoch barrier).
+    ///
+    /// # Safety
+    /// No live references into the block may exist, and the handle must not
+    /// be used afterwards.
+    pub unsafe fn deallocate(self) {
+        // Drop any leftover relocation list.
+        let rl = self.header().reloc_list.swap(std::ptr::null_mut(), Ordering::AcqRel);
+        if !rl.is_null() {
+            drop(Box::from_raw(rl));
+        }
+        let alloc_layout = Layout::from_size_align(BLOCK_SIZE, BLOCK_ALIGN).expect("static layout");
+        dealloc(self.0.as_ptr().cast(), alloc_layout);
+    }
+
+    /// The header.
+    #[inline]
+    pub fn header(&self) -> &BlockHeader {
+        unsafe { self.0.as_ref() }
+    }
+
+    /// Base address of the block.
+    #[inline]
+    pub fn base(&self) -> *mut u8 {
+        self.0.as_ptr().cast()
+    }
+
+    /// Recovers the block handle from any pointer into the block — the §3.1
+    /// mask trick enabled by size-alignment.
+    ///
+    /// # Safety
+    /// `ptr` must point into a live block allocated by [`allocate`](Self::allocate).
+    #[inline]
+    pub unsafe fn from_interior_ptr(ptr: *const u8) -> BlockRef {
+        let base = (ptr as usize) & !(BLOCK_SIZE - 1);
+        let header = base as *mut BlockHeader;
+        debug_assert_eq!((*header).magic, MAGIC, "interior pointer outside any block");
+        BlockRef(NonNull::new_unchecked(header))
+    }
+
+    /// The slot directory word of `slot`.
+    #[inline]
+    pub fn slot_word(&self, slot: SlotId) -> &SlotWord {
+        let h = self.header();
+        debug_assert!(slot < h.capacity);
+        unsafe {
+            &*self
+                .base()
+                .add(h.slotdir_offset as usize + slot as usize * 4)
+                .cast::<SlotWord>()
+        }
+    }
+
+    /// The back-pointer cell of `slot` (address of its indirection entry).
+    #[inline]
+    pub fn back_ptr(&self, slot: SlotId) -> &AtomicUsize {
+        let h = self.header();
+        debug_assert!(slot < h.capacity);
+        unsafe {
+            &*self
+                .base()
+                .add(h.backptr_offset as usize + slot as usize * std::mem::size_of::<usize>())
+                .cast::<AtomicUsize>()
+        }
+    }
+
+    /// Start address of `slot` within the object store (row layouts).
+    #[inline]
+    pub fn slot_base(&self, slot: SlotId) -> *mut u8 {
+        let h = self.header();
+        debug_assert!(slot < h.capacity);
+        debug_assert!(h.slot_stride > 0, "row accessor on columnar block");
+        unsafe {
+            self.base()
+                .add(h.store_offset as usize + slot as usize * h.slot_stride as usize)
+        }
+    }
+
+    /// The slot-header incarnation word of `slot` (row layouts).
+    #[inline]
+    pub fn slot_inc(&self, slot: SlotId) -> &IncWord {
+        unsafe { &*self.slot_base(slot).cast::<IncWord>() }
+    }
+
+    /// Address of the object data in `slot` (row layouts).
+    #[inline]
+    pub fn obj_ptr(&self, slot: SlotId) -> *mut u8 {
+        unsafe { self.slot_base(slot).add(self.header().obj_offset as usize) }
+    }
+
+    /// Maps an object-data pointer back to its slot id (row layouts).
+    ///
+    /// # Safety
+    /// `ptr` must have been produced by [`obj_ptr`](Self::obj_ptr) on this block.
+    #[inline]
+    pub unsafe fn slot_of_obj_ptr(&self, ptr: *const u8) -> SlotId {
+        let h = self.header();
+        let rel = ptr as usize - self.base() as usize - h.store_offset as usize;
+        (rel / h.slot_stride as usize) as SlotId
+    }
+
+    /// Base address of the object store (columnar layouts address into this).
+    #[inline]
+    pub fn store_base(&self) -> *mut u8 {
+        unsafe { self.base().add(self.header().store_offset as usize) }
+    }
+
+    /// True if this block hosts a columnar store (§4.1).
+    #[inline]
+    pub fn is_columnar(&self) -> bool {
+        self.header().slot_stride == 0
+    }
+
+    /// Maps an indirection-entry payload (object-data address for rows,
+    /// incarnation-cell address for columnar stores) back to its slot id.
+    ///
+    /// # Safety
+    /// `payload` must address into this block's object store.
+    #[inline]
+    pub unsafe fn slot_of_payload(&self, payload: usize) -> SlotId {
+        if self.is_columnar() {
+            ((payload - self.store_base() as usize) / 4) as SlotId
+        } else {
+            self.slot_of_obj_ptr(payload as *const u8)
+        }
+    }
+
+    /// The slot-header incarnation word of `slot`, regardless of layout
+    /// (columnar stores keep incarnations in the leading column).
+    #[inline]
+    pub fn payload_inc(&self, slot: SlotId) -> &IncWord {
+        if self.is_columnar() {
+            unsafe { &*self.store_base().add(slot as usize * 4).cast::<IncWord>() }
+        } else {
+            self.slot_inc(slot)
+        }
+    }
+
+    /// Fraction of slots holding live objects.
+    pub fn occupancy(&self) -> f64 {
+        let h = self.header();
+        h.valid_count.load(Ordering::Relaxed) as f64 / h.capacity as f64
+    }
+
+    /// Fraction of slots in limbo.
+    pub fn limbo_fraction(&self) -> f64 {
+        let h = self.header();
+        h.limbo_count.load(Ordering::Relaxed) as f64 / h.capacity as f64
+    }
+
+    /// Wipes the block back to the all-free state for reuse. Caller must
+    /// guarantee quiescence and exclusivity.
+    ///
+    /// # Safety
+    /// No concurrent access to the block.
+    pub unsafe fn wipe(&self) {
+        let h = self.header();
+        for slot in 0..h.capacity {
+            self.slot_word(slot).reset();
+            self.back_ptr(slot).store(0, Ordering::Relaxed);
+            if h.slot_stride > 0 {
+                // Preserve incarnation words across wipes so stale direct
+                // pointers to a recycled block still fail their check.
+                let inc = self.slot_inc(slot);
+                let cur = inc.load(Ordering::Relaxed);
+                inc.store(cur & crate::incarnation::INC_MASK, Ordering::Relaxed);
+            }
+        }
+        h.valid_count.store(0, Ordering::Relaxed);
+        h.limbo_count.store(0, Ordering::Relaxed);
+        h.alloc_cursor.store(0, Ordering::Relaxed);
+        h.in_reclaim_queue.store(0, Ordering::Relaxed);
+        h.active_owner.store(0, Ordering::Relaxed);
+        h.compacting.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Returns a stable 64-bit identity for a Rust type, stored in block headers
+/// to enforce the "one type per block" rule.
+pub fn type_id_of<T: 'static>() -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    std::any::TypeId::of::<T>().hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slot::SlotState;
+
+    #[test]
+    fn layout_fits_within_block() {
+        for (size, align) in [(1, 1), (8, 8), (56, 8), (144, 16), (1024, 16), (4096, 64)] {
+            let l = BlockLayout::rows(size, align).unwrap();
+            assert!(l.capacity > 0, "size {size}");
+            let end = l.store_offset as usize + l.store_len as usize;
+            assert!(end <= BLOCK_SIZE, "size {size}: end {end}");
+            assert!(l.slot_stride as usize >= size + 4 || align > 4);
+            assert_eq!(l.store_offset as usize % align.max(4), 0);
+        }
+    }
+
+    #[test]
+    fn oversized_object_is_rejected() {
+        assert!(matches!(
+            BlockLayout::rows(BLOCK_SIZE, 8),
+            Err(MemError::ObjectTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn hundredish_lineitem_objects_per_block() {
+        // A lineitem-like 14-field row is ~150 bytes; the paper's examples
+        // assume blocks hosting on the order of a hundred objects (§3.5).
+        let l = BlockLayout::rows(152, 16).unwrap();
+        assert!(l.capacity >= 100, "capacity {}", l.capacity);
+    }
+
+    #[test]
+    fn allocate_and_access_slots() {
+        let layout = BlockLayout::rows_of::<u64>().unwrap();
+        let b = BlockRef::allocate(&layout, type_id_of::<u64>(), 7).unwrap();
+        assert_eq!(b.header().context_id, 7);
+        assert_eq!(b.header().capacity, layout.capacity);
+        // Zeroed block: all slots free, all incarnations zero.
+        for slot in [0, 1, layout.capacity - 1] {
+            assert_eq!(b.slot_word(slot).state(), SlotState::Free);
+            assert_eq!(b.slot_inc(slot).load(Ordering::Relaxed), 0);
+        }
+        // Write/read an object.
+        unsafe { b.obj_ptr(3).cast::<u64>().write(0xfeed) };
+        assert_eq!(unsafe { b.obj_ptr(3).cast::<u64>().read() }, 0xfeed);
+        // Slot recovery from object pointer.
+        assert_eq!(unsafe { b.slot_of_obj_ptr(b.obj_ptr(3)) }, 3);
+        unsafe { b.deallocate() };
+    }
+
+    #[test]
+    fn header_recovered_from_interior_pointer() {
+        let layout = BlockLayout::rows_of::<[u8; 100]>().unwrap();
+        let b = BlockRef::allocate(&layout, 1, 2).unwrap();
+        let p = b.obj_ptr(layout.capacity - 1);
+        let b2 = unsafe { BlockRef::from_interior_ptr(p) };
+        assert_eq!(b, b2);
+        assert_eq!(b2.header().block_id, b.header().block_id);
+        unsafe { b.deallocate() };
+    }
+
+    #[test]
+    fn block_ids_are_unique() {
+        let layout = BlockLayout::rows_of::<u32>().unwrap();
+        let a = BlockRef::allocate(&layout, 1, 1).unwrap();
+        let b = BlockRef::allocate(&layout, 1, 1).unwrap();
+        assert_ne!(a.header().block_id, b.header().block_id);
+        unsafe {
+            a.deallocate();
+            b.deallocate();
+        }
+    }
+
+    #[test]
+    fn slots_do_not_overlap() {
+        let layout = BlockLayout::rows_of::<[u64; 3]>().unwrap();
+        let b = BlockRef::allocate(&layout, 1, 1).unwrap();
+        let cap = layout.capacity;
+        for slot in 0..cap {
+            unsafe { b.obj_ptr(slot).cast::<[u64; 3]>().write([slot as u64; 3]) };
+            b.slot_inc(slot).store(slot, Ordering::Relaxed);
+        }
+        for slot in 0..cap {
+            assert_eq!(unsafe { b.obj_ptr(slot).cast::<[u64; 3]>().read() }, [slot as u64; 3]);
+            assert_eq!(b.slot_inc(slot).load(Ordering::Relaxed), slot);
+        }
+        unsafe { b.deallocate() };
+    }
+
+    #[test]
+    fn wipe_preserves_incarnations_but_resets_state() {
+        let layout = BlockLayout::rows_of::<u64>().unwrap();
+        let b = BlockRef::allocate(&layout, 1, 1).unwrap();
+        b.slot_word(0).set_valid();
+        b.slot_inc(0).bump();
+        b.header().valid_count.store(1, Ordering::Relaxed);
+        unsafe { b.wipe() };
+        assert_eq!(b.slot_word(0).state(), SlotState::Free);
+        assert_eq!(b.slot_inc(0).incarnation(), 1, "incarnation survives wipe");
+        assert_eq!(b.header().valid_count.load(Ordering::Relaxed), 0);
+        unsafe { b.deallocate() };
+    }
+
+    #[test]
+    fn columnar_layout_has_no_stride() {
+        let l = BlockLayout::columnar(4 + 8 + 16, 16).unwrap();
+        assert_eq!(l.slot_stride, 0);
+        assert!(l.capacity > 0);
+    }
+
+    #[test]
+    fn occupancy_and_limbo_fractions() {
+        let layout = BlockLayout::rows_of::<u64>().unwrap();
+        let b = BlockRef::allocate(&layout, 1, 1).unwrap();
+        let cap = b.header().capacity;
+        b.header().valid_count.store(cap / 2, Ordering::Relaxed);
+        b.header().limbo_count.store(cap / 4, Ordering::Relaxed);
+        assert!((b.occupancy() - 0.5).abs() < 0.01);
+        assert!((b.limbo_fraction() - 0.25).abs() < 0.01);
+        unsafe { b.deallocate() };
+    }
+}

@@ -1,0 +1,1268 @@
+//! Memory contexts (§3.3) — per-collection block groups with allocation,
+//! epoch-safe reclamation (§3.5), and the concurrent compaction driver (§5).
+//!
+//! A [`MemoryContext`] owns the memory blocks of one collection. All objects
+//! allocated through a context land in blocks private to it, which gives the
+//! collection control over object placement: enumeration order equals block
+//! order equals (roughly) insertion order, the spatial-locality property the
+//! paper's query performance rests on (§3.3, §4).
+//!
+//! ## Allocation (§3.5)
+//!
+//! Allocations are performed from *thread-local blocks*: each thread owns at
+//! most one block per context and is the only thread claiming slots in it
+//! (removals from the same block may still happen concurrently). The
+//! allocator scans the slot directory from the previous allocation's cursor
+//! until it finds a `Free` slot or a `Limbo` slot whose removal epoch lies
+//! at least two epochs in the past. Exhausted blocks are abandoned; new
+//! thread blocks come from the *reclamation queue* — blocks whose limbo
+//! fraction crossed the configured threshold — or, if the queue has nothing
+//! ready, from the OS. When queued blocks are not yet reclaimable the
+//! allocator lazily attempts to advance the global epoch, which is where
+//! epoch progress happens in this system (§3.4: "we do not increment the
+//! global epoch ... when exiting critical sections, but in the memory
+//! manager's allocation function").
+//!
+//! ## Compaction (§5)
+//!
+//! [`MemoryContext::compact`] implements the epoch-extended compaction
+//! protocol: a freezing epoch that schedules relocations, a relocation epoch
+//! with waiting and moving phases, reader cooperation via bail-out/help (in
+//! [`crate::reloc`]), compaction groups whose sources are always emptied
+//! into fresh blocks (§5.2), and query counters that let in-flight
+//! enumerations pin a group's pre-relocation state.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::block::{BlockLayout, BlockRef};
+use crate::epoch::Guard;
+use crate::error::MemError;
+use crate::incarnation::{IncWord, FLAG_FROZEN};
+use crate::indirection::EntryRef;
+use crate::reloc::{bail_out_relocation, try_move_object, MoveOutcome, RelocEntry, RelocStatus, RelocationList};
+use crate::runtime::Runtime;
+use crate::slot::{self, SlotId, SlotState};
+use crate::stats::MemoryStats;
+
+/// Tunables of a context.
+#[derive(Debug, Clone, Copy)]
+pub struct ContextConfig {
+    /// Fraction of limbo slots above which a block joins the reclamation
+    /// queue. The paper sweeps this in Fig 6 and settles on 5 %.
+    pub reclamation_threshold: f64,
+    /// Occupancy below which a block participates in compaction (§5.2's
+    /// example uses 30 %).
+    pub compaction_occupancy: f64,
+    /// How long the compaction thread waits for epoch transitions or query
+    /// counters before bailing out (§5.2: "bails out of compacting a certain
+    /// group after waiting for a predefined amount of time").
+    pub compaction_patience: Duration,
+}
+
+impl Default for ContextConfig {
+    fn default() -> Self {
+        ContextConfig {
+            reclamation_threshold: 0.05,
+            compaction_occupancy: 0.30,
+            compaction_patience: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Row-wise or columnar object store (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayoutMode {
+    /// Objects stored contiguously per slot.
+    Rows,
+    /// The object store is a bundle of parallel column arrays; the first
+    /// `4 * capacity` bytes hold the per-slot incarnation words and the
+    /// collection owns the remaining column geometry.
+    Columnar,
+}
+
+/// A claimed slot, ready to carry a new object.
+#[derive(Debug, Clone, Copy)]
+pub struct Allocation {
+    /// The object's indirection entry (already pointing at the slot).
+    pub entry: EntryRef,
+    /// Incarnation counter of the entry, to embed in references.
+    pub entry_inc: u32,
+    /// Incarnation counter of the slot, to embed in direct pointers.
+    pub slot_inc: u32,
+    /// Host block.
+    pub block: BlockRef,
+    /// Slot within the block.
+    pub slot: SlotId,
+}
+
+/// One §5.2 compaction group: sources being emptied into a fresh block.
+#[derive(Debug)]
+pub struct CompactionGroup {
+    /// Blocks whose live objects are being moved out.
+    pub sources: Vec<BlockRef>,
+    /// The block receiving them.
+    pub dest: BlockRef,
+    /// Pre-relocation read pins held by queries (§5.2's query counter).
+    pub query_counter: AtomicU32,
+    /// Set (before the final query-counter check) when relocation of this
+    /// group begins; queries that observe it must read the post-state.
+    pub started: AtomicBool,
+    /// Set once the compaction pass that created this group has finished
+    /// (successfully or not) and the group has been disbanded.
+    pub settled: AtomicBool,
+}
+
+impl CompactionGroup {
+    /// Attempts to pin the group's pre-relocation state for reading.
+    /// Returns false if relocation of this group already started — the
+    /// caller must use the post-state (help-then-read-dest) path instead
+    /// (§5.2). The counter-increment-then-flag-check here pairs with the
+    /// flag-set-then-counter-wait in [`MemoryContext::compact`]'s mover:
+    /// either the mover sees our pin and waits, or we see its start flag.
+    pub fn try_pin_pre_state(&self, _runtime: &Runtime) -> bool {
+        self.query_counter.fetch_add(1, Ordering::SeqCst);
+        if self.started.load(Ordering::SeqCst) {
+            self.query_counter.fetch_sub(1, Ordering::SeqCst);
+            false
+        } else {
+            true
+        }
+    }
+
+    /// True once relocation of this group has begun (or finished).
+    pub fn relocation_started(&self) -> bool {
+        self.started.load(Ordering::SeqCst)
+    }
+
+    /// Waits until no query holds the group's pre-relocation state pinned.
+    /// Required before *any* thread — the compaction thread or a helping
+    /// query — relocates objects of this group: the §5.2 counter "prevents
+    /// other threads from compacting the group until the query decremented
+    /// the counter again", and helping is compacting.
+    pub fn wait_pre_readers(&self) {
+        while self.query_counter.load(Ordering::SeqCst) != 0 {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Releases a pre-state pin.
+    pub fn unpin_pre_state(&self) {
+        self.query_counter.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Helps relocate every pending object of the group (§5.1 case c /
+    /// §5.2: "the query first helps performing the relocation of the
+    /// compaction group and then uses the compacted memory block").
+    ///
+    /// Blocks until pre-state readers have drained: moving objects while a
+    /// query reads the group's pre-relocation state would make that query
+    /// miss them.
+    pub fn help_relocate(&self, stats: &MemoryStats) {
+        self.wait_pre_readers();
+        for &src in &self.sources {
+            let list = src.header().reloc_list.load(Ordering::Acquire);
+            if list.is_null() {
+                continue;
+            }
+            let list = unsafe { &*list };
+            for entry in &list.entries {
+                if entry.status() == RelocStatus::Pending {
+                    let outcome = unsafe { try_move_object(src, entry) };
+                    if outcome == MoveOutcome::MovedByUs {
+                        MemoryStats::inc(&stats.objects_relocated);
+                        MemoryStats::inc(&stats.relocations_helped);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Result summary of one compaction pass.
+#[derive(Debug, Default)]
+pub struct CompactionReport {
+    /// Groups formed.
+    pub groups: usize,
+    /// Objects moved to new blocks.
+    pub moved: usize,
+    /// Relocations bailed out by readers (will be retried by a later pass).
+    pub bailed: usize,
+    /// Source blocks fully emptied and retired, by base address. Used by the
+    /// direct-pointer fix-up scan (§6) to identify stale pointers cheaply.
+    pub retired_bases: Vec<usize>,
+    /// The pass was aborted (e.g. a reader held a critical section longer
+    /// than the configured patience); the context is unchanged.
+    pub aborted: bool,
+}
+
+/// Atomic view of which blocks and groups an enumeration must visit.
+#[derive(Debug, Default, Clone)]
+pub struct Membership {
+    /// Regular blocks, in collection order.
+    pub blocks: Vec<BlockRef>,
+    /// In-flight compaction groups.
+    pub groups: Vec<Arc<CompactionGroup>>,
+}
+
+/// A per-collection group of typed memory blocks.
+#[derive(Debug)]
+pub struct MemoryContext {
+    runtime: Arc<Runtime>,
+    id: u64,
+    type_id: u64,
+    layout: BlockLayout,
+    mode: LayoutMode,
+    /// Bytes copied when relocating one object (row layouts).
+    obj_size: u32,
+    config: ContextConfig,
+    membership: RwLock<Membership>,
+    /// Current allocation block per thread slot (block header address).
+    thread_blocks: Box<[AtomicUsize]>,
+    /// Blocks with enough limbo slots to be worth reusing, with the epoch at
+    /// which they become reclaimable.
+    reclaim_queue: Mutex<VecDeque<(BlockRef, u64)>>,
+    /// Fully-emptied compaction sources awaiting direct-pointer fix-up and
+    /// burial (released by [`release_retired`](Self::release_retired)).
+    pending_retired: Mutex<Vec<BlockRef>>,
+}
+
+impl MemoryContext {
+    /// Creates a row-layout context for objects of the given size/alignment.
+    pub fn new_rows(
+        runtime: Arc<Runtime>,
+        obj_size: usize,
+        obj_align: usize,
+        type_id: u64,
+        config: ContextConfig,
+    ) -> Result<MemoryContext, MemError> {
+        let layout = BlockLayout::rows(obj_size, obj_align)?;
+        Ok(Self::with_layout(runtime, layout, LayoutMode::Rows, obj_size as u32, type_id, config))
+    }
+
+    /// Creates a columnar context; `store_bytes_per_slot` must include the
+    /// 4-byte incarnation column.
+    pub fn new_columnar(
+        runtime: Arc<Runtime>,
+        store_bytes_per_slot: usize,
+        type_id: u64,
+        config: ContextConfig,
+    ) -> Result<MemoryContext, MemError> {
+        let layout = BlockLayout::columnar(store_bytes_per_slot, 16)?;
+        Ok(Self::with_layout(runtime, layout, LayoutMode::Columnar, 0, type_id, config))
+    }
+
+    fn with_layout(
+        runtime: Arc<Runtime>,
+        layout: BlockLayout,
+        mode: LayoutMode,
+        obj_size: u32,
+        type_id: u64,
+        config: ContextConfig,
+    ) -> MemoryContext {
+        let id = runtime.next_context_id();
+        let thread_blocks =
+            (0..crate::epoch::MAX_THREADS).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>();
+        MemoryContext {
+            runtime,
+            id,
+            type_id,
+            layout,
+            mode,
+            obj_size,
+            config,
+            membership: RwLock::new(Membership::default()),
+            thread_blocks: thread_blocks.into_boxed_slice(),
+            reclaim_queue: Mutex::new(VecDeque::new()),
+            pending_retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The owning runtime.
+    pub fn runtime(&self) -> &Arc<Runtime> {
+        &self.runtime
+    }
+
+    /// This context's identifier.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Block geometry used by this context.
+    pub fn layout(&self) -> &BlockLayout {
+        &self.layout
+    }
+
+    /// Row or columnar store.
+    pub fn mode(&self) -> LayoutMode {
+        self.mode
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &ContextConfig {
+        &self.config
+    }
+
+    /// Atomic snapshot of the blocks and groups an enumeration must visit.
+    pub fn membership_snapshot(&self) -> Membership {
+        self.membership.read().clone()
+    }
+
+    /// Number of blocks currently owned (regular + group sources + dests).
+    pub fn block_count(&self) -> usize {
+        let m = self.membership.read();
+        m.blocks.len() + m.groups.iter().map(|g| g.sources.len() + 1).sum::<usize>()
+    }
+
+    /// Total off-heap bytes owned by this context (excludes retired blocks
+    /// already handed to the graveyard).
+    pub fn bytes(&self) -> usize {
+        self.block_count() * crate::block::BLOCK_SIZE
+    }
+
+    /// The slot-header incarnation word of `slot` in `block`, respecting the
+    /// layout mode (§4.1: columnar stores keep the incarnation column at the
+    /// start of the object store).
+    #[inline]
+    pub fn slot_inc<'b>(&self, block: &'b BlockRef, slot: SlotId) -> &'b IncWord {
+        match self.mode {
+            LayoutMode::Rows => block.slot_inc(slot),
+            LayoutMode::Columnar => unsafe {
+                &*block.store_base().add(slot as usize * 4).cast::<IncWord>()
+            },
+        }
+    }
+
+    /// The payload stored in indirection entries for `slot` of `block`: the
+    /// object data address for rows, the incarnation-cell address for
+    /// columnar stores (equivalent to the paper's packed block/slot locator,
+    /// recoverable by the same block-mask arithmetic).
+    #[inline]
+    pub fn payload_of(&self, block: &BlockRef, slot: SlotId) -> usize {
+        match self.mode {
+            LayoutMode::Rows => block.obj_ptr(slot) as usize,
+            LayoutMode::Columnar => unsafe { block.store_base().add(slot as usize * 4) as usize },
+        }
+    }
+
+    /// Maps an entry payload back to `(block, slot)`.
+    ///
+    /// # Safety
+    /// `payload` must have been produced by [`payload_of`] on a block that is
+    /// still allocated (epoch protection guarantees this for checked refs).
+    #[inline]
+    pub unsafe fn locate(&self, payload: usize) -> (BlockRef, SlotId) {
+        let block = BlockRef::from_interior_ptr(payload as *const u8);
+        let slot = match self.mode {
+            LayoutMode::Rows => block.slot_of_obj_ptr(payload as *const u8),
+            LayoutMode::Columnar => ((payload - block.store_base() as usize) / 4) as SlotId,
+        };
+        (block, slot)
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation and free (§3.5)
+    // ------------------------------------------------------------------
+
+    /// Allocates a slot and wires its indirection entry. `init` runs after
+    /// the slot is claimed but *before* it becomes visible to enumerations,
+    /// so it must fully initialize the object's bytes.
+    pub fn alloc_with(
+        &self,
+        init: impl FnOnce(&BlockRef, SlotId),
+    ) -> Result<Allocation, MemError> {
+        let tid = self.runtime.epochs.thread_index()?;
+        let stats = &self.runtime.stats;
+        loop {
+            let block = match self.current_thread_block(tid) {
+                Some(b) => b,
+                None => self.acquire_block(tid)?,
+            };
+            let header = block.header();
+            let now = self.runtime.global_epoch();
+            let mut cursor = header.alloc_cursor.load(Ordering::Relaxed);
+            let mut scanned = 0u64;
+            let claimed = loop {
+                if cursor >= header.capacity {
+                    break None;
+                }
+                scanned += 1;
+                let word = block.slot_word(cursor).load(Ordering::Acquire);
+                match slot::state_of(word) {
+                    SlotState::Free => break Some(cursor),
+                    SlotState::Limbo if slot::reclaimable(slot::epoch_of(word), now) => {
+                        header.limbo_count.fetch_sub(1, Ordering::Relaxed);
+                        MemoryStats::inc(&stats.slots_reclaimed);
+                        break Some(cursor);
+                    }
+                    _ => cursor += 1,
+                }
+            };
+            MemoryStats::add(&stats.alloc_scan_steps, scanned);
+            match claimed {
+                Some(slot_id) => {
+                    header.alloc_cursor.store(slot_id + 1, Ordering::Relaxed);
+                    return Ok(self.wire_slot(tid, block, slot_id, init));
+                }
+                None => {
+                    // Block exhausted: abandon it and fetch another.
+                    header.alloc_cursor.store(header.capacity, Ordering::Relaxed);
+                    self.abandon_thread_block(tid, block);
+                }
+            }
+        }
+    }
+
+    fn wire_slot(
+        &self,
+        tid: usize,
+        block: BlockRef,
+        slot_id: SlotId,
+        init: impl FnOnce(&BlockRef, SlotId),
+    ) -> Allocation {
+        let stats = &self.runtime.stats;
+        let entry = self.runtime.indirection.allocate(tid);
+        let slot_inc = self.slot_inc(&block, slot_id).incarnation();
+        let entry_inc = entry.get().inc().incarnation();
+        // Initialize object bytes before publishing the slot as Valid.
+        init(&block, slot_id);
+        block.back_ptr(slot_id).store(entry.addr(), Ordering::Release);
+        entry.get().store_payload(self.payload_of(&block, slot_id), Ordering::Release);
+        block.slot_word(slot_id).set_valid();
+        block.header().valid_count.fetch_add(1, Ordering::Relaxed);
+        MemoryStats::inc(&stats.objects_allocated);
+        Allocation { entry, entry_inc, slot_inc, block, slot: slot_id }
+    }
+
+    fn current_thread_block(&self, tid: usize) -> Option<BlockRef> {
+        let addr = self.thread_blocks[tid].load(Ordering::Acquire);
+        if addr == 0 {
+            None
+        } else {
+            Some(unsafe { BlockRef::from_interior_ptr(addr as *const u8) })
+        }
+    }
+
+    fn abandon_thread_block(&self, tid: usize, block: BlockRef) {
+        self.thread_blocks[tid].store(0, Ordering::Release);
+        block.header().active_owner.store(0, Ordering::Release);
+        // A full block may already deserve a spot in the reclamation queue
+        // (its removals were deferred while we owned it).
+        self.maybe_enqueue_for_reclamation(block);
+    }
+
+    fn adopt_thread_block(&self, tid: usize, block: BlockRef) {
+        block.header().active_owner.store(tid as u32 + 1, Ordering::Release);
+        self.thread_blocks[tid].store(block.base() as usize, Ordering::Release);
+    }
+
+    fn acquire_block(&self, tid: usize) -> Result<BlockRef, MemError> {
+        self.runtime.drain_graveyard();
+        self.runtime.indirection.drain_deferred(self.runtime.global_epoch());
+        // Prefer a reclaimable block from the queue (§3.5).
+        {
+            let mut q = self.reclaim_queue.lock();
+            if let Some(&(block, ready_at)) = q.front() {
+                if ready_at <= self.runtime.global_epoch() {
+                    q.pop_front();
+                    block.header().in_reclaim_queue.store(0, Ordering::Release);
+                    block.header().alloc_cursor.store(0, Ordering::Relaxed);
+                    drop(q);
+                    self.adopt_thread_block(tid, block);
+                    return Ok(block);
+                }
+                drop(q);
+                // Blocks are waiting on epochs: lazily advance (§3.5), unless
+                // a compaction holds the advance reservation.
+                if self.runtime.next_relocation_epoch() == 0 {
+                    if self.runtime.epochs.try_advance().is_some() {
+                        MemoryStats::inc(&self.runtime.stats.epoch_advances);
+                    }
+                }
+                let mut q = self.reclaim_queue.lock();
+                if let Some(&(block, ready_at)) = q.front() {
+                    if ready_at <= self.runtime.global_epoch() {
+                        q.pop_front();
+                        block.header().in_reclaim_queue.store(0, Ordering::Release);
+                        block.header().alloc_cursor.store(0, Ordering::Relaxed);
+                        drop(q);
+                        self.adopt_thread_block(tid, block);
+                        return Ok(block);
+                    }
+                }
+            }
+        }
+        // Nothing reclaimable: a fresh block from the OS.
+        let block = BlockRef::allocate(&self.layout, self.type_id, self.id)?;
+        MemoryStats::inc(&self.runtime.stats.blocks_allocated);
+        MemoryStats::inc(&self.runtime.stats.blocks_live);
+        self.adopt_thread_block(tid, block);
+        self.membership.write().blocks.push(block);
+        Ok(block)
+    }
+
+    fn maybe_enqueue_for_reclamation(&self, block: BlockRef) {
+        let header = block.header();
+        if header.active_owner.load(Ordering::Acquire) != 0 {
+            return; // the owning thread will enqueue on abandon
+        }
+        if header.compacting.load(Ordering::Acquire) != 0 {
+            return; // compaction will empty it anyway
+        }
+        let limbo = header.limbo_count.load(Ordering::Relaxed) as f64;
+        if limbo / header.capacity as f64 <= self.config.reclamation_threshold {
+            return;
+        }
+        if header
+            .in_reclaim_queue
+            .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            let ready_at = self.runtime.global_epoch() + 2;
+            self.reclaim_queue.lock().push_back((block, ready_at));
+        }
+    }
+
+    /// Frees the object behind `entry` if its entry incarnation still equals
+    /// `expected_entry_inc`. Returns false when the object was already
+    /// removed (remove is idempotent per reference, §2).
+    pub fn free(&self, entry: EntryRef, expected_entry_inc: u32) -> bool {
+        let tid = self.runtime.epochs.thread_index().expect("thread registry full");
+        // Winning this CAS is what makes us *the* remover.
+        if entry.get().inc().try_bump_from(expected_entry_inc).is_none() {
+            return false;
+        }
+        let payload = entry.get().load_payload(Ordering::Acquire);
+        debug_assert_ne!(payload, 0, "live entry without payload");
+        let (block, slot_id) = unsafe { self.locate(payload) };
+        // Invalidate direct pointers.
+        self.slot_inc(&block, slot_id).bump_unlocked();
+        let epoch = self.runtime.global_epoch();
+        block.slot_word(slot_id).set_limbo(epoch);
+        block.header().valid_count.fetch_sub(1, Ordering::Relaxed);
+        block.header().limbo_count.fetch_add(1, Ordering::Relaxed);
+        MemoryStats::inc(&self.runtime.stats.objects_freed);
+        self.maybe_enqueue_for_reclamation(block);
+        // Entry reuse is deferred two epochs: a direct pointer chasing a
+        // forwarding tombstone (§6) may still read this entry until every
+        // critical section that could hold such a pointer has ended.
+        let _ = tid;
+        self.runtime.indirection.release_at(entry, epoch + 2);
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Compaction (§5)
+    // ------------------------------------------------------------------
+
+    /// Runs one compaction pass over this context, emptying every block with
+    /// occupancy below `config.compaction_occupancy` into fresh blocks.
+    ///
+    /// Must not be called while the calling thread holds a [`Guard`]; the
+    /// pass pins its own critical section and drives the global epoch.
+    pub fn compact(&self) -> CompactionReport {
+        let _exclusive = self.runtime.compaction_mutex.lock();
+        let mut report = CompactionReport::default();
+
+        // Select candidate source blocks. They stay in the regular
+        // membership until their groups are registered — the swap below is
+        // atomic under one write lock, so no enumeration snapshot can catch
+        // a block in neither list.
+        let candidates: Vec<BlockRef> = {
+            let m = self.membership.read();
+            // Hold the reclamation queue lock across selection so a block
+            // cannot be handed to an allocator while we pull it out.
+            let mut q = self.reclaim_queue.lock();
+            m.blocks
+                .iter()
+                .filter(|b| {
+                    let h = b.header();
+                    let eligible = b.occupancy() < self.config.compaction_occupancy
+                        && h.active_owner.load(Ordering::Acquire) == 0
+                        && h.compacting
+                            .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire)
+                            .is_ok();
+                    if eligible && h.in_reclaim_queue.load(Ordering::Acquire) == 1 {
+                        // Compaction supersedes slot-level reclamation: the
+                        // block is about to be emptied wholesale.
+                        q.retain(|(qb, _)| qb != *b);
+                        h.in_reclaim_queue.store(0, Ordering::Release);
+                    }
+                    eligible
+                })
+                .copied()
+                .collect()
+        };
+        if candidates.is_empty() {
+            return report;
+        }
+
+        let tid = match self.runtime.epochs.thread_index() {
+            Ok(t) => t,
+            Err(_) => return report,
+        };
+        let guard = self.runtime.pin();
+        if !self.runtime.epochs.reserve_advance(tid) {
+            drop(guard);
+            self.requeue_candidates(candidates);
+            return report;
+        }
+        let e = guard.epoch();
+
+        // --- Freezing epoch: advance to e + 1, announce relocation at e + 2.
+        if !self.advance_to(e + 1, tid) {
+            self.runtime.epochs.release_advance(tid);
+            drop(guard);
+            self.requeue_candidates(candidates);
+            report.aborted = true;
+            return report;
+        }
+        self.runtime.set_relocation_epoch(e + 2);
+
+        // Build compaction groups and relocation lists (freeze objects).
+        let groups = self.build_groups(candidates);
+        if groups.is_empty() {
+            self.runtime.set_relocation_epoch(0);
+            self.runtime.epochs.release_advance(tid);
+            drop(guard);
+            return report;
+        }
+        // Atomic membership swap: grouped sources leave the block list and
+        // appear in the group list in one step.
+        {
+            let grouped: std::collections::HashSet<BlockRef> =
+                groups.iter().flat_map(|g| g.sources.iter().copied()).collect();
+            let mut m = self.membership.write();
+            m.blocks.retain(|b| !grouped.contains(b));
+            m.groups.extend(groups.iter().cloned());
+        }
+
+        // --- Relocation epoch: advance to e + 2.
+        let entered_relocation = self.advance_to(e + 2, tid);
+        if entered_relocation {
+            // Waiting phase: wait for every other in-critical thread to reach
+            // the relocation epoch, then open the moving phase.
+            let ready = self.wait_all_at(e + 2, tid);
+            if ready {
+                self.runtime.set_moving_phase(true);
+                for group in &groups {
+                    self.move_group(group, &mut report);
+                }
+                self.runtime.set_moving_phase(false);
+            }
+        }
+
+        // --- Close: advance to e + 3 and clear relocation state.
+        let _ = self.advance_to(e + 3, tid);
+        self.runtime.set_relocation_epoch(0);
+        self.runtime.epochs.release_advance(tid);
+        drop(guard);
+
+        // Bail out anything still pending (aborted passes, timed-out groups).
+        for group in &groups {
+            for &src in &group.sources {
+                let list = src.header().reloc_list.load(Ordering::Acquire);
+                if list.is_null() {
+                    continue;
+                }
+                let list = unsafe { &*list };
+                for entry in &list.entries {
+                    if entry.status() == RelocStatus::Pending {
+                        unsafe { bail_out_relocation(src, entry) };
+                        report.bailed += 1;
+                        MemoryStats::inc(&self.runtime.stats.relocations_bailed);
+                    }
+                }
+            }
+        }
+
+        self.publish_groups(&groups, &mut report);
+        MemoryStats::inc(&self.runtime.stats.compactions);
+        report.groups = groups.len();
+        report
+    }
+
+    /// Releases candidate blocks that will not be compacted this pass.
+    /// They never left the membership, so only the flag is cleared.
+    fn requeue_candidates(&self, candidates: Vec<BlockRef>) {
+        for b in candidates {
+            b.header().compacting.store(0, Ordering::Release);
+        }
+    }
+
+    /// Greedily packs candidate blocks into groups whose live objects fit a
+    /// single fresh destination block, freezing every scheduled object.
+    fn build_groups(&self, candidates: Vec<BlockRef>) -> Vec<Arc<CompactionGroup>> {
+        let capacity = self.layout.capacity;
+        let mut groups = Vec::new();
+        let mut current: Vec<BlockRef> = Vec::new();
+        let mut current_live = 0u32;
+        let mut leftovers: Vec<BlockRef> = Vec::new();
+
+        let flush =
+            |sources: &mut Vec<BlockRef>, groups: &mut Vec<Arc<CompactionGroup>>, leftovers: &mut Vec<BlockRef>| {
+                if sources.len() < 2 {
+                    // Compacting a single block would only shuffle it; skip.
+                    leftovers.append(sources);
+                    return;
+                }
+                if let Some(group) = self.freeze_group(std::mem::take(sources)) {
+                    groups.push(group);
+                }
+            };
+
+        for block in candidates {
+            let live = block.header().valid_count.load(Ordering::Relaxed);
+            if current_live + live > capacity && !current.is_empty() {
+                flush(&mut current, &mut groups, &mut leftovers);
+                current_live = 0;
+            }
+            current.push(block);
+            current_live += live;
+        }
+        flush(&mut current, &mut groups, &mut leftovers);
+
+        // Blocks that did not fit a group go back to regular membership.
+        if !leftovers.is_empty() {
+            self.requeue_candidates(leftovers);
+        }
+        groups
+    }
+
+    /// Allocates the destination block and freezes every live object of the
+    /// group's sources, building their relocation lists.
+    fn freeze_group(&self, sources: Vec<BlockRef>) -> Option<Arc<CompactionGroup>> {
+        let dest = match BlockRef::allocate(&self.layout, self.type_id, self.id) {
+            Ok(d) => d,
+            Err(_) => {
+                self.requeue_candidates(sources);
+                return None;
+            }
+        };
+        MemoryStats::inc(&self.runtime.stats.blocks_allocated);
+        MemoryStats::inc(&self.runtime.stats.blocks_live);
+        let mut next_dest_slot: SlotId = 0;
+        for &src in &sources {
+            let mut entries = Vec::new();
+            for slot_id in 0..src.header().capacity {
+                if src.slot_word(slot_id).state() != SlotState::Valid {
+                    continue;
+                }
+                let back = src.back_ptr(slot_id).load(Ordering::Acquire);
+                if back == 0 {
+                    continue;
+                }
+                let entry = unsafe { EntryRef::from_addr(back) };
+                let inc = entry.get().inc().incarnation();
+                // Freeze the indirection entry first (authoritative), then
+                // the slot word for direct-pointer readers. A failure means
+                // the object was freed concurrently — skip it.
+                if !entry.get().inc().try_set_flag(inc, FLAG_FROZEN) {
+                    continue;
+                }
+                let slot_word = self.slot_inc(&src, slot_id);
+                let _ = slot_word.try_set_flag(slot_word.incarnation(), FLAG_FROZEN);
+                let dest_slot = next_dest_slot;
+                next_dest_slot += 1;
+                let dest_addr = self.payload_of(&dest, dest_slot);
+                entries.push(RelocEntry::new(slot_id, back, inc, dest_addr, dest_slot));
+            }
+            let list = Box::new(RelocationList::new(self.obj_size, entries));
+            let old = src.header().reloc_list.swap(Box::into_raw(list), Ordering::AcqRel);
+            if !old.is_null() {
+                drop(unsafe { Box::from_raw(old) });
+            }
+        }
+        Some(Arc::new(CompactionGroup {
+            sources,
+            dest,
+            query_counter: AtomicU32::new(0),
+            started: AtomicBool::new(false),
+            settled: AtomicBool::new(false),
+        }))
+    }
+
+    /// Executes the moving phase for one group, honoring pre-state query
+    /// pins (§5.2).
+    fn move_group(&self, group: &CompactionGroup, report: &mut CompactionReport) {
+        // Announce the relocation *before* the final counter check, then
+        // wait for pre-state readers to drain; a reader either pins before
+        // our announcement (we wait for it) or observes the announcement
+        // and takes the post-state path.
+        group.started.store(true, Ordering::SeqCst);
+        let deadline = Instant::now() + self.config.compaction_patience;
+        while group.query_counter.load(Ordering::SeqCst) != 0 {
+            if Instant::now() >= deadline {
+                // §5.2: bail out of compacting this group — a query returned
+                // control to the application while holding the read pin.
+                // `started` stays set: late readers take the post-state
+                // union, which still covers unmoved objects in the sources.
+                return;
+            }
+            std::thread::yield_now();
+        }
+        for &src in &group.sources {
+            let list = src.header().reloc_list.load(Ordering::Acquire);
+            if list.is_null() {
+                continue;
+            }
+            let list = unsafe { &*list };
+            for entry in &list.entries {
+                match unsafe { try_move_object(src, entry) } {
+                    MoveOutcome::MovedByUs => {
+                        report.moved += 1;
+                        MemoryStats::inc(&self.runtime.stats.objects_relocated);
+                    }
+                    MoveOutcome::AlreadyMoved => report.moved += 1,
+                    MoveOutcome::BailedOut => {}
+                    MoveOutcome::Freed => {}
+                }
+            }
+        }
+    }
+
+    /// Disbands groups after a pass: publishes destinations, retires emptied
+    /// sources, and returns partially-moved sources to regular membership.
+    fn publish_groups(&self, groups: &[Arc<CompactionGroup>], report: &mut CompactionReport) {
+        let mut m = self.membership.write();
+        for group in groups {
+            m.groups.retain(|g| !Arc::ptr_eq(g, group));
+            if group.dest.header().valid_count.load(Ordering::Relaxed) > 0 {
+                m.blocks.push(group.dest);
+            } else {
+                // Nothing moved (fully bailed/aborted): discard the dest.
+                self.runtime.bury_block(group.dest, self.runtime.global_epoch() + 2);
+            }
+            for &src in &group.sources {
+                src.header().compacting.store(0, Ordering::Release);
+                if src.header().valid_count.load(Ordering::Relaxed) == 0 {
+                    report.retired_bases.push(src.base() as usize);
+                    self.pending_retired.lock().push(src);
+                } else {
+                    m.blocks.push(src);
+                }
+            }
+            group.settled.store(true, Ordering::Release);
+        }
+    }
+
+    /// Buries retired source blocks once the caller has finished fixing up
+    /// direct pointers into them (§6). Tombstones stay readable until every
+    /// epoch that could observe them has passed.
+    pub fn release_retired(&self) {
+        let retired: Vec<BlockRef> = self.pending_retired.lock().drain(..).collect();
+        let free_at = self.runtime.global_epoch() + 2;
+        for block in retired {
+            self.runtime.bury_block(block, free_at);
+        }
+    }
+
+    /// Number of retired blocks awaiting [`release_retired`](Self::release_retired).
+    pub fn pending_retired_len(&self) -> usize {
+        self.pending_retired.lock().len()
+    }
+
+    fn advance_to(&self, target: u64, tid: usize) -> bool {
+        let deadline = Instant::now() + self.config.compaction_patience;
+        while self.runtime.global_epoch() < target {
+            if self.runtime.epochs.try_advance_excluding(tid).is_none() {
+                if Instant::now() >= deadline {
+                    return false;
+                }
+                std::thread::yield_now();
+            }
+        }
+        true
+    }
+
+    fn wait_all_at(&self, epoch: u64, tid: usize) -> bool {
+        let deadline = Instant::now() + self.config.compaction_patience;
+        loop {
+            // "All other threads in the relocation epoch" is exactly the
+            // condition under which the epoch could advance past it.
+            if self.runtime.epochs.can_advance_excluding(tid, epoch) {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Iterates every valid slot of every block for debugging/assertions.
+    /// Requires a guard; returns (block, slot) pairs at snapshot time.
+    pub fn debug_valid_slots(&self, _guard: &Guard<'_>) -> Vec<(BlockRef, SlotId)> {
+        let m = self.membership_snapshot();
+        let mut out = Vec::new();
+        for b in m.blocks.iter().chain(m.groups.iter().flat_map(|g| g.sources.iter())) {
+            for s in 0..b.header().capacity {
+                if b.slot_word(s).state() == SlotState::Valid {
+                    out.push((*b, s));
+                }
+            }
+        }
+        out
+    }
+
+    /// Live objects across all blocks.
+    pub fn live_objects(&self) -> u64 {
+        let m = self.membership_snapshot();
+        let count = |b: &BlockRef| b.header().valid_count.load(Ordering::Relaxed) as u64;
+        m.blocks.iter().map(count).sum::<u64>()
+            + m.groups
+                .iter()
+                .map(|g| g.sources.iter().map(count).sum::<u64>() + count(&g.dest))
+                .sum::<u64>()
+    }
+}
+
+impl Drop for MemoryContext {
+    fn drop(&mut self) {
+        // Invalidate every live object so stale references dereference to
+        // null rather than into recycled blocks, then hand all blocks to the
+        // runtime graveyard for epoch-safe burial.
+        let free_at = self.runtime.global_epoch() + 2;
+        let m = self.membership.get_mut();
+        let all_blocks = m
+            .blocks
+            .drain(..)
+            .chain(m.groups.drain(..).flat_map(|g| {
+                let mut v = g.sources.clone();
+                v.push(g.dest);
+                v
+            }))
+            .chain(self.pending_retired.get_mut().drain(..))
+            .collect::<Vec<_>>();
+        for block in all_blocks {
+            for slot_id in 0..block.header().capacity {
+                if block.slot_word(slot_id).state() == SlotState::Valid {
+                    let back = block.back_ptr(slot_id).load(Ordering::Acquire);
+                    if back != 0 {
+                        let entry = unsafe { EntryRef::from_addr(back) };
+                        entry.get().inc().bump_unlocked();
+                        self.runtime.indirection.release(entry, 0);
+                    }
+                    self.slot_inc(&block, slot_id).bump_unlocked();
+                    MemoryStats::inc(&self.runtime.stats.objects_freed);
+                }
+            }
+            self.runtime.bury_block(block, free_at);
+        }
+        self.runtime.drain_graveyard();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::type_id_of;
+
+    fn ctx(rt: &Arc<Runtime>) -> MemoryContext {
+        MemoryContext::new_rows(rt.clone(), 8, 8, type_id_of::<u64>(), ContextConfig::default())
+            .unwrap()
+    }
+
+    fn ctx_with(rt: &Arc<Runtime>, config: ContextConfig) -> MemoryContext {
+        MemoryContext::new_rows(rt.clone(), 8, 8, type_id_of::<u64>(), config).unwrap()
+    }
+
+    fn alloc_u64(c: &MemoryContext, v: u64) -> Allocation {
+        c.alloc_with(|block, slot| unsafe { block.obj_ptr(slot).cast::<u64>().write(v) })
+            .unwrap()
+    }
+
+    fn read_u64(entry: EntryRef) -> u64 {
+        let payload = entry.get().load_payload(Ordering::Acquire);
+        unsafe { (payload as *const u64).read() }
+    }
+
+    #[test]
+    fn alloc_writes_before_publishing() {
+        let rt = Runtime::new();
+        let c = ctx(&rt);
+        let a = alloc_u64(&c, 42);
+        assert_eq!(read_u64(a.entry), 42);
+        assert_eq!(a.block.slot_word(a.slot).state(), SlotState::Valid);
+        assert_eq!(a.block.back_ptr(a.slot).load(Ordering::Acquire), a.entry.addr());
+        assert_eq!(c.live_objects(), 1);
+    }
+
+    #[test]
+    fn free_bumps_both_incarnations() {
+        let rt = Runtime::new();
+        let c = ctx(&rt);
+        let a = alloc_u64(&c, 7);
+        assert!(c.free(a.entry, a.entry_inc));
+        assert_ne!(a.entry.get().inc().incarnation(), a.entry_inc);
+        assert_ne!(c.slot_inc(&a.block, a.slot).incarnation(), a.slot_inc);
+        assert_eq!(a.block.slot_word(a.slot).state(), SlotState::Limbo);
+        assert_eq!(c.live_objects(), 0);
+    }
+
+    #[test]
+    fn double_free_is_rejected() {
+        let rt = Runtime::new();
+        let c = ctx(&rt);
+        let a = alloc_u64(&c, 1);
+        assert!(c.free(a.entry, a.entry_inc));
+        assert!(!c.free(a.entry, a.entry_inc), "second remove must fail");
+        assert_eq!(MemoryStats::get(&rt.stats.objects_freed), 1);
+    }
+
+    #[test]
+    fn slots_fill_one_block_before_growing() {
+        let rt = Runtime::new();
+        let c = ctx(&rt);
+        let cap = c.layout().capacity as usize;
+        for i in 0..cap {
+            alloc_u64(&c, i as u64);
+        }
+        assert_eq!(c.block_count(), 1);
+        alloc_u64(&c, 999);
+        assert_eq!(c.block_count(), 2);
+    }
+
+    #[test]
+    fn limbo_slot_reused_only_after_two_epochs() {
+        let rt = Runtime::new();
+        // Aggressive threshold so a single removal queues the block.
+        let mut config = ContextConfig::default();
+        config.reclamation_threshold = 0.0;
+        let c = ctx_with(&rt, config);
+        let cap = c.layout().capacity as usize;
+        let mut allocs = Vec::new();
+        for i in 0..cap {
+            allocs.push(alloc_u64(&c, i as u64));
+        }
+        // Remove one object: slot enters limbo at epoch 0. Note: the block
+        // is still the thread's active block, so it is not queued yet.
+        let victim = allocs[3];
+        assert!(c.free(victim.entry, victim.entry_inc));
+        // The next allocation abandons the (full) block and acquires a new
+        // one: the limbo slot is not reclaimable yet at epoch 0.
+        let a = alloc_u64(&c, 1000);
+        assert_ne!((a.block, a.slot), (victim.block, victim.slot));
+        assert_eq!(c.block_count(), 2);
+        // After two epoch advances the queued block becomes reclaimable; the
+        // allocator's lazy advance plus queue pop should eventually reuse
+        // the limbo slot rather than growing again.
+        rt.epochs.try_advance().unwrap();
+        rt.epochs.try_advance().unwrap();
+        // Fill the second block to force a block acquisition.
+        for i in 0..cap {
+            alloc_u64(&c, 2000 + i as u64);
+        }
+        assert!(
+            MemoryStats::get(&rt.stats.slots_reclaimed) >= 1,
+            "limbo slot should be reclaimed once epochs passed"
+        );
+    }
+
+    #[test]
+    fn reclamation_respects_threshold() {
+        let rt = Runtime::new();
+        let mut config = ContextConfig::default();
+        config.reclamation_threshold = 0.5; // half the block must be limbo
+        let c = ctx_with(&rt, config);
+        let cap = c.layout().capacity as usize;
+        let mut allocs = Vec::new();
+        for i in 0..cap * 2 {
+            allocs.push(alloc_u64(&c, i as u64));
+        }
+        // Remove 25% of the first block: below threshold, no queueing.
+        for a in allocs.iter().take(cap / 4) {
+            assert!(c.free(a.entry, a.entry_inc));
+        }
+        assert_eq!(c.reclaim_queue.lock().len(), 0);
+        // Remove up to 60% of the first block: crosses threshold.
+        for a in allocs.iter().take(cap * 6 / 10).skip(cap / 4) {
+            assert!(c.free(a.entry, a.entry_inc));
+        }
+        assert_eq!(c.reclaim_queue.lock().len(), 1);
+    }
+
+    #[test]
+    fn stale_entry_payload_not_followed_after_free() {
+        let rt = Runtime::new();
+        let c = ctx(&rt);
+        let a = alloc_u64(&c, 5);
+        let old_inc = a.entry_inc;
+        c.free(a.entry, old_inc);
+        // Any dereference must observe the incarnation mismatch.
+        assert_ne!(a.entry.get().inc().incarnation(), old_inc);
+    }
+
+    #[test]
+    fn columnar_context_allocates_and_locates() {
+        let rt = Runtime::new();
+        // 4 bytes inc column + 8 bytes value column per slot.
+        let c = MemoryContext::new_columnar(rt.clone(), 12, type_id_of::<u64>(), ContextConfig::default())
+            .unwrap();
+        let cap = c.layout().capacity as usize;
+        let a = c
+            .alloc_with(|block, slot| unsafe {
+                // Value column starts after the inc column.
+                let col_base = block.store_base().add(cap * 4).cast::<u64>();
+                col_base.add(slot as usize).write(777);
+            })
+            .unwrap();
+        let payload = a.entry.get().load_payload(Ordering::Acquire);
+        let (block, slot) = unsafe { c.locate(payload) };
+        assert_eq!((block, slot), (a.block, a.slot));
+        let v = unsafe { block.store_base().add(cap * 4).cast::<u64>().add(slot as usize).read() };
+        assert_eq!(v, 777);
+        assert!(c.free(a.entry, a.entry_inc));
+    }
+
+    #[test]
+    fn compaction_empties_sparse_blocks() {
+        let rt = Runtime::new();
+        let mut config = ContextConfig::default();
+        config.reclamation_threshold = 1.1; // never queue: isolate compaction
+        let c = ctx_with(&rt, config);
+        let cap = c.layout().capacity as usize;
+        // Fill four blocks, then delete 90% of each.
+        let mut allocs = Vec::new();
+        for i in 0..cap * 4 {
+            allocs.push(alloc_u64(&c, i as u64));
+        }
+        let mut kept = Vec::new();
+        for (i, a) in allocs.iter().enumerate() {
+            if i % 10 == 0 {
+                kept.push((*a, i as u64));
+            } else {
+                assert!(c.free(a.entry, a.entry_inc));
+            }
+        }
+        let blocks_before = c.block_count();
+        let report = c.compact();
+        assert!(!report.aborted);
+        assert!(report.groups >= 1, "sparse blocks should form groups");
+        assert!(report.moved > 0);
+        assert!(!report.retired_bases.is_empty());
+        assert!(c.pending_retired_len() > 0);
+        // Every kept object survives, reachable through its entry, with the
+        // same entry incarnation (references stay valid across compaction).
+        for (a, v) in &kept {
+            assert_eq!(a.entry.get().inc().incarnation(), a.entry_inc);
+            assert_eq!(read_u64(a.entry), *v);
+        }
+        c.release_retired();
+        rt.drain_graveyard_blocking();
+        assert!(c.block_count() < blocks_before, "compaction should shrink the context");
+        // Relocation state fully cleared.
+        assert_eq!(rt.next_relocation_epoch(), 0);
+        assert!(!rt.in_moving_phase());
+        assert!(c.membership_snapshot().groups.is_empty());
+    }
+
+    #[test]
+    fn compaction_leaves_dense_blocks_alone() {
+        let rt = Runtime::new();
+        let c = ctx(&rt);
+        let cap = c.layout().capacity as usize;
+        for i in 0..cap * 2 {
+            alloc_u64(&c, i as u64);
+        }
+        let report = c.compact();
+        assert_eq!(report.groups, 0);
+        assert_eq!(report.moved, 0);
+    }
+
+    #[test]
+    fn compaction_tombstones_carry_forward_flag() {
+        let rt = Runtime::new();
+        let mut config = ContextConfig::default();
+        config.reclamation_threshold = 1.1;
+        let c = ctx_with(&rt, config);
+        let cap = c.layout().capacity as usize;
+        let mut allocs = Vec::new();
+        for i in 0..cap * 3 {
+            allocs.push(alloc_u64(&c, i as u64));
+        }
+        let survivor = allocs[0];
+        for a in allocs.iter().skip(1) {
+            c.free(a.entry, a.entry_inc);
+        }
+        let report = c.compact();
+        assert!(report.moved >= 1);
+        // The survivor's old slot is now a forwarding tombstone.
+        let word = c.slot_inc(&survivor.block, survivor.slot).load(Ordering::Acquire);
+        assert_ne!(word & crate::incarnation::FLAG_FORWARD, 0);
+        // Its entry points at the new location, which holds the value.
+        assert_eq!(read_u64(survivor.entry), 0);
+    }
+
+    #[test]
+    fn concurrent_alloc_free_stress() {
+        let rt = Runtime::new();
+        let c = Arc::new(ctx(&rt));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut live = Vec::new();
+                for i in 0..3000u64 {
+                    live.push(alloc_u64(&c, t * 1_000_000 + i));
+                    if live.len() > 64 {
+                        let a: Allocation = live.swap_remove((i as usize * 7) % live.len());
+                        assert!(c.free(a.entry, a.entry_inc));
+                    }
+                }
+                // Everything left must still read back correctly.
+                for a in &live {
+                    let v = read_u64(a.entry);
+                    assert_eq!(v / 1_000_000, t);
+                }
+                live.len() as u64
+            }));
+        }
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(c.live_objects(), total);
+        assert_eq!(rt.stats.objects_live(), total);
+    }
+
+    #[test]
+    fn drop_invalidates_survivors_and_buries_blocks() {
+        let rt = Runtime::new();
+        let entry;
+        let inc;
+        {
+            let c = ctx(&rt);
+            let a = alloc_u64(&c, 11);
+            entry = a.entry;
+            inc = a.entry_inc;
+            assert_eq!(MemoryStats::get(&rt.stats.blocks_live), 1);
+        }
+        // Entry incarnation bumped by drop: stale refs are null.
+        assert_ne!(entry.get().inc().incarnation(), inc);
+        rt.drain_graveyard_blocking();
+        assert_eq!(MemoryStats::get(&rt.stats.blocks_freed), 1);
+    }
+
+    #[test]
+    fn group_pre_state_pin_blocks_moves() {
+        let rt = Runtime::new();
+        let group = CompactionGroup {
+            sources: vec![],
+            dest: BlockRef::allocate(&BlockLayout::rows_of::<u64>().unwrap(), 1, 1).unwrap(),
+            query_counter: AtomicU32::new(0),
+            started: AtomicBool::new(false),
+            settled: AtomicBool::new(false),
+        };
+        assert!(group.try_pin_pre_state(&rt));
+        assert_eq!(group.query_counter.load(Ordering::SeqCst), 1);
+        group.unpin_pre_state();
+        // Once this group's relocation has started, pinning must fail.
+        group.started.store(true, Ordering::SeqCst);
+        assert!(!group.try_pin_pre_state(&rt));
+        assert_eq!(group.query_counter.load(Ordering::SeqCst), 0);
+        assert!(group.relocation_started());
+        unsafe { group.dest.deallocate() };
+    }
+}

@@ -1,0 +1,67 @@
+//! # smc-memory — type-safe manual memory management
+//!
+//! This crate implements the manual memory management system of §3 of
+//! *Self-managed collections: Off-heap memory management for scalable
+//! query-dominated collections* (Nagel et al., EDBT 2017).
+//!
+//! The design, mirroring the paper:
+//!
+//! * **Typed memory blocks** ([`block`]): objects are allocated from
+//!   unmanaged, block-size-aligned memory blocks; each block serves objects of
+//!   exactly one type, so slot positions are stable for the lifetime of the
+//!   block and the block header can be recovered from any interior pointer
+//!   with one mask operation.
+//! * **Slot directory** ([`slot`]): per-slot state (`Free`/`Valid`/`Limbo`)
+//!   plus the removal epoch, packed into 32 bits, stored densely so
+//!   enumeration can skip dead slots without touching object data.
+//! * **Incarnation numbers** ([`incarnation`]): a 32-bit word per object slot
+//!   and per indirection entry that detects use-after-free; its top bits carry
+//!   the `FROZEN`, `LOCK` and `FORWARD` flags used by concurrent compaction
+//!   (§5) and direct pointers (§6).
+//! * **Indirection table** ([`indirection`]): references point at a stable
+//!   table entry which in turn points at the object's current slot, allowing
+//!   objects to be relocated by a single atomic pointer store.
+//! * **Epoch-based reclamation** ([`epoch`]): readers enter *critical
+//!   sections* (grace periods); memory freed in global epoch `e` is reused no
+//!   earlier than epoch `e + 2`, when no thread can still observe it.
+//! * **Memory contexts** ([`context`]): per-collection groups of blocks that
+//!   give collections control over object placement and enumeration order.
+//!
+//! The self-managed collection type itself lives in the `smc` crate, layered
+//! on top of this one.
+//!
+//! ## Safety model
+//!
+//! The crate reproduces the paper's guarantee: a reference always refers to
+//! an instance of the same type, and that instance is either the one assigned
+//! to the reference or, once the instance was removed from its collection,
+//! *null* (rendered as `None` in Rust). Dereferencing requires an epoch
+//! [`Guard`](epoch::Guard); the incarnation check at dereference time is the
+//! point at which the guarantee is anchored (§3.4).
+
+pub mod block;
+pub mod context;
+pub mod decimal;
+pub mod epoch;
+pub mod error;
+pub mod incarnation;
+pub mod indirection;
+pub mod inline_str;
+pub mod reloc;
+pub mod runtime;
+pub mod slot;
+pub mod stats;
+pub mod tabular;
+
+pub use block::{BlockHeader, BlockLayout, BLOCK_ALIGN, BLOCK_SIZE};
+pub use context::{ContextConfig, MemoryContext};
+pub use decimal::Decimal;
+pub use epoch::{EpochManager, Guard};
+pub use error::{MemError, NullReference};
+pub use incarnation::{IncWord, FLAG_FORWARD, FLAG_FROZEN, FLAG_LOCK, INC_MASK};
+pub use indirection::{EntryRef, IndirEntry, IndirectionTable};
+pub use inline_str::InlineStr;
+pub use runtime::Runtime;
+pub use slot::{SlotId, SlotState};
+pub use stats::MemoryStats;
+pub use tabular::Tabular;

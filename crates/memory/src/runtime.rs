@@ -1,0 +1,213 @@
+//! The off-heap memory runtime shared by all contexts and collections.
+//!
+//! The paper extends the managed runtime with an off-heap memory system
+//! whose `alloc`/`free` are "part of the runtime API and are called by the
+//! collection implementation as needed" (§2). [`Runtime`] is that API
+//! surface: it owns the global epoch state, the global indirection table,
+//! the compaction coordination flags of §5.1, and a *graveyard* of blocks
+//! awaiting epoch-safe return to the OS.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::block::BlockRef;
+use crate::epoch::{EpochManager, Guard};
+use crate::indirection::IndirectionTable;
+use crate::stats::MemoryStats;
+
+/// Shared state of one off-heap memory system instance.
+///
+/// Collections hold an `Arc<Runtime>`; every dereference, allocation and
+/// compaction goes through it. Multiple independent runtimes may coexist
+/// (each test gets its own), mirroring how the paper's system is a runtime
+/// service rather than global state.
+#[derive(Debug)]
+pub struct Runtime {
+    /// Epoch-based reclamation state (§3.4).
+    pub epochs: Arc<EpochManager>,
+    /// The global indirection table (§3.2).
+    pub indirection: IndirectionTable,
+    /// Observability counters.
+    pub stats: MemoryStats,
+    /// Serializes compaction passes ("the compaction thread", §5.1 — one at
+    /// a time per runtime).
+    pub(crate) compaction_mutex: Mutex<()>,
+    /// Blocks whose contexts released them, awaiting the epoch at which no
+    /// reader can still hold pointers into them.
+    graveyard: Mutex<Vec<(BlockRef, u64)>>,
+    next_context_id: AtomicU64,
+}
+
+impl Runtime {
+    /// Creates a fresh runtime with epoch 0.
+    pub fn new() -> Arc<Runtime> {
+        Arc::new(Runtime {
+            epochs: EpochManager::new(),
+            indirection: IndirectionTable::new(),
+            stats: MemoryStats::new(),
+            compaction_mutex: Mutex::new(()),
+            graveyard: Mutex::new(Vec::new()),
+            next_context_id: AtomicU64::new(1),
+        })
+    }
+
+    /// Enters a critical section (§3.4). All object dereferences require the
+    /// returned guard.
+    pub fn pin(&self) -> Guard<'_> {
+        self.epochs.pin()
+    }
+
+    /// Current global epoch.
+    pub fn global_epoch(&self) -> u64 {
+        self.epochs.global_epoch()
+    }
+
+    /// Allocates a context identifier.
+    pub(crate) fn next_context_id(&self) -> u64 {
+        self.next_context_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The announced relocation epoch (0 if no compaction is pending).
+    #[inline]
+    pub fn next_relocation_epoch(&self) -> u64 {
+        self.epochs.next_relocation_epoch()
+    }
+
+    /// True while the in-flight compaction is in its moving phase.
+    #[inline]
+    pub fn in_moving_phase(&self) -> bool {
+        self.epochs.in_moving_phase()
+    }
+
+    pub(crate) fn set_relocation_epoch(&self, e: u64) {
+        self.epochs.set_relocation_epoch(e);
+    }
+
+    pub(crate) fn set_moving_phase(&self, on: bool) {
+        self.epochs.set_moving_phase(on);
+    }
+
+    /// Hands a block to the graveyard, to be returned to the OS once the
+    /// global epoch reaches `free_at`.
+    pub(crate) fn bury_block(&self, block: BlockRef, free_at: u64) {
+        self.graveyard.lock().push((block, free_at));
+    }
+
+    /// Opportunistically frees graveyard blocks whose epoch has passed.
+    /// Called from allocation slow paths; also usable directly.
+    pub fn drain_graveyard(&self) -> usize {
+        let now = self.global_epoch();
+        let mut yard = self.graveyard.lock();
+        let before = yard.len();
+        yard.retain(|(block, free_at)| {
+            if *free_at <= now {
+                unsafe { block.deallocate() };
+                MemoryStats::inc(&self.stats.blocks_freed);
+                let live = &self.stats.blocks_live;
+                live.fetch_sub(1, Ordering::Relaxed);
+                false
+            } else {
+                true
+            }
+        });
+        before - yard.len()
+    }
+
+    /// Number of blocks awaiting burial.
+    pub fn graveyard_len(&self) -> usize {
+        self.graveyard.lock().len()
+    }
+
+    /// Advances epochs until every graveyard block is freed. Used by tests
+    /// and shutdown paths; must not be called while this thread holds a
+    /// [`Guard`] (the epoch could then never advance far enough).
+    pub fn drain_graveyard_blocking(&self) {
+        while self.graveyard_len() > 0 {
+            if self.drain_graveyard() == 0 {
+                let _ = self.epochs.try_advance();
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        // No Arc<Runtime> clones remain, so no guard obtained from this
+        // runtime can still be alive; every graveyard block is quiescent.
+        let mut yard = self.graveyard.lock();
+        for (block, _) in yard.drain(..) {
+            unsafe { block.deallocate() };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{type_id_of, BlockLayout};
+
+    #[test]
+    fn pin_and_epoch_pass_through() {
+        let rt = Runtime::new();
+        assert_eq!(rt.global_epoch(), 0);
+        let g = rt.pin();
+        assert_eq!(g.epoch(), 0);
+        drop(g);
+        assert!(rt.epochs.try_advance().is_some());
+        assert_eq!(rt.global_epoch(), 1);
+    }
+
+    #[test]
+    fn graveyard_respects_epochs() {
+        let rt = Runtime::new();
+        let layout = BlockLayout::rows_of::<u64>().unwrap();
+        let b = BlockRef::allocate(&layout, type_id_of::<u64>(), 1).unwrap();
+        MemoryStats::inc(&rt.stats.blocks_live);
+        rt.bury_block(b, 2);
+        assert_eq!(rt.drain_graveyard(), 0, "epoch 0 < 2: must not free");
+        rt.epochs.try_advance();
+        rt.epochs.try_advance();
+        assert_eq!(rt.drain_graveyard(), 1);
+        assert_eq!(rt.graveyard_len(), 0);
+        assert_eq!(MemoryStats::get(&rt.stats.blocks_freed), 1);
+    }
+
+    #[test]
+    fn drain_blocking_advances_epochs() {
+        let rt = Runtime::new();
+        let layout = BlockLayout::rows_of::<u64>().unwrap();
+        let b = BlockRef::allocate(&layout, type_id_of::<u64>(), 1).unwrap();
+        MemoryStats::inc(&rt.stats.blocks_live);
+        rt.bury_block(b, 5);
+        rt.drain_graveyard_blocking();
+        assert!(rt.global_epoch() >= 5);
+        assert_eq!(rt.graveyard_len(), 0);
+    }
+
+    #[test]
+    fn runtime_drop_frees_graveyard() {
+        let rt = Runtime::new();
+        let layout = BlockLayout::rows_of::<u64>().unwrap();
+        let b = BlockRef::allocate(&layout, type_id_of::<u64>(), 1).unwrap();
+        rt.bury_block(b, u64::MAX); // would never free by epoch
+        drop(rt); // must free anyway, without leaking
+    }
+
+    #[test]
+    fn relocation_flags_default_off() {
+        let rt = Runtime::new();
+        assert_eq!(rt.next_relocation_epoch(), 0);
+        assert!(!rt.in_moving_phase());
+    }
+
+    #[test]
+    fn context_ids_are_unique() {
+        let rt = Runtime::new();
+        let a = rt.next_context_id();
+        let b = rt.next_context_id();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,147 @@
+//! Lightweight counters for observing the memory manager.
+//!
+//! The evaluation (Fig 6) reports allocation/removal performance, query
+//! performance and *total memory size* as the reclamation threshold varies;
+//! these counters make the memory-size series observable without walking
+//! every block.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters shared by one [`Runtime`](crate::runtime::Runtime).
+///
+/// All counters are monotonic except the `*_live` gauges. Relaxed ordering is
+/// used throughout: the counters inform reporting, never correctness.
+#[derive(Debug, Default)]
+pub struct MemoryStats {
+    /// Blocks currently allocated from the OS (gauge).
+    pub blocks_live: AtomicU64,
+    /// Blocks ever allocated from the OS.
+    pub blocks_allocated: AtomicU64,
+    /// Blocks returned to the OS.
+    pub blocks_freed: AtomicU64,
+    /// Objects ever allocated.
+    pub objects_allocated: AtomicU64,
+    /// Objects ever freed (entered limbo).
+    pub objects_freed: AtomicU64,
+    /// Limbo slots reclaimed for new allocations.
+    pub slots_reclaimed: AtomicU64,
+    /// Slot-directory entries scanned by the allocator (cost proxy, Fig 6).
+    pub alloc_scan_steps: AtomicU64,
+    /// Global epoch advances.
+    pub epoch_advances: AtomicU64,
+    /// Objects relocated by compaction.
+    pub objects_relocated: AtomicU64,
+    /// Relocations that readers bailed out of (§5.1 case b).
+    pub relocations_bailed: AtomicU64,
+    /// Relocations completed by helping readers (§5.1 case c).
+    pub relocations_helped: AtomicU64,
+    /// Compaction passes completed.
+    pub compactions: AtomicU64,
+    /// Direct pointers rewritten by post-compaction fix-up scans (§6).
+    pub direct_pointers_fixed: AtomicU64,
+}
+
+impl MemoryStats {
+    /// Fresh, zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bump a counter by one.
+    #[inline]
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bump a counter by `n`.
+    #[inline]
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Read a counter.
+    #[inline]
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// Current number of live objects (allocated minus freed).
+    pub fn objects_live(&self) -> u64 {
+        Self::get(&self.objects_allocated).saturating_sub(Self::get(&self.objects_freed))
+    }
+
+    /// Total off-heap bytes currently held, given the block size.
+    pub fn bytes_live(&self, block_size: usize) -> u64 {
+        Self::get(&self.blocks_live) * block_size as u64
+    }
+
+    /// A point-in-time copy of every counter, for reporting.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            blocks_live: Self::get(&self.blocks_live),
+            blocks_allocated: Self::get(&self.blocks_allocated),
+            blocks_freed: Self::get(&self.blocks_freed),
+            objects_allocated: Self::get(&self.objects_allocated),
+            objects_freed: Self::get(&self.objects_freed),
+            slots_reclaimed: Self::get(&self.slots_reclaimed),
+            alloc_scan_steps: Self::get(&self.alloc_scan_steps),
+            epoch_advances: Self::get(&self.epoch_advances),
+            objects_relocated: Self::get(&self.objects_relocated),
+            relocations_bailed: Self::get(&self.relocations_bailed),
+            relocations_helped: Self::get(&self.relocations_helped),
+            compactions: Self::get(&self.compactions),
+            direct_pointers_fixed: Self::get(&self.direct_pointers_fixed),
+        }
+    }
+}
+
+/// Plain-value copy of [`MemoryStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub blocks_live: u64,
+    pub blocks_allocated: u64,
+    pub blocks_freed: u64,
+    pub objects_allocated: u64,
+    pub objects_freed: u64,
+    pub slots_reclaimed: u64,
+    pub alloc_scan_steps: u64,
+    pub epoch_advances: u64,
+    pub objects_relocated: u64,
+    pub relocations_bailed: u64,
+    pub relocations_helped: u64,
+    pub compactions: u64,
+    pub direct_pointers_fixed: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = MemoryStats::new();
+        MemoryStats::inc(&s.objects_allocated);
+        MemoryStats::add(&s.objects_allocated, 4);
+        MemoryStats::inc(&s.objects_freed);
+        assert_eq!(MemoryStats::get(&s.objects_allocated), 5);
+        assert_eq!(s.objects_live(), 4);
+    }
+
+    #[test]
+    fn bytes_live_scales_with_block_size() {
+        let s = MemoryStats::new();
+        MemoryStats::add(&s.blocks_live, 3);
+        assert_eq!(s.bytes_live(1 << 16), 3 << 16);
+    }
+
+    #[test]
+    fn snapshot_copies_all_fields() {
+        let s = MemoryStats::new();
+        MemoryStats::add(&s.compactions, 2);
+        MemoryStats::add(&s.direct_pointers_fixed, 7);
+        let snap = s.snapshot();
+        assert_eq!(snap.compactions, 2);
+        assert_eq!(snap.direct_pointers_fixed, 7);
+        assert_eq!(snap.objects_allocated, 0);
+    }
+}

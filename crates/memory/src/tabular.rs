@@ -1,0 +1,87 @@
+//! The `tabular` class modifier (§2), rendered as a Rust marker trait.
+//!
+//! The paper introduces a `tabular` modifier for classes that may be backed
+//! by self-managed collections and statically enforces:
+//!
+//! 1. tabular classes only reference other tabular classes (never managed
+//!    objects — otherwise the GC could not skip the collection's memory);
+//! 2. collections are not defined on base classes or interfaces, so every
+//!    object in a collection has the same size and layout;
+//! 3. strings are part of the object and share its lifetime;
+//! 4. objects carry no variable-sized data in-place.
+//!
+//! In Rust these obligations map onto an `unsafe` marker trait. The
+//! `Copy + 'static` supertraits give us (2)–(4) mechanically: a `Copy` type
+//! has a fixed size, no drop glue, and cannot own heap data, so relocating or
+//! reclaiming its bytes never leaks or double-frees. Obligation (1) — "fields
+//! may be primitives, [`InlineStr`](crate::inline_str::InlineStr),
+//! [`Decimal`](crate::decimal::Decimal), or references to other tabular
+//! types" — cannot be expressed structurally in stable Rust, so it is the
+//! contract the implementor affirms by writing `unsafe impl`.
+
+/// Marker for types that may live inside self-managed memory blocks.
+///
+/// # Safety
+///
+/// Implementors affirm the paper's tabular restrictions:
+///
+/// * the type contains no pointers or references to garbage-collected /
+///   Rust-heap data (no `Box`, `Vec`, `String`, `Arc`, raw pointers into the
+///   heap, ...) — only primitives, [`Decimal`](crate::Decimal),
+///   [`InlineStr`](crate::InlineStr), arrays of those, and SMC reference
+///   types (`Ref<T>` / `DirectRef<T>` from the `smc` crate);
+/// * all values of the type are valid for any bit pattern the memory manager
+///   may expose through a stale read *after* an incarnation check has passed
+///   (in practice: the type tolerates being `memcpy`'d by compaction).
+///
+/// `Copy + Send + Sync + 'static` are supertraits: objects are moved by
+/// `memcpy` during compaction, shared across threads by queries, and never
+/// carry lifetimes into the block.
+pub unsafe trait Tabular: Copy + Send + Sync + 'static {}
+
+// Primitives are trivially tabular: fixed-size, no references.
+macro_rules! impl_tabular_prim {
+    ($($t:ty),* $(,)?) => {
+        $(unsafe impl Tabular for $t {})*
+    };
+}
+
+impl_tabular_prim!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char);
+
+unsafe impl Tabular for crate::decimal::Decimal {}
+unsafe impl<const N: usize> Tabular for crate::inline_str::InlineStr<N> {}
+unsafe impl<T: Tabular, const N: usize> Tabular for [T; N] {}
+unsafe impl<T: Tabular> Tabular for Option<T> {}
+unsafe impl<A: Tabular, B: Tabular> Tabular for (A, B) {}
+unsafe impl<A: Tabular, B: Tabular, C: Tabular> Tabular for (A, B, C) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_tabular<T: Tabular>() {}
+
+    #[test]
+    fn primitive_impls_exist() {
+        assert_tabular::<u64>();
+        assert_tabular::<i128>();
+        assert_tabular::<bool>();
+        assert_tabular::<crate::Decimal>();
+        assert_tabular::<crate::InlineStr<25>>();
+        assert_tabular::<[u32; 4]>();
+        assert_tabular::<Option<u32>>();
+        assert_tabular::<(u32, crate::Decimal)>();
+    }
+
+    #[test]
+    fn user_struct_can_opt_in() {
+        #[derive(Clone, Copy)]
+        struct Row {
+            _key: u64,
+            _price: crate::Decimal,
+            _name: crate::InlineStr<16>,
+        }
+        unsafe impl Tabular for Row {}
+        assert_tabular::<Row>();
+    }
+}

@@ -1,0 +1,86 @@
+//! Calendar dates as epoch days (days since 1970-01-01).
+//!
+//! TPC-H date columns span 1992-01-01 .. 1998-12-31. Storing them as `i32`
+//! epoch days makes range predicates integer comparisons — both the SMC
+//! schemas and the columnstore use this encoding.
+
+/// Days from civil date to epoch days (Howard Hinnant's algorithm).
+pub const fn date(y: i32, m: u32, d: u32) -> i32 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u32; // [0, 399]
+    let mp = (m + 9) % 12; // March = 0
+    let doy = (153 * mp + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe as i32 - 719468
+}
+
+/// Epoch days back to `(year, month, day)`.
+pub fn civil(days: i32) -> (i32, u32, u32) {
+    let z = days + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = (z - era * 146097) as u32; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe as i32 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Formats an epoch day as `YYYY-MM-DD`.
+pub fn format_date(days: i32) -> String {
+    let (y, m, d) = civil(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// First order date in TPC-H (`STARTDATE`).
+pub const START_DATE: i32 = date(1992, 1, 1);
+/// Last permissible order date (`ENDDATE - 151 days` per the spec, so all
+/// lineitem dates stay within 1998-12-31).
+pub const LAST_ORDER_DATE: i32 = date(1998, 8, 2);
+/// The `CURRENTDATE` constant used by return-flag generation.
+pub const CURRENT_DATE: i32 = date(1995, 6, 17);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_anchors() {
+        assert_eq!(date(1970, 1, 1), 0);
+        assert_eq!(date(1970, 1, 2), 1);
+        assert_eq!(date(1969, 12, 31), -1);
+        assert_eq!(date(2000, 3, 1), 11017);
+    }
+
+    #[test]
+    fn civil_round_trips() {
+        for days in [date(1992, 1, 1), date(1995, 6, 17), date(1998, 12, 31), 0, -1, 100_000] {
+            let (y, m, d) = civil(days);
+            assert_eq!(date(y, m, d), days);
+        }
+    }
+
+    #[test]
+    fn leap_years_handled() {
+        assert_eq!(date(1996, 2, 29) + 1, date(1996, 3, 1));
+        assert_eq!(date(1900, 2, 28) + 1, date(1900, 3, 1), "1900 is not a leap year");
+        assert_eq!(date(2000, 2, 29) + 1, date(2000, 3, 1), "2000 is a leap year");
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(format_date(date(1998, 12, 1)), "1998-12-01");
+        assert_eq!(format_date(date(1992, 1, 31)), "1992-01-31");
+    }
+
+    #[test]
+    fn tpch_constants_ordered() {
+        assert!(START_DATE < CURRENT_DATE);
+        assert!(CURRENT_DATE < LAST_ORDER_DATE);
+        assert_eq!(format_date(START_DATE), "1992-01-01");
+        assert_eq!(format_date(LAST_ORDER_DATE), "1998-08-02");
+    }
+}

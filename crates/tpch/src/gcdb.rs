@@ -1,0 +1,346 @@
+//! The TPC-H schema over the simulated managed heap — the paper's baseline
+//! databases (`List<T>` and `ConcurrentDictionary<TKey,TValue>` of §7).
+//!
+//! Objects are heap-allocated and referenced by handles; FK relations are
+//! handle fields traversed through the arena (the managed pointer chase).
+//! The same objects are rooted both in per-table `GcList`s and in a
+//! `GcConcurrentDictionary` keyed by primary key, so Fig 11's List and
+//! C.Dictionary series run over identical object graphs and differ only in
+//! the enumeration path.
+
+use std::sync::Arc;
+
+use managed_heap::{
+    Arena, GcConcurrentDictionary, GcList, Handle, ManagedHeap, Marker, Trace,
+};
+use smc_memory::Decimal;
+
+use crate::gen::Generator;
+use crate::text;
+
+/// REGION object (managed).
+pub struct GcRegion {
+    pub key: i64,
+    pub name: String,
+    pub comment: String,
+}
+impl Trace for GcRegion {}
+
+/// NATION object (managed).
+pub struct GcNation {
+    pub key: i64,
+    pub name: String,
+    pub regionkey: i64,
+    pub region: Handle<GcRegion>,
+    pub comment: String,
+}
+impl Trace for GcNation {
+    fn trace(&self, m: &mut Marker<'_>) {
+        m.mark(self.region);
+    }
+}
+
+/// SUPPLIER object (managed).
+pub struct GcSupplier {
+    pub key: i64,
+    pub name: String,
+    pub nationkey: i64,
+    pub nation: Handle<GcNation>,
+    pub acctbal: Decimal,
+    pub comment: String,
+}
+impl Trace for GcSupplier {
+    fn trace(&self, m: &mut Marker<'_>) {
+        m.mark(self.nation);
+    }
+}
+
+/// PART object (managed).
+pub struct GcPart {
+    pub key: i64,
+    pub name: String,
+    pub mfgr: String,
+    pub typ: String,
+    pub size: i32,
+    pub retailprice: Decimal,
+}
+impl Trace for GcPart {}
+
+/// PARTSUPP object (managed).
+pub struct GcPartSupp {
+    pub partkey: i64,
+    pub suppkey: i64,
+    pub part: Handle<GcPart>,
+    pub supplier: Handle<GcSupplier>,
+    pub supplycost: Decimal,
+}
+impl Trace for GcPartSupp {
+    fn trace(&self, m: &mut Marker<'_>) {
+        m.mark(self.part);
+        m.mark(self.supplier);
+    }
+}
+
+/// CUSTOMER object (managed).
+pub struct GcCustomer {
+    pub key: i64,
+    pub name: String,
+    pub nationkey: i64,
+    pub nation: Handle<GcNation>,
+    pub acctbal: Decimal,
+    pub mktsegment: u8,
+}
+impl Trace for GcCustomer {
+    fn trace(&self, m: &mut Marker<'_>) {
+        m.mark(self.nation);
+    }
+}
+
+/// ORDERS object (managed).
+pub struct GcOrder {
+    pub key: i64,
+    pub custkey: i64,
+    pub customer: Handle<GcCustomer>,
+    pub orderstatus: u8,
+    pub totalprice: Decimal,
+    pub orderdate: i32,
+    pub orderpriority: u8,
+    pub shippriority: i32,
+}
+impl Trace for GcOrder {
+    fn trace(&self, m: &mut Marker<'_>) {
+        m.mark(self.customer);
+    }
+}
+
+/// LINEITEM object (managed).
+pub struct GcLineitem {
+    pub orderkey: i64,
+    pub partkey: i64,
+    pub suppkey: i64,
+    pub order: Handle<GcOrder>,
+    pub part: Handle<GcPart>,
+    pub supplier: Handle<GcSupplier>,
+    pub linenumber: i32,
+    pub quantity: Decimal,
+    pub extendedprice: Decimal,
+    pub discount: Decimal,
+    pub tax: Decimal,
+    pub returnflag: u8,
+    pub linestatus: u8,
+    pub shipdate: i32,
+    pub commitdate: i32,
+    pub receiptdate: i32,
+    pub comment: String,
+}
+impl Trace for GcLineitem {
+    fn trace(&self, m: &mut Marker<'_>) {
+        m.mark(self.order);
+        m.mark(self.part);
+        m.mark(self.supplier);
+    }
+}
+
+/// The managed TPC-H database: `GcList` per table plus a keyed dictionary
+/// over the same lineitem objects.
+pub struct GcDb {
+    pub heap: Arc<ManagedHeap>,
+    pub regions: GcList<GcRegion>,
+    pub nations: GcList<GcNation>,
+    pub suppliers: GcList<GcSupplier>,
+    pub parts: GcList<GcPart>,
+    pub partsupps: GcList<GcPartSupp>,
+    pub customers: GcList<GcCustomer>,
+    pub orders: GcList<GcOrder>,
+    pub lineitems: GcList<GcLineitem>,
+    /// Dictionary view of the same lineitem objects, keyed by
+    /// `orderkey * 8 + linenumber` (the C.Dictionary series of Fig 11).
+    pub lineitem_dict: GcConcurrentDictionary<i64, GcLineitem>,
+    /// Arenas for FK traversal in queries.
+    pub order_arena: Arc<Arena<GcOrder>>,
+    pub customer_arena: Arc<Arena<GcCustomer>>,
+    pub supplier_arena: Arc<Arena<GcSupplier>>,
+    pub nation_arena: Arc<Arena<GcNation>>,
+    pub region_arena: Arc<Arena<GcRegion>>,
+    pub part_arena: Arc<Arena<GcPart>>,
+}
+
+/// The dictionary key for a lineitem.
+pub fn lineitem_key(orderkey: i64, linenumber: i32) -> i64 {
+    orderkey * 8 + linenumber as i64
+}
+
+impl GcDb {
+    /// Generates and loads the managed database on `heap`.
+    pub fn load(gen: &Generator, heap: &Arc<ManagedHeap>) -> GcDb {
+        let regions: GcList<GcRegion> = GcList::new(heap);
+        let nations: GcList<GcNation> = GcList::new(heap);
+        let suppliers: GcList<GcSupplier> = GcList::new(heap);
+        let parts: GcList<GcPart> = GcList::new(heap);
+        let partsupps: GcList<GcPartSupp> = GcList::new(heap);
+        let customers: GcList<GcCustomer> = GcList::new(heap);
+        let orders: GcList<GcOrder> = GcList::new(heap);
+        let lineitems: GcList<GcLineitem> = GcList::new(heap);
+        let lineitem_dict: GcConcurrentDictionary<i64, GcLineitem> =
+            GcConcurrentDictionary::new(heap);
+
+        let mut region_hs = Vec::new();
+        gen.regions(|r| {
+            region_hs.push(regions.add(GcRegion { key: r.key, name: r.name, comment: r.comment }));
+        });
+        let mut nation_hs = Vec::new();
+        gen.nations(|n| {
+            nation_hs.push(nations.add(GcNation {
+                key: n.key,
+                name: n.name,
+                regionkey: n.region,
+                region: region_hs[n.region as usize],
+                comment: n.comment,
+            }));
+        });
+        let mut supplier_hs = Vec::with_capacity(gen.cardinalities().suppliers + 1);
+        supplier_hs.push(Handle::<GcSupplier>::new_invalid());
+        gen.suppliers(|s| {
+            supplier_hs.push(suppliers.add(GcSupplier {
+                key: s.key,
+                name: s.name,
+                nationkey: s.nation,
+                nation: nation_hs[s.nation as usize],
+                acctbal: s.acctbal,
+                comment: s.comment,
+            }));
+        });
+        let mut part_hs = Vec::with_capacity(gen.cardinalities().parts + 1);
+        part_hs.push(Handle::<GcPart>::new_invalid());
+        gen.parts(|p| {
+            part_hs.push(parts.add(GcPart {
+                key: p.key,
+                name: p.name,
+                mfgr: p.mfgr,
+                typ: p.typ,
+                size: p.size,
+                retailprice: p.retailprice,
+            }));
+        });
+        gen.partsupps(|ps| {
+            partsupps.add(GcPartSupp {
+                partkey: ps.part,
+                suppkey: ps.supplier,
+                part: part_hs[ps.part as usize],
+                supplier: supplier_hs[ps.supplier as usize],
+                supplycost: ps.supplycost,
+            });
+        });
+        let mut customer_hs = Vec::with_capacity(gen.cardinalities().customers + 1);
+        customer_hs.push(Handle::<GcCustomer>::new_invalid());
+        gen.customers(|c| {
+            customer_hs.push(customers.add(GcCustomer {
+                key: c.key,
+                name: c.name,
+                nationkey: c.nation,
+                nation: nation_hs[c.nation as usize],
+                acctbal: c.acctbal,
+                mktsegment: text::SEGMENTS.iter().position(|s| *s == c.mktsegment).unwrap()
+                    as u8,
+            }));
+        });
+        gen.orders(|o, lines| {
+            let oh = orders.add(GcOrder {
+                key: o.key,
+                custkey: o.customer,
+                customer: customer_hs[o.customer as usize],
+                orderstatus: o.orderstatus as u8,
+                totalprice: o.totalprice,
+                orderdate: o.orderdate,
+                orderpriority: text::PRIORITIES
+                    .iter()
+                    .position(|p| *p == o.orderpriority)
+                    .unwrap() as u8,
+                shippriority: o.shippriority,
+            });
+            for l in lines {
+                let lh = lineitems.add(GcLineitem {
+                    orderkey: l.order,
+                    partkey: l.part,
+                    suppkey: l.supplier,
+                    order: oh,
+                    part: part_hs[l.part as usize],
+                    supplier: supplier_hs[l.supplier as usize],
+                    linenumber: l.linenumber,
+                    quantity: l.quantity,
+                    extendedprice: l.extendedprice,
+                    discount: l.discount,
+                    tax: l.tax,
+                    returnflag: l.returnflag as u8,
+                    linestatus: l.linestatus as u8,
+                    shipdate: l.shipdate,
+                    commitdate: l.commitdate,
+                    receiptdate: l.receiptdate,
+                    comment: l.comment,
+                });
+                lineitem_dict.insert_handle(lineitem_key(l.order, l.linenumber), lh);
+            }
+        });
+        GcDb {
+            heap: heap.clone(),
+            order_arena: heap.arena::<GcOrder>(),
+            customer_arena: heap.arena::<GcCustomer>(),
+            supplier_arena: heap.arena::<GcSupplier>(),
+            nation_arena: heap.arena::<GcNation>(),
+            region_arena: heap.arena::<GcRegion>(),
+            part_arena: heap.arena::<GcPart>(),
+            regions,
+            nations,
+            suppliers,
+            parts,
+            partsupps,
+            customers,
+            orders,
+            lineitems,
+            lineitem_dict,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_and_traverse() {
+        let gen = Generator::new(0.001);
+        let heap = ManagedHeap::new_batch();
+        let db = GcDb::load(&gen, &heap);
+        assert_eq!(db.regions.len(), 5);
+        assert_eq!(db.orders.len(), gen.cardinalities().orders);
+        assert_eq!(db.lineitems.len(), db.lineitem_dict.len());
+        let g = heap.enter();
+        let mut checked = 0;
+        db.lineitems.for_each(&g, |l| {
+            let o = db.order_arena.get(l.order).expect("order");
+            assert_eq!(o.key, l.orderkey);
+            let c = db.customer_arena.get(o.customer).expect("customer");
+            assert_eq!(c.key, o.custkey);
+            checked += 1;
+        });
+        assert!(checked > 500);
+    }
+
+    #[test]
+    fn objects_survive_collections_during_load() {
+        // A small nursery forces many collections during load; the object
+        // graph must stay intact because the lists root everything.
+        let gen = Generator::new(0.001);
+        let heap = managed_heap::ManagedHeap::new(managed_heap::HeapConfig {
+            nursery_budget: 2_000,
+            ..managed_heap::HeapConfig::default()
+        });
+        let db = GcDb::load(&gen, &heap);
+        assert!(heap.collections() > 0, "load must have triggered GCs");
+        let g = heap.enter();
+        let n = db.lineitems.for_each(&g, |l| {
+            assert!(db.order_arena.get(l.order).is_some());
+        });
+        assert_eq!(n, db.lineitems.len() as u64);
+    }
+}

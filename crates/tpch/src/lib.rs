@@ -1,0 +1,28 @@
+//! # tpch — the TPC-H substrate of the SMC reproduction
+//!
+//! Everything the paper's evaluation (§7) needs from TPC-H:
+//!
+//! * [`gen`] — a deterministic `dbgen` clone (cardinalities, value pools,
+//!   date/price distributions);
+//! * [`smcdb`] — the object-oriented schema over self-managed collections,
+//!   with reference joins, §6 direct pointers, and a §4.1 columnar twin;
+//! * [`gcdb`] — the same schema over the simulated managed heap (the
+//!   `List<T>` / `ConcurrentDictionary` baselines);
+//! * [`csdb`] — the relational schema over the columnstore engine with the
+//!   paper's clustered indexes;
+//! * [`queries`] — Q1–Q6 for every backend, returning exactly comparable
+//!   rows;
+//! * [`workloads`] — refresh streams (Fig 8), flat/nested enumeration and
+//!   the fresh→worn churn (Fig 10).
+
+pub mod csdb;
+pub mod dates;
+pub mod gcdb;
+pub mod gen;
+pub mod queries;
+pub mod smcdb;
+pub mod text;
+pub mod workloads;
+
+pub use gen::Generator;
+pub use queries::Params;

@@ -1,0 +1,183 @@
+//! Q1–Q6 over the managed (GC) database — the paper's `List<T>` and
+//! `ConcurrentDictionary` baselines, with the same compiled plans as the
+//! SMC versions but enumerating handle lists and chasing arena pointers.
+
+use std::collections::{HashMap, HashSet};
+
+use smc_memory::Decimal;
+
+use super::*;
+use crate::gcdb::GcDb;
+
+/// Which collection the lineitem enumeration runs over (Fig 11 series).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnumVia {
+    /// `GcList` — C#'s `List<T>`.
+    List,
+    /// `GcConcurrentDictionary` — keyed, sharded enumeration.
+    Dict,
+}
+
+fn for_each_lineitem(db: &GcDb, via: EnumVia, f: impl FnMut(&crate::gcdb::GcLineitem)) {
+    let guard = db.heap.enter();
+    match via {
+        EnumVia::List => {
+            db.lineitems.for_each(&guard, f);
+        }
+        EnumVia::Dict => {
+            db.lineitem_dict.for_each(&guard, f);
+        }
+    }
+}
+
+/// Q1 over the managed database.
+pub fn q1(db: &GcDb, p: &Params, via: EnumVia) -> Vec<Q1Row> {
+    let cutoff = q1_cutoff(p);
+    let mut table = [Q1Acc::default(); 6];
+    for_each_lineitem(db, via, |l| {
+        if l.shipdate <= cutoff {
+            table[q1_slot(l.returnflag, l.linestatus)].fold(
+                l.quantity,
+                l.extendedprice,
+                l.discount,
+                l.tax,
+            );
+        }
+    });
+    q1_rows_from_table(&table)
+}
+
+/// Q2 over the managed database (handle joins).
+pub fn q2(db: &GcDb, p: &Params) -> Vec<Q2Row> {
+    let guard = db.heap.enter();
+    let mut min_cost: HashMap<i64, Decimal> = HashMap::new();
+    db.partsupps.for_each(&guard, |ps| {
+        let Some(part) = db.part_arena.get(ps.part) else { return };
+        if part.size != p.q2_size || !part.typ.ends_with(p.q2_type.as_str()) {
+            return;
+        }
+        let Some(supplier) = db.supplier_arena.get(ps.supplier) else { return };
+        let Some(nation) = db.nation_arena.get(supplier.nation) else { return };
+        let Some(region) = db.region_arena.get(nation.region) else { return };
+        if region.name != p.q2_region {
+            return;
+        }
+        min_cost
+            .entry(ps.partkey)
+            .and_modify(|c| *c = (*c).min(ps.supplycost))
+            .or_insert(ps.supplycost);
+    });
+    let mut rows = Vec::new();
+    db.partsupps.for_each(&guard, |ps| {
+        let Some(&min) = min_cost.get(&ps.partkey) else { return };
+        if ps.supplycost != min {
+            return;
+        }
+        let Some(supplier) = db.supplier_arena.get(ps.supplier) else { return };
+        let Some(nation) = db.nation_arena.get(supplier.nation) else { return };
+        let Some(region) = db.region_arena.get(nation.region) else { return };
+        if region.name != p.q2_region {
+            return;
+        }
+        rows.push(Q2Row {
+            acctbal: supplier.acctbal,
+            supplier: supplier.name.clone(),
+            nation: nation.name.clone(),
+            partkey: ps.partkey,
+        });
+    });
+    q2_finalize(rows)
+}
+
+/// Q3 over the managed database.
+pub fn q3(db: &GcDb, p: &Params, via: EnumVia) -> Vec<Q3Row> {
+    let seg = crate::text::SEGMENTS.iter().position(|s| *s == p.q3_segment).unwrap() as u8;
+    let mut groups: HashMap<i64, Q3Row> = HashMap::new();
+    for_each_lineitem(db, via, |l| {
+        if l.shipdate <= p.q3_date {
+            return;
+        }
+        let Some(o) = db.order_arena.get(l.order) else { return };
+        if o.orderdate >= p.q3_date {
+            return;
+        }
+        let Some(c) = db.customer_arena.get(o.customer) else { return };
+        if c.mktsegment != seg {
+            return;
+        }
+        let revenue = l.extendedprice * (Decimal::ONE - l.discount);
+        groups
+            .entry(l.orderkey)
+            .and_modify(|r| r.revenue += revenue)
+            .or_insert(Q3Row {
+                orderkey: l.orderkey,
+                revenue,
+                orderdate: o.orderdate,
+                shippriority: o.shippriority,
+            });
+    });
+    q3_finalize(groups)
+}
+
+/// Q4 over the managed database.
+pub fn q4(db: &GcDb, p: &Params, via: EnumVia) -> Vec<Q4Row> {
+    let end = plus_months(p.q4_date, 3);
+    let mut late: HashSet<i64> = HashSet::new();
+    let mut counts = [0u64; 5];
+    for_each_lineitem(db, via, |l| {
+        if l.commitdate >= l.receiptdate || late.contains(&l.orderkey) {
+            return;
+        }
+        let Some(o) = db.order_arena.get(l.order) else { return };
+        if o.orderdate < p.q4_date || o.orderdate >= end {
+            return;
+        }
+        late.insert(l.orderkey);
+        counts[o.orderpriority as usize] += 1;
+    });
+    q4_finalize(counts)
+}
+
+/// Q5 over the managed database.
+pub fn q5(db: &GcDb, p: &Params, via: EnumVia) -> Vec<Q5Row> {
+    let end = plus_months(p.q5_date, 12);
+    let mut groups: HashMap<String, Decimal> = HashMap::new();
+    for_each_lineitem(db, via, |l| {
+        let Some(o) = db.order_arena.get(l.order) else { return };
+        if o.orderdate < p.q5_date || o.orderdate >= end {
+            return;
+        }
+        let Some(s) = db.supplier_arena.get(l.supplier) else { return };
+        let Some(n) = db.nation_arena.get(s.nation) else { return };
+        let Some(r) = db.region_arena.get(n.region) else { return };
+        if r.name != p.q5_region {
+            return;
+        }
+        let Some(c) = db.customer_arena.get(o.customer) else { return };
+        if c.nationkey != s.nationkey {
+            return;
+        }
+        let revenue = l.extendedprice * (Decimal::ONE - l.discount);
+        *groups.entry(n.name.clone()).or_default() += revenue;
+    });
+    q5_finalize(groups)
+}
+
+/// Q6 over the managed database.
+pub fn q6(db: &GcDb, p: &Params, via: EnumVia) -> Decimal {
+    let end = plus_months(p.q6_date, 12);
+    let lo = p.q6_discount - Decimal::parse("0.01").unwrap();
+    let hi = p.q6_discount + Decimal::parse("0.01").unwrap();
+    let mut revenue = Decimal::ZERO;
+    for_each_lineitem(db, via, |l| {
+        if l.shipdate >= p.q6_date
+            && l.shipdate < end
+            && l.discount >= lo
+            && l.discount <= hi
+            && l.quantity < p.q6_quantity
+        {
+            revenue += l.extendedprice * l.discount;
+        }
+    });
+    revenue
+}

@@ -1,0 +1,495 @@
+//! The object-oriented TPC-H schema over self-managed collections (§7).
+//!
+//! "TPC-H tables map to collections and each record to an object composed
+//! of primitive types and references to other records (all primary-foreign-
+//! key relations). Based on the latter, most joins are performed using
+//! references." Every table is an [`Smc`]; every FK is a [`Ref`] (checked,
+//! via the indirection table) plus an optional [`DirectRef`] (§6) used by
+//! the `SMC (direct)` query variants of Figs 10–13.
+//!
+//! Strings are inline at the spec's column widths (tabular restriction,
+//! §2); enumerated columns (`returnflag`, `mktsegment`, priorities, ...)
+//! are stored as `u8` indexes into the spec's value pools — the same
+//! dictionary trick any OO adaptation would use, decoded on output.
+
+use std::sync::Arc;
+
+use smc::{ColumnArrays, Columnar, ColumnarSmc, DirectRef, Ref, Smc};
+use smc_memory::{Decimal, InlineStr, Runtime, Tabular};
+
+use crate::gen::Generator;
+use crate::text;
+
+/// REGION object.
+#[derive(Clone, Copy)]
+pub struct Region {
+    pub key: i64,
+    pub name: InlineStr<16>,
+    pub comment: InlineStr<80>,
+}
+unsafe impl Tabular for Region {}
+
+/// NATION object.
+#[derive(Clone, Copy)]
+pub struct Nation {
+    pub key: i64,
+    pub name: InlineStr<20>,
+    pub regionkey: i64,
+    pub region: Ref<Region>,
+    pub comment: InlineStr<100>,
+}
+unsafe impl Tabular for Nation {}
+
+/// SUPPLIER object.
+#[derive(Clone, Copy)]
+pub struct Supplier {
+    pub key: i64,
+    pub name: InlineStr<20>,
+    pub address: InlineStr<20>,
+    pub nationkey: i64,
+    pub nation: Ref<Nation>,
+    pub phone: InlineStr<16>,
+    pub acctbal: Decimal,
+    pub comment: InlineStr<60>,
+}
+unsafe impl Tabular for Supplier {}
+
+/// PART object.
+#[derive(Clone, Copy)]
+pub struct Part {
+    pub key: i64,
+    pub name: InlineStr<56>,
+    pub mfgr: InlineStr<16>,
+    pub brand: InlineStr<10>,
+    pub typ: InlineStr<25>,
+    pub size: i32,
+    pub container: InlineStr<10>,
+    pub retailprice: Decimal,
+    pub comment: InlineStr<20>,
+}
+unsafe impl Tabular for Part {}
+
+/// PARTSUPP object.
+#[derive(Clone, Copy)]
+pub struct PartSupp {
+    pub partkey: i64,
+    pub suppkey: i64,
+    pub part: Ref<Part>,
+    pub supplier: Ref<Supplier>,
+    pub availqty: i32,
+    pub supplycost: Decimal,
+    pub comment: InlineStr<40>,
+}
+unsafe impl Tabular for PartSupp {}
+
+/// CUSTOMER object.
+#[derive(Clone, Copy)]
+pub struct Customer {
+    pub key: i64,
+    pub name: InlineStr<20>,
+    pub address: InlineStr<20>,
+    pub nationkey: i64,
+    pub nation: Ref<Nation>,
+    pub phone: InlineStr<16>,
+    pub acctbal: Decimal,
+    /// Index into [`text::SEGMENTS`].
+    pub mktsegment: u8,
+    pub comment: InlineStr<60>,
+}
+unsafe impl Tabular for Customer {}
+
+/// ORDERS object.
+#[derive(Clone, Copy)]
+pub struct Order {
+    pub key: i64,
+    pub custkey: i64,
+    pub customer: Ref<Customer>,
+    /// §6 direct pointer to the same customer (Fig 10 nested enumeration,
+    /// Fig 12 direct variant).
+    pub customer_d: Option<DirectRef<Customer>>,
+    pub orderstatus: u8,
+    pub totalprice: Decimal,
+    pub orderdate: i32,
+    /// Index into [`text::PRIORITIES`].
+    pub orderpriority: u8,
+    pub clerk: InlineStr<16>,
+    pub shippriority: i32,
+    pub comment: InlineStr<48>,
+}
+unsafe impl Tabular for Order {}
+
+/// LINEITEM object.
+#[derive(Clone, Copy)]
+pub struct Lineitem {
+    pub orderkey: i64,
+    pub partkey: i64,
+    pub suppkey: i64,
+    pub order: Ref<Order>,
+    pub part: Ref<Part>,
+    pub supplier: Ref<Supplier>,
+    /// Direct-pointer twins of the reference joins (§6).
+    pub order_d: Option<DirectRef<Order>>,
+    pub supplier_d: Option<DirectRef<Supplier>>,
+    pub linenumber: i32,
+    pub quantity: Decimal,
+    pub extendedprice: Decimal,
+    pub discount: Decimal,
+    pub tax: Decimal,
+    pub returnflag: u8,
+    pub linestatus: u8,
+    pub shipdate: i32,
+    pub commitdate: i32,
+    pub receiptdate: i32,
+    /// Index into [`text::INSTRUCTIONS`].
+    pub shipinstruct: u8,
+    /// Index into [`text::MODES`].
+    pub shipmode: u8,
+    pub comment: InlineStr<27>,
+}
+unsafe impl Tabular for Lineitem {}
+
+/// Columnar projection of LINEITEM for the §4.1 variant (Fig 12): the
+/// columns Q1–Q6 touch, shredded into per-column arrays.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LineitemCol {
+    pub orderkey: i64,
+    pub quantity: Decimal,
+    pub extendedprice: Decimal,
+    pub discount: Decimal,
+    pub tax: Decimal,
+    pub returnflag: u8,
+    pub linestatus: u8,
+    pub shipdate: i32,
+    pub commitdate: i32,
+    pub receiptdate: i32,
+    pub order: Ref<Order>,
+    pub supplier: Ref<Supplier>,
+}
+unsafe impl Tabular for LineitemCol {}
+
+/// Column indices of [`LineitemCol`] (keep in sync with `COLUMN_WIDTHS`).
+pub mod licol {
+    pub const ORDERKEY: usize = 0;
+    pub const QUANTITY: usize = 1;
+    pub const EXTENDEDPRICE: usize = 2;
+    pub const DISCOUNT: usize = 3;
+    pub const TAX: usize = 4;
+    pub const RETURNFLAG: usize = 5;
+    pub const LINESTATUS: usize = 6;
+    pub const SHIPDATE: usize = 7;
+    pub const COMMITDATE: usize = 8;
+    pub const RECEIPTDATE: usize = 9;
+    pub const ORDER: usize = 10;
+    pub const SUPPLIER: usize = 11;
+}
+
+unsafe impl Columnar for LineitemCol {
+    const COLUMN_WIDTHS: &'static [usize] = &[8, 16, 16, 16, 16, 1, 1, 4, 4, 4, 16, 16];
+
+    unsafe fn scatter(&self, cols: &ColumnArrays, slot: usize) {
+        cols.cell::<i64>(licol::ORDERKEY, slot).write(self.orderkey);
+        cols.cell::<Decimal>(licol::QUANTITY, slot).write(self.quantity);
+        cols.cell::<Decimal>(licol::EXTENDEDPRICE, slot).write(self.extendedprice);
+        cols.cell::<Decimal>(licol::DISCOUNT, slot).write(self.discount);
+        cols.cell::<Decimal>(licol::TAX, slot).write(self.tax);
+        cols.cell::<u8>(licol::RETURNFLAG, slot).write(self.returnflag);
+        cols.cell::<u8>(licol::LINESTATUS, slot).write(self.linestatus);
+        cols.cell::<i32>(licol::SHIPDATE, slot).write(self.shipdate);
+        cols.cell::<i32>(licol::COMMITDATE, slot).write(self.commitdate);
+        cols.cell::<i32>(licol::RECEIPTDATE, slot).write(self.receiptdate);
+        cols.cell::<Ref<Order>>(licol::ORDER, slot).write(self.order);
+        cols.cell::<Ref<Supplier>>(licol::SUPPLIER, slot).write(self.supplier);
+    }
+
+    unsafe fn gather(cols: &ColumnArrays, slot: usize) -> Self {
+        LineitemCol {
+            orderkey: cols.cell::<i64>(licol::ORDERKEY, slot).read(),
+            quantity: cols.cell::<Decimal>(licol::QUANTITY, slot).read(),
+            extendedprice: cols.cell::<Decimal>(licol::EXTENDEDPRICE, slot).read(),
+            discount: cols.cell::<Decimal>(licol::DISCOUNT, slot).read(),
+            tax: cols.cell::<Decimal>(licol::TAX, slot).read(),
+            returnflag: cols.cell::<u8>(licol::RETURNFLAG, slot).read(),
+            linestatus: cols.cell::<u8>(licol::LINESTATUS, slot).read(),
+            shipdate: cols.cell::<i32>(licol::SHIPDATE, slot).read(),
+            commitdate: cols.cell::<i32>(licol::COMMITDATE, slot).read(),
+            receiptdate: cols.cell::<i32>(licol::RECEIPTDATE, slot).read(),
+            order: cols.cell::<Ref<Order>>(licol::ORDER, slot).read(),
+            supplier: cols.cell::<Ref<Supplier>>(licol::SUPPLIER, slot).read(),
+        }
+    }
+}
+
+/// The full TPC-H database over self-managed collections.
+pub struct SmcDb {
+    pub runtime: Arc<Runtime>,
+    pub regions: Smc<Region>,
+    pub nations: Smc<Nation>,
+    pub suppliers: Smc<Supplier>,
+    pub parts: Smc<Part>,
+    pub partsupps: Smc<PartSupp>,
+    pub customers: Smc<Customer>,
+    pub orders: Smc<Order>,
+    pub lineitems: Smc<Lineitem>,
+    /// Columnar twin of the lineitem collection (loaded on demand).
+    pub lineitems_col: Option<ColumnarSmc<LineitemCol>>,
+}
+
+impl SmcDb {
+    /// Generates and loads the database at the generator's scale factor.
+    /// `with_columnar` additionally loads the §4.1 columnar lineitem twin.
+    pub fn load(gen: &Generator, with_columnar: bool) -> SmcDb {
+        let runtime = Runtime::new();
+        let regions: Smc<Region> = Smc::new(&runtime);
+        let nations: Smc<Nation> = Smc::new(&runtime);
+        let suppliers: Smc<Supplier> = Smc::new(&runtime);
+        let parts: Smc<Part> = Smc::new(&runtime);
+        let partsupps: Smc<PartSupp> = Smc::new(&runtime);
+        let customers: Smc<Customer> = Smc::new(&runtime);
+        let orders: Smc<Order> = Smc::new(&runtime);
+        let lineitems: Smc<Lineitem> = Smc::new(&runtime);
+        let lineitems_col: Option<ColumnarSmc<LineitemCol>> =
+            with_columnar.then(|| ColumnarSmc::new(&runtime));
+
+        // Key → reference maps, dense (keys are 0.. or 1..N).
+        let mut region_refs = Vec::new();
+        gen.regions(|r| {
+            region_refs.push(regions.add(Region {
+                key: r.key,
+                name: r.name.as_str().into(),
+                comment: r.comment.as_str().into(),
+            }));
+        });
+        let mut nation_refs = Vec::new();
+        gen.nations(|n| {
+            nation_refs.push(nations.add(Nation {
+                key: n.key,
+                name: n.name.as_str().into(),
+                regionkey: n.region,
+                region: region_refs[n.region as usize],
+                comment: n.comment.as_str().into(),
+            }));
+        });
+        let mut supplier_refs = Vec::with_capacity(gen.cardinalities().suppliers + 1);
+        supplier_refs.push(Ref::null()); // keys are 1-based
+        gen.suppliers(|s| {
+            supplier_refs.push(suppliers.add(Supplier {
+                key: s.key,
+                name: s.name.as_str().into(),
+                address: s.address.as_str().into(),
+                nationkey: s.nation,
+                nation: nation_refs[s.nation as usize],
+                phone: s.phone.as_str().into(),
+                acctbal: s.acctbal,
+                comment: s.comment.as_str().into(),
+            }));
+        });
+        let mut part_refs = Vec::with_capacity(gen.cardinalities().parts + 1);
+        part_refs.push(Ref::null());
+        gen.parts(|p| {
+            part_refs.push(parts.add(Part {
+                key: p.key,
+                name: p.name.as_str().into(),
+                mfgr: p.mfgr.as_str().into(),
+                brand: p.brand.as_str().into(),
+                typ: p.typ.as_str().into(),
+                size: p.size,
+                container: p.container.as_str().into(),
+                retailprice: p.retailprice,
+                comment: p.comment.as_str().into(),
+            }));
+        });
+        gen.partsupps(|ps| {
+            partsupps.add(PartSupp {
+                partkey: ps.part,
+                suppkey: ps.supplier,
+                part: part_refs[ps.part as usize],
+                supplier: supplier_refs[ps.supplier as usize],
+                availqty: ps.availqty,
+                supplycost: ps.supplycost,
+                comment: ps.comment.as_str().into(),
+            });
+        });
+        let mut customer_refs = Vec::with_capacity(gen.cardinalities().customers + 1);
+        customer_refs.push(Ref::null());
+        gen.customers(|c| {
+            customer_refs.push(customers.add(Customer {
+                key: c.key,
+                name: c.name.as_str().into(),
+                address: c.address.as_str().into(),
+                nationkey: c.nation,
+                nation: nation_refs[c.nation as usize],
+                phone: c.phone.as_str().into(),
+                acctbal: c.acctbal,
+                mktsegment: text::SEGMENTS
+                    .iter()
+                    .position(|s| *s == c.mktsegment)
+                    .unwrap() as u8,
+                comment: c.comment.as_str().into(),
+            }));
+        });
+        {
+            // Direct pointers are resolved inside one critical section.
+            let guard = runtime.pin();
+            gen.orders(|o, lines| {
+                let customer = customer_refs[o.customer as usize];
+                let order_ref = orders.add(Order {
+                    key: o.key,
+                    custkey: o.customer,
+                    customer,
+                    customer_d: customer.to_direct(&guard),
+                    orderstatus: o.orderstatus as u8,
+                    totalprice: o.totalprice,
+                    orderdate: o.orderdate,
+                    orderpriority: text::PRIORITIES
+                        .iter()
+                        .position(|p| *p == o.orderpriority)
+                        .unwrap() as u8,
+                    clerk: o.clerk.as_str().into(),
+                    shippriority: o.shippriority,
+                    comment: o.comment.as_str().into(),
+                });
+                for l in lines {
+                    let supplier = supplier_refs[l.supplier as usize];
+                    let li = Lineitem {
+                        orderkey: l.order,
+                        partkey: l.part,
+                        suppkey: l.supplier,
+                        order: order_ref,
+                        part: part_refs[l.part as usize],
+                        supplier,
+                        order_d: order_ref.to_direct(&guard),
+                        supplier_d: supplier.to_direct(&guard),
+                        linenumber: l.linenumber,
+                        quantity: l.quantity,
+                        extendedprice: l.extendedprice,
+                        discount: l.discount,
+                        tax: l.tax,
+                        returnflag: l.returnflag as u8,
+                        linestatus: l.linestatus as u8,
+                        shipdate: l.shipdate,
+                        commitdate: l.commitdate,
+                        receiptdate: l.receiptdate,
+                        shipinstruct: text::INSTRUCTIONS
+                            .iter()
+                            .position(|s| *s == l.shipinstruct)
+                            .unwrap() as u8,
+                        shipmode: text::MODES
+                            .iter()
+                            .position(|s| *s == l.shipmode)
+                            .unwrap() as u8,
+                        comment: l.comment.as_str().into(),
+                    };
+                    lineitems.add(li);
+                    if let Some(col) = &lineitems_col {
+                        col.add(LineitemCol {
+                            orderkey: li.orderkey,
+                            quantity: li.quantity,
+                            extendedprice: li.extendedprice,
+                            discount: li.discount,
+                            tax: li.tax,
+                            returnflag: li.returnflag,
+                            linestatus: li.linestatus,
+                            shipdate: li.shipdate,
+                            commitdate: li.commitdate,
+                            receiptdate: li.receiptdate,
+                            order: li.order,
+                            supplier: li.supplier,
+                        });
+                    }
+                }
+            });
+        }
+        SmcDb {
+            runtime,
+            regions,
+            nations,
+            suppliers,
+            parts,
+            partsupps,
+            customers,
+            orders,
+            lineitems,
+            lineitems_col,
+        }
+    }
+
+    /// Total off-heap bytes across all collections.
+    pub fn memory_bytes(&self) -> usize {
+        self.regions.memory_bytes()
+            + self.nations.memory_bytes()
+            + self.suppliers.memory_bytes()
+            + self.parts.memory_bytes()
+            + self.partsupps.memory_bytes()
+            + self.customers.memory_bytes()
+            + self.orders.memory_bytes()
+            + self.lineitems.memory_bytes()
+            + self.lineitems_col.as_ref().map_or(0, |c| c.memory_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_small_db_and_count() {
+        let gen = Generator::new(0.002);
+        let db = SmcDb::load(&gen, true);
+        let c = gen.cardinalities();
+        assert_eq!(db.regions.len(), 5);
+        assert_eq!(db.nations.len(), 25);
+        assert_eq!(db.suppliers.len(), c.suppliers as u64);
+        assert_eq!(db.parts.len(), c.parts as u64);
+        assert_eq!(db.customers.len(), c.customers as u64);
+        assert_eq!(db.orders.len(), c.orders as u64);
+        assert!(db.lineitems.len() >= c.orders as u64, "1..=7 lines per order");
+        assert_eq!(db.lineitems.len(), db.lineitems_col.as_ref().unwrap().len());
+        assert!(db.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn reference_joins_resolve() {
+        let gen = Generator::new(0.001);
+        let db = SmcDb::load(&gen, false);
+        let g = db.runtime.pin();
+        let mut checked = 0;
+        db.lineitems.for_each(&g, |l| {
+            let o = l.order.get(&g).expect("order reachable");
+            assert_eq!(o.key, l.orderkey);
+            let c = o.customer.get(&g).expect("customer reachable");
+            assert_eq!(c.key, o.custkey);
+            let n = c.nation.get(&g).expect("nation reachable");
+            assert!(n.region.get(&g).is_some());
+            checked += 1;
+        });
+        assert!(checked > 500);
+    }
+
+    #[test]
+    fn direct_refs_agree_with_checked_refs() {
+        let gen = Generator::new(0.001);
+        let db = SmcDb::load(&gen, false);
+        let g = db.runtime.pin();
+        db.lineitems.for_each(&g, |l| {
+            let via_ref = l.order.get(&g).unwrap().key;
+            let via_direct = l.order_d.unwrap().get(&g).unwrap().key;
+            assert_eq!(via_ref, via_direct);
+            let s_ref = l.supplier.get(&g).unwrap().key;
+            let s_dir = l.supplier_d.unwrap().get(&g).unwrap().key;
+            assert_eq!(s_ref, s_dir);
+        });
+    }
+
+    #[test]
+    fn columnar_twin_matches_row_data() {
+        let gen = Generator::new(0.001);
+        let db = SmcDb::load(&gen, true);
+        let col = db.lineitems_col.as_ref().unwrap();
+        let g = db.runtime.pin();
+        let mut row_sum = Decimal::ZERO;
+        db.lineitems.for_each(&g, |l| row_sum += l.extendedprice);
+        let mut col_sum = Decimal::ZERO;
+        col.for_each(&g, |l| col_sum += l.extendedprice);
+        assert_eq!(row_sum, col_sum);
+    }
+}

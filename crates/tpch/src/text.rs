@@ -1,0 +1,186 @@
+//! TPC-H text pools: the fixed value lists of the specification plus a
+//! small grammar for comment strings.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// `N_NAME`/`N_REGIONKEY` per the TPC-H spec (nation → region index).
+pub const NATIONS: &[(&str, usize)] = &[
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+/// `R_NAME` per the spec.
+pub const REGIONS: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// `C_MKTSEGMENT` values.
+pub const SEGMENTS: &[&str] = &["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+
+/// `O_ORDERPRIORITY` values.
+pub const PRIORITIES: &[&str] = &["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+/// `L_SHIPINSTRUCT` values.
+pub const INSTRUCTIONS: &[&str] =
+    &["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+
+/// `L_SHIPMODE` values.
+pub const MODES: &[&str] = &["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+
+/// Part name syllables (`P_NAME` is five words from this list).
+pub const PART_NAME_WORDS: &[&str] = &[
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
+    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
+    "cornflower", "cornsilk", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
+    "floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+    "hot", "hotpink", "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon", "light",
+    "lime", "linen", "magenta", "maroon", "medium", "metallic", "midnight", "mint", "misty",
+    "moccasin", "navajo", "navy", "olive", "orange", "orchid", "pale", "papaya", "peach", "peru",
+    "pink", "plum", "powder", "puff", "purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
+    "sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring", "steel", "tan",
+    "thistle", "tomato", "turquoise", "violet", "wheat", "white", "yellow",
+];
+
+/// `P_TYPE` is one word from each of these three lists.
+pub const TYPE_SYLLABLE_1: &[&str] =
+    &["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+/// Second type syllable.
+pub const TYPE_SYLLABLE_2: &[&str] = &["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+/// Third type syllable (Q2 filters on a `%BRASS` suffix).
+pub const TYPE_SYLLABLE_3: &[&str] = &["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+
+/// `P_CONTAINER` syllables.
+pub const CONTAINER_1: &[&str] = &["SM", "LG", "MED", "JUMBO", "WRAP"];
+/// Second container syllable.
+pub const CONTAINER_2: &[&str] = &["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+
+const COMMENT_WORDS: &[&str] = &[
+    "the", "special", "pending", "furiously", "express", "requests", "deposits", "packages",
+    "carefully", "quickly", "blithely", "slyly", "regular", "final", "ironic", "even", "bold",
+    "silent", "unusual", "accounts", "theodolites", "platelets", "instructions", "dependencies",
+    "foxes", "pinto", "beans", "warthogs", "courts", "dolphins", "multipliers", "sauternes",
+    "asymptotes", "sleep", "wake", "cajole", "nag", "haggle", "integrate", "boost", "detect",
+    "along", "among", "about", "above", "across", "after", "against",
+];
+
+/// Picks one element of a fixed pool.
+pub fn pick<'a>(rng: &mut StdRng, pool: &[&'a str]) -> &'a str {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+/// Generates pseudo-text of roughly `max_len` bytes (truncated at a word).
+pub fn comment(rng: &mut StdRng, max_len: usize) -> String {
+    let mut out = String::new();
+    while out.len() < max_len.saturating_sub(12) {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(pick(rng, COMMENT_WORDS));
+    }
+    out.truncate(max_len);
+    out
+}
+
+/// `P_NAME`: five distinct-ish name words.
+pub fn part_name(rng: &mut StdRng) -> String {
+    let mut words = Vec::with_capacity(5);
+    for _ in 0..5 {
+        words.push(pick(rng, PART_NAME_WORDS));
+    }
+    words.join(" ")
+}
+
+/// `P_TYPE`: three syllables.
+pub fn part_type(rng: &mut StdRng) -> String {
+    format!(
+        "{} {} {}",
+        pick(rng, TYPE_SYLLABLE_1),
+        pick(rng, TYPE_SYLLABLE_2),
+        pick(rng, TYPE_SYLLABLE_3)
+    )
+}
+
+/// `P_CONTAINER`: two syllables.
+pub fn container(rng: &mut StdRng) -> String {
+    format!("{} {}", pick(rng, CONTAINER_1), pick(rng, CONTAINER_2))
+}
+
+/// Phone number in the spec's `CC-NNN-NNN-NNNN` shape.
+pub fn phone(rng: &mut StdRng, nation: usize) -> String {
+    format!(
+        "{}-{}-{}-{}",
+        nation + 10,
+        rng.gen_range(100..1000),
+        rng.gen_range(100..1000),
+        rng.gen_range(1000..10000)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pools_match_spec_sizes() {
+        assert_eq!(NATIONS.len(), 25);
+        assert_eq!(REGIONS.len(), 5);
+        assert_eq!(SEGMENTS.len(), 5);
+        assert_eq!(PRIORITIES.len(), 5);
+        assert_eq!(MODES.len(), 7);
+        assert!(NATIONS.iter().all(|(_, r)| *r < REGIONS.len()));
+    }
+
+    #[test]
+    fn comment_respects_length_and_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let ca = comment(&mut a, 44);
+        let cb = comment(&mut b, 44);
+        assert_eq!(ca, cb);
+        assert!(ca.len() <= 44);
+        assert!(!ca.is_empty());
+    }
+
+    #[test]
+    fn type_strings_cover_brass() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut brass = 0;
+        for _ in 0..1000 {
+            if part_type(&mut rng).ends_with("BRASS") {
+                brass += 1;
+            }
+        }
+        // 1/5 of types end in BRASS.
+        assert!((150..250).contains(&brass), "brass count {brass}");
+    }
+
+    #[test]
+    fn phone_has_nation_prefix() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = phone(&mut rng, 5);
+        assert!(p.starts_with("15-"));
+    }
+}

@@ -1,0 +1,79 @@
+//! The paper's §1 motivating scenario: a business-intelligence application
+//! that loads the company's data into collections of objects on startup and
+//! analyses it with language-integrated queries — no external DBMS.
+//!
+//! Run with: `cargo run --release --example business_intelligence -- [sf]`
+
+
+fn main() {
+    let sf: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.02);
+    let gen = tpch::Generator::new(sf);
+    println!("loading business data at scale factor {sf}...");
+    let t0 = std::time::Instant::now();
+    let db = tpch::smcdb::SmcDb::load(&gen, false);
+    println!(
+        "loaded {} lineitems / {} orders / {} customers in {:.1?} ({} MiB off-heap)",
+        db.lineitems.len(),
+        db.orders.len(),
+        db.customers.len(),
+        t0.elapsed(),
+        db.memory_bytes() / (1024 * 1024)
+    );
+
+    let params = tpch::Params::default();
+
+    // Dashboard panel 1: the pricing summary (TPC-H Q1).
+    let t = std::time::Instant::now();
+    let q1 = tpch::queries::smc_q::q1(&db, &params);
+    println!("\npricing summary ({:.1?}):", t.elapsed());
+    println!("  flag status          qty        price   avg_disc    rows");
+    for row in &q1 {
+        println!(
+            "     {}      {} {:>12} {:>12} {:>10} {:>7}",
+            row.returnflag as char,
+            row.linestatus as char,
+            row.sum_qty.trunc_to_i64(),
+            row.sum_base_price.trunc_to_i64(),
+            row.avg_disc().to_string(),
+            row.count
+        );
+    }
+
+    // Dashboard panel 2: top unshipped orders (TPC-H Q3).
+    let t = std::time::Instant::now();
+    let q3 = tpch::queries::smc_q::q3(&db, &params);
+    println!("\ntop unshipped orders in the {} segment ({:.1?}):", params.q3_segment, t.elapsed());
+    for row in q3.iter().take(5) {
+        println!(
+            "  order {:>8}  revenue {:>14}  placed {}",
+            row.orderkey,
+            row.revenue.to_string(),
+            tpch::dates::format_date(row.orderdate)
+        );
+    }
+
+    // Dashboard panel 3: revenue by nation (TPC-H Q5).
+    let t = std::time::Instant::now();
+    let q5 = tpch::queries::smc_q::q5(&db, &params);
+    println!("\n{} revenue by nation, {} ({:.1?}):", params.q5_region, 1994, t.elapsed());
+    for row in &q5 {
+        println!("  {:<16} {:>16}", row.nation, row.revenue.to_string());
+    }
+
+    // Interactive refresh: the evening data load arrives.
+    let mut rng = tpch::workloads::workload_rng(99);
+    let victims = tpch::workloads::pick_victims(&mut rng, db.orders.len() as i64, 200);
+    let removed = tpch::workloads::smc_removal_stream(&db, &victims);
+    tpch::workloads::smc_insert_stream(&db, &mut rng, 5_000_000_000, 500);
+    println!("\nrefresh applied: -{removed} +500 lineitems; rerunning Q1...");
+    let t = std::time::Instant::now();
+    let q1b = tpch::queries::smc_q::q1(&db, &params);
+    println!(
+        "updated pricing summary in {:.1?} (row count deltas: {:?})",
+        t.elapsed(),
+        q1.iter()
+            .zip(&q1b)
+            .map(|(a, b)| b.count as i64 - a.count as i64)
+            .collect::<Vec<_>>()
+    );
+}

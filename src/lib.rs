@@ -1,0 +1,10 @@
+//! Umbrella crate for the SMC reproduction workspace.
+//!
+//! Re-exports the member crates so integration tests and examples at the
+//! repository root can use one import path.
+pub use columnstore;
+pub use managed_heap;
+pub use smc;
+pub use smc_memory;
+pub use smc_query;
+pub use tpch;
