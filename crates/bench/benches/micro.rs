@@ -1,9 +1,14 @@
-//! Criterion micro-benchmarks for the core mechanisms: allocation, free,
-//! dereference (checked vs direct), epoch pinning, enumeration per layout,
-//! and compaction. These complement the figure binaries with
-//! statistically-sound per-operation costs.
+//! Micro-benchmarks for the core mechanisms: allocation, free, dereference
+//! (checked vs direct), epoch pinning, enumeration per layout, and
+//! compaction. These complement the figure binaries with per-operation
+//! costs.
+//!
+//! Dependency-free harness (`harness = false`): each benchmark runs a warmup
+//! pass and then reports the median of several timed batches. Run with
+//! `cargo bench --bench micro`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
 
 use smc::{ContextConfig, Smc};
 use smc_memory::{Decimal, Runtime, Tabular};
@@ -18,123 +23,137 @@ struct Row {
 unsafe impl Tabular for Row {}
 
 fn row(i: u64) -> Row {
-    Row { key: i, price: Decimal::from_cents(i as i64), pad: [i; 12] }
+    Row {
+        key: i,
+        price: Decimal::from_cents(i as i64),
+        pad: [i; 12],
+    }
 }
 
-fn bench_alloc_free(c: &mut Criterion) {
-    let mut g = c.benchmark_group("alloc_free");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("smc_add", |b| {
+/// Times `iters` calls of `f` per batch, over `batches` batches, and prints
+/// the median per-op cost in nanoseconds.
+fn report<R>(name: &str, batches: usize, iters: u64, mut f: impl FnMut() -> R) {
+    // Warmup.
+    for _ in 0..iters.min(10_000) {
+        black_box(f());
+    }
+    let mut per_op: Vec<f64> = (0..batches)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_op.sort_by(|a, b| a.total_cmp(b));
+    println!(
+        "{name:<28} {:>12.1} ns/op  (median of {batches} x {iters})",
+        per_op[batches / 2]
+    );
+}
+
+fn bench_alloc_free() {
+    {
         let rt = Runtime::new();
         let col: Smc<Row> = Smc::new(&rt);
         let mut i = 0u64;
-        b.iter(|| {
+        report("alloc_free/smc_add", 9, 100_000, || {
             i += 1;
             col.add(row(i))
         });
-    });
-    g.bench_function("smc_add_remove", |b| {
+    }
+    {
         let rt = Runtime::new();
         let col: Smc<Row> = Smc::new(&rt);
         let mut i = 0u64;
-        b.iter(|| {
+        report("alloc_free/smc_add_remove", 9, 100_000, || {
             i += 1;
             let r = col.add(row(i));
             col.remove(r)
         });
-    });
-    g.finish();
+    }
 }
 
-fn bench_deref(c: &mut Criterion) {
+fn bench_deref() {
     let rt = Runtime::new();
     let col: Smc<Row> = Smc::new(&rt);
     let refs: Vec<_> = (0..10_000u64).map(|i| col.add(row(i))).collect();
     let guard = rt.pin();
     let directs: Vec<_> = refs.iter().map(|r| r.to_direct(&guard).unwrap()).collect();
-    let mut g = c.benchmark_group("deref");
-    g.throughput(Throughput::Elements(1));
     let mut i = 0usize;
-    g.bench_function("checked_ref", |b| {
-        b.iter(|| {
-            i = (i + 1) % refs.len();
-            refs[i].get(&guard).unwrap().key
-        })
+    report("deref/checked_ref", 9, 1_000_000, || {
+        i = (i + 1) % refs.len();
+        refs[i].get(&guard).unwrap().key
     });
-    g.bench_function("direct_ref", |b| {
-        b.iter(|| {
-            i = (i + 1) % directs.len();
-            directs[i].get(&guard).unwrap().key
-        })
+    report("deref/direct_ref", 9, 1_000_000, || {
+        i = (i + 1) % directs.len();
+        directs[i].get(&guard).unwrap().key
     });
-    g.finish();
     drop(guard);
 }
 
-fn bench_epoch(c: &mut Criterion) {
+fn bench_epoch() {
     let rt = Runtime::new();
-    c.bench_function("epoch_pin_unpin", |b| b.iter(|| rt.pin()));
+    report("epoch_pin_unpin", 9, 1_000_000, || rt.pin());
 }
 
-fn bench_enumeration(c: &mut Criterion) {
+fn bench_enumeration() {
     let rt = Runtime::new();
     let col: Smc<Row> = Smc::new(&rt);
     for i in 0..100_000u64 {
         col.add(row(i));
     }
-    let mut g = c.benchmark_group("enumerate_100k");
-    g.throughput(Throughput::Elements(100_000));
-    g.bench_function("for_each", |b| {
-        b.iter(|| {
-            let guard = rt.pin();
-            let mut acc = 0u64;
-            col.for_each(&guard, |r| acc = acc.wrapping_add(r.key));
-            acc
-        })
+    report("enumerate_100k/for_each", 9, 10, || {
+        let guard = rt.pin();
+        let mut acc = 0u64;
+        col.for_each(&guard, |r| acc = acc.wrapping_add(r.key));
+        acc
     });
-    g.bench_function("iter_refs", |b| {
-        b.iter(|| {
-            let guard = rt.pin();
-            col.iter(&guard).map(|(_, r)| r.key).fold(0u64, u64::wrapping_add)
-        })
+    report("enumerate_100k/iter_refs", 9, 10, || {
+        let guard = rt.pin();
+        col.iter(&guard)
+            .map(|(_, r)| r.key)
+            .fold(0u64, u64::wrapping_add)
     });
-    g.finish();
 }
 
-fn bench_compaction(c: &mut Criterion) {
-    c.bench_function("compact_3_sparse_blocks", |b| {
-        b.iter_batched(
-            || {
-                let rt = Runtime::new();
-                let mut cfg = ContextConfig::default();
-                cfg.reclamation_threshold = 1.1;
-                let col: Smc<Row> = Smc::with_config(&rt, cfg);
-                let cap = col.context().layout().capacity as u64;
-                let refs: Vec<_> = (0..cap * 3).map(|i| col.add(row(i))).collect();
-                for (i, r) in refs.iter().enumerate() {
-                    if i % 10 != 0 {
-                        col.remove(*r);
-                    }
+fn bench_compaction() {
+    // Setup is excluded from timing: build a fresh sparse collection per
+    // iteration, time only the compact + release.
+    let mut samples: Vec<f64> = (0..9)
+        .map(|_| {
+            let rt = Runtime::new();
+            let cfg = ContextConfig {
+                reclamation_threshold: 1.1,
+                ..ContextConfig::default()
+            };
+            let col: Smc<Row> = Smc::with_config(&rt, cfg);
+            let cap = col.context().layout().capacity as u64;
+            let refs: Vec<_> = (0..cap * 3).map(|i| col.add(row(i))).collect();
+            for (i, r) in refs.iter().enumerate() {
+                if i % 10 != 0 {
+                    col.remove(*r);
                 }
-                (rt, col)
-            },
-            |(_rt, col)| {
-                let rep = col.compact();
-                col.release_retired();
-                rep.moved
-            },
-            BatchSize::LargeInput,
-        )
-    });
+            }
+            let start = Instant::now();
+            let rep = col.compact();
+            col.release_retired();
+            black_box(rep.moved);
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    println!(
+        "{:<28} {:>12.1} ns/op  (median of 9 x 1)",
+        "compact_3_sparse_blocks", samples[4]
+    );
 }
 
-fn config() -> Criterion {
-    Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500))
+fn main() {
+    bench_alloc_free();
+    bench_deref();
+    bench_epoch();
+    bench_enumeration();
+    bench_compaction();
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_alloc_free, bench_deref, bench_epoch, bench_enumeration, bench_compaction
-}
-criterion_main!(benches);

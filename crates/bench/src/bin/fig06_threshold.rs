@@ -20,11 +20,17 @@ unsafe impl Tabular for Row {}
 
 fn run_at_threshold(threshold: f64, n: usize, churn_rounds: usize) -> (f64, f64, f64) {
     let rt = Runtime::new();
-    let config = ContextConfig { reclamation_threshold: threshold, ..ContextConfig::default() };
+    let config = ContextConfig {
+        reclamation_threshold: threshold,
+        ..ContextConfig::default()
+    };
     let c: Smc<Row> = Smc::with_config(&rt, config);
     let mut refs = Vec::with_capacity(n);
     for i in 0..n {
-        refs.push(c.add(Row { key: i as u64, payload: [i as u64; 16] }));
+        refs.push(c.add(Row {
+            key: i as u64,
+            payload: [i as u64; 16],
+        }));
     }
     // Churn phase: measure combined remove+insert throughput. Removal
     // pattern is strided so limbo slots spread across blocks.
@@ -40,7 +46,10 @@ fn run_at_threshold(threshold: f64, n: usize, churn_rounds: usize) -> (f64, f64,
                 i += stride;
             }
             for &slot in &removed {
-                refs[slot] = c.add(Row { key: slot as u64, payload: [slot as u64; 16] });
+                refs[slot] = c.add(Row {
+                    key: slot as u64,
+                    payload: [slot as u64; 16],
+                });
             }
         }
     });
@@ -52,7 +61,11 @@ fn run_at_threshold(threshold: f64, n: usize, churn_rounds: usize) -> (f64, f64,
         std::hint::black_box(acc);
     });
     let memory = c.memory_bytes() as f64;
-    (churn_ops(n, churn_rounds) / churn_time.as_secs_f64(), 1.0 / query_time.as_secs_f64(), memory)
+    (
+        churn_ops(n, churn_rounds) / churn_time.as_secs_f64(),
+        1.0 / query_time.as_secs_f64(),
+        memory,
+    )
 }
 
 fn churn_ops(n: usize, rounds: usize) -> f64 {
@@ -64,8 +77,13 @@ fn main() {
     let n = arg_usize("--objects", 200_000);
     let rounds = arg_usize("--rounds", 6);
     println!("Figure 6: varying the reclamation threshold ({n} objects, {rounds} churn rounds)");
-    println!("{:>10} {:>18} {:>18} {:>14}", "threshold", "alloc/remove", "query perf", "memory");
-    let thresholds = [0.01, 0.02, 0.05, 0.10, 0.20, 0.30, 0.40, 0.50, 0.70, 0.90, 0.99];
+    println!(
+        "{:>10} {:>18} {:>18} {:>14}",
+        "threshold", "alloc/remove", "query perf", "memory"
+    );
+    let thresholds = [
+        0.01, 0.02, 0.05, 0.10, 0.20, 0.30, 0.40, 0.50, 0.70, 0.90, 0.99,
+    ];
     let results: Vec<(f64, f64, f64, f64)> = thresholds
         .iter()
         .map(|&t| {
@@ -76,7 +94,12 @@ fn main() {
     let max_a = results.iter().map(|r| r.1).fold(0.0, f64::max);
     let max_q = results.iter().map(|r| r.2).fold(0.0, f64::max);
     let max_m = results.iter().map(|r| r.3).fold(0.0, f64::max);
-    csv(&["threshold_pct", "alloc_removal_norm", "query_norm", "memory_norm"]);
+    csv(&[
+        "threshold_pct",
+        "alloc_removal_norm",
+        "query_norm",
+        "memory_norm",
+    ]);
     for (t, a, q, m) in results {
         let (an, qn, mn) = (a / max_a, q / max_q, m / max_m);
         println!("{:>9.0}% {:>18.3} {:>18.3} {:>14.3}", t * 100.0, an, qn, mn);

@@ -8,7 +8,9 @@
 
 use std::sync::Arc;
 
-use managed_heap::{GcConcurrentBag, GcConcurrentDictionary, GcList, GcMode, HeapConfig, ManagedHeap, Trace};
+use managed_heap::{
+    GcConcurrentBag, GcConcurrentDictionary, GcList, GcMode, HeapConfig, ManagedHeap, Trace,
+};
 use smc::Smc;
 use smc_bench::{arg_usize, csv, mops, time_once};
 use smc_memory::{Runtime, Tabular};
@@ -29,10 +31,17 @@ struct GcLine {
 impl Trace for GcLine {}
 
 fn heap(mode: GcMode) -> Arc<ManagedHeap> {
-    ManagedHeap::new(HeapConfig { mode, ..HeapConfig::default() })
+    ManagedHeap::new(HeapConfig {
+        mode,
+        ..HeapConfig::default()
+    })
 }
 
-fn run_threads(threads: usize, per_thread: usize, f: impl Fn(usize) + Send + Sync) -> std::time::Duration {
+fn run_threads(
+    threads: usize,
+    per_thread: usize,
+    f: impl Fn(usize) + Send + Sync,
+) -> std::time::Duration {
     time_once(|| {
         std::thread::scope(|s| {
             for t in 0..threads {
@@ -41,7 +50,9 @@ fn run_threads(threads: usize, per_thread: usize, f: impl Fn(usize) + Send + Syn
             }
         });
     })
-    .max(std::time::Duration::from_nanos(per_thread as u64 / 1_000_000 + 1))
+    .max(std::time::Duration::from_nanos(
+        per_thread as u64 / 1_000_000 + 1,
+    ))
 }
 
 fn bench_pure_alloc(mode: GcMode, threads: usize, per_thread: usize) -> f64 {
@@ -51,7 +62,10 @@ fn bench_pure_alloc(mode: GcMode, threads: usize, per_thread: usize) -> f64 {
     let d = run_threads(threads, per_thread, |t| {
         let list = &roots[t];
         for i in 0..per_thread {
-            list.add(GcLine { key: i as u64, payload: [i as u64; 16] });
+            list.add(GcLine {
+                key: i as u64,
+                payload: [i as u64; 16],
+            });
         }
     });
     mops((threads * per_thread) as u64, d)
@@ -62,7 +76,10 @@ fn bench_bag(mode: GcMode, threads: usize, per_thread: usize) -> f64 {
     let bag: GcConcurrentBag<GcLine> = GcConcurrentBag::new(&heap);
     let d = run_threads(threads, per_thread, |t| {
         for i in 0..per_thread {
-            bag.add(GcLine { key: (t * per_thread + i) as u64, payload: [i as u64; 16] });
+            bag.add(GcLine {
+                key: (t * per_thread + i) as u64,
+                payload: [i as u64; 16],
+            });
         }
     });
     mops((threads * per_thread) as u64, d)
@@ -74,7 +91,13 @@ fn bench_dict(mode: GcMode, threads: usize, per_thread: usize) -> f64 {
     let d = run_threads(threads, per_thread, |t| {
         for i in 0..per_thread {
             let key = (t * per_thread + i) as u64;
-            dict.insert(key, GcLine { key, payload: [i as u64; 16] });
+            dict.insert(
+                key,
+                GcLine {
+                    key,
+                    payload: [i as u64; 16],
+                },
+            );
         }
     });
     mops((threads * per_thread) as u64, d)
@@ -85,7 +108,10 @@ fn bench_smc(threads: usize, per_thread: usize) -> f64 {
     let c: Smc<Line> = Smc::new(&rt);
     let d = run_threads(threads, per_thread, |t| {
         for i in 0..per_thread {
-            c.add(Line { key: (t * per_thread + i) as u64, payload: [i as u64; 16] });
+            c.add(Line {
+                key: (t * per_thread + i) as u64,
+                payload: [i as u64; 16],
+            });
         }
     });
     mops((threads * per_thread) as u64, d)
@@ -96,9 +122,25 @@ fn main() {
     println!("Figure 7: allocation throughput (millions of lineitem-sized objects/s)");
     println!(
         "{:>8} {:>14} {:>14} {:>12} {:>12} {:>12} {:>12} {:>10}",
-        "threads", "pure(inter)", "pure(batch)", "bag(inter)", "bag(batch)", "dict(inter)", "dict(batch)", "SMC"
+        "threads",
+        "pure(inter)",
+        "pure(batch)",
+        "bag(inter)",
+        "bag(batch)",
+        "dict(inter)",
+        "dict(batch)",
+        "SMC"
     );
-    csv(&["threads", "pure_interactive", "pure_batch", "bag_interactive", "bag_batch", "dict_interactive", "dict_batch", "smc"]);
+    csv(&[
+        "threads",
+        "pure_interactive",
+        "pure_batch",
+        "bag_interactive",
+        "bag_batch",
+        "dict_interactive",
+        "dict_batch",
+        "smc",
+    ]);
     for threads in [1usize, 2, 4] {
         let pi = bench_pure_alloc(GcMode::Interactive, threads, per_thread);
         let pb = bench_pure_alloc(GcMode::Batch, threads, per_thread);

@@ -18,7 +18,10 @@ fn main() {
     let streams_per_thread = arg_usize("--streams", 6);
     let gen = Generator::new(sf);
     println!("Figure 8: refresh streams per minute (SF {sf}, {streams_per_thread} streams/thread)");
-    println!("{:>8} {:>12} {:>12} {:>12}", "threads", "List", "C.Dict", "SMC");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "threads", "List", "C.Dict", "SMC"
+    );
     csv(&["threads", "list", "dict", "smc"]);
 
     for threads in [1usize, 2, 4] {

@@ -47,7 +47,7 @@ fn measure_max_timeout(heap: &Arc<ManagedHeap>, duration: Duration) -> Duration 
         let keep: GcList<Churn> = GcList::new(&churn_heap);
         let mut i = 0u64;
         while !churn_stop.load(Ordering::Relaxed) {
-            if i % 16 == 0 {
+            if i.is_multiple_of(16) {
                 keep.add(Churn { _k: i });
             } else {
                 churn_heap.alloc(&arena, Churn { _k: i });
@@ -82,7 +82,13 @@ fn main() {
         "{:>12} {:>16} {:>16} {:>18} {:>18}",
         "objects", "managed(batch)", "managed(inter)", "self-mgd(batch)", "self-mgd(inter)"
     );
-    csv(&["objects", "managed_batch_ms", "managed_interactive_ms", "smc_batch_ms", "smc_interactive_ms"]);
+    csv(&[
+        "objects",
+        "managed_batch_ms",
+        "managed_interactive_ms",
+        "smc_batch_ms",
+        "smc_interactive_ms",
+    ]);
     let mut sizes = Vec::new();
     let mut n = max_objects / 8;
     while n <= max_objects {
@@ -93,21 +99,33 @@ fn main() {
         let mut row = Vec::new();
         for mode in [GcMode::Batch, GcMode::Interactive] {
             // Managed collection: the live set sits on the traced heap.
-            let heap = ManagedHeap::new(HeapConfig { mode, ..HeapConfig::default() });
+            let heap = ManagedHeap::new(HeapConfig {
+                mode,
+                ..HeapConfig::default()
+            });
             let list: GcList<GcLine> = GcList::new(&heap);
             for i in 0..objects {
-                list.add(GcLine { _k: i as u64, _payload: [0; 16] });
+                list.add(GcLine {
+                    _k: i as u64,
+                    _payload: [0; 16],
+                });
             }
             row.push(measure_max_timeout(&heap, window));
         }
         for mode in [GcMode::Batch, GcMode::Interactive] {
             // Self-managed collection: data off-heap; the GC only sees the
             // churn thread's temporaries.
-            let heap = ManagedHeap::new(HeapConfig { mode, ..HeapConfig::default() });
+            let heap = ManagedHeap::new(HeapConfig {
+                mode,
+                ..HeapConfig::default()
+            });
             let rt = Runtime::new();
             let c: Smc<Line> = Smc::new(&rt);
             for i in 0..objects {
-                c.add(Line { _k: i as u64, _payload: [0; 16] });
+                c.add(Line {
+                    _k: i as u64,
+                    _payload: [0; 16],
+                });
             }
             row.push(measure_max_timeout(&heap, window));
             drop(c);

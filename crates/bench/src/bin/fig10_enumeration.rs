@@ -22,7 +22,13 @@ fn main() {
         "{:>22} {:>12} {:>12} {:>14} {:>14}",
         "series", "flat fresh", "flat worn", "nested fresh", "nested worn"
     );
-    csv(&["series", "flat_fresh_ms", "flat_worn_ms", "nested_fresh_ms", "nested_worn_ms"]);
+    csv(&[
+        "series",
+        "flat_fresh_ms",
+        "flat_worn_ms",
+        "nested_fresh_ms",
+        "nested_worn_ms",
+    ]);
 
     // --- Managed list (and bag/dict views of the same objects).
     let heap = managed_heap::ManagedHeap::new_batch();
@@ -49,7 +55,8 @@ fn main() {
     let t_dict_flat_fresh = time_median(3, || {
         let g = heap.enter();
         let mut acc = 0i64;
-        gc.lineitem_dict.for_each(&g, |l| acc = acc.wrapping_add(l.orderkey));
+        gc.lineitem_dict
+            .for_each(&g, |l| acc = acc.wrapping_add(l.orderkey));
         std::hint::black_box(acc);
     });
     let t_dict_nested_fresh = time_median(3, || {
@@ -77,7 +84,8 @@ fn main() {
     let t_dict_flat_worn = time_median(3, || {
         let g = heap.enter();
         let mut acc = 0i64;
-        gc.lineitem_dict.for_each(&g, |l| acc = acc.wrapping_add(l.orderkey));
+        gc.lineitem_dict
+            .for_each(&g, |l| acc = acc.wrapping_add(l.orderkey));
         std::hint::black_box(acc);
     });
 
@@ -106,11 +114,41 @@ fn main() {
 
     let na = "-".to_string();
     let rows: Vec<(&str, String, String, String, String)> = vec![
-        ("List", ms(t_list_flat_fresh), ms(t_list_flat_worn), ms(t_list_nested_fresh), ms(t_list_nested_worn)),
-        ("C.Bag", ms(t_bag_flat_fresh), na.clone(), na.clone(), na.clone()),
-        ("C.Dictionary", ms(t_dict_flat_fresh), ms(t_dict_flat_worn), ms(t_dict_nested_fresh), na.clone()),
-        ("SMC", ms(t_smc_flat_fresh), ms(t_smc_flat_worn), ms(t_smc_nested_fresh), ms(t_smc_nested_worn)),
-        ("SMC (direct)", ms(t_smc_flat_fresh), ms(t_smc_flat_worn), ms(t_smc_direct_nested_fresh), ms(t_smc_direct_nested_worn)),
+        (
+            "List",
+            ms(t_list_flat_fresh),
+            ms(t_list_flat_worn),
+            ms(t_list_nested_fresh),
+            ms(t_list_nested_worn),
+        ),
+        (
+            "C.Bag",
+            ms(t_bag_flat_fresh),
+            na.clone(),
+            na.clone(),
+            na.clone(),
+        ),
+        (
+            "C.Dictionary",
+            ms(t_dict_flat_fresh),
+            ms(t_dict_flat_worn),
+            ms(t_dict_nested_fresh),
+            na.clone(),
+        ),
+        (
+            "SMC",
+            ms(t_smc_flat_fresh),
+            ms(t_smc_flat_worn),
+            ms(t_smc_nested_fresh),
+            ms(t_smc_nested_worn),
+        ),
+        (
+            "SMC (direct)",
+            ms(t_smc_flat_fresh),
+            ms(t_smc_flat_worn),
+            ms(t_smc_direct_nested_fresh),
+            ms(t_smc_direct_nested_worn),
+        ),
     ];
     for (name, a, b, c, d) in &rows {
         println!("{name:>22} {a:>12} {b:>12} {c:>14} {d:>14}");

@@ -23,10 +23,24 @@ fn main() {
 
     println!(
         "{:>6} {:>10} {:>10} {:>10} {:>12} {:>11} {:>11} {:>13}{}",
-        "query", "List ms", "Dict ms", "SMC ms", "SMC-un ms", "Dict/List", "SMC/List", "SMC-un/List",
+        "query",
+        "List ms",
+        "Dict ms",
+        "SMC ms",
+        "SMC-un ms",
+        "Dict/List",
+        "SMC/List",
+        "SMC-un/List",
         if with_linq { "   LINQ/SMC" } else { "" }
     );
-    csv(&["query", "list_ms", "dict_ms", "smc_ms", "smc_unsafe_ms", "linq_ms"]);
+    csv(&[
+        "query",
+        "list_ms",
+        "dict_ms",
+        "smc_ms",
+        "smc_unsafe_ms",
+        "linq_ms",
+    ]);
     for q in 1..=6u32 {
         let t_list = time_median(3, || match q {
             1 => std::hint::black_box(gc_q::q1(&gc, &p, EnumVia::List)).len(),

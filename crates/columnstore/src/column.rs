@@ -138,7 +138,10 @@ impl RleColumn {
             runs.push((v, j as u32));
             i = j;
         }
-        RleColumn { runs, len: values.len() }
+        RleColumn {
+            runs,
+            len: values.len(),
+        }
     }
 
     /// The value at `row` (binary search over run ends).
@@ -153,7 +156,7 @@ impl RleColumn {
         let mut out = Vec::with_capacity(self.len);
         let mut start = 0u32;
         for &(v, end) in &self.runs {
-            out.extend(std::iter::repeat(v).take((end - start) as usize));
+            out.extend(std::iter::repeat_n(v, (end - start) as usize));
             start = end;
         }
         out
@@ -194,13 +197,19 @@ impl RleColumn {
 #[derive(Debug)]
 pub enum ColumnData {
     /// Plain 64-bit integers (also dates as epoch days widened to i64).
-    I64 { values: Vec<i64>, stats: Vec<SegmentStats> },
+    I64 {
+        values: Vec<i64>,
+        stats: Vec<SegmentStats>,
+    },
     /// Fixed-point decimals (mantissa only; scale lives in the schema).
     Decimal { values: Vec<i128> },
     /// Dictionary-encoded strings.
     Str(DictColumn),
     /// Run-length-encoded integers (clustered sort columns).
-    Rle { column: RleColumn, stats: Vec<SegmentStats> },
+    Rle {
+        column: RleColumn,
+        stats: Vec<SegmentStats>,
+    },
 }
 
 impl ColumnData {
@@ -213,7 +222,10 @@ impl ColumnData {
     /// Builds an RLE column (use on sorted data) with segment statistics.
     pub fn rle(values: &[i64]) -> ColumnData {
         let stats = stats_of(values);
-        ColumnData::Rle { column: RleColumn::encode(values), stats }
+        ColumnData::Rle {
+            column: RleColumn::encode(values),
+            stats,
+        }
     }
 
     /// Row count.

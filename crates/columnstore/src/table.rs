@@ -62,7 +62,10 @@ impl TableBuilder {
         // Compute the clustered permutation.
         let mut perm: Vec<u32> = (0..rows as u32).collect();
         let sort_idx = self.sort_column.as_ref().map(|name| {
-            self.names.iter().position(|n| n == name).expect("unknown clustered column")
+            self.names
+                .iter()
+                .position(|n| n == name)
+                .expect("unknown clustered column")
         });
         if let Some(idx) = sort_idx {
             let keys: Vec<i64> = self.columns[idx]
@@ -117,7 +120,11 @@ impl TableBuilder {
             };
             columns.insert(name.clone(), data);
         }
-        ColTable { rows, columns, clustered: self.sort_column }
+        ColTable {
+            rows,
+            columns,
+            clustered: self.sort_column,
+        }
     }
 }
 
@@ -142,7 +149,9 @@ impl ColTable {
 
     /// The column by name.
     pub fn column(&self, name: &str) -> &ColumnData {
-        self.columns.get(name).unwrap_or_else(|| panic!("no column {name}"))
+        self.columns
+            .get(name)
+            .unwrap_or_else(|| panic!("no column {name}"))
     }
 
     /// Plain i64 view of a column (decoding RLE if needed). Query plans
@@ -248,7 +257,10 @@ mod tests {
         assert_eq!(t.rows(), 10_000);
         assert_eq!(t.clustered(), Some("date"));
         let dates = t.i64_values("date");
-        assert!(dates.windows(2).all(|w| w[0] <= w[1]), "clustered column sorted");
+        assert!(
+            dates.windows(2).all(|w| w[0] <= w[1]),
+            "clustered column sorted"
+        );
         // Other columns permuted consistently: row i's id maps to its date.
         let ids = t.i64_slice("id");
         for (i, &id) in ids.iter().enumerate().take(100) {
@@ -288,8 +300,9 @@ mod tests {
         // Row order changed by clustering; check multiset instead.
         let mut sorted: Vec<i128> = prices.to_vec();
         sorted.sort();
-        let expected: Vec<i128> =
-            (0..100).map(|i| Decimal::from_cents(i as i64).mantissa()).collect();
+        let expected: Vec<i128> = (0..100)
+            .map(|i| Decimal::from_cents(i as i64).mantissa())
+            .collect();
         assert_eq!(sorted, expected);
     }
 

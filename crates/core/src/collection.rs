@@ -36,6 +36,7 @@ use smc_memory::runtime::Runtime;
 use smc_memory::slot::{SlotId, SlotState};
 use smc_memory::stats::MemoryStats;
 use smc_memory::tabular::Tabular;
+use smc_memory::verify::VerifyReport;
 
 use crate::refs::{DirectRef, Ref};
 
@@ -49,7 +50,10 @@ pub struct Smc<T: Tabular> {
 
 impl<T: Tabular> Clone for Smc<T> {
     fn clone(&self) -> Self {
-        Smc { ctx: self.ctx.clone(), _marker: PhantomData }
+        Smc {
+            ctx: self.ctx.clone(),
+            _marker: PhantomData,
+        }
     }
 }
 
@@ -80,7 +84,10 @@ impl<T: Tabular> Smc<T> {
             config,
         )
         .expect("object type too large for a memory block");
-        Smc { ctx: Arc::new(ctx), _marker: PhantomData }
+        Smc {
+            ctx: Arc::new(ctx),
+            _marker: PhantomData,
+        }
     }
 
     /// The runtime this collection allocates from.
@@ -102,7 +109,9 @@ impl<T: Tabular> Smc<T> {
 
     /// Fallible [`add`](Self::add).
     pub fn try_add(&self, value: T) -> Result<Ref<T>, MemError> {
-        let Allocation { entry, entry_inc, .. } = self.ctx.alloc_with(|block, slot| {
+        let Allocation {
+            entry, entry_inc, ..
+        } = self.ctx.alloc_with(|block, slot| {
             // SAFETY: the context claimed this slot exclusively for us; the
             // write happens before the slot is published as Valid.
             unsafe { block.obj_ptr(slot).cast::<T>().write(value) };
@@ -114,9 +123,16 @@ impl<T: Tabular> Smc<T> {
     /// (dereference to `None`) from this point on (§2). Returns false if it
     /// was already removed.
     pub fn remove(&self, r: Ref<T>) -> bool {
+        self.try_remove(r).expect("thread registry full")
+    }
+
+    /// Fallible [`remove`](Self::remove): surfaces
+    /// [`MemError::TooManyThreads`] instead of panicking when the calling
+    /// thread cannot claim an epoch slot.
+    pub fn try_remove(&self, r: Ref<T>) -> Result<bool, MemError> {
         match r.entry() {
-            Some(entry) => self.ctx.free(entry, r.incarnation()),
-            None => false,
+            Some(entry) => self.ctx.try_free(entry, r.incarnation()),
+            None => Ok(false),
         }
     }
 
@@ -147,7 +163,12 @@ impl<T: Tabular> Smc<T> {
     /// moving garbage collector — owns the memory. Concurrent readers may
     /// observe the update partially (the collection's documented isolation
     /// level, §4).
-    pub fn update<R>(&self, r: Ref<T>, guard: &Guard<'_>, f: impl FnOnce(&mut T) -> R) -> Option<R> {
+    pub fn update<R>(
+        &self,
+        r: Ref<T>,
+        guard: &Guard<'_>,
+        f: impl FnOnce(&mut T) -> R,
+    ) -> Option<R> {
         let ptr = r.get_ptr(guard)?;
         // SAFETY: the object is alive for the guard's critical section; the
         // collection's isolation level permits racy field updates (§4).
@@ -242,6 +263,23 @@ impl<T: Tabular> Smc<T> {
     /// been fixed up. Tombstones inside them stay readable until then.
     pub fn release_retired(&self) {
         self.ctx.release_retired()
+    }
+
+    /// Validates the collection's structural invariants (block headers, slot
+    /// directories, indirection back-pointers, incarnation flags) and
+    /// cross-checks the recount against [`len`](Self::len). Requires
+    /// quiescence: no concurrent mutators or in-flight compaction. See
+    /// [`MemoryContext::verify`].
+    pub fn verify(&self) -> Result<VerifyReport, Vec<String>> {
+        let report = self.ctx.verify()?;
+        let len = self.len();
+        if report.valid_slots != len {
+            return Err(vec![format!(
+                "recounted {} valid slots but collection len() is {len}",
+                report.valid_slots
+            )]);
+        }
+        Ok(report)
     }
 
     /// The §6 fix-up scan, run on a *referencing* collection after a

@@ -109,7 +109,11 @@ pub struct ColumnarSmc<T: Columnar> {
 
 impl<T: Columnar> Clone for ColumnarSmc<T> {
     fn clone(&self) -> Self {
-        ColumnarSmc { ctx: self.ctx.clone(), offsets: self.offsets.clone(), _marker: PhantomData }
+        ColumnarSmc {
+            ctx: self.ctx.clone(),
+            offsets: self.offsets.clone(),
+            _marker: PhantomData,
+        }
     }
 }
 
@@ -120,7 +124,7 @@ fn column_offsets(widths: &[usize], capacity: usize, out: &mut Vec<usize>) -> us
     // Incarnation column leads the store.
     let mut cursor = 4 * capacity;
     for &w in widths {
-        let align = w.max(4).min(16);
+        let align = w.clamp(4, 16);
         cursor = (cursor + align - 1) & !(align - 1);
         out.push(cursor);
         cursor += w * capacity;
@@ -159,7 +163,11 @@ impl<T: Columnar> ColumnarSmc<T> {
             pad += 16;
             assert!(pad < 4096, "column alignment padding runaway");
         };
-        ColumnarSmc { ctx: Arc::new(ctx), offsets, _marker: PhantomData }
+        ColumnarSmc {
+            ctx: Arc::new(ctx),
+            offsets,
+            _marker: PhantomData,
+        }
     }
 
     /// The runtime this collection allocates from.
@@ -180,7 +188,10 @@ impl<T: Columnar> ColumnarSmc<T> {
         for (i, &off) in self.offsets.iter().enumerate() {
             bases[i] = unsafe { base.add(off) };
         }
-        ColumnArrays { bases, len: self.offsets.len() }
+        ColumnArrays {
+            bases,
+            len: self.offsets.len(),
+        }
     }
 
     /// Inserts an object, shredding it into the block's columns.
@@ -190,7 +201,9 @@ impl<T: Columnar> ColumnarSmc<T> {
 
     /// Fallible [`add`](Self::add).
     pub fn try_add(&self, value: T) -> Result<Ref<T>, MemError> {
-        let Allocation { entry, entry_inc, .. } = self.ctx.alloc_with(|block, slot| {
+        let Allocation {
+            entry, entry_inc, ..
+        } = self.ctx.alloc_with(|block, slot| {
             let cols = self.arrays(block);
             // SAFETY: exclusive claimed slot; Columnar contract bounds the
             // writes to this slot's cells.
@@ -216,7 +229,9 @@ impl<T: Columnar> ColumnarSmc<T> {
         if word & smc_memory::INC_MASK != r.incarnation() & smc_memory::INC_MASK {
             return None;
         }
-        let payload = entry.get().load_payload(std::sync::atomic::Ordering::Acquire);
+        let payload = entry
+            .get()
+            .load_payload(std::sync::atomic::Ordering::Acquire);
         if payload == 0 {
             return None;
         }

@@ -85,7 +85,11 @@ impl<T: Tabular> Default for Ref<T> {
 impl<T: Tabular> Ref<T> {
     /// The null reference: dereferences to `None`.
     pub const fn null() -> Ref<T> {
-        Ref { entry_addr: 0, inc: 0, _marker: PhantomData }
+        Ref {
+            entry_addr: 0,
+            inc: 0,
+            _marker: PhantomData,
+        }
     }
 
     /// True for [`null`](Self::null) references.
@@ -96,7 +100,11 @@ impl<T: Tabular> Ref<T> {
     /// Builds a reference from an entry and its incarnation. Crate-internal:
     /// collections construct references on `add` and during enumeration.
     pub(crate) fn from_parts(entry: EntryRef, inc: u32) -> Ref<T> {
-        Ref { entry_addr: entry.addr(), inc, _marker: PhantomData }
+        Ref {
+            entry_addr: entry.addr(),
+            inc,
+            _marker: PhantomData,
+        }
     }
 
     /// The entry handle, if non-null.
@@ -180,7 +188,11 @@ impl<T: Tabular> Ref<T> {
         let block = unsafe { BlockRef::from_interior_ptr(payload as *const u8) };
         let slot = unsafe { block.slot_of_payload(payload) };
         let list = block.header().reloc_list.load(Ordering::Acquire);
-        let reloc = if list.is_null() { None } else { unsafe { (*list).find(slot) } };
+        let reloc = if list.is_null() {
+            None
+        } else {
+            unsafe { (*list).find(slot) }
+        };
         let Some(reloc) = reloc else {
             // Not actually scheduled (e.g. flags from an aborted pass).
             return deref(entry);
@@ -242,7 +254,10 @@ impl<T: Tabular> Copy for DirectRef<T> {}
 
 impl<T: Tabular> std::fmt::Debug for DirectRef<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DirectRef").field("ptr", &self.ptr).field("inc", &self.inc).finish()
+        f.debug_struct("DirectRef")
+            .field("ptr", &self.ptr)
+            .field("inc", &self.inc)
+            .finish()
     }
 }
 

@@ -16,11 +16,15 @@ struct Person {
 unsafe impl Tabular for Person {}
 
 fn person(name: &str, age: u32) -> Person {
-    Person { name: name.into(), age }
+    Person {
+        name: name.into(),
+        age,
+    }
 }
 
 #[derive(Clone, Copy)]
 struct Order {
+    #[allow(dead_code)] // schema mirror; only `customer`/`total` are asserted
     id: u64,
     customer: Ref<Person>,
     total: Decimal,
@@ -39,7 +43,10 @@ fn paper_overview_example() {
     }
     assert!(persons.remove(adam));
     let g = rt.pin();
-    assert!(adam.get(&g).is_none(), "removed object dereferences to null");
+    assert!(
+        adam.get(&g).is_none(),
+        "removed object dereferences to null"
+    );
     assert!(!persons.remove(adam), "remove is not double-applied");
 }
 
@@ -93,8 +100,7 @@ fn iterator_yields_usable_refs() {
         persons.add(person("it", i));
     }
     let g = rt.pin();
-    let collected: Vec<(Ref<Person>, u32)> =
-        persons.iter(&g).map(|(r, p)| (r, p.age)).collect();
+    let collected: Vec<(Ref<Person>, u32)> = persons.iter(&g).map(|(r, p)| (r, p.age)).collect();
     assert_eq!(collected.len(), 100);
     // Each yielded ref dereferences to the same object.
     for (r, age) in &collected {
@@ -133,7 +139,7 @@ fn references_between_collections_join() {
             }
         }
     });
-    assert_eq!(alice_total, Decimal::from_int(0 + 20 + 40 + 60 + 80));
+    assert_eq!(alice_total, Decimal::from_int(20 + 40 + 60 + 80));
     drop(g);
     // Removing a customer nulls the reference inside orders.
     persons.remove(alice);
@@ -166,11 +172,15 @@ fn slot_reuse_does_not_resurrect_references() {
     // Remove objects, advance epochs, allocate replacements into the same
     // slots — the old references must stay null (incarnation protection).
     let rt = Runtime::new();
-    let mut config = ContextConfig::default();
-    config.reclamation_threshold = 0.0;
+    let config = ContextConfig {
+        reclamation_threshold: 0.0,
+        ..ContextConfig::default()
+    };
     let persons: Smc<Person> = Smc::with_config(&rt, config);
     let cap = persons.context().layout().capacity as usize;
-    let old: Vec<Ref<Person>> = (0..cap * 2).map(|i| persons.add(person("old", i as u32))).collect();
+    let old: Vec<Ref<Person>> = (0..cap * 2)
+        .map(|i| persons.add(person("old", i as u32)))
+        .collect();
     for r in &old {
         assert!(persons.remove(*r));
     }
@@ -190,12 +200,16 @@ fn slot_reuse_does_not_resurrect_references() {
 #[test]
 fn compaction_preserves_references_and_values() {
     let rt = Runtime::new();
-    let mut config = ContextConfig::default();
-    config.reclamation_threshold = 1.1; // isolate compaction from reclamation
+    // Isolate compaction from reclamation.
+    let config = ContextConfig {
+        reclamation_threshold: 1.1,
+        ..ContextConfig::default()
+    };
     let persons: Smc<Person> = Smc::with_config(&rt, config);
     let cap = persons.context().layout().capacity as usize;
-    let refs: Vec<Ref<Person>> =
-        (0..cap * 5).map(|i| persons.add(person(&format!("c{i}"), i as u32))).collect();
+    let refs: Vec<Ref<Person>> = (0..cap * 5)
+        .map(|i| persons.add(person(&format!("c{i}"), i as u32)))
+        .collect();
     // Keep 10%: five sparse blocks.
     let mut kept = Vec::new();
     for (i, r) in refs.iter().enumerate() {
@@ -210,7 +224,10 @@ fn compaction_preserves_references_and_values() {
     assert!(report.moved > 0, "compaction should move survivors");
     persons.release_retired();
     rt.drain_graveyard_blocking();
-    assert!(persons.memory_bytes() < before_bytes, "memory footprint must shrink");
+    assert!(
+        persons.memory_bytes() < before_bytes,
+        "memory footprint must shrink"
+    );
     let g = rt.pin();
     for (r, age) in &kept {
         let p = r.get(&g).expect("survivor reachable after compaction");
@@ -225,12 +242,15 @@ fn compaction_preserves_references_and_values() {
 #[test]
 fn direct_refs_fast_path_and_tombstone_healing() {
     let rt = Runtime::new();
-    let mut config = ContextConfig::default();
-    config.reclamation_threshold = 1.1;
+    let config = ContextConfig {
+        reclamation_threshold: 1.1,
+        ..ContextConfig::default()
+    };
     let persons: Smc<Person> = Smc::with_config(&rt, config);
     let cap = persons.context().layout().capacity as usize;
-    let refs: Vec<Ref<Person>> =
-        (0..cap * 3).map(|i| persons.add(person("d", i as u32))).collect();
+    let refs: Vec<Ref<Person>> = (0..cap * 3)
+        .map(|i| persons.add(person("d", i as u32)))
+        .collect();
     let survivor = refs[7];
     // Direct pointer taken before compaction.
     let mut direct: DirectRef<Person> = {
@@ -260,6 +280,7 @@ fn direct_refs_fast_path_and_tombstone_healing() {
 
 #[derive(Clone, Copy)]
 struct Wide {
+    #[allow(dead_code)] // padding ahead of the pointer fields under test
     a: u64,
     b: Ref<Person>,
     c: DirectRef<Person>,
@@ -269,18 +290,25 @@ unsafe impl Tabular for Wide {}
 #[test]
 fn fix_direct_refs_rewrites_pointers_into_retired_blocks() {
     let rt = Runtime::new();
-    let mut config = ContextConfig::default();
-    config.reclamation_threshold = 1.1;
+    let config = ContextConfig {
+        reclamation_threshold: 1.1,
+        ..ContextConfig::default()
+    };
     let persons: Smc<Person> = Smc::with_config(&rt, config);
     let wides: Smc<Wide> = Smc::new(&rt);
     let cap = persons.context().layout().capacity as usize;
-    let prefs: Vec<Ref<Person>> =
-        (0..cap * 3).map(|i| persons.add(person("w", i as u32))).collect();
+    let prefs: Vec<Ref<Person>> = (0..cap * 3)
+        .map(|i| persons.add(person("w", i as u32)))
+        .collect();
     // Wide objects hold direct pointers to every 20th person.
     {
         let g = rt.pin();
         for (i, pr) in prefs.iter().enumerate().step_by(20) {
-            wides.add(Wide { a: i as u64, b: *pr, c: pr.to_direct(&g).unwrap() });
+            wides.add(Wide {
+                a: i as u64,
+                b: *pr,
+                c: pr.to_direct(&g).unwrap(),
+            });
         }
     }
     // Kill everyone not directly referenced.
@@ -314,13 +342,16 @@ fn concurrent_enumeration_during_compaction() {
     // Readers enumerate continuously while compaction runs; every pass must
     // observe exactly the live survivors (bag semantics, §5.2 consistency).
     let rt = Runtime::new();
-    let mut config = ContextConfig::default();
-    config.reclamation_threshold = 1.1;
-    config.compaction_patience = std::time::Duration::from_millis(500);
+    let config = ContextConfig {
+        reclamation_threshold: 1.1,
+        compaction_patience: std::time::Duration::from_millis(500),
+        ..ContextConfig::default()
+    };
     let persons: Arc<Smc<Person>> = Arc::new(Smc::with_config(&rt, config));
     let cap = persons.context().layout().capacity as usize;
-    let refs: Vec<Ref<Person>> =
-        (0..cap * 6).map(|i| persons.add(person("e", i as u32))).collect();
+    let refs: Vec<Ref<Person>> = (0..cap * 6)
+        .map(|i| persons.add(person("e", i as u32)))
+        .collect();
     let mut survivors = 0u64;
     for (i, r) in refs.iter().enumerate() {
         if i % 8 == 0 {
@@ -409,7 +440,14 @@ fn columnar_round_trip_and_removal() {
     assert_eq!(points.len(), 5000);
     let g = rt.pin();
     let p = points.read(refs[1234], &g).unwrap();
-    assert_eq!(p, Point { key: 1234, price: Decimal::from_cents(1234), qty: 1234 % 50 });
+    assert_eq!(
+        p,
+        Point {
+            key: 1234,
+            price: Decimal::from_cents(1234),
+            qty: 1234 % 50
+        }
+    );
     drop(g);
     assert!(points.remove(refs[1234]));
     let g = rt.pin();
@@ -423,7 +461,11 @@ fn columnar_single_column_scan() {
     let rt = Runtime::new();
     let points: ColumnarSmc<Point> = ColumnarSmc::new(&rt);
     for i in 0..10_000u64 {
-        points.add(Point { key: i, price: Decimal::from_cents(100), qty: 1 });
+        points.add(Point {
+            key: i,
+            price: Decimal::from_cents(100),
+            qty: 1,
+        });
     }
     let g = rt.pin();
     let mut sum = 0u64;
@@ -431,9 +473,9 @@ fn columnar_single_column_scan() {
         let cap = block.header().capacity as usize;
         // SAFETY: column 0 is the u64 key column.
         let keys = unsafe { cols.column_slice::<u64>(0, cap) };
-        for slot in 0..cap {
+        for (slot, key) in keys.iter().enumerate().take(cap) {
             if block.slot_word(slot as u32).state() == smc_memory::SlotState::Valid {
-                sum += keys[slot];
+                sum += *key;
             }
         }
     });
@@ -445,7 +487,13 @@ fn columnar_enumeration_gathers_objects() {
     let rt = Runtime::new();
     let points: ColumnarSmc<Point> = ColumnarSmc::new(&rt);
     let refs: Vec<_> = (0..300u64)
-        .map(|i| points.add(Point { key: i, price: Decimal::ZERO, qty: i as u32 }))
+        .map(|i| {
+            points.add(Point {
+                key: i,
+                price: Decimal::ZERO,
+                qty: i as u32,
+            })
+        })
         .collect();
     points.remove(refs[0]);
     points.remove(refs[299]);

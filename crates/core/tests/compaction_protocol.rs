@@ -13,12 +13,21 @@ struct Obj {
 unsafe impl Tabular for Obj {}
 
 fn obj(key: u64) -> Obj {
-    Obj { key, payload: [key; 8] }
+    Obj {
+        key,
+        payload: [key; 8],
+    }
 }
 
-fn sparse_collection(rt: &std::sync::Arc<Runtime>, blocks: usize, keep_mod: usize) -> (Smc<Obj>, Vec<(Ref<Obj>, u64)>) {
-    let mut cfg = ContextConfig::default();
-    cfg.reclamation_threshold = 1.1;
+fn sparse_collection(
+    rt: &std::sync::Arc<Runtime>,
+    blocks: usize,
+    keep_mod: usize,
+) -> (Smc<Obj>, Vec<(Ref<Obj>, u64)>) {
+    let cfg = ContextConfig {
+        reclamation_threshold: 1.1,
+        ..ContextConfig::default()
+    };
     let c: Smc<Obj> = Smc::with_config(rt, cfg);
     let cap = c.context().layout().capacity as usize;
     let mut kept = Vec::new();
@@ -99,7 +108,9 @@ fn direct_ref_heals_across_two_compactions() {
     // release; compact again after another shrink.
     c.release_retired();
     let caps = c.context().layout().capacity as usize;
-    let fillers: Vec<_> = (0..caps * 2).map(|i| c.add(obj(900_000 + i as u64))).collect();
+    let fillers: Vec<_> = (0..caps * 2)
+        .map(|i| c.add(obj(900_000 + i as u64)))
+        .collect();
     for f in &fillers {
         c.remove(*f);
     }
@@ -136,8 +147,10 @@ fn enumeration_during_pre_state_pin_is_complete() {
 #[test]
 fn compaction_with_zero_occupancy_blocks_retires_them() {
     let rt = Runtime::new();
-    let mut cfg = ContextConfig::default();
-    cfg.reclamation_threshold = 1.1;
+    let cfg = ContextConfig {
+        reclamation_threshold: 1.1,
+        ..ContextConfig::default()
+    };
     let c: Smc<Obj> = Smc::with_config(&rt, cfg);
     let cap = c.context().layout().capacity as usize;
     // Two completely emptied blocks plus one partially filled.
@@ -168,16 +181,22 @@ fn update_in_place_survives_compaction() {
     c.release_retired();
     let g = rt.pin();
     for (r, key) in &kept {
-        assert_eq!(r.get(&g).unwrap().payload[0], key * 2, "update preserved by move");
+        assert_eq!(
+            r.get(&g).unwrap().payload[0],
+            key * 2,
+            "update preserved by move"
+        );
     }
 }
 
 #[test]
 fn compaction_respects_occupancy_threshold_config() {
     let rt = Runtime::new();
-    let mut cfg = ContextConfig::default();
-    cfg.reclamation_threshold = 1.1;
-    cfg.compaction_occupancy = 0.10; // only compact blocks under 10 % full
+    let cfg = ContextConfig {
+        reclamation_threshold: 1.1,
+        compaction_occupancy: 0.10, // only compact blocks under 10 % full
+        ..ContextConfig::default()
+    };
     let c: Smc<Obj> = Smc::with_config(&rt, cfg);
     let cap = c.context().layout().capacity as usize;
     let refs: Vec<_> = (0..cap * 3).map(|i| c.add(obj(i as u64))).collect();

@@ -14,7 +14,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use smc_util::sync::{Mutex, RwLock};
 
 /// Objects per segment.
 pub const SEGMENT_SLOTS: usize = 1024;
@@ -27,7 +27,10 @@ pub struct Handle<T> {
 
 impl<T> Handle<T> {
     pub(crate) fn new(id: u32) -> Self {
-        Handle { id, _marker: std::marker::PhantomData }
+        Handle {
+            id,
+            _marker: std::marker::PhantomData,
+        }
     }
 
     /// The raw slot index.
@@ -342,7 +345,12 @@ pub struct Marker<'h> {
 
 impl<'h> Marker<'h> {
     pub(crate) fn new(arenas: &'h HashMap<TypeId, Arc<dyn AnyArena>>, parity: u8) -> Self {
-        Marker { arenas, stack: Vec::new(), parity, traced: 0 }
+        Marker {
+            arenas,
+            stack: Vec::new(),
+            parity,
+            traced: 0,
+        }
     }
 
     /// Drains up to `budget` objects from the work list (u64::MAX = all).

@@ -19,7 +19,7 @@ use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::{Arc, Weak};
 
-use parking_lot::Mutex;
+use smc_util::sync::Mutex;
 
 use crate::arena::{Arena, Handle, Marker, Trace};
 use crate::heap::{HeapGuard, HeapRoot, ManagedHeap};
@@ -52,16 +52,26 @@ pub struct GcList<T: Trace> {
 
 impl<T: Trace> Clone for GcList<T> {
     fn clone(&self) -> Self {
-        GcList { heap: self.heap.clone(), arena: self.arena.clone(), inner: self.inner.clone() }
+        GcList {
+            heap: self.heap.clone(),
+            arena: self.arena.clone(),
+            inner: self.inner.clone(),
+        }
     }
 }
 
 impl<T: Trace> GcList<T> {
     /// Creates a list rooted on `heap`.
     pub fn new(heap: &Arc<ManagedHeap>) -> GcList<T> {
-        let inner = Arc::new(GcListInner { items: Mutex::new(Vec::new()) });
+        let inner = Arc::new(GcListInner {
+            items: Mutex::new(Vec::new()),
+        });
         heap.add_root(Arc::downgrade(&inner) as Weak<dyn HeapRoot>);
-        GcList { heap: heap.clone(), arena: heap.arena::<T>(), inner }
+        GcList {
+            heap: heap.clone(),
+            arena: heap.arena::<T>(),
+            inner,
+        }
     }
 
     /// Allocates `value` on the heap and appends its handle.
@@ -203,7 +213,11 @@ impl<T: Trace> GcConcurrentBag<T> {
             shards: (0..DICT_SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
         });
         heap.add_root(Arc::downgrade(&inner) as Weak<dyn HeapRoot>);
-        GcConcurrentBag { heap: heap.clone(), arena: heap.arena::<T>(), inner }
+        GcConcurrentBag {
+            heap: heap.clone(),
+            arena: heap.arena::<T>(),
+            inner,
+        }
     }
 
     /// Adds a value (thread-safe; shard picked by thread identity hash).
@@ -292,10 +306,16 @@ impl<K: Eq + Hash + Send + Sync + 'static, V: Trace> GcConcurrentDictionary<K, V
     /// Creates a dictionary rooted on `heap`.
     pub fn new(heap: &Arc<ManagedHeap>) -> GcConcurrentDictionary<K, V> {
         let inner = Arc::new(GcDictInner {
-            shards: (0..DICT_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..DICT_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
         });
         heap.add_root(Arc::downgrade(&inner) as Weak<dyn HeapRoot>);
-        GcConcurrentDictionary { heap: heap.clone(), arena: heap.arena::<V>(), inner }
+        GcConcurrentDictionary {
+            heap: heap.clone(),
+            arena: heap.arena::<V>(),
+            inner,
+        }
     }
 
     fn shard(&self, key: &K) -> usize {
@@ -385,7 +405,10 @@ mod tests {
     use crate::heap::HeapConfig;
 
     fn heap() -> Arc<ManagedHeap> {
-        ManagedHeap::new(HeapConfig { nursery_budget: 2000, ..HeapConfig::default() })
+        ManagedHeap::new(HeapConfig {
+            nursery_budget: 2000,
+            ..HeapConfig::default()
+        })
     }
 
     #[test]

@@ -18,11 +18,11 @@
 
 use std::any::TypeId;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicI64, AtomicU8, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Instant;
 
-use parking_lot::{Mutex, RwLock, RwLockReadGuard};
+use smc_util::sync::{Mutex, RwLock, RwLockReadGuard};
 
 use crate::arena::{AnyArena, Arena, Handle, Marker, Trace};
 use crate::pause::PauseStats;
@@ -123,7 +123,10 @@ impl ManagedHeap {
 
     /// Creates an interactive-mode heap.
     pub fn new_interactive() -> Arc<ManagedHeap> {
-        Self::new(HeapConfig { mode: GcMode::Interactive, ..HeapConfig::default() })
+        Self::new(HeapConfig {
+            mode: GcMode::Interactive,
+            ..HeapConfig::default()
+        })
     }
 
     /// The configuration in effect.
@@ -135,7 +138,9 @@ impl ManagedHeap {
     /// cannot stop the world while guards are held, so treat a guard like a
     /// critical section and drop it between batches of work (a safepoint).
     pub fn enter(&self) -> HeapGuard<'_> {
-        HeapGuard { _world: self.world.read() }
+        HeapGuard {
+            _world: self.world.read(),
+        }
     }
 
     /// The arena for type `T`, created on first use.
@@ -198,7 +203,8 @@ impl ManagedHeap {
         match self.config.mode {
             GcMode::Batch => {
                 let n = self.collections_run.load(Ordering::Relaxed);
-                let major = self.config.major_every > 0 && (n + 1) % self.config.major_every == 0;
+                let major =
+                    self.config.major_every > 0 && (n + 1).is_multiple_of(self.config.major_every);
                 self.run_batch_collection(major);
             }
             GcMode::Interactive => {
@@ -208,7 +214,8 @@ impl ManagedHeap {
     }
 
     fn reset_budget(&self) {
-        self.budget.store(self.config.nursery_budget as i64, Ordering::Relaxed);
+        self.budget
+            .store(self.config.nursery_budget as i64, Ordering::Relaxed);
     }
 
     /// Collects live roots, dropping dead weak references.
@@ -261,7 +268,8 @@ impl ManagedHeap {
                 // Start a new cycle: flip parity; objects allocated from now
                 // on are allocated black (marked).
                 let n = self.collections_run.load(Ordering::Relaxed);
-                let major = self.config.major_every > 0 && (n + 1) % self.config.major_every == 0;
+                let major =
+                    self.config.major_every > 0 && (n + 1).is_multiple_of(self.config.major_every);
                 *cycle_slot = Some(MarkCycle {
                     stack: Vec::new(),
                     roots_traced: false,
@@ -351,7 +359,10 @@ mod tests {
     fn unreachable_objects_are_collected() {
         let heap = small_heap(GcMode::Batch);
         let arena = heap.arena::<u64>();
-        let root = Arc::new(VecRoot { arena: arena.clone(), items: Mutex::new(Vec::new()) });
+        let root = Arc::new(VecRoot {
+            arena: arena.clone(),
+            items: Mutex::new(Vec::new()),
+        });
         heap.add_root(Arc::downgrade(&root) as Weak<dyn HeapRoot>);
         // Rooted objects survive; unrooted garbage does not.
         for i in 0..500u64 {
@@ -375,7 +386,11 @@ mod tests {
         for i in 0..10_000u64 {
             heap.alloc(&arena, i); // all garbage
         }
-        assert!(heap.collections() >= 5, "collections: {}", heap.collections());
+        assert!(
+            heap.collections() >= 5,
+            "collections: {}",
+            heap.collections()
+        );
         assert!(arena.live() < 10_000, "garbage must have been reclaimed");
         assert!(heap.pauses.report().pauses > 0);
     }
@@ -430,7 +445,10 @@ mod tests {
     fn interactive_mode_completes_cycles_with_short_slices() {
         let heap = small_heap(GcMode::Interactive);
         let arena = heap.arena::<u64>();
-        let root = Arc::new(VecRoot { arena: arena.clone(), items: Mutex::new(Vec::new()) });
+        let root = Arc::new(VecRoot {
+            arena: arena.clone(),
+            items: Mutex::new(Vec::new()),
+        });
         heap.add_root(Arc::downgrade(&root) as Weak<dyn HeapRoot>);
         for i in 0..20_000u64 {
             let h = heap.alloc(&arena, i);

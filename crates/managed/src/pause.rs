@@ -53,11 +53,7 @@ impl PauseStats {
             pauses: count,
             total: Duration::from_nanos(total),
             max: Duration::from_nanos(self.max_nanos.load(Ordering::Relaxed)),
-            mean: if count == 0 {
-                Duration::ZERO
-            } else {
-                Duration::from_nanos(total / count)
-            },
+            mean: Duration::from_nanos(total.checked_div(count).unwrap_or(0)),
             minor_collections: self.minor_collections.load(Ordering::Relaxed),
             major_collections: self.major_collections.load(Ordering::Relaxed),
             objects_traced: self.objects_traced.load(Ordering::Relaxed),

@@ -98,7 +98,11 @@ impl BlockLayout {
         Ok(layout)
     }
 
-    fn build(per_slot: usize, store_align: usize, obj_offset: u32) -> Result<BlockLayout, MemError> {
+    fn build(
+        per_slot: usize,
+        store_align: usize,
+        obj_offset: u32,
+    ) -> Result<BlockLayout, MemError> {
         let header = align_up(std::mem::size_of::<BlockHeader>(), 64);
         // Each slot costs: store bytes + 4 (slot directory) + 8 (back-pointer).
         let budget = BLOCK_SIZE - header;
@@ -112,8 +116,10 @@ impl BlockLayout {
             }
             let slotdir_offset = header;
             let backptr_offset = align_up(slotdir_offset + cap * 4, std::mem::align_of::<usize>());
-            let store_offset =
-                align_up(backptr_offset + cap * std::mem::size_of::<usize>(), store_align);
+            let store_offset = align_up(
+                backptr_offset + cap * std::mem::size_of::<usize>(),
+                store_align,
+            );
             let store_len = cap * per_slot;
             if store_offset + store_len <= BLOCK_SIZE {
                 return Ok(BlockLayout {
@@ -186,7 +192,11 @@ unsafe impl Sync for BlockRef {}
 
 impl BlockRef {
     /// Allocates and initializes a zeroed, aligned block.
-    pub fn allocate(layout: &BlockLayout, type_id: u64, context_id: u64) -> Result<BlockRef, MemError> {
+    pub fn allocate(
+        layout: &BlockLayout,
+        type_id: u64,
+        context_id: u64,
+    ) -> Result<BlockRef, MemError> {
         let alloc_layout = Layout::from_size_align(BLOCK_SIZE, BLOCK_ALIGN).expect("static layout");
         // Zeroed: slot directory all-Free, incarnation words all 0.
         let base = unsafe { alloc_zeroed(alloc_layout) };
@@ -227,7 +237,10 @@ impl BlockRef {
     /// be used afterwards.
     pub unsafe fn deallocate(self) {
         // Drop any leftover relocation list.
-        let rl = self.header().reloc_list.swap(std::ptr::null_mut(), Ordering::AcqRel);
+        let rl = self
+            .header()
+            .reloc_list
+            .swap(std::ptr::null_mut(), Ordering::AcqRel);
         if !rl.is_null() {
             drop(Box::from_raw(rl));
         }
@@ -239,6 +252,14 @@ impl BlockRef {
     #[inline]
     pub fn header(&self) -> &BlockHeader {
         unsafe { self.0.as_ref() }
+    }
+
+    /// True if the header's magic word is intact — the first thing the
+    /// invariant validator ([`crate::verify`]) checks per block, since a
+    /// corrupted header invalidates every other field.
+    #[inline]
+    pub fn magic_ok(&self) -> bool {
+        self.header().magic == MAGIC
     }
 
     /// Base address of the block.
@@ -491,7 +512,10 @@ mod tests {
             b.slot_inc(slot).store(slot, Ordering::Relaxed);
         }
         for slot in 0..cap {
-            assert_eq!(unsafe { b.obj_ptr(slot).cast::<[u64; 3]>().read() }, [slot as u64; 3]);
+            assert_eq!(
+                unsafe { b.obj_ptr(slot).cast::<[u64; 3]>().read() },
+                [slot as u64; 3]
+            );
             assert_eq!(b.slot_inc(slot).load(Ordering::Relaxed), slot);
         }
         unsafe { b.deallocate() };

@@ -37,14 +37,17 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Mutex, RwLock};
+use smc_util::sync::{Mutex, RwLock};
 
 use crate::block::{BlockLayout, BlockRef};
 use crate::epoch::Guard;
 use crate::error::MemError;
+use crate::fault::FaultSite;
 use crate::incarnation::{IncWord, FLAG_FROZEN};
 use crate::indirection::EntryRef;
-use crate::reloc::{bail_out_relocation, try_move_object, MoveOutcome, RelocEntry, RelocStatus, RelocationList};
+use crate::reloc::{
+    bail_out_relocation, try_move_object, MoveOutcome, RelocEntry, RelocStatus, RelocationList,
+};
 use crate::runtime::Runtime;
 use crate::slot::{self, SlotId, SlotState};
 use crate::stats::MemoryStats;
@@ -198,6 +201,10 @@ pub struct CompactionReport {
     /// The pass was aborted (e.g. a reader held a critical section longer
     /// than the configured patience); the context is unchanged.
     pub aborted: bool,
+    /// The moving phase died mid-relocation (injected
+    /// [`FaultSite::Relocation`] crash). Unmoved objects were bailed out;
+    /// the context is valid and a later pass will retry them.
+    pub interrupted: bool,
 }
 
 /// Atomic view of which blocks and groups an enumeration must visit.
@@ -241,7 +248,14 @@ impl MemoryContext {
         config: ContextConfig,
     ) -> Result<MemoryContext, MemError> {
         let layout = BlockLayout::rows(obj_size, obj_align)?;
-        Ok(Self::with_layout(runtime, layout, LayoutMode::Rows, obj_size as u32, type_id, config))
+        Ok(Self::with_layout(
+            runtime,
+            layout,
+            LayoutMode::Rows,
+            obj_size as u32,
+            type_id,
+            config,
+        ))
     }
 
     /// Creates a columnar context; `store_bytes_per_slot` must include the
@@ -253,7 +267,14 @@ impl MemoryContext {
         config: ContextConfig,
     ) -> Result<MemoryContext, MemError> {
         let layout = BlockLayout::columnar(store_bytes_per_slot, 16)?;
-        Ok(Self::with_layout(runtime, layout, LayoutMode::Columnar, 0, type_id, config))
+        Ok(Self::with_layout(
+            runtime,
+            layout,
+            LayoutMode::Columnar,
+            0,
+            type_id,
+            config,
+        ))
     }
 
     fn with_layout(
@@ -265,8 +286,9 @@ impl MemoryContext {
         config: ContextConfig,
     ) -> MemoryContext {
         let id = runtime.next_context_id();
-        let thread_blocks =
-            (0..crate::epoch::MAX_THREADS).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>();
+        let thread_blocks = (0..crate::epoch::MAX_THREADS)
+            .map(|_| AtomicUsize::new(0))
+            .collect::<Vec<_>>();
         MemoryContext {
             runtime,
             id,
@@ -290,6 +312,11 @@ impl MemoryContext {
     /// This context's identifier.
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// Identity of the object type hosted by this context's blocks.
+    pub fn type_id(&self) -> u64 {
+        self.type_id
     }
 
     /// Block geometry used by this context.
@@ -371,10 +398,7 @@ impl MemoryContext {
     /// Allocates a slot and wires its indirection entry. `init` runs after
     /// the slot is claimed but *before* it becomes visible to enumerations,
     /// so it must fully initialize the object's bytes.
-    pub fn alloc_with(
-        &self,
-        init: impl FnOnce(&BlockRef, SlotId),
-    ) -> Result<Allocation, MemError> {
+    pub fn alloc_with(&self, init: impl FnOnce(&BlockRef, SlotId)) -> Result<Allocation, MemError> {
         let tid = self.runtime.epochs.thread_index()?;
         let stats = &self.runtime.stats;
         loop {
@@ -410,7 +434,9 @@ impl MemoryContext {
                 }
                 None => {
                     // Block exhausted: abandon it and fetch another.
-                    header.alloc_cursor.store(header.capacity, Ordering::Relaxed);
+                    header
+                        .alloc_cursor
+                        .store(header.capacity, Ordering::Relaxed);
                     self.abandon_thread_block(tid, block);
                 }
             }
@@ -430,12 +456,22 @@ impl MemoryContext {
         let entry_inc = entry.get().inc().incarnation();
         // Initialize object bytes before publishing the slot as Valid.
         init(&block, slot_id);
-        block.back_ptr(slot_id).store(entry.addr(), Ordering::Release);
-        entry.get().store_payload(self.payload_of(&block, slot_id), Ordering::Release);
+        block
+            .back_ptr(slot_id)
+            .store(entry.addr(), Ordering::Release);
+        entry
+            .get()
+            .store_payload(self.payload_of(&block, slot_id), Ordering::Release);
         block.slot_word(slot_id).set_valid();
         block.header().valid_count.fetch_add(1, Ordering::Relaxed);
         MemoryStats::inc(&stats.objects_allocated);
-        Allocation { entry, entry_inc, slot_inc, block, slot: slot_id }
+        Allocation {
+            entry,
+            entry_inc,
+            slot_inc,
+            block,
+            slot: slot_id,
+        }
     }
 
     fn current_thread_block(&self, tid: usize) -> Option<BlockRef> {
@@ -456,53 +492,66 @@ impl MemoryContext {
     }
 
     fn adopt_thread_block(&self, tid: usize, block: BlockRef) {
-        block.header().active_owner.store(tid as u32 + 1, Ordering::Release);
+        block
+            .header()
+            .active_owner
+            .store(tid as u32 + 1, Ordering::Release);
         self.thread_blocks[tid].store(block.base() as usize, Ordering::Release);
     }
 
     fn acquire_block(&self, tid: usize) -> Result<BlockRef, MemError> {
         self.runtime.drain_graveyard();
-        self.runtime.indirection.drain_deferred(self.runtime.global_epoch());
+        self.runtime
+            .indirection
+            .drain_deferred(self.runtime.global_epoch());
         // Prefer a reclaimable block from the queue (§3.5).
-        {
-            let mut q = self.reclaim_queue.lock();
-            if let Some(&(block, ready_at)) = q.front() {
-                if ready_at <= self.runtime.global_epoch() {
-                    q.pop_front();
-                    block.header().in_reclaim_queue.store(0, Ordering::Release);
-                    block.header().alloc_cursor.store(0, Ordering::Relaxed);
-                    drop(q);
-                    self.adopt_thread_block(tid, block);
-                    return Ok(block);
-                }
-                drop(q);
-                // Blocks are waiting on epochs: lazily advance (§3.5), unless
-                // a compaction holds the advance reservation.
-                if self.runtime.next_relocation_epoch() == 0 {
-                    if self.runtime.epochs.try_advance().is_some() {
-                        MemoryStats::inc(&self.runtime.stats.epoch_advances);
-                    }
-                }
-                let mut q = self.reclaim_queue.lock();
-                if let Some(&(block, ready_at)) = q.front() {
-                    if ready_at <= self.runtime.global_epoch() {
-                        q.pop_front();
-                        block.header().in_reclaim_queue.store(0, Ordering::Release);
-                        block.header().alloc_cursor.store(0, Ordering::Relaxed);
-                        drop(q);
-                        self.adopt_thread_block(tid, block);
-                        return Ok(block);
-                    }
-                }
+        if let Some(block) = self.pop_reclaimable(tid) {
+            return Ok(block);
+        }
+        // Blocks may be waiting on epochs: lazily advance (§3.5), unless a
+        // compaction holds the advance reservation, and look again.
+        if !self.reclaim_queue.lock().is_empty() && self.runtime.next_relocation_epoch() == 0 {
+            if self.runtime.epochs.try_advance().is_some() {
+                MemoryStats::inc(&self.runtime.stats.epoch_advances);
+            }
+            if let Some(block) = self.pop_reclaimable(tid) {
+                return Ok(block);
             }
         }
-        // Nothing reclaimable: a fresh block from the OS.
-        let block = BlockRef::allocate(&self.layout, self.type_id, self.id)?;
-        MemoryStats::inc(&self.runtime.stats.blocks_allocated);
-        MemoryStats::inc(&self.runtime.stats.blocks_live);
+        // Nothing reclaimable: a fresh block from the OS, subject to the
+        // runtime's budget, failpoints and recovery ladder.
+        match self
+            .runtime
+            .allocate_block(&self.layout, self.type_id, self.id)
+        {
+            Ok(block) => {
+                self.adopt_thread_block(tid, block);
+                self.membership.write().blocks.push(block);
+                Ok(block)
+            }
+            Err(e) => {
+                // The recovery ladder advanced epochs while the budget stayed
+                // exhausted — queued limbo blocks may have matured during the
+                // retries. One last sweep before surfacing the error.
+                self.pop_reclaimable(tid).ok_or(e)
+            }
+        }
+    }
+
+    /// Pops the reclaim queue's front block if its epoch has matured, resets
+    /// its allocation cursor, and adopts it for `tid`.
+    fn pop_reclaimable(&self, tid: usize) -> Option<BlockRef> {
+        let mut q = self.reclaim_queue.lock();
+        let &(block, ready_at) = q.front()?;
+        if ready_at > self.runtime.global_epoch() {
+            return None;
+        }
+        q.pop_front();
+        block.header().in_reclaim_queue.store(0, Ordering::Release);
+        block.header().alloc_cursor.store(0, Ordering::Relaxed);
+        drop(q);
         self.adopt_thread_block(tid, block);
-        self.membership.write().blocks.push(block);
-        Ok(block)
+        Some(block)
     }
 
     fn maybe_enqueue_for_reclamation(&self, block: BlockRef) {
@@ -529,12 +578,26 @@ impl MemoryContext {
 
     /// Frees the object behind `entry` if its entry incarnation still equals
     /// `expected_entry_inc`. Returns false when the object was already
-    /// removed (remove is idempotent per reference, §2).
+    /// removed (remove is idempotent per reference, §2). Panics if the
+    /// calling thread cannot register with the epoch system; use
+    /// [`try_free`](Self::try_free) where that must be an error.
     pub fn free(&self, entry: EntryRef, expected_entry_inc: u32) -> bool {
-        let tid = self.runtime.epochs.thread_index().expect("thread registry full");
+        self.try_free(entry, expected_entry_inc)
+            .expect("thread registry full")
+    }
+
+    /// Fallible [`free`](Self::free): `Err(MemError::TooManyThreads)` when
+    /// the calling thread cannot claim an epoch slot.
+    pub fn try_free(&self, entry: EntryRef, expected_entry_inc: u32) -> Result<bool, MemError> {
+        let tid = self.runtime.epochs.thread_index()?;
         // Winning this CAS is what makes us *the* remover.
-        if entry.get().inc().try_bump_from(expected_entry_inc).is_none() {
-            return false;
+        if entry
+            .get()
+            .inc()
+            .try_bump_from(expected_entry_inc)
+            .is_none()
+        {
+            return Ok(false);
         }
         let payload = entry.get().load_payload(Ordering::Acquire);
         debug_assert_ne!(payload, 0, "live entry without payload");
@@ -552,7 +615,7 @@ impl MemoryContext {
         // critical section that could hold such a pointer has ended.
         let _ = tid;
         self.runtime.indirection.release_at(entry, epoch + 2);
-        true
+        Ok(true)
     }
 
     // ------------------------------------------------------------------
@@ -634,8 +697,10 @@ impl MemoryContext {
         // Atomic membership swap: grouped sources leave the block list and
         // appear in the group list in one step.
         {
-            let grouped: std::collections::HashSet<BlockRef> =
-                groups.iter().flat_map(|g| g.sources.iter().copied()).collect();
+            let grouped: std::collections::HashSet<BlockRef> = groups
+                .iter()
+                .flat_map(|g| g.sources.iter().copied())
+                .collect();
             let mut m = self.membership.write();
             m.blocks.retain(|b| !grouped.contains(b));
             m.groups.extend(groups.iter().cloned());
@@ -650,7 +715,12 @@ impl MemoryContext {
             if ready {
                 self.runtime.set_moving_phase(true);
                 for group in &groups {
-                    self.move_group(group, &mut report);
+                    if !self.move_group(group, &mut report) {
+                        // The mover "crashed" (injected fault): the rest of
+                        // the phase dies with it; the epilogue below bails
+                        // every still-pending relocation.
+                        break;
+                    }
                 }
                 self.runtime.set_moving_phase(false);
             }
@@ -703,17 +773,18 @@ impl MemoryContext {
         let mut current_live = 0u32;
         let mut leftovers: Vec<BlockRef> = Vec::new();
 
-        let flush =
-            |sources: &mut Vec<BlockRef>, groups: &mut Vec<Arc<CompactionGroup>>, leftovers: &mut Vec<BlockRef>| {
-                if sources.len() < 2 {
-                    // Compacting a single block would only shuffle it; skip.
-                    leftovers.append(sources);
-                    return;
-                }
-                if let Some(group) = self.freeze_group(std::mem::take(sources)) {
-                    groups.push(group);
-                }
-            };
+        let flush = |sources: &mut Vec<BlockRef>,
+                     groups: &mut Vec<Arc<CompactionGroup>>,
+                     leftovers: &mut Vec<BlockRef>| {
+            if sources.len() < 2 {
+                // Compacting a single block would only shuffle it; skip.
+                leftovers.append(sources);
+                return;
+            }
+            if let Some(group) = self.freeze_group(std::mem::take(sources)) {
+                groups.push(group);
+            }
+        };
 
         for block in candidates {
             let live = block.header().valid_count.load(Ordering::Relaxed);
@@ -736,15 +807,19 @@ impl MemoryContext {
     /// Allocates the destination block and freezes every live object of the
     /// group's sources, building their relocation lists.
     fn freeze_group(&self, sources: Vec<BlockRef>) -> Option<Arc<CompactionGroup>> {
-        let dest = match BlockRef::allocate(&self.layout, self.type_id, self.id) {
+        // Destination blocks also count against the budget: a compaction
+        // under memory pressure degrades gracefully to "no groups formed"
+        // rather than pushing the runtime over its cap.
+        let dest = match self
+            .runtime
+            .allocate_block(&self.layout, self.type_id, self.id)
+        {
             Ok(d) => d,
             Err(_) => {
                 self.requeue_candidates(sources);
                 return None;
             }
         };
-        MemoryStats::inc(&self.runtime.stats.blocks_allocated);
-        MemoryStats::inc(&self.runtime.stats.blocks_live);
         let mut next_dest_slot: SlotId = 0;
         for &src in &sources {
             let mut entries = Vec::new();
@@ -757,6 +832,13 @@ impl MemoryContext {
                     continue;
                 }
                 let entry = unsafe { EntryRef::from_addr(back) };
+                // Sample the slot incarnation *before* freezing the entry: if
+                // the object is freed (and the slot possibly reused) between
+                // the two freezes, the slot counter has moved on and the
+                // flag-set below fails instead of freezing an unrelated
+                // object. The stale reloc entry then dies at the mover's
+                // entry lock.
+                let slot_inc = self.slot_inc(&src, slot_id).incarnation();
                 let inc = entry.get().inc().incarnation();
                 // Freeze the indirection entry first (authoritative), then
                 // the slot word for direct-pointer readers. A failure means
@@ -764,15 +846,19 @@ impl MemoryContext {
                 if !entry.get().inc().try_set_flag(inc, FLAG_FROZEN) {
                     continue;
                 }
-                let slot_word = self.slot_inc(&src, slot_id);
-                let _ = slot_word.try_set_flag(slot_word.incarnation(), FLAG_FROZEN);
+                let _ = self
+                    .slot_inc(&src, slot_id)
+                    .try_set_flag(slot_inc, FLAG_FROZEN);
                 let dest_slot = next_dest_slot;
                 next_dest_slot += 1;
                 let dest_addr = self.payload_of(&dest, dest_slot);
                 entries.push(RelocEntry::new(slot_id, back, inc, dest_addr, dest_slot));
             }
             let list = Box::new(RelocationList::new(self.obj_size, entries));
-            let old = src.header().reloc_list.swap(Box::into_raw(list), Ordering::AcqRel);
+            let old = src
+                .header()
+                .reloc_list
+                .swap(Box::into_raw(list), Ordering::AcqRel);
             if !old.is_null() {
                 drop(unsafe { Box::from_raw(old) });
             }
@@ -788,7 +874,9 @@ impl MemoryContext {
 
     /// Executes the moving phase for one group, honoring pre-state query
     /// pins (§5.2).
-    fn move_group(&self, group: &CompactionGroup, report: &mut CompactionReport) {
+    /// Returns false if an injected fault killed the mover — the caller must
+    /// abandon the rest of the moving phase, as a crashed thread would.
+    fn move_group(&self, group: &CompactionGroup, report: &mut CompactionReport) -> bool {
         // Announce the relocation *before* the final counter check, then
         // wait for pre-state readers to drain; a reader either pins before
         // our announcement (we wait for it) or observes the announcement
@@ -801,7 +889,7 @@ impl MemoryContext {
                 // control to the application while holding the read pin.
                 // `started` stays set: late readers take the post-state
                 // union, which still covers unmoved objects in the sources.
-                return;
+                return true;
             }
             std::thread::yield_now();
         }
@@ -812,6 +900,15 @@ impl MemoryContext {
             }
             let list = unsafe { &*list };
             for entry in &list.entries {
+                // Crash-only compaction failpoint: an injected fault kills
+                // the mover mid-group, as an OS failure would. Entries still
+                // `Pending` are bailed out by the pass epilogue, so the
+                // context stays valid and a later pass retries them.
+                if self.runtime.faults().should_fail(FaultSite::Relocation) {
+                    report.interrupted = true;
+                    MemoryStats::inc(&self.runtime.stats.compactions_interrupted);
+                    return false;
+                }
                 match unsafe { try_move_object(src, entry) } {
                     MoveOutcome::MovedByUs => {
                         report.moved += 1;
@@ -823,6 +920,7 @@ impl MemoryContext {
                 }
             }
         }
+        true
     }
 
     /// Disbands groups after a pass: publishes destinations, retires emptied
@@ -835,7 +933,8 @@ impl MemoryContext {
                 m.blocks.push(group.dest);
             } else {
                 // Nothing moved (fully bailed/aborted): discard the dest.
-                self.runtime.bury_block(group.dest, self.runtime.global_epoch() + 2);
+                self.runtime
+                    .bury_block(group.dest, self.runtime.global_epoch() + 2);
             }
             for &src in &group.sources {
                 src.header().compacting.store(0, Ordering::Release);
@@ -899,7 +998,11 @@ impl MemoryContext {
     pub fn debug_valid_slots(&self, _guard: &Guard<'_>) -> Vec<(BlockRef, SlotId)> {
         let m = self.membership_snapshot();
         let mut out = Vec::new();
-        for b in m.blocks.iter().chain(m.groups.iter().flat_map(|g| g.sources.iter())) {
+        for b in m
+            .blocks
+            .iter()
+            .chain(m.groups.iter().flat_map(|g| g.sources.iter()))
+        {
             for s in 0..b.header().capacity {
                 if b.slot_word(s).state() == SlotState::Valid {
                     out.push((*b, s));
@@ -963,8 +1066,14 @@ mod tests {
     use crate::block::type_id_of;
 
     fn ctx(rt: &Arc<Runtime>) -> MemoryContext {
-        MemoryContext::new_rows(rt.clone(), 8, 8, type_id_of::<u64>(), ContextConfig::default())
-            .unwrap()
+        MemoryContext::new_rows(
+            rt.clone(),
+            8,
+            8,
+            type_id_of::<u64>(),
+            ContextConfig::default(),
+        )
+        .unwrap()
     }
 
     fn ctx_with(rt: &Arc<Runtime>, config: ContextConfig) -> MemoryContext {
@@ -988,7 +1097,10 @@ mod tests {
         let a = alloc_u64(&c, 42);
         assert_eq!(read_u64(a.entry), 42);
         assert_eq!(a.block.slot_word(a.slot).state(), SlotState::Valid);
-        assert_eq!(a.block.back_ptr(a.slot).load(Ordering::Acquire), a.entry.addr());
+        assert_eq!(
+            a.block.back_ptr(a.slot).load(Ordering::Acquire),
+            a.entry.addr()
+        );
         assert_eq!(c.live_objects(), 1);
     }
 
@@ -1031,8 +1143,10 @@ mod tests {
     fn limbo_slot_reused_only_after_two_epochs() {
         let rt = Runtime::new();
         // Aggressive threshold so a single removal queues the block.
-        let mut config = ContextConfig::default();
-        config.reclamation_threshold = 0.0;
+        let config = ContextConfig {
+            reclamation_threshold: 0.0,
+            ..ContextConfig::default()
+        };
         let c = ctx_with(&rt, config);
         let cap = c.layout().capacity as usize;
         let mut allocs = Vec::new();
@@ -1066,8 +1180,11 @@ mod tests {
     #[test]
     fn reclamation_respects_threshold() {
         let rt = Runtime::new();
-        let mut config = ContextConfig::default();
-        config.reclamation_threshold = 0.5; // half the block must be limbo
+        // Half the block must be limbo before it queues.
+        let config = ContextConfig {
+            reclamation_threshold: 0.5,
+            ..ContextConfig::default()
+        };
         let c = ctx_with(&rt, config);
         let cap = c.layout().capacity as usize;
         let mut allocs = Vec::new();
@@ -1101,8 +1218,13 @@ mod tests {
     fn columnar_context_allocates_and_locates() {
         let rt = Runtime::new();
         // 4 bytes inc column + 8 bytes value column per slot.
-        let c = MemoryContext::new_columnar(rt.clone(), 12, type_id_of::<u64>(), ContextConfig::default())
-            .unwrap();
+        let c = MemoryContext::new_columnar(
+            rt.clone(),
+            12,
+            type_id_of::<u64>(),
+            ContextConfig::default(),
+        )
+        .unwrap();
         let cap = c.layout().capacity as usize;
         let a = c
             .alloc_with(|block, slot| unsafe {
@@ -1114,7 +1236,14 @@ mod tests {
         let payload = a.entry.get().load_payload(Ordering::Acquire);
         let (block, slot) = unsafe { c.locate(payload) };
         assert_eq!((block, slot), (a.block, a.slot));
-        let v = unsafe { block.store_base().add(cap * 4).cast::<u64>().add(slot as usize).read() };
+        let v = unsafe {
+            block
+                .store_base()
+                .add(cap * 4)
+                .cast::<u64>()
+                .add(slot as usize)
+                .read()
+        };
         assert_eq!(v, 777);
         assert!(c.free(a.entry, a.entry_inc));
     }
@@ -1122,8 +1251,11 @@ mod tests {
     #[test]
     fn compaction_empties_sparse_blocks() {
         let rt = Runtime::new();
-        let mut config = ContextConfig::default();
-        config.reclamation_threshold = 1.1; // never queue: isolate compaction
+        // Never queue: isolate compaction.
+        let config = ContextConfig {
+            reclamation_threshold: 1.1,
+            ..ContextConfig::default()
+        };
         let c = ctx_with(&rt, config);
         let cap = c.layout().capacity as usize;
         // Fill four blocks, then delete 90% of each.
@@ -1154,7 +1286,10 @@ mod tests {
         }
         c.release_retired();
         rt.drain_graveyard_blocking();
-        assert!(c.block_count() < blocks_before, "compaction should shrink the context");
+        assert!(
+            c.block_count() < blocks_before,
+            "compaction should shrink the context"
+        );
         // Relocation state fully cleared.
         assert_eq!(rt.next_relocation_epoch(), 0);
         assert!(!rt.in_moving_phase());
@@ -1177,8 +1312,10 @@ mod tests {
     #[test]
     fn compaction_tombstones_carry_forward_flag() {
         let rt = Runtime::new();
-        let mut config = ContextConfig::default();
-        config.reclamation_threshold = 1.1;
+        let config = ContextConfig {
+            reclamation_threshold: 1.1,
+            ..ContextConfig::default()
+        };
         let c = ctx_with(&rt, config);
         let cap = c.layout().capacity as usize;
         let mut allocs = Vec::new();
@@ -1192,7 +1329,9 @@ mod tests {
         let report = c.compact();
         assert!(report.moved >= 1);
         // The survivor's old slot is now a forwarding tombstone.
-        let word = c.slot_inc(&survivor.block, survivor.slot).load(Ordering::Acquire);
+        let word = c
+            .slot_inc(&survivor.block, survivor.slot)
+            .load(Ordering::Acquire);
         assert_ne!(word & crate::incarnation::FLAG_FORWARD, 0);
         // Its entry points at the new location, which holds the value.
         assert_eq!(read_u64(survivor.entry), 0);

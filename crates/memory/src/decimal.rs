@@ -230,7 +230,10 @@ mod tests {
         }
         assert_eq!(Decimal::parse("7"), Some(Decimal::from_int(7)));
         assert_eq!(Decimal::parse(".5"), Some(Decimal::from_mantissa(5_000)));
-        assert_eq!(Decimal::parse("1.23456789"), Some(Decimal::from_mantissa(12_345)));
+        assert_eq!(
+            Decimal::parse("1.23456789"),
+            Some(Decimal::from_mantissa(12_345))
+        );
         assert_eq!(Decimal::parse(""), None);
         assert_eq!(Decimal::parse("abc"), None);
     }

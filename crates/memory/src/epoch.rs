@@ -31,6 +31,7 @@ use std::sync::atomic::{fence, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 
 use crate::error::MemError;
+use crate::fault::{FaultInjector, FaultSite};
 
 /// Maximum number of threads that may concurrently use one manager.
 pub const MAX_THREADS: usize = 128;
@@ -77,6 +78,9 @@ pub struct EpochManager {
     /// True during the moving phase of the relocation epoch (§5.1's
     /// `inMovingPhase`).
     in_moving_phase: std::sync::atomic::AtomicBool,
+    /// Failpoint registry shared with the owning runtime (a detached,
+    /// permanently-disarmed one for bare managers).
+    faults: Arc<FaultInjector>,
 }
 
 static NEXT_MANAGER_ID: AtomicU64 = AtomicU64::new(1);
@@ -104,13 +108,22 @@ impl Drop for TlsRegistry {
 }
 
 thread_local! {
-    static REGISTRY: RefCell<TlsRegistry> = RefCell::new(TlsRegistry { regs: Vec::new() });
+    static REGISTRY: RefCell<TlsRegistry> = const { RefCell::new(TlsRegistry { regs: Vec::new() }) };
 }
 
 impl EpochManager {
     /// Creates a manager with epoch 0 and no registered threads.
     pub fn new() -> Arc<Self> {
-        let slots = (0..MAX_THREADS).map(|_| ThreadSlot::new()).collect::<Vec<_>>();
+        Self::with_faults(Arc::new(FaultInjector::detached()))
+    }
+
+    /// Creates a manager whose failpoints report to `faults` (used by
+    /// [`Runtime`](crate::runtime::Runtime) so one registry covers the whole
+    /// memory system).
+    pub fn with_faults(faults: Arc<FaultInjector>) -> Arc<Self> {
+        let slots = (0..MAX_THREADS)
+            .map(|_| ThreadSlot::new())
+            .collect::<Vec<_>>();
         Arc::new(EpochManager {
             global: AtomicU64::new(0),
             slots: slots.into_boxed_slice(),
@@ -118,6 +131,7 @@ impl EpochManager {
             reserved_by: AtomicUsize::new(NO_RESERVATION),
             next_relocation_epoch: AtomicU64::new(0),
             in_moving_phase: std::sync::atomic::AtomicBool::new(false),
+            faults,
         })
     }
 
@@ -135,12 +149,19 @@ impl EpochManager {
                 return Ok(existing.idx);
             }
             let idx = self.claim_slot()?;
-            reg.regs.push(Registration { mgr_id: self.id, idx, mgr: Arc::downgrade(self) });
+            reg.regs.push(Registration {
+                mgr_id: self.id,
+                idx,
+                mgr: Arc::downgrade(self),
+            });
             Ok(idx)
         })
     }
 
     fn claim_slot(&self) -> Result<usize, MemError> {
+        if self.faults.should_fail(FaultSite::ThreadClaim) {
+            return Err(MemError::TooManyThreads);
+        }
         for (i, slot) in self.slots.iter().enumerate() {
             if slot
                 .claimed
@@ -162,10 +183,20 @@ impl EpochManager {
     /// Enters a critical section (the paper's `enter_critical_section`) and
     /// returns a [`Guard`] whose drop exits it. Re-entrant: nested guards
     /// share the outermost guard's epoch.
+    ///
+    /// Panics if the thread registry is full; use [`try_pin`](Self::try_pin)
+    /// where that must surface as an error instead.
     pub fn pin(self: &Arc<Self>) -> Guard<'_> {
-        let idx = self.thread_index().expect("epoch thread registry full");
+        self.try_pin().expect("epoch thread registry full")
+    }
+
+    /// Fallible [`pin`](Self::pin): `Err(MemError::TooManyThreads)` when the
+    /// calling thread cannot register (registry exhausted, or an injected
+    /// [`FaultSite::ThreadClaim`] failure).
+    pub fn try_pin(self: &Arc<Self>) -> Result<Guard<'_>, MemError> {
+        let idx = self.thread_index()?;
         self.enter(idx);
-        Guard { mgr: self, idx }
+        Ok(Guard { mgr: self, idx })
     }
 
     fn enter(&self, idx: usize) {
@@ -235,6 +266,9 @@ impl EpochManager {
     }
 
     fn try_advance_from(&self, me: Option<usize>) -> Option<u64> {
+        if self.faults.should_fail(FaultSite::EpochAdvance) {
+            return None;
+        }
         let reserved = self.reserved_by.load(Ordering::Acquire);
         if reserved != NO_RESERVATION && Some(reserved) != me {
             return None;
@@ -243,7 +277,10 @@ impl EpochManager {
         if !self.all_threads_at(e, me) {
             return None;
         }
-        match self.global.compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::SeqCst) {
+        match self
+            .global
+            .compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::SeqCst)
+        {
             Ok(_) => Some(e + 1),
             Err(_) => None,
         }
@@ -490,13 +527,69 @@ mod tests {
         let mut first_idx = None;
         for _ in 0..MAX_THREADS + 10 {
             let m = mgr.clone();
-            let idx = std::thread::spawn(move || m.thread_index().unwrap()).join().unwrap();
+            let idx = std::thread::spawn(move || m.thread_index().unwrap())
+                .join()
+                .unwrap();
             match first_idx {
                 None => first_idx = Some(idx),
                 // All sequential threads should land on a freed slot.
                 Some(_) => assert!(idx < MAX_THREADS),
             }
         }
+    }
+
+    #[test]
+    fn registry_exhaustion_errors_then_recovers() {
+        use std::sync::Barrier;
+        let mgr = EpochManager::new();
+        let barrier = Arc::new(Barrier::new(MAX_THREADS + 1));
+        let mut handles = Vec::new();
+        for _ in 0..MAX_THREADS {
+            let m = mgr.clone();
+            let b = barrier.clone();
+            handles.push(std::thread::spawn(move || {
+                let idx = m.thread_index();
+                b.wait(); // all slots taken
+                b.wait(); // exhaustion verified by the main thread
+                idx.is_ok()
+            }));
+        }
+        barrier.wait();
+        // Registrant MAX_THREADS + 1: must fail, not panic.
+        assert!(matches!(mgr.thread_index(), Err(MemError::TooManyThreads)));
+        assert!(matches!(mgr.try_pin(), Err(MemError::TooManyThreads)));
+        barrier.wait();
+        for h in handles {
+            assert!(h.join().unwrap(), "each of the first MAX_THREADS registers");
+        }
+        // Exited threads released their slots: registration works again.
+        assert!(mgr.thread_index().is_ok());
+        assert!(mgr.try_pin().is_ok());
+    }
+
+    #[test]
+    fn injected_thread_claim_fault_surfaces_as_error() {
+        let faults = Arc::new(FaultInjector::detached());
+        faults.enable(11);
+        faults.set_rate(FaultSite::ThreadClaim, crate::fault::RATE_DENOMINATOR);
+        let mgr = EpochManager::with_faults(faults.clone());
+        // This thread is unregistered with the fresh manager, so pinning
+        // must claim a slot and hit the failpoint.
+        assert!(matches!(mgr.try_pin(), Err(MemError::TooManyThreads)));
+        faults.disable();
+        assert!(mgr.try_pin().is_ok(), "disarmed registry claims normally");
+    }
+
+    #[test]
+    fn injected_epoch_advance_fault_blocks_progress() {
+        let faults = Arc::new(FaultInjector::detached());
+        let mgr = EpochManager::with_faults(faults.clone());
+        faults.enable(13);
+        faults.set_rate(FaultSite::EpochAdvance, crate::fault::RATE_DENOMINATOR);
+        assert_eq!(mgr.try_advance(), None);
+        assert_eq!(mgr.global_epoch(), 0);
+        faults.disable();
+        assert_eq!(mgr.try_advance(), Some(1));
     }
 
     #[test]

@@ -44,7 +44,10 @@ impl fmt::Display for MemError {
         match self {
             MemError::Null(e) => e.fmt(f),
             MemError::ObjectTooLarge { size, max } => {
-                write!(f, "object of {size} bytes exceeds block payload of {max} bytes")
+                write!(
+                    f,
+                    "object of {size} bytes exceeds block payload of {max} bytes"
+                )
             }
             MemError::OutOfMemory => f.write_str("out of memory allocating a block"),
             MemError::TooManyThreads => f.write_str("epoch thread registry is full"),
@@ -68,7 +71,9 @@ mod tests {
     fn display_formats() {
         assert!(NullReference.to_string().contains("null reference"));
         assert!(MemError::OutOfMemory.to_string().contains("out of memory"));
-        assert!(MemError::ObjectTooLarge { size: 10, max: 5 }.to_string().contains("10"));
+        assert!(MemError::ObjectTooLarge { size: 10, max: 5 }
+            .to_string()
+            .contains("10"));
         assert!(MemError::TooManyThreads.to_string().contains("registry"));
     }
 

@@ -1,0 +1,350 @@
+//! Deterministic, seeded fault injection for the memory manager.
+//!
+//! Robustness work on a manual memory manager needs failures on demand:
+//! allocation refusals, stalled epoch advancement, thread-registry
+//! exhaustion, and compactions that die mid-relocation. This module provides
+//! a [`FaultInjector`] with one *failpoint* per such site
+//! ([`FaultSite`]). Sites are compiled in permanently but cost one relaxed
+//! atomic load when injection is disabled (the default).
+//!
+//! ## Determinism
+//!
+//! Whether call `n` at a site fails is a pure function of `(seed, site, n)`:
+//! each site keeps an atomic call counter, and the decision hashes the seed,
+//! a per-site salt, and the call index through SplitMix64. Re-running a
+//! single-threaded workload with the same seed therefore injects failures at
+//! exactly the same calls. Under concurrency the *set* of failing call
+//! indices is still fixed by the seed; only which thread draws which index
+//! varies with scheduling.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use smc_util::rng::splitmix64;
+
+use crate::stats::MemoryStats;
+
+/// Number of distinct failpoints.
+pub const NUM_SITES: usize = 4;
+
+/// The failpoints wired into the memory manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// OS-level block allocation ([`Runtime::allocate_block`]
+    /// (crate::runtime::Runtime::allocate_block)). Injection simulates a hard
+    /// allocation failure: the call returns
+    /// [`MemError::OutOfMemory`](crate::error::MemError::OutOfMemory)
+    /// without touching the recovery ladder.
+    BlockAlloc,
+    /// Global epoch advancement (`EpochManager::try_advance*`). Injection
+    /// makes the attempt report failure, as if a straggling critical section
+    /// were pinned behind the current epoch.
+    EpochAdvance,
+    /// Thread-slot registration (`EpochManager::thread_index` on first use).
+    /// Injection returns
+    /// [`MemError::TooManyThreads`](crate::error::MemError::TooManyThreads),
+    /// as if the registry were full.
+    ThreadClaim,
+    /// Object relocation during a compaction pass's moving phase. Injection
+    /// aborts the group mid-move — the crash-only path: remaining entries
+    /// stay `Pending` and are bailed out by the pass epilogue, leaving the
+    /// collection valid and the compaction retriable.
+    Relocation,
+}
+
+impl FaultSite {
+    /// Every site, in index order.
+    pub const ALL: [FaultSite; NUM_SITES] = [
+        FaultSite::BlockAlloc,
+        FaultSite::EpochAdvance,
+        FaultSite::ThreadClaim,
+        FaultSite::Relocation,
+    ];
+
+    /// Dense index of this site.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            FaultSite::BlockAlloc => 0,
+            FaultSite::EpochAdvance => 1,
+            FaultSite::ThreadClaim => 2,
+            FaultSite::Relocation => 3,
+        }
+    }
+
+    /// Stable per-site hash salt (decorrelates sites under one seed).
+    #[inline]
+    fn salt(self) -> u64 {
+        [
+            0x9e37_79b9_0000_0001,
+            0x9e37_79b9_0000_0002,
+            0x9e37_79b9_0000_0003,
+            0x9e37_79b9_0000_0004,
+        ][self.index()]
+    }
+
+    /// Human-readable site name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::BlockAlloc => "block-alloc",
+            FaultSite::EpochAdvance => "epoch-advance",
+            FaultSite::ThreadClaim => "thread-claim",
+            FaultSite::Relocation => "relocation",
+        }
+    }
+}
+
+/// Injection rates are expressed out of this denominator.
+pub const RATE_DENOMINATOR: u32 = 1024;
+
+/// The per-runtime failpoint registry.
+///
+/// Disabled by default; every site then reduces to a single relaxed load.
+/// Enabled via [`enable`](Self::enable) with a seed, after which each site
+/// fails a deterministic, seed-reproducible subset of its calls at the
+/// configured rate.
+#[derive(Debug)]
+pub struct FaultInjector {
+    enabled: AtomicBool,
+    seed: AtomicU64,
+    /// Per-site injection rate out of [`RATE_DENOMINATOR`].
+    rates: [AtomicU32; NUM_SITES],
+    /// Per-site call counters (the `n` in the `(seed, site, n)` hash).
+    calls: [AtomicU64; NUM_SITES],
+    /// Per-site injected-failure counters.
+    injected: [AtomicU64; NUM_SITES],
+    /// Remaining injection allowance; `u64::MAX` means unlimited.
+    remaining: AtomicU64,
+    stats: Arc<MemoryStats>,
+}
+
+impl FaultInjector {
+    /// A disabled injector reporting into `stats`.
+    pub fn new(stats: Arc<MemoryStats>) -> FaultInjector {
+        FaultInjector {
+            enabled: AtomicBool::new(false),
+            seed: AtomicU64::new(0),
+            rates: std::array::from_fn(|_| AtomicU32::new(0)),
+            calls: std::array::from_fn(|_| AtomicU64::new(0)),
+            injected: std::array::from_fn(|_| AtomicU64::new(0)),
+            remaining: AtomicU64::new(u64::MAX),
+            stats,
+        }
+    }
+
+    /// A disabled injector with private stats, for components constructed
+    /// without a runtime (e.g. a bare `EpochManager` in tests).
+    pub fn detached() -> FaultInjector {
+        FaultInjector::new(Arc::new(MemoryStats::new()))
+    }
+
+    /// Arms the injector with a seed. Sites only fire once a non-zero rate
+    /// is also set ([`set_rate`](Self::set_rate)).
+    pub fn enable(&self, seed: u64) {
+        self.seed.store(seed, Ordering::Relaxed);
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Disarms every site (calls still count, for determinism across
+    /// enable/disable windows).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// True once armed.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// The seed the injector was armed with.
+    pub fn seed(&self) -> u64 {
+        self.seed.load(Ordering::Relaxed)
+    }
+
+    /// Sets one site's injection rate, out of [`RATE_DENOMINATOR`].
+    pub fn set_rate(&self, site: FaultSite, rate_per_1024: u32) {
+        self.rates[site.index()].store(rate_per_1024.min(RATE_DENOMINATOR), Ordering::Relaxed);
+    }
+
+    /// Sets every site to the same injection rate.
+    pub fn set_all_rates(&self, rate_per_1024: u32) {
+        for site in FaultSite::ALL {
+            self.set_rate(site, rate_per_1024);
+        }
+    }
+
+    /// Caps the total number of injections (`None` = unlimited). Useful for
+    /// "fail exactly the next allocation" style tests.
+    pub fn set_limit(&self, limit: Option<u64>) {
+        self.remaining
+            .store(limit.unwrap_or(u64::MAX), Ordering::Relaxed);
+    }
+
+    /// The failpoint: true when the current call at `site` must fail.
+    #[inline]
+    pub fn should_fail(&self, site: FaultSite) -> bool {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return false;
+        }
+        self.should_fail_armed(site)
+    }
+
+    #[cold]
+    fn should_fail_armed(&self, site: FaultSite) -> bool {
+        let i = site.index();
+        let call = self.calls[i].fetch_add(1, Ordering::Relaxed);
+        let rate = self.rates[i].load(Ordering::Relaxed);
+        if rate == 0 {
+            return false;
+        }
+        let h = splitmix64(self.seed.load(Ordering::Relaxed) ^ site.salt() ^ call);
+        if (h % RATE_DENOMINATOR as u64) as u32 >= rate {
+            return false;
+        }
+        // Respect the injection allowance without going negative under races.
+        let allowed = self
+            .remaining
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |r| match r {
+                u64::MAX => Some(u64::MAX),
+                0 => None,
+                n => Some(n - 1),
+            })
+            .is_ok();
+        if !allowed {
+            return false;
+        }
+        self.injected[i].fetch_add(1, Ordering::Relaxed);
+        MemoryStats::inc(&self.stats.faults_injected);
+        true
+    }
+
+    /// Times this site was reached (failing or not).
+    pub fn calls(&self, site: FaultSite) -> u64 {
+        self.calls[site.index()].load(Ordering::Relaxed)
+    }
+
+    /// Failures injected at this site.
+    pub fn injected(&self, site: FaultSite) -> u64 {
+        self.injected[site.index()].load(Ordering::Relaxed)
+    }
+
+    /// Failures injected across all sites.
+    pub fn injected_total(&self) -> u64 {
+        FaultSite::ALL.iter().map(|&s| self.injected(s)).sum()
+    }
+}
+
+impl std::fmt::Display for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "faults[{}; seed={}]",
+            if self.is_enabled() {
+                "armed"
+            } else {
+                "disarmed"
+            },
+            self.seed()
+        )?;
+        for site in FaultSite::ALL {
+            write!(
+                f,
+                " {}={}/{}",
+                site.name(),
+                self.injected(site),
+                self.calls(site)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_injector_never_fails() {
+        let inj = FaultInjector::detached();
+        inj.set_all_rates(RATE_DENOMINATOR); // would fail every call if armed
+        for _ in 0..1000 {
+            assert!(!inj.should_fail(FaultSite::BlockAlloc));
+        }
+        assert_eq!(inj.injected_total(), 0);
+    }
+
+    #[test]
+    fn same_seed_fails_same_calls() {
+        let pattern = |seed: u64| -> Vec<bool> {
+            let inj = FaultInjector::detached();
+            inj.enable(seed);
+            inj.set_rate(FaultSite::Relocation, 128);
+            (0..512)
+                .map(|_| inj.should_fail(FaultSite::Relocation))
+                .collect()
+        };
+        assert_eq!(pattern(7), pattern(7));
+        assert_ne!(pattern(7), pattern(8), "different seeds should differ");
+    }
+
+    #[test]
+    fn rate_roughly_honored() {
+        let inj = FaultInjector::detached();
+        inj.enable(42);
+        inj.set_rate(FaultSite::EpochAdvance, 256); // 25%
+        let hits = (0..4096)
+            .filter(|_| inj.should_fail(FaultSite::EpochAdvance))
+            .count();
+        assert!((700..1350).contains(&hits), "{hits}/4096 at 25%");
+        assert_eq!(inj.injected(FaultSite::EpochAdvance) as usize, hits);
+        assert_eq!(inj.calls(FaultSite::EpochAdvance), 4096);
+    }
+
+    #[test]
+    fn sites_are_independent() {
+        let inj = FaultInjector::detached();
+        inj.enable(1);
+        inj.set_rate(FaultSite::BlockAlloc, RATE_DENOMINATOR);
+        // Armed site fails every call; others never do.
+        assert!(inj.should_fail(FaultSite::BlockAlloc));
+        assert!(!inj.should_fail(FaultSite::ThreadClaim));
+        assert!(!inj.should_fail(FaultSite::Relocation));
+    }
+
+    #[test]
+    fn limit_caps_injections() {
+        let inj = FaultInjector::detached();
+        inj.enable(3);
+        inj.set_all_rates(RATE_DENOMINATOR);
+        inj.set_limit(Some(2));
+        let hits = (0..100)
+            .filter(|_| inj.should_fail(FaultSite::BlockAlloc))
+            .count();
+        assert_eq!(hits, 2);
+        inj.set_limit(Some(1));
+        assert!(inj.should_fail(FaultSite::BlockAlloc));
+        assert!(!inj.should_fail(FaultSite::BlockAlloc));
+    }
+
+    #[test]
+    fn stats_counter_tracks_injections() {
+        let stats = Arc::new(MemoryStats::new());
+        let inj = FaultInjector::new(stats.clone());
+        inj.enable(5);
+        inj.set_rate(FaultSite::BlockAlloc, RATE_DENOMINATOR);
+        for _ in 0..7 {
+            assert!(inj.should_fail(FaultSite::BlockAlloc));
+        }
+        assert_eq!(MemoryStats::get(&stats.faults_injected), 7);
+    }
+
+    #[test]
+    fn display_lists_sites() {
+        let inj = FaultInjector::detached();
+        inj.enable(9);
+        let s = format!("{inj}");
+        assert!(s.contains("armed"));
+        assert!(s.contains("block-alloc"));
+        assert!(s.contains("relocation"));
+    }
+}

@@ -87,7 +87,10 @@ impl IncWord {
         let mut cur = self.0.load(Ordering::Acquire);
         loop {
             let next = (cur & INC_MASK).wrapping_add(1) & INC_MASK;
-            match self.0.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire) {
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire)
+            {
                 Ok(_) => return next,
                 Err(actual) => cur = actual,
             }
@@ -151,7 +154,10 @@ impl IncWord {
                 return false;
             }
             let next = cur | flag;
-            match self.0.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire) {
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire)
+            {
                 Ok(_) => return true,
                 Err(actual) => cur = actual,
             }
@@ -191,7 +197,10 @@ impl IncWord {
         loop {
             debug_assert_ne!(cur & FLAG_LOCK, 0, "unlock without lock");
             let next = (cur & INC_MASK) | new_flags;
-            match self.0.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire) {
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire)
+            {
                 Ok(_) => return,
                 Err(actual) => cur = actual,
             }

@@ -20,7 +20,7 @@
 use std::ptr::NonNull;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-use parking_lot::Mutex;
+use smc_util::sync::Mutex;
 
 use crate::incarnation::{IncWord, INC_LIMIT};
 
@@ -155,7 +155,10 @@ impl IndirectionTable {
             return entry;
         }
         let chunk: Box<[IndirEntry]> = (0..CHUNK_ENTRIES)
-            .map(|_| IndirEntry { payload: AtomicUsize::new(0), inc: IncWord::new(0) })
+            .map(|_| IndirEntry {
+                payload: AtomicUsize::new(0),
+                inc: IncWord::new(0),
+            })
             .collect();
         let first = EntryRef(NonNull::from(&chunk[0]));
         {

@@ -44,6 +44,7 @@ pub mod context;
 pub mod decimal;
 pub mod epoch;
 pub mod error;
+pub mod fault;
 pub mod incarnation;
 pub mod indirection;
 pub mod inline_str;
@@ -52,12 +53,14 @@ pub mod runtime;
 pub mod slot;
 pub mod stats;
 pub mod tabular;
+pub mod verify;
 
 pub use block::{BlockHeader, BlockLayout, BLOCK_ALIGN, BLOCK_SIZE};
 pub use context::{ContextConfig, MemoryContext};
 pub use decimal::Decimal;
 pub use epoch::{EpochManager, Guard};
 pub use error::{MemError, NullReference};
+pub use fault::{FaultInjector, FaultSite};
 pub use incarnation::{IncWord, FLAG_FORWARD, FLAG_FROZEN, FLAG_LOCK, INC_MASK};
 pub use indirection::{EntryRef, IndirEntry, IndirectionTable};
 pub use inline_str::InlineStr;
@@ -65,3 +68,4 @@ pub use runtime::Runtime;
 pub use slot::{SlotId, SlotState};
 pub use stats::MemoryStats;
 pub use tabular::Tabular;
+pub use verify::VerifyReport;

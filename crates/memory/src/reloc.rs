@@ -59,7 +59,13 @@ pub struct RelocEntry {
 
 impl RelocEntry {
     /// Creates a pending entry.
-    pub fn new(src_slot: SlotId, entry_addr: usize, inc: u32, dest_obj_addr: usize, dest_slot: SlotId) -> Self {
+    pub fn new(
+        src_slot: SlotId,
+        entry_addr: usize,
+        inc: u32,
+        dest_obj_addr: usize,
+        dest_slot: SlotId,
+    ) -> Self {
         RelocEntry {
             src_slot,
             entry_addr,
@@ -110,7 +116,9 @@ impl RelocationList {
 
     /// True when every entry has left the `Pending` state.
     pub fn all_settled(&self) -> bool {
-        self.entries.iter().all(|e| e.status() != RelocStatus::Pending)
+        self.entries
+            .iter()
+            .all(|e| e.status() != RelocStatus::Pending)
     }
 
     /// Count of entries with the given status.
@@ -163,12 +171,25 @@ pub unsafe fn try_move_object(src_block: BlockRef, reloc: &RelocEntry) -> MoveOu
             let dest = reloc.dest_obj_addr as *mut u8;
             std::ptr::copy_nonoverlapping(src, dest, reloc.obj_size(src_block));
             let dest_block = BlockRef::from_interior_ptr(dest);
+            // The slot-side incarnation is an independent counter from the
+            // entry's (`reloc.inc`); direct pointers (§6) validate against
+            // the slot side, so the *slot* counter is what must survive the
+            // move. Holding the entry lock with status Pending pins the
+            // source slot (no free, no other mover), so this read is stable.
+            let slot_inc = src_block.slot_inc(reloc.src_slot).load(Ordering::Acquire) & INC_MASK;
             // Install identity at the destination: incarnation, back-pointer,
             // slot-directory Valid.
-            dest_block.slot_inc(reloc.dest_slot).store(reloc.inc & INC_MASK, Ordering::Release);
-            dest_block.back_ptr(reloc.dest_slot).store(reloc.entry_addr, Ordering::Release);
+            dest_block
+                .slot_inc(reloc.dest_slot)
+                .store(slot_inc, Ordering::Release);
+            dest_block
+                .back_ptr(reloc.dest_slot)
+                .store(reloc.entry_addr, Ordering::Release);
             dest_block.slot_word(reloc.dest_slot).set_valid();
-            dest_block.header().valid_count.fetch_add(1, Ordering::Relaxed);
+            dest_block
+                .header()
+                .valid_count
+                .fetch_add(1, Ordering::Relaxed);
             // Repoint the indirection entry — the single atomic step that
             // redirects every (indirect) reference (§5.1).
             entry.get().store_payload(dest as usize, Ordering::Release);
@@ -176,11 +197,14 @@ pub unsafe fn try_move_object(src_block: BlockRef, reloc: &RelocEntry) -> MoveOu
             // incarnation, set FORWARD, clear FROZEN.
             src_block
                 .slot_inc(reloc.src_slot)
-                .store((reloc.inc & INC_MASK) | FLAG_FORWARD, Ordering::Release);
+                .store(slot_inc | FLAG_FORWARD, Ordering::Release);
             // The source slot no longer holds the object.
             let epoch_hint = 0; // retired blocks are reclaimed wholesale
             src_block.slot_word(reloc.src_slot).set_limbo(epoch_hint);
-            src_block.header().valid_count.fetch_sub(1, Ordering::Relaxed);
+            src_block
+                .header()
+                .valid_count
+                .fetch_sub(1, Ordering::Relaxed);
             reloc.set_status(RelocStatus::Succeeded);
             entry_inc.unlock_with_flags(0);
             MoveOutcome::MovedByUs
@@ -212,10 +236,15 @@ pub unsafe fn bail_out_relocation(src_block: BlockRef, reloc: &RelocEntry) -> Mo
         RelocStatus::Pending => {
             reloc.set_status(RelocStatus::Failed);
             // Clear freeze on the source slot word too, so direct readers
-            // stop taking the slow path.
+            // stop taking the slow path. Holding the entry lock with status
+            // Pending proves the object still sits in the source slot (a
+            // free would have bumped the entry counter and failed our lock;
+            // a mover needs the lock we hold), so the slot word is ours to
+            // unfreeze regardless of how its counter relates to the entry's
+            // — the two incarnations are independent counters.
             let slot_inc = src_block.slot_inc(reloc.src_slot);
             let cur = slot_inc.load(Ordering::Acquire);
-            if cur & INC_MASK == reloc.inc & INC_MASK && cur & FLAG_FROZEN != 0 {
+            if cur & FLAG_FROZEN != 0 {
                 slot_inc.store(cur & !FLAG_FROZEN, Ordering::Release);
             }
             entry_inc.unlock_with_flags(0);
@@ -255,7 +284,8 @@ mod tests {
         src.slot_word(s).set_valid();
         src.back_ptr(s).store(e.addr(), Ordering::Release);
         src.header().valid_count.fetch_add(1, Ordering::Relaxed);
-        e.get().store_payload(src.obj_ptr(s) as usize, Ordering::Release);
+        e.get()
+            .store_payload(src.obj_ptr(s) as usize, Ordering::Release);
         e
     }
 
@@ -272,7 +302,9 @@ mod tests {
             freeze(e, src, 5, 0);
             let reloc = RelocEntry::new(5, e.addr(), 0, dst.obj_ptr(9) as usize, 9);
             let list = Box::new(RelocationList::new(8, vec![]));
-            src.header().reloc_list.store(Box::into_raw(list), Ordering::Release);
+            src.header()
+                .reloc_list
+                .store(Box::into_raw(list), Ordering::Release);
 
             assert_eq!(try_move_object(src, &reloc), MoveOutcome::MovedByUs);
             // Destination holds the object, valid, right incarnation/backptr.
@@ -280,7 +312,10 @@ mod tests {
             assert_eq!(dst.slot_word(9).state(), SlotState::Valid);
             assert_eq!(dst.back_ptr(9).load(Ordering::Acquire), e.addr());
             // Entry repointed.
-            assert_eq!(e.get().load_payload(Ordering::Acquire), dst.obj_ptr(9) as usize);
+            assert_eq!(
+                e.get().load_payload(Ordering::Acquire),
+                dst.obj_ptr(9) as usize
+            );
             // Entry flags cleared; source slot is a forwarding tombstone.
             assert_eq!(e.get().inc().load(Ordering::Acquire), 0);
             let src_word = src.slot_inc(5).load(Ordering::Acquire);
@@ -302,7 +337,9 @@ mod tests {
             freeze(e, src, 0, 0);
             let reloc = RelocEntry::new(0, e.addr(), 0, dst.obj_ptr(0) as usize, 0);
             let list = Box::new(RelocationList::new(8, vec![]));
-            src.header().reloc_list.store(Box::into_raw(list), Ordering::Release);
+            src.header()
+                .reloc_list
+                .store(Box::into_raw(list), Ordering::Release);
             assert_eq!(try_move_object(src, &reloc), MoveOutcome::MovedByUs);
             assert_eq!(try_move_object(src, &reloc), MoveOutcome::AlreadyMoved);
             src.deallocate();
@@ -376,14 +413,19 @@ mod tests {
                     7,
                 ));
                 let list = Box::new(RelocationList::new(8, vec![]));
-                src.header().reloc_list.store(Box::into_raw(list), Ordering::Release);
+                src.header()
+                    .reloc_list
+                    .store(Box::into_raw(list), Ordering::Release);
 
                 let r2 = reloc.clone();
                 let src2 = src;
                 let t = std::thread::spawn(move || try_move_object(src2, &r2));
                 let a = try_move_object(src, &reloc);
                 let b = t.join().unwrap();
-                let moved = [a, b].iter().filter(|o| **o == MoveOutcome::MovedByUs).count();
+                let moved = [a, b]
+                    .iter()
+                    .filter(|o| **o == MoveOutcome::MovedByUs)
+                    .count();
                 assert_eq!(moved, 1, "exactly one mover wins: {a:?} {b:?}");
                 assert_eq!(dst.obj_ptr(7).cast::<u64>().read(), 4242);
                 src.deallocate();

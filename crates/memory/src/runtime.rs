@@ -10,12 +10,18 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use smc_util::sync::Mutex;
 
-use crate::block::BlockRef;
+use crate::block::{BlockLayout, BlockRef, BLOCK_SIZE};
 use crate::epoch::{EpochManager, Guard};
+use crate::error::MemError;
+use crate::fault::{FaultInjector, FaultSite};
 use crate::indirection::IndirectionTable;
 use crate::stats::MemoryStats;
+
+/// Attempts the allocation recovery ladder makes before conceding
+/// [`MemError::OutOfMemory`].
+pub const MAX_ALLOC_ATTEMPTS: u32 = 4;
 
 /// Shared state of one off-heap memory system instance.
 ///
@@ -29,8 +35,12 @@ pub struct Runtime {
     pub epochs: Arc<EpochManager>,
     /// The global indirection table (§3.2).
     pub indirection: IndirectionTable,
-    /// Observability counters.
-    pub stats: MemoryStats,
+    /// Observability counters (shared with the fault registry).
+    pub stats: Arc<MemoryStats>,
+    /// Failpoint registry covering blocks, epochs, thread slots, relocation.
+    faults: Arc<FaultInjector>,
+    /// Cap on live block bytes; `u64::MAX` means unlimited.
+    budget_bytes: AtomicU64,
     /// Serializes compaction passes ("the compaction thread", §5.1 — one at
     /// a time per runtime).
     pub(crate) compaction_mutex: Mutex<()>,
@@ -41,22 +51,147 @@ pub struct Runtime {
 }
 
 impl Runtime {
-    /// Creates a fresh runtime with epoch 0.
+    /// Creates a fresh runtime with epoch 0 and no memory budget.
     pub fn new() -> Arc<Runtime> {
+        Self::with_budget(None)
+    }
+
+    /// Creates a fresh runtime whose live block bytes are capped at
+    /// `budget_bytes` (`None` = unlimited). When an allocation would exceed
+    /// the budget, [`allocate_block`](Self::allocate_block) runs a bounded
+    /// recovery ladder before surfacing [`MemError::OutOfMemory`].
+    pub fn with_budget(budget_bytes: Option<u64>) -> Arc<Runtime> {
+        let stats = Arc::new(MemoryStats::new());
+        let faults = Arc::new(FaultInjector::new(stats.clone()));
         Arc::new(Runtime {
-            epochs: EpochManager::new(),
+            epochs: EpochManager::with_faults(faults.clone()),
             indirection: IndirectionTable::new(),
-            stats: MemoryStats::new(),
+            stats,
+            faults,
+            budget_bytes: AtomicU64::new(budget_bytes.unwrap_or(u64::MAX)),
             compaction_mutex: Mutex::new(()),
             graveyard: Mutex::new(Vec::new()),
             next_context_id: AtomicU64::new(1),
         })
     }
 
+    /// The failpoint registry of this runtime (disarmed by default).
+    pub fn faults(&self) -> &Arc<FaultInjector> {
+        &self.faults
+    }
+
+    /// Sets or clears the live-block byte budget at runtime.
+    pub fn set_memory_budget(&self, budget_bytes: Option<u64>) {
+        self.budget_bytes
+            .store(budget_bytes.unwrap_or(u64::MAX), Ordering::Relaxed);
+    }
+
+    /// The current byte budget, if one is set.
+    pub fn memory_budget(&self) -> Option<u64> {
+        match self.budget_bytes.load(Ordering::Relaxed) {
+            u64::MAX => None,
+            b => Some(b),
+        }
+    }
+
     /// Enters a critical section (§3.4). All object dereferences require the
-    /// returned guard.
+    /// returned guard. Panics if the epoch thread registry is exhausted; use
+    /// [`try_pin`](Self::try_pin) where that must be an error.
     pub fn pin(&self) -> Guard<'_> {
         self.epochs.pin()
+    }
+
+    /// Fallible [`pin`](Self::pin).
+    pub fn try_pin(&self) -> Result<Guard<'_>, MemError> {
+        self.epochs.try_pin()
+    }
+
+    /// Allocates one block against the budget, with fault injection and the
+    /// recovery ladder. All block allocations of the memory system route
+    /// through here (contexts' thread blocks and compaction destinations).
+    ///
+    /// On budget exhaustion the ladder, per attempt: (1) frees every
+    /// epoch-ready graveyard block and deferred indirection entry; (2) forces
+    /// an emergency epoch advance so limbo memory ripens (unless a compaction
+    /// holds the advance reservation); (3) backs off briefly to let
+    /// concurrent frees land. After [`MAX_ALLOC_ATTEMPTS`] failed attempts it
+    /// returns [`MemError::OutOfMemory`].
+    pub fn allocate_block(
+        &self,
+        layout: &BlockLayout,
+        type_id: u64,
+        context_id: u64,
+    ) -> Result<BlockRef, MemError> {
+        if self.faults.should_fail(FaultSite::BlockAlloc) {
+            // Simulated hard OS failure: no recovery, straight to the caller.
+            return Err(MemError::OutOfMemory);
+        }
+        let mut attempt = 0u32;
+        loop {
+            if self.try_reserve_block() {
+                let block = match BlockRef::allocate(layout, type_id, context_id) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        self.stats.blocks_live.fetch_sub(1, Ordering::Relaxed);
+                        return Err(e);
+                    }
+                };
+                MemoryStats::inc(&self.stats.blocks_allocated);
+                if attempt > 0 {
+                    MemoryStats::inc(&self.stats.oom_recoveries);
+                }
+                return Ok(block);
+            }
+            if attempt >= MAX_ALLOC_ATTEMPTS {
+                return Err(MemError::OutOfMemory);
+            }
+            attempt += 1;
+            MemoryStats::inc(&self.stats.alloc_retries);
+            self.recover_memory(attempt);
+        }
+    }
+
+    /// Reserves budget for one block by incrementing `blocks_live` if the
+    /// result still fits. The CAS makes budget enforcement exact under
+    /// concurrent allocators; `drain_graveyard` decrements the same gauge
+    /// when blocks return to the OS.
+    fn try_reserve_block(&self) -> bool {
+        let budget = self.budget_bytes.load(Ordering::Relaxed);
+        loop {
+            let live = self.stats.blocks_live.load(Ordering::Relaxed);
+            if budget != u64::MAX && (live + 1).saturating_mul(BLOCK_SIZE as u64) > budget {
+                return false;
+            }
+            if self
+                .stats
+                .blocks_live
+                .compare_exchange(live, live + 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return true;
+            }
+        }
+    }
+
+    /// One rung of the budget-exhaustion recovery ladder.
+    fn recover_memory(&self, attempt: u32) {
+        // (1) Free whatever is already epoch-ready.
+        self.drain_graveyard();
+        self.indirection.drain_deferred(self.global_epoch());
+        // (2) Ripen limbo memory: graveyard blocks and deferred entries wait
+        // for epochs, so force one advance unless a compaction reserved it.
+        if self.next_relocation_epoch() == 0 && self.epochs.try_advance().is_some() {
+            MemoryStats::inc(&self.stats.emergency_epoch_advances);
+            MemoryStats::inc(&self.stats.epoch_advances);
+        }
+        if self.drain_graveyard() > 0 {
+            return;
+        }
+        // (3) Capped backoff: concurrent removals/compactions may free blocks.
+        for _ in 0..(1u32 << attempt.min(6)) {
+            std::hint::spin_loop();
+        }
+        std::thread::yield_now();
     }
 
     /// Current global epoch.
@@ -209,5 +344,87 @@ mod tests {
         let a = rt.next_context_id();
         let b = rt.next_context_id();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn budget_exhaustion_surfaces_out_of_memory() {
+        // A two-block budget: the third allocation must fail with an error,
+        // not a panic, after exhausting the recovery ladder.
+        let rt = Runtime::with_budget(Some(2 * BLOCK_SIZE as u64));
+        assert_eq!(rt.memory_budget(), Some(2 * BLOCK_SIZE as u64));
+        let layout = BlockLayout::rows_of::<u64>().unwrap();
+        let a = rt.allocate_block(&layout, 1, 1).unwrap();
+        let b = rt.allocate_block(&layout, 1, 1).unwrap();
+        let third = rt.allocate_block(&layout, 1, 1);
+        assert!(matches!(third, Err(MemError::OutOfMemory)));
+        assert_eq!(
+            MemoryStats::get(&rt.stats.alloc_retries),
+            u64::from(MAX_ALLOC_ATTEMPTS)
+        );
+        assert_eq!(
+            MemoryStats::get(&rt.stats.blocks_live),
+            2,
+            "failed attempt must not leak budget"
+        );
+        // Raising the budget unblocks allocation.
+        rt.set_memory_budget(Some(3 * BLOCK_SIZE as u64));
+        let c = rt.allocate_block(&layout, 1, 1).unwrap();
+        for blk in [a, b, c] {
+            rt.bury_block(blk, 0);
+        }
+        rt.drain_graveyard();
+    }
+
+    #[test]
+    fn recovery_ladder_frees_graveyard_and_succeeds() {
+        let rt = Runtime::with_budget(Some(BLOCK_SIZE as u64));
+        let layout = BlockLayout::rows_of::<u64>().unwrap();
+        let a = rt.allocate_block(&layout, 1, 1).unwrap();
+        // The only budgeted block sits in the graveyard two epochs out; the
+        // ladder must advance epochs, drain it, and then succeed.
+        rt.bury_block(a, rt.global_epoch() + 2);
+        let b = rt
+            .allocate_block(&layout, 1, 1)
+            .expect("recovery ladder should free the graveyard");
+        assert_eq!(MemoryStats::get(&rt.stats.oom_recoveries), 1);
+        assert!(MemoryStats::get(&rt.stats.emergency_epoch_advances) >= 1);
+        assert!(MemoryStats::get(&rt.stats.alloc_retries) >= 1);
+        rt.bury_block(b, 0);
+        rt.drain_graveyard();
+    }
+
+    #[test]
+    fn injected_block_alloc_fault_is_immediate_oom() {
+        let rt = Runtime::new();
+        rt.faults().enable(21);
+        rt.faults().set_rate(
+            crate::fault::FaultSite::BlockAlloc,
+            crate::fault::RATE_DENOMINATOR,
+        );
+        let layout = BlockLayout::rows_of::<u64>().unwrap();
+        assert!(matches!(
+            rt.allocate_block(&layout, 1, 1),
+            Err(MemError::OutOfMemory)
+        ));
+        assert_eq!(
+            MemoryStats::get(&rt.stats.alloc_retries),
+            0,
+            "injected hard failures bypass the recovery ladder"
+        );
+        assert_eq!(MemoryStats::get(&rt.stats.faults_injected), 1);
+        rt.faults().disable();
+        let b = rt.allocate_block(&layout, 1, 1).unwrap();
+        rt.bury_block(b, 0);
+        rt.drain_graveyard();
+    }
+
+    #[test]
+    fn unbudgeted_runtime_never_reports_budget() {
+        let rt = Runtime::new();
+        assert_eq!(rt.memory_budget(), None);
+        rt.set_memory_budget(Some(1));
+        assert_eq!(rt.memory_budget(), Some(1));
+        rt.set_memory_budget(None);
+        assert_eq!(rt.memory_budget(), None);
     }
 }

@@ -107,7 +107,8 @@ impl SlotWord {
     /// allocator never reuses a `Valid` slot.
     #[inline]
     pub fn set_limbo(&self, removal_epoch: u64) {
-        self.0.store(pack(SlotState::Limbo, removal_epoch), Ordering::Release);
+        self.0
+            .store(pack(SlotState::Limbo, removal_epoch), Ordering::Release);
     }
 
     /// Resets the slot to `Free`. Only used when a block is wiped for reuse.
@@ -131,7 +132,12 @@ impl SlotWord {
             return false;
         }
         self.0
-            .compare_exchange(cur, pack(SlotState::Valid, 0), Ordering::AcqRel, Ordering::Acquire)
+            .compare_exchange(
+                cur,
+                pack(SlotState::Valid, 0),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
             .is_ok()
     }
 }

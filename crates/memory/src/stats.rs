@@ -39,6 +39,19 @@ pub struct MemoryStats {
     pub compactions: AtomicU64,
     /// Direct pointers rewritten by post-compaction fix-up scans (§6).
     pub direct_pointers_fixed: AtomicU64,
+    /// Budget-exhausted allocations that eventually succeeded after the
+    /// recovery ladder (drain graveyard / emergency advance / retry).
+    pub oom_recoveries: AtomicU64,
+    /// Epoch advances forced by the allocation recovery ladder, as opposed
+    /// to the regular lazy advances.
+    pub emergency_epoch_advances: AtomicU64,
+    /// Individual allocation retries taken under memory pressure.
+    pub alloc_retries: AtomicU64,
+    /// Failures injected by the fault registry ([`crate::fault`]).
+    pub faults_injected: AtomicU64,
+    /// Compaction passes aborted mid-relocation (injected crash or reader
+    /// timeout during the moving phase).
+    pub compactions_interrupted: AtomicU64,
 }
 
 impl MemoryStats {
@@ -91,6 +104,11 @@ impl MemoryStats {
             relocations_helped: Self::get(&self.relocations_helped),
             compactions: Self::get(&self.compactions),
             direct_pointers_fixed: Self::get(&self.direct_pointers_fixed),
+            oom_recoveries: Self::get(&self.oom_recoveries),
+            emergency_epoch_advances: Self::get(&self.emergency_epoch_advances),
+            alloc_retries: Self::get(&self.alloc_retries),
+            faults_injected: Self::get(&self.faults_injected),
+            compactions_interrupted: Self::get(&self.compactions_interrupted),
         }
     }
 }
@@ -111,6 +129,43 @@ pub struct StatsSnapshot {
     pub relocations_helped: u64,
     pub compactions: u64,
     pub direct_pointers_fixed: u64,
+    pub oom_recoveries: u64,
+    pub emergency_epoch_advances: u64,
+    pub alloc_retries: u64,
+    pub faults_injected: u64,
+    pub compactions_interrupted: u64,
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    /// One `key=value` line per counter, for stress-harness dumps and logs.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "blocks_live={}", self.blocks_live)?;
+        writeln!(f, "blocks_allocated={}", self.blocks_allocated)?;
+        writeln!(f, "blocks_freed={}", self.blocks_freed)?;
+        writeln!(f, "objects_allocated={}", self.objects_allocated)?;
+        writeln!(f, "objects_freed={}", self.objects_freed)?;
+        writeln!(f, "slots_reclaimed={}", self.slots_reclaimed)?;
+        writeln!(f, "alloc_scan_steps={}", self.alloc_scan_steps)?;
+        writeln!(f, "epoch_advances={}", self.epoch_advances)?;
+        writeln!(f, "objects_relocated={}", self.objects_relocated)?;
+        writeln!(f, "relocations_bailed={}", self.relocations_bailed)?;
+        writeln!(f, "relocations_helped={}", self.relocations_helped)?;
+        writeln!(f, "compactions={}", self.compactions)?;
+        writeln!(f, "direct_pointers_fixed={}", self.direct_pointers_fixed)?;
+        writeln!(f, "oom_recoveries={}", self.oom_recoveries)?;
+        writeln!(
+            f,
+            "emergency_epoch_advances={}",
+            self.emergency_epoch_advances
+        )?;
+        writeln!(f, "alloc_retries={}", self.alloc_retries)?;
+        writeln!(f, "faults_injected={}", self.faults_injected)?;
+        write!(
+            f,
+            "compactions_interrupted={}",
+            self.compactions_interrupted
+        )
+    }
 }
 
 #[cfg(test)]
@@ -139,9 +194,26 @@ mod tests {
         let s = MemoryStats::new();
         MemoryStats::add(&s.compactions, 2);
         MemoryStats::add(&s.direct_pointers_fixed, 7);
+        MemoryStats::add(&s.oom_recoveries, 3);
+        MemoryStats::add(&s.faults_injected, 4);
         let snap = s.snapshot();
         assert_eq!(snap.compactions, 2);
         assert_eq!(snap.direct_pointers_fixed, 7);
+        assert_eq!(snap.oom_recoveries, 3);
+        assert_eq!(snap.faults_injected, 4);
         assert_eq!(snap.objects_allocated, 0);
+    }
+
+    #[test]
+    fn snapshot_display_dumps_every_counter() {
+        let s = MemoryStats::new();
+        MemoryStats::add(&s.alloc_retries, 5);
+        MemoryStats::inc(&s.compactions_interrupted);
+        let dump = s.snapshot().to_string();
+        assert!(dump.contains("alloc_retries=5"));
+        assert!(dump.contains("compactions_interrupted=1"));
+        assert!(dump.contains("emergency_epoch_advances=0"));
+        // One key=value pair per snapshot field.
+        assert_eq!(dump.lines().count(), 18);
     }
 }

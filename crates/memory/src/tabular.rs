@@ -46,7 +46,9 @@ macro_rules! impl_tabular_prim {
     };
 }
 
-impl_tabular_prim!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char);
+impl_tabular_prim!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char
+);
 
 unsafe impl Tabular for crate::decimal::Decimal {}
 unsafe impl<const N: usize> Tabular for crate::inline_str::InlineStr<N> {}

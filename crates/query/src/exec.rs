@@ -118,11 +118,15 @@ where
 }
 
 /// Sorts rows by a key (descending option), the compiled `ORDER BY`.
-pub fn sort_by<T, K: Ord>(mut rows: Vec<T>, mut key: impl FnMut(&T) -> K, descending: bool) -> Vec<T> {
+pub fn sort_by<T, K: Ord>(
+    mut rows: Vec<T>,
+    mut key: impl FnMut(&T) -> K,
+    descending: bool,
+) -> Vec<T> {
     if descending {
-        rows.sort_by(|a, b| key(b).cmp(&key(a)));
+        rows.sort_by_key(|a| std::cmp::Reverse(key(a)));
     } else {
-        rows.sort_by(|a, b| key(a).cmp(&key(b)));
+        rows.sort_by_key(|a| key(a));
     }
     rows
 }
@@ -131,7 +135,7 @@ pub fn sort_by<T, K: Ord>(mut rows: Vec<T>, mut key: impl FnMut(&T) -> K, descen
 /// compiled `ORDER BY ... LIMIT n` (used by Q2/Q3-style outputs).
 pub fn top_n<T, K: Ord + Copy>(rows: Vec<T>, mut key: impl FnMut(&T) -> K, n: usize) -> Vec<T> {
     let mut rows = rows;
-    rows.sort_by(|a, b| key(b).cmp(&key(a)));
+    rows.sort_by_key(|a| std::cmp::Reverse(key(a)));
     rows.truncate(n);
     rows
 }
@@ -152,7 +156,10 @@ mod tests {
         let rt = Runtime::new();
         let c = Smc::new(&rt);
         for i in 0..1000 {
-            c.add(Item { group: i % 4, qty: i as i64 });
+            c.add(Item {
+                group: i % 4,
+                qty: i as i64,
+            });
         }
         (rt, c)
     }
@@ -209,7 +216,10 @@ mod tests {
     #[test]
     fn sort_and_top_n() {
         let rows = vec![3, 1, 4, 1, 5, 9, 2, 6];
-        assert_eq!(sort_by(rows.clone(), |x| *x, false), vec![1, 1, 2, 3, 4, 5, 6, 9]);
+        assert_eq!(
+            sort_by(rows.clone(), |x| *x, false),
+            vec![1, 1, 2, 3, 4, 5, 6, 9]
+        );
         assert_eq!(sort_by(rows.clone(), |x| *x, true)[0], 9);
         assert_eq!(top_n(rows, |x| *x, 3), vec![9, 6, 5]);
     }

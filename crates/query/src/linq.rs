@@ -21,17 +21,23 @@ pub struct LinqIter<'a, T> {
 impl<'a, T: 'a> LinqIter<'a, T> {
     /// Wraps a source iterator (the collection enumeration).
     pub fn new(source: impl Iterator<Item = T> + 'a) -> Self {
-        LinqIter { inner: Box::new(source) }
+        LinqIter {
+            inner: Box::new(source),
+        }
     }
 
     /// Filters by predicate — LINQ `Where`. One virtual call per element.
     pub fn where_(self, pred: impl FnMut(&T) -> bool + 'a) -> LinqIter<'a, T> {
-        LinqIter { inner: Box::new(self.inner.filter(pred)) }
+        LinqIter {
+            inner: Box::new(self.inner.filter(pred)),
+        }
     }
 
     /// Projects — LINQ `Select`.
     pub fn select<U: 'a>(self, f: impl FnMut(T) -> U + 'a) -> LinqIter<'a, U> {
-        LinqIter { inner: Box::new(self.inner.map(f)) }
+        LinqIter {
+            inner: Box::new(self.inner.map(f)),
+        }
     }
 
     /// Flat-maps — LINQ `SelectMany`.
@@ -40,7 +46,9 @@ impl<'a, T: 'a> LinqIter<'a, T> {
         I: IntoIterator<Item = U> + 'a,
         <I as IntoIterator>::IntoIter: 'a,
     {
-        LinqIter { inner: Box::new(self.inner.flat_map(f)) }
+        LinqIter {
+            inner: Box::new(self.inner.flat_map(f)),
+        }
     }
 
     /// Groups into a hash map — LINQ `GroupBy` (materializes, as LINQ does).
@@ -87,7 +95,9 @@ impl<'a, T: 'a> LinqIter<'a, T> {
                 .unwrap_or_default();
             matches
         });
-        LinqIter { inner: Box::new(joined) }
+        LinqIter {
+            inner: Box::new(joined),
+        }
     }
 
     /// Counts the elements — LINQ `Count`.
@@ -134,7 +144,11 @@ mod tests {
 
     #[test]
     fn where_select_pipeline() {
-        let out: Vec<i32> = (1..=10).linq().where_(|x| x % 2 == 0).select(|x| x * 10).to_vec();
+        let out: Vec<i32> = (1..=10)
+            .linq()
+            .where_(|x| x % 2 == 0)
+            .select(|x| x * 10)
+            .to_vec();
         assert_eq!(out, vec![20, 40, 60, 80, 100]);
     }
 
@@ -179,7 +193,11 @@ mod tests {
 
     #[test]
     fn select_many_flattens() {
-        let out: Vec<i32> = vec![1, 2, 3].into_iter().linq().select_many(|x| vec![x, x * 10]).to_vec();
+        let out: Vec<i32> = vec![1, 2, 3]
+            .into_iter()
+            .linq()
+            .select_many(|x| vec![x, x * 10])
+            .to_vec();
         assert_eq!(out, vec![1, 10, 2, 20, 3, 30]);
     }
 }

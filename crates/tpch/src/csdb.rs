@@ -28,10 +28,13 @@ impl CsDb {
         });
         let mut nation = TableBuilder::new(&["n_nationkey", "n_name", "n_regionkey"]);
         gen.nations(|n| {
-            nation.push_row(vec![Value::I64(n.key), Value::Str(n.name), Value::I64(n.region)]);
+            nation.push_row(vec![
+                Value::I64(n.key),
+                Value::Str(n.name),
+                Value::I64(n.region),
+            ]);
         });
-        let mut supplier =
-            TableBuilder::new(&["s_suppkey", "s_name", "s_nationkey", "s_acctbal"]);
+        let mut supplier = TableBuilder::new(&["s_suppkey", "s_name", "s_nationkey", "s_acctbal"]);
         gen.suppliers(|s| {
             supplier.push_row(vec![
                 Value::I64(s.key),
@@ -157,11 +160,9 @@ mod tests {
         assert_eq!(db.orders.clustered(), Some("o_orderdate"));
         // Clustered order means date predicates eliminate segments.
         if db.lineitem.rows() > columnstore::SEGMENT_ROWS {
-            let ratio = db.lineitem.elimination_ratio(
-                "l_shipdate",
-                date(1998, 1, 1) as i64,
-                i64::MAX,
-            );
+            let ratio =
+                db.lineitem
+                    .elimination_ratio("l_shipdate", date(1998, 1, 1) as i64, i64::MAX);
             assert!(ratio > 0.0, "late dates should skip early segments");
         }
         assert!(db.lineitem.compressed_bytes() > 0);

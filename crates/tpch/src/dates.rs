@@ -57,7 +57,14 @@ mod tests {
 
     #[test]
     fn civil_round_trips() {
-        for days in [date(1992, 1, 1), date(1995, 6, 17), date(1998, 12, 31), 0, -1, 100_000] {
+        for days in [
+            date(1992, 1, 1),
+            date(1995, 6, 17),
+            date(1998, 12, 31),
+            0,
+            -1,
+            100_000,
+        ] {
             let (y, m, d) = civil(days);
             assert_eq!(date(y, m, d), days);
         }
@@ -66,8 +73,16 @@ mod tests {
     #[test]
     fn leap_years_handled() {
         assert_eq!(date(1996, 2, 29) + 1, date(1996, 3, 1));
-        assert_eq!(date(1900, 2, 28) + 1, date(1900, 3, 1), "1900 is not a leap year");
-        assert_eq!(date(2000, 2, 29) + 1, date(2000, 3, 1), "2000 is a leap year");
+        assert_eq!(
+            date(1900, 2, 28) + 1,
+            date(1900, 3, 1),
+            "1900 is not a leap year"
+        );
+        assert_eq!(
+            date(2000, 2, 29) + 1,
+            date(2000, 3, 1),
+            "2000 is a leap year"
+        );
     }
 
     #[test]
@@ -78,8 +93,9 @@ mod tests {
 
     #[test]
     fn tpch_constants_ordered() {
-        assert!(START_DATE < CURRENT_DATE);
-        assert!(CURRENT_DATE < LAST_ORDER_DATE);
+        let (start, current, last) = (START_DATE, CURRENT_DATE, LAST_ORDER_DATE);
+        assert!(start < current);
+        assert!(current < last);
         assert_eq!(format_date(START_DATE), "1992-01-01");
         assert_eq!(format_date(LAST_ORDER_DATE), "1998-08-02");
     }

@@ -10,9 +10,7 @@
 
 use std::sync::Arc;
 
-use managed_heap::{
-    Arena, GcConcurrentDictionary, GcList, Handle, ManagedHeap, Marker, Trace,
-};
+use managed_heap::{Arena, GcConcurrentDictionary, GcList, Handle, ManagedHeap, Marker, Trace};
 use smc_memory::Decimal;
 
 use crate::gen::Generator;
@@ -186,7 +184,11 @@ impl GcDb {
 
         let mut region_hs = Vec::new();
         gen.regions(|r| {
-            region_hs.push(regions.add(GcRegion { key: r.key, name: r.name, comment: r.comment }));
+            region_hs.push(regions.add(GcRegion {
+                key: r.key,
+                name: r.name,
+                comment: r.comment,
+            }));
         });
         let mut nation_hs = Vec::new();
         gen.nations(|n| {
@@ -234,15 +236,19 @@ impl GcDb {
         let mut customer_hs = Vec::with_capacity(gen.cardinalities().customers + 1);
         customer_hs.push(Handle::<GcCustomer>::new_invalid());
         gen.customers(|c| {
-            customer_hs.push(customers.add(GcCustomer {
-                key: c.key,
-                name: c.name,
-                nationkey: c.nation,
-                nation: nation_hs[c.nation as usize],
-                acctbal: c.acctbal,
-                mktsegment: text::SEGMENTS.iter().position(|s| *s == c.mktsegment).unwrap()
-                    as u8,
-            }));
+            customer_hs.push(
+                customers.add(GcCustomer {
+                    key: c.key,
+                    name: c.name,
+                    nationkey: c.nation,
+                    nation: nation_hs[c.nation as usize],
+                    acctbal: c.acctbal,
+                    mktsegment: text::SEGMENTS
+                        .iter()
+                        .position(|s| *s == c.mktsegment)
+                        .unwrap() as u8,
+                }),
+            );
         });
         gen.orders(|o, lines| {
             let oh = orders.add(GcOrder {

@@ -74,9 +74,9 @@ pub fn q2(db: &CsDb, p: &Params) -> Vec<Q2Row> {
         let bals = db.supplier.decimal_slice("s_acctbal");
         (0..db.supplier.rows())
             .filter_map(|r| {
-                nation_in_region.get(&nations[r]).map(|n| {
-                    (keys[r], (names.get(r).to_string(), dec(bals[r]), n.clone()))
-                })
+                nation_in_region
+                    .get(&nations[r])
+                    .map(|n| (keys[r], (names.get(r).to_string(), dec(bals[r]), n.clone())))
             })
             .collect()
     };
@@ -99,15 +99,22 @@ pub fn q2(db: &CsDb, p: &Params) -> Vec<Q2Row> {
             continue;
         }
         let cost = dec(ps_cost[row]);
-        min_cost.entry(ps_part[row]).and_modify(|c| *c = (*c).min(cost)).or_insert(cost);
+        min_cost
+            .entry(ps_part[row])
+            .and_modify(|c| *c = (*c).min(cost))
+            .or_insert(cost);
     }
     let mut rows = Vec::new();
     for row in 0..db.partsupp.rows() {
-        let Some(&min) = min_cost.get(&ps_part[row]) else { continue };
+        let Some(&min) = min_cost.get(&ps_part[row]) else {
+            continue;
+        };
         if dec(ps_cost[row]) != min {
             continue;
         }
-        let Some((name, bal, nation)) = suppliers.get(&ps_supp[row]) else { continue };
+        let Some((name, bal, nation)) = suppliers.get(&ps_supp[row]) else {
+            continue;
+        };
         rows.push(Q2Row {
             acctbal: *bal,
             supplier: name.clone(),
@@ -124,8 +131,13 @@ pub fn q3(db: &CsDb, p: &Params) -> Vec<Q3Row> {
         let segs = db.customer.str_column("c_mktsegment");
         let keys = db.customer.i64_slice("c_custkey");
         // Dictionary fast path: compare codes, not strings.
-        let Some(code) = segs.code_of(&p.q3_segment) else { return Vec::new() };
-        (0..db.customer.rows()).filter(|&r| segs.code(r) == code).map(|r| keys[r]).collect()
+        let Some(code) = segs.code_of(&p.q3_segment) else {
+            return Vec::new();
+        };
+        (0..db.customer.rows())
+            .filter(|&r| segs.code(r) == code)
+            .map(|r| keys[r])
+            .collect()
     };
     // Orders before the date, belonging to those customers.
     let o_date = db.orders.i64_values("o_orderdate");
@@ -133,7 +145,10 @@ pub fn q3(db: &CsDb, p: &Params) -> Vec<Q3Row> {
     let o_cust = db.orders.i64_slice("o_custkey");
     let o_ship = db.orders.i64_slice("o_shippriority");
     let mut order_info: HashMap<i64, (i32, i32)> = HashMap::new();
-    for (start, end) in db.orders.prune("o_orderdate", i64::MIN, p.q3_date as i64 - 1) {
+    for (start, end) in db
+        .orders
+        .prune("o_orderdate", i64::MIN, p.q3_date as i64 - 1)
+    {
         for row in start..end {
             if o_date[row] < p.q3_date as i64 && custs.contains(&o_cust[row]) {
                 order_info.insert(o_key[row], (o_date[row] as i32, o_ship[row] as i32));
@@ -146,17 +161,27 @@ pub fn q3(db: &CsDb, p: &Params) -> Vec<Q3Row> {
     let l_price = db.lineitem.decimal_slice("l_extendedprice");
     let l_disc = db.lineitem.decimal_slice("l_discount");
     let mut groups: HashMap<i64, Q3Row> = HashMap::new();
-    for (start, end) in db.lineitem.prune("l_shipdate", p.q3_date as i64 + 1, i64::MAX) {
+    for (start, end) in db
+        .lineitem
+        .prune("l_shipdate", p.q3_date as i64 + 1, i64::MAX)
+    {
         for row in start..end {
             if l_ship[row] <= p.q3_date as i64 {
                 continue;
             }
-            let Some(&(orderdate, shippriority)) = order_info.get(&l_key[row]) else { continue };
+            let Some(&(orderdate, shippriority)) = order_info.get(&l_key[row]) else {
+                continue;
+            };
             let revenue = dec(l_price[row]) * (Decimal::ONE - dec(l_disc[row]));
             groups
                 .entry(l_key[row])
                 .and_modify(|r| r.revenue += revenue)
-                .or_insert(Q3Row { orderkey: l_key[row], revenue, orderdate, shippriority });
+                .or_insert(Q3Row {
+                    orderkey: l_key[row],
+                    revenue,
+                    orderdate,
+                    shippriority,
+                });
         }
     }
     q3_finalize(groups)
@@ -180,14 +205,19 @@ pub fn q4(db: &CsDb, p: &Params) -> Vec<Q4Row> {
     let o_key = db.orders.i64_slice("o_orderkey");
     let o_pri = db.orders.str_column("o_orderpriority");
     let mut counts = [0u64; 5];
-    for (start, end_row) in db.orders.prune("o_orderdate", p.q4_date as i64, end as i64 - 1) {
+    for (start, end_row) in db
+        .orders
+        .prune("o_orderdate", p.q4_date as i64, end as i64 - 1)
+    {
         for row in start..end_row {
             if o_date[row] < p.q4_date as i64 || o_date[row] >= end as i64 {
                 continue;
             }
             if late.contains(&o_key[row]) {
-                let pri =
-                    crate::text::PRIORITIES.iter().position(|x| *x == o_pri.get(row)).unwrap();
+                let pri = crate::text::PRIORITIES
+                    .iter()
+                    .position(|x| *x == o_pri.get(row))
+                    .unwrap();
                 counts[pri] += 1;
             }
         }
@@ -227,14 +257,19 @@ pub fn q5(db: &CsDb, p: &Params) -> Vec<Q5Row> {
     let cust_nation: HashMap<i64, i64> = {
         let keys = db.customer.i64_slice("c_custkey");
         let nkeys = db.customer.i64_slice("c_nationkey");
-        (0..db.customer.rows()).map(|r| (keys[r], nkeys[r])).collect()
+        (0..db.customer.rows())
+            .map(|r| (keys[r], nkeys[r]))
+            .collect()
     };
     // Orders within the year (pruned on the clustered orderdate).
     let o_date = db.orders.i64_values("o_orderdate");
     let o_key = db.orders.i64_slice("o_orderkey");
     let o_cust = db.orders.i64_slice("o_custkey");
     let mut order_cust_nation: HashMap<i64, i64> = HashMap::new();
-    for (start, end_row) in db.orders.prune("o_orderdate", p.q5_date as i64, end as i64 - 1) {
+    for (start, end_row) in db
+        .orders
+        .prune("o_orderdate", p.q5_date as i64, end as i64 - 1)
+    {
         for row in start..end_row {
             if o_date[row] >= p.q5_date as i64 && o_date[row] < end as i64 {
                 order_cust_nation.insert(o_key[row], cust_nation[&o_cust[row]]);
@@ -247,8 +282,12 @@ pub fn q5(db: &CsDb, p: &Params) -> Vec<Q5Row> {
     let l_disc = db.lineitem.decimal_slice("l_discount");
     let mut groups: HashMap<String, Decimal> = HashMap::new();
     for row in 0..db.lineitem.rows() {
-        let Some(&cnation) = order_cust_nation.get(&l_key[row]) else { continue };
-        let Some(&snation) = supp_nation.get(&l_supp[row]) else { continue };
+        let Some(&cnation) = order_cust_nation.get(&l_key[row]) else {
+            continue;
+        };
+        let Some(&snation) = supp_nation.get(&l_supp[row]) else {
+            continue;
+        };
         if cnation != snation {
             continue;
         }
@@ -268,7 +307,10 @@ pub fn q6(db: &CsDb, p: &Params) -> Decimal {
     let qty = db.lineitem.decimal_slice("l_quantity");
     let price = db.lineitem.decimal_slice("l_extendedprice");
     let mut revenue = Decimal::ZERO;
-    for (start, end_row) in db.lineitem.prune("l_shipdate", p.q6_date as i64, end as i64 - 1) {
+    for (start, end_row) in db
+        .lineitem
+        .prune("l_shipdate", p.q6_date as i64, end as i64 - 1)
+    {
         for row in start..end_row {
             if shipdate[row] >= p.q6_date as i64
                 && shipdate[row] < end as i64

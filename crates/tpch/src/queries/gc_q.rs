@@ -52,13 +52,21 @@ pub fn q2(db: &GcDb, p: &Params) -> Vec<Q2Row> {
     let guard = db.heap.enter();
     let mut min_cost: HashMap<i64, Decimal> = HashMap::new();
     db.partsupps.for_each(&guard, |ps| {
-        let Some(part) = db.part_arena.get(ps.part) else { return };
+        let Some(part) = db.part_arena.get(ps.part) else {
+            return;
+        };
         if part.size != p.q2_size || !part.typ.ends_with(p.q2_type.as_str()) {
             return;
         }
-        let Some(supplier) = db.supplier_arena.get(ps.supplier) else { return };
-        let Some(nation) = db.nation_arena.get(supplier.nation) else { return };
-        let Some(region) = db.region_arena.get(nation.region) else { return };
+        let Some(supplier) = db.supplier_arena.get(ps.supplier) else {
+            return;
+        };
+        let Some(nation) = db.nation_arena.get(supplier.nation) else {
+            return;
+        };
+        let Some(region) = db.region_arena.get(nation.region) else {
+            return;
+        };
         if region.name != p.q2_region {
             return;
         }
@@ -69,13 +77,21 @@ pub fn q2(db: &GcDb, p: &Params) -> Vec<Q2Row> {
     });
     let mut rows = Vec::new();
     db.partsupps.for_each(&guard, |ps| {
-        let Some(&min) = min_cost.get(&ps.partkey) else { return };
+        let Some(&min) = min_cost.get(&ps.partkey) else {
+            return;
+        };
         if ps.supplycost != min {
             return;
         }
-        let Some(supplier) = db.supplier_arena.get(ps.supplier) else { return };
-        let Some(nation) = db.nation_arena.get(supplier.nation) else { return };
-        let Some(region) = db.region_arena.get(nation.region) else { return };
+        let Some(supplier) = db.supplier_arena.get(ps.supplier) else {
+            return;
+        };
+        let Some(nation) = db.nation_arena.get(supplier.nation) else {
+            return;
+        };
+        let Some(region) = db.region_arena.get(nation.region) else {
+            return;
+        };
         if region.name != p.q2_region {
             return;
         }
@@ -91,17 +107,24 @@ pub fn q2(db: &GcDb, p: &Params) -> Vec<Q2Row> {
 
 /// Q3 over the managed database.
 pub fn q3(db: &GcDb, p: &Params, via: EnumVia) -> Vec<Q3Row> {
-    let seg = crate::text::SEGMENTS.iter().position(|s| *s == p.q3_segment).unwrap() as u8;
+    let seg = crate::text::SEGMENTS
+        .iter()
+        .position(|s| *s == p.q3_segment)
+        .unwrap() as u8;
     let mut groups: HashMap<i64, Q3Row> = HashMap::new();
     for_each_lineitem(db, via, |l| {
         if l.shipdate <= p.q3_date {
             return;
         }
-        let Some(o) = db.order_arena.get(l.order) else { return };
+        let Some(o) = db.order_arena.get(l.order) else {
+            return;
+        };
         if o.orderdate >= p.q3_date {
             return;
         }
-        let Some(c) = db.customer_arena.get(o.customer) else { return };
+        let Some(c) = db.customer_arena.get(o.customer) else {
+            return;
+        };
         if c.mktsegment != seg {
             return;
         }
@@ -128,7 +151,9 @@ pub fn q4(db: &GcDb, p: &Params, via: EnumVia) -> Vec<Q4Row> {
         if l.commitdate >= l.receiptdate || late.contains(&l.orderkey) {
             return;
         }
-        let Some(o) = db.order_arena.get(l.order) else { return };
+        let Some(o) = db.order_arena.get(l.order) else {
+            return;
+        };
         if o.orderdate < p.q4_date || o.orderdate >= end {
             return;
         }
@@ -143,17 +168,27 @@ pub fn q5(db: &GcDb, p: &Params, via: EnumVia) -> Vec<Q5Row> {
     let end = plus_months(p.q5_date, 12);
     let mut groups: HashMap<String, Decimal> = HashMap::new();
     for_each_lineitem(db, via, |l| {
-        let Some(o) = db.order_arena.get(l.order) else { return };
+        let Some(o) = db.order_arena.get(l.order) else {
+            return;
+        };
         if o.orderdate < p.q5_date || o.orderdate >= end {
             return;
         }
-        let Some(s) = db.supplier_arena.get(l.supplier) else { return };
-        let Some(n) = db.nation_arena.get(s.nation) else { return };
-        let Some(r) = db.region_arena.get(n.region) else { return };
+        let Some(s) = db.supplier_arena.get(l.supplier) else {
+            return;
+        };
+        let Some(n) = db.nation_arena.get(s.nation) else {
+            return;
+        };
+        let Some(r) = db.region_arena.get(n.region) else {
+            return;
+        };
         if r.name != p.q5_region {
             return;
         }
-        let Some(c) = db.customer_arena.get(o.customer) else { return };
+        let Some(c) = db.customer_arena.get(o.customer) else {
+            return;
+        };
         if c.nationkey != s.nationkey {
             return;
         }

@@ -231,7 +231,10 @@ pub fn q4_finalize(counts: [u64; 5]) -> Vec<Q4Row> {
         .iter()
         .enumerate()
         .filter(|(i, _)| counts[*i] > 0)
-        .map(|(i, p)| Q4Row { priority: p.to_string(), count: counts[i] })
+        .map(|(i, p)| Q4Row {
+            priority: p.to_string(),
+            count: counts[i],
+        })
         .collect()
 }
 
@@ -244,9 +247,15 @@ pub struct Q5Row {
 
 /// Sorts Q5 rows by revenue descending.
 pub fn q5_finalize(groups: std::collections::HashMap<String, Decimal>) -> Vec<Q5Row> {
-    let mut rows: Vec<Q5Row> =
-        groups.into_iter().map(|(nation, revenue)| Q5Row { nation, revenue }).collect();
-    rows.sort_by(|a, b| b.revenue.cmp(&a.revenue).then_with(|| a.nation.cmp(&b.nation)));
+    let mut rows: Vec<Q5Row> = groups
+        .into_iter()
+        .map(|(nation, revenue)| Q5Row { nation, revenue })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.revenue
+            .cmp(&a.revenue)
+            .then_with(|| a.nation.cmp(&b.nation))
+    });
     rows
 }
 
@@ -287,8 +296,18 @@ mod tests {
     #[test]
     fn finalizers_sort_correctly() {
         let rows = q2_finalize(vec![
-            Q2Row { acctbal: Decimal::from_int(1), supplier: "s1".into(), nation: "A".into(), partkey: 1 },
-            Q2Row { acctbal: Decimal::from_int(5), supplier: "s2".into(), nation: "B".into(), partkey: 2 },
+            Q2Row {
+                acctbal: Decimal::from_int(1),
+                supplier: "s1".into(),
+                nation: "A".into(),
+                partkey: 1,
+            },
+            Q2Row {
+                acctbal: Decimal::from_int(5),
+                supplier: "s2".into(),
+                nation: "B".into(),
+                partkey: 2,
+            },
         ]);
         assert_eq!(rows[0].partkey, 2, "highest acctbal first");
         let mut groups = std::collections::HashMap::new();

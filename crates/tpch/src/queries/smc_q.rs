@@ -154,13 +154,21 @@ pub fn q2(db: &SmcDb, p: &Params) -> Vec<Q2Row> {
     // Pass 1: minimum supply cost per qualifying part in the region.
     let mut min_cost: HashMap<i64, Decimal> = HashMap::new();
     db.partsupps.for_each(&guard, |ps| {
-        let Some(part) = ps.part.get(&guard) else { return };
+        let Some(part) = ps.part.get(&guard) else {
+            return;
+        };
         if part.size != p.q2_size || !part.typ.as_str().ends_with(p.q2_type.as_str()) {
             return;
         }
-        let Some(supplier) = ps.supplier.get(&guard) else { return };
-        let Some(nation) = supplier.nation.get(&guard) else { return };
-        let Some(region) = nation.region.get(&guard) else { return };
+        let Some(supplier) = ps.supplier.get(&guard) else {
+            return;
+        };
+        let Some(nation) = supplier.nation.get(&guard) else {
+            return;
+        };
+        let Some(region) = nation.region.get(&guard) else {
+            return;
+        };
         if region.name.as_str() != p.q2_region {
             return;
         }
@@ -172,13 +180,21 @@ pub fn q2(db: &SmcDb, p: &Params) -> Vec<Q2Row> {
     // Pass 2: suppliers achieving the minimum.
     let mut rows = Vec::new();
     db.partsupps.for_each(&guard, |ps| {
-        let Some(&min) = min_cost.get(&ps.partkey) else { return };
+        let Some(&min) = min_cost.get(&ps.partkey) else {
+            return;
+        };
         if ps.supplycost != min {
             return;
         }
-        let Some(supplier) = ps.supplier.get(&guard) else { return };
-        let Some(nation) = supplier.nation.get(&guard) else { return };
-        let Some(region) = nation.region.get(&guard) else { return };
+        let Some(supplier) = ps.supplier.get(&guard) else {
+            return;
+        };
+        let Some(nation) = supplier.nation.get(&guard) else {
+            return;
+        };
+        let Some(region) = nation.region.get(&guard) else {
+            return;
+        };
         if region.name.as_str() != p.q2_region {
             return;
         }
@@ -200,7 +216,10 @@ pub fn q2(db: &SmcDb, p: &Params) -> Vec<Q2Row> {
 /// customer.
 pub fn q3(db: &SmcDb, p: &Params) -> Vec<Q3Row> {
     let guard = db.runtime.pin();
-    let seg = crate::text::SEGMENTS.iter().position(|s| *s == p.q3_segment).unwrap() as u8;
+    let seg = crate::text::SEGMENTS
+        .iter()
+        .position(|s| *s == p.q3_segment)
+        .unwrap() as u8;
     let mut groups: HashMap<i64, Q3Row> = HashMap::new();
     db.lineitems.for_each(&guard, |l| {
         if l.shipdate <= p.q3_date {
@@ -210,7 +229,9 @@ pub fn q3(db: &SmcDb, p: &Params) -> Vec<Q3Row> {
         if o.orderdate >= p.q3_date {
             return;
         }
-        let Some(c) = o.customer.get(&guard) else { return };
+        let Some(c) = o.customer.get(&guard) else {
+            return;
+        };
         if c.mktsegment != seg {
             return;
         }
@@ -231,17 +252,24 @@ pub fn q3(db: &SmcDb, p: &Params) -> Vec<Q3Row> {
 /// Q3 with §6 direct-pointer joins.
 pub fn q3_direct(db: &SmcDb, p: &Params) -> Vec<Q3Row> {
     let guard = db.runtime.pin();
-    let seg = crate::text::SEGMENTS.iter().position(|s| *s == p.q3_segment).unwrap() as u8;
+    let seg = crate::text::SEGMENTS
+        .iter()
+        .position(|s| *s == p.q3_segment)
+        .unwrap() as u8;
     let mut groups: HashMap<i64, Q3Row> = HashMap::new();
     db.lineitems.for_each(&guard, |l| {
         if l.shipdate <= p.q3_date {
             return;
         }
-        let Some(o) = l.order_d.and_then(|d| d.get(&guard)) else { return };
+        let Some(o) = l.order_d.and_then(|d| d.get(&guard)) else {
+            return;
+        };
         if o.orderdate >= p.q3_date {
             return;
         }
-        let Some(c) = o.customer_d.and_then(|d| d.get(&guard)) else { return };
+        let Some(c) = o.customer_d.and_then(|d| d.get(&guard)) else {
+            return;
+        };
         if c.mktsegment != seg {
             return;
         }
@@ -263,7 +291,10 @@ pub fn q3_direct(db: &SmcDb, p: &Params) -> Vec<Q3Row> {
 pub fn q3_columnar(db: &SmcDb, p: &Params) -> Vec<Q3Row> {
     let col = db.lineitems_col.as_ref().expect("columnar twin not loaded");
     let guard = db.runtime.pin();
-    let seg = crate::text::SEGMENTS.iter().position(|s| *s == p.q3_segment).unwrap() as u8;
+    let seg = crate::text::SEGMENTS
+        .iter()
+        .position(|s| *s == p.q3_segment)
+        .unwrap() as u8;
     let mut groups: HashMap<i64, Q3Row> = HashMap::new();
     col.for_each_block(&guard, |cols, block| {
         let cap = block.header().capacity as usize;
@@ -281,11 +312,15 @@ pub fn q3_columnar(db: &SmcDb, p: &Params) -> Vec<Q3Row> {
                 if shipdates[slot] <= p.q3_date {
                     continue;
                 }
-                let Some(o) = orders[slot].get(&guard) else { continue };
+                let Some(o) = orders[slot].get(&guard) else {
+                    continue;
+                };
                 if o.orderdate >= p.q3_date {
                     continue;
                 }
-                let Some(c) = o.customer.get(&guard) else { continue };
+                let Some(c) = o.customer.get(&guard) else {
+                    continue;
+                };
                 if c.mktsegment != seg {
                     continue;
                 }
@@ -349,7 +384,9 @@ pub fn q4_direct(db: &SmcDb, p: &Params) -> Vec<Q4Row> {
         if l.commitdate >= l.receiptdate || late.contains(&l.orderkey) {
             return;
         }
-        let Some(o) = l.order_d.and_then(|d| d.get(&guard)) else { return };
+        let Some(o) = l.order_d.and_then(|d| d.get(&guard)) else {
+            return;
+        };
         if o.orderdate < p.q4_date || o.orderdate >= end {
             return;
         }
@@ -375,13 +412,21 @@ pub fn q5(db: &SmcDb, p: &Params) -> Vec<Q5Row> {
         if o.orderdate < p.q5_date || o.orderdate >= end {
             return;
         }
-        let Some(s) = l.supplier.get(&guard) else { return };
-        let Some(n) = s.nation.get(&guard) else { return };
-        let Some(r) = n.region.get(&guard) else { return };
+        let Some(s) = l.supplier.get(&guard) else {
+            return;
+        };
+        let Some(n) = s.nation.get(&guard) else {
+            return;
+        };
+        let Some(r) = n.region.get(&guard) else {
+            return;
+        };
         if r.name.as_str() != p.q5_region {
             return;
         }
-        let Some(c) = o.customer.get(&guard) else { return };
+        let Some(c) = o.customer.get(&guard) else {
+            return;
+        };
         if c.nationkey != s.nationkey {
             return;
         }
@@ -397,17 +442,27 @@ pub fn q5_direct(db: &SmcDb, p: &Params) -> Vec<Q5Row> {
     let end = plus_months(p.q5_date, 12);
     let mut groups: HashMap<String, Decimal> = HashMap::new();
     db.lineitems.for_each(&guard, |l| {
-        let Some(o) = l.order_d.and_then(|d| d.get(&guard)) else { return };
+        let Some(o) = l.order_d.and_then(|d| d.get(&guard)) else {
+            return;
+        };
         if o.orderdate < p.q5_date || o.orderdate >= end {
             return;
         }
-        let Some(s) = l.supplier_d.and_then(|d| d.get(&guard)) else { return };
-        let Some(n) = s.nation.get(&guard) else { return };
-        let Some(r) = n.region.get(&guard) else { return };
+        let Some(s) = l.supplier_d.and_then(|d| d.get(&guard)) else {
+            return;
+        };
+        let Some(n) = s.nation.get(&guard) else {
+            return;
+        };
+        let Some(r) = n.region.get(&guard) else {
+            return;
+        };
         if r.name.as_str() != p.q5_region {
             return;
         }
-        let Some(c) = o.customer_d.and_then(|d| d.get(&guard)) else { return };
+        let Some(c) = o.customer_d.and_then(|d| d.get(&guard)) else {
+            return;
+        };
         if c.nationkey != s.nationkey {
             return;
         }
@@ -436,17 +491,27 @@ pub fn q5_columnar(db: &SmcDb, p: &Params) -> Vec<Q5Row> {
                 if block.slot_word(slot as u32).state() != SlotState::Valid {
                     continue;
                 }
-                let Some(o) = orders[slot].get(&guard) else { continue };
+                let Some(o) = orders[slot].get(&guard) else {
+                    continue;
+                };
                 if o.orderdate < p.q5_date || o.orderdate >= end {
                     continue;
                 }
-                let Some(s) = suppliers[slot].get(&guard) else { continue };
-                let Some(n) = s.nation.get(&guard) else { continue };
-                let Some(r) = n.region.get(&guard) else { continue };
+                let Some(s) = suppliers[slot].get(&guard) else {
+                    continue;
+                };
+                let Some(n) = s.nation.get(&guard) else {
+                    continue;
+                };
+                let Some(r) = n.region.get(&guard) else {
+                    continue;
+                };
                 if r.name.as_str() != p.q5_region {
                     continue;
                 }
-                let Some(c) = o.customer.get(&guard) else { continue };
+                let Some(c) = o.customer.get(&guard) else {
+                    continue;
+                };
                 if c.nationkey != s.nationkey {
                     continue;
                 }

@@ -188,17 +188,26 @@ unsafe impl Columnar for LineitemCol {
 
     unsafe fn scatter(&self, cols: &ColumnArrays, slot: usize) {
         cols.cell::<i64>(licol::ORDERKEY, slot).write(self.orderkey);
-        cols.cell::<Decimal>(licol::QUANTITY, slot).write(self.quantity);
-        cols.cell::<Decimal>(licol::EXTENDEDPRICE, slot).write(self.extendedprice);
-        cols.cell::<Decimal>(licol::DISCOUNT, slot).write(self.discount);
+        cols.cell::<Decimal>(licol::QUANTITY, slot)
+            .write(self.quantity);
+        cols.cell::<Decimal>(licol::EXTENDEDPRICE, slot)
+            .write(self.extendedprice);
+        cols.cell::<Decimal>(licol::DISCOUNT, slot)
+            .write(self.discount);
         cols.cell::<Decimal>(licol::TAX, slot).write(self.tax);
-        cols.cell::<u8>(licol::RETURNFLAG, slot).write(self.returnflag);
-        cols.cell::<u8>(licol::LINESTATUS, slot).write(self.linestatus);
+        cols.cell::<u8>(licol::RETURNFLAG, slot)
+            .write(self.returnflag);
+        cols.cell::<u8>(licol::LINESTATUS, slot)
+            .write(self.linestatus);
         cols.cell::<i32>(licol::SHIPDATE, slot).write(self.shipdate);
-        cols.cell::<i32>(licol::COMMITDATE, slot).write(self.commitdate);
-        cols.cell::<i32>(licol::RECEIPTDATE, slot).write(self.receiptdate);
-        cols.cell::<Ref<Order>>(licol::ORDER, slot).write(self.order);
-        cols.cell::<Ref<Supplier>>(licol::SUPPLIER, slot).write(self.supplier);
+        cols.cell::<i32>(licol::COMMITDATE, slot)
+            .write(self.commitdate);
+        cols.cell::<i32>(licol::RECEIPTDATE, slot)
+            .write(self.receiptdate);
+        cols.cell::<Ref<Order>>(licol::ORDER, slot)
+            .write(self.order);
+        cols.cell::<Ref<Supplier>>(licol::SUPPLIER, slot)
+            .write(self.supplier);
     }
 
     unsafe fn gather(cols: &ColumnArrays, slot: usize) -> Self {
@@ -312,20 +321,22 @@ impl SmcDb {
         let mut customer_refs = Vec::with_capacity(gen.cardinalities().customers + 1);
         customer_refs.push(Ref::null());
         gen.customers(|c| {
-            customer_refs.push(customers.add(Customer {
-                key: c.key,
-                name: c.name.as_str().into(),
-                address: c.address.as_str().into(),
-                nationkey: c.nation,
-                nation: nation_refs[c.nation as usize],
-                phone: c.phone.as_str().into(),
-                acctbal: c.acctbal,
-                mktsegment: text::SEGMENTS
-                    .iter()
-                    .position(|s| *s == c.mktsegment)
-                    .unwrap() as u8,
-                comment: c.comment.as_str().into(),
-            }));
+            customer_refs.push(
+                customers.add(Customer {
+                    key: c.key,
+                    name: c.name.as_str().into(),
+                    address: c.address.as_str().into(),
+                    nationkey: c.nation,
+                    nation: nation_refs[c.nation as usize],
+                    phone: c.phone.as_str().into(),
+                    acctbal: c.acctbal,
+                    mktsegment: text::SEGMENTS
+                        .iter()
+                        .position(|s| *s == c.mktsegment)
+                        .unwrap() as u8,
+                    comment: c.comment.as_str().into(),
+                }),
+            );
         });
         {
             // Direct pointers are resolved inside one critical section.
@@ -373,10 +384,7 @@ impl SmcDb {
                             .iter()
                             .position(|s| *s == l.shipinstruct)
                             .unwrap() as u8,
-                        shipmode: text::MODES
-                            .iter()
-                            .position(|s| *s == l.shipmode)
-                            .unwrap() as u8,
+                        shipmode: text::MODES.iter().position(|s| *s == l.shipmode).unwrap() as u8,
                         comment: l.comment.as_str().into(),
                     };
                     lineitems.add(li);
@@ -442,7 +450,10 @@ mod tests {
         assert_eq!(db.parts.len(), c.parts as u64);
         assert_eq!(db.customers.len(), c.customers as u64);
         assert_eq!(db.orders.len(), c.orders as u64);
-        assert!(db.lineitems.len() >= c.orders as u64, "1..=7 lines per order");
+        assert!(
+            db.lineitems.len() >= c.orders as u64,
+            "1..=7 lines per order"
+        );
         assert_eq!(db.lineitems.len(), db.lineitems_col.as_ref().unwrap().len());
         assert!(db.memory_bytes() > 0);
     }

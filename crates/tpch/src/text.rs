@@ -1,8 +1,7 @@
 //! TPC-H text pools: the fixed value lists of the specification plus a
 //! small grammar for comment strings.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use smc_util::rng::Pcg32 as StdRng;
 
 /// `N_NAME`/`N_REGIONKEY` per the TPC-H spec (nation → region index).
 pub const NATIONS: &[(&str, usize)] = &[
@@ -37,35 +36,127 @@ pub const NATIONS: &[(&str, usize)] = &[
 pub const REGIONS: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 
 /// `C_MKTSEGMENT` values.
-pub const SEGMENTS: &[&str] = &["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+pub const SEGMENTS: &[&str] = &[
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 
 /// `O_ORDERPRIORITY` values.
 pub const PRIORITIES: &[&str] = &["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 
 /// `L_SHIPINSTRUCT` values.
-pub const INSTRUCTIONS: &[&str] =
-    &["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+pub const INSTRUCTIONS: &[&str] = &[
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
 
 /// `L_SHIPMODE` values.
 pub const MODES: &[&str] = &["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 
 /// Part name syllables (`P_NAME` is five words from this list).
 pub const PART_NAME_WORDS: &[&str] = &[
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
-    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
-    "cornflower", "cornsilk", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
-    "floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
-    "hot", "hotpink", "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon", "light",
-    "lime", "linen", "magenta", "maroon", "medium", "metallic", "midnight", "mint", "misty",
-    "moccasin", "navajo", "navy", "olive", "orange", "orchid", "pale", "papaya", "peach", "peru",
-    "pink", "plum", "powder", "puff", "purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
-    "sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring", "steel", "tan",
-    "thistle", "tomato", "turquoise", "violet", "wheat", "white", "yellow",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cornsilk",
+    "cream",
+    "cyan",
+    "dark",
+    "deep",
+    "dim",
+    "dodger",
+    "drab",
+    "firebrick",
+    "floral",
+    "forest",
+    "frosted",
+    "gainsboro",
+    "ghost",
+    "goldenrod",
+    "green",
+    "grey",
+    "honeydew",
+    "hot",
+    "hotpink",
+    "indian",
+    "ivory",
+    "khaki",
+    "lace",
+    "lavender",
+    "lawn",
+    "lemon",
+    "light",
+    "lime",
+    "linen",
+    "magenta",
+    "maroon",
+    "medium",
+    "metallic",
+    "midnight",
+    "mint",
+    "misty",
+    "moccasin",
+    "navajo",
+    "navy",
+    "olive",
+    "orange",
+    "orchid",
+    "pale",
+    "papaya",
+    "peach",
+    "peru",
+    "pink",
+    "plum",
+    "powder",
+    "puff",
+    "purple",
+    "red",
+    "rose",
+    "rosy",
+    "royal",
+    "saddle",
+    "salmon",
+    "sandy",
+    "seashell",
+    "sienna",
+    "sky",
+    "slate",
+    "smoke",
+    "snow",
+    "spring",
+    "steel",
+    "tan",
+    "thistle",
+    "tomato",
+    "turquoise",
+    "violet",
+    "wheat",
+    "white",
+    "yellow",
 ];
 
 /// `P_TYPE` is one word from each of these three lists.
-pub const TYPE_SYLLABLE_1: &[&str] =
-    &["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+pub const TYPE_SYLLABLE_1: &[&str] = &["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
 /// Second type syllable.
 pub const TYPE_SYLLABLE_2: &[&str] = &["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
 /// Third type syllable (Q2 filters on a `%BRASS` suffix).
@@ -77,12 +168,54 @@ pub const CONTAINER_1: &[&str] = &["SM", "LG", "MED", "JUMBO", "WRAP"];
 pub const CONTAINER_2: &[&str] = &["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
 
 const COMMENT_WORDS: &[&str] = &[
-    "the", "special", "pending", "furiously", "express", "requests", "deposits", "packages",
-    "carefully", "quickly", "blithely", "slyly", "regular", "final", "ironic", "even", "bold",
-    "silent", "unusual", "accounts", "theodolites", "platelets", "instructions", "dependencies",
-    "foxes", "pinto", "beans", "warthogs", "courts", "dolphins", "multipliers", "sauternes",
-    "asymptotes", "sleep", "wake", "cajole", "nag", "haggle", "integrate", "boost", "detect",
-    "along", "among", "about", "above", "across", "after", "against",
+    "the",
+    "special",
+    "pending",
+    "furiously",
+    "express",
+    "requests",
+    "deposits",
+    "packages",
+    "carefully",
+    "quickly",
+    "blithely",
+    "slyly",
+    "regular",
+    "final",
+    "ironic",
+    "even",
+    "bold",
+    "silent",
+    "unusual",
+    "accounts",
+    "theodolites",
+    "platelets",
+    "instructions",
+    "dependencies",
+    "foxes",
+    "pinto",
+    "beans",
+    "warthogs",
+    "courts",
+    "dolphins",
+    "multipliers",
+    "sauternes",
+    "asymptotes",
+    "sleep",
+    "wake",
+    "cajole",
+    "nag",
+    "haggle",
+    "integrate",
+    "boost",
+    "detect",
+    "along",
+    "among",
+    "about",
+    "above",
+    "across",
+    "after",
+    "against",
 ];
 
 /// Picks one element of a fixed pool.
@@ -141,7 +274,6 @@ pub fn phone(rng: &mut StdRng, nation: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn pools_match_spec_sizes() {

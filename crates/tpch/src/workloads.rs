@@ -9,8 +9,7 @@
 
 use std::collections::HashSet;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use smc_util::rng::Pcg32 as StdRng;
 
 use smc_memory::Decimal;
 
@@ -22,9 +21,15 @@ use crate::smcdb::{Lineitem, SmcDb};
 /// population so removals never collide with inserts).
 pub fn synthetic_lineitem(rng: &mut StdRng, orderkey: i64) -> (i64, i32, Decimal, Decimal, i32) {
     let quantity = rng.gen_range(1..=50i64);
-    let price = Decimal::from_cents(rng.gen_range(90_000..=200_000) * quantity);
+    let price = Decimal::from_cents(rng.gen_range(90_000i64..=200_000) * quantity);
     let shipdate = rng.gen_range(START_DATE..=LAST_ORDER_DATE);
-    (orderkey, rng.gen_range(1..=7), Decimal::from_int(quantity), price, shipdate)
+    (
+        orderkey,
+        rng.gen_range(1..=7),
+        Decimal::from_int(quantity),
+        price,
+        shipdate,
+    )
 }
 
 /// One SMC insert stream: adds `count` synthetic lineitems.
@@ -103,20 +108,23 @@ pub fn gc_insert_stream(db: &GcDb, rng: &mut StdRng, base_key: i64, count: usize
             receiptdate: shipdate + 20,
             comment: "refresh".to_string(),
         });
-        db.lineitem_dict.insert_handle(lineitem_key(orderkey, linenumber), h);
+        db.lineitem_dict
+            .insert_handle(lineitem_key(orderkey, linenumber), h);
     }
 }
 
 /// One managed removal stream over the list.
 pub fn gc_list_removal_stream(db: &GcDb, victims: &HashSet<i64>) -> usize {
     let guard = db.heap.enter();
-    db.lineitems.remove_where(&guard, |l| victims.contains(&l.orderkey))
+    db.lineitems
+        .remove_where(&guard, |l| victims.contains(&l.orderkey))
 }
 
 /// One managed removal stream over the dictionary.
 pub fn gc_dict_removal_stream(db: &GcDb, victims: &HashSet<i64>) -> usize {
     let guard = db.heap.enter();
-    db.lineitem_dict.remove_where(&guard, |l| victims.contains(&l.orderkey))
+    db.lineitem_dict
+        .remove_where(&guard, |l| victims.contains(&l.orderkey))
 }
 
 /// Picks `count` victim order keys for a removal stream.
@@ -214,7 +222,12 @@ pub fn wear_smc(db: &SmcDb, rng: &mut StdRng, cycles: usize, fraction: f64) {
         let removed = smc_removal_stream(db, &victims);
         // Insert exactly as many as were removed so wear scatters slots
         // without shrinking the population.
-        smc_insert_stream(db, rng, 1_000_000_000 + (cycle as i64) * batch as i64, removed);
+        smc_insert_stream(
+            db,
+            rng,
+            1_000_000_000 + (cycle as i64) * batch as i64,
+            removed,
+        );
     }
 }
 
@@ -226,7 +239,12 @@ pub fn wear_gc(db: &GcDb, rng: &mut StdRng, cycles: usize, fraction: f64) {
     for cycle in 0..cycles {
         let victims = pick_victims(rng, max_orderkey, (batch / 4).max(1));
         let removed = gc_list_removal_stream(db, &victims);
-        gc_insert_stream(db, rng, 1_000_000_000 + (cycle as i64) * batch as i64, removed);
+        gc_insert_stream(
+            db,
+            rng,
+            1_000_000_000 + (cycle as i64) * batch as i64,
+            removed,
+        );
     }
 }
 

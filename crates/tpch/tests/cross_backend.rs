@@ -4,10 +4,10 @@
 //! rows for the same generated database. Decimal arithmetic is exact, so
 //! the comparison is equality, not tolerance.
 
-use tpch::gcdb::GcDb;
 use tpch::csdb::CsDb;
-use tpch::queries::{cs_q, gc_q, smc_q, Params};
+use tpch::gcdb::GcDb;
 use tpch::queries::gc_q::EnumVia;
+use tpch::queries::{cs_q, gc_q, smc_q, Params};
 use tpch::smcdb::SmcDb;
 use tpch::Generator;
 
@@ -34,12 +34,32 @@ fn q1_identical_across_all_backends() {
     let w = world();
     let reference = smc_q::q1(&w.smc, &w.params);
     assert!(!reference.is_empty(), "Q1 must produce groups");
-    assert_eq!(reference.len(), 4, "the four real TPC-H Q1 groups: A-F, N-F, N-O, R-F");
-    assert_eq!(smc_q::q1_unsafe(&w.smc, &w.params), reference, "unsafe variant");
-    assert_eq!(smc_q::q1_columnar(&w.smc, &w.params), reference, "columnar variant");
+    assert_eq!(
+        reference.len(),
+        4,
+        "the four real TPC-H Q1 groups: A-F, N-F, N-O, R-F"
+    );
+    assert_eq!(
+        smc_q::q1_unsafe(&w.smc, &w.params),
+        reference,
+        "unsafe variant"
+    );
+    assert_eq!(
+        smc_q::q1_columnar(&w.smc, &w.params),
+        reference,
+        "columnar variant"
+    );
     assert_eq!(smc_q::q1_linq(&w.smc, &w.params), reference, "LINQ engine");
-    assert_eq!(gc_q::q1(&w.gc, &w.params, EnumVia::List), reference, "managed list");
-    assert_eq!(gc_q::q1(&w.gc, &w.params, EnumVia::Dict), reference, "managed dict");
+    assert_eq!(
+        gc_q::q1(&w.gc, &w.params, EnumVia::List),
+        reference,
+        "managed list"
+    );
+    assert_eq!(
+        gc_q::q1(&w.gc, &w.params, EnumVia::Dict),
+        reference,
+        "managed dict"
+    );
     assert_eq!(cs_q::q1(&w.cs, &w.params), reference, "columnstore");
 }
 
@@ -57,10 +77,22 @@ fn q3_identical_across_all_backends() {
     let reference = smc_q::q3(&w.smc, &w.params);
     assert!(!reference.is_empty(), "Q3 should find qualifying orders");
     assert!(reference.len() <= 10);
-    assert_eq!(smc_q::q3_direct(&w.smc, &w.params), reference, "direct pointers");
+    assert_eq!(
+        smc_q::q3_direct(&w.smc, &w.params),
+        reference,
+        "direct pointers"
+    );
     assert_eq!(smc_q::q3_columnar(&w.smc, &w.params), reference, "columnar");
-    assert_eq!(gc_q::q3(&w.gc, &w.params, EnumVia::List), reference, "managed list");
-    assert_eq!(gc_q::q3(&w.gc, &w.params, EnumVia::Dict), reference, "managed dict");
+    assert_eq!(
+        gc_q::q3(&w.gc, &w.params, EnumVia::List),
+        reference,
+        "managed list"
+    );
+    assert_eq!(
+        gc_q::q3(&w.gc, &w.params, EnumVia::Dict),
+        reference,
+        "managed dict"
+    );
     assert_eq!(cs_q::q3(&w.cs, &w.params), reference, "columnstore");
     // Revenue ordering holds.
     for pair in reference.windows(2) {
@@ -73,9 +105,21 @@ fn q4_identical_across_all_backends() {
     let w = world();
     let reference = smc_q::q4(&w.smc, &w.params);
     assert_eq!(reference.len(), 5, "all five priorities appear");
-    assert_eq!(smc_q::q4_direct(&w.smc, &w.params), reference, "direct pointers");
-    assert_eq!(gc_q::q4(&w.gc, &w.params, EnumVia::List), reference, "managed list");
-    assert_eq!(gc_q::q4(&w.gc, &w.params, EnumVia::Dict), reference, "managed dict");
+    assert_eq!(
+        smc_q::q4_direct(&w.smc, &w.params),
+        reference,
+        "direct pointers"
+    );
+    assert_eq!(
+        gc_q::q4(&w.gc, &w.params, EnumVia::List),
+        reference,
+        "managed list"
+    );
+    assert_eq!(
+        gc_q::q4(&w.gc, &w.params, EnumVia::Dict),
+        reference,
+        "managed dict"
+    );
     assert_eq!(cs_q::q4(&w.cs, &w.params), reference, "columnstore");
 }
 
@@ -84,10 +128,22 @@ fn q5_identical_across_all_backends() {
     let w = world();
     let reference = smc_q::q5(&w.smc, &w.params);
     assert!(!reference.is_empty(), "ASIA nations should have revenue");
-    assert_eq!(smc_q::q5_direct(&w.smc, &w.params), reference, "direct pointers");
+    assert_eq!(
+        smc_q::q5_direct(&w.smc, &w.params),
+        reference,
+        "direct pointers"
+    );
     assert_eq!(smc_q::q5_columnar(&w.smc, &w.params), reference, "columnar");
-    assert_eq!(gc_q::q5(&w.gc, &w.params, EnumVia::List), reference, "managed list");
-    assert_eq!(gc_q::q5(&w.gc, &w.params, EnumVia::Dict), reference, "managed dict");
+    assert_eq!(
+        gc_q::q5(&w.gc, &w.params, EnumVia::List),
+        reference,
+        "managed list"
+    );
+    assert_eq!(
+        gc_q::q5(&w.gc, &w.params, EnumVia::Dict),
+        reference,
+        "managed dict"
+    );
     assert_eq!(cs_q::q5(&w.cs, &w.params), reference, "columnstore");
 }
 
@@ -98,8 +154,16 @@ fn q6_identical_across_all_backends() {
     assert!(reference > smc_memory::Decimal::ZERO);
     assert_eq!(smc_q::q6_columnar(&w.smc, &w.params), reference, "columnar");
     assert_eq!(smc_q::q6_linq(&w.smc, &w.params), reference, "LINQ engine");
-    assert_eq!(gc_q::q6(&w.gc, &w.params, EnumVia::List), reference, "managed list");
-    assert_eq!(gc_q::q6(&w.gc, &w.params, EnumVia::Dict), reference, "managed dict");
+    assert_eq!(
+        gc_q::q6(&w.gc, &w.params, EnumVia::List),
+        reference,
+        "managed list"
+    );
+    assert_eq!(
+        gc_q::q6(&w.gc, &w.params, EnumVia::Dict),
+        reference,
+        "managed dict"
+    );
     assert_eq!(cs_q::q6(&w.cs, &w.params), reference, "columnstore");
 }
 
@@ -115,8 +179,7 @@ fn refresh_streams_keep_backends_consistent() {
     assert_eq!(initial, gc.lineitems.len() as u64);
 
     let mut rng = tpch::workloads::workload_rng(42);
-    let victims =
-        tpch::workloads::pick_victims(&mut rng, gen.cardinalities().orders as i64, 50);
+    let victims = tpch::workloads::pick_victims(&mut rng, gen.cardinalities().orders as i64, 50);
     let removed_smc = tpch::workloads::smc_removal_stream(&smc, &victims);
     let removed_gc = tpch::workloads::gc_list_removal_stream(&gc, &victims);
     assert_eq!(removed_smc, removed_gc, "same victims remove the same rows");

@@ -21,13 +21,19 @@ fn q6_agrees_across_years_and_discounts() {
     with_world(|smc, gc, cs| {
         for year in [1992, 1994, 1996, 1998] {
             for disc in ["0.02", "0.06", "0.09"] {
-                let mut p = Params::default();
-                p.q6_date = date(year, 1, 1);
-                p.q6_discount = Decimal::parse(disc).unwrap();
+                let p = Params {
+                    q6_date: date(year, 1, 1),
+                    q6_discount: Decimal::parse(disc).unwrap(),
+                    ..Params::default()
+                };
                 let reference = smc_q::q6(smc, &p);
                 assert_eq!(gc_q::q6(gc, &p, EnumVia::List), reference, "{year}/{disc}");
                 assert_eq!(cs_q::q6(cs, &p), reference, "{year}/{disc} columnstore");
-                assert_eq!(smc_q::q6_columnar(smc, &p), reference, "{year}/{disc} columnar");
+                assert_eq!(
+                    smc_q::q6_columnar(smc, &p),
+                    reference,
+                    "{year}/{disc} columnar"
+                );
             }
         }
     });
@@ -38,13 +44,23 @@ fn q3_agrees_across_segments_and_dates() {
     with_world(|smc, gc, cs| {
         for seg in ["AUTOMOBILE", "MACHINERY", "HOUSEHOLD"] {
             for (y, m, d) in [(1993, 6, 1), (1995, 3, 15), (1997, 12, 31)] {
-                let mut p = Params::default();
-                p.q3_segment = seg.to_string();
-                p.q3_date = date(y, m, d);
+                let p = Params {
+                    q3_segment: seg.to_string(),
+                    q3_date: date(y, m, d),
+                    ..Params::default()
+                };
                 let reference = smc_q::q3(smc, &p);
-                assert_eq!(gc_q::q3(gc, &p, EnumVia::Dict), reference, "{seg} {y}-{m}-{d}");
+                assert_eq!(
+                    gc_q::q3(gc, &p, EnumVia::Dict),
+                    reference,
+                    "{seg} {y}-{m}-{d}"
+                );
                 assert_eq!(cs_q::q3(cs, &p), reference, "{seg} {y}-{m}-{d} cs");
-                assert_eq!(smc_q::q3_direct(smc, &p), reference, "{seg} {y}-{m}-{d} direct");
+                assert_eq!(
+                    smc_q::q3_direct(smc, &p),
+                    reference,
+                    "{seg} {y}-{m}-{d} direct"
+                );
             }
         }
     });
@@ -54,8 +70,10 @@ fn q3_agrees_across_segments_and_dates() {
 fn q5_agrees_across_regions() {
     with_world(|smc, gc, cs| {
         for region in ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"] {
-            let mut p = Params::default();
-            p.q5_region = region.to_string();
+            let p = Params {
+                q5_region: region.to_string(),
+                ..Params::default()
+            };
             let reference = smc_q::q5(smc, &p);
             assert_eq!(gc_q::q5(gc, &p, EnumVia::List), reference, "{region}");
             assert_eq!(cs_q::q5(cs, &p), reference, "{region} cs");
@@ -69,9 +87,11 @@ fn q2_agrees_across_sizes_and_types() {
     with_world(|smc, gc, cs| {
         for size in [5, 15, 45] {
             for suffix in ["BRASS", "TIN", "STEEL"] {
-                let mut p = Params::default();
-                p.q2_size = size;
-                p.q2_type = suffix.to_string();
+                let p = Params {
+                    q2_size: size,
+                    q2_type: suffix.to_string(),
+                    ..Params::default()
+                };
                 let reference = smc_q::q2(smc, &p);
                 assert_eq!(gc_q::q2(gc, &p), reference, "{size}/{suffix}");
                 assert_eq!(cs_q::q2(cs, &p), reference, "{size}/{suffix} cs");
@@ -84,8 +104,10 @@ fn q2_agrees_across_sizes_and_types() {
 fn q4_agrees_across_quarters() {
     with_world(|smc, gc, cs| {
         for (y, m) in [(1993, 1), (1993, 7), (1995, 10), (1997, 4)] {
-            let mut p = Params::default();
-            p.q4_date = date(y, m, 1);
+            let p = Params {
+                q4_date: date(y, m, 1),
+                ..Params::default()
+            };
             let reference = smc_q::q4(smc, &p);
             assert_eq!(gc_q::q4(gc, &p, EnumVia::List), reference, "{y}-{m}");
             assert_eq!(cs_q::q4(cs, &p), reference, "{y}-{m} cs");
@@ -101,8 +123,10 @@ fn q1_cutoff_monotonicity() {
     with_world(|smc, _, _| {
         let mut last_total = u64::MAX;
         for delta in [0, 30, 90, 365, 2000] {
-            let mut p = Params::default();
-            p.q1_delta = delta;
+            let p = Params {
+                q1_delta: delta,
+                ..Params::default()
+            };
             let rows = smc_q::q1(smc, &p);
             let total: u64 = rows.iter().map(|r| r.count).sum();
             assert!(total <= last_total, "delta {delta}");

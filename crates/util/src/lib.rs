@@ -1,0 +1,15 @@
+//! # smc-util — zero-dependency workspace utilities
+//!
+//! The workspace builds fully offline: no crates.io dependencies. This crate
+//! supplies the two things third-party crates used to provide:
+//!
+//! * [`sync`] — `Mutex`/`RwLock` wrappers over `std::sync` with a
+//!   `parking_lot`-style API (no poison `Result`s at every call site);
+//! * [`rng`] — a small, seeded PCG pseudo-random generator standing in for
+//!   `rand::StdRng` in the TPC-H generator, workloads, and tests.
+
+pub mod rng;
+pub mod sync;
+
+pub use rng::Pcg32;
+pub use sync::{Mutex, RwLock};

@@ -1,0 +1,229 @@
+//! A small, deterministic PRNG: PCG-XSH-RR 64/32 (O'Neill 2014) seeded
+//! through SplitMix64.
+//!
+//! This is the in-repo replacement for `rand::StdRng` used by the TPC-H data
+//! generator, the refresh-stream workloads, and randomized tests. It is
+//! emphatically **not** cryptographic; it exists so that a fixed seed
+//! reproduces the exact same data set and operation interleavings on every
+//! machine with zero external dependencies.
+
+/// SplitMix64 step — used for seeding and for stateless hash-style draws.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+const PCG_MULT: u64 = 6_364_136_223_846_793_005;
+
+/// A PCG-XSH-RR 64/32 generator: 64-bit state, 32-bit output.
+#[derive(Debug, Clone)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+impl Pcg32 {
+    /// Creates a generator whose whole stream is a pure function of `seed`
+    /// (API-compatible with `rand::SeedableRng::seed_from_u64`).
+    pub fn seed_from_u64(seed: u64) -> Pcg32 {
+        let s0 = splitmix64(seed);
+        let s1 = splitmix64(s0);
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (s1 << 1) | 1,
+        };
+        rng.state = rng.state.wrapping_mul(PCG_MULT).wrapping_add(rng.inc);
+        rng.state = rng.state.wrapping_add(s0);
+        rng.next_u32();
+        rng
+    }
+
+    /// Next 32 random bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next 64 random bits (two PCG outputs).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        ((self.next_u32() as u64) << 32) | self.next_u32() as u64
+    }
+
+    /// A uniform value in the given range (half-open `a..b` or inclusive
+    /// `a..=b`), mirroring `rand::Rng::gen_range`. Panics on empty ranges.
+    #[inline]
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: IntoSampleBounds<T>,
+    {
+        let (lo, hi) = range.sample_bounds();
+        T::sample_inclusive(self, lo, hi)
+    }
+
+    /// `true` with probability `p` (mirroring `rand::Rng::gen_bool`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// Integer types [`Pcg32::gen_range`] can sample.
+pub trait SampleUniform: Copy {
+    /// Uniform sample from the inclusive range `[lo, hi]`.
+    fn sample_inclusive(rng: &mut Pcg32, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_signed {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_inclusive(rng: &mut Pcg32, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty sample range");
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as i64 as Self;
+                }
+                (lo as i64).wrapping_add((rng.next_u64() % (span + 1)) as i64) as Self
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_sample_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_inclusive(rng: &mut Pcg32, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty sample range");
+                let span = (hi as u64) - (lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as Self;
+                }
+                ((lo as u64) + rng.next_u64() % (span + 1)) as Self
+            }
+        }
+    )*};
+}
+
+impl_sample_signed!(i8, i16, i32, i64, isize);
+impl_sample_unsigned!(u8, u16, u32, u64, usize);
+
+/// Range forms accepted by [`Pcg32::gen_range`].
+pub trait IntoSampleBounds<T> {
+    /// The inclusive `(lo, hi)` bounds of the range.
+    fn sample_bounds(self) -> (T, T);
+}
+
+macro_rules! impl_bounds {
+    ($($t:ty => $one:expr),*) => {$(
+        impl IntoSampleBounds<$t> for std::ops::Range<$t> {
+            #[inline]
+            fn sample_bounds(self) -> ($t, $t) {
+                assert!(self.start < self.end, "empty sample range");
+                (self.start, self.end - $one)
+            }
+        }
+        impl IntoSampleBounds<$t> for std::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_bounds(self) -> ($t, $t) {
+                (*self.start(), *self.end())
+            }
+        }
+    )*};
+}
+
+impl_bounds!(i8 => 1, i16 => 1, i32 => 1, i64 => 1, isize => 1,
+             u8 => 1, u16 => 1, u32 => 1, u64 => 1, usize => 1);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Pcg32::seed_from_u64(42);
+        let mut b = Pcg32::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Pcg32::seed_from_u64(1);
+        let mut b = Pcg32::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams should be (almost entirely) different");
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = Pcg32::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: i64 = r.gen_range(-5..=10);
+            assert!((-5..=10).contains(&v));
+            let w: usize = r.gen_range(3..9);
+            assert!((3..9).contains(&w));
+            let x: i32 = r.gen_range(0..2);
+            assert!((0..2).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut r = Pcg32::seed_from_u64(3);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[r.gen_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn gen_range_handles_negative_spans() {
+        let mut r = Pcg32::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v: i64 = r.gen_range(-99_999..=999_999);
+            assert!((-99_999..=999_999).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability_roughly() {
+        let mut r = Pcg32::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}/10000 at p=0.25");
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn uniformity_chi_square_smoke() {
+        // 16 buckets, 16k draws: each bucket should be near 1000.
+        let mut r = Pcg32::seed_from_u64(5);
+        let mut buckets = [0u32; 16];
+        for _ in 0..16_000 {
+            buckets[(r.next_u32() & 15) as usize] += 1;
+        }
+        for (i, b) in buckets.iter().enumerate() {
+            assert!((800..1200).contains(b), "bucket {i} = {b}");
+        }
+    }
+
+    #[test]
+    fn splitmix_is_stateless_hash() {
+        assert_eq!(splitmix64(0), splitmix64(0));
+        assert_ne!(splitmix64(0), splitmix64(1));
+    }
+}

@@ -4,9 +4,11 @@
 //!
 //! Run with: `cargo run --release --example business_intelligence -- [sf]`
 
-
 fn main() {
-    let sf: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.02);
+    let sf: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.02);
     let gen = tpch::Generator::new(sf);
     println!("loading business data at scale factor {sf}...");
     let t0 = std::time::Instant::now();
@@ -42,7 +44,11 @@ fn main() {
     // Dashboard panel 2: top unshipped orders (TPC-H Q3).
     let t = std::time::Instant::now();
     let q3 = tpch::queries::smc_q::q3(&db, &params);
-    println!("\ntop unshipped orders in the {} segment ({:.1?}):", params.q3_segment, t.elapsed());
+    println!(
+        "\ntop unshipped orders in the {} segment ({:.1?}):",
+        params.q3_segment,
+        t.elapsed()
+    );
     for row in q3.iter().take(5) {
         println!(
             "  order {:>8}  revenue {:>14}  placed {}",
@@ -55,7 +61,12 @@ fn main() {
     // Dashboard panel 3: revenue by nation (TPC-H Q5).
     let t = std::time::Instant::now();
     let q5 = tpch::queries::smc_q::q5(&db, &params);
-    println!("\n{} revenue by nation, {} ({:.1?}):", params.q5_region, 1994, t.elapsed());
+    println!(
+        "\n{} revenue by nation, {} ({:.1?}):",
+        params.q5_region,
+        1994,
+        t.elapsed()
+    );
     for row in &q5 {
         println!("  {:<16} {:>16}", row.nation, row.revenue.to_string());
     }

@@ -20,11 +20,21 @@ fn main() {
 
     // The §2 code excerpt: Collection<Person> persons = new ...
     let persons: Smc<Person> = Smc::new(&runtime);
-    let adam = persons.add(Person { name: "Adam".into(), age: 27 });
+    let adam = persons.add(Person {
+        name: "Adam".into(),
+        age: 27,
+    });
     for i in 0..1_000_000u32 {
-        persons.add(Person { name: InlineStr::new(&format!("p{i}")), age: i % 95 });
+        persons.add(Person {
+            name: InlineStr::new(&format!("p{i}")),
+            age: i % 95,
+        });
     }
-    println!("collection holds {} people in {} KiB of off-heap blocks", persons.len(), persons.memory_bytes() / 1024);
+    println!(
+        "collection holds {} people in {} KiB of off-heap blocks",
+        persons.len(),
+        persons.memory_bytes() / 1024
+    );
 
     // Language-integrated query, compiled style: enumerate the collection's
     // memory blocks directly, skipping dead slots via the slot directory.

@@ -7,4 +7,5 @@ pub use managed_heap;
 pub use smc;
 pub use smc_memory;
 pub use smc_query;
+pub use smc_util;
 pub use tpch;

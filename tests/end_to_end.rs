@@ -57,7 +57,11 @@ fn full_pipeline_load_query_refresh_compact() {
     db.lineitems.release_retired();
     db.runtime.drain_graveyard_blocking();
     assert!(db.lineitems.memory_bytes() < bytes_before);
-    assert_eq!(tpch::queries::smc_q::q6(&db, &params), q6_sparse, "compaction preserves answers");
+    assert_eq!(
+        tpch::queries::smc_q::q6(&db, &params),
+        q6_sparse,
+        "compaction preserves answers"
+    );
 }
 
 #[test]
@@ -78,11 +82,16 @@ fn smc_survives_interleaved_concurrent_everything() {
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
     let rt = Runtime::new();
-    let mut cfg = ContextConfig::default();
-    cfg.compaction_patience = std::time::Duration::from_millis(300);
+    let cfg = ContextConfig {
+        compaction_patience: std::time::Duration::from_millis(300),
+        ..ContextConfig::default()
+    };
     let c: Arc<Smc<Item>> = Arc::new(Smc::with_config(&rt, cfg));
     for i in 0..50_000u64 {
-        c.add(Item { key: i, value: Decimal::from_cents(i as i64) });
+        c.add(Item {
+            key: i,
+            value: Decimal::from_cents(i as i64),
+        });
     }
     let stop = Arc::new(AtomicBool::new(false));
     let mut threads = Vec::new();
@@ -94,7 +103,10 @@ fn smc_survives_interleaved_concurrent_everything() {
             let mut live = Vec::new();
             let mut i = 0u64;
             while !stop.load(Ordering::Relaxed) {
-                live.push(c.add(Item { key: 1_000_000 + t, value: Decimal::ONE }));
+                live.push(c.add(Item {
+                    key: 1_000_000 + t,
+                    value: Decimal::ONE,
+                }));
                 if live.len() > 100 {
                     let r = live.swap_remove((i % 97) as usize % live.len());
                     c.remove(r);
@@ -135,20 +147,22 @@ fn smc_survives_interleaved_concurrent_everything() {
 
 mod properties {
     use super::*;
-    use proptest::prelude::*;
+    use smc_repro::smc_util::Pcg32;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        /// Random interleavings of add/remove/read keep the collection
-        /// consistent with a model HashMap.
-        #[test]
-        fn collection_matches_model(ops in proptest::collection::vec((0u8..3, 0u64..64), 1..300)) {
+    /// Random interleavings of add/remove/read keep the collection
+    /// consistent with a model HashMap. 64 seeded cases.
+    #[test]
+    fn collection_matches_model() {
+        for case in 0u64..64 {
+            let mut rng = Pcg32::seed_from_u64(0xA11CE ^ case);
+            let n_ops = rng.gen_range(1..300usize);
             let rt = Runtime::new();
             let c: Smc<Item> = Smc::new(&rt);
             let mut model: std::collections::HashMap<u64, (smc_repro::smc::Ref<Item>, Decimal)> =
                 std::collections::HashMap::new();
-            for (op, key) in ops {
+            for _ in 0..n_ops {
+                let op = rng.gen_range(0u8..3);
+                let key = rng.gen_range(0u64..64);
                 match op {
                     0 => {
                         // add (replacing any previous holder of the key)
@@ -162,43 +176,50 @@ mod properties {
                     1 => {
                         // remove
                         if let Some((r, _)) = model.remove(&key) {
-                            prop_assert!(c.remove(r));
+                            assert!(c.remove(r));
                         }
                     }
                     _ => {
                         // read
                         let g = rt.pin();
-                        match model.get(&key) {
-                            Some((r, v)) => {
-                                let item = r.get(&g);
-                                prop_assert!(item.is_some());
-                                prop_assert_eq!(item.unwrap().value, *v);
-                            }
-                            None => {}
+                        if let Some((r, v)) = model.get(&key) {
+                            let item = r.get(&g);
+                            assert!(item.is_some());
+                            assert_eq!(item.unwrap().value, *v);
                         }
                     }
                 }
             }
-            prop_assert_eq!(c.len(), model.len() as u64);
+            assert_eq!(c.len(), model.len() as u64);
             let g = rt.pin();
             let mut seen = 0;
             c.for_each(&g, |_| seen += 1);
-            prop_assert_eq!(seen, model.len());
+            assert_eq!(seen, model.len());
         }
+    }
 
-        /// Compaction at arbitrary survivor patterns never loses or corrupts
-        /// objects.
-        #[test]
-        fn compaction_preserves_arbitrary_survivors(keep_mod in 2u64..16, seed in 0u64..1000) {
+    /// Compaction at arbitrary survivor patterns never loses or corrupts
+    /// objects. 64 seeded cases.
+    #[test]
+    fn compaction_preserves_arbitrary_survivors() {
+        for case in 0u64..64 {
+            let mut rng = Pcg32::seed_from_u64(0xC0FFEE ^ case);
+            let keep_mod = rng.gen_range(2u64..16);
+            let seed = rng.gen_range(0u64..1000);
             let rt = Runtime::new();
-            let mut cfg = ContextConfig::default();
-            cfg.reclamation_threshold = 1.1;
+            let cfg = ContextConfig {
+                reclamation_threshold: 1.1,
+                ..ContextConfig::default()
+            };
             let c: Smc<Item> = Smc::with_config(&rt, cfg);
             let cap = c.context().layout().capacity as u64;
             let n = cap * 3;
             let mut kept = Vec::new();
             for i in 0..n {
-                let r = c.add(Item { key: i, value: Decimal::from_cents((seed + i) as i64) });
+                let r = c.add(Item {
+                    key: i,
+                    value: Decimal::from_cents((seed + i) as i64),
+                });
                 if i % keep_mod == 0 {
                     kept.push((r, i));
                 } else {
@@ -210,12 +231,12 @@ mod properties {
             let g = rt.pin();
             for (r, i) in &kept {
                 let item = r.get(&g);
-                prop_assert!(item.is_some());
-                prop_assert_eq!(item.unwrap().key, *i);
+                assert!(item.is_some());
+                assert_eq!(item.unwrap().key, *i);
             }
             let mut count = 0u64;
             c.for_each(&g, |_| count += 1);
-            prop_assert_eq!(count, kept.len() as u64);
+            assert_eq!(count, kept.len() as u64);
         }
     }
 }
