@@ -1,0 +1,109 @@
+//! Figure 14 (this repo's addition): morsel-driven scaling of the parallel
+//! query engine over SMC blocks.
+//!
+//! Sweeps worker counts (1, 2, 4, ... up to `--max-threads`) over three
+//! workloads on the SMC backend: a raw filter-count scan, Q1 (group
+//! aggregate) and Q6 (filter fold). For each thread count the table shows
+//! the time and the speedup over the 1-worker pool; the sequential
+//! single-thread pipeline is printed as the baseline row. Parallel results
+//! are asserted bit-identical to the sequential pipelines on every run.
+
+use smc_bench::{arg_f64, arg_usize, csv, ms, time_median};
+use smc_exec::{ParScan, WorkerPool};
+use tpch::queries::{smc_q, Params};
+use tpch::smcdb::SmcDb;
+use tpch::Generator;
+
+fn main() {
+    let sf = arg_f64("--sf", 0.05);
+    let max_threads = arg_usize("--max-threads", 8);
+    let runs = arg_usize("--runs", 3);
+    let gen = Generator::new(sf);
+    let p = Params::default();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "Figure 14: morsel-driven scaling on SMC (SF {sf}); times in ms; \
+         {cores} hardware threads available (speedup is bounded by this)"
+    );
+    let db = SmcDb::load(&gen, false);
+
+    // Sequential baselines (the existing single-threaded pipelines).
+    let q1_seq = smc_q::q1(&db, &p);
+    let q6_seq = smc_q::q6(&db, &p);
+    let scan_seq = {
+        let guard = db.runtime.pin();
+        db.lineitems.for_each(&guard, |_| {})
+    };
+    let t_scan_seq = time_median(runs, || {
+        let guard = db.runtime.pin();
+        std::hint::black_box(db.lineitems.for_each(&guard, |_| {}))
+    });
+    let t_q1_seq = time_median(runs, || std::hint::black_box(smc_q::q1(&db, &p)).len());
+    let t_q6_seq = time_median(runs, || std::hint::black_box(smc_q::q6(&db, &p)));
+
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>9} {:>9} {:>9}",
+        "threads", "scan ms", "Q1 ms", "Q6 ms", "scan x", "Q1 x", "Q6 x"
+    );
+    csv(&[
+        "threads",
+        "scan_ms",
+        "q1_ms",
+        "q6_ms",
+        "scan_speedup",
+        "q1_speedup",
+        "q6_speedup",
+    ]);
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>9} {:>9} {:>9}",
+        "seq",
+        ms(t_scan_seq),
+        ms(t_q1_seq),
+        ms(t_q6_seq),
+        "-",
+        "-",
+        "-"
+    );
+
+    let mut base: Option<(f64, f64, f64)> = None;
+    let mut threads = 1;
+    while threads <= max_threads {
+        let pool = WorkerPool::for_runtime(&db.runtime, threads).expect("thread registry full");
+        let scan = ParScan::new(&db.lineitems, &pool);
+        let n = scan.filter_count(|_| true);
+        assert_eq!(n, scan_seq, "parallel scan missed or duplicated objects");
+        assert_eq!(smc_q::q1_par(&db, &p, &pool), q1_seq, "Q1 parity");
+        assert_eq!(smc_q::q6_par(&db, &p, &pool), q6_seq, "Q6 parity");
+
+        let t_scan = time_median(runs, || std::hint::black_box(scan.filter_count(|_| true)));
+        let t_q1 = time_median(runs, || {
+            std::hint::black_box(smc_q::q1_par(&db, &p, &pool)).len()
+        });
+        let t_q6 = time_median(runs, || std::hint::black_box(smc_q::q6_par(&db, &p, &pool)));
+        let (s0, q10, q60) =
+            *base.get_or_insert((t_scan.as_secs_f64(), t_q1.as_secs_f64(), t_q6.as_secs_f64()));
+        let sx = s0 / t_scan.as_secs_f64();
+        let q1x = q10 / t_q1.as_secs_f64();
+        let q6x = q60 / t_q6.as_secs_f64();
+        println!(
+            "{:>8} {:>10} {:>10} {:>10} {:>8.2}x {:>8.2}x {:>8.2}x",
+            threads,
+            ms(t_scan),
+            ms(t_q1),
+            ms(t_q6),
+            sx,
+            q1x,
+            q6x
+        );
+        csv(&[
+            &threads.to_string(),
+            &ms(t_scan),
+            &ms(t_q1),
+            &ms(t_q6),
+            &format!("{sx:.3}"),
+            &format!("{q1x:.3}"),
+            &format!("{q6x:.3}"),
+        ]);
+        threads *= 2;
+    }
+}

@@ -231,6 +231,7 @@ impl<T: Tabular> Smc<T> {
             cursor: None,
             pinned: None,
             runtime: self.ctx.runtime().clone(),
+            capacity: self.ctx.layout().capacity,
             _marker: PhantomData,
         }
     }
@@ -325,8 +326,13 @@ impl<T: Tabular> Smc<T> {
     }
 }
 
-/// §5.2 group visiting, shared by `for_each` and the pull iterator.
-fn visit_group(
+/// §5.2 group visiting, shared by `for_each`, the pull iterator, and the
+/// parallel scan workers of `smc-exec`: reads the group either entirely in
+/// its pre-relocation state (sources only, holding the group's query counter
+/// so the mover cannot start) or entirely post-relocation (helping the move
+/// first, then dest plus bailed-out sources). Calls `f` once per block the
+/// enumeration must visit; the union of visited valid slots is exact.
+pub fn visit_group(
     group: &Arc<CompactionGroup>,
     guard: &Guard<'_>,
     runtime: &Arc<Runtime>,
@@ -369,6 +375,8 @@ pub struct Iter<'g, 'e, T: Tabular> {
     /// A group whose pre-state we hold pinned while its sources drain.
     pinned: Option<(Arc<CompactionGroup>, usize)>,
     runtime: Arc<Runtime>,
+    /// Slots per block (constant for the collection's layout).
+    capacity: u32,
     _marker: PhantomData<fn() -> T>,
 }
 
@@ -406,6 +414,37 @@ impl<'g, 'e, T: Tabular> Iterator for Iter<'g, 'e, T> {
                 Some(WorkItem::Group(g)) => self.begin_group(g),
             }
         }
+    }
+
+    /// Lower bound 0, upper bound the remaining slot *capacity*.
+    ///
+    /// The lower bound must stay 0 and the iterator cannot be
+    /// `ExactSizeIterator`: other threads may remove objects (or the
+    /// iterator may skip limbo slots) at any point, so any count derived
+    /// from `len()` could overstate what `next` will actually yield. The
+    /// capacity bound, by contrast, is exact arithmetic over the snapshot:
+    /// a block never yields more items than it has slots.
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let cap = self.capacity as usize;
+        let cursor = self
+            .cursor
+            .map_or(0, |(b, s)| b.header().capacity.saturating_sub(s) as usize);
+        // Remaining sources of a group whose pre-state we hold pinned (the
+        // current source is already counted by the cursor).
+        let pinned = self
+            .pinned
+            .as_ref()
+            .map_or(0, |(g, idx)| g.sources.len().saturating_sub(idx + 1) * cap);
+        let work: usize = self
+            .work
+            .iter()
+            .map(|w| match w {
+                WorkItem::Block(_) => cap,
+                // Worst case the group is read post-state: dest + sources.
+                WorkItem::Group(g) => (g.sources.len() + 1) * cap,
+            })
+            .sum();
+        (0, Some(cursor + pinned + work))
     }
 }
 

@@ -175,6 +175,11 @@ impl<T: Columnar> ColumnarSmc<T> {
         self.ctx.runtime()
     }
 
+    /// The collection's private memory context (§3.3).
+    pub fn context(&self) -> &Arc<MemoryContext> {
+        &self.ctx
+    }
+
     /// Slots per block.
     pub fn capacity_per_block(&self) -> usize {
         self.ctx.layout().capacity as usize

@@ -514,3 +514,41 @@ fn memory_footprint_tracks_block_count() {
     persons.add(person("m", 1));
     assert_eq!(persons.memory_bytes(), smc_memory::BLOCK_SIZE);
 }
+
+#[test]
+fn iter_size_hint_bounds_remaining_work() {
+    let rt = Runtime::new();
+    let persons: Smc<Person> = Smc::new(&rt);
+    let refs: Vec<Ref<Person>> = (0..500).map(|i| persons.add(person("sh", i))).collect();
+    for (i, r) in refs.iter().enumerate() {
+        if i % 5 == 0 {
+            persons.remove(*r);
+        }
+    }
+    let live = persons.len() as usize;
+    let g = rt.pin();
+    let mut it = persons.iter(&g);
+    // The lower bound must never overpromise under concurrent removal, so
+    // it is always 0; the upper bound must cover everything still live.
+    let (lo, hi) = it.size_hint();
+    assert_eq!(lo, 0);
+    assert!(hi.unwrap() >= live, "hint {hi:?} below live count {live}");
+    // The upper bound shrinks monotonically as blocks drain.
+    let mut prev = hi.unwrap();
+    let mut seen = 0usize;
+    while it.next().is_some() {
+        seen += 1;
+        let (lo, hi) = it.size_hint();
+        assert_eq!(lo, 0);
+        let hi = hi.unwrap();
+        assert!(hi <= prev, "upper bound grew: {prev} -> {hi}");
+        assert!(
+            hi >= live - seen,
+            "hint {hi} below remaining {}",
+            live - seen
+        );
+        prev = hi;
+    }
+    assert_eq!(seen, live);
+    assert_eq!(it.size_hint(), (0, Some(0)), "exhausted iterator");
+}

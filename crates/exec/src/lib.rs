@@ -1,0 +1,34 @@
+//! # smc-exec — morsel-driven parallel query execution over SMC blocks
+//!
+//! The paper's enumeration protocol (§5) is explicitly multi-reader: any
+//! number of queries may scan a collection while compaction relocates
+//! objects. This crate turns that property into intra-query parallelism,
+//! in the style of morsel-driven execution engines: the collection's
+//! memory blocks (and the columnar store's row groups) become *morsels*
+//! handed out to a reusable pool of worker threads through an atomic
+//! cursor, each worker pins its own epoch [`Guard`](smc::Guard) and runs
+//! the same fused scan→filter→fold loops the sequential `BlockScan`
+//! compiles, and thread-local accumulators are merged in a final reduce
+//! step.
+//!
+//! Three layers:
+//!
+//! * [`WorkerPool`] — persistent scoped workers, pre-registered with the
+//!   runtime's epoch manager so thread-registry exhaustion is a
+//!   constructor error, never a mid-query panic;
+//! * [`ParScan`] / [`ParColumnarScan`] — parallel scans over [`Smc`](smc::Smc)
+//!   and [`ColumnarSmc`](smc::ColumnarSmc), mirroring the sequential
+//!   `BlockScan` API (`filter_count`, `filter_fold`, `group_aggregate`);
+//! * [`par_fold_chunks`] — the same morsel loop over plain slices, for the
+//!   baseline backends (managed handle lists, columnstore row ranges).
+//!
+//! Scans are linearizable with concurrent compaction: in-flight §5.2
+//! compaction groups travel as single morsels, so exactly one worker makes
+//! the pre-state/post-state decision per group, and every live object is
+//! visited exactly once (see the safety argument in [`par`]).
+
+pub mod par;
+pub mod pool;
+
+pub use par::{par_fold_chunks, ParColumnarScan, ParScan};
+pub use pool::WorkerPool;

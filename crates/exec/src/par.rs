@@ -1,0 +1,308 @@
+//! Morsel-driven parallel scans ([`ParScan`], [`ParColumnarScan`]) and the
+//! generic chunked fold used by the slice-shaped baseline backends.
+//!
+//! A scan turns the collection's membership snapshot into morsels
+//! ([`MemoryContext::morsels`](smc_memory::context::MemoryContext::morsels)):
+//! one per regular block, one per in-flight compaction group. Workers claim
+//! morsels from a shared atomic cursor (work stealing degenerates to a
+//! single fetch-add over a shared queue, as in morsel-driven execution
+//! engines), fold matches into thread-local accumulators, and the
+//! coordinator merges the per-worker partials at the end.
+//!
+//! # Why a scan is safe while `compact()` runs
+//!
+//! The coordinating thread pins its own guard *before* taking the morsel
+//! snapshot and holds it until every worker has finished. While any reader
+//! sits pinned in epoch `e`, the global epoch can advance at most to
+//! `e + 1`; a compaction announced after the snapshot must wait for its
+//! relocation epoch plus one (`≥ e + 2`) before moving objects, so plain
+//! blocks in the snapshot cannot have objects relocated out mid-scan.
+//! Groups already in flight at snapshot time are each claimed by exactly
+//! one worker, which applies the §5.2 protocol: read the whole group
+//! pre-relocation under its query counter, or help finish the move and read
+//! the post-state — either way every live object of the group is visited
+//! exactly once.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use smc::{visit_group, ColumnArrays, Columnar, ColumnarSmc, Smc, Tabular};
+use smc_memory::block::BlockRef;
+use smc_memory::context::Morsel;
+use smc_memory::slot::SlotState;
+use smc_memory::stats::MemoryStats;
+
+use crate::pool::WorkerPool;
+
+/// Scans one block's valid slots — the same fused loop `Smc::for_each`
+/// runs, executed by a worker on its claimed morsel.
+fn scan_block<T: Tabular>(block: &BlockRef, stats: &MemoryStats, mut f: impl FnMut(&T)) {
+    MemoryStats::inc(&stats.blocks_scanned);
+    let cap = block.header().capacity;
+    for slot in 0..cap {
+        if block.slot_word(slot).state() == SlotState::Valid {
+            // SAFETY: valid slot, read inside the worker's pinned critical
+            // section; the coordinator guard prevents relocation out of
+            // snapshot blocks for the duration of the scan (module docs).
+            f(unsafe { &*block.obj_ptr(slot).cast::<T>() });
+        }
+    }
+}
+
+fn take_partials<A>(slots: Vec<Mutex<Option<A>>>) -> Vec<A> {
+    slots
+        .into_iter()
+        .filter_map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
+        .collect()
+}
+
+/// A parallel scan over an [`Smc`], mirroring the sequential
+/// `BlockScan` API with per-worker accumulators and a final merge step.
+pub struct ParScan<'a, T: Tabular> {
+    collection: &'a Smc<T>,
+    pool: &'a WorkerPool,
+}
+
+impl<'a, T: Tabular + Sync> ParScan<'a, T> {
+    /// Creates a scan running on `pool`'s workers.
+    ///
+    /// # Panics
+    ///
+    /// The pool must have been built with [`WorkerPool::for_runtime`] against
+    /// the collection's runtime: workers pin epoch guards, so they must be
+    /// registered with the right epoch manager.
+    pub fn new(collection: &'a Smc<T>, pool: &'a WorkerPool) -> Self {
+        let rt = pool
+            .runtime()
+            .expect("ParScan needs a runtime-bound pool (WorkerPool::for_runtime)");
+        assert!(
+            Arc::ptr_eq(rt, collection.runtime()),
+            "worker pool is registered with a different runtime than the collection"
+        );
+        ParScan { collection, pool }
+    }
+
+    /// Runs the morsel loop, returning each worker's accumulator.
+    fn partials<A>(
+        &self,
+        make: &(impl Fn() -> A + Sync),
+        body: impl Fn(&mut A, &T) + Sync,
+    ) -> Vec<A>
+    where
+        A: Send,
+    {
+        let runtime = self.collection.runtime();
+        // Coordinator guard: pinned before the snapshot, held until every
+        // worker is done (the safety argument in the module docs).
+        let _coord = runtime.pin();
+        let morsels = self.collection.context().morsels();
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<A>>> =
+            (0..self.pool.threads()).map(|_| Mutex::new(None)).collect();
+        self.pool.broadcast(|widx| {
+            let guard = runtime
+                .try_pin()
+                .expect("pool workers pre-register with the runtime");
+            let stats = &runtime.stats;
+            let mut acc = make();
+            loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(morsel) = morsels.get(i) else { break };
+                MemoryStats::inc(&stats.morsels_dispatched);
+                match morsel {
+                    Morsel::Block(block) => scan_block(block, stats, |obj| body(&mut acc, obj)),
+                    Morsel::Group(group) => visit_group(group, &guard, runtime, &mut |block| {
+                        scan_block(&block, stats, |obj| body(&mut acc, obj))
+                    }),
+                }
+            }
+            *slots[widx].lock().unwrap_or_else(|e| e.into_inner()) = Some(acc);
+        });
+        take_partials(slots)
+    }
+
+    /// Counts objects passing `pred` — parallel `filter_for_each` without a
+    /// consumer.
+    pub fn filter_count(&self, pred: impl Fn(&T) -> bool + Sync) -> u64 {
+        self.partials(&|| 0u64, |acc, obj| {
+            if pred(obj) {
+                *acc += 1;
+            }
+        })
+        .into_iter()
+        .sum()
+    }
+
+    /// Parallel fused scan→filter→fold: each worker folds into its own
+    /// accumulator (from `init`); `merge` combines the per-worker partials.
+    pub fn filter_fold<A: Send>(
+        &self,
+        init: impl Fn() -> A + Sync,
+        pred: impl Fn(&T) -> bool + Sync,
+        fold: impl Fn(&mut A, &T) + Sync,
+        mut merge: impl FnMut(&mut A, A),
+    ) -> A {
+        let partials = self.partials(&init, |acc, obj| {
+            if pred(obj) {
+                fold(acc, obj);
+            }
+        });
+        let mut out = init();
+        for p in partials {
+            merge(&mut out, p);
+        }
+        out
+    }
+
+    /// Parallel scan→filter→group-by-aggregate: per-worker hash tables,
+    /// merged group-wise with `merge` in the final reduce step.
+    pub fn group_aggregate<K, A>(
+        &self,
+        pred: impl Fn(&T) -> bool + Sync,
+        key: impl Fn(&T) -> K + Sync,
+        new_group: impl Fn(&T) -> A + Sync,
+        fold: impl Fn(&mut A, &T) + Sync,
+        mut merge: impl FnMut(&mut A, A),
+    ) -> HashMap<K, A>
+    where
+        K: Eq + Hash + Send,
+        A: Send,
+    {
+        let partials = self.partials(&HashMap::new, |groups: &mut HashMap<K, A>, obj| {
+            if pred(obj) {
+                match groups.entry(key(obj)) {
+                    Entry::Occupied(mut e) => fold(e.get_mut(), obj),
+                    Entry::Vacant(e) => {
+                        let mut acc = new_group(obj);
+                        fold(&mut acc, obj);
+                        e.insert(acc);
+                    }
+                }
+            }
+        });
+        let mut out: HashMap<K, A> = HashMap::new();
+        for part in partials {
+            for (k, v) in part {
+                match out.entry(k) {
+                    Entry::Occupied(mut e) => merge(e.get_mut(), v),
+                    Entry::Vacant(e) => {
+                        e.insert(v);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A parallel scan over a [`ColumnarSmc`]: blocks (row groups) are the
+/// morsels; the body sees each block's column arrays, exactly like
+/// `ColumnarSmc::for_each_block`.
+pub struct ParColumnarScan<'a, T: Columnar> {
+    collection: &'a ColumnarSmc<T>,
+    pool: &'a WorkerPool,
+}
+
+impl<'a, T: Columnar> ParColumnarScan<'a, T> {
+    /// Creates a scan running on `pool`'s workers; same registration
+    /// requirements as [`ParScan::new`].
+    pub fn new(collection: &'a ColumnarSmc<T>, pool: &'a WorkerPool) -> Self {
+        let rt = pool
+            .runtime()
+            .expect("ParColumnarScan needs a runtime-bound pool (WorkerPool::for_runtime)");
+        assert!(
+            Arc::ptr_eq(rt, collection.runtime()),
+            "worker pool is registered with a different runtime than the collection"
+        );
+        ParColumnarScan { collection, pool }
+    }
+
+    /// Folds every block's column arrays into per-worker accumulators; the
+    /// body checks slot validity itself (as the sequential columnar queries
+    /// do) so it can read only the columns it needs.
+    pub fn fold_blocks<A: Send>(
+        &self,
+        make: impl Fn() -> A + Sync,
+        body: impl Fn(&mut A, &ColumnArrays, &BlockRef) + Sync,
+        mut merge: impl FnMut(&mut A, A),
+    ) -> A {
+        let runtime = self.collection.runtime();
+        let _coord = runtime.pin();
+        let morsels = self.collection.context().morsels();
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<A>>> =
+            (0..self.pool.threads()).map(|_| Mutex::new(None)).collect();
+        self.pool.broadcast(|widx| {
+            let guard = runtime
+                .try_pin()
+                .expect("pool workers pre-register with the runtime");
+            let stats = &runtime.stats;
+            let mut acc = make();
+            let visit = |block: BlockRef, acc: &mut A| {
+                MemoryStats::inc(&stats.blocks_scanned);
+                let cols = self.collection.arrays(&block);
+                body(acc, &cols, &block);
+            };
+            loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(morsel) = morsels.get(i) else { break };
+                MemoryStats::inc(&stats.morsels_dispatched);
+                match morsel {
+                    Morsel::Block(block) => visit(*block, &mut acc),
+                    // Columnar contexts do not compact today, but route
+                    // through the §5.2 protocol anyway should that change.
+                    Morsel::Group(group) => {
+                        visit_group(group, &guard, runtime, &mut |block| visit(block, &mut acc))
+                    }
+                }
+            }
+            *slots[widx].lock().unwrap_or_else(|e| e.into_inner()) = Some(acc);
+        });
+        let mut out = make();
+        for p in take_partials(slots) {
+            merge(&mut out, p);
+        }
+        out
+    }
+}
+
+/// Parallel chunked fold over a plain slice — the morsel loop for backends
+/// whose scan target is an array rather than SMC blocks (the managed
+/// handle list, the columnstore's row ranges). Chunks of `chunk` items are
+/// claimed from an atomic cursor; `merge` combines per-worker partials.
+pub fn par_fold_chunks<T, A>(
+    pool: &WorkerPool,
+    items: &[T],
+    chunk: usize,
+    make: impl Fn() -> A + Sync,
+    fold_chunk: impl Fn(&mut A, &[T]) + Sync,
+    mut merge: impl FnMut(&mut A, A),
+) -> A
+where
+    T: Sync,
+    A: Send,
+{
+    let chunk = chunk.max(1);
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<A>>> = (0..pool.threads()).map(|_| Mutex::new(None)).collect();
+    pool.broadcast(|widx| {
+        let mut acc = make();
+        loop {
+            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+            if start >= items.len() {
+                break;
+            }
+            let end = (start + chunk).min(items.len());
+            fold_chunk(&mut acc, &items[start..end]);
+        }
+        *slots[widx].lock().unwrap_or_else(|e| e.into_inner()) = Some(acc);
+    });
+    let mut out = make();
+    for p in take_partials(slots) {
+        merge(&mut out, p);
+    }
+    out
+}

@@ -1,0 +1,206 @@
+//! Integration tests for the morsel-driven engine: parity with the
+//! sequential enumeration, clean thread-registry exhaustion from the pool
+//! constructor, and the paper's headline concurrency claim — a parallel
+//! scan running *while* `compact()` relocates objects visits every live
+//! element exactly once.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use smc::{ContextConfig, Smc};
+use smc_exec::{ParScan, WorkerPool};
+use smc_memory::error::MemError;
+use smc_memory::fault::{FaultSite, RATE_DENOMINATOR};
+use smc_memory::{Runtime, Tabular};
+
+#[derive(Clone, Copy)]
+struct Obj {
+    key: u64,
+    group: u32,
+    _pad: [u64; 6],
+}
+unsafe impl Tabular for Obj {}
+
+fn obj(key: u64) -> Obj {
+    Obj {
+        key,
+        group: (key % 5) as u32,
+        _pad: [key; 6],
+    }
+}
+
+#[test]
+fn parallel_results_match_sequential() {
+    let rt = Runtime::new();
+    let c: Smc<Obj> = Smc::new(&rt);
+    let total = 10_000u64;
+    for i in 0..total {
+        let r = c.add(obj(i));
+        if i % 7 == 0 {
+            c.remove(r);
+        }
+    }
+    // Sequential ground truth.
+    let guard = rt.pin();
+    let mut seq_count = 0u64;
+    let mut seq_sum = 0u64;
+    let mut seq_groups = std::collections::HashMap::new();
+    c.for_each(&guard, |o| {
+        if o.key % 2 == 0 {
+            seq_count += 1;
+            seq_sum = seq_sum.wrapping_add(o.key);
+            *seq_groups.entry(o.group).or_insert(0u64) += 1;
+        }
+    });
+    drop(guard);
+
+    for threads in [1, 3, 8] {
+        let pool = WorkerPool::for_runtime(&rt, threads).unwrap();
+        let scan = ParScan::new(&c, &pool);
+        assert_eq!(scan.filter_count(|o| o.key % 2 == 0), seq_count);
+        let sum = scan.filter_fold(
+            || 0u64,
+            |o| o.key % 2 == 0,
+            |acc, o| *acc = acc.wrapping_add(o.key),
+            |a, b| *a = a.wrapping_add(b),
+        );
+        assert_eq!(sum, seq_sum, "{threads} threads");
+        let groups = scan.group_aggregate(
+            |o| o.key % 2 == 0,
+            |o| o.group,
+            |_| 0u64,
+            |acc, _| *acc += 1,
+            |a, b| *a += b,
+        );
+        assert_eq!(groups, seq_groups, "{threads} threads");
+    }
+}
+
+#[test]
+fn parallel_scan_counts_reader_stats() {
+    let rt = Runtime::new();
+    let c: Smc<Obj> = Smc::new(&rt);
+    for i in 0..5_000 {
+        c.add(obj(i));
+    }
+    let pool = WorkerPool::for_runtime(&rt, 4).unwrap();
+    let scan = ParScan::new(&c, &pool);
+    let before = rt.stats.snapshot();
+    let n = scan.filter_count(|_| true);
+    let after = rt.stats.snapshot();
+    assert_eq!(n, c.len());
+    let blocks = c.context().block_count() as u64;
+    assert_eq!(after.morsels_dispatched - before.morsels_dispatched, blocks);
+    assert_eq!(after.blocks_scanned - before.blocks_scanned, blocks);
+    assert!(
+        after.pins_taken > before.pins_taken,
+        "coordinator and workers pin guards"
+    );
+}
+
+#[test]
+fn registry_exhaustion_is_a_constructor_error() {
+    // Injected exhaustion: every claim fails, so even a 1-worker pool must
+    // report TooManyThreads from the constructor (not panic in the worker).
+    let rt = Runtime::new();
+    rt.faults().enable(7);
+    rt.faults()
+        .set_rate(FaultSite::ThreadClaim, RATE_DENOMINATOR);
+    match WorkerPool::for_runtime(&rt, 2) {
+        Err(MemError::TooManyThreads) => {}
+        other => panic!("expected TooManyThreads, got {other:?}"),
+    }
+    rt.faults().disable();
+    // With faults off the same runtime accepts a pool again.
+    let pool = WorkerPool::for_runtime(&rt, 2).unwrap();
+    assert_eq!(pool.threads(), 2);
+}
+
+#[test]
+fn real_registry_exhaustion_is_a_constructor_error() {
+    // No faults: genuinely exhaust the 128-slot registry. Workers that did
+    // claim a slot are torn down by the failed constructor, so the follow-up
+    // pool finds free slots again.
+    let rt = Runtime::new();
+    let oversubscribed = smc_memory::epoch::MAX_THREADS + 1;
+    match WorkerPool::for_runtime(&rt, oversubscribed) {
+        Err(MemError::TooManyThreads) => {}
+        Ok(_) => panic!("pool larger than the registry must fail"),
+        Err(e) => panic!("expected TooManyThreads, got {e:?}"),
+    }
+    let pool = WorkerPool::for_runtime(&rt, 8).expect("slots released after failed construction");
+    assert_eq!(pool.threads(), 8);
+}
+
+#[test]
+fn parallel_scan_during_compaction_visits_live_set_exactly_once() {
+    let rt = Runtime::new();
+    // Keep limbo slots unreclaimed so compaction always has sparse blocks
+    // to work on, and arm the relocation failpoint so some passes die
+    // mid-move (bailed objects must still be visited exactly once, in
+    // their source block).
+    let cfg = ContextConfig {
+        reclamation_threshold: 1.1,
+        ..ContextConfig::default()
+    };
+    let c: Smc<Obj> = Smc::with_config(&rt, cfg);
+    let cap = c.context().layout().capacity as usize;
+    let mut expected_count = 0u64;
+    let mut expected_sum = 0u64;
+    for i in 0..(cap * 12) as u64 {
+        let r = c.add(obj(i));
+        if i % 4 == 0 {
+            expected_count += 1;
+            expected_sum = expected_sum.wrapping_add(i);
+        } else {
+            c.remove(r);
+        }
+    }
+    rt.faults().enable(1234);
+    rt.faults().set_rate(FaultSite::Relocation, 48);
+
+    let pool = WorkerPool::for_runtime(&rt, 4).unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        let compactor_stop = stop.clone();
+        let cc = &c;
+        let compactor = s.spawn(move || {
+            let mut passes = 0u64;
+            while !compactor_stop.load(Ordering::Relaxed) {
+                cc.compact();
+                cc.release_retired();
+                passes += 1;
+            }
+            passes
+        });
+        let scan = ParScan::new(&c, &pool);
+        for round in 0..60 {
+            let (n, sum) = scan.filter_fold(
+                || (0u64, 0u64),
+                |_| true,
+                |acc, o| {
+                    acc.0 += 1;
+                    acc.1 = acc.1.wrapping_add(o.key);
+                },
+                |a, b| {
+                    a.0 += b.0;
+                    a.1 = a.1.wrapping_add(b.1);
+                },
+            );
+            assert_eq!(n, expected_count, "round {round}: lost or doubled visit");
+            assert_eq!(sum, expected_sum, "round {round}: wrong element set");
+        }
+        stop.store(true, Ordering::Relaxed);
+        let passes = compactor.join().unwrap();
+        assert!(passes > 0, "compactor never ran");
+    });
+
+    rt.faults().disable();
+    // Let a final clean pass settle any faulted group, then verify the
+    // structure end-to-end.
+    c.compact();
+    c.release_retired();
+    rt.drain_graveyard_blocking();
+    let report = c.verify().expect("structure intact after concurrent scans");
+    assert_eq!(report.valid_slots, expected_count);
+}

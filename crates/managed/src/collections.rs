@@ -131,6 +131,14 @@ impl<T: Trace> GcList<T> {
         n
     }
 
+    /// Copies the current handle list, releasing the list lock before the
+    /// caller dereferences anything. Parallel scans chunk this snapshot into
+    /// morsels; the caller's guard keeps sweeps from running while workers
+    /// chase the handles.
+    pub fn snapshot_handles(&self, _guard: &HeapGuard<'_>) -> Vec<Handle<T>> {
+        self.inner.items.lock().clone()
+    }
+
     /// Enumerates `(handle, &T)` pairs.
     pub fn for_each_handle(&self, _guard: &HeapGuard<'_>, mut f: impl FnMut(Handle<T>, &T)) -> u64 {
         let items = self.inner.items.lock();

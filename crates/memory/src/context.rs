@@ -216,6 +216,22 @@ pub struct Membership {
     pub groups: Vec<Arc<CompactionGroup>>,
 }
 
+/// One unit of parallel scan work: a single block, or a whole in-flight
+/// compaction group.
+///
+/// A group is deliberately one morsel, not one morsel per member block: the
+/// §5.2 protocol reads a group either entirely in its pre-relocation state
+/// (sources only, query counter held) or entirely post-relocation (dest plus
+/// bailed-out sources), so exactly one worker must make that choice for the
+/// whole group.
+#[derive(Debug, Clone)]
+pub enum Morsel {
+    /// A regular membership block.
+    Block(BlockRef),
+    /// An in-flight compaction group, visited via the §5.2 protocol.
+    Group(Arc<CompactionGroup>),
+}
+
 /// A per-collection group of typed memory blocks.
 #[derive(Debug)]
 pub struct MemoryContext {
@@ -337,6 +353,22 @@ impl MemoryContext {
     /// Atomic snapshot of the blocks and groups an enumeration must visit.
     pub fn membership_snapshot(&self) -> Membership {
         self.membership.read().clone()
+    }
+
+    /// The membership snapshot flattened into parallel scan work units.
+    ///
+    /// The caller must pin an epoch guard *before* taking the snapshot and
+    /// hold it until the scan completes: while any reader sits in epoch `e`
+    /// the global epoch can reach at most `e + 1`, and a compaction announced
+    /// after the snapshot needs the global epoch to reach its relocation
+    /// epoch plus one (`≥ e + 2`) before it may move objects — so no block in
+    /// the snapshot can have objects relocated out from under the scan.
+    pub fn morsels(&self) -> Vec<Morsel> {
+        let m = self.membership.read();
+        let mut out = Vec::with_capacity(m.blocks.len() + m.groups.len());
+        out.extend(m.blocks.iter().copied().map(Morsel::Block));
+        out.extend(m.groups.iter().cloned().map(Morsel::Group));
+        out
     }
 
     /// Number of blocks currently owned (regular + group sources + dests).

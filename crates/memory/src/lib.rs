@@ -56,7 +56,7 @@ pub mod tabular;
 pub mod verify;
 
 pub use block::{BlockHeader, BlockLayout, BLOCK_ALIGN, BLOCK_SIZE};
-pub use context::{ContextConfig, MemoryContext};
+pub use context::{ContextConfig, MemoryContext, Morsel};
 pub use decimal::Decimal;
 pub use epoch::{EpochManager, Guard};
 pub use error::{MemError, NullReference};

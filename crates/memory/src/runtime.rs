@@ -98,12 +98,15 @@ impl Runtime {
     /// returned guard. Panics if the epoch thread registry is exhausted; use
     /// [`try_pin`](Self::try_pin) where that must be an error.
     pub fn pin(&self) -> Guard<'_> {
+        MemoryStats::inc(&self.stats.pins_taken);
         self.epochs.pin()
     }
 
     /// Fallible [`pin`](Self::pin).
     pub fn try_pin(&self) -> Result<Guard<'_>, MemError> {
-        self.epochs.try_pin()
+        let guard = self.epochs.try_pin()?;
+        MemoryStats::inc(&self.stats.pins_taken);
+        Ok(guard)
     }
 
     /// Allocates one block against the budget, with fault injection and the

@@ -52,6 +52,14 @@ pub struct MemoryStats {
     /// Compaction passes aborted mid-relocation (injected crash or reader
     /// timeout during the moving phase).
     pub compactions_interrupted: AtomicU64,
+    /// Epoch guards taken by readers ([`Runtime::pin`](crate::runtime::Runtime::pin)
+    /// and `try_pin`).
+    pub pins_taken: AtomicU64,
+    /// Blocks enumerated by parallel scan workers.
+    pub blocks_scanned: AtomicU64,
+    /// Morsels (blocks or compaction groups) claimed from a parallel scan's
+    /// work-stealing cursor.
+    pub morsels_dispatched: AtomicU64,
 }
 
 impl MemoryStats {
@@ -109,6 +117,9 @@ impl MemoryStats {
             alloc_retries: Self::get(&self.alloc_retries),
             faults_injected: Self::get(&self.faults_injected),
             compactions_interrupted: Self::get(&self.compactions_interrupted),
+            pins_taken: Self::get(&self.pins_taken),
+            blocks_scanned: Self::get(&self.blocks_scanned),
+            morsels_dispatched: Self::get(&self.morsels_dispatched),
         }
     }
 }
@@ -134,6 +145,9 @@ pub struct StatsSnapshot {
     pub alloc_retries: u64,
     pub faults_injected: u64,
     pub compactions_interrupted: u64,
+    pub pins_taken: u64,
+    pub blocks_scanned: u64,
+    pub morsels_dispatched: u64,
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -160,11 +174,14 @@ impl std::fmt::Display for StatsSnapshot {
         )?;
         writeln!(f, "alloc_retries={}", self.alloc_retries)?;
         writeln!(f, "faults_injected={}", self.faults_injected)?;
-        write!(
+        writeln!(
             f,
             "compactions_interrupted={}",
             self.compactions_interrupted
-        )
+        )?;
+        writeln!(f, "pins_taken={}", self.pins_taken)?;
+        writeln!(f, "blocks_scanned={}", self.blocks_scanned)?;
+        write!(f, "morsels_dispatched={}", self.morsels_dispatched)
     }
 }
 
@@ -209,11 +226,16 @@ mod tests {
         let s = MemoryStats::new();
         MemoryStats::add(&s.alloc_retries, 5);
         MemoryStats::inc(&s.compactions_interrupted);
+        MemoryStats::add(&s.pins_taken, 9);
+        MemoryStats::add(&s.morsels_dispatched, 2);
         let dump = s.snapshot().to_string();
         assert!(dump.contains("alloc_retries=5"));
         assert!(dump.contains("compactions_interrupted=1"));
         assert!(dump.contains("emergency_epoch_advances=0"));
+        assert!(dump.contains("pins_taken=9"));
+        assert!(dump.contains("blocks_scanned=0"));
+        assert!(dump.contains("morsels_dispatched=2"));
         // One key=value pair per snapshot field.
-        assert_eq!(dump.lines().count(), 18);
+        assert_eq!(dump.lines().count(), 21);
     }
 }

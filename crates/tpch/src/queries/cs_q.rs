@@ -324,3 +324,101 @@ pub fn q6(db: &CsDb, p: &Params) -> Decimal {
     }
     revenue
 }
+
+// ---------------------------------------------------------------------
+// Parallel variants (row-range morsels over column slices, smc-exec)
+// ---------------------------------------------------------------------
+
+/// Rows per morsel for the parallel columnstore scans.
+const CS_MORSEL_ROWS: usize = 16 * 1024;
+
+/// Subdivides pruned `(start, end)` row ranges into fixed-size morsels.
+fn split_ranges(ranges: Vec<(usize, usize)>, rows: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for (start, end) in ranges {
+        let mut s = start;
+        while s < end {
+            let e = (s + rows).min(end);
+            out.push((s, e));
+            s = e;
+        }
+    }
+    out
+}
+
+/// Q1 in parallel: the pruned row ranges are split into fixed-size morsels
+/// scanned over the shared column slices.
+pub fn q1_par(db: &CsDb, p: &Params, pool: &smc_exec::WorkerPool) -> Vec<Q1Row> {
+    let cutoff = q1_cutoff(p) as i64;
+    let li = &db.lineitem;
+    let shipdate = li.i64_values("l_shipdate");
+    let flags = li.str_column("l_returnflag");
+    let statuses = li.str_column("l_linestatus");
+    let qty = li.decimal_slice("l_quantity");
+    let price = li.decimal_slice("l_extendedprice");
+    let discount = li.decimal_slice("l_discount");
+    let tax = li.decimal_slice("l_tax");
+    let morsels = split_ranges(li.prune("l_shipdate", i64::MIN, cutoff), CS_MORSEL_ROWS);
+    let table = smc_exec::par_fold_chunks(
+        pool,
+        &morsels,
+        1,
+        || [Q1Acc::default(); 6],
+        |t, ranges| {
+            for &(start, end) in ranges {
+                for row in start..end {
+                    if shipdate[row] > cutoff {
+                        continue;
+                    }
+                    let flag = flags.get(row).as_bytes()[0];
+                    let status = statuses.get(row).as_bytes()[0];
+                    t[q1_slot(flag, status)].fold(
+                        dec(qty[row]),
+                        dec(price[row]),
+                        dec(discount[row]),
+                        dec(tax[row]),
+                    );
+                }
+            }
+        },
+        |into, from| q1_merge_tables(into, &from),
+    );
+    q1_rows_from_table(&table)
+}
+
+/// Q6 in parallel over the pruned row-range morsels.
+pub fn q6_par(db: &CsDb, p: &Params, pool: &smc_exec::WorkerPool) -> Decimal {
+    let end = plus_months(p.q6_date, 12);
+    let lo = p.q6_discount - Decimal::parse("0.01").unwrap();
+    let hi = p.q6_discount + Decimal::parse("0.01").unwrap();
+    let shipdate = db.lineitem.i64_values("l_shipdate");
+    let discount = db.lineitem.decimal_slice("l_discount");
+    let qty = db.lineitem.decimal_slice("l_quantity");
+    let price = db.lineitem.decimal_slice("l_extendedprice");
+    let morsels = split_ranges(
+        db.lineitem
+            .prune("l_shipdate", p.q6_date as i64, end as i64 - 1),
+        CS_MORSEL_ROWS,
+    );
+    smc_exec::par_fold_chunks(
+        pool,
+        &morsels,
+        1,
+        || Decimal::ZERO,
+        |revenue, ranges| {
+            for &(start, end_row) in ranges {
+                for row in start..end_row {
+                    if shipdate[row] >= p.q6_date as i64
+                        && shipdate[row] < end as i64
+                        && dec(discount[row]) >= lo
+                        && dec(discount[row]) <= hi
+                        && dec(qty[row]) < p.q6_quantity
+                    {
+                        *revenue += dec(price[row]) * dec(discount[row]);
+                    }
+                }
+            }
+        },
+        |into, from| *into += from,
+    )
+}

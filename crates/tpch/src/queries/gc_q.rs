@@ -216,3 +216,74 @@ pub fn q6(db: &GcDb, p: &Params, via: EnumVia) -> Decimal {
     });
     revenue
 }
+
+// ---------------------------------------------------------------------
+// Parallel variants (chunked handle-list morsels, smc-exec)
+// ---------------------------------------------------------------------
+
+/// Handles per morsel for the parallel list scans.
+const GC_CHUNK: usize = 4096;
+
+/// Q1 in parallel over the managed list: the handle vector is snapshotted
+/// under the heap guard and chunked into morsels; workers chase arena
+/// pointers exactly like the sequential enumeration. The caller's guard
+/// pins the world for the whole scan, so no sweep can run under the
+/// workers.
+pub fn q1_par(db: &GcDb, p: &Params, pool: &smc_exec::WorkerPool) -> Vec<Q1Row> {
+    let cutoff = q1_cutoff(p);
+    let guard = db.heap.enter();
+    let handles = db.lineitems.snapshot_handles(&guard);
+    let arena = db.lineitems.arena();
+    let table = smc_exec::par_fold_chunks(
+        pool,
+        &handles,
+        GC_CHUNK,
+        || [Q1Acc::default(); 6],
+        |t, chunk| {
+            for &h in chunk {
+                let Some(l) = arena.get(h) else { continue };
+                if l.shipdate <= cutoff {
+                    t[q1_slot(l.returnflag, l.linestatus)].fold(
+                        l.quantity,
+                        l.extendedprice,
+                        l.discount,
+                        l.tax,
+                    );
+                }
+            }
+        },
+        |into, from| q1_merge_tables(into, &from),
+    );
+    drop(guard);
+    q1_rows_from_table(&table)
+}
+
+/// Q6 in parallel over the managed list.
+pub fn q6_par(db: &GcDb, p: &Params, pool: &smc_exec::WorkerPool) -> Decimal {
+    let end = plus_months(p.q6_date, 12);
+    let lo = p.q6_discount - Decimal::parse("0.01").unwrap();
+    let hi = p.q6_discount + Decimal::parse("0.01").unwrap();
+    let guard = db.heap.enter();
+    let handles = db.lineitems.snapshot_handles(&guard);
+    let arena = db.lineitems.arena();
+    smc_exec::par_fold_chunks(
+        pool,
+        &handles,
+        GC_CHUNK,
+        || Decimal::ZERO,
+        |revenue, chunk| {
+            for &h in chunk {
+                let Some(l) = arena.get(h) else { continue };
+                if l.shipdate >= p.q6_date
+                    && l.shipdate < end
+                    && l.discount >= lo
+                    && l.discount <= hi
+                    && l.quantity < p.q6_quantity
+                {
+                    *revenue += l.extendedprice * l.discount;
+                }
+            }
+        },
+        |into, from| *into += from,
+    )
+}

@@ -132,6 +132,27 @@ impl Q1Acc {
         self.sum_discount += discount;
         self.count += 1;
     }
+
+    /// Merges another partial accumulator into this one (the parallel
+    /// reduce step). Decimal addition is exact integer arithmetic on the
+    /// mantissa, so merge order cannot change the result — parallel Q1 is
+    /// bit-identical to sequential.
+    #[inline]
+    pub fn merge(&mut self, other: &Q1Acc) {
+        self.sum_qty += other.sum_qty;
+        self.sum_base += other.sum_base;
+        self.sum_disc_price += other.sum_disc_price;
+        self.sum_charge += other.sum_charge;
+        self.sum_discount += other.sum_discount;
+        self.count += other.count;
+    }
+}
+
+/// Merges a worker's 6-slot Q1 table into the coordinator's.
+pub fn q1_merge_tables(into: &mut [Q1Acc; 6], from: &[Q1Acc; 6]) {
+    for (a, b) in into.iter_mut().zip(from.iter()) {
+        a.merge(b);
+    }
 }
 
 /// Finalizes a 6-slot Q1 group table (indexed `flag_idx * 2 + status_idx`)

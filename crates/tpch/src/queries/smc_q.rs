@@ -602,3 +602,86 @@ pub fn q6_linq(db: &SmcDb, p: &Params) -> Decimal {
         })
         .sum_by(|l| l.extendedprice * l.discount)
 }
+
+// ---------------------------------------------------------------------
+// Parallel variants (morsel-driven, smc-exec)
+// ---------------------------------------------------------------------
+
+/// Q1 in parallel: each worker folds its morsels into a private 6-slot
+/// table; tables are merged slot-wise in the reduce step. Exact decimal
+/// arithmetic makes the result bit-identical to [`q1`] regardless of how
+/// morsels were distributed.
+pub fn q1_par(db: &SmcDb, p: &Params, pool: &smc_exec::WorkerPool) -> Vec<Q1Row> {
+    let cutoff = q1_cutoff(p);
+    let scan = smc_exec::ParScan::new(&db.lineitems, pool);
+    let table = scan.filter_fold(
+        || [Q1Acc::default(); 6],
+        |l| l.shipdate <= cutoff,
+        |t, l| {
+            t[q1_slot(l.returnflag, l.linestatus)].fold(
+                l.quantity,
+                l.extendedprice,
+                l.discount,
+                l.tax,
+            );
+        },
+        |into, from| q1_merge_tables(into, &from),
+    );
+    q1_rows_from_table(&table)
+}
+
+/// Q6 in parallel: per-worker revenue partials, summed in the reduce step.
+pub fn q6_par(db: &SmcDb, p: &Params, pool: &smc_exec::WorkerPool) -> Decimal {
+    let end = plus_months(p.q6_date, 12);
+    let lo = p.q6_discount - Decimal::parse("0.01").unwrap();
+    let hi = p.q6_discount + Decimal::parse("0.01").unwrap();
+    let scan = smc_exec::ParScan::new(&db.lineitems, pool);
+    scan.filter_fold(
+        || Decimal::ZERO,
+        |l| {
+            l.shipdate >= p.q6_date
+                && l.shipdate < end
+                && l.discount >= lo
+                && l.discount <= hi
+                && l.quantity < p.q6_quantity
+        },
+        |revenue, l| *revenue += l.extendedprice * l.discount,
+        |into, from| *into += from,
+    )
+}
+
+/// Q6 over columnar storage in parallel: blocks are the row-group morsels.
+pub fn q6_columnar_par(db: &SmcDb, p: &Params, pool: &smc_exec::WorkerPool) -> Decimal {
+    let col = db.lineitems_col.as_ref().expect("columnar twin not loaded");
+    let end = plus_months(p.q6_date, 12);
+    let lo = p.q6_discount - Decimal::parse("0.01").unwrap();
+    let hi = p.q6_discount + Decimal::parse("0.01").unwrap();
+    let scan = smc_exec::ParColumnarScan::new(col, pool);
+    scan.fold_blocks(
+        || Decimal::ZERO,
+        |revenue, cols, block| {
+            let cap = block.header().capacity as usize;
+            // SAFETY: column indices/types match LineitemCol.
+            unsafe {
+                let shipdates = cols.column_slice::<i32>(licol::SHIPDATE, cap);
+                let discounts = cols.column_slice::<Decimal>(licol::DISCOUNT, cap);
+                let qtys = cols.column_slice::<Decimal>(licol::QUANTITY, cap);
+                let prices = cols.column_slice::<Decimal>(licol::EXTENDEDPRICE, cap);
+                for slot in 0..cap {
+                    if block.slot_word(slot as u32).state() != SlotState::Valid {
+                        continue;
+                    }
+                    if shipdates[slot] >= p.q6_date
+                        && shipdates[slot] < end
+                        && discounts[slot] >= lo
+                        && discounts[slot] <= hi
+                        && qtys[slot] < p.q6_quantity
+                    {
+                        *revenue += prices[slot] * discounts[slot];
+                    }
+                }
+            }
+        },
+        |into, from| *into += from,
+    )
+}

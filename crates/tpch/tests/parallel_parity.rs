@@ -1,0 +1,82 @@
+//! Parallel ⨯ sequential parity: the morsel-driven Q1/Q6 plans must be
+//! bit-identical to the single-threaded pipelines on every backend.
+//! Decimal arithmetic is exact (integer mantissas), so the per-worker
+//! partial aggregates merge to exactly the sequential answer regardless
+//! of morsel assignment — the assertion is equality, not tolerance.
+
+use smc_exec::WorkerPool;
+use tpch::csdb::CsDb;
+use tpch::gcdb::GcDb;
+use tpch::queries::gc_q::EnumVia;
+use tpch::queries::{cs_q, gc_q, smc_q, Params};
+use tpch::smcdb::SmcDb;
+use tpch::Generator;
+
+const SF: f64 = 0.01;
+
+#[test]
+fn smc_parallel_queries_match_sequential() {
+    let gen = Generator::new(SF);
+    let db = SmcDb::load(&gen, true);
+    let p = Params::default();
+    let q1_seq = smc_q::q1(&db, &p);
+    let q6_seq = smc_q::q6(&db, &p);
+    assert!(!q1_seq.is_empty());
+    for threads in [1, 2, 5] {
+        let pool = WorkerPool::for_runtime(&db.runtime, threads).unwrap();
+        assert_eq!(smc_q::q1_par(&db, &p, &pool), q1_seq, "{threads} threads");
+        assert_eq!(smc_q::q6_par(&db, &p, &pool), q6_seq, "{threads} threads");
+        assert_eq!(
+            smc_q::q6_columnar_par(&db, &p, &pool),
+            q6_seq,
+            "columnar, {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn gc_parallel_queries_match_sequential() {
+    let gen = Generator::new(SF);
+    let heap = managed_heap::ManagedHeap::new_batch();
+    let db = GcDb::load(&gen, &heap);
+    let p = Params::default();
+    let q1_seq = gc_q::q1(&db, &p, EnumVia::List);
+    let q6_seq = gc_q::q6(&db, &p, EnumVia::List);
+    for threads in [1, 4] {
+        let pool = WorkerPool::new(threads);
+        assert_eq!(gc_q::q1_par(&db, &p, &pool), q1_seq, "{threads} threads");
+        assert_eq!(gc_q::q6_par(&db, &p, &pool), q6_seq, "{threads} threads");
+    }
+}
+
+#[test]
+fn cs_parallel_queries_match_sequential() {
+    let gen = Generator::new(SF);
+    let db = CsDb::load(&gen);
+    let p = Params::default();
+    let q1_seq = cs_q::q1(&db, &p);
+    let q6_seq = cs_q::q6(&db, &p);
+    for threads in [1, 4] {
+        let pool = WorkerPool::new(threads);
+        assert_eq!(cs_q::q1_par(&db, &p, &pool), q1_seq, "{threads} threads");
+        assert_eq!(cs_q::q6_par(&db, &p, &pool), q6_seq, "{threads} threads");
+    }
+}
+
+#[test]
+fn parallel_answers_agree_across_backends() {
+    let gen = Generator::new(SF);
+    let heap = managed_heap::ManagedHeap::new_batch();
+    let smc = SmcDb::load(&gen, false);
+    let gc = GcDb::load(&gen, &heap);
+    let cs = CsDb::load(&gen);
+    let p = Params::default();
+    let smc_pool = WorkerPool::for_runtime(&smc.runtime, 3).unwrap();
+    let plain_pool = WorkerPool::new(3);
+    let q1 = smc_q::q1_par(&smc, &p, &smc_pool);
+    let q6 = smc_q::q6_par(&smc, &p, &smc_pool);
+    assert_eq!(gc_q::q1_par(&gc, &p, &plain_pool), q1);
+    assert_eq!(cs_q::q1_par(&cs, &p, &plain_pool), q1);
+    assert_eq!(gc_q::q6_par(&gc, &p, &plain_pool), q6);
+    assert_eq!(cs_q::q6_par(&cs, &p, &plain_pool), q6);
+}
