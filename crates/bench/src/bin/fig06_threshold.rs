@@ -7,7 +7,7 @@
 use std::time::Duration;
 
 use smc::{ContextConfig, Smc};
-use smc_bench::{arg_usize, csv, time_median};
+use smc_bench::{arg_usize, csv, csv_into, finish, time_median, Report};
 use smc_memory::{Runtime, Tabular};
 
 #[derive(Clone, Copy)]
@@ -94,21 +94,36 @@ fn main() {
     let max_a = results.iter().map(|r| r.1).fold(0.0, f64::max);
     let max_q = results.iter().map(|r| r.2).fold(0.0, f64::max);
     let max_m = results.iter().map(|r| r.3).fold(0.0, f64::max);
-    csv(&[
+    let mut report = Report::new("fig06", "Sensitivity to the reclamation threshold");
+    report.param("objects", n as u64);
+    report.param("churn_rounds", rounds as u64);
+    let columns = [
         "threshold_pct",
         "alloc_removal_norm",
         "query_norm",
         "memory_norm",
-    ]);
+    ];
+    let sid = report.series("threshold_sweep", &columns);
+    csv(&columns);
     for (t, a, q, m) in results {
         let (an, qn, mn) = (a / max_a, q / max_q, m / max_m);
         println!("{:>9.0}% {:>18.3} {:>18.3} {:>14.3}", t * 100.0, an, qn, mn);
-        csv(&[
-            &format!("{:.0}", t * 100.0),
-            &format!("{an:.4}"),
-            &format!("{qn:.4}"),
-            &format!("{mn:.4}"),
-        ]);
+        csv_into(
+            &mut report,
+            sid,
+            &[
+                &format!("{:.0}", t * 100.0),
+                &format!("{an:.4}"),
+                &format!("{qn:.4}"),
+                &format!("{mn:.4}"),
+            ],
+        );
     }
+    report.check(
+        "series_nonempty",
+        max_a > 0.0 && max_q > 0.0 && max_m > 0.0,
+        format!("series maxima: alloc={max_a:.3} query={max_q:.3} memory={max_m:.3}"),
+    );
     let _ = Duration::ZERO;
+    finish(&report);
 }

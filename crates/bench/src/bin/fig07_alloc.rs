@@ -12,7 +12,7 @@ use managed_heap::{
     GcConcurrentBag, GcConcurrentDictionary, GcList, GcMode, HeapConfig, ManagedHeap, Trace,
 };
 use smc::Smc;
-use smc_bench::{arg_usize, csv, mops, time_once};
+use smc_bench::{arg_usize, csv, csv_into, finish, mops, time_once, Report};
 use smc_memory::{Runtime, Tabular};
 
 #[derive(Clone, Copy)]
@@ -131,7 +131,7 @@ fn main() {
         "dict(batch)",
         "SMC"
     );
-    csv(&[
+    let columns = [
         "threads",
         "pure_interactive",
         "pure_batch",
@@ -140,7 +140,12 @@ fn main() {
         "dict_interactive",
         "dict_batch",
         "smc",
-    ]);
+    ];
+    let mut report = Report::new("fig07", "Allocation throughput (Mops/s)");
+    report.param("objects_per_thread", per_thread as u64);
+    let sid = report.series("alloc_throughput", &columns);
+    csv(&columns);
+    let mut smc_min = f64::INFINITY;
     for threads in [1usize, 2, 4] {
         let pi = bench_pure_alloc(GcMode::Interactive, threads, per_thread);
         let pb = bench_pure_alloc(GcMode::Batch, threads, per_thread);
@@ -152,15 +157,26 @@ fn main() {
         println!(
             "{threads:>8} {pi:>14.2} {pb:>14.2} {bi:>12.2} {bb:>12.2} {di:>12.2} {db:>12.2} {smc:>10.2}"
         );
-        csv(&[
-            &threads.to_string(),
-            &format!("{pi:.3}"),
-            &format!("{pb:.3}"),
-            &format!("{bi:.3}"),
-            &format!("{bb:.3}"),
-            &format!("{di:.3}"),
-            &format!("{db:.3}"),
-            &format!("{smc:.3}"),
-        ]);
+        smc_min = smc_min.min(smc);
+        csv_into(
+            &mut report,
+            sid,
+            &[
+                &threads.to_string(),
+                &format!("{pi:.3}"),
+                &format!("{pb:.3}"),
+                &format!("{bi:.3}"),
+                &format!("{bb:.3}"),
+                &format!("{di:.3}"),
+                &format!("{db:.3}"),
+                &format!("{smc:.3}"),
+            ],
+        );
     }
+    report.check(
+        "smc_throughput_positive",
+        smc_min.is_finite() && smc_min > 0.0,
+        format!("min SMC throughput across thread counts = {smc_min:.3} Mops/s"),
+    );
+    finish(&report);
 }

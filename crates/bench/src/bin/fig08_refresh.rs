@@ -7,7 +7,7 @@
 
 use std::sync::atomic::{AtomicI64, Ordering};
 
-use smc_bench::{arg_f64, arg_usize, csv, time_once};
+use smc_bench::{arg_f64, arg_usize, csv, csv_into, finish, time_once, Report};
 use tpch::gcdb::GcDb;
 use tpch::smcdb::SmcDb;
 use tpch::workloads;
@@ -22,7 +22,13 @@ fn main() {
         "{:>8} {:>12} {:>12} {:>12}",
         "threads", "List", "C.Dict", "SMC"
     );
-    csv(&["threads", "list", "dict", "smc"]);
+    let columns = ["threads", "list", "dict", "smc"];
+    let mut report = Report::new("fig08", "Refresh streams per minute");
+    report.param("sf", sf);
+    report.param("streams_per_thread", streams_per_thread as u64);
+    let sid = report.series("refresh_rate", &columns);
+    csv(&columns);
+    let mut min_rate = f64::INFINITY;
 
     for threads in [1usize, 2, 4] {
         // Fresh databases per run so wear does not accumulate across rows.
@@ -80,11 +86,22 @@ fn main() {
             }
         });
         println!("{threads:>8} {list_rate:>12.1} {dict_rate:>12.1} {smc_rate:>12.1}");
-        csv(&[
-            &threads.to_string(),
-            &format!("{list_rate:.2}"),
-            &format!("{dict_rate:.2}"),
-            &format!("{smc_rate:.2}"),
-        ]);
+        min_rate = min_rate.min(list_rate).min(dict_rate).min(smc_rate);
+        csv_into(
+            &mut report,
+            sid,
+            &[
+                &threads.to_string(),
+                &format!("{list_rate:.2}"),
+                &format!("{dict_rate:.2}"),
+                &format!("{smc_rate:.2}"),
+            ],
+        );
     }
+    report.check(
+        "rates_positive",
+        min_rate.is_finite() && min_rate > 0.0,
+        format!("minimum refresh rate across series = {min_rate:.2}/min"),
+    );
+    finish(&report);
 }

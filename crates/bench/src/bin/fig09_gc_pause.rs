@@ -14,8 +14,9 @@ use std::time::{Duration, Instant};
 
 use managed_heap::{GcList, GcMode, HeapConfig, ManagedHeap, Trace};
 use smc::Smc;
-use smc_bench::{arg_usize, csv};
+use smc_bench::{arg_usize, csv, csv_into, finish, Report};
 use smc_memory::{Runtime, Tabular};
+use smc_obs::Histogram;
 
 #[derive(Clone, Copy)]
 struct Line {
@@ -82,13 +83,22 @@ fn main() {
         "{:>12} {:>16} {:>16} {:>18} {:>18}",
         "objects", "managed(batch)", "managed(inter)", "self-mgd(batch)", "self-mgd(inter)"
     );
-    csv(&[
+    let columns = [
         "objects",
         "managed_batch_ms",
         "managed_interactive_ms",
         "smc_batch_ms",
         "smc_interactive_ms",
-    ]);
+    ];
+    let mut report = Report::new("fig09", "Longest thread timeout vs collection size");
+    report.param("max_objects", max_objects as u64);
+    report.param("window_ms", window.as_millis() as u64);
+    let sid = report.series("max_timeout", &columns);
+    csv(&columns);
+    // Benchmark-wide stop-the-world pause distributions, merged across all
+    // runs of each configuration (the per-heap PauseStats histograms).
+    let managed_pauses = Histogram::new();
+    let smc_pauses = Histogram::new();
     let mut sizes = Vec::new();
     let mut n = max_objects / 8;
     while n <= max_objects {
@@ -111,6 +121,7 @@ fn main() {
                 });
             }
             row.push(measure_max_timeout(&heap, window));
+            managed_pauses.merge(heap.pauses.histogram());
         }
         for mode in [GcMode::Batch, GcMode::Interactive] {
             // Self-managed collection: data off-heap; the GC only sees the
@@ -128,6 +139,7 @@ fn main() {
                 });
             }
             row.push(measure_max_timeout(&heap, window));
+            smc_pauses.merge(heap.pauses.histogram());
             drop(c);
         }
         let msf = |d: Duration| d.as_secs_f64() * 1e3;
@@ -138,12 +150,32 @@ fn main() {
             msf(row[2]),
             msf(row[3])
         );
-        csv(&[
-            &objects.to_string(),
-            &format!("{:.3}", msf(row[0])),
-            &format!("{:.3}", msf(row[1])),
-            &format!("{:.3}", msf(row[2])),
-            &format!("{:.3}", msf(row[3])),
-        ]);
+        csv_into(
+            &mut report,
+            sid,
+            &[
+                &objects.to_string(),
+                &format!("{:.3}", msf(row[0])),
+                &format!("{:.3}", msf(row[1])),
+                &format!("{:.3}", msf(row[2])),
+                &format!("{:.3}", msf(row[3])),
+            ],
+        );
     }
+    // The figure's actual claim, as percentiles: the managed heap's pauses
+    // grow with the traced live set; the SMC keeps its data off-heap so the
+    // collector only ever sees the churn thread's temporaries.
+    println!("managed GC pauses: {}", managed_pauses.summary());
+    println!("self-managed GC pauses: {}", smc_pauses.summary());
+    report.histogram("managed_gc_pause_ns", &managed_pauses);
+    report.histogram("smc_gc_pause_ns", &smc_pauses);
+    report.check(
+        "managed_heap_collected",
+        managed_pauses.count() > 0,
+        format!(
+            "{} managed stop-the-world pauses recorded",
+            managed_pauses.count()
+        ),
+    );
+    finish(&report);
 }

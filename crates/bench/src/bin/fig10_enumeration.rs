@@ -5,7 +5,7 @@
 //! leaving limbo holes in SMC blocks. Nested enumeration follows
 //! lineitem → order → customer (§7).
 
-use smc_bench::{arg_f64, arg_usize, csv, ms, time_median};
+use smc_bench::{arg_f64, arg_usize, csv, csv_into, finish, ms, time_median, Report};
 use tpch::gcdb::GcDb;
 #[allow(unused_imports)]
 use tpch::smcdb::SmcDb as _SmcDbAlias;
@@ -22,13 +22,18 @@ fn main() {
         "{:>22} {:>12} {:>12} {:>14} {:>14}",
         "series", "flat fresh", "flat worn", "nested fresh", "nested worn"
     );
-    csv(&[
+    let columns = [
         "series",
         "flat_fresh_ms",
         "flat_worn_ms",
         "nested_fresh_ms",
         "nested_worn_ms",
-    ]);
+    ];
+    let mut report = Report::new("fig10", "Enumeration performance, fresh vs worn");
+    report.param("sf", sf);
+    report.param("wear_cycles", wear_cycles as u64);
+    let sid = report.series("enumeration", &columns);
+    csv(&columns);
 
     // --- Managed list (and bag/dict views of the same objects).
     let heap = managed_heap::ManagedHeap::new_batch();
@@ -152,6 +157,60 @@ fn main() {
     ];
     for (name, a, b, c, d) in &rows {
         println!("{name:>22} {a:>12} {b:>12} {c:>14} {d:>14}");
-        csv(&[name, a, b, c, d]);
+        csv_into(&mut report, sid, &[name, a, b, c, d]);
     }
+
+    // --- Post-wear compaction: decimate the worn SMC (removals without
+    // re-insertion, driving block occupancy under the compaction threshold),
+    // defragment, and enumerate the survivors. A new series — the measured
+    // rows above are untouched — showing reclamation repairing enumeration
+    // locality, plus the compaction pause percentiles.
+    let removed = workloads::smc_decimate(&smc, &mut rng, 0.8);
+    let reports = [
+        smc.lineitems.compact(),
+        smc.orders.compact(),
+        smc.customers.compact(),
+    ];
+    let moved: usize = reports.iter().map(|r| r.moved).sum();
+    let t_smc_flat_compacted = time_median(3, || {
+        std::hint::black_box(workloads::smc_enumerate_flat(&smc));
+    });
+    let t_smc_nested_compacted = time_median(3, || {
+        std::hint::black_box(workloads::smc_enumerate_nested(&smc));
+    });
+    let cid = report.series(
+        "post_compaction",
+        &["series", "flat_ms", "nested_ms", "objects_moved"],
+    );
+    println!(
+        "{:>22} {:>12} {:>12} {:>14} (removed: {removed}, objects moved: {moved})",
+        "SMC (compacted)",
+        ms(t_smc_flat_compacted),
+        ms(t_smc_nested_compacted),
+        "-"
+    );
+    csv_into(
+        &mut report,
+        cid,
+        &[
+            "SMC (compacted)",
+            &ms(t_smc_flat_compacted),
+            &ms(t_smc_nested_compacted),
+            &moved.to_string(),
+        ],
+    );
+    let stats = &smc.runtime.stats;
+    println!("compaction pass:  {}", stats.compaction_pass_ns.summary());
+    println!("compaction pause: {}", stats.compaction_pause_ns.summary());
+    report.histogram("compaction_pass_ns", &stats.compaction_pass_ns);
+    report.histogram("compaction_pause_ns", &stats.compaction_pause_ns);
+    report.check(
+        "compaction_ran",
+        stats.compaction_pass_ns.count() > 0,
+        format!(
+            "{} compaction passes over the worn database",
+            stats.compaction_pass_ns.count()
+        ),
+    );
+    finish(&report);
 }

@@ -4,7 +4,7 @@
 //! SMC (compiled unsafe). `--linq` adds the interpreted-LINQ column for Q1
 //! and Q6 (the §7 "40–400 % slower" observation).
 
-use smc_bench::{arg_f64, arg_flag, csv, ms, time_median};
+use smc_bench::{arg_f64, arg_flag, csv, csv_into, finish, ms, time_median, Report};
 use tpch::gcdb::GcDb;
 use tpch::queries::gc_q::EnumVia;
 use tpch::queries::{gc_q, smc_q, Params};
@@ -33,14 +33,19 @@ fn main() {
         "SMC-un/List",
         if with_linq { "   LINQ/SMC" } else { "" }
     );
-    csv(&[
+    let columns = [
         "query",
         "list_ms",
         "dict_ms",
         "smc_ms",
         "smc_unsafe_ms",
         "linq_ms",
-    ]);
+    ];
+    let mut report = Report::new("fig11", "TPC-H Q1-Q6 evaluation time");
+    report.param("sf", sf);
+    report.param("linq", with_linq);
+    let sid = report.series("query_times", &columns);
+    csv(&columns);
     for q in 1..=6u32 {
         let t_list = time_median(3, || match q {
             1 => std::hint::black_box(gc_q::q1(&gc, &p, EnumVia::List)).len(),
@@ -117,13 +122,28 @@ fn main() {
             rel(t_unsafe),
             linq_cell
         );
-        csv(&[
-            &format!("Q{q}"),
-            &ms(t_list),
-            &ms(t_dict),
-            &ms(t_smc),
-            &ms(t_unsafe),
-            &t_linq.map(ms).unwrap_or_default(),
-        ]);
+        csv_into(
+            &mut report,
+            sid,
+            &[
+                &format!("Q{q}"),
+                &ms(t_list),
+                &ms(t_dict),
+                &ms(t_smc),
+                &ms(t_unsafe),
+                &t_linq.map(ms).unwrap_or_default(),
+            ],
+        );
     }
+    // Per-query latency distribution across every timed execution, from the
+    // spans each query implementation opens (tpch::queries::QUERY_LATENCY_NS).
+    let latencies = &tpch::queries::QUERY_LATENCY_NS;
+    println!("query latencies: {}", latencies.summary());
+    report.histogram("query_latency_ns", latencies);
+    report.check(
+        "query_spans_recorded",
+        latencies.count() > 0,
+        format!("{} per-query spans recorded", latencies.count()),
+    );
+    finish(&report);
 }

@@ -2,7 +2,7 @@
 //! relative to the base SMC. Direct pointers help join queries (Q3–Q5);
 //! columnar storage helps scan-dominated queries (Q1, Q6).
 
-use smc_bench::{arg_f64, csv, ms, time_median};
+use smc_bench::{arg_f64, csv, csv_into, finish, ms, time_median, Report};
 use tpch::queries::{smc_q, Params};
 use tpch::smcdb::SmcDb;
 use tpch::Generator;
@@ -17,7 +17,11 @@ fn main() {
         "{:>6} {:>10} {:>12} {:>14} {:>13} {:>15}",
         "query", "SMC ms", "direct ms", "columnar ms", "direct/SMC", "columnar/SMC"
     );
-    csv(&["query", "smc_ms", "direct_ms", "columnar_ms"]);
+    let columns = ["query", "smc_ms", "direct_ms", "columnar_ms"];
+    let mut report = Report::new("fig12", "SMC storage/pointer variants");
+    report.param("sf", sf);
+    let sid = report.series("variants", &columns);
+    csv(&columns);
     for q in 1..=6u32 {
         let t_base = time_median(3, || match q {
             1 => std::hint::black_box(smc_q::q1(&smc, &p)).len(),
@@ -65,6 +69,17 @@ fn main() {
             rel(t_direct),
             rel(t_col)
         );
-        csv(&[&format!("Q{q}"), &ms(t_base), &ms(t_direct), &ms(t_col)]);
+        csv_into(
+            &mut report,
+            sid,
+            &[&format!("Q{q}"), &ms(t_base), &ms(t_direct), &ms(t_col)],
+        );
     }
+    report.histogram("query_latency_ns", &tpch::queries::QUERY_LATENCY_NS);
+    report.check(
+        "query_spans_recorded",
+        tpch::queries::QUERY_LATENCY_NS.count() > 0,
+        "per-query spans recorded",
+    );
+    finish(&report);
 }

@@ -5,7 +5,7 @@
 //! indexes prune hard (notably Q6); the SMC variants win the join-heavy
 //! queries thanks to reference joins.
 
-use smc_bench::{arg_f64, csv, ms, time_median};
+use smc_bench::{arg_f64, csv, csv_into, finish, ms, time_median, Report};
 use tpch::csdb::CsDb;
 use tpch::queries::{cs_q, smc_q, Params};
 use tpch::smcdb::SmcDb;
@@ -22,7 +22,11 @@ fn main() {
         "{:>6} {:>11} {:>12} {:>14} {:>13} {:>15}",
         "query", "RDBMS ms", "direct ms", "columnar ms", "direct/RDBMS", "columnar/RDBMS"
     );
-    csv(&["query", "rdbms_ms", "smc_direct_ms", "smc_columnar_ms"]);
+    let columns = ["query", "rdbms_ms", "smc_direct_ms", "smc_columnar_ms"];
+    let mut report = Report::new("fig13", "SMC vs the columnstore RDBMS baseline");
+    report.param("sf", sf);
+    let sid = report.series("vs_rdbms", &columns);
+    csv(&columns);
     for q in 1..=6u32 {
         let t_cs = time_median(3, || match q {
             1 => std::hint::black_box(cs_q::q1(&cs, &p)).len(),
@@ -67,6 +71,17 @@ fn main() {
             rel(t_direct),
             rel(t_col)
         );
-        csv(&[&format!("Q{q}"), &ms(t_cs), &ms(t_direct), &ms(t_col)]);
+        csv_into(
+            &mut report,
+            sid,
+            &[&format!("Q{q}"), &ms(t_cs), &ms(t_direct), &ms(t_col)],
+        );
     }
+    report.histogram("query_latency_ns", &tpch::queries::QUERY_LATENCY_NS);
+    report.check(
+        "query_spans_recorded",
+        tpch::queries::QUERY_LATENCY_NS.count() > 0,
+        "per-query spans recorded",
+    );
+    finish(&report);
 }

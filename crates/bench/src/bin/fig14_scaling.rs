@@ -6,9 +6,12 @@
 //! aggregate) and Q6 (filter fold). For each thread count the table shows
 //! the time and the speedup over the 1-worker pool; the sequential
 //! single-thread pipeline is printed as the baseline row. Parallel results
-//! are asserted bit-identical to the sequential pipelines on every run.
+//! are checked bit-identical to the sequential pipelines on every run; a
+//! parity failure still writes `BENCH_fig14.json` (with the failed check
+//! recorded) and exits non-zero, so CI smoke catches regressions from the
+//! artifact as well as the exit code.
 
-use smc_bench::{arg_f64, arg_usize, csv, ms, time_median};
+use smc_bench::{arg_f64, arg_usize, csv, csv_into, finish, ms, time_median, Report};
 use smc_exec::{ParScan, WorkerPool};
 use tpch::queries::{smc_q, Params};
 use tpch::smcdb::SmcDb;
@@ -45,7 +48,7 @@ fn main() {
         "{:>8} {:>10} {:>10} {:>10} {:>9} {:>9} {:>9}",
         "threads", "scan ms", "Q1 ms", "Q6 ms", "scan x", "Q1 x", "Q6 x"
     );
-    csv(&[
+    let columns = [
         "threads",
         "scan_ms",
         "q1_ms",
@@ -53,7 +56,14 @@ fn main() {
         "scan_speedup",
         "q1_speedup",
         "q6_speedup",
-    ]);
+    ];
+    let mut report = Report::new("fig14", "Morsel-driven scaling on SMC");
+    report.param("sf", sf);
+    report.param("max_threads", max_threads as u64);
+    report.param("runs", runs as u64);
+    report.param("hardware_threads", cores as u64);
+    let sid = report.series("scaling", &columns);
+    csv(&columns);
     println!(
         "{:>8} {:>10} {:>10} {:>10} {:>9} {:>9} {:>9}",
         "seq",
@@ -70,10 +80,30 @@ fn main() {
     while threads <= max_threads {
         let pool = WorkerPool::for_runtime(&db.runtime, threads).expect("thread registry full");
         let scan = ParScan::new(&db.lineitems, &pool);
+        // Parity checks are recorded, not asserted: a failure must still
+        // produce the JSON artifact (and then exit non-zero via finish()).
         let n = scan.filter_count(|_| true);
-        assert_eq!(n, scan_seq, "parallel scan missed or duplicated objects");
-        assert_eq!(smc_q::q1_par(&db, &p, &pool), q1_seq, "Q1 parity");
-        assert_eq!(smc_q::q6_par(&db, &p, &pool), q6_seq, "Q6 parity");
+        report.check(
+            format!("scan_parity_t{threads}"),
+            n == scan_seq,
+            format!("parallel visited {n}, sequential {scan_seq}"),
+        );
+        let q1_par = smc_q::q1_par(&db, &p, &pool);
+        report.check(
+            format!("q1_parity_t{threads}"),
+            q1_par == q1_seq,
+            "parallel Q1 must be bit-identical to sequential",
+        );
+        let q6_par = smc_q::q6_par(&db, &p, &pool);
+        report.check(
+            format!("q6_parity_t{threads}"),
+            q6_par == q6_seq,
+            format!("parallel Q6 = {q6_par:?}, sequential = {q6_seq:?}"),
+        );
+        if n != scan_seq || q1_par != q1_seq || q6_par != q6_seq {
+            eprintln!("parity failure at {threads} threads; skipping timing sweep");
+            finish(&report);
+        }
 
         let t_scan = time_median(runs, || std::hint::black_box(scan.filter_count(|_| true)));
         let t_q1 = time_median(runs, || {
@@ -95,15 +125,29 @@ fn main() {
             q1x,
             q6x
         );
-        csv(&[
-            &threads.to_string(),
-            &ms(t_scan),
-            &ms(t_q1),
-            &ms(t_q6),
-            &format!("{sx:.3}"),
-            &format!("{q1x:.3}"),
-            &format!("{q6x:.3}"),
-        ]);
+        csv_into(
+            &mut report,
+            sid,
+            &[
+                &threads.to_string(),
+                &ms(t_scan),
+                &ms(t_q1),
+                &ms(t_q6),
+                &format!("{sx:.3}"),
+                &format!("{q1x:.3}"),
+                &format!("{q6x:.3}"),
+            ],
+        );
         threads *= 2;
     }
+    report.histogram("query_latency_ns", &tpch::queries::QUERY_LATENCY_NS);
+    report.counter(
+        "morsels_dispatched",
+        smc_memory::MemoryStats::get(&db.runtime.stats.morsels_dispatched),
+    );
+    report.counter(
+        "blocks_scanned",
+        smc_memory::MemoryStats::get(&db.runtime.stats.blocks_scanned),
+    );
+    finish(&report);
 }

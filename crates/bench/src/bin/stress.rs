@@ -269,6 +269,14 @@ fn main() {
     println!("--- failpoints ---\n{}", rt.faults());
     println!("--- final stats ---\n{snap}");
     println!(
+        "compaction pass:  {}",
+        rt.stats.compaction_pass_ns.summary()
+    );
+    println!(
+        "compaction pause: {}",
+        rt.stats.compaction_pause_ns.summary()
+    );
+    println!(
         "totals: adds={} removes={} reads={} enumerations={} oom-errors={} \
          claim-errors={} interrupted-passes={interrupted_passes}",
         total.adds,

@@ -10,7 +10,11 @@
 //!   laptop-friendly size; the paper's SF 3 is reachable but slow).
 //! * Timings are medians of several runs after a warm-up run.
 
+#![warn(missing_docs)]
+
 use std::time::{Duration, Instant};
+
+pub use smc_obs::{JsonValue, Report, SeriesId};
 
 /// Median-of-`runs` wall time of `f`, after one warm-up call. The return
 /// value of `f` is black-boxed so the computation cannot be optimized out.
@@ -57,6 +61,51 @@ pub fn arg_flag(name: &str) -> bool {
 /// Prints a CSV record with the `csv,` prefix the harness greps for.
 pub fn csv(fields: &[&str]) {
     println!("csv,{}", fields.join(","));
+}
+
+/// Prints the `csv,` record *and* mirrors it as a row of the report series:
+/// fields that parse as numbers become JSON numbers, the rest strings. This
+/// keeps the human CSV and `BENCH_fig<N>.json` in lock-step by construction.
+pub fn csv_into(report: &mut Report, id: SeriesId, fields: &[&str]) {
+    csv(fields);
+    let row = fields
+        .iter()
+        .map(|f| match f.parse::<f64>() {
+            Ok(v) => JsonValue::Num(v),
+            Err(_) => JsonValue::Str(f.to_string()),
+        })
+        .collect();
+    report.push_row(id, row);
+}
+
+/// Writes the report JSON (even when checks failed — that is the point:
+/// CI inspects the artifact) and returns the process exit code: 0 when all
+/// checks passed, 1 on check failure, 2 when the report could not be
+/// written.
+pub fn write_report(report: &Report) -> i32 {
+    match report.write() {
+        Ok(path) => println!("report: {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write report: {e}");
+            return 2;
+        }
+    }
+    let failed = report.failed_checks();
+    if failed.is_empty() {
+        0
+    } else {
+        for (name, detail) in &failed {
+            eprintln!("CHECK FAILED: {name}: {detail}");
+        }
+        1
+    }
+}
+
+/// Writes the report and exits with [`write_report`]'s code. Every fig
+/// binary ends through here so a parity failure both leaves a JSON artifact
+/// and fails the process.
+pub fn finish(report: &Report) -> ! {
+    std::process::exit(write_report(report))
 }
 
 /// Formats a duration as fractional milliseconds.

@@ -198,16 +198,23 @@ impl RleColumn {
 pub enum ColumnData {
     /// Plain 64-bit integers (also dates as epoch days widened to i64).
     I64 {
+        /// Row values in storage order.
         values: Vec<i64>,
+        /// Per-segment min/max for zone-map pruning.
         stats: Vec<SegmentStats>,
     },
     /// Fixed-point decimals (mantissa only; scale lives in the schema).
-    Decimal { values: Vec<i128> },
+    Decimal {
+        /// Raw mantissas in storage order.
+        values: Vec<i128>,
+    },
     /// Dictionary-encoded strings.
     Str(DictColumn),
     /// Run-length-encoded integers (clustered sort columns).
     Rle {
+        /// The run-length-encoded values.
         column: RleColumn,
+        /// Per-segment min/max for zone-map pruning.
         stats: Vec<SegmentStats>,
     },
 }

@@ -19,6 +19,8 @@
 //! The TPC-H query plans over this engine live in the `tpch` crate, next to
 //! their SMC counterparts.
 
+#![warn(missing_docs)]
+
 pub mod column;
 pub mod table;
 

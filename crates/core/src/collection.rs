@@ -218,7 +218,7 @@ impl<T: Tabular> Smc<T> {
         n
     }
 
-    /// Lazily iterates `(Ref<T>, &T)` pairs. Prefer [`for_each`] in
+    /// Lazily iterates `(Ref<T>, &T)` pairs. Prefer [`for_each`](Smc::for_each) in
     /// performance-critical query code; the pull iterator exists for
     /// ergonomic composition.
     pub fn iter<'g, 'e>(&self, guard: &'g Guard<'e>) -> Iter<'g, 'e, T> {
@@ -288,7 +288,7 @@ impl<T: Tabular> Smc<T> {
     /// whether the direct pointer selected by `field` points into a retired
     /// block (hash-set probe on the block base address — "instead of
     /// following a direct pointer to see if the forwarding flag is set, we
-    /// first compute the address of the corresponding block [and] probe it
+    /// first compute the address of the corresponding block \[and\] probe it
     /// in the hash table"), and if so chase the tombstone and rewrite it.
     pub fn fix_direct_refs<U: Tabular>(
         &self,

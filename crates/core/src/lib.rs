@@ -57,6 +57,8 @@
 //! assert!(adam.get(&guard).is_none(), "references go null on removal");
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod collection;
 pub mod columnar;
 pub mod refs;

@@ -27,6 +27,8 @@
 //! the pre-state/post-state decision per group, and every live object is
 //! visited exactly once (see the safety argument in [`par`]).
 
+#![warn(missing_docs)]
+
 pub mod par;
 pub mod pool;
 

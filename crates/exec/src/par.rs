@@ -112,6 +112,10 @@ impl<'a, T: Tabular + Sync> ParScan<'a, T> {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(morsel) = morsels.get(i) else { break };
                 MemoryStats::inc(&stats.morsels_dispatched);
+                smc_obs::trace::emit(smc_obs::Event::MorselDispatch {
+                    worker: widx as u64,
+                    morsel: i as u64,
+                });
                 match morsel {
                     Morsel::Block(block) => scan_block(block, stats, |obj| body(&mut acc, obj)),
                     Morsel::Group(group) => visit_group(group, &guard, runtime, &mut |block| {
@@ -250,6 +254,10 @@ impl<'a, T: Columnar> ParColumnarScan<'a, T> {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(morsel) = morsels.get(i) else { break };
                 MemoryStats::inc(&stats.morsels_dispatched);
+                smc_obs::trace::emit(smc_obs::Event::MorselDispatch {
+                    worker: widx as u64,
+                    morsel: i as u64,
+                });
                 match morsel {
                     Morsel::Block(block) => visit(*block, &mut acc),
                     // Columnar contexts do not compact today, but route
@@ -295,6 +303,10 @@ where
             if start >= items.len() {
                 break;
             }
+            smc_obs::trace::emit(smc_obs::Event::MorselDispatch {
+                worker: widx as u64,
+                morsel: (start / chunk) as u64,
+            });
             let end = (start + chunk).min(items.len());
             fold_chunk(&mut acc, &items[start..end]);
         }

@@ -150,6 +150,9 @@ impl WorkerPool {
     /// until all of them return. Concurrent callers are serialized.
     pub fn run(&self, job: &(dyn Fn(usize) + Sync)) {
         let _serial = lock(&self.run_lock);
+        // Clock reads only happen while tracing is on; the disabled path
+        // stays untimed.
+        let t0 = smc_obs::trace::is_enabled().then(std::time::Instant::now);
         // SAFETY: erase the closure's borrow lifetime. Sound because this
         // function blocks below until `completed == threads`, i.e. no worker
         // can still be executing (or later observe) the job once we return.
@@ -165,6 +168,12 @@ impl WorkerPool {
             st = wait(&self.shared.done_cv, st);
         }
         st.job = None;
+        if let Some(t0) = t0 {
+            smc_obs::trace::emit(smc_obs::Event::PoolBroadcast {
+                threads: self.threads as u64,
+                nanos: t0.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+            });
+        }
     }
 
     /// Monomorphized convenience wrapper over [`run`](Self::run).

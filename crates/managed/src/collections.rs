@@ -11,7 +11,7 @@
 //!   paper found functionally comparable to SMCs (keyed removal).
 //!
 //! All three hold *handles*; the objects themselves live on the
-//! [`ManagedHeap`](crate::heap::ManagedHeap) and are traced from the
+//! [`ManagedHeap`] and are traced from the
 //! collection root. Enumeration dereferences handle by handle — the
 //! scattered pointer chase of Fig 10.
 

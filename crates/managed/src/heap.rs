@@ -237,6 +237,7 @@ impl ManagedHeap {
         let arenas: HashMap<TypeId, Arc<dyn AnyArena>> = self.arenas.lock().clone();
         // Stop the world. If this thread (or another) holds a guard, the
         // write acquisition blocks until the world reaches a safepoint.
+        smc_obs::trace::emit(smc_obs::Event::GcPauseBegin { major });
         let t0 = Instant::now();
         let world = self.world.write();
         let parity = self.parity.fetch_xor(1, Ordering::AcqRel) ^ 1;
@@ -252,8 +253,15 @@ impl ManagedHeap {
             swept += arena.sweep(!major, parity);
         }
         drop(world);
-        self.pauses.record(t0.elapsed());
+        let pause = t0.elapsed();
+        self.pauses.record(pause);
         self.pauses.record_cycle(major, traced, swept);
+        smc_obs::trace::emit(smc_obs::Event::GcPauseEnd {
+            major,
+            nanos: pause.as_nanos().min(u64::MAX as u128) as u64,
+            traced,
+            swept,
+        });
         self.collections_run.fetch_add(1, Ordering::Relaxed);
         self.reset_budget();
     }
@@ -282,6 +290,8 @@ impl ManagedHeap {
         let cycle = cycle_slot.as_mut().expect("cycle just ensured");
 
         // One short stop-the-world slice.
+        smc_obs::trace::emit(smc_obs::Event::GcPauseBegin { major: cycle.major });
+        let slice_major = cycle.major;
         let t0 = Instant::now();
         let world = self.world.write();
         let mut marker = Marker::new(&arenas, parity);
@@ -296,6 +306,8 @@ impl ManagedHeap {
         cycle.traced += marker.traced;
         cycle.stack = std::mem::take(&mut marker.stack);
         drop(marker);
+        let mut slice_traced = 0;
+        let mut slice_swept = 0;
         if done {
             // Final slice: sweep and finish the cycle.
             let mut swept = 0;
@@ -303,6 +315,8 @@ impl ManagedHeap {
                 swept += arena.sweep(!cycle.major, parity);
             }
             self.pauses.record_cycle(cycle.major, cycle.traced, swept);
+            slice_traced = cycle.traced;
+            slice_swept = swept;
             self.collections_run.fetch_add(1, Ordering::Relaxed);
             *cycle_slot = None;
             self.reset_budget();
@@ -315,7 +329,14 @@ impl ManagedHeap {
             );
         }
         drop(world);
-        self.pauses.record(t0.elapsed());
+        let pause = t0.elapsed();
+        self.pauses.record(pause);
+        smc_obs::trace::emit(smc_obs::Event::GcPauseEnd {
+            major: slice_major,
+            nanos: pause.as_nanos().min(u64::MAX as u128) as u64,
+            traced: slice_traced,
+            swept: slice_swept,
+        });
     }
 }
 

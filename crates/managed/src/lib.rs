@@ -40,6 +40,8 @@
 //! collector; DESIGN.md discusses why this preserves the measured
 //! behaviours (pause scaling, allocation-triggered work, locality wear).
 
+#![warn(missing_docs)]
+
 pub mod arena;
 pub mod collections;
 pub mod heap;

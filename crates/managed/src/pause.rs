@@ -4,16 +4,25 @@
 //! the live heap grows. The collector records every stop-the-world interval
 //! here; benchmarks additionally measure stalls from the mutator side with
 //! a sleeper thread, exactly as the paper does.
+//!
+//! Since the observability PR, the interval distribution lives in an
+//! [`smc_obs::Histogram`] instead of ad-hoc count/total/max atomics: the
+//! exact count, sum, and max the old bookkeeping provided fall out of the
+//! histogram for free, and [`PauseReport`] additionally carries p50/p95/p99
+//! (the numbers Fig 9 actually argues about).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use smc_obs::Histogram;
+
 /// Aggregated collector pause statistics.
+///
+/// The stop-the-world interval distribution is held in a mergeable
+/// [`Histogram`]; cycle/object counters remain plain atomics.
 #[derive(Debug, Default)]
 pub struct PauseStats {
-    count: AtomicU64,
-    total_nanos: AtomicU64,
-    max_nanos: AtomicU64,
+    pauses_ns: Histogram,
     minor_collections: AtomicU64,
     major_collections: AtomicU64,
     objects_traced: AtomicU64,
@@ -28,10 +37,7 @@ impl PauseStats {
 
     /// Records one stop-the-world interval.
     pub fn record(&self, pause: Duration) {
-        let nanos = pause.as_nanos() as u64;
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.total_nanos.fetch_add(nanos, Ordering::Relaxed);
-        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+        self.pauses_ns.record_duration(pause);
     }
 
     /// Records a completed collection cycle.
@@ -45,15 +51,25 @@ impl PauseStats {
         self.objects_swept.fetch_add(swept, Ordering::Relaxed);
     }
 
-    /// Snapshot for reporting.
+    /// The underlying pause-time histogram (nanoseconds), e.g. for merging
+    /// into a benchmark-wide distribution or a
+    /// [`Report`](smc_obs::Report).
+    pub fn histogram(&self) -> &Histogram {
+        &self.pauses_ns
+    }
+
+    /// Snapshot for reporting. Count, total, max, and mean are exact;
+    /// p50/p95/p99 are bucket-resolved (≤ 1/16 relative error).
     pub fn report(&self) -> PauseReport {
-        let count = self.count.load(Ordering::Relaxed);
-        let total = self.total_nanos.load(Ordering::Relaxed);
+        let s = self.pauses_ns.summary();
         PauseReport {
-            pauses: count,
-            total: Duration::from_nanos(total),
-            max: Duration::from_nanos(self.max_nanos.load(Ordering::Relaxed)),
-            mean: Duration::from_nanos(total.checked_div(count).unwrap_or(0)),
+            pauses: s.count,
+            total: Duration::from_nanos(s.sum),
+            max: Duration::from_nanos(s.max),
+            mean: Duration::from_nanos(s.mean),
+            p50: Duration::from_nanos(s.p50),
+            p95: Duration::from_nanos(s.p95),
+            p99: Duration::from_nanos(s.p99),
             minor_collections: self.minor_collections.load(Ordering::Relaxed),
             major_collections: self.major_collections.load(Ordering::Relaxed),
             objects_traced: self.objects_traced.load(Ordering::Relaxed),
@@ -63,9 +79,7 @@ impl PauseStats {
 
     /// Resets every counter (between benchmark phases).
     pub fn reset(&self) {
-        self.count.store(0, Ordering::Relaxed);
-        self.total_nanos.store(0, Ordering::Relaxed);
-        self.max_nanos.store(0, Ordering::Relaxed);
+        self.pauses_ns.reset();
         self.minor_collections.store(0, Ordering::Relaxed);
         self.major_collections.store(0, Ordering::Relaxed);
         self.objects_traced.store(0, Ordering::Relaxed);
@@ -78,12 +92,18 @@ impl PauseStats {
 pub struct PauseReport {
     /// Number of stop-the-world intervals.
     pub pauses: u64,
-    /// Sum of all pause durations.
+    /// Sum of all pause durations (exact).
     pub total: Duration,
-    /// Longest single pause.
+    /// Longest single pause (exact).
     pub max: Duration,
-    /// Mean pause duration.
+    /// Mean pause duration (exact).
     pub mean: Duration,
+    /// Median pause (bucket-resolved).
+    pub p50: Duration,
+    /// 95th-percentile pause (bucket-resolved).
+    pub p95: Duration,
+    /// 99th-percentile pause (bucket-resolved).
+    pub p99: Duration,
     /// Minor (nursery) collections run.
     pub minor_collections: u64,
     /// Major (full-heap) collections run.
@@ -116,6 +136,23 @@ mod tests {
     }
 
     #[test]
+    fn percentiles_come_from_the_histogram() {
+        let s = PauseStats::new();
+        for micros in 1..=100u64 {
+            s.record(Duration::from_micros(micros));
+        }
+        let r = s.report();
+        assert_eq!(r.pauses, 100);
+        // p99 resolves to a bucket whose bounds contain the exact value;
+        // with 6.25% bucket error the bound below is safe.
+        assert!(r.p99 >= Duration::from_micros(93), "p99 = {:?}", r.p99);
+        assert!(r.p99 <= r.max);
+        assert!(r.p50 >= Duration::from_micros(47));
+        assert!(r.p50 <= Duration::from_micros(54));
+        assert_eq!(s.histogram().count(), 100);
+    }
+
+    #[test]
     fn reset_zeroes() {
         let s = PauseStats::new();
         s.record(Duration::from_millis(5));
@@ -123,5 +160,6 @@ mod tests {
         let r = s.report();
         assert_eq!(r.pauses, 0);
         assert_eq!(r.max, Duration::ZERO);
+        assert_eq!(r.p99, Duration::ZERO);
     }
 }

@@ -411,7 +411,7 @@ impl MemoryContext {
     /// Maps an entry payload back to `(block, slot)`.
     ///
     /// # Safety
-    /// `payload` must have been produced by [`payload_of`] on a block that is
+    /// `payload` must have been produced by `payload_of` on a block that is
     /// still allocated (epoch protection guarantees this for checked refs).
     #[inline]
     pub unsafe fn locate(&self, payload: usize) -> (BlockRef, SlotId) {
@@ -695,6 +695,11 @@ impl MemoryContext {
         if candidates.is_empty() {
             return report;
         }
+        let pass_start = std::time::Instant::now();
+        smc_obs::trace::emit(smc_obs::Event::CompactionSelect {
+            context: self.id,
+            candidates: candidates.len() as u64,
+        });
 
         let tid = match self.runtime.epochs.thread_index() {
             Ok(t) => t,
@@ -745,6 +750,7 @@ impl MemoryContext {
             // the relocation epoch, then open the moving phase.
             let ready = self.wait_all_at(e + 2, tid);
             if ready {
+                let pause_start = std::time::Instant::now();
                 self.runtime.set_moving_phase(true);
                 for group in &groups {
                     if !self.move_group(group, &mut report) {
@@ -755,6 +761,14 @@ impl MemoryContext {
                     }
                 }
                 self.runtime.set_moving_phase(false);
+                let pause_ns = pause_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                self.runtime.stats.compaction_pause_ns.record(pause_ns);
+                smc_obs::trace::emit(smc_obs::Event::CompactionRelocate {
+                    context: self.id,
+                    moved: report.moved as u64,
+                    bailed: report.bailed as u64,
+                    nanos: pause_ns,
+                });
             }
         }
 
@@ -785,6 +799,14 @@ impl MemoryContext {
         self.publish_groups(&groups, &mut report);
         MemoryStats::inc(&self.runtime.stats.compactions);
         report.groups = groups.len();
+        smc_obs::trace::emit(smc_obs::Event::CompactionRetire {
+            context: self.id,
+            retired: report.retired_bases.len() as u64,
+        });
+        self.runtime
+            .stats
+            .compaction_pass_ns
+            .record(pass_start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
         report
     }
 

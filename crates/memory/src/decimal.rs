@@ -19,6 +19,20 @@ pub const SCALE: u32 = 4;
 pub const ONE_MANTISSA: i128 = 10_000;
 
 /// Fixed-point decimal: `value = mantissa / 10^4`, stored in 16 bytes.
+///
+/// All arithmetic is exact integer arithmetic on the mantissa, so sums are
+/// associative — which is what lets parallel query plans produce
+/// bit-identical answers to sequential ones.
+///
+/// ```
+/// use smc_memory::Decimal;
+///
+/// let price = Decimal::parse("19.99").unwrap();
+/// let discount = Decimal::parse("0.06").unwrap();
+/// let charged = price * (Decimal::ONE - discount);
+/// assert_eq!(charged, Decimal::parse("18.7906").unwrap());
+/// assert_eq!(charged.to_string(), "18.7906");
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 #[repr(transparent)]
 pub struct Decimal(i128);

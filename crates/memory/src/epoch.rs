@@ -19,7 +19,7 @@
 //!
 //! A thread can read the global epoch `e`, stall, and publish `e` after the
 //! global already moved past `e`. Classic EBR implementations close this
-//! with a publish-recheck loop; we do the same ([`EpochManager::enter`]),
+//! with a publish-recheck loop; we do the same (`EpochManager::enter`),
 //! and additionally every object access re-validates an incarnation number
 //! *after* entering, so even a stale-epoch entry can at worst observe limbo
 //! memory that is still block-resident — never unmapped memory, because
@@ -281,7 +281,10 @@ impl EpochManager {
             .global
             .compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::SeqCst)
         {
-            Ok(_) => Some(e + 1),
+            Ok(_) => {
+                smc_obs::trace::emit(smc_obs::Event::EpochAdvance { epoch: e + 1 });
+                Some(e + 1)
+            }
             Err(_) => None,
         }
     }

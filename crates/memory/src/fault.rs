@@ -30,8 +30,7 @@ pub const NUM_SITES: usize = 4;
 /// The failpoints wired into the memory manager.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultSite {
-    /// OS-level block allocation ([`Runtime::allocate_block`]
-    /// (crate::runtime::Runtime::allocate_block)). Injection simulates a hard
+    /// OS-level block allocation ([`Runtime::allocate_block`](crate::runtime::Runtime::allocate_block)). Injection simulates a hard
     /// allocation failure: the call returns
     /// [`MemError::OutOfMemory`](crate::error::MemError::OutOfMemory)
     /// without touching the recovery ladder.
@@ -215,6 +214,9 @@ impl FaultInjector {
         }
         self.injected[i].fetch_add(1, Ordering::Relaxed);
         MemoryStats::inc(&self.stats.faults_injected);
+        smc_obs::trace::emit(smc_obs::Event::FailpointTrip {
+            site: smc_obs::Label::new(site.name()),
+        });
         true
     }
 

@@ -15,6 +15,16 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 
 /// A UTF-8 string stored inline in at most `N` bytes plus a 2-byte length.
+///
+/// ```
+/// use smc_memory::InlineStr;
+///
+/// let name: InlineStr<16> = "Adam".into();
+/// assert_eq!(name.as_str(), "Adam");
+/// // Oversized input truncates at the last UTF-8 boundary that fits.
+/// let clipped = InlineStr::<3>::new("héllo");
+/// assert_eq!(clipped.as_str(), "hé");
+/// ```
 #[derive(Clone, Copy)]
 pub struct InlineStr<const N: usize> {
     len: u16,

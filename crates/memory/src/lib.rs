@@ -36,8 +36,23 @@
 //! an instance of the same type, and that instance is either the one assigned
 //! to the reference or, once the instance was removed from its collection,
 //! *null* (rendered as `None` in Rust). Dereferencing requires an epoch
-//! [`Guard`](epoch::Guard); the incarnation check at dereference time is the
+//! [`Guard`]; the incarnation check at dereference time is the
 //! point at which the guarantee is anchored (§3.4).
+//!
+//! ## Example: a runtime and an epoch critical section
+//!
+//! ```
+//! use smc_memory::Runtime;
+//!
+//! let rt = Runtime::new();
+//! let before = rt.global_epoch();
+//! {
+//!     let guard = rt.pin(); // enter a critical section (§3.4)
+//!     assert!(guard.epoch() >= before);
+//! } // leaving the section lets the global epoch advance past it
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod block;
 pub mod context;

@@ -207,6 +207,10 @@ pub unsafe fn try_move_object(src_block: BlockRef, reloc: &RelocEntry) -> MoveOu
                 .fetch_sub(1, Ordering::Relaxed);
             reloc.set_status(RelocStatus::Succeeded);
             entry_inc.unlock_with_flags(0);
+            smc_obs::trace::emit(smc_obs::Event::ObjectRelocated {
+                src_slot: reloc.src_slot as u64,
+                dest_slot: reloc.dest_slot as u64,
+            });
             MoveOutcome::MovedByUs
         }
     }
@@ -248,6 +252,9 @@ pub unsafe fn bail_out_relocation(src_block: BlockRef, reloc: &RelocEntry) -> Mo
                 slot_inc.store(cur & !FLAG_FROZEN, Ordering::Release);
             }
             entry_inc.unlock_with_flags(0);
+            smc_obs::trace::emit(smc_obs::Event::RelocationBailed {
+                src_slot: reloc.src_slot as u64,
+            });
             MoveOutcome::BailedOut
         }
     }

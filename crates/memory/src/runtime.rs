@@ -179,15 +179,23 @@ impl Runtime {
     /// One rung of the budget-exhaustion recovery ladder.
     fn recover_memory(&self, attempt: u32) {
         // (1) Free whatever is already epoch-ready.
-        self.drain_graveyard();
+        let mut freed = self.drain_graveyard();
         self.indirection.drain_deferred(self.global_epoch());
         // (2) Ripen limbo memory: graveyard blocks and deferred entries wait
         // for epochs, so force one advance unless a compaction reserved it.
-        if self.next_relocation_epoch() == 0 && self.epochs.try_advance().is_some() {
+        let advanced = self.next_relocation_epoch() == 0 && self.epochs.try_advance().is_some();
+        if advanced {
             MemoryStats::inc(&self.stats.emergency_epoch_advances);
             MemoryStats::inc(&self.stats.epoch_advances);
         }
-        if self.drain_graveyard() > 0 {
+        let ripened = self.drain_graveyard();
+        freed += ripened;
+        smc_obs::trace::emit(smc_obs::Event::RecoveryStep {
+            attempt: attempt as u64,
+            freed_blocks: freed as u64,
+            advanced,
+        });
+        if ripened > 0 {
             return;
         }
         // (3) Capped backoff: concurrent removals/compactions may free blocks.

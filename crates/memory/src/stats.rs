@@ -7,6 +7,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use smc_obs::Histogram;
+
 /// Counters shared by one [`Runtime`](crate::runtime::Runtime).
 ///
 /// All counters are monotonic except the `*_live` gauges. Relaxed ordering is
@@ -60,6 +62,13 @@ pub struct MemoryStats {
     /// Morsels (blocks or compaction groups) claimed from a parallel scan's
     /// work-stealing cursor.
     pub morsels_dispatched: AtomicU64,
+    /// Wall time of whole compaction passes, in nanoseconds (select through
+    /// publish). Report via [`Histogram::summary`] (p50/p95/p99).
+    pub compaction_pass_ns: Histogram,
+    /// Wall time of compaction *moving phases* only, in nanoseconds — the
+    /// window during which readers may hit relocated slots and must follow
+    /// forwarding state (§5.1). This is the SMC analogue of a GC pause.
+    pub compaction_pause_ns: Histogram,
 }
 
 impl MemoryStats {
@@ -124,29 +133,51 @@ impl MemoryStats {
     }
 }
 
-/// Plain-value copy of [`MemoryStats`].
+/// Plain-value copy of [`MemoryStats`] (scalar counters only; the pause
+/// histograms are read directly off the live struct).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
+    /// Blocks currently allocated from the OS (gauge).
     pub blocks_live: u64,
+    /// Blocks ever allocated from the OS.
     pub blocks_allocated: u64,
+    /// Blocks returned to the OS.
     pub blocks_freed: u64,
+    /// Objects ever allocated.
     pub objects_allocated: u64,
+    /// Objects ever freed (entered limbo).
     pub objects_freed: u64,
+    /// Limbo slots reclaimed for new allocations.
     pub slots_reclaimed: u64,
+    /// Slot-directory entries scanned by the allocator (cost proxy, Fig 6).
     pub alloc_scan_steps: u64,
+    /// Global epoch advances.
     pub epoch_advances: u64,
+    /// Objects relocated by compaction.
     pub objects_relocated: u64,
+    /// Relocations that readers bailed out of (§5.1 case b).
     pub relocations_bailed: u64,
+    /// Relocations completed by helping readers (§5.1 case c).
     pub relocations_helped: u64,
+    /// Compaction passes completed.
     pub compactions: u64,
+    /// Direct pointers rewritten by post-compaction fix-up scans (§6).
     pub direct_pointers_fixed: u64,
+    /// Budget-exhausted allocations rescued by the recovery ladder.
     pub oom_recoveries: u64,
+    /// Epoch advances forced by the allocation recovery ladder.
     pub emergency_epoch_advances: u64,
+    /// Individual allocation retries taken under memory pressure.
     pub alloc_retries: u64,
+    /// Failures injected by the fault registry ([`crate::fault`]).
     pub faults_injected: u64,
+    /// Compaction passes aborted mid-relocation.
     pub compactions_interrupted: u64,
+    /// Epoch guards taken by readers.
     pub pins_taken: u64,
+    /// Blocks enumerated by parallel scan workers.
     pub blocks_scanned: u64,
+    /// Morsels claimed from a parallel scan's work-stealing cursor.
     pub morsels_dispatched: u64,
 }
 

@@ -1,0 +1,412 @@
+//! Machine-readable benchmark reports (`BENCH_fig<N>.json`).
+//!
+//! Every `crates/bench/src/bin/fig*` binary routes its results through a
+//! [`Report`]: the human-readable CSV keeps printing to stdout, while the
+//! same rows — plus histogram summaries, counters, and pass/fail checks —
+//! are serialized to `BENCH_fig<N>.json` so EXPERIMENTS.md tables are
+//! regenerable and diffable across PRs. The schema is documented in the
+//! EXPERIMENTS.md preamble.
+//!
+//! The emitter is dependency-free: [`JsonValue`] is a minimal JSON document
+//! model with a canonical serializer (sorted object keys are the caller's
+//! responsibility; insertion order is preserved).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use crate::hist::Histogram;
+
+/// A minimal JSON document model (no external deps).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any finite number. Non-finite values serialize as `null`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Serializes the value as compact JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s);
+        s
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => write_json_string(s, out),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> JsonValue {
+        JsonValue::Bool(v)
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> JsonValue {
+        JsonValue::Num(v)
+    }
+}
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> JsonValue {
+        JsonValue::Num(v as f64)
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> JsonValue {
+        JsonValue::Num(v as f64)
+    }
+}
+impl From<i64> for JsonValue {
+    fn from(v: i64) -> JsonValue {
+        JsonValue::Num(v as f64)
+    }
+}
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> JsonValue {
+        JsonValue::Str(v.to_string())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(v: String) -> JsonValue {
+        JsonValue::Str(v)
+    }
+}
+
+/// One named data series (mirrors one CSV table the binary prints).
+#[derive(Debug, Clone)]
+pub struct Series {
+    name: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<JsonValue>>,
+}
+
+/// A pass/fail parity or sanity check recorded by a bench binary.
+#[derive(Debug, Clone)]
+pub struct Check {
+    name: String,
+    passed: bool,
+    detail: String,
+}
+
+/// The accumulating report behind one `BENCH_fig<N>.json` file.
+///
+/// ```
+/// use smc_obs::report::Report;
+///
+/// let mut report = Report::new("fig99", "doctest example");
+/// report.param("threads", 4u64);
+/// let s = report.series("throughput", &["threads", "mrows_per_s"]);
+/// report.push_row(s, vec![1u64.into(), 95.5f64.into()]);
+/// report.check("parity", true, "seq == par");
+/// let json = report.to_json();
+/// assert!(json.contains("\"figure\":\"fig99\""));
+/// assert!(report.all_checks_passed());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Report {
+    figure: String,
+    title: String,
+    params: Vec<(String, JsonValue)>,
+    series: Vec<Series>,
+    histograms: Vec<(String, JsonValue)>,
+    counters: Vec<(String, u64)>,
+    checks: Vec<Check>,
+}
+
+/// Index of a series within a [`Report`] (returned by [`Report::series`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeriesId(usize);
+
+impl Report {
+    /// Starts an empty report for `figure` (e.g. `"fig14"`).
+    pub fn new(figure: impl Into<String>, title: impl Into<String>) -> Report {
+        Report {
+            figure: figure.into(),
+            title: title.into(),
+            params: Vec::new(),
+            series: Vec::new(),
+            histograms: Vec::new(),
+            counters: Vec::new(),
+            checks: Vec::new(),
+        }
+    }
+
+    /// Records one run parameter (scale factor, thread count, seed, …).
+    pub fn param(&mut self, name: impl Into<String>, value: impl Into<JsonValue>) {
+        self.params.push((name.into(), value.into()));
+    }
+
+    /// Opens a named series with the given column names; rows are appended
+    /// with [`push_row`](Report::push_row).
+    pub fn series(&mut self, name: impl Into<String>, columns: &[&str]) -> SeriesId {
+        self.series.push(Series {
+            name: name.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        });
+        SeriesId(self.series.len() - 1)
+    }
+
+    /// Appends one row to a series. Panics if the arity mismatches the
+    /// series' columns (a bench-binary programming error).
+    pub fn push_row(&mut self, id: SeriesId, row: Vec<JsonValue>) {
+        let s = &mut self.series[id.0];
+        assert_eq!(
+            row.len(),
+            s.columns.len(),
+            "row arity mismatch in series {:?}",
+            s.name
+        );
+        s.rows.push(row);
+    }
+
+    /// Records a [`Histogram`]'s full summary (count/min/max/mean and
+    /// p50/p95/p99, all in nanoseconds) under `name`.
+    pub fn histogram(&mut self, name: impl Into<String>, hist: &Histogram) {
+        let s = hist.summary();
+        self.histograms.push((
+            name.into(),
+            JsonValue::Obj(vec![
+                ("count".into(), s.count.into()),
+                ("sum_ns".into(), s.sum.into()),
+                ("min_ns".into(), s.min.into()),
+                ("max_ns".into(), s.max.into()),
+                ("mean_ns".into(), s.mean.into()),
+                ("p50_ns".into(), s.p50.into()),
+                ("p95_ns".into(), s.p95.into()),
+                ("p99_ns".into(), s.p99.into()),
+            ]),
+        ));
+    }
+
+    /// Records a named scalar counter (e.g. a `MemoryStats` field).
+    pub fn counter(&mut self, name: impl Into<String>, value: u64) {
+        self.counters.push((name.into(), value));
+    }
+
+    /// Records a pass/fail check. Failed checks make
+    /// [`all_checks_passed`](Report::all_checks_passed) false; bench
+    /// binaries exit non-zero in that case *after* writing the report.
+    pub fn check(&mut self, name: impl Into<String>, passed: bool, detail: impl Into<String>) {
+        self.checks.push(Check {
+            name: name.into(),
+            passed,
+            detail: detail.into(),
+        });
+    }
+
+    /// True when no recorded check failed.
+    pub fn all_checks_passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// Names and details of failed checks (for the human-readable summary).
+    pub fn failed_checks(&self) -> Vec<(String, String)> {
+        self.checks
+            .iter()
+            .filter(|c| !c.passed)
+            .map(|c| (c.name.clone(), c.detail.clone()))
+            .collect()
+    }
+
+    /// Serializes the report to its JSON document (schema in
+    /// EXPERIMENTS.md).
+    pub fn to_json(&self) -> String {
+        let series = self
+            .series
+            .iter()
+            .map(|s| {
+                JsonValue::Obj(vec![
+                    ("name".into(), s.name.as_str().into()),
+                    (
+                        "columns".into(),
+                        JsonValue::Arr(s.columns.iter().map(|c| c.as_str().into()).collect()),
+                    ),
+                    (
+                        "rows".into(),
+                        JsonValue::Arr(s.rows.iter().map(|r| JsonValue::Arr(r.clone())).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        let checks = self
+            .checks
+            .iter()
+            .map(|c| {
+                JsonValue::Obj(vec![
+                    ("name".into(), c.name.as_str().into()),
+                    ("passed".into(), c.passed.into()),
+                    ("detail".into(), c.detail.as_str().into()),
+                ])
+            })
+            .collect();
+        let doc = JsonValue::Obj(vec![
+            ("schema".into(), "smc-bench-report/v1".into()),
+            ("figure".into(), self.figure.as_str().into()),
+            ("title".into(), self.title.as_str().into()),
+            ("params".into(), JsonValue::Obj(self.params.clone())),
+            ("series".into(), JsonValue::Arr(series)),
+            ("histograms".into(), JsonValue::Obj(self.histograms.clone())),
+            (
+                "counters".into(),
+                JsonValue::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), (*v).into()))
+                        .collect(),
+                ),
+            ),
+            ("checks".into(), JsonValue::Arr(checks)),
+            ("all_checks_passed".into(), self.all_checks_passed().into()),
+        ]);
+        doc.to_json()
+    }
+
+    /// The output path: `$SMC_BENCH_DIR/BENCH_<figure>.json`, or the
+    /// current directory when the variable is unset.
+    pub fn path(&self) -> PathBuf {
+        let dir = std::env::var_os("SMC_BENCH_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."));
+        dir.join(format!("BENCH_{}.json", self.figure))
+    }
+
+    /// Writes the JSON document to [`path`](Report::path), returning the
+    /// path written.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let path = self.path();
+        std::fs::write(&path, self.to_json() + "\n")?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_and_primitives() {
+        assert_eq!(JsonValue::Null.to_json(), "null");
+        assert_eq!(JsonValue::Bool(true).to_json(), "true");
+        assert_eq!(JsonValue::Num(1.5).to_json(), "1.5");
+        assert_eq!(JsonValue::Num(f64::NAN).to_json(), "null");
+        assert_eq!(JsonValue::Num(f64::INFINITY).to_json(), "null");
+        assert_eq!(
+            JsonValue::Str("a\"b\\c\nd\u{1}".into()).to_json(),
+            "\"a\\\"b\\\\c\\nd\\u0001\""
+        );
+        assert_eq!(
+            JsonValue::Arr(vec![1u64.into(), "x".into()]).to_json(),
+            r#"[1,"x"]"#
+        );
+    }
+
+    #[test]
+    fn report_document_shape() {
+        let mut r = Report::new("fig00", "test figure");
+        r.param("sf", 0.01f64);
+        let s = r.series("main", &["n", "ms"]);
+        r.push_row(s, vec![10u64.into(), 1.25f64.into()]);
+        r.push_row(s, vec![20u64.into(), 2.5f64.into()]);
+        let hist = Histogram::new();
+        hist.record(1000);
+        hist.record(2000);
+        r.histogram("gc_pause_ns", &hist);
+        r.counter("blocks_scanned", 42);
+        r.check("parity", true, "ok");
+        let json = r.to_json();
+        assert!(json.starts_with(r#"{"schema":"smc-bench-report/v1""#));
+        assert!(json.contains(r#""figure":"fig00""#));
+        assert!(json.contains(r#""columns":["n","ms"]"#));
+        assert!(json.contains(r#""rows":[[10,1.25],[20,2.5]]"#));
+        assert!(json.contains(r#""gc_pause_ns":{"count":2"#));
+        assert!(json.contains(r#""blocks_scanned":42"#));
+        assert!(json.contains(r#""all_checks_passed":true"#));
+    }
+
+    #[test]
+    fn failed_checks_flip_the_flag() {
+        let mut r = Report::new("fig00", "t");
+        r.check("a", true, "fine");
+        r.check("b", false, "seq=3 par=4");
+        assert!(!r.all_checks_passed());
+        assert_eq!(r.failed_checks(), vec![("b".into(), "seq=3 par=4".into())]);
+        assert!(r.to_json().contains(r#""all_checks_passed":false"#));
+    }
+
+    #[test]
+    fn path_honours_bench_dir_layout() {
+        let r = Report::new("fig14", "t");
+        let p = r.path();
+        assert!(p.ends_with("BENCH_fig14.json"), "{p:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut r = Report::new("fig00", "t");
+        let s = r.series("main", &["a", "b"]);
+        r.push_row(s, vec![1u64.into()]);
+    }
+}

@@ -1,0 +1,812 @@
+//! Lock-free, thread-local structured event tracing.
+//!
+//! Every subsystem of the workspace emits typed [`Event`]s through
+//! [`emit`]: GC pauses, epoch advances, the compaction-group lifecycle
+//! (select → relocate → retire), budget recovery-ladder rungs, failpoint
+//! trips, and morsel dispatch. Tracing is **disabled by default** and the
+//! disabled path is a single relaxed load and a predictable branch — no
+//! allocation, no time-stamping, no TLS access — so instrumented hot paths
+//! stay unperturbed (`tests/overhead.rs` asserts ≤ 2 ns/op in release).
+//!
+//! When [enabled](enable), each thread writes into its own fixed-size ring
+//! buffer of [`RING_CAPACITY`] slots (registered globally on first use, so
+//! [`snapshot`] can observe every thread). Writes are wait-free for the
+//! owning thread; a concurrent [`snapshot`] validates each slot with a
+//! seqlock-style tag and simply skips slots that are mid-write. When a ring
+//! wraps, the oldest events are overwritten and counted in [`dropped`] —
+//! tracing never blocks or grows memory.
+//!
+//! Events are POD ([`Copy`], no heap): textual payloads travel as fixed
+//! 15-byte [`Label`]s. Each emitted event carries a global sequence number
+//! (total order across threads) and nanoseconds since the first
+//! [`enable`]/emission.
+//!
+//! ```
+//! use smc_obs::trace::{self, Event};
+//!
+//! trace::enable();
+//! trace::emit(Event::EpochAdvance { epoch: 7 });
+//! let events = trace::snapshot();
+//! assert!(events
+//!     .iter()
+//!     .any(|t| matches!(t.event, Event::EpochAdvance { epoch: 7 })));
+//! trace::disable();
+//! ```
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::hist::Histogram;
+
+/// Events each per-thread ring can hold before overwriting the oldest.
+pub const RING_CAPACITY: usize = 1024;
+
+/// A fixed-size, copyable string for event payloads (site names, query
+/// labels). Longer strings are truncated at a UTF-8 boundary.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Label {
+    len: u8,
+    bytes: [u8; 15],
+}
+
+impl Label {
+    /// The empty label.
+    pub const EMPTY: Label = Label {
+        len: 0,
+        bytes: [0; 15],
+    };
+
+    /// Builds a label from up to 15 bytes of `s` (truncating at a character
+    /// boundary).
+    pub fn new(s: &str) -> Label {
+        let mut n = s.len().min(15);
+        while !s.is_char_boundary(n) {
+            n -= 1;
+        }
+        let mut bytes = [0u8; 15];
+        bytes[..n].copy_from_slice(&s.as_bytes()[..n]);
+        Label {
+            len: n as u8,
+            bytes,
+        }
+    }
+
+    /// The label's text.
+    pub fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.bytes[..self.len as usize]).unwrap_or("")
+    }
+
+    /// Packs the label into two words for ring storage.
+    fn pack(&self) -> (u64, u64) {
+        let mut raw = [0u8; 16];
+        raw[0] = self.len;
+        raw[1..16].copy_from_slice(&self.bytes);
+        (
+            u64::from_le_bytes(raw[0..8].try_into().unwrap()),
+            u64::from_le_bytes(raw[8..16].try_into().unwrap()),
+        )
+    }
+
+    fn unpack(a: u64, b: u64) -> Label {
+        let mut raw = [0u8; 16];
+        raw[0..8].copy_from_slice(&a.to_le_bytes());
+        raw[8..16].copy_from_slice(&b.to_le_bytes());
+        let mut bytes = [0u8; 15];
+        bytes.copy_from_slice(&raw[1..16]);
+        Label {
+            len: raw[0].min(15),
+            bytes,
+        }
+    }
+}
+
+impl From<&str> for Label {
+    fn from(s: &str) -> Label {
+        Label::new(s)
+    }
+}
+
+impl std::fmt::Display for Label {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::fmt::Debug for Label {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+/// The typed event taxonomy (DESIGN.md §10). All variants are POD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A stop-the-world GC pause is starting (`managed-heap` collector).
+    GcPauseBegin {
+        /// True for a major (full-heap) cycle.
+        major: bool,
+    },
+    /// A stop-the-world GC pause ended.
+    GcPauseEnd {
+        /// True for a major (full-heap) cycle.
+        major: bool,
+        /// Pause duration in nanoseconds.
+        nanos: u64,
+        /// Objects traced during the pause.
+        traced: u64,
+        /// Objects swept (0 for non-final incremental slices).
+        swept: u64,
+    },
+    /// The global epoch advanced (§3.4).
+    EpochAdvance {
+        /// The new global epoch.
+        epoch: u64,
+    },
+    /// A compaction pass selected its source candidates (§5.2 select).
+    CompactionSelect {
+        /// Memory-context id running the pass.
+        context: u64,
+        /// Low-occupancy blocks chosen as relocation sources.
+        candidates: u64,
+    },
+    /// A compaction pass finished its moving phase (§5.1 relocate).
+    CompactionRelocate {
+        /// Memory-context id running the pass.
+        context: u64,
+        /// Objects moved to destination blocks.
+        moved: u64,
+        /// Relocations bailed out by readers (§5.1 case b).
+        bailed: u64,
+        /// Moving-phase duration in nanoseconds.
+        nanos: u64,
+    },
+    /// A compaction pass retired its emptied source blocks (§5.2 retire).
+    CompactionRetire {
+        /// Memory-context id running the pass.
+        context: u64,
+        /// Fully-emptied source blocks retired to the graveyard path.
+        retired: u64,
+    },
+    /// One object was relocated (by the compaction thread or a helping
+    /// reader, §5.1 case c).
+    ObjectRelocated {
+        /// Source slot within the source block.
+        src_slot: u64,
+        /// Destination slot within the group's destination block.
+        dest_slot: u64,
+    },
+    /// A reader bailed a scheduled relocation out (§5.1 case b).
+    RelocationBailed {
+        /// Source slot whose move was cancelled.
+        src_slot: u64,
+    },
+    /// One rung of the allocation recovery ladder ran under memory pressure.
+    RecoveryStep {
+        /// Retry attempt number (1-based).
+        attempt: u64,
+        /// Graveyard blocks freed by this rung.
+        freed_blocks: u64,
+        /// Whether the rung forced an emergency epoch advance.
+        advanced: bool,
+    },
+    /// A seeded failpoint fired ([`FaultInjector`](../../smc_memory/fault)).
+    FailpointTrip {
+        /// Site name (e.g. `block-alloc`, `relocation`).
+        site: Label,
+    },
+    /// A parallel-scan worker claimed a morsel.
+    MorselDispatch {
+        /// Worker index within its pool.
+        worker: u64,
+        /// Morsel index within the scan's snapshot.
+        morsel: u64,
+    },
+    /// A worker pool finished broadcasting one job to all workers.
+    PoolBroadcast {
+        /// Worker count.
+        threads: u64,
+        /// Wall time of the broadcast in nanoseconds.
+        nanos: u64,
+    },
+    /// A traced span (e.g. one TPC-H query execution) completed.
+    QuerySpan {
+        /// Span label (e.g. `smc.q1`).
+        label: Label,
+        /// Span duration in nanoseconds.
+        nanos: u64,
+    },
+}
+
+const K_GC_BEGIN: u64 = 1;
+const K_GC_END: u64 = 2;
+const K_EPOCH: u64 = 3;
+const K_SELECT: u64 = 4;
+const K_RELOCATE: u64 = 5;
+const K_RETIRE: u64 = 6;
+const K_OBJ_MOVED: u64 = 7;
+const K_OBJ_BAILED: u64 = 8;
+const K_RECOVERY: u64 = 9;
+const K_FAILPOINT: u64 = 10;
+const K_MORSEL: u64 = 11;
+const K_BROADCAST: u64 = 12;
+const K_SPAN: u64 = 13;
+
+impl Event {
+    /// Short kind name, stable for log processing.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::GcPauseBegin { .. } => "gc-pause-begin",
+            Event::GcPauseEnd { .. } => "gc-pause-end",
+            Event::EpochAdvance { .. } => "epoch-advance",
+            Event::CompactionSelect { .. } => "compaction-select",
+            Event::CompactionRelocate { .. } => "compaction-relocate",
+            Event::CompactionRetire { .. } => "compaction-retire",
+            Event::ObjectRelocated { .. } => "object-relocated",
+            Event::RelocationBailed { .. } => "relocation-bailed",
+            Event::RecoveryStep { .. } => "recovery-step",
+            Event::FailpointTrip { .. } => "failpoint-trip",
+            Event::MorselDispatch { .. } => "morsel-dispatch",
+            Event::PoolBroadcast { .. } => "pool-broadcast",
+            Event::QuerySpan { .. } => "query-span",
+        }
+    }
+
+    fn encode(&self) -> (u64, [u64; 4]) {
+        match *self {
+            Event::GcPauseBegin { major } => (K_GC_BEGIN, [major as u64, 0, 0, 0]),
+            Event::GcPauseEnd {
+                major,
+                nanos,
+                traced,
+                swept,
+            } => (K_GC_END, [major as u64, nanos, traced, swept]),
+            Event::EpochAdvance { epoch } => (K_EPOCH, [epoch, 0, 0, 0]),
+            Event::CompactionSelect {
+                context,
+                candidates,
+            } => (K_SELECT, [context, candidates, 0, 0]),
+            Event::CompactionRelocate {
+                context,
+                moved,
+                bailed,
+                nanos,
+            } => (K_RELOCATE, [context, moved, bailed, nanos]),
+            Event::CompactionRetire { context, retired } => (K_RETIRE, [context, retired, 0, 0]),
+            Event::ObjectRelocated {
+                src_slot,
+                dest_slot,
+            } => (K_OBJ_MOVED, [src_slot, dest_slot, 0, 0]),
+            Event::RelocationBailed { src_slot } => (K_OBJ_BAILED, [src_slot, 0, 0, 0]),
+            Event::RecoveryStep {
+                attempt,
+                freed_blocks,
+                advanced,
+            } => (K_RECOVERY, [attempt, freed_blocks, advanced as u64, 0]),
+            Event::FailpointTrip { site } => {
+                let (a, b) = site.pack();
+                (K_FAILPOINT, [a, b, 0, 0])
+            }
+            Event::MorselDispatch { worker, morsel } => (K_MORSEL, [worker, morsel, 0, 0]),
+            Event::PoolBroadcast { threads, nanos } => (K_BROADCAST, [threads, nanos, 0, 0]),
+            Event::QuerySpan { label, nanos } => {
+                let (a, b) = label.pack();
+                (K_SPAN, [a, b, nanos, 0])
+            }
+        }
+    }
+
+    /// Defensive inverse of `encode`: a torn or unknown record decodes to
+    /// `None` and is skipped by [`snapshot`].
+    fn decode(kind: u64, p: [u64; 4]) -> Option<Event> {
+        Some(match kind {
+            K_GC_BEGIN => Event::GcPauseBegin { major: p[0] != 0 },
+            K_GC_END => Event::GcPauseEnd {
+                major: p[0] != 0,
+                nanos: p[1],
+                traced: p[2],
+                swept: p[3],
+            },
+            K_EPOCH => Event::EpochAdvance { epoch: p[0] },
+            K_SELECT => Event::CompactionSelect {
+                context: p[0],
+                candidates: p[1],
+            },
+            K_RELOCATE => Event::CompactionRelocate {
+                context: p[0],
+                moved: p[1],
+                bailed: p[2],
+                nanos: p[3],
+            },
+            K_RETIRE => Event::CompactionRetire {
+                context: p[0],
+                retired: p[1],
+            },
+            K_OBJ_MOVED => Event::ObjectRelocated {
+                src_slot: p[0],
+                dest_slot: p[1],
+            },
+            K_OBJ_BAILED => Event::RelocationBailed { src_slot: p[0] },
+            K_RECOVERY => Event::RecoveryStep {
+                attempt: p[0],
+                freed_blocks: p[1],
+                advanced: p[2] != 0,
+            },
+            K_FAILPOINT => Event::FailpointTrip {
+                site: Label::unpack(p[0], p[1]),
+            },
+            K_MORSEL => Event::MorselDispatch {
+                worker: p[0],
+                morsel: p[1],
+            },
+            K_BROADCAST => Event::PoolBroadcast {
+                threads: p[0],
+                nanos: p[1],
+            },
+            K_SPAN => Event::QuerySpan {
+                label: Label::unpack(p[0], p[1]),
+                nanos: p[2],
+            },
+            _ => return None,
+        })
+    }
+}
+
+/// One event as observed by [`snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TracedEvent {
+    /// Global sequence number: a total order across all threads.
+    pub seq: u64,
+    /// Emitting thread's tracer id (dense, per-process).
+    pub thread: u64,
+    /// Nanoseconds since the tracer's time origin (first enable/emission).
+    pub nanos: u64,
+    /// The event payload.
+    pub event: Event,
+}
+
+// Ring slot: a seqlock-tagged record of 6 atomic words. `tag == 0` means
+// empty or mid-write; `tag == logical_position + 1` means the words hold the
+// complete record for that position. All accesses are atomic (no UB); a
+// reader validating the tag before and after its word reads either sees a
+// consistent record or skips the slot.
+struct Slot {
+    tag: AtomicU64,
+    words: [AtomicU64; 6], // kind, seq, nanos, p0..p3 packed as [kind|…]
+    extra: [AtomicU64; 1],
+}
+
+impl Slot {
+    const fn new() -> Slot {
+        Slot {
+            tag: AtomicU64::new(0),
+            words: [const { AtomicU64::new(0) }; 6],
+            extra: [const { AtomicU64::new(0) }; 1],
+        }
+    }
+}
+
+struct Ring {
+    thread: u64,
+    /// Next logical write position (monotonic; wraps modulo capacity).
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+    /// Owning-thread flag so `clear` can tell live rings from dead ones.
+    _private: UnsafeCell<()>,
+}
+
+// SAFETY: all shared state is atomic; the UnsafeCell is a never-accessed
+// marker making the type !RefUnwindSafe-irrelevant. Slots follow the
+// seqlock protocol documented on `Slot`.
+unsafe impl Sync for Ring {}
+unsafe impl Send for Ring {}
+
+impl Ring {
+    fn new(thread: u64) -> Ring {
+        Ring {
+            thread,
+            head: AtomicU64::new(0),
+            slots: (0..RING_CAPACITY).map(|_| Slot::new()).collect(),
+            _private: UnsafeCell::new(()),
+        }
+    }
+
+    /// Single-writer append (owning thread only).
+    fn push(&self, seq: u64, nanos: u64, event: Event) {
+        let pos = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(pos as usize) % RING_CAPACITY];
+        let (kind, p) = event.encode();
+        // Invalidate, publish the invalidation before any new word, write
+        // the record, then publish the new tag after every word.
+        slot.tag.store(0, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        slot.words[0].store(kind, Ordering::Relaxed);
+        slot.words[1].store(seq, Ordering::Relaxed);
+        slot.words[2].store(nanos, Ordering::Relaxed);
+        slot.words[3].store(p[0], Ordering::Relaxed);
+        slot.words[4].store(p[1], Ordering::Relaxed);
+        slot.words[5].store(p[2], Ordering::Relaxed);
+        slot.extra[0].store(p[3], Ordering::Relaxed);
+        slot.tag.store(pos + 1, Ordering::Release);
+        self.head.store(pos + 1, Ordering::Release);
+    }
+
+    /// Seqlock read of every currently-consistent slot.
+    fn read_all(&self, out: &mut Vec<TracedEvent>) {
+        for slot in self.slots.iter() {
+            let t1 = slot.tag.load(Ordering::Acquire);
+            if t1 == 0 {
+                continue;
+            }
+            let kind = slot.words[0].load(Ordering::Relaxed);
+            let seq = slot.words[1].load(Ordering::Relaxed);
+            let nanos = slot.words[2].load(Ordering::Relaxed);
+            let p = [
+                slot.words[3].load(Ordering::Relaxed),
+                slot.words[4].load(Ordering::Relaxed),
+                slot.words[5].load(Ordering::Relaxed),
+                slot.extra[0].load(Ordering::Relaxed),
+            ];
+            fence(Ordering::SeqCst);
+            if slot.tag.load(Ordering::Relaxed) != t1 {
+                continue; // overwritten mid-read
+            }
+            if let Some(event) = Event::decode(kind, p) {
+                out.push(TracedEvent {
+                    seq,
+                    thread: self.thread,
+                    nanos,
+                    event,
+                });
+            }
+        }
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SEQ: AtomicU64 = AtomicU64::new(0);
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+
+fn registry() -> &'static Mutex<Vec<Arc<Ring>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<Ring>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn origin() -> Instant {
+    static ORIGIN: OnceLock<Instant> = OnceLock::new();
+    *ORIGIN.get_or_init(Instant::now)
+}
+
+thread_local! {
+    static LOCAL: Arc<Ring> = {
+        let ring = Arc::new(Ring::new(NEXT_THREAD.fetch_add(1, Ordering::Relaxed)));
+        registry().lock().unwrap_or_else(|e| e.into_inner()).push(ring.clone());
+        ring
+    };
+}
+
+/// Turns tracing on. Emissions before this call were dropped at zero cost.
+pub fn enable() {
+    origin(); // pin the time origin no later than the first enablement
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns tracing off; [`emit`] reverts to the ≤ 2 ns no-op path.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// True while tracing is on.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Emits one event. When tracing is disabled this is one relaxed load and a
+/// branch — no allocation, no clock read, no TLS access.
+#[inline]
+pub fn emit(event: Event) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    emit_enabled(event);
+}
+
+#[cold]
+fn emit_enabled(event: Event) {
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let nanos = origin().elapsed().as_nanos() as u64;
+    // `try_with`: emissions during TLS teardown are silently dropped.
+    let _ = LOCAL.try_with(|ring| ring.push(seq, nanos, event));
+}
+
+/// Collects every currently-readable event from every thread's ring,
+/// sorted by global sequence number. Non-destructive; slots being
+/// overwritten concurrently are skipped.
+pub fn snapshot() -> Vec<TracedEvent> {
+    let rings: Vec<Arc<Ring>> = registry().lock().unwrap_or_else(|e| e.into_inner()).clone();
+    let mut out = Vec::new();
+    for ring in rings {
+        ring.read_all(&mut out);
+    }
+    out.sort_by_key(|t| t.seq);
+    out
+}
+
+/// Events overwritten by ring wraparound since process start (an emission
+/// beyond each ring's capacity overwrites that ring's oldest slot).
+pub fn dropped() -> u64 {
+    registry()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|r| {
+            r.head
+                .load(Ordering::Relaxed)
+                .saturating_sub(RING_CAPACITY as u64)
+        })
+        .sum()
+}
+
+/// Empties every ring. Intended for quiescent points (between benchmark
+/// phases); events being written concurrently may survive the clear.
+pub fn clear() {
+    for ring in registry().lock().unwrap_or_else(|e| e.into_inner()).iter() {
+        for slot in ring.slots.iter() {
+            slot.tag.store(0, Ordering::Release);
+        }
+    }
+}
+
+/// An RAII span: measures its own lifetime, emits a
+/// [`QuerySpan`](Event::QuerySpan) on drop, and optionally records the
+/// duration into a [`Histogram`].
+///
+/// ```
+/// use smc_obs::hist::Histogram;
+/// use smc_obs::trace::Span;
+///
+/// static LATENCY: Histogram = Histogram::new();
+/// {
+///     let _span = Span::with_histogram("demo.q1", &LATENCY);
+///     // ... the work being measured ...
+/// }
+/// assert_eq!(LATENCY.count(), 1);
+/// ```
+pub struct Span<'a> {
+    label: Label,
+    hist: Option<&'a Histogram>,
+    start: Instant,
+}
+
+impl<'a> Span<'a> {
+    /// Starts a span that only emits a trace event.
+    pub fn new(label: impl Into<Label>) -> Span<'static> {
+        Span {
+            label: label.into(),
+            hist: None,
+            start: Instant::now(),
+        }
+    }
+
+    /// Starts a span that also records its duration into `hist`.
+    pub fn with_histogram(label: impl Into<Label>, hist: &'a Histogram) -> Span<'a> {
+        Span {
+            label: label.into(),
+            hist: Some(hist),
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let nanos = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        if let Some(hist) = self.hist {
+            hist.record(nanos);
+        }
+        emit(Event::QuerySpan {
+            label: self.label,
+            nanos,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tracer state is process-global; serialize tests that toggle it.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn label_round_trip_and_truncation() {
+        let l = Label::new("block-alloc");
+        assert_eq!(l.as_str(), "block-alloc");
+        let (a, b) = l.pack();
+        assert_eq!(Label::unpack(a, b), l);
+        let long = Label::new("a-very-long-label-name");
+        assert_eq!(long.as_str().len(), 15);
+        let multi = Label::new("éééééééé"); // 16 bytes of two-byte chars
+        assert_eq!(multi.as_str(), "ééééééé");
+    }
+
+    #[test]
+    fn disabled_tracer_emits_nothing() {
+        let _g = lock();
+        disable();
+        clear();
+        for i in 0..100 {
+            emit(Event::EpochAdvance { epoch: i });
+        }
+        assert!(
+            !snapshot()
+                .iter()
+                .any(|t| matches!(t.event, Event::EpochAdvance { .. })),
+            "disabled emit must not record"
+        );
+    }
+
+    #[test]
+    fn enabled_tracer_records_in_order() {
+        let _g = lock();
+        enable();
+        clear();
+        for i in 0..10u64 {
+            emit(Event::MorselDispatch {
+                worker: 42,
+                morsel: i,
+            });
+        }
+        let seen: Vec<u64> = snapshot()
+            .iter()
+            .filter_map(|t| match t.event {
+                Event::MorselDispatch { worker: 42, morsel } => Some(morsel),
+                _ => None,
+            })
+            .collect();
+        disable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ring_wraps_and_counts_drops() {
+        let _g = lock();
+        enable();
+        clear();
+        let dropped_before = dropped();
+        let total = RING_CAPACITY as u64 + 37;
+        for i in 0..total {
+            emit(Event::MorselDispatch {
+                worker: 777,
+                morsel: i,
+            });
+        }
+        let seen: Vec<u64> = snapshot()
+            .iter()
+            .filter_map(|t| match t.event {
+                Event::MorselDispatch {
+                    worker: 777,
+                    morsel,
+                } => Some(morsel),
+                _ => None,
+            })
+            .collect();
+        disable();
+        // The survivors are exactly the newest RING_CAPACITY events, still
+        // in order; the overwritten prefix is accounted in dropped().
+        assert_eq!(seen.len(), RING_CAPACITY);
+        assert_eq!(seen[0], 37);
+        assert_eq!(*seen.last().unwrap(), total - 1);
+        assert!(seen.windows(2).all(|w| w[0] < w[1]));
+        assert!(dropped() >= dropped_before + 37);
+    }
+
+    #[test]
+    fn snapshot_sees_other_threads() {
+        let _g = lock();
+        enable();
+        clear();
+        let t = std::thread::spawn(|| {
+            emit(Event::RecoveryStep {
+                attempt: 9,
+                freed_blocks: 3,
+                advanced: true,
+            });
+        });
+        t.join().unwrap();
+        let found = snapshot().iter().any(|t| {
+            matches!(
+                t.event,
+                Event::RecoveryStep {
+                    attempt: 9,
+                    freed_blocks: 3,
+                    advanced: true
+                }
+            )
+        });
+        disable();
+        assert!(found, "event from a dead thread must survive in its ring");
+    }
+
+    #[test]
+    fn all_event_kinds_round_trip() {
+        let events = [
+            Event::GcPauseBegin { major: true },
+            Event::GcPauseEnd {
+                major: false,
+                nanos: 1,
+                traced: 2,
+                swept: 3,
+            },
+            Event::EpochAdvance { epoch: 4 },
+            Event::CompactionSelect {
+                context: 5,
+                candidates: 6,
+            },
+            Event::CompactionRelocate {
+                context: 7,
+                moved: 8,
+                bailed: 9,
+                nanos: 10,
+            },
+            Event::CompactionRetire {
+                context: 11,
+                retired: 12,
+            },
+            Event::ObjectRelocated {
+                src_slot: 13,
+                dest_slot: 14,
+            },
+            Event::RelocationBailed { src_slot: 15 },
+            Event::RecoveryStep {
+                attempt: 16,
+                freed_blocks: 17,
+                advanced: false,
+            },
+            Event::FailpointTrip {
+                site: Label::new("relocation"),
+            },
+            Event::MorselDispatch {
+                worker: 18,
+                morsel: 19,
+            },
+            Event::PoolBroadcast {
+                threads: 20,
+                nanos: 21,
+            },
+            Event::QuerySpan {
+                label: Label::new("smc.q1"),
+                nanos: 22,
+            },
+        ];
+        for e in events {
+            let (kind, p) = e.encode();
+            assert_eq!(Event::decode(kind, p), Some(e), "{}", e.kind());
+            assert!(!e.kind().is_empty());
+        }
+        assert_eq!(Event::decode(999, [0; 4]), None);
+    }
+
+    #[test]
+    fn span_emits_event_and_feeds_histogram() {
+        let _g = lock();
+        enable();
+        clear();
+        let hist = Histogram::new();
+        {
+            let _span = Span::with_histogram("test.span", &hist);
+            std::hint::black_box(0);
+        }
+        let found = snapshot().iter().any(
+            |t| matches!(t.event, Event::QuerySpan { label, .. } if label.as_str() == "test.span"),
+        );
+        disable();
+        assert!(found);
+        assert_eq!(hist.count(), 1);
+    }
+}

@@ -1,0 +1,67 @@
+//! The disabled-tracer fast path must emit nothing and allocate nothing.
+//!
+//! This is a separate integration-test binary so its counting global
+//! allocator and its reliance on the tracer staying disabled can't race
+//! with the unit tests that toggle tracing.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use smc_obs::trace::{self, Event, Label};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_emit_allocates_nothing_and_records_nothing() {
+    assert!(!trace::is_enabled(), "tracer must start disabled");
+
+    // Warm anything lazily initialised outside the measured window.
+    trace::emit(Event::EpochAdvance { epoch: 0 });
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..10_000u64 {
+        trace::emit(Event::MorselDispatch {
+            worker: 1,
+            morsel: i,
+        });
+        trace::emit(Event::FailpointTrip {
+            site: Label::new("block-alloc"),
+        });
+        trace::emit(Event::GcPauseEnd {
+            major: true,
+            nanos: i,
+            traced: i,
+            swept: i,
+        });
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled emit must not allocate (saw {} allocations)",
+        after - before
+    );
+
+    // And nothing was recorded: the snapshot contains no events at all,
+    // because this process never enabled tracing.
+    assert!(
+        trace::snapshot().is_empty(),
+        "disabled emit must not record events"
+    );
+    assert_eq!(trace::dropped(), 0);
+}

@@ -1,0 +1,44 @@
+//! Overhead contract: a disabled `trace::emit` costs ≤ 2 ns/op.
+//!
+//! The hard assertion only fires in release builds (CI runs
+//! `cargo test --release -p smc-obs --test overhead`); debug builds just
+//! print the measurement, since unoptimised code misses the budget by
+//! design.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use smc_obs::trace::{self, Event};
+
+const ITERS: u64 = 20_000_000;
+const BUDGET_NANOS_PER_OP: f64 = 2.0;
+
+fn measure() -> f64 {
+    let start = Instant::now();
+    for i in 0..ITERS {
+        trace::emit(black_box(Event::MorselDispatch {
+            worker: 0,
+            morsel: i,
+        }));
+    }
+    start.elapsed().as_nanos() as f64 / ITERS as f64
+}
+
+#[test]
+fn disabled_emit_is_at_most_two_nanos() {
+    assert!(!trace::is_enabled(), "tracer must start disabled");
+
+    // Warm-up, then best-of-3 to shake scheduler noise.
+    let _ = measure();
+    let best = (0..3).map(|_| measure()).fold(f64::INFINITY, f64::min);
+    println!("disabled emit: {best:.3} ns/op (budget {BUDGET_NANOS_PER_OP} ns)");
+
+    if cfg!(debug_assertions) {
+        eprintln!("debug build: skipping hard overhead assertion");
+        return;
+    }
+    assert!(
+        best <= BUDGET_NANOS_PER_OP,
+        "disabled emit overhead {best:.3} ns/op exceeds {BUDGET_NANOS_PER_OP} ns budget"
+    );
+}

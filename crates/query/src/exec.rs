@@ -1,7 +1,7 @@
 //! Compiled-style execution helpers.
 //!
 //! The paper's query compiler generates imperative code with two key
-//! properties (§2, [13], [14]): operators are fused into loops over the
+//! properties (§2, refs \[13\], \[14\] therein): operators are fused into loops over the
 //! collection's memory blocks (no virtual calls, no per-element intermediate
 //! objects), and blocking operators (aggregation, sort, join build) use
 //! tight, purpose-built data structures. In Rust, generic functions

@@ -23,6 +23,8 @@
 //! `tpch` crate can be executed interpreted (the "LINQ" series) or compiled
 //! (everything else in Figs 11–13).
 
+#![warn(missing_docs)]
+
 pub mod exec;
 pub mod linq;
 

@@ -9,13 +9,21 @@ use crate::gen::Generator;
 
 /// The columnstore TPC-H database.
 pub struct CsDb {
+    /// `lineitem`, clustered on `l_shipdate`.
     pub lineitem: ColTable,
+    /// `orders`, clustered on `o_orderdate`.
     pub orders: ColTable,
+    /// `customer`.
     pub customer: ColTable,
+    /// `supplier`.
     pub supplier: ColTable,
+    /// `nation`.
     pub nation: ColTable,
+    /// `region`.
     pub region: ColTable,
+    /// `part`.
     pub part: ColTable,
+    /// `partsupp`.
     pub partsupp: ColTable,
 }
 

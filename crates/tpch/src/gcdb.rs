@@ -18,18 +18,26 @@ use crate::text;
 
 /// REGION object (managed).
 pub struct GcRegion {
+    /// Primary key.
     pub key: i64,
+    /// Name.
     pub name: String,
+    /// TPC-H comment text.
     pub comment: String,
 }
 impl Trace for GcRegion {}
 
 /// NATION object (managed).
 pub struct GcNation {
+    /// Primary key.
     pub key: i64,
+    /// Name.
     pub name: String,
+    /// FK: region key.
     pub regionkey: i64,
+    /// The region (FK).
     pub region: Handle<GcRegion>,
+    /// TPC-H comment text.
     pub comment: String,
 }
 impl Trace for GcNation {
@@ -40,11 +48,17 @@ impl Trace for GcNation {
 
 /// SUPPLIER object (managed).
 pub struct GcSupplier {
+    /// Primary key.
     pub key: i64,
+    /// Name.
     pub name: String,
+    /// FK: nation key.
     pub nationkey: i64,
+    /// The nation (FK).
     pub nation: Handle<GcNation>,
+    /// Account balance.
     pub acctbal: Decimal,
+    /// TPC-H comment text.
     pub comment: String,
 }
 impl Trace for GcSupplier {
@@ -55,21 +69,32 @@ impl Trace for GcSupplier {
 
 /// PART object (managed).
 pub struct GcPart {
+    /// Primary key.
     pub key: i64,
+    /// Name.
     pub name: String,
+    /// Manufacturer.
     pub mfgr: String,
+    /// Part type string.
     pub typ: String,
+    /// Part size.
     pub size: i32,
+    /// Retail price.
     pub retailprice: Decimal,
 }
 impl Trace for GcPart {}
 
 /// PARTSUPP object (managed).
 pub struct GcPartSupp {
+    /// FK: part key.
     pub partkey: i64,
+    /// FK: supplier key.
     pub suppkey: i64,
+    /// The part (FK).
     pub part: Handle<GcPart>,
+    /// The supplier (FK).
     pub supplier: Handle<GcSupplier>,
+    /// Supply cost (`ps_supplycost`).
     pub supplycost: Decimal,
 }
 impl Trace for GcPartSupp {
@@ -81,11 +106,17 @@ impl Trace for GcPartSupp {
 
 /// CUSTOMER object (managed).
 pub struct GcCustomer {
+    /// Primary key.
     pub key: i64,
+    /// Name.
     pub name: String,
+    /// FK: nation key.
     pub nationkey: i64,
+    /// The nation (FK).
     pub nation: Handle<GcNation>,
+    /// Account balance.
     pub acctbal: Decimal,
+    /// Market segment.
     pub mktsegment: u8,
 }
 impl Trace for GcCustomer {
@@ -96,13 +127,21 @@ impl Trace for GcCustomer {
 
 /// ORDERS object (managed).
 pub struct GcOrder {
+    /// Primary key.
     pub key: i64,
+    /// FK: customer key.
     pub custkey: i64,
+    /// The customer (FK).
     pub customer: Handle<GcCustomer>,
+    /// Order status flag.
     pub orderstatus: u8,
+    /// Total order price.
     pub totalprice: Decimal,
+    /// Order date (epoch day).
     pub orderdate: i32,
+    /// Order priority.
     pub orderpriority: u8,
+    /// Ship priority.
     pub shippriority: i32,
 }
 impl Trace for GcOrder {
@@ -113,22 +152,39 @@ impl Trace for GcOrder {
 
 /// LINEITEM object (managed).
 pub struct GcLineitem {
+    /// FK: order key.
     pub orderkey: i64,
+    /// FK: part key.
     pub partkey: i64,
+    /// FK: supplier key.
     pub suppkey: i64,
+    /// The order (FK).
     pub order: Handle<GcOrder>,
+    /// The part (FK).
     pub part: Handle<GcPart>,
+    /// The supplier (FK).
     pub supplier: Handle<GcSupplier>,
+    /// Line number within the order.
     pub linenumber: i32,
+    /// Quantity (`l_quantity`).
     pub quantity: Decimal,
+    /// Extended price (`l_extendedprice`).
     pub extendedprice: Decimal,
+    /// Discount fraction (`l_discount`).
     pub discount: Decimal,
+    /// Tax fraction (`l_tax`).
     pub tax: Decimal,
+    /// Return flag (`l_returnflag`).
     pub returnflag: u8,
+    /// Line status (`l_linestatus`).
     pub linestatus: u8,
+    /// Ship date (epoch day).
     pub shipdate: i32,
+    /// Commit date (epoch day).
     pub commitdate: i32,
+    /// Receipt date (epoch day).
     pub receiptdate: i32,
+    /// TPC-H comment text.
     pub comment: String,
 }
 impl Trace for GcLineitem {
@@ -142,24 +198,39 @@ impl Trace for GcLineitem {
 /// The managed TPC-H database: `GcList` per table plus a keyed dictionary
 /// over the same lineitem objects.
 pub struct GcDb {
+    /// The heap every object lives on.
     pub heap: Arc<ManagedHeap>,
+    /// The `region` table.
     pub regions: GcList<GcRegion>,
+    /// The `nation` table.
     pub nations: GcList<GcNation>,
+    /// The `supplier` table.
     pub suppliers: GcList<GcSupplier>,
+    /// The `part` table.
     pub parts: GcList<GcPart>,
+    /// The `partsupp` table.
     pub partsupps: GcList<GcPartSupp>,
+    /// The `customer` table.
     pub customers: GcList<GcCustomer>,
+    /// The `order` table.
     pub orders: GcList<GcOrder>,
+    /// The `lineitem` table.
     pub lineitems: GcList<GcLineitem>,
     /// Dictionary view of the same lineitem objects, keyed by
     /// `orderkey * 8 + linenumber` (the C.Dictionary series of Fig 11).
     pub lineitem_dict: GcConcurrentDictionary<i64, GcLineitem>,
     /// Arenas for FK traversal in queries.
+    /// Arena resolving `GcOrder` handles during FK traversal.
     pub order_arena: Arc<Arena<GcOrder>>,
+    /// Arena resolving `GcCustomer` handles during FK traversal.
     pub customer_arena: Arc<Arena<GcCustomer>>,
+    /// Arena resolving `GcSupplier` handles during FK traversal.
     pub supplier_arena: Arc<Arena<GcSupplier>>,
+    /// Arena resolving `GcNation` handles during FK traversal.
     pub nation_arena: Arc<Arena<GcNation>>,
+    /// Arena resolving `GcRegion` handles during FK traversal.
     pub region_arena: Arc<Arena<GcRegion>>,
+    /// Arena resolving `GcPart` handles during FK traversal.
     pub part_arena: Arc<Arena<GcPart>>,
 }
 

@@ -28,12 +28,19 @@ pub struct Generator {
 /// Row counts per table at this scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Cardinalities {
+    /// Row count of the `region` table.
     pub regions: usize,
+    /// Row count of the `nation` table.
     pub nations: usize,
+    /// Row count of the `supplier` table.
     pub suppliers: usize,
+    /// Row count of the `part` table.
     pub parts: usize,
+    /// Row count of the `partsupp` table.
     pub partsupps: usize,
+    /// Row count of the `customer` table.
     pub customers: usize,
+    /// Row count of the `order` table.
     pub orders: usize,
 }
 
@@ -41,94 +48,155 @@ pub struct Cardinalities {
 
 /// REGION row.
 pub struct RawRegion {
+    /// Primary key.
     pub key: i64,
+    /// Name.
     pub name: String,
+    /// TPC-H comment text.
     pub comment: String,
 }
 
 /// NATION row.
 pub struct RawNation {
+    /// Primary key.
     pub key: i64,
+    /// Name.
     pub name: String,
+    /// The region (FK).
     pub region: i64,
+    /// TPC-H comment text.
     pub comment: String,
 }
 
 /// SUPPLIER row.
 pub struct RawSupplier {
+    /// Primary key.
     pub key: i64,
+    /// Name.
     pub name: String,
+    /// Address.
     pub address: String,
+    /// The nation (FK).
     pub nation: i64,
+    /// Phone number.
     pub phone: String,
+    /// Account balance.
     pub acctbal: Decimal,
+    /// TPC-H comment text.
     pub comment: String,
 }
 
 /// PART row.
 pub struct RawPart {
+    /// Primary key.
     pub key: i64,
+    /// Name.
     pub name: String,
+    /// Manufacturer.
     pub mfgr: String,
+    /// Brand.
     pub brand: String,
+    /// Part type string.
     pub typ: String,
+    /// Part size.
     pub size: i32,
+    /// Container.
     pub container: String,
+    /// Retail price.
     pub retailprice: Decimal,
+    /// TPC-H comment text.
     pub comment: String,
 }
 
 /// PARTSUPP row.
 pub struct RawPartSupp {
+    /// The part (FK).
     pub part: i64,
+    /// The supplier (FK).
     pub supplier: i64,
+    /// Available quantity (`ps_availqty`).
     pub availqty: i32,
+    /// Supply cost (`ps_supplycost`).
     pub supplycost: Decimal,
+    /// TPC-H comment text.
     pub comment: String,
 }
 
 /// CUSTOMER row.
 pub struct RawCustomer {
+    /// Primary key.
     pub key: i64,
+    /// Name.
     pub name: String,
+    /// Address.
     pub address: String,
+    /// The nation (FK).
     pub nation: i64,
+    /// Phone number.
     pub phone: String,
+    /// Account balance.
     pub acctbal: Decimal,
+    /// Market segment.
     pub mktsegment: &'static str,
+    /// TPC-H comment text.
     pub comment: String,
 }
 
 /// ORDERS row.
 pub struct RawOrder {
+    /// Primary key.
     pub key: i64,
+    /// The customer (FK).
     pub customer: i64,
+    /// Order status flag.
     pub orderstatus: char,
+    /// Total order price.
     pub totalprice: Decimal,
+    /// Order date (epoch day).
     pub orderdate: i32,
+    /// Order priority.
     pub orderpriority: &'static str,
+    /// Clerk.
     pub clerk: String,
+    /// Ship priority.
     pub shippriority: i32,
+    /// TPC-H comment text.
     pub comment: String,
 }
 
 /// LINEITEM row.
 pub struct RawLineitem {
+    /// The order (FK).
     pub order: i64,
+    /// The part (FK).
     pub part: i64,
+    /// The supplier (FK).
     pub supplier: i64,
+    /// Line number within the order.
     pub linenumber: i32,
+    /// Quantity (`l_quantity`).
     pub quantity: Decimal,
+    /// Extended price (`l_extendedprice`).
     pub extendedprice: Decimal,
+    /// Discount fraction (`l_discount`).
     pub discount: Decimal,
+    /// Tax fraction (`l_tax`).
     pub tax: Decimal,
+    /// Return flag (`l_returnflag`).
     pub returnflag: char,
+    /// Line status (`l_linestatus`).
     pub linestatus: char,
+    /// Ship date (epoch day).
     pub shipdate: i32,
+    /// Commit date (epoch day).
     pub commitdate: i32,
+    /// Receipt date (epoch day).
     pub receiptdate: i32,
+    /// Shipping instructions.
     pub shipinstruct: &'static str,
+    /// Ship mode.
     pub shipmode: &'static str,
+    /// TPC-H comment text.
     pub comment: String,
 }
 

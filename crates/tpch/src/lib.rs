@@ -15,6 +15,8 @@
 //! * [`workloads`] — refresh streams (Fig 8), flat/nested enumeration and
 //!   the fresh→worn churn (Fig 10).
 
+#![warn(missing_docs)]
+
 pub mod csdb;
 pub mod dates;
 pub mod gcdb;

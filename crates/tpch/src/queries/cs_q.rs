@@ -18,6 +18,7 @@ fn dec(m: i128) -> Decimal {
 
 /// Q1: pruned scan on the clustered shipdate, group into the 6-slot table.
 pub fn q1(db: &CsDb, p: &Params) -> Vec<Q1Row> {
+    let _span = super::qspan("cs.q1");
     let cutoff = q1_cutoff(p) as i64;
     let li = &db.lineitem;
     let shipdate = li.i64_values("l_shipdate");
@@ -48,6 +49,7 @@ pub fn q1(db: &CsDb, p: &Params) -> Vec<Q1Row> {
 
 /// Q2: dimension maps then two partsupp passes with value joins.
 pub fn q2(db: &CsDb, p: &Params) -> Vec<Q2Row> {
+    let _span = super::qspan("cs.q2");
     // region -> qualifying nation keys
     let region_keys: HashSet<i64> = {
         let names = db.region.str_column("r_name");
@@ -127,6 +129,7 @@ pub fn q2(db: &CsDb, p: &Params) -> Vec<Q2Row> {
 
 /// Q3: segment filter → order hash table → pruned lineitem probe.
 pub fn q3(db: &CsDb, p: &Params) -> Vec<Q3Row> {
+    let _span = super::qspan("cs.q3");
     let custs: HashSet<i64> = {
         let segs = db.customer.str_column("c_mktsegment");
         let keys = db.customer.i64_slice("c_custkey");
@@ -189,6 +192,7 @@ pub fn q3(db: &CsDb, p: &Params) -> Vec<Q3Row> {
 
 /// Q4: pruned quarter of orders, semi-joined against late lineitems.
 pub fn q4(db: &CsDb, p: &Params) -> Vec<Q4Row> {
+    let _span = super::qspan("cs.q4");
     let end = plus_months(p.q4_date, 3);
     // Late lineitems → orderkey set (no useful pruning column here).
     let l_commit = db.lineitem.i64_slice("l_commitdate");
@@ -228,6 +232,7 @@ pub fn q4(db: &CsDb, p: &Params) -> Vec<Q4Row> {
 /// Q5: dimension hash maps, pruned orders, lineitem probe with the
 /// customer-nation = supplier-nation condition.
 pub fn q5(db: &CsDb, p: &Params) -> Vec<Q5Row> {
+    let _span = super::qspan("cs.q5");
     let end = plus_months(p.q5_date, 12);
     let region_keys: HashSet<i64> = {
         let names = db.region.str_column("r_name");
@@ -299,6 +304,7 @@ pub fn q5(db: &CsDb, p: &Params) -> Vec<Q5Row> {
 
 /// Q6: the RDBMS showcase — pruned scan on the clustered shipdate.
 pub fn q6(db: &CsDb, p: &Params) -> Decimal {
+    let _span = super::qspan("cs.q6");
     let end = plus_months(p.q6_date, 12);
     let lo = p.q6_discount - Decimal::parse("0.01").unwrap();
     let hi = p.q6_discount + Decimal::parse("0.01").unwrap();
@@ -349,6 +355,7 @@ fn split_ranges(ranges: Vec<(usize, usize)>, rows: usize) -> Vec<(usize, usize)>
 /// Q1 in parallel: the pruned row ranges are split into fixed-size morsels
 /// scanned over the shared column slices.
 pub fn q1_par(db: &CsDb, p: &Params, pool: &smc_exec::WorkerPool) -> Vec<Q1Row> {
+    let _span = super::qspan("cs.q1_par");
     let cutoff = q1_cutoff(p) as i64;
     let li = &db.lineitem;
     let shipdate = li.i64_values("l_shipdate");
@@ -388,6 +395,7 @@ pub fn q1_par(db: &CsDb, p: &Params, pool: &smc_exec::WorkerPool) -> Vec<Q1Row> 
 
 /// Q6 in parallel over the pruned row-range morsels.
 pub fn q6_par(db: &CsDb, p: &Params, pool: &smc_exec::WorkerPool) -> Decimal {
+    let _span = super::qspan("cs.q6_par");
     let end = plus_months(p.q6_date, 12);
     let lo = p.q6_discount - Decimal::parse("0.01").unwrap();
     let hi = p.q6_discount + Decimal::parse("0.01").unwrap();

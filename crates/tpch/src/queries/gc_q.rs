@@ -32,6 +32,7 @@ fn for_each_lineitem(db: &GcDb, via: EnumVia, f: impl FnMut(&crate::gcdb::GcLine
 
 /// Q1 over the managed database.
 pub fn q1(db: &GcDb, p: &Params, via: EnumVia) -> Vec<Q1Row> {
+    let _span = super::qspan("gc.q1");
     let cutoff = q1_cutoff(p);
     let mut table = [Q1Acc::default(); 6];
     for_each_lineitem(db, via, |l| {
@@ -49,6 +50,7 @@ pub fn q1(db: &GcDb, p: &Params, via: EnumVia) -> Vec<Q1Row> {
 
 /// Q2 over the managed database (handle joins).
 pub fn q2(db: &GcDb, p: &Params) -> Vec<Q2Row> {
+    let _span = super::qspan("gc.q2");
     let guard = db.heap.enter();
     let mut min_cost: HashMap<i64, Decimal> = HashMap::new();
     db.partsupps.for_each(&guard, |ps| {
@@ -107,6 +109,7 @@ pub fn q2(db: &GcDb, p: &Params) -> Vec<Q2Row> {
 
 /// Q3 over the managed database.
 pub fn q3(db: &GcDb, p: &Params, via: EnumVia) -> Vec<Q3Row> {
+    let _span = super::qspan("gc.q3");
     let seg = crate::text::SEGMENTS
         .iter()
         .position(|s| *s == p.q3_segment)
@@ -144,6 +147,7 @@ pub fn q3(db: &GcDb, p: &Params, via: EnumVia) -> Vec<Q3Row> {
 
 /// Q4 over the managed database.
 pub fn q4(db: &GcDb, p: &Params, via: EnumVia) -> Vec<Q4Row> {
+    let _span = super::qspan("gc.q4");
     let end = plus_months(p.q4_date, 3);
     let mut late: HashSet<i64> = HashSet::new();
     let mut counts = [0u64; 5];
@@ -165,6 +169,7 @@ pub fn q4(db: &GcDb, p: &Params, via: EnumVia) -> Vec<Q4Row> {
 
 /// Q5 over the managed database.
 pub fn q5(db: &GcDb, p: &Params, via: EnumVia) -> Vec<Q5Row> {
+    let _span = super::qspan("gc.q5");
     let end = plus_months(p.q5_date, 12);
     let mut groups: HashMap<String, Decimal> = HashMap::new();
     for_each_lineitem(db, via, |l| {
@@ -200,6 +205,7 @@ pub fn q5(db: &GcDb, p: &Params, via: EnumVia) -> Vec<Q5Row> {
 
 /// Q6 over the managed database.
 pub fn q6(db: &GcDb, p: &Params, via: EnumVia) -> Decimal {
+    let _span = super::qspan("gc.q6");
     let end = plus_months(p.q6_date, 12);
     let lo = p.q6_discount - Decimal::parse("0.01").unwrap();
     let hi = p.q6_discount + Decimal::parse("0.01").unwrap();
@@ -230,6 +236,7 @@ const GC_CHUNK: usize = 4096;
 /// pins the world for the whole scan, so no sweep can run under the
 /// workers.
 pub fn q1_par(db: &GcDb, p: &Params, pool: &smc_exec::WorkerPool) -> Vec<Q1Row> {
+    let _span = super::qspan("gc.q1_par");
     let cutoff = q1_cutoff(p);
     let guard = db.heap.enter();
     let handles = db.lineitems.snapshot_handles(&guard);
@@ -260,6 +267,7 @@ pub fn q1_par(db: &GcDb, p: &Params, pool: &smc_exec::WorkerPool) -> Vec<Q1Row> 
 
 /// Q6 in parallel over the managed list.
 pub fn q6_par(db: &GcDb, p: &Params, pool: &smc_exec::WorkerPool) -> Decimal {
+    let _span = super::qspan("gc.q6_par");
     let end = plus_months(p.q6_date, 12);
     let lo = p.q6_discount - Decimal::parse("0.01").unwrap();
     let hi = p.q6_discount + Decimal::parse("0.01").unwrap();

@@ -18,8 +18,21 @@ pub mod gc_q;
 pub mod smc_q;
 
 use smc_memory::Decimal;
+use smc_obs::{Histogram, Span};
 
 use crate::dates::date;
+
+/// Cross-backend per-query latency distribution, in nanoseconds. Every
+/// query implementation opens a [`qspan`] that feeds this histogram, so a
+/// benchmark can report p50/p95/p99 query latency without per-call plumbing.
+pub static QUERY_LATENCY_NS: Histogram = Histogram::new();
+
+/// Opens a per-query observation span. On drop it emits a
+/// [`QuerySpan`](smc_obs::Event::QuerySpan) trace event (when tracing is
+/// enabled) and records the latency into [`QUERY_LATENCY_NS`].
+pub fn qspan(label: &str) -> Span<'static> {
+    Span::with_histogram(label, &QUERY_LATENCY_NS)
+}
 
 /// Query parameters (TPC-H validation values by default).
 #[derive(Debug, Clone)]
@@ -84,13 +97,21 @@ pub fn plus_months(day: i32, months: u32) -> i32 {
 /// One Q1 output group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Q1Row {
+    /// `l_returnflag` of this group.
     pub returnflag: u8,
+    /// `l_linestatus` of this group.
     pub linestatus: u8,
+    /// `sum(l_quantity)`.
     pub sum_qty: Decimal,
+    /// `sum(l_extendedprice)`.
     pub sum_base_price: Decimal,
+    /// `sum(l_extendedprice * (1 - l_discount))`.
     pub sum_disc_price: Decimal,
+    /// `sum(l_extendedprice * (1 - l_discount) * (1 + l_tax))`.
     pub sum_charge: Decimal,
+    /// `sum(l_discount)` (feeds [`avg_disc`](Q1Row::avg_disc)).
     pub sum_discount: Decimal,
+    /// `count(*)` of the group.
     pub count: u64,
 }
 
@@ -112,11 +133,17 @@ impl Q1Row {
 /// Accumulator shared by every Q1 implementation.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Q1Acc {
+    /// Running `sum(l_quantity)`.
     pub sum_qty: Decimal,
+    /// Running `sum(l_extendedprice)`.
     pub sum_base: Decimal,
+    /// Running discounted-price sum.
     pub sum_disc_price: Decimal,
+    /// Running charge sum (discounted price with tax).
     pub sum_charge: Decimal,
+    /// Running `sum(l_discount)`.
     pub sum_discount: Decimal,
+    /// Rows folded so far.
     pub count: u64,
 }
 
@@ -197,9 +224,13 @@ pub fn q1_slot(returnflag: u8, linestatus: u8) -> usize {
 /// One Q2 output row.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Q2Row {
+    /// `s_acctbal` of the winning supplier.
     pub acctbal: Decimal,
+    /// `s_name`.
     pub supplier: String,
+    /// `n_name`.
     pub nation: String,
+    /// `p_partkey`.
     pub partkey: i64,
 }
 
@@ -220,9 +251,13 @@ pub fn q2_finalize(mut rows: Vec<Q2Row>) -> Vec<Q2Row> {
 /// One Q3 output row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Q3Row {
+    /// `l_orderkey` of the group.
     pub orderkey: i64,
+    /// `sum(l_extendedprice * (1 - l_discount))`.
     pub revenue: Decimal,
+    /// `o_orderdate` (epoch day).
     pub orderdate: i32,
+    /// `o_shippriority`.
     pub shippriority: i32,
 }
 
@@ -242,7 +277,9 @@ pub fn q3_finalize(groups: std::collections::HashMap<i64, Q3Row>) -> Vec<Q3Row> 
 /// One Q4 output row.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Q4Row {
+    /// `o_orderpriority`.
     pub priority: String,
+    /// Orders in the quarter with at least one late lineitem.
     pub count: u64,
 }
 
@@ -262,7 +299,9 @@ pub fn q4_finalize(counts: [u64; 5]) -> Vec<Q4Row> {
 /// One Q5 output row.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Q5Row {
+    /// `n_name`.
     pub nation: String,
+    /// `sum(l_extendedprice * (1 - l_discount))` for the nation.
     pub revenue: Decimal,
 }
 

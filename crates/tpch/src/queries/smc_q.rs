@@ -29,6 +29,7 @@ use crate::smcdb::{licol, SmcDb};
 
 /// Q1, compiled safe.
 pub fn q1(db: &SmcDb, p: &Params) -> Vec<Q1Row> {
+    let _span = super::qspan("smc.q1");
     let cutoff = q1_cutoff(p);
     let guard = db.runtime.pin();
     let mut table = [Q1Acc::default(); 6];
@@ -50,6 +51,7 @@ pub fn q1(db: &SmcDb, p: &Params) -> Vec<Q1Row> {
 /// functions that perform decimal math using pointers and allowing for
 /// in-place modifications results in a huge performance gain").
 pub fn q1_unsafe(db: &SmcDb, p: &Params) -> Vec<Q1Row> {
+    let _span = super::qspan("smc.q1_unsafe");
     let cutoff = q1_cutoff(p);
     let _guard = db.runtime.pin();
     let mut table = [Q1Acc::default(); 6];
@@ -88,6 +90,7 @@ pub fn q1_unsafe(db: &SmcDb, p: &Params) -> Vec<Q1Row> {
 
 /// Q1 over columnar storage: touches only the seven columns it needs.
 pub fn q1_columnar(db: &SmcDb, p: &Params) -> Vec<Q1Row> {
+    let _span = super::qspan("smc.q1_columnar");
     let col = db.lineitems_col.as_ref().expect("columnar twin not loaded");
     let cutoff = q1_cutoff(p);
     let guard = db.runtime.pin();
@@ -125,6 +128,7 @@ pub fn q1_columnar(db: &SmcDb, p: &Params) -> Vec<Q1Row> {
 /// Q1 through the interpreted LINQ engine (boxed operators, per-element
 /// virtual dispatch, materialized groups).
 pub fn q1_linq(db: &SmcDb, p: &Params) -> Vec<Q1Row> {
+    let _span = super::qspan("smc.q1_linq");
     let cutoff = q1_cutoff(p);
     let guard = db.runtime.pin();
     let groups = db
@@ -150,6 +154,7 @@ pub fn q1_linq(db: &SmcDb, p: &Params) -> Vec<Q1Row> {
 
 /// Q2, compiled safe (reference joins part → supplier → nation → region).
 pub fn q2(db: &SmcDb, p: &Params) -> Vec<Q2Row> {
+    let _span = super::qspan("smc.q2");
     let guard = db.runtime.pin();
     // Pass 1: minimum supply cost per qualifying part in the region.
     let mut min_cost: HashMap<i64, Decimal> = HashMap::new();
@@ -215,6 +220,7 @@ pub fn q2(db: &SmcDb, p: &Params) -> Vec<Q2Row> {
 /// Q3, compiled safe: lineitem scan with reference joins to order and
 /// customer.
 pub fn q3(db: &SmcDb, p: &Params) -> Vec<Q3Row> {
+    let _span = super::qspan("smc.q3");
     let guard = db.runtime.pin();
     let seg = crate::text::SEGMENTS
         .iter()
@@ -251,6 +257,7 @@ pub fn q3(db: &SmcDb, p: &Params) -> Vec<Q3Row> {
 
 /// Q3 with §6 direct-pointer joins.
 pub fn q3_direct(db: &SmcDb, p: &Params) -> Vec<Q3Row> {
+    let _span = super::qspan("smc.q3_direct");
     let guard = db.runtime.pin();
     let seg = crate::text::SEGMENTS
         .iter()
@@ -289,6 +296,7 @@ pub fn q3_direct(db: &SmcDb, p: &Params) -> Vec<Q3Row> {
 
 /// Q3 over columnar lineitems (refs gathered from the reference column).
 pub fn q3_columnar(db: &SmcDb, p: &Params) -> Vec<Q3Row> {
+    let _span = super::qspan("smc.q3_columnar");
     let col = db.lineitems_col.as_ref().expect("columnar twin not loaded");
     let guard = db.runtime.pin();
     let seg = crate::text::SEGMENTS
@@ -347,6 +355,7 @@ pub fn q3_columnar(db: &SmcDb, p: &Params) -> Vec<Q3Row> {
 /// Q4, compiled safe: lineitem semi-join (exists commitdate < receiptdate)
 /// against the quarter's orders.
 pub fn q4(db: &SmcDb, p: &Params) -> Vec<Q4Row> {
+    let _span = super::qspan("smc.q4");
     let guard = db.runtime.pin();
     let end = plus_months(p.q4_date, 3);
     // Distinct orders with at least one late lineitem, restricted to the
@@ -376,6 +385,7 @@ pub fn q4(db: &SmcDb, p: &Params) -> Vec<Q4Row> {
 
 /// Q4 with direct-pointer joins.
 pub fn q4_direct(db: &SmcDb, p: &Params) -> Vec<Q4Row> {
+    let _span = super::qspan("smc.q4_direct");
     let guard = db.runtime.pin();
     let end = plus_months(p.q4_date, 3);
     let mut late: HashSet<i64> = HashSet::new();
@@ -404,6 +414,7 @@ pub fn q4_direct(db: &SmcDb, p: &Params) -> Vec<Q4Row> {
 /// region and lineitem → order → customer, with the spec's
 /// customer-nation = supplier-nation condition.
 pub fn q5(db: &SmcDb, p: &Params) -> Vec<Q5Row> {
+    let _span = super::qspan("smc.q5");
     let guard = db.runtime.pin();
     let end = plus_months(p.q5_date, 12);
     let mut groups: HashMap<String, Decimal> = HashMap::new();
@@ -438,6 +449,7 @@ pub fn q5(db: &SmcDb, p: &Params) -> Vec<Q5Row> {
 
 /// Q5 with direct-pointer joins where available.
 pub fn q5_direct(db: &SmcDb, p: &Params) -> Vec<Q5Row> {
+    let _span = super::qspan("smc.q5_direct");
     let guard = db.runtime.pin();
     let end = plus_months(p.q5_date, 12);
     let mut groups: HashMap<String, Decimal> = HashMap::new();
@@ -474,6 +486,7 @@ pub fn q5_direct(db: &SmcDb, p: &Params) -> Vec<Q5Row> {
 
 /// Q5 over columnar lineitems.
 pub fn q5_columnar(db: &SmcDb, p: &Params) -> Vec<Q5Row> {
+    let _span = super::qspan("smc.q5_columnar");
     let col = db.lineitems_col.as_ref().expect("columnar twin not loaded");
     let guard = db.runtime.pin();
     let end = plus_months(p.q5_date, 12);
@@ -529,6 +542,7 @@ pub fn q5_columnar(db: &SmcDb, p: &Params) -> Vec<Q5Row> {
 
 /// Q6, compiled safe: pure lineitem scan-aggregate.
 pub fn q6(db: &SmcDb, p: &Params) -> Decimal {
+    let _span = super::qspan("smc.q6");
     let guard = db.runtime.pin();
     let end = plus_months(p.q6_date, 12);
     let lo = p.q6_discount - Decimal::parse("0.01").unwrap();
@@ -549,6 +563,7 @@ pub fn q6(db: &SmcDb, p: &Params) -> Decimal {
 
 /// Q6 over columnar storage: four column arrays, no object access.
 pub fn q6_columnar(db: &SmcDb, p: &Params) -> Decimal {
+    let _span = super::qspan("smc.q6_columnar");
     let col = db.lineitems_col.as_ref().expect("columnar twin not loaded");
     let guard = db.runtime.pin();
     let end = plus_months(p.q6_date, 12);
@@ -583,6 +598,7 @@ pub fn q6_columnar(db: &SmcDb, p: &Params) -> Decimal {
 
 /// Q6 through the interpreted LINQ engine.
 pub fn q6_linq(db: &SmcDb, p: &Params) -> Decimal {
+    let _span = super::qspan("smc.q6_linq");
     let guard = db.runtime.pin();
     let end = plus_months(p.q6_date, 12);
     let lo = p.q6_discount - Decimal::parse("0.01").unwrap();
@@ -612,6 +628,7 @@ pub fn q6_linq(db: &SmcDb, p: &Params) -> Decimal {
 /// arithmetic makes the result bit-identical to [`q1`] regardless of how
 /// morsels were distributed.
 pub fn q1_par(db: &SmcDb, p: &Params, pool: &smc_exec::WorkerPool) -> Vec<Q1Row> {
+    let _span = super::qspan("smc.q1_par");
     let cutoff = q1_cutoff(p);
     let scan = smc_exec::ParScan::new(&db.lineitems, pool);
     let table = scan.filter_fold(
@@ -632,6 +649,7 @@ pub fn q1_par(db: &SmcDb, p: &Params, pool: &smc_exec::WorkerPool) -> Vec<Q1Row>
 
 /// Q6 in parallel: per-worker revenue partials, summed in the reduce step.
 pub fn q6_par(db: &SmcDb, p: &Params, pool: &smc_exec::WorkerPool) -> Decimal {
+    let _span = super::qspan("smc.q6_par");
     let end = plus_months(p.q6_date, 12);
     let lo = p.q6_discount - Decimal::parse("0.01").unwrap();
     let hi = p.q6_discount + Decimal::parse("0.01").unwrap();
@@ -652,6 +670,7 @@ pub fn q6_par(db: &SmcDb, p: &Params, pool: &smc_exec::WorkerPool) -> Decimal {
 
 /// Q6 over columnar storage in parallel: blocks are the row-group morsels.
 pub fn q6_columnar_par(db: &SmcDb, p: &Params, pool: &smc_exec::WorkerPool) -> Decimal {
+    let _span = super::qspan("smc.q6_columnar_par");
     let col = db.lineitems_col.as_ref().expect("columnar twin not loaded");
     let end = plus_months(p.q6_date, 12);
     let lo = p.q6_discount - Decimal::parse("0.01").unwrap();

@@ -23,8 +23,11 @@ use crate::text;
 /// REGION object.
 #[derive(Clone, Copy)]
 pub struct Region {
+    /// Primary key.
     pub key: i64,
+    /// Name.
     pub name: InlineStr<16>,
+    /// TPC-H comment text.
     pub comment: InlineStr<80>,
 }
 unsafe impl Tabular for Region {}
@@ -32,10 +35,15 @@ unsafe impl Tabular for Region {}
 /// NATION object.
 #[derive(Clone, Copy)]
 pub struct Nation {
+    /// Primary key.
     pub key: i64,
+    /// Name.
     pub name: InlineStr<20>,
+    /// FK: region key.
     pub regionkey: i64,
+    /// The region (FK).
     pub region: Ref<Region>,
+    /// TPC-H comment text.
     pub comment: InlineStr<100>,
 }
 unsafe impl Tabular for Nation {}
@@ -43,13 +51,21 @@ unsafe impl Tabular for Nation {}
 /// SUPPLIER object.
 #[derive(Clone, Copy)]
 pub struct Supplier {
+    /// Primary key.
     pub key: i64,
+    /// Name.
     pub name: InlineStr<20>,
+    /// Address.
     pub address: InlineStr<20>,
+    /// FK: nation key.
     pub nationkey: i64,
+    /// The nation (FK).
     pub nation: Ref<Nation>,
+    /// Phone number.
     pub phone: InlineStr<16>,
+    /// Account balance.
     pub acctbal: Decimal,
+    /// TPC-H comment text.
     pub comment: InlineStr<60>,
 }
 unsafe impl Tabular for Supplier {}
@@ -57,14 +73,23 @@ unsafe impl Tabular for Supplier {}
 /// PART object.
 #[derive(Clone, Copy)]
 pub struct Part {
+    /// Primary key.
     pub key: i64,
+    /// Name.
     pub name: InlineStr<56>,
+    /// Manufacturer.
     pub mfgr: InlineStr<16>,
+    /// Brand.
     pub brand: InlineStr<10>,
+    /// Part type string.
     pub typ: InlineStr<25>,
+    /// Part size.
     pub size: i32,
+    /// Container.
     pub container: InlineStr<10>,
+    /// Retail price.
     pub retailprice: Decimal,
+    /// TPC-H comment text.
     pub comment: InlineStr<20>,
 }
 unsafe impl Tabular for Part {}
@@ -72,12 +97,19 @@ unsafe impl Tabular for Part {}
 /// PARTSUPP object.
 #[derive(Clone, Copy)]
 pub struct PartSupp {
+    /// FK: part key.
     pub partkey: i64,
+    /// FK: supplier key.
     pub suppkey: i64,
+    /// The part (FK).
     pub part: Ref<Part>,
+    /// The supplier (FK).
     pub supplier: Ref<Supplier>,
+    /// Available quantity (`ps_availqty`).
     pub availqty: i32,
+    /// Supply cost (`ps_supplycost`).
     pub supplycost: Decimal,
+    /// TPC-H comment text.
     pub comment: InlineStr<40>,
 }
 unsafe impl Tabular for PartSupp {}
@@ -85,15 +117,23 @@ unsafe impl Tabular for PartSupp {}
 /// CUSTOMER object.
 #[derive(Clone, Copy)]
 pub struct Customer {
+    /// Primary key.
     pub key: i64,
+    /// Name.
     pub name: InlineStr<20>,
+    /// Address.
     pub address: InlineStr<20>,
+    /// FK: nation key.
     pub nationkey: i64,
+    /// The nation (FK).
     pub nation: Ref<Nation>,
+    /// Phone number.
     pub phone: InlineStr<16>,
+    /// Account balance.
     pub acctbal: Decimal,
     /// Index into [`text::SEGMENTS`].
     pub mktsegment: u8,
+    /// TPC-H comment text.
     pub comment: InlineStr<60>,
 }
 unsafe impl Tabular for Customer {}
@@ -101,19 +141,28 @@ unsafe impl Tabular for Customer {}
 /// ORDERS object.
 #[derive(Clone, Copy)]
 pub struct Order {
+    /// Primary key.
     pub key: i64,
+    /// FK: customer key.
     pub custkey: i64,
+    /// The customer (FK).
     pub customer: Ref<Customer>,
     /// §6 direct pointer to the same customer (Fig 10 nested enumeration,
     /// Fig 12 direct variant).
     pub customer_d: Option<DirectRef<Customer>>,
+    /// Order status flag.
     pub orderstatus: u8,
+    /// Total order price.
     pub totalprice: Decimal,
+    /// Order date (epoch day).
     pub orderdate: i32,
     /// Index into [`text::PRIORITIES`].
     pub orderpriority: u8,
+    /// Clerk.
     pub clerk: InlineStr<16>,
+    /// Ship priority.
     pub shippriority: i32,
+    /// TPC-H comment text.
     pub comment: InlineStr<48>,
 }
 unsafe impl Tabular for Order {}
@@ -121,29 +170,47 @@ unsafe impl Tabular for Order {}
 /// LINEITEM object.
 #[derive(Clone, Copy)]
 pub struct Lineitem {
+    /// FK: order key.
     pub orderkey: i64,
+    /// FK: part key.
     pub partkey: i64,
+    /// FK: supplier key.
     pub suppkey: i64,
+    /// The order (FK).
     pub order: Ref<Order>,
+    /// The part (FK).
     pub part: Ref<Part>,
+    /// The supplier (FK).
     pub supplier: Ref<Supplier>,
     /// Direct-pointer twins of the reference joins (§6).
     pub order_d: Option<DirectRef<Order>>,
+    /// Direct pointer (§6) to the supplier, set when direct mode is on.
     pub supplier_d: Option<DirectRef<Supplier>>,
+    /// Line number within the order.
     pub linenumber: i32,
+    /// Quantity (`l_quantity`).
     pub quantity: Decimal,
+    /// Extended price (`l_extendedprice`).
     pub extendedprice: Decimal,
+    /// Discount fraction (`l_discount`).
     pub discount: Decimal,
+    /// Tax fraction (`l_tax`).
     pub tax: Decimal,
+    /// Return flag (`l_returnflag`).
     pub returnflag: u8,
+    /// Line status (`l_linestatus`).
     pub linestatus: u8,
+    /// Ship date (epoch day).
     pub shipdate: i32,
+    /// Commit date (epoch day).
     pub commitdate: i32,
+    /// Receipt date (epoch day).
     pub receiptdate: i32,
     /// Index into [`text::INSTRUCTIONS`].
     pub shipinstruct: u8,
     /// Index into [`text::MODES`].
     pub shipmode: u8,
+    /// TPC-H comment text.
     pub comment: InlineStr<27>,
 }
 unsafe impl Tabular for Lineitem {}
@@ -152,34 +219,58 @@ unsafe impl Tabular for Lineitem {}
 /// columns Q1–Q6 touch, shredded into per-column arrays.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LineitemCol {
+    /// FK: order key.
     pub orderkey: i64,
+    /// Quantity (`l_quantity`).
     pub quantity: Decimal,
+    /// Extended price (`l_extendedprice`).
     pub extendedprice: Decimal,
+    /// Discount fraction (`l_discount`).
     pub discount: Decimal,
+    /// Tax fraction (`l_tax`).
     pub tax: Decimal,
+    /// Return flag (`l_returnflag`).
     pub returnflag: u8,
+    /// Line status (`l_linestatus`).
     pub linestatus: u8,
+    /// Ship date (epoch day).
     pub shipdate: i32,
+    /// Commit date (epoch day).
     pub commitdate: i32,
+    /// Receipt date (epoch day).
     pub receiptdate: i32,
+    /// The order (FK).
     pub order: Ref<Order>,
+    /// The supplier (FK).
     pub supplier: Ref<Supplier>,
 }
 unsafe impl Tabular for LineitemCol {}
 
 /// Column indices of [`LineitemCol`] (keep in sync with `COLUMN_WIDTHS`).
 pub mod licol {
+    /// Column index of `l_orderkey` in the columnar layout.
     pub const ORDERKEY: usize = 0;
+    /// Column index of `l_quantity` in the columnar layout.
     pub const QUANTITY: usize = 1;
+    /// Column index of `l_extendedprice` in the columnar layout.
     pub const EXTENDEDPRICE: usize = 2;
+    /// Column index of `l_discount` in the columnar layout.
     pub const DISCOUNT: usize = 3;
+    /// Column index of `l_tax` in the columnar layout.
     pub const TAX: usize = 4;
+    /// Column index of `l_returnflag` in the columnar layout.
     pub const RETURNFLAG: usize = 5;
+    /// Column index of `l_linestatus` in the columnar layout.
     pub const LINESTATUS: usize = 6;
+    /// Column index of `l_shipdate` in the columnar layout.
     pub const SHIPDATE: usize = 7;
+    /// Column index of `l_commitdate` in the columnar layout.
     pub const COMMITDATE: usize = 8;
+    /// Column index of `l_receiptdate` in the columnar layout.
     pub const RECEIPTDATE: usize = 9;
+    /// Column index of `l_order` in the columnar layout.
     pub const ORDER: usize = 10;
+    /// Column index of `l_supplier` in the columnar layout.
     pub const SUPPLIER: usize = 11;
 }
 
@@ -230,14 +321,23 @@ unsafe impl Columnar for LineitemCol {
 
 /// The full TPC-H database over self-managed collections.
 pub struct SmcDb {
+    /// The runtime owning every collection's memory context.
     pub runtime: Arc<Runtime>,
+    /// The `region` table.
     pub regions: Smc<Region>,
+    /// The `nation` table.
     pub nations: Smc<Nation>,
+    /// The `supplier` table.
     pub suppliers: Smc<Supplier>,
+    /// The `part` table.
     pub parts: Smc<Part>,
+    /// The `partsupp` table.
     pub partsupps: Smc<PartSupp>,
+    /// The `customer` table.
     pub customers: Smc<Customer>,
+    /// The `order` table.
     pub orders: Smc<Order>,
+    /// The `lineitem` table.
     pub lineitems: Smc<Lineitem>,
     /// Columnar twin of the lineitem collection (loaded on demand).
     pub lineitems_col: Option<ColumnarSmc<LineitemCol>>,

@@ -83,6 +83,32 @@ pub fn smc_removal_stream(db: &SmcDb, victims: &HashSet<i64>) -> usize {
     removed
 }
 
+/// Decimates the SMC lineitems: removes roughly `fraction` of all live
+/// lineitems (chosen per-object, regardless of key) without re-insertion.
+///
+/// Unlike [`wear_smc`] — which keeps the population constant and merely
+/// scatters slots — decimation drains block occupancy, which is what pushes
+/// blocks under a context's `compaction_occupancy` cutoff and gives a
+/// subsequent [`Smc::compact`](smc::Smc::compact) pass actual candidates.
+pub fn smc_decimate(db: &SmcDb, rng: &mut StdRng, fraction: f64) -> usize {
+    let cutoff = (fraction * 1024.0) as u32;
+    let guard = db.runtime.pin();
+    let mut to_remove = Vec::new();
+    db.lineitems.for_each_ref(&guard, |r, _| {
+        if rng.gen_range(0u32..1024) < cutoff {
+            to_remove.push(r);
+        }
+    });
+    drop(guard);
+    let mut removed = 0;
+    for r in to_remove {
+        if db.lineitems.remove(r) {
+            removed += 1;
+        }
+    }
+    removed
+}
+
 /// One managed insert stream (into both the list and the dictionary view,
 /// like the loader does).
 pub fn gc_insert_stream(db: &GcDb, rng: &mut StdRng, base_key: i64, count: usize) {

@@ -8,6 +8,8 @@
 //! * [`rng`] — a small, seeded PCG pseudo-random generator standing in for
 //!   `rand::StdRng` in the TPC-H generator, workloads, and tests.
 
+#![warn(missing_docs)]
+
 pub mod rng;
 pub mod sync;
 

@@ -2,6 +2,8 @@
 //!
 //! Re-exports the member crates so integration tests and examples at the
 //! repository root can use one import path.
+
+#![warn(missing_docs)]
 pub use columnstore;
 pub use managed_heap;
 pub use smc;
