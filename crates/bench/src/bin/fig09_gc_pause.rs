@@ -48,7 +48,7 @@ fn measure_max_timeout(heap: &Arc<ManagedHeap>, duration: Duration) -> Duration 
         let keep: GcList<Churn> = GcList::new(&churn_heap);
         let mut i = 0u64;
         while !churn_stop.load(Ordering::Relaxed) {
-            if i.is_multiple_of(16) {
+            if i % 16 == 0 {
                 keep.add(Churn { _k: i });
             } else {
                 churn_heap.alloc(&arena, Churn { _k: i });

@@ -1,0 +1,525 @@
+//! Protocol scenarios: small, fully-checkable concurrent workloads over the
+//! *real* `smc-memory` protocol code, each with a shadow-state oracle.
+//!
+//! Every scenario factory builds a fresh world (epoch manager / blocks /
+//! indirection entries) plus shadow state kept in *uninstrumented* `std`
+//! types — shadow bookkeeping must not create interleaving points of its own.
+//! The oracle runs either inline (asserts inside thread bodies) or as a
+//! single-threaded finale once all virtual threads finished.
+//!
+//! The oracles encode the §3/§5 safety contracts:
+//!
+//! * **pin/advance** — while a thread is pinned at epoch `e`, the global
+//!   epoch never exceeds `e + 1` (otherwise memory freed inside the reader's
+//!   grace period could already be reused under it).
+//! * **free/freeze** — a freed slot ends with its counter bumped exactly once
+//!   and no leaked compaction flags, no matter how `free` races a freeze.
+//! * **relocation** — every live reference resolves to exactly one
+//!   incarnation in exactly one location: one winner per move, slot-side
+//!   counters survive relocation, bailed-out objects are unfrozen.
+//! * **§5.2 visitation** — a scanner visits each live object exactly once
+//!   under concurrent compaction.
+//! * **budget** — the block budget is exact under racing allocators, and the
+//!   OOM recovery ladder neither leaks budget nor double-frees.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use smc_memory::block::{type_id_of, BlockLayout, BlockRef, BLOCK_SIZE};
+use smc_memory::epoch::EpochManager;
+use smc_memory::incarnation::{IncWord, FLAG_FORWARD, FLAG_FROZEN, FLAG_LOCK, FLAG_MASK, INC_MASK};
+use smc_memory::indirection::{EntryRef, IndirectionTable};
+use smc_memory::reloc::{
+    bail_out_relocation, try_move_object, MoveOutcome, RelocEntry, RelocStatus, RelocationList,
+};
+use smc_memory::runtime::Runtime;
+use smc_memory::slot::SlotState;
+use smc_memory::stats::MemoryStats;
+
+use crate::sched::Scenario;
+
+/// A named scenario factory, as listed by [`all`].
+pub type NamedScenario = (&'static str, fn() -> Scenario);
+
+/// Name → factory for every protocol scenario, for exhaustive sweeps.
+pub fn all() -> Vec<NamedScenario> {
+    vec![
+        ("pin_vs_advance", pin_vs_advance as fn() -> Scenario),
+        ("free_vs_freeze", free_vs_freeze),
+        ("double_mover", double_mover),
+        ("move_vs_bail", move_vs_bail),
+        ("slot_vs_entry_incarnation", slot_vs_entry_incarnation),
+        ("exactly_once_visitation", exactly_once_visitation),
+        ("budget_race", budget_race),
+    ]
+}
+
+/// A reader pins while another thread drives the epoch forward. Oracle: the
+/// reader, while pinned at `e`, never observes a global epoch above `e + 1`
+/// (§3.4 — this is exactly the bound that makes "free at `e`, reuse at
+/// `e + 2`" safe). Catches [`smc_memory::mutation::Mutation::NoPublishRecheck`]
+/// and [`smc_memory::mutation::Mutation::AdvanceIgnoresPinned`].
+pub fn pin_vs_advance() -> Scenario {
+    let mgr = EpochManager::new();
+    let reader_mgr = mgr.clone();
+    Scenario::new()
+        .thread(move || {
+            let guard = reader_mgr.pin();
+            let pinned = guard.epoch();
+            let global = reader_mgr.global_epoch();
+            assert!(
+                global <= pinned + 1,
+                "reader pinned at epoch {pinned} observed global epoch {global}: \
+                 memory freed during its grace period may already be reused"
+            );
+            drop(guard);
+        })
+        .thread(move || {
+            let _ = mgr.try_advance();
+            let _ = mgr.try_advance();
+        })
+}
+
+/// `free` (counter bump) races a compaction freeze on one incarnation word.
+/// Oracle: the counter lands on exactly 1 and no flag survives — a freeze
+/// that lost the race must have been rejected (stale counter) or cleared by
+/// the bump (§5.1 footnote: free uses CAS for precisely this race).
+pub fn free_vs_freeze() -> Scenario {
+    let word = Arc::new(IncWord::new(0));
+    let freer = word.clone();
+    let freezer = word.clone();
+    Scenario::new()
+        .thread(move || {
+            let _ = freer.bump();
+        })
+        .thread(move || {
+            let _ = freezer.try_set_flag(0, FLAG_FROZEN);
+        })
+        .finally(move || {
+            let end = word.load(Ordering::SeqCst);
+            assert_eq!(
+                end & INC_MASK,
+                1,
+                "free must land exactly once (word {end:#010x})"
+            );
+            assert_eq!(
+                end & FLAG_MASK,
+                0,
+                "no compaction flag may survive a free (word {end:#010x})"
+            );
+        })
+}
+
+const SRC_SLOT: u32 = 3;
+const DEST_SLOT: u32 = 7;
+
+/// A frozen object wired for relocation: source + destination blocks, one
+/// indirection entry, one pending [`RelocEntry`] installed in the source
+/// block's header list.
+struct MoveFixture {
+    src: BlockRef,
+    dst: BlockRef,
+    entry: EntryRef,
+    reloc: Arc<RelocEntry>,
+    /// Keeps the entry's backing storage alive for the scenario's duration.
+    table: Arc<IndirectionTable>,
+}
+
+fn move_fixture(value: u64, slot_counter: u32) -> MoveFixture {
+    let layout = BlockLayout::rows_of::<u64>().expect("u64 fits a block");
+    let src = BlockRef::allocate(&layout, type_id_of::<u64>(), 1).expect("alloc src");
+    let dst = BlockRef::allocate(&layout, type_id_of::<u64>(), 1).expect("alloc dst");
+    let table = Arc::new(IndirectionTable::new());
+    let entry = table.allocate(0);
+    unsafe { src.obj_ptr(SRC_SLOT).cast::<u64>().write(value) };
+    // The slot-side incarnation is an independent counter from the entry's;
+    // seeding it differently is what makes counter confusion detectable.
+    src.slot_inc(SRC_SLOT)
+        .store(slot_counter, Ordering::Release);
+    src.slot_word(SRC_SLOT).set_valid();
+    src.back_ptr(SRC_SLOT)
+        .store(entry.addr(), Ordering::Release);
+    src.header().valid_count.fetch_add(1, Ordering::Relaxed);
+    entry
+        .get()
+        .store_payload(src.obj_ptr(SRC_SLOT) as usize, Ordering::Release);
+    // Freezing epoch work (§5.1): freeze both incarnation words and publish
+    // the relocation list through the source header.
+    assert!(entry.get().inc().try_set_flag(0, FLAG_FROZEN));
+    assert!(src
+        .slot_inc(SRC_SLOT)
+        .try_set_flag(slot_counter, FLAG_FROZEN));
+    let reloc = Arc::new(RelocEntry::new(
+        SRC_SLOT,
+        entry.addr(),
+        0,
+        dst.obj_ptr(DEST_SLOT) as usize,
+        DEST_SLOT,
+    ));
+    let list = Box::new(RelocationList::new(
+        std::mem::size_of::<u64>() as u32,
+        Vec::new(),
+    ));
+    src.header()
+        .reloc_list
+        .store(Box::into_raw(list), Ordering::Release);
+    MoveFixture {
+        src,
+        dst,
+        entry,
+        reloc,
+        table,
+    }
+}
+
+/// Two movers race to execute the same relocation (compaction thread vs a
+/// §5.1-case-c helping reader). Oracle: exactly one `MovedByUs`, the
+/// destination counts the object exactly once, and the source is a clean
+/// forwarding tombstone — i.e. no reader can observe a moved-then-reused
+/// slot as live. Catches [`smc_memory::mutation::Mutation::MoveSkipsLock`].
+pub fn double_mover() -> Scenario {
+    let fx = move_fixture(4242, 0);
+    let outcomes = Arc::new(Mutex::new(Vec::new()));
+    let (src, dst, entry, reloc) = (fx.src, fx.dst, fx.entry, fx.reloc.clone());
+    let mut scenario = Scenario::new();
+    for _ in 0..2 {
+        let reloc = reloc.clone();
+        let outcomes = outcomes.clone();
+        let table = fx.table.clone();
+        scenario = scenario.thread(move || {
+            let outcome = unsafe { try_move_object(src, &reloc) };
+            outcomes.lock().unwrap().push(outcome);
+            drop(table);
+        });
+    }
+    let table = fx.table;
+    scenario.finally(move || {
+        let outcomes = outcomes.lock().unwrap();
+        let winners = outcomes
+            .iter()
+            .filter(|o| **o == MoveOutcome::MovedByUs)
+            .count();
+        assert_eq!(
+            winners, 1,
+            "exactly one mover must win the relocation, got {outcomes:?}"
+        );
+        assert_eq!(reloc.status(), RelocStatus::Succeeded);
+        assert_eq!(unsafe { dst.obj_ptr(DEST_SLOT).cast::<u64>().read() }, 4242);
+        assert_eq!(dst.slot_word(DEST_SLOT).state(), SlotState::Valid);
+        assert_eq!(
+            dst.header().valid_count.load(Ordering::SeqCst),
+            1,
+            "destination must count the object exactly once"
+        );
+        assert_eq!(
+            entry.get().load_payload(Ordering::SeqCst),
+            dst.obj_ptr(DEST_SLOT) as usize,
+            "the indirection entry must resolve to the new location"
+        );
+        let src_word = src.slot_inc(SRC_SLOT).load(Ordering::SeqCst);
+        assert_ne!(
+            src_word & FLAG_FORWARD,
+            0,
+            "source slot must be a forwarding tombstone"
+        );
+        assert_eq!(src_word & (FLAG_FROZEN | FLAG_LOCK), 0);
+        unsafe {
+            src.deallocate();
+            dst.deallocate();
+        }
+        drop(table);
+    })
+}
+
+/// A mover races a reader that bails the relocation out (§5.1 case b).
+/// Oracle: whichever side wins, the world is consistent — a successful move
+/// leaves a forwarding source and a valid destination; a bail-out leaves the
+/// object in place with the freeze fully stripped so readers stop taking the
+/// slow path. Catches [`smc_memory::mutation::Mutation::BailKeepsFrozen`].
+pub fn move_vs_bail() -> Scenario {
+    let fx = move_fixture(77, 0);
+    let (src, dst, entry, reloc) = (fx.src, fx.dst, fx.entry, fx.reloc.clone());
+    let mover_reloc = reloc.clone();
+    let bailer_reloc = reloc.clone();
+    let mover_table = fx.table.clone();
+    let bailer_table = fx.table.clone();
+    let table = fx.table;
+    Scenario::new()
+        .thread(move || {
+            let _ = unsafe { try_move_object(src, &mover_reloc) };
+            drop(mover_table);
+        })
+        .thread(move || {
+            let _ = unsafe { bail_out_relocation(src, &bailer_reloc) };
+            drop(bailer_table);
+        })
+        .finally(move || {
+            match reloc.status() {
+                RelocStatus::Succeeded => {
+                    assert_eq!(unsafe { dst.obj_ptr(DEST_SLOT).cast::<u64>().read() }, 77);
+                    assert_eq!(dst.slot_word(DEST_SLOT).state(), SlotState::Valid);
+                    assert_eq!(
+                        entry.get().load_payload(Ordering::SeqCst),
+                        dst.obj_ptr(DEST_SLOT) as usize
+                    );
+                    let src_word = src.slot_inc(SRC_SLOT).load(Ordering::SeqCst);
+                    assert_ne!(src_word & FLAG_FORWARD, 0);
+                    assert_eq!(src_word & (FLAG_FROZEN | FLAG_LOCK), 0);
+                }
+                RelocStatus::Failed => {
+                    // Bail-out won: object stays put, fully thawed.
+                    assert_eq!(src.slot_word(SRC_SLOT).state(), SlotState::Valid);
+                    assert_eq!(unsafe { src.obj_ptr(SRC_SLOT).cast::<u64>().read() }, 77);
+                    let src_word = src.slot_inc(SRC_SLOT).load(Ordering::SeqCst);
+                    assert_eq!(
+                        src_word & FLAG_FROZEN,
+                        0,
+                        "bailed-out relocation left the source slot frozen: \
+                         readers would wedge on the §5.1 slow path forever"
+                    );
+                    assert_eq!(src_word & FLAG_LOCK, 0);
+                    assert_eq!(
+                        entry.get().inc().load(Ordering::SeqCst) & FLAG_MASK,
+                        0,
+                        "bail-out must strip the entry-side freeze too"
+                    );
+                    assert_eq!(
+                        entry.get().load_payload(Ordering::SeqCst),
+                        src.obj_ptr(SRC_SLOT) as usize
+                    );
+                    assert_eq!(dst.header().valid_count.load(Ordering::SeqCst), 0);
+                }
+                RelocStatus::Pending => panic!("relocation never settled"),
+            }
+            unsafe {
+                src.deallocate();
+                dst.deallocate();
+            }
+            drop(table);
+        })
+}
+
+/// The slot-side incarnation counter (seeded to 5) differs from the
+/// entry-side counter (0). A mover relocates the object while a direct-
+/// pointer reader validates against the slot side and chases the forwarding
+/// tombstone. Oracle: the *slot* counter is what survives at the destination
+/// (§6 — direct references embed the slot counter). Catches the original
+/// PR 1 bug re-introduced as
+/// [`smc_memory::mutation::Mutation::SlotVsEntryInc`].
+pub fn slot_vs_entry_incarnation() -> Scenario {
+    const SLOT_COUNTER: u32 = 5;
+    let fx = move_fixture(9001, SLOT_COUNTER);
+    let (src, dst, reloc) = (fx.src, fx.dst, fx.reloc.clone());
+    let mover_table = fx.table.clone();
+    let table = fx.table;
+    Scenario::new()
+        .thread(move || {
+            let outcome = unsafe { try_move_object(src, &reloc) };
+            assert_eq!(outcome, MoveOutcome::MovedByUs);
+            drop(mover_table);
+        })
+        .thread(move || {
+            // A direct reference holds (slot address, counter 5). If it finds
+            // the slot forwarded, revalidation at the destination must still
+            // succeed against counter 5.
+            let word = src.slot_inc(SRC_SLOT).load(Ordering::SeqCst);
+            if word & FLAG_FORWARD != 0 {
+                let dest_word = dst.slot_inc(DEST_SLOT).load(Ordering::SeqCst);
+                assert_eq!(
+                    dest_word & INC_MASK,
+                    SLOT_COUNTER,
+                    "direct reference (slot counter {SLOT_COUNTER}) no longer validates \
+                     after relocation: destination got counter {}",
+                    dest_word & INC_MASK
+                );
+            } else {
+                assert_eq!(
+                    word & INC_MASK,
+                    SLOT_COUNTER,
+                    "unmoved slot counter changed under a live reference"
+                );
+            }
+        })
+        .finally(move || {
+            let dest_word = dst.slot_inc(DEST_SLOT).load(Ordering::SeqCst);
+            assert_eq!(
+                dest_word & INC_MASK,
+                SLOT_COUNTER,
+                "relocation must install the slot-side incarnation at the destination \
+                 (entry-side counter is an independent sequence)"
+            );
+            let src_word = src.slot_inc(SRC_SLOT).load(Ordering::SeqCst);
+            assert_eq!(
+                src_word & INC_MASK,
+                SLOT_COUNTER,
+                "forwarding tombstone must keep the slot counter for direct readers"
+            );
+            unsafe {
+                src.deallocate();
+                dst.deallocate();
+            }
+            drop(table);
+        })
+}
+
+const VISIT_OBJECTS: u32 = 3;
+
+/// §5.2's query-counter protocol: a scanner and a compacting mover race over
+/// a block of three objects. The scanner increments the block's
+/// `query_counter` and then checks `compacting`; the mover sets `compacting`
+/// and then waits for the counter to drain before moving anything. Oracle:
+/// the scanner visits every object **exactly once** — never zero (lost under
+/// the move) and never twice (seen at both source and destination).
+pub fn exactly_once_visitation() -> Scenario {
+    let layout = BlockLayout::rows_of::<u64>().expect("u64 fits a block");
+    let src = BlockRef::allocate(&layout, type_id_of::<u64>(), 1).expect("alloc src");
+    let dst = BlockRef::allocate(&layout, type_id_of::<u64>(), 1).expect("alloc dst");
+    let table = Arc::new(IndirectionTable::new());
+    let mut entry_addrs = Vec::new();
+    let mut relocs = Vec::new();
+    for slot in 0..VISIT_OBJECTS {
+        let entry = table.allocate(0);
+        unsafe {
+            src.obj_ptr(slot)
+                .cast::<u64>()
+                .write(1000 + u64::from(slot))
+        };
+        src.slot_word(slot).set_valid();
+        src.back_ptr(slot).store(entry.addr(), Ordering::Release);
+        src.header().valid_count.fetch_add(1, Ordering::Relaxed);
+        entry
+            .get()
+            .store_payload(src.obj_ptr(slot) as usize, Ordering::Release);
+        assert!(entry.get().inc().try_set_flag(0, FLAG_FROZEN));
+        assert!(src.slot_inc(slot).try_set_flag(0, FLAG_FROZEN));
+        entry_addrs.push(entry.addr());
+        relocs.push(RelocEntry::new(
+            slot,
+            entry.addr(),
+            0,
+            dst.obj_ptr(slot) as usize,
+            slot,
+        ));
+    }
+    let list = Box::new(RelocationList::new(
+        std::mem::size_of::<u64>() as u32,
+        relocs,
+    ));
+    src.header()
+        .reloc_list
+        .store(Box::into_raw(list), Ordering::Release);
+
+    let done = Arc::new(AtomicBool::new(false));
+    let visited = Arc::new(Mutex::new(Vec::new()));
+    let mover_done = done.clone();
+    let mover_table = table.clone();
+    let scan_visited = visited.clone();
+    let scan_table = table.clone();
+    Scenario::new()
+        .thread(move || {
+            // Mover (§5.2): announce, wait for in-flight scans, then move.
+            src.header().compacting.store(1, Ordering::SeqCst);
+            while src.header().query_counter.load(Ordering::SeqCst) != 0 {
+                smc_memory::sync::cpu_relax();
+            }
+            let list = unsafe { &*src.header().reloc_list.load(Ordering::SeqCst) };
+            for reloc in &list.entries {
+                let outcome = unsafe { try_move_object(src, reloc) };
+                assert_eq!(outcome, MoveOutcome::MovedByUs);
+            }
+            mover_done.store(true, Ordering::SeqCst);
+            drop(mover_table);
+        })
+        .thread(move || {
+            // Scanner (§5.2): register, then check whether compaction won.
+            src.header().query_counter.fetch_add(1, Ordering::SeqCst);
+            if src.header().compacting.load(Ordering::SeqCst) != 0 {
+                // Too late: retract the pin and rescan after the move. Any
+                // bailed-out straggler would still be Valid at the source.
+                src.header().query_counter.fetch_sub(1, Ordering::SeqCst);
+                while !done.load(Ordering::SeqCst) {
+                    smc_memory::sync::cpu_relax();
+                }
+                for slot in 0..VISIT_OBJECTS {
+                    if dst.slot_word(slot).state() == SlotState::Valid {
+                        scan_visited
+                            .lock()
+                            .unwrap()
+                            .push(dst.back_ptr(slot).load(Ordering::SeqCst));
+                    }
+                    if src.slot_word(slot).state() == SlotState::Valid {
+                        scan_visited
+                            .lock()
+                            .unwrap()
+                            .push(src.back_ptr(slot).load(Ordering::SeqCst));
+                    }
+                }
+            } else {
+                // We won: the counter holds the mover off until we finish.
+                for slot in 0..VISIT_OBJECTS {
+                    if src.slot_word(slot).state() == SlotState::Valid {
+                        scan_visited
+                            .lock()
+                            .unwrap()
+                            .push(src.back_ptr(slot).load(Ordering::SeqCst));
+                    }
+                }
+                src.header().query_counter.fetch_sub(1, Ordering::SeqCst);
+            }
+            drop(scan_table);
+        })
+        .finally(move || {
+            let mut seen = visited.lock().unwrap().clone();
+            seen.sort_unstable();
+            let mut expected = entry_addrs.clone();
+            expected.sort_unstable();
+            assert_eq!(
+                seen, expected,
+                "scanner must visit each live object exactly once under \
+                 concurrent compaction (missing = lost, duplicate = double-seen)"
+            );
+            unsafe {
+                src.deallocate();
+                dst.deallocate();
+            }
+            drop(table);
+        })
+}
+
+/// Two allocators race a one-block budget; the loser walks the OOM recovery
+/// ladder (graveyard drain → emergency epoch advance → backoff). Oracle:
+/// budget enforcement is exact (one winner) and the `blocks_live` gauge
+/// matches reality — failed attempts must not leak budget.
+pub fn budget_race() -> Scenario {
+    let rt = Runtime::with_budget(Some(BLOCK_SIZE as u64));
+    let layout = BlockLayout::rows_of::<u64>().expect("u64 fits a block");
+    let results = Arc::new(Mutex::new(Vec::new()));
+    let mut scenario = Scenario::new();
+    for _ in 0..2 {
+        let rt = rt.clone();
+        let results = results.clone();
+        scenario = scenario.thread(move || {
+            let outcome = rt.allocate_block(&layout, type_id_of::<u64>(), 1);
+            results.lock().unwrap().push(outcome.ok());
+        });
+    }
+    scenario.finally(move || {
+        let results = results.lock().unwrap();
+        let winners: Vec<BlockRef> = results.iter().flatten().copied().collect();
+        assert_eq!(
+            winners.len(),
+            1,
+            "a one-block budget must admit exactly one of two racing allocators \
+             (got {} successes)",
+            winners.len()
+        );
+        assert_eq!(
+            MemoryStats::get(&rt.stats.blocks_live),
+            winners.len() as u64,
+            "blocks_live gauge out of sync: failed attempts leaked budget"
+        );
+        for block in winners {
+            unsafe { block.deallocate() };
+        }
+    })
+}

@@ -156,7 +156,9 @@ impl RleColumn {
         let mut out = Vec::with_capacity(self.len);
         let mut start = 0u32;
         for &(v, end) in &self.runs {
-            out.extend(std::iter::repeat_n(v, (end - start) as usize));
+            // repeat().take() rather than repeat_n(): the latter is 1.82+,
+            // above the workspace MSRV.
+            out.extend(std::iter::repeat(v).take((end - start) as usize));
             start = end;
         }
         out

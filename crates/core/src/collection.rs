@@ -389,6 +389,10 @@ impl<'g, 'e, T: Tabular> Iterator for Iter<'g, 'e, T> {
                 let cap = block.header().capacity;
                 let mut s = slot;
                 while s < cap {
+                    // Interleaving point for the smc-check model checker: a
+                    // pinned iteration can be preempted between slots, which
+                    // is exactly where concurrent compaction races live.
+                    smc_memory::sync::yield_point();
                     if block.slot_word(s).state() == SlotState::Valid {
                         let back = block.back_ptr(s).load(Ordering::Acquire);
                         if back != 0 {

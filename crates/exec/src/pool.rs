@@ -163,6 +163,9 @@ impl WorkerPool {
         st.job = Some(JobPtr(ptr));
         st.generation = st.generation.wrapping_add(1);
         st.completed = 0;
+        // Interleaving point matching the workers' pickup yield: the
+        // dispatch/pickup pair is the pool's model-checkable surface.
+        smc_memory::sync::yield_point();
         self.shared.work_cv.notify_all();
         while st.completed < self.threads {
             st = wait(&self.shared.done_cv, st);
@@ -218,6 +221,9 @@ fn worker_loop(shared: &Shared, index: usize, threads: usize) {
             seen = st.generation;
             st.job.expect("generation bumped without a job")
         };
+        // Interleaving point for the smc-check model checker: job pickup is
+        // where a worker's view of dispatched state can race the coordinator.
+        smc_memory::sync::yield_point();
         // SAFETY: `run` keeps the closure alive until every worker completed.
         (unsafe { &*job.0 })(index);
         let mut st = lock(&shared.state);

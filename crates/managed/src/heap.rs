@@ -204,7 +204,7 @@ impl ManagedHeap {
             GcMode::Batch => {
                 let n = self.collections_run.load(Ordering::Relaxed);
                 let major =
-                    self.config.major_every > 0 && (n + 1).is_multiple_of(self.config.major_every);
+                    self.config.major_every > 0 && (n + 1) % self.config.major_every == 0;
                 self.run_batch_collection(major);
             }
             GcMode::Interactive => {
@@ -277,7 +277,7 @@ impl ManagedHeap {
                 // on are allocated black (marked).
                 let n = self.collections_run.load(Ordering::Relaxed);
                 let major =
-                    self.config.major_every > 0 && (n + 1).is_multiple_of(self.config.major_every);
+                    self.config.major_every > 0 && (n + 1) % self.config.major_every == 0;
                 *cycle_slot = Some(MarkCycle {
                     stack: Vec::new(),
                     roots_traced: false,

@@ -33,7 +33,9 @@
 
 use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
 use std::ptr::NonNull;
-use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
+
+use crate::sync::{AtomicPtr, AtomicU32, AtomicUsize};
 
 use crate::error::MemError;
 use crate::incarnation::IncWord;
@@ -180,7 +182,7 @@ pub struct BlockHeader {
     pub query_counter: AtomicU32,
 }
 
-static NEXT_BLOCK_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_BLOCK_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 /// A copyable handle to a block. The context owns the allocation; handles
 /// are valid until the context deallocates the block.

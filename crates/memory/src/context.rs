@@ -33,11 +33,11 @@
 //! enumerations pin a group's pre-relocation state.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use smc_util::sync::{Mutex, RwLock};
+use crate::sync::{AtomicBool, AtomicU32, AtomicUsize, Mutex, RwLock};
 
 use crate::block::{BlockLayout, BlockRef};
 use crate::epoch::Guard;
@@ -149,7 +149,7 @@ impl CompactionGroup {
     /// the counter again", and helping is compacting.
     pub fn wait_pre_readers(&self) {
         while self.query_counter.load(Ordering::SeqCst) != 0 {
-            std::thread::yield_now();
+            crate::sync::thread_yield();
         }
     }
 
@@ -945,7 +945,7 @@ impl MemoryContext {
                 // union, which still covers unmoved objects in the sources.
                 return true;
             }
-            std::thread::yield_now();
+            crate::sync::thread_yield();
         }
         for &src in &group.sources {
             let list = src.header().reloc_list.load(Ordering::Acquire);
@@ -1026,7 +1026,7 @@ impl MemoryContext {
                 if Instant::now() >= deadline {
                     return false;
                 }
-                std::thread::yield_now();
+                crate::sync::thread_yield();
             }
         }
         true
@@ -1043,7 +1043,7 @@ impl MemoryContext {
             if Instant::now() >= deadline {
                 return false;
             }
-            std::thread::yield_now();
+            crate::sync::thread_yield();
         }
     }
 

@@ -27,14 +27,22 @@
 //! barrier.
 
 use std::cell::RefCell;
-use std::sync::atomic::{fence, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Weak};
 
 use crate::error::MemError;
 use crate::fault::{FaultInjector, FaultSite};
+use crate::mutation::{self, Mutation};
+use crate::sync::{fence, AtomicBool, AtomicU32, AtomicU64, AtomicUsize};
 
 /// Maximum number of threads that may concurrently use one manager.
+#[cfg(not(smc_check))]
 pub const MAX_THREADS: usize = 128;
+/// Maximum number of threads that may concurrently use one manager (reduced
+/// under the model checker: `all_threads_at` walks every slot, and each walk
+/// is a chain of interleaving points that would explode the state space).
+#[cfg(smc_check)]
+pub const MAX_THREADS: usize = 8;
 
 /// Sentinel for "no thread holds the advance reservation".
 const NO_RESERVATION: usize = usize::MAX;
@@ -77,13 +85,13 @@ pub struct EpochManager {
     next_relocation_epoch: AtomicU64,
     /// True during the moving phase of the relocation epoch (§5.1's
     /// `inMovingPhase`).
-    in_moving_phase: std::sync::atomic::AtomicBool,
+    in_moving_phase: AtomicBool,
     /// Failpoint registry shared with the owning runtime (a detached,
     /// permanently-disarmed one for bare managers).
     faults: Arc<FaultInjector>,
 }
 
-static NEXT_MANAGER_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_MANAGER_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 struct Registration {
     mgr_id: u64,
@@ -130,7 +138,7 @@ impl EpochManager {
             id: NEXT_MANAGER_ID.fetch_add(1, Ordering::Relaxed),
             reserved_by: AtomicUsize::new(NO_RESERVATION),
             next_relocation_epoch: AtomicU64::new(0),
-            in_moving_phase: std::sync::atomic::AtomicBool::new(false),
+            in_moving_phase: AtomicBool::new(false),
             faults,
         })
     }
@@ -203,6 +211,15 @@ impl EpochManager {
         let slot = &self.slots[idx];
         let depth = slot.depth.load(Ordering::Relaxed);
         if depth == 0 {
+            if mutation::enabled(Mutation::NoPublishRecheck) {
+                // Re-introduced bug: publish once without rechecking, leaving
+                // the entry race open against a concurrent advance.
+                let e = self.global.load(Ordering::SeqCst);
+                slot.epoch.store(e, Ordering::SeqCst);
+                slot.depth.store(1, Ordering::SeqCst);
+                fence(Ordering::SeqCst);
+                return;
+            }
             // Publish-recheck loop: republish until the global epoch is
             // stable across our publication, closing the entry race.
             let mut e = self.global.load(Ordering::SeqCst);
@@ -274,7 +291,9 @@ impl EpochManager {
             return None;
         }
         let e = self.global.load(Ordering::SeqCst);
-        if !self.all_threads_at(e, me) {
+        // Re-introduced bug (`AdvanceIgnoresPinned`): skip the "all pinned
+        // threads reached e" check, reclaiming memory under live readers.
+        if !mutation::enabled(Mutation::AdvanceIgnoresPinned) && !self.all_threads_at(e, me) {
             return None;
         }
         match self
@@ -345,9 +364,9 @@ impl EpochManager {
             if self.try_advance().is_none() {
                 spins += 1;
                 if spins > 64 {
-                    std::thread::yield_now();
+                    crate::sync::thread_yield();
                 } else {
-                    std::hint::spin_loop();
+                    crate::sync::cpu_relax();
                 }
             }
         }

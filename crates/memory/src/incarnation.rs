@@ -23,7 +23,9 @@
 //! incarnation number checking and, hence, does not penalize the common
 //! case").
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::Ordering;
+
+use crate::sync::AtomicU32;
 
 /// Frozen flag: object scheduled for relocation (§5.1).
 pub const FLAG_FROZEN: u32 = 1 << 31;
@@ -112,7 +114,7 @@ impl IncWord {
             if cur & FLAG_LOCK != 0 {
                 // A mover holds the object; wait for the move to settle so we
                 // free the object's *current* location afterwards.
-                std::hint::spin_loop();
+                crate::sync::cpu_relax();
                 continue;
             }
             let next = (expected & INC_MASK).wrapping_add(1) & INC_MASK;
@@ -131,7 +133,7 @@ impl IncWord {
         loop {
             let cur = self.0.load(Ordering::Acquire);
             if cur & FLAG_LOCK != 0 {
-                std::hint::spin_loop();
+                crate::sync::cpu_relax();
                 continue;
             }
             let next = (cur & INC_MASK).wrapping_add(1) & INC_MASK;
@@ -175,7 +177,7 @@ impl IncWord {
                 return None;
             }
             if cur & FLAG_LOCK != 0 {
-                std::hint::spin_loop();
+                crate::sync::cpu_relax();
                 continue;
             }
             let next = cur | FLAG_LOCK;
@@ -216,7 +218,7 @@ impl IncWord {
             if cur & FLAG_LOCK == 0 {
                 return cur;
             }
-            std::hint::spin_loop();
+            crate::sync::cpu_relax();
         }
     }
 }

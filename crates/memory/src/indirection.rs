@@ -18,11 +18,10 @@
 //! across threads).
 
 use std::ptr::NonNull;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-
-use smc_util::sync::Mutex;
+use std::sync::atomic::Ordering;
 
 use crate::incarnation::{IncWord, INC_LIMIT};
+use crate::sync::{AtomicU64, AtomicUsize, Mutex};
 
 /// Entries per chunk; chunks are allocated as the table grows and are never
 /// released until the table is dropped.

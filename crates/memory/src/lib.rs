@@ -63,10 +63,12 @@ pub mod fault;
 pub mod incarnation;
 pub mod indirection;
 pub mod inline_str;
+pub mod mutation;
 pub mod reloc;
 pub mod runtime;
 pub mod slot;
 pub mod stats;
+pub mod sync;
 pub mod tabular;
 pub mod verify;
 

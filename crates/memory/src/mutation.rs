@@ -1,0 +1,80 @@
+//! Mutation-testing switchboard: re-introduces known (fixed) protocol bugs at
+//! runtime so the `smc-check` model checker can prove it would have caught
+//! each of them.
+//!
+//! The mutations only exist under `cfg(smc_check)`; in a normal build
+//! [`enabled`] is a `const false`, so every call site folds away and the
+//! shipped protocol is untouched. Under the checker, `smc-check`'s mutation
+//! tests flip one mutation on, run the relevant scenario through the bounded
+//! explorer, and assert a violation is found within the interleaving budget —
+//! printing the failing schedule as a replayable seed.
+
+/// A known protocol bug that can be re-introduced under `cfg(smc_check)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum Mutation {
+    /// The PR 1 bug: relocation installs the *indirection-entry* incarnation
+    /// at the destination slot instead of the *source slot* incarnation
+    /// (slot-side and entry-side counters are independent).
+    SlotVsEntryInc = 1 << 0,
+    /// Epoch advance skips the "all pinned threads reached the current
+    /// epoch" check, so memory can be reclaimed under a live reader.
+    AdvanceIgnoresPinned = 1 << 1,
+    /// `EpochManager::enter` publishes its epoch once without the
+    /// publish-recheck loop, racing with a concurrent advance.
+    NoPublishRecheck = 1 << 2,
+    /// `bail_out_relocation` forgets to clear `FLAG_FROZEN` on the source
+    /// slot, wedging readers that wait for the freeze to resolve.
+    BailKeepsFrozen = 1 << 3,
+    /// `try_move_object` skips taking the entry lock bit before copying, so
+    /// two movers can both believe they won the race.
+    MoveSkipsLock = 1 << 4,
+}
+
+#[cfg(smc_check)]
+static ACTIVE: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
+
+/// Returns true when `m` is currently switched on. Always false (and
+/// const-foldable) outside `cfg(smc_check)` builds.
+#[inline(always)]
+pub fn enabled(m: Mutation) -> bool {
+    #[cfg(smc_check)]
+    {
+        ACTIVE.load(std::sync::atomic::Ordering::Relaxed) & m as u32 != 0
+    }
+    #[cfg(not(smc_check))]
+    {
+        let _ = m;
+        false
+    }
+}
+
+/// Switches a mutation on. No-op outside `cfg(smc_check)` builds.
+pub fn set(m: Mutation) {
+    #[cfg(smc_check)]
+    ACTIVE.fetch_or(m as u32, std::sync::atomic::Ordering::Relaxed);
+    #[cfg(not(smc_check))]
+    let _ = m;
+}
+
+/// Switches all mutations off. No-op outside `cfg(smc_check)` builds.
+pub fn clear_all() {
+    #[cfg(smc_check)]
+    ACTIVE.store(0, std::sync::atomic::Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_outside_checker_builds() {
+        set(Mutation::SlotVsEntryInc);
+        #[cfg(not(smc_check))]
+        assert!(!enabled(Mutation::SlotVsEntryInc));
+        #[cfg(smc_check)]
+        assert!(enabled(Mutation::SlotVsEntryInc));
+        clear_all();
+        assert!(!enabled(Mutation::SlotVsEntryInc));
+    }
+}

@@ -21,12 +21,14 @@
 //! instead *bails the relocation out*: it marks the list entry `Failed` and
 //! strips the freeze bit, excluding the object from this compaction pass.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::Ordering;
 
 use crate::block::BlockRef;
 use crate::incarnation::{FLAG_FORWARD, FLAG_FROZEN, INC_MASK};
 use crate::indirection::EntryRef;
+use crate::mutation::{self, Mutation};
 use crate::slot::SlotId;
+use crate::sync::AtomicU32;
 
 /// Outcome state of one scheduled relocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -153,17 +155,31 @@ pub unsafe fn try_move_object(src_block: BlockRef, reloc: &RelocEntry) -> MoveOu
     let entry = EntryRef::from_addr(reloc.entry_addr);
     let entry_inc = entry.get().inc();
     // Serialize against other movers / bailers / free.
-    let Some(_locked) = entry_inc.lock(reloc.inc) else {
-        return MoveOutcome::Freed;
+    let locked = if mutation::enabled(Mutation::MoveSkipsLock) {
+        // Re-introduced bug: skip the entry lock bit, only checking liveness,
+        // so two movers can both believe they won the race.
+        if entry_inc.incarnation() != reloc.inc & INC_MASK {
+            return MoveOutcome::Freed;
+        }
+        false
+    } else {
+        if entry_inc.lock(reloc.inc).is_none() {
+            return MoveOutcome::Freed;
+        }
+        true
     };
     match reloc.status() {
         RelocStatus::Succeeded => {
             // Winner already cleared FROZEN; just drop our lock.
-            entry_inc.unlock_with_flags(0);
+            if locked {
+                entry_inc.unlock_with_flags(0);
+            }
             MoveOutcome::AlreadyMoved
         }
         RelocStatus::Failed => {
-            entry_inc.unlock_with_flags(0);
+            if locked {
+                entry_inc.unlock_with_flags(0);
+            }
             MoveOutcome::BailedOut
         }
         RelocStatus::Pending => {
@@ -176,7 +192,13 @@ pub unsafe fn try_move_object(src_block: BlockRef, reloc: &RelocEntry) -> MoveOu
             // the slot side, so the *slot* counter is what must survive the
             // move. Holding the entry lock with status Pending pins the
             // source slot (no free, no other mover), so this read is stable.
-            let slot_inc = src_block.slot_inc(reloc.src_slot).load(Ordering::Acquire) & INC_MASK;
+            let slot_inc = if mutation::enabled(Mutation::SlotVsEntryInc) {
+                // Re-introduced PR 1 bug: install the *entry-side* counter at
+                // the destination slot; direct pointers then mis-validate.
+                reloc.inc & INC_MASK
+            } else {
+                src_block.slot_inc(reloc.src_slot).load(Ordering::Acquire) & INC_MASK
+            };
             // Install identity at the destination: incarnation, back-pointer,
             // slot-directory Valid.
             dest_block
@@ -206,7 +228,9 @@ pub unsafe fn try_move_object(src_block: BlockRef, reloc: &RelocEntry) -> MoveOu
                 .valid_count
                 .fetch_sub(1, Ordering::Relaxed);
             reloc.set_status(RelocStatus::Succeeded);
-            entry_inc.unlock_with_flags(0);
+            if locked {
+                entry_inc.unlock_with_flags(0);
+            }
             smc_obs::trace::emit(smc_obs::Event::ObjectRelocated {
                 src_slot: reloc.src_slot as u64,
                 dest_slot: reloc.dest_slot as u64,
@@ -246,10 +270,14 @@ pub unsafe fn bail_out_relocation(src_block: BlockRef, reloc: &RelocEntry) -> Mo
             // a mover needs the lock we hold), so the slot word is ours to
             // unfreeze regardless of how its counter relates to the entry's
             // — the two incarnations are independent counters.
-            let slot_inc = src_block.slot_inc(reloc.src_slot);
-            let cur = slot_inc.load(Ordering::Acquire);
-            if cur & FLAG_FROZEN != 0 {
-                slot_inc.store(cur & !FLAG_FROZEN, Ordering::Release);
+            if !mutation::enabled(Mutation::BailKeepsFrozen) {
+                // Re-introduced bug (`BailKeepsFrozen`) skips this unfreeze,
+                // wedging readers that wait for the freeze to resolve.
+                let slot_inc = src_block.slot_inc(reloc.src_slot);
+                let cur = slot_inc.load(Ordering::Acquire);
+                if cur & FLAG_FROZEN != 0 {
+                    slot_inc.store(cur & !FLAG_FROZEN, Ordering::Release);
+                }
             }
             entry_inc.unlock_with_flags(0);
             smc_obs::trace::emit(smc_obs::Event::RelocationBailed {

@@ -7,10 +7,8 @@
 //! the compaction coordination flags of §5.1, and a *graveyard* of blocks
 //! awaiting epoch-safe return to the OS.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
-
-use smc_util::sync::Mutex;
 
 use crate::block::{BlockLayout, BlockRef, BLOCK_SIZE};
 use crate::epoch::{EpochManager, Guard};
@@ -18,6 +16,7 @@ use crate::error::MemError;
 use crate::fault::{FaultInjector, FaultSite};
 use crate::indirection::IndirectionTable;
 use crate::stats::MemoryStats;
+use crate::sync::{AtomicU64, Mutex};
 
 /// Attempts the allocation recovery ladder makes before conceding
 /// [`MemError::OutOfMemory`].
@@ -199,10 +198,7 @@ impl Runtime {
             return;
         }
         // (3) Capped backoff: concurrent removals/compactions may free blocks.
-        for _ in 0..(1u32 << attempt.min(6)) {
-            std::hint::spin_loop();
-        }
-        std::thread::yield_now();
+        crate::sync::backoff(attempt);
     }
 
     /// Current global epoch.
@@ -273,7 +269,7 @@ impl Runtime {
         while self.graveyard_len() > 0 {
             if self.drain_graveyard() == 0 {
                 let _ = self.epochs.try_advance();
-                std::hint::spin_loop();
+                crate::sync::cpu_relax();
             }
         }
     }

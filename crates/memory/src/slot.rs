@@ -20,7 +20,9 @@
 //! elapse between a removal and its reclamation attempt — the block-level
 //! reclamation queue retries long before that.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::Ordering;
+
+use crate::sync::AtomicU32;
 
 /// Identifier of a slot within one block (dense, starting at zero).
 pub type SlotId = u32;

@@ -1,0 +1,224 @@
+//! Property tests for the log2 histogram: the documented quantile-error
+//! bound (≤ 1/16 = 6.25 %) must hold under adversarial streams, and `merge`
+//! must form a commutative monoid (associative, commutative, empty identity).
+//!
+//! The reference ("true") quantile is computed on a sorted copy of the raw
+//! samples with the same rank convention the histogram uses
+//! (`ceil(p/100 * n)`, min rank 1), so the only error the assertions allow is
+//! bucketing error.
+
+use smc_obs::hist::{Histogram, NUM_BUCKETS, SUB_BUCKETS};
+use smc_util::rng::Pcg32;
+
+const PERCENTILES: &[f64] = &[
+    0.1, 1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9, 100.0,
+];
+
+/// Exact quantile of `samples` at percentile `p`, using the histogram's rank
+/// convention.
+fn true_quantile(sorted: &[u64], p: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let target = ((p / 100.0 * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[target.min(sorted.len()) - 1]
+}
+
+/// Feeds `samples` to a fresh histogram and checks every percentile in
+/// [`PERCENTILES`] against the exact quantile: the estimate must never be
+/// below the true value and never more than `true/SUB_BUCKETS` above it.
+fn assert_quantile_bound(samples: &[u64], label: &str) {
+    let h = Histogram::new();
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    for &v in samples {
+        h.record(v);
+    }
+    assert_eq!(h.count(), samples.len() as u64, "{label}: lost samples");
+    assert_eq!(h.max(), *sorted.last().unwrap(), "{label}: max");
+    assert_eq!(h.min(), sorted[0], "{label}: min");
+    for &p in PERCENTILES {
+        let truth = true_quantile(&sorted, p);
+        let est = h.percentile(p);
+        assert!(
+            est >= truth,
+            "{label}: p{p} underestimates: est {est} < true {truth}"
+        );
+        // Bucket width ≤ bucket_low/SUB_BUCKETS for v ≥ 2*SUB_BUCKETS, and
+        // buckets are exact below that, so the estimate (the bucket's upper
+        // bound, clamped to the observed max) exceeds the truth by at most
+        // truth/SUB_BUCKETS.
+        assert!(
+            est <= truth.saturating_add(truth / SUB_BUCKETS as u64),
+            "{label}: p{p} over-bound: est {est} > true {truth} + {}",
+            truth / SUB_BUCKETS as u64
+        );
+    }
+}
+
+#[test]
+fn quantile_bound_on_bucket_boundaries() {
+    // The nastiest inputs for a bucketing scheme are the bucket edges
+    // themselves: low, low±1, high, high+1 for a sweep of buckets across the
+    // whole dynamic range.
+    let mut samples = Vec::new();
+    let mut i = 1;
+    while i < NUM_BUCKETS - 1 {
+        let low = Histogram::bucket_low(i);
+        let high = Histogram::bucket_high(i);
+        samples.extend_from_slice(&[
+            low.saturating_sub(1).max(1),
+            low,
+            low.saturating_add(1),
+            // u64::MAX is the histogram's empty-min sentinel; stay below it.
+            high.min(u64::MAX - 1),
+            high.saturating_add(1).min(u64::MAX - 1),
+        ]);
+        i += 7; // stride keeps the stream adversarial but the test fast
+    }
+    assert_quantile_bound(&samples, "bucket boundaries");
+}
+
+#[test]
+fn quantile_bound_on_powers_of_two() {
+    // Powers of two sit exactly on sub-bucket rollovers.
+    let mut samples = Vec::new();
+    for shift in 0..63u32 {
+        let v = 1u64 << shift;
+        samples.extend_from_slice(&[v.saturating_sub(1).max(1), v, v + 1]);
+    }
+    assert_quantile_bound(&samples, "powers of two");
+}
+
+#[test]
+fn quantile_bound_on_heavy_duplicates() {
+    // Many duplicates concentrate mass in single buckets, stressing the rank
+    // arithmetic at every percentile.
+    let mut samples = vec![1_000_000u64; 500];
+    samples.extend(vec![17u64; 499]);
+    samples.push(u64::MAX / 2);
+    assert_quantile_bound(&samples, "heavy duplicates");
+}
+
+#[test]
+fn quantile_bound_on_seeded_random_streams() {
+    for seed in [1u64, 7, 42, 0xDEAD, 0xC0FFEE] {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let mut samples = Vec::with_capacity(4096);
+        for _ in 0..4096 {
+            // Mix magnitudes: draw an exponent, then a mantissa, so every
+            // power-of-two decade is exercised rather than only the huge ones
+            // a uniform u64 draw would hit.
+            let shift = rng.gen_range(0..56u32);
+            let v = (rng.next_u64() >> 8).max(1) >> (55 - shift.min(55));
+            samples.push(v.max(1));
+        }
+        assert_quantile_bound(&samples, &format!("random seed {seed}"));
+    }
+}
+
+#[test]
+fn quantile_bound_on_single_sample_streams() {
+    // u64::MAX itself is excluded: it doubles as the histogram's empty-min
+    // sentinel (values are nanoseconds by convention, so it is unreachable).
+    for v in [1u64, 15, 16, 31, 32, 33, 1_000_003, u64::MAX - 1] {
+        assert_quantile_bound(&[v], &format!("single sample {v}"));
+    }
+}
+
+/// Structural equality of two histograms: identical summaries and identical
+/// percentile sweeps.
+fn assert_same(a: &Histogram, b: &Histogram, label: &str) {
+    assert_eq!(a.summary(), b.summary(), "{label}: summaries differ");
+    for &p in PERCENTILES {
+        assert_eq!(a.percentile(p), b.percentile(p), "{label}: p{p} differs");
+    }
+}
+
+/// Builds a histogram from a sample stream.
+fn hist_of(samples: &[u64]) -> Histogram {
+    let h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+/// Three deterministic, differently-shaped streams for the algebra tests.
+fn three_streams() -> [Vec<u64>; 3] {
+    let mut rng = Pcg32::seed_from_u64(99);
+    let a: Vec<u64> = (0..500).map(|_| rng.gen_range(1..1_000u64)).collect();
+    let b: Vec<u64> = (0..300)
+        .map(|_| rng.gen_range(1_000..5_000_000u64))
+        .collect();
+    let c: Vec<u64> = (0..200).map(|i| 1u64 << (i % 40)).collect();
+    [a, b, c]
+}
+
+#[test]
+fn merge_is_associative() {
+    let [a, b, c] = three_streams();
+    // (a ⊕ b) ⊕ c
+    let left = hist_of(&a);
+    let ab = hist_of(&b);
+    left.merge(&ab);
+    left.merge(&hist_of(&c));
+    // a ⊕ (b ⊕ c)
+    let bc = hist_of(&b);
+    bc.merge(&hist_of(&c));
+    let right = hist_of(&a);
+    right.merge(&bc);
+    assert_same(&left, &right, "associativity");
+    // Both equal the histogram of the concatenated stream.
+    let mut all = a;
+    all.extend(b);
+    all.extend(c);
+    assert_same(&left, &hist_of(&all), "merge vs concat");
+}
+
+#[test]
+fn merge_is_commutative() {
+    let [a, b, _] = three_streams();
+    let ab = hist_of(&a);
+    ab.merge(&hist_of(&b));
+    let ba = hist_of(&b);
+    ba.merge(&hist_of(&a));
+    assert_same(&ab, &ba, "commutativity");
+}
+
+#[test]
+fn empty_histogram_is_merge_identity() {
+    let [a, _, _] = three_streams();
+    let left = hist_of(&a);
+    left.merge(&Histogram::new());
+    assert_same(&left, &hist_of(&a), "right identity");
+    let right = Histogram::new();
+    right.merge(&hist_of(&a));
+    assert_same(&right, &hist_of(&a), "left identity");
+    // Merging two empties stays empty (min must not absorb the u64::MAX
+    // sentinel into a bogus observed minimum).
+    let e = Histogram::new();
+    e.merge(&Histogram::new());
+    assert_eq!(e.summary(), Default::default(), "empty ⊕ empty");
+}
+
+#[test]
+fn merged_quantiles_keep_the_error_bound() {
+    // The 6.25 % bound must survive merging: merge is bucket-wise exact, so
+    // a merged histogram behaves like one built from the concatenated stream.
+    let [a, b, c] = three_streams();
+    let h = hist_of(&a);
+    h.merge(&hist_of(&b));
+    h.merge(&hist_of(&c));
+    let mut all = a;
+    all.extend(b);
+    all.extend(c);
+    all.sort_unstable();
+    for &p in PERCENTILES {
+        let truth = true_quantile(&all, p);
+        let est = h.percentile(p);
+        assert!(est >= truth, "p{p}: est {est} < true {truth}");
+        assert!(
+            est <= truth + truth / SUB_BUCKETS as u64,
+            "p{p}: est {est} over bound (true {truth})"
+        );
+    }
+}

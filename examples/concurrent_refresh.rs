@@ -46,7 +46,7 @@ fn main() {
             let mut streams = 0u64;
             let mut key_base = 7_000_000_000 + w as i64 * 1_000_000;
             while !stop.load(Ordering::Relaxed) {
-                if streams.is_multiple_of(2) {
+                if streams % 2 == 0 {
                     tpch::workloads::smc_insert_stream(&db, &mut rng, key_base, 200);
                     key_base += 200;
                 } else {

@@ -1,0 +1,211 @@
+#!/usr/bin/env python3
+"""Bench-report gate: validate a freshly produced BENCH_fig14.json against the
+checked-in baseline (examples/BENCH_fig14.json).
+
+The gate does NOT compare absolute timings (CI machines are noisy); it checks
+the *structure and correctness signals* of the report:
+
+  * schema is exactly ``smc-bench-report/v1`` (both files);
+  * every correctness check passed (``all_checks_passed`` and each
+    ``checks[].passed``) — these are the scan/Q1/Q6 parity oracles, so a
+    failure here means the parallel engine returned wrong answers;
+  * every check *name* present in the baseline is also present in the fresh
+    report — a silently dropped parity check must fail the gate;
+  * every series has at least one row, and the fresh report covers at least
+    the baseline's series names;
+  * the morsel counters (``morsels_dispatched``, ``blocks_scanned``) are
+    non-zero — zero means the morsel engine never actually dispatched work.
+
+Exit status: 0 = gate passed, 1 = gate failed, 2 = usage/IO error.
+
+``--self-test`` exercises the gate against doctored copies of the baseline
+(drop a parity check, flip a ``passed`` flag, zero a counter, ...) and fails
+if any doctored report slips through. CI runs the self-test first so a broken
+gate cannot silently pass broken reports.
+"""
+
+import argparse
+import copy
+import json
+import sys
+
+SCHEMA = "smc-bench-report/v1"
+REQUIRED_COUNTERS = ("morsels_dispatched", "blocks_scanned")
+
+
+def fail(msg):
+    raise GateError(msg)
+
+
+class GateError(Exception):
+    """A gate violation (exit status 1)."""
+
+
+def check_report(fresh, baseline):
+    """Raises GateError on the first violation; returns a summary dict."""
+    for label, rep in (("fresh", fresh), ("baseline", baseline)):
+        if not isinstance(rep, dict):
+            fail(f"{label} report is not a JSON object")
+        if rep.get("schema") != SCHEMA:
+            fail(f"{label} report schema is {rep.get('schema')!r}, want {SCHEMA!r}")
+
+    # --- correctness checks -------------------------------------------------
+    checks = fresh.get("checks")
+    if not isinstance(checks, list) or not checks:
+        fail("fresh report has no 'checks' — parity oracles did not run")
+    failed = [c.get("name", "<unnamed>") for c in checks if not c.get("passed")]
+    if failed:
+        fail(f"parity checks failed: {', '.join(failed)}")
+    if fresh.get("all_checks_passed") is not True:
+        fail("'all_checks_passed' is not true despite individual checks passing "
+             "(report is internally inconsistent)")
+
+    # --- no check silently dropped -----------------------------------------
+    fresh_names = {c.get("name") for c in checks}
+    base_names = {c.get("name") for c in baseline.get("checks", [])}
+    missing = sorted(n for n in base_names - fresh_names if n)
+    if missing:
+        fail(f"checks present in baseline but missing from fresh report: "
+             f"{', '.join(missing)} — a parity oracle was dropped")
+
+    # --- series coverage ----------------------------------------------------
+    series = fresh.get("series")
+    if not isinstance(series, list) or not series:
+        fail("fresh report has no 'series'")
+    for s in series:
+        if not s.get("rows"):
+            fail(f"series {s.get('name')!r} has no rows")
+    fresh_series = {s.get("name") for s in series}
+    base_series = {s.get("name") for s in baseline.get("series", [])}
+    missing_series = sorted(n for n in base_series - fresh_series if n)
+    if missing_series:
+        fail(f"series present in baseline but missing from fresh report: "
+             f"{', '.join(missing_series)}")
+
+    # --- morsel counters ----------------------------------------------------
+    counters = fresh.get("counters", {})
+    for name in REQUIRED_COUNTERS:
+        value = counters.get(name)
+        if not isinstance(value, (int, float)) or value <= 0:
+            fail(f"counter {name!r} is {value!r} — the morsel engine "
+                 f"dispatched no work")
+
+    return {
+        "checks": len(checks),
+        "series": sorted(n for n in fresh_series if n),
+        "counters": {n: counters[n] for n in REQUIRED_COUNTERS},
+    }
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_gate: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def run_gate(fresh_path, baseline_path):
+    fresh = load(fresh_path)
+    baseline = load(baseline_path)
+    try:
+        summary = check_report(fresh, baseline)
+    except GateError as e:
+        print(f"bench_gate: FAIL: {e}", file=sys.stderr)
+        return 1
+    print(f"bench_gate: PASS — {summary['checks']} checks green, "
+          f"series {summary['series']}, counters {summary['counters']}")
+    return 0
+
+
+# --- self-test ---------------------------------------------------------------
+
+def doctored_reports(base):
+    """Yields (description, doctored_fresh_report) pairs, each of which the
+    gate MUST reject when compared against the clean baseline."""
+    d = copy.deepcopy(base)
+    d["checks"] = [c for c in d["checks"] if c["name"] != "q6_parity_t1"]
+    yield "dropped parity check q6_parity_t1", d
+
+    d = copy.deepcopy(base)
+    d["checks"][0]["passed"] = False
+    yield "flipped checks[0].passed to false", d
+
+    d = copy.deepcopy(base)
+    d["all_checks_passed"] = False
+    yield "all_checks_passed = false", d
+
+    d = copy.deepcopy(base)
+    d["counters"]["morsels_dispatched"] = 0
+    yield "morsels_dispatched = 0", d
+
+    d = copy.deepcopy(base)
+    del d["counters"]["blocks_scanned"]
+    yield "blocks_scanned counter removed", d
+
+    d = copy.deepcopy(base)
+    d["series"][0]["rows"] = []
+    yield "series rows emptied", d
+
+    d = copy.deepcopy(base)
+    d["series"] = []
+    yield "series removed entirely", d
+
+    d = copy.deepcopy(base)
+    d["schema"] = "smc-bench-report/v0"
+    yield "wrong schema version", d
+
+    d = copy.deepcopy(base)
+    d["checks"] = []
+    d["all_checks_passed"] = True
+    yield "no checks at all but all_checks_passed true", d
+
+
+def self_test(baseline_path):
+    base = load(baseline_path)
+
+    # The clean baseline must pass against itself.
+    try:
+        check_report(copy.deepcopy(base), base)
+    except GateError as e:
+        print(f"bench_gate self-test: clean baseline rejected: {e}",
+              file=sys.stderr)
+        return 1
+    print("bench_gate self-test: clean baseline accepted")
+
+    bad = 0
+    for desc, doctored in doctored_reports(base):
+        try:
+            check_report(doctored, base)
+        except GateError as e:
+            print(f"bench_gate self-test: correctly rejected [{desc}]: {e}")
+        else:
+            print(f"bench_gate self-test: FAILED to reject [{desc}]",
+                  file=sys.stderr)
+            bad += 1
+    if bad:
+        print(f"bench_gate self-test: {bad} doctored report(s) slipped through",
+              file=sys.stderr)
+        return 1
+    print("bench_gate self-test: all doctored reports rejected")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--fresh", default="BENCH_fig14.json",
+                    help="freshly generated report (default: BENCH_fig14.json)")
+    ap.add_argument("--baseline", default="examples/BENCH_fig14.json",
+                    help="checked-in baseline report "
+                         "(default: examples/BENCH_fig14.json)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the gate rejects doctored reports, then exit")
+    args = ap.parse_args()
+    if args.self_test:
+        sys.exit(self_test(args.baseline))
+    sys.exit(run_gate(args.fresh, args.baseline))
+
+
+if __name__ == "__main__":
+    main()
