@@ -7,8 +7,8 @@
 use std::time::Duration;
 
 use smc::{ContextConfig, Smc};
-use smc_bench::{arg_usize, csv, csv_into, finish, time_median, Report};
-use smc_memory::{Runtime, Tabular};
+use smc_bench::{arg_usize, csv, csv_into, finish, init_tracing, time_median, Report};
+use smc_memory::{MemoryStats, Runtime, Tabular};
 
 #[derive(Clone, Copy)]
 struct Row {
@@ -18,7 +18,17 @@ struct Row {
 }
 unsafe impl Tabular for Row {}
 
-fn run_at_threshold(threshold: f64, n: usize, churn_rounds: usize) -> (f64, f64, f64) {
+/// Reader-side counters of one run's runtime, summed into the report at the
+/// end (each threshold gets a fresh [`Runtime`]).
+fn run_counters(rt: &Runtime) -> [u64; 3] {
+    [
+        MemoryStats::get(&rt.stats.pins_taken),
+        MemoryStats::get(&rt.stats.blocks_scanned),
+        MemoryStats::get(&rt.stats.morsels_dispatched),
+    ]
+}
+
+fn run_at_threshold(threshold: f64, n: usize, churn_rounds: usize) -> (f64, f64, f64, [u64; 3]) {
     let rt = Runtime::new();
     let config = ContextConfig {
         reclamation_threshold: threshold,
@@ -65,6 +75,7 @@ fn run_at_threshold(threshold: f64, n: usize, churn_rounds: usize) -> (f64, f64,
         churn_ops(n, churn_rounds) / churn_time.as_secs_f64(),
         1.0 / query_time.as_secs_f64(),
         memory,
+        run_counters(&rt),
     )
 }
 
@@ -74,6 +85,7 @@ fn churn_ops(n: usize, rounds: usize) -> f64 {
 }
 
 fn main() {
+    init_tracing();
     let n = arg_usize("--objects", 200_000);
     let rounds = arg_usize("--rounds", 6);
     println!("Figure 6: varying the reclamation threshold ({n} objects, {rounds} churn rounds)");
@@ -84,10 +96,14 @@ fn main() {
     let thresholds = [
         0.01, 0.02, 0.05, 0.10, 0.20, 0.30, 0.40, 0.50, 0.70, 0.90, 0.99,
     ];
+    let mut counters = [0u64; 3];
     let results: Vec<(f64, f64, f64, f64)> = thresholds
         .iter()
         .map(|&t| {
-            let (a, q, m) = run_at_threshold(t, n, rounds);
+            let (a, q, m, runtime_counters) = run_at_threshold(t, n, rounds);
+            for (acc, c) in counters.iter_mut().zip(runtime_counters) {
+                *acc += c;
+            }
             (t, a, q, m)
         })
         .collect();
@@ -124,6 +140,9 @@ fn main() {
         max_a > 0.0 && max_q > 0.0 && max_m > 0.0,
         format!("series maxima: alloc={max_a:.3} query={max_q:.3} memory={max_m:.3}"),
     );
+    report.counter("pins_taken", counters[0]);
+    report.counter("blocks_scanned", counters[1]);
+    report.counter("morsels_dispatched", counters[2]);
     let _ = Duration::ZERO;
-    finish(&report);
+    finish(&mut report);
 }

@@ -12,8 +12,8 @@ use managed_heap::{
     GcConcurrentBag, GcConcurrentDictionary, GcList, GcMode, HeapConfig, ManagedHeap, Trace,
 };
 use smc::Smc;
-use smc_bench::{arg_usize, csv, csv_into, finish, mops, time_once, Report};
-use smc_memory::{Runtime, Tabular};
+use smc_bench::{arg_usize, csv, csv_into, finish, init_tracing, mops, time_once, Report};
+use smc_memory::{MemoryStats, Runtime, Tabular};
 
 #[derive(Clone, Copy)]
 #[allow(dead_code)]
@@ -103,7 +103,7 @@ fn bench_dict(mode: GcMode, threads: usize, per_thread: usize) -> f64 {
     mops((threads * per_thread) as u64, d)
 }
 
-fn bench_smc(threads: usize, per_thread: usize) -> f64 {
+fn bench_smc(threads: usize, per_thread: usize) -> (f64, [u64; 3]) {
     let rt = Runtime::new();
     let c: Smc<Line> = Smc::new(&rt);
     let d = run_threads(threads, per_thread, |t| {
@@ -114,10 +114,16 @@ fn bench_smc(threads: usize, per_thread: usize) -> f64 {
             });
         }
     });
-    mops((threads * per_thread) as u64, d)
+    let counters = [
+        MemoryStats::get(&rt.stats.pins_taken),
+        MemoryStats::get(&rt.stats.blocks_scanned),
+        MemoryStats::get(&rt.stats.morsels_dispatched),
+    ];
+    (mops((threads * per_thread) as u64, d), counters)
 }
 
 fn main() {
+    init_tracing();
     let per_thread = arg_usize("--objects", 1_000_000);
     println!("Figure 7: allocation throughput (millions of lineitem-sized objects/s)");
     println!(
@@ -146,6 +152,7 @@ fn main() {
     let sid = report.series("alloc_throughput", &columns);
     csv(&columns);
     let mut smc_min = f64::INFINITY;
+    let mut counters = [0u64; 3];
     for threads in [1usize, 2, 4] {
         let pi = bench_pure_alloc(GcMode::Interactive, threads, per_thread);
         let pb = bench_pure_alloc(GcMode::Batch, threads, per_thread);
@@ -153,7 +160,10 @@ fn main() {
         let bb = bench_bag(GcMode::Batch, threads, per_thread);
         let di = bench_dict(GcMode::Interactive, threads, per_thread);
         let db = bench_dict(GcMode::Batch, threads, per_thread);
-        let smc = bench_smc(threads, per_thread);
+        let (smc, run_counters) = bench_smc(threads, per_thread);
+        for (acc, c) in counters.iter_mut().zip(run_counters) {
+            *acc += c;
+        }
         println!(
             "{threads:>8} {pi:>14.2} {pb:>14.2} {bi:>12.2} {bb:>12.2} {di:>12.2} {db:>12.2} {smc:>10.2}"
         );
@@ -178,5 +188,8 @@ fn main() {
         smc_min.is_finite() && smc_min > 0.0,
         format!("min SMC throughput across thread counts = {smc_min:.3} Mops/s"),
     );
-    finish(&report);
+    report.counter("pins_taken", counters[0]);
+    report.counter("blocks_scanned", counters[1]);
+    report.counter("morsels_dispatched", counters[2]);
+    finish(&mut report);
 }

@@ -7,13 +7,14 @@
 
 use std::sync::atomic::{AtomicI64, Ordering};
 
-use smc_bench::{arg_f64, arg_usize, csv, csv_into, finish, time_once, Report};
+use smc_bench::{arg_f64, arg_usize, csv, csv_into, finish, init_tracing, time_once, Report};
 use tpch::gcdb::GcDb;
 use tpch::smcdb::SmcDb;
 use tpch::workloads;
 use tpch::Generator;
 
 fn main() {
+    init_tracing();
     let sf = arg_f64("--sf", 0.02);
     let streams_per_thread = arg_usize("--streams", 6);
     let gen = Generator::new(sf);
@@ -29,6 +30,7 @@ fn main() {
     let sid = report.series("refresh_rate", &columns);
     csv(&columns);
     let mut min_rate = f64::INFINITY;
+    let mut counters = [0u64; 3];
 
     for threads in [1usize, 2, 4] {
         // Fresh databases per run so wear does not accumulate across rows.
@@ -85,6 +87,10 @@ fn main() {
                 workloads::gc_dict_removal_stream(&gc, &victims);
             }
         });
+        let stats = &smc.runtime.stats;
+        counters[0] += smc_memory::MemoryStats::get(&stats.pins_taken);
+        counters[1] += smc_memory::MemoryStats::get(&stats.blocks_scanned);
+        counters[2] += smc_memory::MemoryStats::get(&stats.morsels_dispatched);
         println!("{threads:>8} {list_rate:>12.1} {dict_rate:>12.1} {smc_rate:>12.1}");
         min_rate = min_rate.min(list_rate).min(dict_rate).min(smc_rate);
         csv_into(
@@ -103,5 +109,8 @@ fn main() {
         min_rate.is_finite() && min_rate > 0.0,
         format!("minimum refresh rate across series = {min_rate:.2}/min"),
     );
-    finish(&report);
+    report.counter("pins_taken", counters[0]);
+    report.counter("blocks_scanned", counters[1]);
+    report.counter("morsels_dispatched", counters[2]);
+    finish(&mut report);
 }

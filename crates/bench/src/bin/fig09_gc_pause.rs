@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 
 use managed_heap::{GcList, GcMode, HeapConfig, ManagedHeap, Trace};
 use smc::Smc;
-use smc_bench::{arg_usize, csv, csv_into, finish, Report};
+use smc_bench::{arg_usize, csv, csv_into, finish, init_tracing, Report};
 use smc_memory::{Runtime, Tabular};
 use smc_obs::Histogram;
 
@@ -76,6 +76,7 @@ fn measure_max_timeout(heap: &Arc<ManagedHeap>, duration: Duration) -> Duration 
 }
 
 fn main() {
+    init_tracing();
     let max_objects = arg_usize("--max-objects", 1_600_000);
     let window = Duration::from_millis(arg_usize("--window-ms", 1500) as u64);
     println!("Figure 9: longest thread timeout (ms) vs collection size");
@@ -99,6 +100,7 @@ fn main() {
     // runs of each configuration (the per-heap PauseStats histograms).
     let managed_pauses = Histogram::new();
     let smc_pauses = Histogram::new();
+    let mut counters = [0u64; 3];
     let mut sizes = Vec::new();
     let mut n = max_objects / 8;
     while n <= max_objects {
@@ -140,6 +142,9 @@ fn main() {
             }
             row.push(measure_max_timeout(&heap, window));
             smc_pauses.merge(heap.pauses.histogram());
+            counters[0] += smc_memory::MemoryStats::get(&rt.stats.pins_taken);
+            counters[1] += smc_memory::MemoryStats::get(&rt.stats.blocks_scanned);
+            counters[2] += smc_memory::MemoryStats::get(&rt.stats.morsels_dispatched);
             drop(c);
         }
         let msf = |d: Duration| d.as_secs_f64() * 1e3;
@@ -177,5 +182,8 @@ fn main() {
             managed_pauses.count()
         ),
     );
-    finish(&report);
+    report.counter("pins_taken", counters[0]);
+    report.counter("blocks_scanned", counters[1]);
+    report.counter("morsels_dispatched", counters[2]);
+    finish(&mut report);
 }

@@ -5,7 +5,10 @@
 //! leaving limbo holes in SMC blocks. Nested enumeration follows
 //! lineitem → order → customer (§7).
 
-use smc_bench::{arg_f64, arg_usize, csv, csv_into, finish, ms, time_median, Report};
+use smc_bench::{
+    arg_f64, arg_usize, csv, csv_into, finish, init_tracing, ms, record_memory_counters,
+    time_median, Report,
+};
 use tpch::gcdb::GcDb;
 #[allow(unused_imports)]
 use tpch::smcdb::SmcDb as _SmcDbAlias;
@@ -14,6 +17,7 @@ use tpch::workloads;
 use tpch::Generator;
 
 fn main() {
+    init_tracing();
     let sf = arg_f64("--sf", 0.05);
     let wear_cycles = arg_usize("--wear", 8);
     let gen = Generator::new(sf);
@@ -212,5 +216,6 @@ fn main() {
             stats.compaction_pass_ns.count()
         ),
     );
-    finish(&report);
+    record_memory_counters(&mut report, stats);
+    finish(&mut report);
 }

@@ -4,7 +4,10 @@
 //! SMC (compiled unsafe). `--linq` adds the interpreted-LINQ column for Q1
 //! and Q6 (the §7 "40–400 % slower" observation).
 
-use smc_bench::{arg_f64, arg_flag, csv, csv_into, finish, ms, time_median, Report};
+use smc_bench::{
+    arg_f64, arg_flag, csv, csv_into, finish, init_tracing, ms, record_memory_counters,
+    time_median, Report,
+};
 use tpch::gcdb::GcDb;
 use tpch::queries::gc_q::EnumVia;
 use tpch::queries::{gc_q, smc_q, Params};
@@ -12,6 +15,7 @@ use tpch::smcdb::SmcDb;
 use tpch::Generator;
 
 fn main() {
+    init_tracing();
     let sf = arg_f64("--sf", 0.05);
     let with_linq = arg_flag("--linq");
     let gen = Generator::new(sf);
@@ -145,5 +149,6 @@ fn main() {
         latencies.count() > 0,
         format!("{} per-query spans recorded", latencies.count()),
     );
-    finish(&report);
+    record_memory_counters(&mut report, &smc.runtime.stats);
+    finish(&mut report);
 }

@@ -2,12 +2,15 @@
 //! relative to the base SMC. Direct pointers help join queries (Q3–Q5);
 //! columnar storage helps scan-dominated queries (Q1, Q6).
 
-use smc_bench::{arg_f64, csv, csv_into, finish, ms, time_median, Report};
+use smc_bench::{
+    arg_f64, csv, csv_into, finish, init_tracing, ms, record_memory_counters, time_median, Report,
+};
 use tpch::queries::{smc_q, Params};
 use tpch::smcdb::SmcDb;
 use tpch::Generator;
 
 fn main() {
+    init_tracing();
     let sf = arg_f64("--sf", 0.05);
     let gen = Generator::new(sf);
     let p = Params::default();
@@ -81,5 +84,6 @@ fn main() {
         tpch::queries::QUERY_LATENCY_NS.count() > 0,
         "per-query spans recorded",
     );
-    finish(&report);
+    record_memory_counters(&mut report, &smc.runtime.stats);
+    finish(&mut report);
 }

@@ -5,13 +5,16 @@
 //! indexes prune hard (notably Q6); the SMC variants win the join-heavy
 //! queries thanks to reference joins.
 
-use smc_bench::{arg_f64, csv, csv_into, finish, ms, time_median, Report};
+use smc_bench::{
+    arg_f64, csv, csv_into, finish, init_tracing, ms, record_memory_counters, time_median, Report,
+};
 use tpch::csdb::CsDb;
 use tpch::queries::{cs_q, smc_q, Params};
 use tpch::smcdb::SmcDb;
 use tpch::Generator;
 
 fn main() {
+    init_tracing();
     let sf = arg_f64("--sf", 0.05);
     let gen = Generator::new(sf);
     let p = Params::default();
@@ -83,5 +86,6 @@ fn main() {
         tpch::queries::QUERY_LATENCY_NS.count() > 0,
         "per-query spans recorded",
     );
-    finish(&report);
+    record_memory_counters(&mut report, &smc.runtime.stats);
+    finish(&mut report);
 }

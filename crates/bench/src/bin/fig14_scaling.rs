@@ -11,13 +11,17 @@
 //! recorded) and exits non-zero, so CI smoke catches regressions from the
 //! artifact as well as the exit code.
 
-use smc_bench::{arg_f64, arg_usize, csv, csv_into, finish, ms, time_median, Report};
+use smc_bench::{
+    arg_f64, arg_usize, csv, csv_into, finish, init_tracing, ms, record_memory_counters,
+    time_median, Report,
+};
 use smc_exec::{ParScan, WorkerPool};
 use tpch::queries::{smc_q, Params};
 use tpch::smcdb::SmcDb;
 use tpch::Generator;
 
 fn main() {
+    init_tracing();
     let sf = arg_f64("--sf", 0.05);
     let max_threads = arg_usize("--max-threads", 8);
     let runs = arg_usize("--runs", 3);
@@ -102,7 +106,8 @@ fn main() {
         );
         if n != scan_seq || q1_par != q1_seq || q6_par != q6_seq {
             eprintln!("parity failure at {threads} threads; skipping timing sweep");
-            finish(&report);
+            record_memory_counters(&mut report, &db.runtime.stats);
+            finish(&mut report);
         }
 
         let t_scan = time_median(runs, || std::hint::black_box(scan.filter_count(|_| true)));
@@ -141,13 +146,6 @@ fn main() {
         threads *= 2;
     }
     report.histogram("query_latency_ns", &tpch::queries::QUERY_LATENCY_NS);
-    report.counter(
-        "morsels_dispatched",
-        smc_memory::MemoryStats::get(&db.runtime.stats.morsels_dispatched),
-    );
-    report.counter(
-        "blocks_scanned",
-        smc_memory::MemoryStats::get(&db.runtime.stats.blocks_scanned),
-    );
-    finish(&report);
+    record_memory_counters(&mut report, &db.runtime.stats);
+    finish(&mut report);
 }

@@ -1,0 +1,301 @@
+//! `smc-top` — the live memory observatory dashboard.
+//!
+//! Runs an embedded churn workload (worker threads doing add/remove/read
+//! against one [`Smc`], with a compaction pass between refreshes) and
+//! periodically renders a [`HeapSnapshot`] as a text dashboard: per-block
+//! occupancy bars, limbo/hole fragmentation, incarnation churn,
+//! indirection-table load, epoch lag, pin hold-time and compaction
+//! percentiles, and the tracer's per-ring drop counters. The workload is
+//! the subject; the point is watching the observatory instruments move
+//! while writers run.
+//!
+//! ```text
+//! smc-top [--threads N] [--objects N] [--refresh-ms N] [--ticks N]
+//!         [--once] [--json]
+//! ```
+//!
+//! `--json` prints each snapshot as one `smc-heap-snapshot/v1` JSON
+//! document (extended with tracer and workload figures) instead of the
+//! dashboard; `--once` renders a single snapshot and exits (CI runs
+//! `smc-top --json --once`). `SMC_TRACE_OUT` additionally writes a Chrome
+//! trace of the run on exit, like every bench binary.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use smc::{ContextConfig, Ref, Smc, Tabular};
+use smc_bench::{arg_flag, arg_usize, init_tracing};
+use smc_memory::{HeapSnapshot, MemoryStats, Runtime};
+use smc_obs::{Histogram, JsonValue, Registry, Summary};
+use smc_util::Pcg32;
+
+#[derive(Clone, Copy)]
+struct Row {
+    #[allow(dead_code)]
+    key: u64,
+    _payload: [u64; 14],
+}
+unsafe impl Tabular for Row {}
+
+/// One churn worker: keeps a pool of live refs, alternates inserts,
+/// removes and reads, and records per-op latency into a thread-local
+/// histogram registered (merge-on-demand) in the global [`Registry`].
+fn worker(c: Arc<Smc<Row>>, seed: u64, stop: Arc<AtomicBool>, keys: Arc<AtomicU64>) {
+    let hist = Arc::new(Histogram::new());
+    Registry::global().register("smc_top.worker_op_ns", &hist);
+    let mut rng = Pcg32::seed_from_u64(seed);
+    let mut pool: Vec<Ref<Row>> = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        let t0 = Instant::now();
+        match rng.gen_range(0u32..100) {
+            0..=39 => {
+                let key = keys.fetch_add(1, Ordering::Relaxed);
+                if let Ok(r) = c.try_add(Row {
+                    key,
+                    _payload: [key; 14],
+                }) {
+                    pool.push(r);
+                }
+            }
+            40..=69 => {
+                if !pool.is_empty() {
+                    let i = rng.gen_range(0..pool.len());
+                    let r = pool.swap_remove(i);
+                    let _ = c.try_remove(r);
+                }
+            }
+            _ => {
+                if !pool.is_empty() {
+                    let r = pool[rng.gen_range(0..pool.len())];
+                    if let Ok(guard) = c.runtime().try_pin() {
+                        std::hint::black_box(c.read(r, &guard));
+                    }
+                }
+            }
+        }
+        hist.record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+    }
+    // Shed the pool so repeated runs do not grow without bound; the
+    // histogram Arc dies with this thread and self-unregisters.
+    for r in pool {
+        let _ = c.try_remove(r);
+    }
+}
+
+/// `width`-character occupancy bar: `[######....]`.
+fn bar(frac: f64, width: usize) -> String {
+    let filled = (frac.clamp(0.0, 1.0) * width as f64).round() as usize;
+    format!("[{}{}]", "#".repeat(filled), ".".repeat(width - filled))
+}
+
+fn mib(bytes: u64) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+fn fmt_summary(s: &Summary) -> String {
+    format!(
+        "p50 {} p95 {} p99 {} max {} (n={})",
+        s.p50, s.p95, s.p99, s.max, s.count
+    )
+}
+
+/// Renders one dashboard frame to stdout.
+fn render(tick: u64, snap: &HeapSnapshot, rt: &Runtime, live: u64) {
+    println!(
+        "smc-top tick {tick} — epoch {} (lag {}, min pinned {}) — watermark {}",
+        snap.watermark.global_epoch_end,
+        snap.epoch_lag,
+        snap.min_pinned_epoch
+            .map_or_else(|| "-".to_string(), |e| e.to_string()),
+        if snap.watermark.consistent() {
+            "consistent"
+        } else {
+            "INCONSISTENT"
+        }
+    );
+    for c in &snap.collections {
+        let compacting = c.blocks.iter().filter(|b| b.compacting).count();
+        println!(
+            "  ctx#{}: {} blocks ({} compacting, {} groups) occ {:5.1}% {} \
+             live {} limbo {} holes {}",
+            c.context_id,
+            c.block_count(),
+            compacting,
+            c.groups,
+            c.occupancy() * 100.0,
+            bar(c.occupancy(), 20),
+            c.valid_slots,
+            c.limbo_slots,
+            c.hole_slots,
+        );
+        println!(
+            "         live {:.2} MiB  dead {:.2} MiB  holes {:.2} MiB  \
+             footprint {:.2} MiB  incarnation churn {}",
+            mib(c.live_bytes()),
+            mib(c.dead_bytes()),
+            mib(c.hole_bytes()),
+            mib(c.footprint_bytes()),
+            c.incarnation_churn,
+        );
+    }
+    println!(
+        "  indirection: live {}/{} ({:.1}%)  quarantined {}  deferred {}",
+        snap.indirection.live_entries,
+        snap.indirection.capacity,
+        snap.indirection.load_factor() * 100.0,
+        snap.indirection.quarantined_entries,
+        snap.indirection.deferred_entries,
+    );
+    println!("  pin hold ns:         {}", fmt_summary(&snap.pin_hold));
+    println!(
+        "  compaction pass ns:  {}",
+        rt.stats.compaction_pass_ns.summary()
+    );
+    println!(
+        "  compaction pause ns: {}",
+        rt.stats.compaction_pause_ns.summary()
+    );
+    let merged = Registry::global().merged("smc_top.worker_op_ns");
+    println!("  worker op ns:        {}", fmt_summary(&merged.summary()));
+    let dropped = smc_obs::trace::dropped();
+    let per_thread = smc_obs::trace::dropped_by_thread()
+        .iter()
+        .map(|(t, d)| format!("ring {t}: {d}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    println!(
+        "  tracer: {} events dropped{}  |  collection len {}",
+        dropped,
+        if per_thread.is_empty() {
+            String::new()
+        } else {
+            format!(" ({per_thread})")
+        },
+        live,
+    );
+    println!();
+}
+
+/// The `--json` document: the heap snapshot extended with tracer and
+/// workload figures.
+fn json_doc(tick: u64, snap: &HeapSnapshot, rt: &Runtime, live: u64) -> JsonValue {
+    let mut doc = snap.to_json();
+    doc.set("tick", tick);
+    doc.set("collection_len", live);
+    let mut tracer = JsonValue::obj();
+    tracer.set("dropped", smc_obs::trace::dropped());
+    let per_thread = smc_obs::trace::dropped_by_thread()
+        .into_iter()
+        .map(|(t, d)| {
+            let mut o = JsonValue::obj();
+            o.set("thread", t);
+            o.set("dropped", d);
+            o
+        })
+        .collect();
+    tracer.set("dropped_by_thread", JsonValue::Arr(per_thread));
+    doc.set("tracer", tracer);
+    let worker = Registry::global().merged("smc_top.worker_op_ns").summary();
+    let mut w = JsonValue::obj();
+    w.set("count", worker.count);
+    w.set("p50_ns", worker.p50);
+    w.set("p95_ns", worker.p95);
+    w.set("p99_ns", worker.p99);
+    doc.set("worker_op_ns", w);
+    let pass = rt.stats.compaction_pass_ns.summary();
+    let mut p = JsonValue::obj();
+    p.set("count", pass.count);
+    p.set("p50_ns", pass.p50);
+    p.set("p99_ns", pass.p99);
+    doc.set("compaction_pass_ns", p);
+    doc
+}
+
+fn main() {
+    let trace_out = init_tracing();
+    let threads = arg_usize("--threads", 2);
+    let objects = arg_usize("--objects", 50_000);
+    let refresh_ms = arg_usize("--refresh-ms", 500);
+    let json = arg_flag("--json");
+    let once = arg_flag("--once");
+    let ticks = arg_usize("--ticks", if once { 1 } else { 0 });
+
+    let rt = Runtime::new();
+    // Compaction-eager configuration so the dashboard has relocation and
+    // fragmentation activity to show.
+    let config = ContextConfig {
+        reclamation_threshold: 1.1, // in-place reclamation off
+        compaction_occupancy: 0.85,
+        ..ContextConfig::default()
+    };
+    let c: Arc<Smc<Row>> = Arc::new(Smc::with_config(&rt, config));
+    let keys = Arc::new(AtomicU64::new(0));
+    for i in 0..objects as u64 {
+        let key = keys.fetch_add(1, Ordering::Relaxed);
+        let _ = c.try_add(Row {
+            key,
+            _payload: [i; 14],
+        });
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let handles: Vec<_> = (0..threads)
+        .map(|tid| {
+            let c = c.clone();
+            let stop = stop.clone();
+            let keys = keys.clone();
+            std::thread::spawn(move || worker(c, 0x5eed_u64 + tid as u64, stop, keys))
+        })
+        .collect();
+
+    if !json {
+        println!(
+            "smc-top: {threads} churn workers over {objects} objects, \
+             refresh {refresh_ms} ms (ctrl-c to quit)"
+        );
+    }
+    let mut tick = 0u64;
+    loop {
+        tick += 1;
+        // Snapshot concurrently with the workers — the observatory's whole
+        // claim — then compact so the next frame shows relocation activity.
+        let snap = c.heap_snapshot();
+        if json {
+            println!("{}", json_doc(tick, &snap, &rt, c.len()).to_json());
+        } else {
+            render(tick, &snap, &rt, c.len());
+        }
+        if ticks > 0 && tick >= ticks as u64 {
+            break;
+        }
+        c.compact();
+        c.release_retired();
+        std::thread::sleep(Duration::from_millis(refresh_ms as u64));
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    // Quiesce and sanity-check before exiting: the snapshot instruments
+    // must reconcile with the structural validator once writers stop.
+    c.compact();
+    c.release_retired();
+    rt.drain_graveyard_blocking();
+    let verify = c.verify().expect("validator failed after quiescence");
+    let snap = c.heap_snapshot();
+    assert_eq!(
+        snap.totals().0,
+        verify.valid_slots,
+        "quiescent snapshot diverged from verify"
+    );
+    let _ = MemoryStats::get(&rt.stats.pins_taken);
+    if let Some(path) = trace_out {
+        let trace = smc_obs::ChromeTrace::from_ring_snapshot();
+        match trace.write(&path) {
+            Ok(()) => eprintln!("trace: {}", path.display()),
+            Err(e) => eprintln!("failed to write trace {}: {e}", path.display()),
+        }
+    }
+}

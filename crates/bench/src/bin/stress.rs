@@ -26,7 +26,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use smc::{ContextConfig, Ref, Smc, Tabular};
-use smc_bench::{arg_f64, arg_usize, csv};
+use smc_bench::{arg_f64, arg_usize, csv, init_tracing};
 use smc_memory::error::MemError;
 use smc_memory::{Runtime, BLOCK_SIZE};
 use smc_util::Pcg32;
@@ -151,6 +151,7 @@ fn worker(
 }
 
 fn main() {
+    let trace_out = init_tracing();
     let seed = arg_usize("--seed", 0x5eed) as u64;
     let threads = arg_usize("--threads", 4);
     let ops = arg_usize("--ops", 20_000);
@@ -294,5 +295,18 @@ fn main() {
         &snap.compactions_interrupted.to_string(),
         &snap.oom_recoveries.to_string(),
     ]);
+    // The stress harness has no Report; export the Chrome trace directly.
+    if let Some(path) = trace_out {
+        let trace = smc_obs::ChromeTrace::from_ring_snapshot();
+        match trace.write(&path) {
+            Ok(()) => println!(
+                "trace: {} ({} events, {} dropped)",
+                path.display(),
+                trace.len(),
+                smc_obs::trace::dropped()
+            ),
+            Err(e) => eprintln!("failed to write trace {}: {e}", path.display()),
+        }
+    }
     println!("stress: OK");
 }

@@ -12,9 +12,65 @@
 
 #![warn(missing_docs)]
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
+use smc_memory::MemoryStats;
+
 pub use smc_obs::{JsonValue, Report, SeriesId};
+
+/// Enables the structured tracer when `SMC_TRACE_OUT` names a destination
+/// file, returning that path. Call at the top of `main`, before the
+/// workload; [`finish`] (or [`export_trace`]) later drains the rings into a
+/// Chrome `trace_event` file at the path. A no-op returning `None` when the
+/// variable is unset, so the disabled-tracer fast path stays untouched.
+pub fn init_tracing() -> Option<PathBuf> {
+    let path = std::env::var_os("SMC_TRACE_OUT")?;
+    smc_obs::trace::enable();
+    Some(PathBuf::from(path))
+}
+
+/// Drains the trace rings into the Chrome trace file named by
+/// `SMC_TRACE_OUT` (no-op when unset) and records the `trace_events` /
+/// `trace_events_dropped` counters in the report — the pair
+/// `scripts/bench_gate.py` cross-checks (zero events with non-zero drops
+/// means the whole story was overwritten). Called by [`finish`]; call
+/// directly only from binaries that do not end through `finish`.
+pub fn export_trace(report: &mut Report) {
+    let Some(path) = std::env::var_os("SMC_TRACE_OUT") else {
+        return;
+    };
+    let trace = smc_obs::ChromeTrace::from_ring_snapshot();
+    report.counter("trace_events", trace.len() as u64);
+    report.counter("trace_events_dropped", smc_obs::trace::dropped());
+    let path = PathBuf::from(path);
+    match trace.write(&path) {
+        Ok(()) => println!("trace: {}", path.display()),
+        Err(e) => eprintln!("failed to write trace {}: {e}", path.display()),
+    }
+}
+
+/// Records the reader-side [`MemoryStats`] counters every report carries
+/// (`pins_taken`, `blocks_scanned`, `morsels_dispatched`) — the shared
+/// schema path `scripts/bench_gate.py` validates. Binaries without an
+/// off-heap runtime record explicit zeros via [`record_zero_memory_counters`]
+/// so the gate can rely on the keys existing.
+pub fn record_memory_counters(report: &mut Report, stats: &MemoryStats) {
+    report.counter("pins_taken", MemoryStats::get(&stats.pins_taken));
+    report.counter("blocks_scanned", MemoryStats::get(&stats.blocks_scanned));
+    report.counter(
+        "morsels_dispatched",
+        MemoryStats::get(&stats.morsels_dispatched),
+    );
+}
+
+/// The [`record_memory_counters`] keys, as zeros, for benchmarks that never
+/// touch an off-heap runtime (e.g. managed-heap-only figures).
+pub fn record_zero_memory_counters(report: &mut Report) {
+    report.counter("pins_taken", 0);
+    report.counter("blocks_scanned", 0);
+    report.counter("morsels_dispatched", 0);
+}
 
 /// Median-of-`runs` wall time of `f`, after one warm-up call. The return
 /// value of `f` is black-boxed so the computation cannot be optimized out.
@@ -101,10 +157,13 @@ pub fn write_report(report: &Report) -> i32 {
     }
 }
 
-/// Writes the report and exits with [`write_report`]'s code. Every fig
-/// binary ends through here so a parity failure both leaves a JSON artifact
-/// and fails the process.
-pub fn finish(report: &Report) -> ! {
+/// Exports the Chrome trace (when `SMC_TRACE_OUT` is set), then writes the
+/// report and exits with [`write_report`]'s code. Every fig binary ends
+/// through here so a parity failure both leaves a JSON artifact and fails
+/// the process — and every bench emits its trace file alongside
+/// `BENCH_*.json` with no per-binary wiring.
+pub fn finish(report: &mut Report) -> ! {
+    export_trace(report);
     std::process::exit(write_report(report))
 }
 

@@ -51,6 +51,7 @@ pub fn all() -> Vec<NamedScenario> {
         ("slot_vs_entry_incarnation", slot_vs_entry_incarnation),
         ("exactly_once_visitation", exactly_once_visitation),
         ("budget_race", budget_race),
+        ("snapshot_vs_advance", snapshot_vs_advance),
     ]
 }
 
@@ -71,6 +72,50 @@ pub fn pin_vs_advance() -> Scenario {
                 global <= pinned + 1,
                 "reader pinned at epoch {pinned} observed global epoch {global}: \
                  memory freed during its grace period may already be reused"
+            );
+            drop(guard);
+        })
+        .thread(move || {
+            let _ = mgr.try_advance();
+            let _ = mgr.try_advance();
+        })
+}
+
+/// The memory observatory's capture sequence (pin → read epoch begin → walk
+/// → read min-pinned → read epoch end) races an epoch-advancing thread.
+/// Oracle: the snapshot's watermark invariant — both epoch reads, taken
+/// while pinned at `e`, are bounded by `e + 1`, and the min-pinned gauge
+/// never reports an epoch above the snapshotter's own pin (the snapshot *is*
+/// a pinned reader, so it bounds the minimum from above). This is exactly
+/// the `Watermark::consistent()` contract `HeapSnapshot::try_capture`
+/// asserts over a live heap; here it is swept over every interleaving.
+pub fn snapshot_vs_advance() -> Scenario {
+    let mgr = EpochManager::new();
+    let snap_mgr = mgr.clone();
+    Scenario::new()
+        .thread(move || {
+            // HeapSnapshot::try_capture, reduced to its epoch reads.
+            let guard = snap_mgr.pin();
+            let pinned = guard.epoch();
+            let begin = snap_mgr.global_epoch();
+            let min_pinned = snap_mgr.min_pinned_epoch();
+            let lag = snap_mgr.epoch_lag();
+            let end = snap_mgr.global_epoch();
+            assert!(
+                begin <= pinned + 1 && end <= pinned + 1,
+                "snapshot pinned at {pinned} watermarked [{begin}, {end}]: \
+                 blocks walked by the snapshot could already be reused"
+            );
+            let min = min_pinned.expect("snapshotter itself is pinned");
+            assert!(
+                min <= pinned,
+                "min-pinned gauge ({min}) passed over the snapshotter's own \
+                 pin ({pinned})"
+            );
+            assert!(
+                min + lag >= begin,
+                "epoch lag {lag} inconsistent with min-pinned {min} and \
+                 global {begin}"
             );
             drop(guard);
         })

@@ -32,6 +32,7 @@ use smc_memory::context::{
 };
 use smc_memory::epoch::Guard;
 use smc_memory::error::MemError;
+use smc_memory::inspect::HeapSnapshot;
 use smc_memory::runtime::Runtime;
 use smc_memory::slot::{SlotId, SlotState};
 use smc_memory::stats::MemoryStats;
@@ -281,6 +282,16 @@ impl<T: Tabular> Smc<T> {
             )]);
         }
         Ok(report)
+    }
+
+    /// Captures a lock-free observatory snapshot of this collection's heap
+    /// (per-block occupancy, limbo dead space, holes, incarnation churn,
+    /// indirection load, epoch lag). Unlike [`verify`](Self::verify) it does
+    /// **not** require quiescence — it pins an epoch guard and tolerates
+    /// concurrent mutation and relocation; see
+    /// [`smc_memory::inspect`] for the consistency model.
+    pub fn heap_snapshot(&self) -> HeapSnapshot {
+        HeapSnapshot::capture(self.runtime(), &[&self.ctx])
     }
 
     /// The §6 fix-up scan, run on a *referencing* collection after a

@@ -180,6 +180,13 @@ impl<T: Columnar> ColumnarSmc<T> {
         &self.ctx
     }
 
+    /// Captures a lock-free observatory snapshot of this collection's heap;
+    /// see [`smc_memory::inspect`] for the consistency model. Does not
+    /// require quiescence.
+    pub fn heap_snapshot(&self) -> smc_memory::inspect::HeapSnapshot {
+        smc_memory::inspect::HeapSnapshot::capture(self.runtime(), &[&self.ctx])
+    }
+
     /// Slots per block.
     pub fn capacity_per_block(&self) -> usize {
         self.ctx.layout().capacity as usize

@@ -71,3 +71,4 @@ pub use refs::{DirectRef, OptDirectRef, Ref};
 pub use smc_memory::context::{CompactionReport, ContextConfig};
 pub use smc_memory::epoch::Guard;
 pub use smc_memory::{Decimal, InlineStr, Runtime, Tabular};
+pub use smc_memory::{HeapSnapshot, Watermark};

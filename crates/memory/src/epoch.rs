@@ -56,6 +56,11 @@ struct ThreadSlot {
     depth: AtomicU32,
     /// Slot ownership: 0 free, 1 claimed.
     claimed: AtomicU32,
+    /// Monotonic nanos at which the current outermost critical section was
+    /// entered. Observability-only, so deliberately a *plain* std atomic —
+    /// the instrumented `crate::sync` types would add model-checker switch
+    /// points to every pin and blow up the `smc_check` state space.
+    pin_start: std::sync::atomic::AtomicU64,
 }
 
 impl ThreadSlot {
@@ -64,8 +69,17 @@ impl ThreadSlot {
             epoch: AtomicU64::new(0),
             depth: AtomicU32::new(0),
             claimed: AtomicU32::new(0),
+            pin_start: std::sync::atomic::AtomicU64::new(0),
         }
     }
+}
+
+/// Monotonic nanoseconds for pin hold-time accounting (process-wide base).
+fn now_nanos() -> u64 {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+    static BASE: OnceLock<Instant> = OnceLock::new();
+    BASE.get_or_init(Instant::now).elapsed().as_nanos() as u64
 }
 
 /// The global epoch state shared by all threads of one runtime.
@@ -89,6 +103,11 @@ pub struct EpochManager {
     /// Failpoint registry shared with the owning runtime (a detached,
     /// permanently-disarmed one for bare managers).
     faults: Arc<FaultInjector>,
+    /// Distribution of outermost critical-section hold times in
+    /// nanoseconds, fed on every [`Guard`] drop. Long pins are what stall
+    /// epoch advancement (and therefore reclamation and compaction), so the
+    /// observatory surfaces this next to [`epoch_lag`](Self::epoch_lag).
+    pin_hold_ns: smc_obs::Histogram,
 }
 
 static NEXT_MANAGER_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
@@ -140,6 +159,7 @@ impl EpochManager {
             next_relocation_epoch: AtomicU64::new(0),
             in_moving_phase: AtomicBool::new(false),
             faults,
+            pin_hold_ns: smc_obs::Histogram::new(),
         })
     }
 
@@ -218,6 +238,7 @@ impl EpochManager {
                 slot.epoch.store(e, Ordering::SeqCst);
                 slot.depth.store(1, Ordering::SeqCst);
                 fence(Ordering::SeqCst);
+                slot.pin_start.store(now_nanos(), Ordering::Relaxed);
                 return;
             }
             // Publish-recheck loop: republish until the global epoch is
@@ -233,6 +254,7 @@ impl EpochManager {
                 }
                 e = now;
             }
+            slot.pin_start.store(now_nanos(), Ordering::Relaxed);
         } else {
             slot.depth.store(depth + 1, Ordering::Relaxed);
         }
@@ -243,8 +265,12 @@ impl EpochManager {
         let depth = slot.depth.load(Ordering::Relaxed);
         debug_assert!(depth > 0, "exit without matching enter");
         if depth == 1 {
+            let held = now_nanos().saturating_sub(slot.pin_start.load(Ordering::Relaxed));
             fence(Ordering::SeqCst); // order object accesses before the clear
             slot.depth.store(0, Ordering::SeqCst);
+            // Recorded after the clear so the histogram update never
+            // extends the critical section it measures.
+            self.pin_hold_ns.record(held);
         } else {
             slot.depth.store(depth - 1, Ordering::Relaxed);
         }
@@ -369,6 +395,52 @@ impl EpochManager {
                     crate::sync::cpu_relax();
                 }
             }
+        }
+    }
+
+    /// Histogram of outermost critical-section (pin) hold times in
+    /// nanoseconds. Lock-free to read at any time; drives the observatory's
+    /// pin hold-time percentiles ([`inspect`](crate::inspect)).
+    pub fn pin_hold_ns(&self) -> &smc_obs::Histogram {
+        &self.pin_hold_ns
+    }
+
+    /// The oldest epoch any thread currently inside a critical section is
+    /// pinned at, or `None` when no thread is pinned.
+    ///
+    /// This is a racy observability read — threads keep entering and
+    /// exiting while the slots are walked — but it is *conservatively*
+    /// racy in the direction that matters: a slot observed in-critical at
+    /// epoch `e` really was pinned at `e` at the moment of the read, and
+    /// by the advance invariant the global epoch was then at most `e + 1`.
+    pub fn min_pinned_epoch(&self) -> Option<u64> {
+        let mut min = None;
+        for slot in self.slots.iter() {
+            if slot.claimed.load(Ordering::Acquire) == 0 {
+                continue;
+            }
+            if slot.depth.load(Ordering::SeqCst) == 0 {
+                continue;
+            }
+            let e = slot.epoch.load(Ordering::SeqCst);
+            min = Some(match min {
+                None => e,
+                Some(m) if e < m => e,
+                Some(m) => m,
+            });
+        }
+        min
+    }
+
+    /// How far the global epoch has run ahead of the oldest pinned reader
+    /// (0 when nothing is pinned). The §3.4 advance invariant bounds this
+    /// at 1 for a consistent observation; values read while readers churn
+    /// are still useful as a stall indicator (a reader stuck at lag ≥ 1
+    /// for a long interval is what blocks reclamation).
+    pub fn epoch_lag(&self) -> u64 {
+        match self.min_pinned_epoch() {
+            Some(m) => self.global_epoch().saturating_sub(m),
+            None => 0,
         }
     }
 
@@ -612,6 +684,39 @@ mod tests {
         assert_eq!(mgr.global_epoch(), 0);
         faults.disable();
         assert_eq!(mgr.try_advance(), Some(1));
+    }
+
+    #[test]
+    fn pin_hold_time_is_recorded_on_guard_drop() {
+        let mgr = EpochManager::new();
+        let before = mgr.pin_hold_ns().count();
+        {
+            let _g = mgr.pin();
+            // Nested guards must not double-count.
+            let _g2 = mgr.pin();
+        }
+        assert_eq!(
+            mgr.pin_hold_ns().count(),
+            before + 1,
+            "one outermost pin = one sample"
+        );
+    }
+
+    #[test]
+    fn min_pinned_epoch_and_lag_track_readers() {
+        let mgr = EpochManager::new();
+        assert_eq!(mgr.min_pinned_epoch(), None);
+        assert_eq!(mgr.epoch_lag(), 0);
+        let g = mgr.pin();
+        assert_eq!(mgr.min_pinned_epoch(), Some(0));
+        assert_eq!(mgr.epoch_lag(), 0);
+        // One advance succeeds; the pinned reader now lags by exactly 1.
+        assert_eq!(mgr.try_advance(), Some(1));
+        assert_eq!(mgr.min_pinned_epoch(), Some(0));
+        assert_eq!(mgr.epoch_lag(), 1);
+        drop(g);
+        assert_eq!(mgr.min_pinned_epoch(), None);
+        assert_eq!(mgr.epoch_lag(), 0);
     }
 
     #[test]

@@ -26,6 +26,10 @@
 //!   earlier than epoch `e + 2`, when no thread can still observe it.
 //! * **Memory contexts** ([`context`]): per-collection groups of blocks that
 //!   give collections control over object placement and enumeration order.
+//! * **Heap introspection** ([`inspect`]): lock-free, epoch-consistent
+//!   [`HeapSnapshot`]s of live contexts — per-block occupancy, limbo dead
+//!   space, holes, incarnation churn, indirection-table load and epoch lag —
+//!   taken without stopping writers (the observatory behind `smc-top`).
 //!
 //! The self-managed collection type itself lives in the `smc` crate, layered
 //! on top of this one.
@@ -63,6 +67,7 @@ pub mod fault;
 pub mod incarnation;
 pub mod indirection;
 pub mod inline_str;
+pub mod inspect;
 pub mod mutation;
 pub mod reloc;
 pub mod runtime;
@@ -81,6 +86,7 @@ pub use fault::{FaultInjector, FaultSite};
 pub use incarnation::{IncWord, FLAG_FORWARD, FLAG_FROZEN, FLAG_LOCK, INC_MASK};
 pub use indirection::{EntryRef, IndirEntry, IndirectionTable};
 pub use inline_str::InlineStr;
+pub use inspect::{BlockSnapshot, CollectionSnapshot, HeapSnapshot, IndirectionLoad, Watermark};
 pub use runtime::Runtime;
 pub use slot::{SlotId, SlotState};
 pub use stats::MemoryStats;

@@ -1,0 +1,474 @@
+//! Chrome `trace_event` export for the seqlock trace rings.
+//!
+//! [`ChromeTrace`] converts a [`trace::snapshot`] into the Chrome tracing
+//! JSON object format (the `{"traceEvents": [...]}` envelope understood by
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev)): paired
+//! begin/end events become `B`/`E` duration slices, events that carry their
+//! own duration become `X` complete slices, epoch advances become a `C`
+//! counter track, and everything else becomes a thread-scoped instant.
+//! Each tracer thread maps to its own `tid` track (named via `M` metadata
+//! records), timestamps are microseconds with sub-microsecond fractions so
+//! nanosecond resolution survives, and the emitted array is sorted by
+//! timestamp with `B` ordered before `E` on ties.
+//!
+//! ## Pairing discipline
+//!
+//! The rings overwrite their oldest records on wrap, so a `GcPauseEnd` can
+//! survive while its `GcPauseBegin` was lost (and vice versa). The exporter
+//! therefore re-balances while converting: a matched begin/end pair emits
+//! `B` then `E` on the pair's track; an orphaned end synthesizes its `B`
+//! from the duration the end event carries; an orphaned begin (a pause
+//! still open at snapshot time) is dropped. The output always passes
+//! `scripts/trace_gate.py`'s balance check, wrapped rings included.
+//!
+//! ```
+//! use smc_obs::chrome::ChromeTrace;
+//! use smc_obs::trace::{self, Event};
+//!
+//! trace::enable();
+//! trace::emit(Event::EpochAdvance { epoch: 3 });
+//! let export = ChromeTrace::from_ring_snapshot();
+//! trace::disable();
+//! assert!(export.to_json_string().contains("\"traceEvents\""));
+//! ```
+
+use std::io::Write;
+use std::path::Path;
+
+use crate::report::JsonValue;
+use crate::trace::{self, Event, TracedEvent};
+
+/// Synthetic process id used for every track (one process per export).
+const PID: u64 = 1;
+
+/// Sort rank at equal timestamps: `B` first so zero-length pairs still
+/// nest, `E` last so a slice closes after the instants it covers.
+fn phase_rank(ph: &str) -> u8 {
+    match ph {
+        "M" => 0,
+        "B" => 1,
+        "X" => 2,
+        "i" => 3,
+        "C" => 4,
+        "E" => 5,
+        _ => 6,
+    }
+}
+
+/// One pending output record (pre-serialization, so the builder can sort).
+struct Record {
+    ts_nanos: u64,
+    ph: &'static str,
+    name: String,
+    tid: u64,
+    dur_nanos: Option<u64>,
+    args: Vec<(String, JsonValue)>,
+}
+
+impl Record {
+    fn to_json(&self) -> JsonValue {
+        let mut obj = JsonValue::obj();
+        obj.set("name", self.name.clone());
+        obj.set("ph", self.ph);
+        obj.set("ts", self.ts_nanos as f64 / 1000.0);
+        if let Some(dur) = self.dur_nanos {
+            obj.set("dur", dur as f64 / 1000.0);
+        }
+        obj.set("pid", PID);
+        obj.set("tid", self.tid);
+        if self.ph == "i" {
+            obj.set("s", "t"); // thread-scoped instant
+        }
+        if !self.args.is_empty() {
+            let mut args = JsonValue::obj();
+            for (k, v) in &self.args {
+                args.set(k, v.clone());
+            }
+            obj.set("args", args);
+        }
+        obj
+    }
+}
+
+/// Builder for one Chrome tracing JSON document.
+#[derive(Default)]
+pub struct ChromeTrace {
+    records: Vec<Record>,
+    tids: Vec<u64>,
+}
+
+impl Default for Record {
+    fn default() -> Record {
+        Record {
+            ts_nanos: 0,
+            ph: "i",
+            name: String::new(),
+            tid: 0,
+            dur_nanos: None,
+            args: Vec::new(),
+        }
+    }
+}
+
+impl ChromeTrace {
+    /// An empty export.
+    pub fn new() -> ChromeTrace {
+        ChromeTrace::default()
+    }
+
+    /// Drains the current [`trace::snapshot`] into a new export.
+    pub fn from_ring_snapshot() -> ChromeTrace {
+        let mut out = ChromeTrace::new();
+        out.add_events(&trace::snapshot());
+        out
+    }
+
+    /// Converts already-captured ring events (sorted by `seq`, as
+    /// [`trace::snapshot`] returns them) into trace records.
+    pub fn add_events(&mut self, events: &[TracedEvent]) {
+        // Pending GcPauseBegin per tid (GC pauses never nest per thread;
+        // keep a stack anyway so a torn ring cannot wedge the exporter).
+        let mut open: Vec<(u64, u64)> = Vec::new(); // (tid, begin ts)
+        for t in events {
+            self.note_tid(t.thread);
+            match t.event {
+                Event::GcPauseBegin { .. } => open.push((t.thread, t.nanos)),
+                Event::GcPauseEnd {
+                    major,
+                    nanos,
+                    traced,
+                    swept,
+                } => {
+                    let begin = match open.iter().rposition(|&(tid, _)| tid == t.thread) {
+                        Some(i) => open.remove(i).1.min(t.nanos),
+                        // Orphaned end: its begin was overwritten by ring
+                        // wrap — synthesize it from the carried duration.
+                        None => t.nanos.saturating_sub(nanos),
+                    };
+                    let name = if major {
+                        "gc-pause-major"
+                    } else {
+                        "gc-pause-minor"
+                    };
+                    self.records.push(Record {
+                        ts_nanos: begin,
+                        ph: "B",
+                        name: name.to_string(),
+                        tid: t.thread,
+                        ..Record::default()
+                    });
+                    self.records.push(Record {
+                        ts_nanos: t.nanos.max(begin),
+                        ph: "E",
+                        name: name.to_string(),
+                        tid: t.thread,
+                        args: vec![
+                            ("traced".to_string(), JsonValue::from(traced)),
+                            ("swept".to_string(), JsonValue::from(swept)),
+                        ],
+                        ..Record::default()
+                    });
+                }
+                Event::EpochAdvance { epoch } => self.records.push(Record {
+                    ts_nanos: t.nanos,
+                    ph: "C",
+                    name: "epoch".to_string(),
+                    tid: t.thread,
+                    args: vec![("epoch".to_string(), JsonValue::from(epoch))],
+                    ..Record::default()
+                }),
+                Event::QuerySpan { label, nanos } => {
+                    self.push_complete(t, label.as_str().to_string(), nanos, Vec::new())
+                }
+                Event::CompactionRelocate {
+                    context,
+                    moved,
+                    bailed,
+                    nanos,
+                } => self.push_complete(
+                    t,
+                    "compaction-relocate".to_string(),
+                    nanos,
+                    vec![
+                        ("context".to_string(), JsonValue::from(context)),
+                        ("moved".to_string(), JsonValue::from(moved)),
+                        ("bailed".to_string(), JsonValue::from(bailed)),
+                    ],
+                ),
+                Event::PoolBroadcast { threads, nanos } => self.push_complete(
+                    t,
+                    "pool-broadcast".to_string(),
+                    nanos,
+                    vec![("threads".to_string(), JsonValue::from(threads))],
+                ),
+                other => {
+                    let args = instant_args(&other);
+                    self.records.push(Record {
+                        ts_nanos: t.nanos,
+                        ph: "i",
+                        name: other.kind().to_string(),
+                        tid: t.thread,
+                        args,
+                        ..Record::default()
+                    });
+                }
+            }
+        }
+        // Orphaned begins (pauses still open at snapshot time) are dropped:
+        // emitting an unmatched `B` would fail the balance gate.
+    }
+
+    /// Appends a counter sample (`ph: "C"`) on its own track — used by
+    /// `smc-top` and the bench harness to chart heap-snapshot series
+    /// (occupancy, live blocks, drops) alongside the ring events.
+    pub fn counter(&mut self, ts_nanos: u64, name: &str, value: f64) {
+        self.note_tid(0);
+        self.records.push(Record {
+            ts_nanos,
+            ph: "C",
+            name: name.to_string(),
+            tid: 0,
+            args: vec![("value".to_string(), JsonValue::from(value))],
+            ..Record::default()
+        });
+    }
+
+    /// Number of records staged for export (excluding thread metadata).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been staged.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    fn note_tid(&mut self, tid: u64) {
+        if !self.tids.contains(&tid) {
+            self.tids.push(tid);
+        }
+    }
+
+    fn push_complete(
+        &mut self,
+        t: &TracedEvent,
+        name: String,
+        dur: u64,
+        args: Vec<(String, JsonValue)>,
+    ) {
+        self.records.push(Record {
+            ts_nanos: t.nanos.saturating_sub(dur),
+            ph: "X",
+            name,
+            tid: t.thread,
+            dur_nanos: Some(dur),
+            args,
+        });
+    }
+
+    /// Serializes to the Chrome tracing JSON object format.
+    pub fn to_json(&self) -> JsonValue {
+        let mut events: Vec<JsonValue> = Vec::with_capacity(self.records.len() + self.tids.len());
+        // Thread-name metadata first (ts 0, rank 0 keeps them leading).
+        let mut tids = self.tids.clone();
+        tids.sort_unstable();
+        for tid in tids {
+            let mut meta = JsonValue::obj();
+            meta.set("name", "thread_name");
+            meta.set("ph", "M");
+            meta.set("pid", PID);
+            meta.set("tid", tid);
+            let mut args = JsonValue::obj();
+            let label = if tid == 0 {
+                "counters".to_string()
+            } else {
+                format!("tracer-{tid}")
+            };
+            args.set("name", label);
+            meta.set("args", args);
+            events.push(meta);
+        }
+        let mut order: Vec<usize> = (0..self.records.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (ra, rb) = (&self.records[a], &self.records[b]);
+            ra.ts_nanos
+                .cmp(&rb.ts_nanos)
+                .then_with(|| phase_rank(ra.ph).cmp(&phase_rank(rb.ph)))
+                .then_with(|| a.cmp(&b))
+        });
+        for i in order {
+            events.push(self.records[i].to_json());
+        }
+        let mut doc = JsonValue::obj();
+        doc.set("traceEvents", JsonValue::Arr(events));
+        doc.set("displayTimeUnit", "ms");
+        doc
+    }
+
+    /// Serializes to a JSON string.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_json()
+    }
+
+    /// Writes the JSON document to `w`.
+    pub fn write_to(&self, w: &mut dyn Write) -> std::io::Result<()> {
+        w.write_all(self.to_json_string().as_bytes())
+    }
+
+    /// Writes the JSON document to `path`, creating parent directories.
+    pub fn write(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json_string())
+    }
+}
+
+/// Argument payload for the instant-event fallback arm.
+fn instant_args(e: &Event) -> Vec<(String, JsonValue)> {
+    let kv = |k: &str, v: u64| (k.to_string(), JsonValue::from(v));
+    match *e {
+        Event::CompactionSelect {
+            context,
+            candidates,
+        } => vec![kv("context", context), kv("candidates", candidates)],
+        Event::CompactionRetire { context, retired } => {
+            vec![kv("context", context), kv("retired", retired)]
+        }
+        Event::ObjectRelocated {
+            src_slot,
+            dest_slot,
+        } => vec![kv("src_slot", src_slot), kv("dest_slot", dest_slot)],
+        Event::RelocationBailed { src_slot } => vec![kv("src_slot", src_slot)],
+        Event::RecoveryStep {
+            attempt,
+            freed_blocks,
+            advanced,
+        } => vec![
+            kv("attempt", attempt),
+            kv("freed_blocks", freed_blocks),
+            kv("advanced", advanced as u64),
+        ],
+        Event::FailpointTrip { site } => {
+            vec![("site".to_string(), JsonValue::from(site.as_str()))]
+        }
+        Event::MorselDispatch { worker, morsel } => {
+            vec![kv("worker", worker), kv("morsel", morsel)]
+        }
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Label;
+
+    fn ev(seq: u64, thread: u64, nanos: u64, event: Event) -> TracedEvent {
+        TracedEvent {
+            seq,
+            thread,
+            nanos,
+            event,
+        }
+    }
+
+    #[test]
+    fn matched_pause_becomes_balanced_pair() {
+        let mut t = ChromeTrace::new();
+        t.add_events(&[
+            ev(0, 7, 1_000, Event::GcPauseBegin { major: true }),
+            ev(
+                1,
+                7,
+                5_000,
+                Event::GcPauseEnd {
+                    major: true,
+                    nanos: 4_000,
+                    traced: 10,
+                    swept: 3,
+                },
+            ),
+        ]);
+        let s = t.to_json_string();
+        let b = s.find("\"ph\":\"B\"").expect("has B");
+        let e = s.find("\"ph\":\"E\"").expect("has E");
+        assert!(b < e, "B sorts before E");
+        assert!(s.contains("gc-pause-major"));
+    }
+
+    #[test]
+    fn orphaned_end_synthesizes_begin() {
+        let mut t = ChromeTrace::new();
+        t.add_events(&[ev(
+            0,
+            2,
+            9_000,
+            Event::GcPauseEnd {
+                major: false,
+                nanos: 2_500,
+                traced: 1,
+                swept: 1,
+            },
+        )]);
+        let s = t.to_json_string();
+        assert_eq!(s.matches("\"ph\":\"B\"").count(), 1);
+        assert_eq!(s.matches("\"ph\":\"E\"").count(), 1);
+        assert!(s.contains("\"ts\":6.5"), "begin = end - dur: {s}");
+    }
+
+    #[test]
+    fn orphaned_begin_is_dropped() {
+        let mut t = ChromeTrace::new();
+        t.add_events(&[ev(0, 2, 100, Event::GcPauseBegin { major: false })]);
+        let s = t.to_json_string();
+        assert!(!s.contains("\"ph\":\"B\""), "unmatched B suppressed: {s}");
+    }
+
+    #[test]
+    fn spans_and_counters_map_to_x_and_c() {
+        let mut t = ChromeTrace::new();
+        t.add_events(&[
+            ev(0, 1, 4_000, Event::EpochAdvance { epoch: 2 }),
+            ev(
+                1,
+                1,
+                9_000,
+                Event::QuerySpan {
+                    label: Label::new("smc.q1"),
+                    nanos: 3_000,
+                },
+            ),
+        ]);
+        t.counter(10_000, "occupancy", 0.75);
+        let s = t.to_json_string();
+        assert!(s.contains("\"ph\":\"X\"") && s.contains("\"dur\":3"));
+        assert!(s.contains("\"ph\":\"C\"") && s.contains("\"epoch\""));
+        assert!(s.contains("\"occupancy\""));
+        assert!(s.contains("\"thread_name\""));
+    }
+
+    #[test]
+    fn timestamps_are_sorted_in_output() {
+        let mut t = ChromeTrace::new();
+        // Emitted out of order; the span's start (7000-3000=4000) must be
+        // resorted before the 5000 instant.
+        t.add_events(&[
+            ev(0, 1, 5_000, Event::RelocationBailed { src_slot: 1 }),
+            ev(
+                1,
+                1,
+                7_000,
+                Event::QuerySpan {
+                    label: Label::new("q"),
+                    nanos: 3_000,
+                },
+            ),
+        ]);
+        let s = t.to_json_string();
+        assert!(s.find("\"ph\":\"X\"").unwrap() < s.find("\"ph\":\"i\"").unwrap());
+    }
+}

@@ -18,6 +18,10 @@
 //! - [`report`] — a dependency-free JSON emitter producing the
 //!   `BENCH_fig<N>.json` files every `crates/bench` figure binary writes
 //!   (schema documented in EXPERIMENTS.md).
+//! - [`chrome`] — a Chrome `trace_event` exporter draining the [`trace`]
+//!   rings into Perfetto-loadable JSON (spans from paired begin/end
+//!   events, counter tracks, per-thread tracks), plus [`hist::Registry`]
+//!   for merging thread-local histograms on demand.
 //!
 //! Recording a latency distribution and reading its tail:
 //!
@@ -36,10 +40,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_op_in_unsafe_fn)]
 
+pub mod chrome;
 pub mod hist;
 pub mod report;
 pub mod trace;
 
-pub use hist::{Histogram, Summary};
+pub use chrome::ChromeTrace;
+pub use hist::{Histogram, Registry, Summary};
 pub use report::{JsonValue, Report, SeriesId};
 pub use trace::{Event, Label, Span, TracedEvent};

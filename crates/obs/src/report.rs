@@ -34,6 +34,29 @@ pub enum JsonValue {
 }
 
 impl JsonValue {
+    /// An empty object (keys are appended with [`set`](JsonValue::set)).
+    pub fn obj() -> JsonValue {
+        JsonValue::Obj(Vec::new())
+    }
+
+    /// Sets `key` on an object, replacing an existing entry in place or
+    /// appending otherwise. Panics when `self` is not an object (a
+    /// document-building programming error).
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<JsonValue>) {
+        let key = key.into();
+        let value = value.into();
+        match self {
+            JsonValue::Obj(fields) => {
+                if let Some(f) = fields.iter_mut().find(|(k, _)| *k == key) {
+                    f.1 = value;
+                } else {
+                    fields.push((key, value));
+                }
+            }
+            other => panic!("JsonValue::set on non-object {other:?}"),
+        }
+    }
+
     /// Serializes the value as compact JSON.
     pub fn to_json(&self) -> String {
         let mut s = String::new();
@@ -130,6 +153,11 @@ impl From<&str> for JsonValue {
 impl From<String> for JsonValue {
     fn from(v: String) -> JsonValue {
         JsonValue::Str(v)
+    }
+}
+impl From<u32> for JsonValue {
+    fn from(v: u32) -> JsonValue {
+        JsonValue::Num(v as f64)
     }
 }
 

@@ -391,6 +391,10 @@ struct Ring {
     thread: u64,
     /// Next logical write position (monotonic; wraps modulo capacity).
     head: AtomicU64,
+    /// Events overwritten by wraparound, counted explicitly at the moment
+    /// [`Ring::push`] reuses a previously-published slot (so [`clear`] and
+    /// future resizes cannot skew the accounting).
+    dropped: AtomicU64,
     slots: Box<[Slot]>,
     /// Owning-thread flag so `clear` can tell live rings from dead ones.
     _private: UnsafeCell<()>,
@@ -407,6 +411,7 @@ impl Ring {
         Ring {
             thread,
             head: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
             slots: (0..RING_CAPACITY).map(|_| Slot::new()).collect(),
             _private: UnsafeCell::new(()),
         }
@@ -415,6 +420,11 @@ impl Ring {
     /// Single-writer append (owning thread only).
     fn push(&self, seq: u64, nanos: u64, event: Event) {
         let pos = self.head.load(Ordering::Relaxed);
+        if pos >= RING_CAPACITY as u64 {
+            // This write reuses a slot that held a published record: the
+            // ring has wrapped and the oldest event is being overwritten.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
         let slot = &self.slots[(pos as usize) % RING_CAPACITY];
         let (kind, p) = event.encode();
         // Invalidate, publish the invalidation before any new word, write
@@ -534,19 +544,33 @@ pub fn snapshot() -> Vec<TracedEvent> {
     out
 }
 
-/// Events overwritten by ring wraparound since process start (an emission
-/// beyond each ring's capacity overwrites that ring's oldest slot).
+/// Events overwritten by ring wraparound since process start, summed over
+/// every thread's per-ring `dropped` counter (each counter increments at the
+/// instant a wrap reuses a published slot). A report that claims zero events
+/// while this is non-zero lost its whole story to overwrites — the bench
+/// gate treats that combination as a failure.
 pub fn dropped() -> u64 {
     registry()
         .lock()
         .unwrap_or_else(|e| e.into_inner())
         .iter()
-        .map(|r| {
-            r.head
-                .load(Ordering::Relaxed)
-                .saturating_sub(RING_CAPACITY as u64)
-        })
+        .map(|r| r.dropped.load(Ordering::Relaxed))
         .sum()
+}
+
+/// Per-thread view of [`dropped`]: `(tracer thread id, events overwritten)`
+/// for every ring that has dropped at least one event. `smc-top` surfaces
+/// this so a saturated producer thread is identifiable.
+pub fn dropped_by_thread() -> Vec<(u64, u64)> {
+    registry()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .filter_map(|r| {
+            let d = r.dropped.load(Ordering::Relaxed);
+            (d > 0).then_some((r.thread, d))
+        })
+        .collect()
 }
 
 /// Empties every ring. Intended for quiescent points (between benchmark

@@ -13,8 +13,13 @@ the *structure and correctness signals* of the report:
     report — a silently dropped parity check must fail the gate;
   * every series has at least one row, and the fresh report covers at least
     the baseline's series names;
-  * the morsel counters (``morsels_dispatched``, ``blocks_scanned``) are
-    non-zero — zero means the morsel engine never actually dispatched work.
+  * the reader counters (``pins_taken``, ``blocks_scanned``,
+    ``morsels_dispatched``) are non-zero — zero means the epoch machinery /
+    morsel engine never actually did work;
+  * if the report carries tracer counters, it may not claim an empty trace
+    (``trace_events`` = 0) while also reporting dropped ring events — that
+    combination means the tracer recorded work and the exporter lost all of
+    it, so the "empty" trace is a lie.
 
 Exit status: 0 = gate passed, 1 = gate failed, 2 = usage/IO error.
 
@@ -30,7 +35,7 @@ import json
 import sys
 
 SCHEMA = "smc-bench-report/v1"
-REQUIRED_COUNTERS = ("morsels_dispatched", "blocks_scanned")
+REQUIRED_COUNTERS = ("pins_taken", "blocks_scanned", "morsels_dispatched")
 
 
 def fail(msg):
@@ -82,13 +87,26 @@ def check_report(fresh, baseline):
         fail(f"series present in baseline but missing from fresh report: "
              f"{', '.join(missing_series)}")
 
-    # --- morsel counters ----------------------------------------------------
+    # --- reader counters ----------------------------------------------------
     counters = fresh.get("counters", {})
     for name in REQUIRED_COUNTERS:
         value = counters.get(name)
         if not isinstance(value, (int, float)) or value <= 0:
-            fail(f"counter {name!r} is {value!r} — the morsel engine "
-                 f"dispatched no work")
+            fail(f"counter {name!r} is {value!r} — the epoch/morsel "
+                 f"machinery did no work")
+
+    # --- tracer honesty ------------------------------------------------------
+    # Only meaningful when the run traced (SMC_TRACE_OUT set): an exported
+    # trace with zero events alongside non-zero ring drops means the tracer
+    # was live but every event was lost — the report must not pass that off
+    # as a clean empty trace.
+    events = counters.get("trace_events")
+    dropped = counters.get("trace_events_dropped")
+    if (isinstance(events, (int, float)) and events == 0
+            and isinstance(dropped, (int, float)) and dropped > 0):
+        fail(f"report claims an empty trace (trace_events=0) but the rings "
+             f"dropped {dropped} event(s) — the trace silently lost "
+             f"everything it recorded")
 
     return {
         "checks": len(checks),
@@ -143,6 +161,15 @@ def doctored_reports(base):
     d = copy.deepcopy(base)
     del d["counters"]["blocks_scanned"]
     yield "blocks_scanned counter removed", d
+
+    d = copy.deepcopy(base)
+    d["counters"]["pins_taken"] = 0
+    yield "pins_taken = 0", d
+
+    d = copy.deepcopy(base)
+    d["counters"]["trace_events"] = 0
+    d["counters"]["trace_events_dropped"] = 17
+    yield "empty trace despite dropped ring events", d
 
     d = copy.deepcopy(base)
     d["series"][0]["rows"] = []

@@ -1,0 +1,265 @@
+#!/usr/bin/env python3
+"""Chrome-trace gate: validate a trace produced via ``SMC_TRACE_OUT`` before
+it is uploaded as a CI artifact (and before anyone wastes time loading a
+broken file into Perfetto / chrome://tracing).
+
+The gate checks the *structural contract* of the exporter
+(``smc_obs::chrome``), not the content of any particular run:
+
+  * the file is valid JSON of the Trace Event Format object form
+    (``{"traceEvents": [...], ...}``) or bare-array form;
+  * every event has a string ``ph``, string ``name``, and integer ``pid`` /
+    ``tid`` fields, plus a numeric ``ts`` (microseconds; fractional doubles
+    allowed) for everything but ``M`` metadata, which carries none;
+  * only known phases appear (``B``/``E`` duration, ``X`` complete, ``i``
+    instant, ``C`` counter, ``M`` metadata);
+  * timestamps are non-decreasing *per (pid, tid) track* — the exporter
+    drains each thread's ring in order, so out-of-order stamps mean the
+    drain or the clock is broken (``M`` events carry no meaningful ``ts``
+    and are exempt);
+  * ``B``/``E`` pairs balance per track like a bracket language: every ``E``
+    closes the most recent open ``B`` with the *same name*, and no ``B``
+    is left open at end of trace (the exporter closes spans before
+    draining);
+  * the trace contains at least one non-metadata event unless
+    ``--allow-empty`` is given (a disabled tracer writes a valid empty
+    trace; CI runs with the tracer enabled and wants proof it recorded).
+
+Exit status: 0 = gate passed, 1 = gate failed, 2 = usage/IO error.
+
+``--self-test`` exercises the gate against doctored traces (unbalanced
+spans, mismatched span names, time travel within a track, unknown phase,
+missing fields, ...) and fails if any doctored trace slips through.
+"""
+
+import argparse
+import copy
+import json
+import sys
+
+KNOWN_PHASES = {"B", "E", "X", "i", "C", "M"}
+
+
+class GateError(Exception):
+    """A gate violation (exit status 1)."""
+
+
+def fail(msg):
+    raise GateError(msg)
+
+
+def events_of(doc):
+    """Accepts both Trace Event Format container shapes."""
+    if isinstance(doc, list):
+        return doc
+    if isinstance(doc, dict):
+        events = doc.get("traceEvents")
+        if isinstance(events, list):
+            return events
+        fail("trace object has no 'traceEvents' array")
+    fail("trace is neither an object with 'traceEvents' nor an array")
+
+
+def check_trace(doc, allow_empty=False):
+    """Raises GateError on the first violation; returns a summary dict."""
+    events = events_of(doc)
+    tracks = {}   # (pid, tid) -> {"ts": last_ts, "stack": [open B names]}
+    counted = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event #{i} is not an object")
+        ph = ev.get("ph")
+        if not isinstance(ph, str) or ph not in KNOWN_PHASES:
+            fail(f"event #{i} has unknown phase {ph!r} "
+                 f"(known: {sorted(KNOWN_PHASES)})")
+        name = ev.get("name")
+        if not isinstance(name, str) or not name:
+            fail(f"event #{i} ({ph}) has no name")
+        for field in ("pid", "tid"):
+            v = ev.get(field)
+            if not isinstance(v, int) or isinstance(v, bool):
+                fail(f"event #{i} ({ph} {name!r}) field {field!r} is {v!r}, "
+                     f"want an integer")
+        if ph == "M":
+            continue  # metadata: no timestamp, not on the timeline
+        # `ts` is microseconds; the exporter emits sub-microsecond precision
+        # as fractional doubles, which the format allows.
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+            fail(f"event #{i} ({ph} {name!r}) field 'ts' is {ts!r}, "
+                 f"want a number")
+        counted += 1
+        track = tracks.setdefault((ev["pid"], ev["tid"]),
+                                  {"ts": None, "stack": []})
+        if track["ts"] is not None and ev["ts"] < track["ts"]:
+            fail(f"event #{i} ({ph} {name!r}) goes back in time on track "
+                 f"pid={ev['pid']} tid={ev['tid']}: ts {ev['ts']} after "
+                 f"{track['ts']} — the ring drain is out of order")
+        track["ts"] = ev["ts"]
+        if ph == "B":
+            track["stack"].append(name)
+        elif ph == "E":
+            if not track["stack"]:
+                fail(f"event #{i}: 'E' {name!r} on track pid={ev['pid']} "
+                     f"tid={ev['tid']} closes nothing (no open 'B')")
+            opened = track["stack"].pop()
+            if opened != name:
+                fail(f"event #{i}: 'E' {name!r} closes 'B' {opened!r} on "
+                     f"track pid={ev['pid']} tid={ev['tid']} — span "
+                     f"begin/end names must match")
+        elif ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or isinstance(dur, bool):
+                fail(f"event #{i}: 'X' {name!r} has no numeric 'dur'")
+    for (pid, tid), track in tracks.items():
+        if track["stack"]:
+            fail(f"track pid={pid} tid={tid} ends with unclosed span(s): "
+                 f"{track['stack']} — the exporter must close 'B' spans "
+                 f"before draining")
+    if counted == 0 and not allow_empty:
+        fail("trace contains no timeline events (metadata only) — the "
+             "tracer recorded nothing; pass --allow-empty if intended")
+    return {"events": len(events), "timeline": counted, "tracks": len(tracks)}
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"trace_gate: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def run_gate(path, allow_empty):
+    doc = load(path)
+    try:
+        summary = check_trace(doc, allow_empty=allow_empty)
+    except GateError as e:
+        print(f"trace_gate: FAIL: {path}: {e}", file=sys.stderr)
+        return 1
+    print(f"trace_gate: PASS — {path}: {summary['events']} events "
+          f"({summary['timeline']} on {summary['tracks']} track(s))")
+    return 0
+
+
+# --- self-test ---------------------------------------------------------------
+
+def sample_trace():
+    """A minimal well-formed trace in the shape smc_obs::chrome emits."""
+    return {
+        "traceEvents": [
+            {"ph": "M", "name": "thread_name", "pid": 1, "tid": 0,
+             "args": {"name": "counters"}},
+            {"ph": "B", "name": "compact", "pid": 1, "tid": 1, "ts": 10},
+            {"ph": "B", "name": "relocate_group", "pid": 1, "tid": 1,
+             "ts": 12},
+            {"ph": "E", "name": "relocate_group", "pid": 1, "tid": 1,
+             "ts": 20},
+            {"ph": "E", "name": "compact", "pid": 1, "tid": 1, "ts": 25},
+            {"ph": "X", "name": "scan_block", "pid": 1, "tid": 2, "ts": 11,
+             "dur": 5},
+            {"ph": "i", "name": "epoch_advance", "pid": 1, "tid": 2, "ts": 30},
+            {"ph": "C", "name": "blocks_live", "pid": 1, "tid": 2, "ts": 31,
+             "args": {"value": 7}},
+        ]
+    }
+
+
+def doctored_traces(base):
+    """Yields (description, doctored_trace) pairs the gate MUST reject."""
+    d = copy.deepcopy(base)
+    del d["traceEvents"][4]  # drop the E that closes "compact"
+    yield "unclosed 'B' span", d
+
+    d = copy.deepcopy(base)
+    d["traceEvents"][3]["name"] = "compact"  # E name mismatches its B
+    yield "mismatched B/E span names", d
+
+    d = copy.deepcopy(base)
+    d["traceEvents"].insert(1, {"ph": "E", "name": "compact", "pid": 1,
+                                "tid": 1, "ts": 5})
+    yield "'E' with no open 'B'", d
+
+    d = copy.deepcopy(base)
+    d["traceEvents"][3]["ts"] = 1  # earlier than the B at ts=12, same track
+    yield "time travel within a track", d
+
+    d = copy.deepcopy(base)
+    d["traceEvents"][1]["ph"] = "Q"
+    yield "unknown phase", d
+
+    d = copy.deepcopy(base)
+    del d["traceEvents"][1]["ts"]
+    yield "missing ts field", d
+
+    d = copy.deepcopy(base)
+    d["traceEvents"][1]["tid"] = "worker-1"
+    yield "non-integer tid", d
+
+    d = copy.deepcopy(base)
+    d["traceEvents"][2]["name"] = ""
+    yield "empty event name", d
+
+    d = copy.deepcopy(base)
+    del d["traceEvents"][5]["dur"]
+    yield "'X' without dur", d
+
+    d = copy.deepcopy(base)
+    d["traceEvents"] = [d["traceEvents"][0]]  # metadata only
+    yield "metadata-only trace (empty timeline)", d
+
+    yield "not a trace container at all", {"events": []}
+
+
+def self_test():
+    base = sample_trace()
+    try:
+        check_trace(copy.deepcopy(base))
+    except GateError as e:
+        print(f"trace_gate self-test: clean trace rejected: {e}",
+              file=sys.stderr)
+        return 1
+    # The bare-array container form must also be accepted.
+    try:
+        check_trace(copy.deepcopy(base)["traceEvents"])
+    except GateError as e:
+        print(f"trace_gate self-test: bare-array trace rejected: {e}",
+              file=sys.stderr)
+        return 1
+    print("trace_gate self-test: clean traces accepted")
+
+    bad = 0
+    for desc, doctored in doctored_traces(base):
+        try:
+            check_trace(doctored)
+        except GateError as e:
+            print(f"trace_gate self-test: correctly rejected [{desc}]: {e}")
+        else:
+            print(f"trace_gate self-test: FAILED to reject [{desc}]",
+                  file=sys.stderr)
+            bad += 1
+    if bad:
+        print(f"trace_gate self-test: {bad} doctored trace(s) slipped "
+              f"through", file=sys.stderr)
+        return 1
+    print("trace_gate self-test: all doctored traces rejected")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", nargs="?", default="trace.json",
+                    help="Chrome trace file to validate (default: trace.json)")
+    ap.add_argument("--allow-empty", action="store_true",
+                    help="accept a trace with no timeline events")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the gate rejects doctored traces, then exit")
+    args = ap.parse_args()
+    if args.self_test:
+        sys.exit(self_test())
+    sys.exit(run_gate(args.trace, args.allow_empty))
+
+
+if __name__ == "__main__":
+    main()
