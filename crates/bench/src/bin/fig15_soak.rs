@@ -1,0 +1,417 @@
+//! Figure 15 (this repo's addition): soak test of the background
+//! maintenance coordinator under continuous decimation churn.
+//!
+//! Churn workers continuously fill the collection and decimate it (remove
+//! ~90% of each batch), manufacturing fragmentation at a steady rate, while
+//! a foreground scanner enumerates the collection and records its latency
+//! into the histogram the coordinator's SLO back-pressure loop watches. The
+//! `smc-maint` coordinator owns all compaction: no foreground code ever
+//! calls `compact()` during the soak.
+//!
+//! Three phases:
+//!
+//! 1. **Soak** (`--duration-ms`): churn + scans with the coordinator
+//!    holding fragmentation below the policy ceiling. The relocation
+//!    failpoint is armed (`--fault-rate`) so passes are interrupted
+//!    mid-group and the coordinator's retry classification runs for real.
+//! 2. **Back-pressure proof**: the SLO ceiling is dropped to zero and the
+//!    context nudged; every due pass must now be deferred, proving the
+//!    coordinator sheds load when the foreground degrades.
+//! 3. **Quiesce + verify**: workers stop, `Coordinator::quiesce` drains
+//!    in-flight passes, and after a tidy-up pass the structural validators
+//!    must reconcile the heap bit-exact against the workers' survivor model.
+//!
+//! Checks recorded in `BENCH_fig15.json` (gated by `scripts/bench_gate.py`):
+//! `slo_p999` (foreground p99.9 scan latency within `--slo-us`),
+//! `backpressure_deferred` (phase 2 produced deferred passes),
+//! `maintenance_ran` (the coordinator completed passes unprompted),
+//! `frag_ceiling` (post-quiesce fragmentation at or below the policy
+//! ceiling) and `post_quiesce_verify` (exact reconcile).
+//!
+//! ```text
+//! fig15_soak [--duration-ms N] [--threads N] [--objects N] [--slo-us N]
+//!            [--fault-rate PER_1024] [--fault-limit N] [--seed N]
+//! ```
+//!
+//! SIGINT/SIGTERM wind the soak down early through the same quiesce path
+//! (the report and any `SMC_TRACE_OUT` trace are still written); the run is
+//! marked `interrupted` and phase-dependent checks may fail.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use smc::{Ref, Smc, Tabular};
+use smc_bench::{
+    arg_usize, csv, csv_into, finish, init_tracing, install_signal_handler, interrupted,
+    record_memory_counters, Report,
+};
+use smc_maint::{frag_ratio, Coordinator, MaintConfig, MaintPolicy, SloPolicy};
+use smc_memory::error::MemError;
+use smc_memory::fault::FaultSite;
+use smc_memory::inspect::{CollectionSnapshot, HeapSnapshot};
+use smc_memory::Runtime;
+use smc_obs::hist::{Histogram, Registry};
+use smc_util::Pcg32;
+
+/// 64-byte row: checksummed key plus padding, so decimation leaves
+/// meaningful holes and torn reads are detectable from the scanner.
+#[derive(Clone, Copy)]
+struct Row {
+    key: u64,
+    checksum: u64,
+    _pad: [u64; 6],
+}
+unsafe impl Tabular for Row {}
+
+impl Row {
+    fn new(key: u64) -> Row {
+        Row {
+            key,
+            checksum: key.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x5ca1_ab1e,
+            _pad: [0; 6],
+        }
+    }
+
+    fn coherent(&self) -> bool {
+        self.checksum == self.key.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x5ca1_ab1e
+    }
+}
+
+/// One decimation-churn worker: tops the pool up to `target`, then removes
+/// ~90% of it, forever. Returns the surviving refs for the final reconcile.
+fn churn_worker(
+    c: Arc<Smc<Row>>,
+    seed: u64,
+    tid: usize,
+    target: usize,
+    key_tag: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+) -> Vec<Ref<Row>> {
+    let mut rng = Pcg32::seed_from_u64(seed ^ (0xc4u64.wrapping_add(tid as u64) << 32));
+    let mut pool: Vec<Ref<Row>> = Vec::with_capacity(target);
+    while !stop.load(Ordering::Relaxed) {
+        while pool.len() < target && !stop.load(Ordering::Relaxed) {
+            let key = key_tag.fetch_add(1, Ordering::Relaxed);
+            match c.try_add(Row::new(key)) {
+                Ok(r) => pool.push(r),
+                Err(MemError::TooManyThreads) => std::thread::yield_now(),
+                Err(e) => panic!("unexpected add error: {e}"),
+            }
+        }
+        // Decimate: keep roughly every 10th object, randomly chosen.
+        let mut i = 0;
+        while i < pool.len() {
+            if rng.gen_range(0u32..10) != 0 {
+                let r = pool.swap_remove(i);
+                match c.try_remove(r) {
+                    Ok(true) => {}
+                    Ok(false) => panic!("own live ref was already removed"),
+                    Err(MemError::TooManyThreads) => pool.push(r),
+                    Err(e) => panic!("unexpected remove error: {e}"),
+                }
+            } else {
+                i += 1;
+            }
+        }
+        // Brief pause so the planner sees distinct churn generations.
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    pool
+}
+
+fn collection_snapshot(rt: &Arc<Runtime>, c: &Smc<Row>) -> CollectionSnapshot {
+    HeapSnapshot::capture(rt, &[c.context()])
+        .collections
+        .into_iter()
+        .next()
+        .expect("context is registered with the runtime")
+}
+
+/// One foreground scan under a pin, recorded into the SLO gauge. Returns
+/// (live objects seen, torn reads).
+fn scan_once(rt: &Arc<Runtime>, c: &Smc<Row>, gauge: &Histogram) -> (u64, u64) {
+    let t0 = Instant::now();
+    let guard = rt.pin();
+    let mut torn = 0u64;
+    let seen = c.for_each(&guard, |row| {
+        if !row.coherent() {
+            torn += 1;
+        }
+    });
+    drop(guard);
+    gauge.record_duration(t0.elapsed());
+    (seen, torn)
+}
+
+fn main() {
+    let _trace = init_tracing();
+    install_signal_handler();
+    let duration_ms = arg_usize("--duration-ms", 3000);
+    let threads = arg_usize("--threads", 2).max(1);
+    let objects = arg_usize("--objects", 20_000);
+    let slo_us = arg_usize("--slo-us", 100_000);
+    let fault_rate = arg_usize("--fault-rate", 32) as u32;
+    let fault_limit = arg_usize("--fault-limit", 64) as u64;
+    let seed = arg_usize("--seed", 0x5eed) as u64;
+
+    let frag_ceiling = 0.30f64;
+    let slo = Duration::from_micros(slo_us as u64);
+
+    println!(
+        "Figure 15: coordinator soak — duration={duration_ms}ms threads={threads} \
+         objects={objects} slo={slo_us}us fault-rate={fault_rate}/1024 seed={seed:#x}"
+    );
+
+    let rt = Runtime::new();
+    let c: Arc<Smc<Row>> = Arc::new(Smc::new(&rt));
+    let gauge = Arc::new(Histogram::new());
+    Registry::global().register("fig15_scan_ns", &gauge);
+
+    // Interrupt relocations mid-group during the soak so the coordinator's
+    // transient-failure classification and retry loop run for real. The
+    // global fault budget is what makes the failures *transient*: a pass
+    // relocates thousands of objects, so an unlimited per-call rate would
+    // interrupt every pass forever; with a budget, early passes are
+    // interrupted and retried and later ones run clean.
+    if fault_rate > 0 {
+        rt.faults().set_rate(FaultSite::Relocation, fault_rate);
+        rt.faults()
+            .set_limit((fault_limit > 0).then_some(fault_limit));
+        rt.faults().enable(seed);
+    }
+
+    let coordinator = Coordinator::new(MaintConfig {
+        max_concurrent_passes: 1,
+        // Generous pacer: the policy and SLO loop do the real throttling.
+        pacer_capacity: 8.0,
+        pacer_refill_per_sec: 64.0,
+        watchdog_deadline: Duration::from_secs(2),
+        retry_limit: 8,
+        seed,
+        poll_interval: Duration::from_millis(2),
+        slo: SloPolicy {
+            gauge: Some(gauge.clone()),
+            p99_ceiling: slo,
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(50),
+        },
+    });
+    c.register_maintenance(
+        &coordinator,
+        MaintPolicy {
+            frag_ratio_ceiling: frag_ceiling,
+            limbo_bytes_ceiling: 4 << 20,
+            min_interval: Duration::from_millis(5),
+            ..MaintPolicy::default()
+        },
+    );
+
+    let mut report = Report::new("fig15", "Coordinator soak: SLO under decimation churn");
+    report.param("duration_ms", duration_ms as u64);
+    report.param("threads", threads as u64);
+    report.param("objects", objects as u64);
+    report.param("slo_us", slo_us as u64);
+    report.param("fault_rate_per_1024", fault_rate as u64);
+    report.param("fault_limit", fault_limit);
+    report.param("frag_ceiling", frag_ceiling);
+    report.param("seed", seed);
+    let columns = [
+        "elapsed_ms",
+        "live",
+        "frag_pct",
+        "scan_p99_us",
+        "planned",
+        "completed",
+        "deferred",
+        "retried",
+    ];
+    let sid = report.series("soak", &columns);
+    csv(&columns);
+
+    // ---- Phase 1: soak ----------------------------------------------------
+    let stop = Arc::new(AtomicBool::new(false));
+    let key_tag = Arc::new(AtomicU64::new(0));
+    let per_worker = (objects / threads).max(1);
+    let workers: Vec<_> = (0..threads)
+        .map(|tid| {
+            let c = c.clone();
+            let key_tag = key_tag.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || churn_worker(c, seed, tid, per_worker, key_tag, stop))
+        })
+        .collect();
+
+    let started = Instant::now();
+    let deadline = started + Duration::from_millis(duration_ms as u64);
+    let mut next_sample = started + Duration::from_millis(250);
+    let mut torn_total = 0u64;
+    while Instant::now() < deadline && !interrupted() {
+        let (_, torn) = scan_once(&rt, &c, &gauge);
+        torn_total += torn;
+        let now = Instant::now();
+        if now >= next_sample {
+            next_sample = now + Duration::from_millis(250);
+            let snap = collection_snapshot(&rt, &c);
+            let m = coordinator.snapshot();
+            csv_into(
+                &mut report,
+                sid,
+                &[
+                    &(now.saturating_duration_since(started).as_millis()).to_string(),
+                    &snap.valid_slots.to_string(),
+                    &format!("{:.1}", frag_ratio(&snap) * 100.0),
+                    &(gauge.p99() / 1_000).to_string(),
+                    &m.passes_planned.to_string(),
+                    &m.passes_completed.to_string(),
+                    &m.passes_deferred.to_string(),
+                    &m.passes_retried.to_string(),
+                ],
+            );
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let soak = coordinator.snapshot();
+
+    // ---- Phase 2: back-pressure proof -------------------------------------
+    // A zero ceiling makes every observable p99 a breach; the nudged pass
+    // must therefore be deferred, not planned.
+    if !interrupted() {
+        coordinator.set_slo_ceiling(Duration::ZERO);
+        coordinator.nudge(c.context().id());
+        let bp_deadline = Instant::now() + Duration::from_millis(1000);
+        while coordinator.snapshot().passes_deferred == soak.passes_deferred
+            && Instant::now() < bp_deadline
+            && !interrupted()
+        {
+            let (_, torn) = scan_once(&rt, &c, &gauge);
+            torn_total += torn;
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        coordinator.set_slo_ceiling(slo);
+    }
+
+    // ---- Phase 3: quiesce + exact reconcile -------------------------------
+    stop.store(true, Ordering::Relaxed);
+    let mut survivors: Vec<Ref<Row>> = Vec::new();
+    for w in workers {
+        survivors.extend(w.join().expect("churn worker panicked"));
+    }
+    coordinator.quiesce();
+    let m = coordinator.snapshot();
+
+    // The coordinator is gone; tidy up the decimation tail it never saw,
+    // with faults off so the passes run clean, then validate exactly.
+    // Compaction packs at least two sparse blocks per group and never
+    // shuffles a lone straggler, so one pass can stop short of the ceiling;
+    // iterate until fragmentation settles.
+    rt.faults().disable();
+    let mut tidy_passes = 0u64;
+    loop {
+        let tidy = c.compact();
+        assert!(!tidy.interrupted, "tidy pass interrupted with faults off");
+        c.release_retired();
+        tidy_passes += 1;
+        if tidy_passes >= 4 || frag_ratio(&collection_snapshot(&rt, &c)) <= frag_ceiling {
+            break;
+        }
+    }
+    rt.drain_graveyard_blocking();
+
+    let verify_ok = c.verify().is_ok() && rt.verify().is_ok();
+    let model_ok = c.len() == survivors.len() as u64;
+    let final_snap = collection_snapshot(&rt, &c);
+    let final_frag = frag_ratio(&final_snap);
+    let p999_ns = gauge.percentile(99.9);
+    let was_interrupted = interrupted();
+
+    println!(
+        "soak done: live={} scans={} torn={} frag={:.1}% p99.9={}us \
+         planned={} completed={} deferred={} retried={} cancelled={} \
+         watchdog={} interrupted={was_interrupted}",
+        c.len(),
+        gauge.count(),
+        torn_total,
+        final_frag * 100.0,
+        p999_ns / 1_000,
+        m.passes_planned,
+        m.passes_completed,
+        m.passes_deferred,
+        m.passes_retried,
+        m.passes_cancelled,
+        m.watchdog_cancels,
+    );
+
+    report.param("interrupted", u64::from(was_interrupted));
+    report.counter("passes_planned", m.passes_planned);
+    report.counter("passes_completed", m.passes_completed);
+    report.counter("passes_deferred", m.passes_deferred);
+    report.counter("passes_throttled", m.passes_throttled);
+    report.counter("passes_retried", m.passes_retried);
+    report.counter("passes_cancelled", m.passes_cancelled);
+    report.counter("watchdog_cancels", m.watchdog_cancels);
+    report.counter("faults_injected", rt.faults().injected_total());
+    report.counter("torn_reads", torn_total);
+    report.histogram("scan_latency_ns", &gauge);
+    record_memory_counters(&mut report, &rt.stats);
+
+    report.check(
+        "slo_p999",
+        p999_ns <= slo.as_nanos() as u64,
+        format!(
+            "foreground scan p99.9 {}us within SLO {}us under churn",
+            p999_ns / 1_000,
+            slo_us
+        ),
+    );
+    report.check(
+        "maintenance_ran",
+        m.passes_completed > 0,
+        format!(
+            "coordinator completed {} passes unprompted",
+            m.passes_completed
+        ),
+    );
+    report.check(
+        "backpressure_deferred",
+        m.passes_deferred > soak.passes_deferred || soak.passes_deferred > 0,
+        format!(
+            "zero SLO ceiling deferred due passes ({} deferred total)",
+            m.passes_deferred
+        ),
+    );
+    // One-block slack: a compacted context legitimately bottoms out with a
+    // single partially-filled block (groups need two sources), so the floor
+    // of reachable fragmentation is one block's worth of holes.
+    let block_bytes = (final_snap.capacity_slots / final_snap.blocks.len().max(1) as u64)
+        * final_snap.slot_bytes as u64;
+    let frag_bytes = final_snap.dead_bytes() + final_snap.hole_bytes();
+    let frag_budget = (frag_ceiling * final_snap.footprint_bytes() as f64) as u64 + block_bytes;
+    report.check(
+        "frag_ceiling",
+        frag_bytes <= frag_budget,
+        format!(
+            "post-quiesce fragmentation {:.1}% ({} bytes) within policy ceiling {:.0}% \
+             plus one-block slack ({} bytes) after {} tidy passes",
+            final_frag * 100.0,
+            frag_bytes,
+            frag_ceiling * 100.0,
+            frag_budget,
+            tidy_passes
+        ),
+    );
+    report.check(
+        "post_quiesce_verify",
+        verify_ok && model_ok && torn_total == 0,
+        format!(
+            "exact reconcile after quiesce: validators {}, model {} ({} live vs {} survivors), \
+             torn reads {}",
+            if verify_ok { "ok" } else { "FAILED" },
+            if model_ok { "ok" } else { "DIVERGED" },
+            c.len(),
+            survivors.len(),
+            torn_total
+        ),
+    );
+    finish(&mut report);
+}

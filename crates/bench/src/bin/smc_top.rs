@@ -1,13 +1,14 @@
 //! `smc-top` — the live memory observatory dashboard.
 //!
 //! Runs an embedded churn workload (worker threads doing add/remove/read
-//! against one [`Smc`], with a compaction pass between refreshes) and
-//! periodically renders a [`HeapSnapshot`] as a text dashboard: per-block
-//! occupancy bars, limbo/hole fragmentation, incarnation churn,
-//! indirection-table load, epoch lag, pin hold-time and compaction
-//! percentiles, and the tracer's per-ring drop counters. The workload is
-//! the subject; the point is watching the observatory instruments move
-//! while writers run.
+//! against one [`Smc`], with the `smc-maint` coordinator owning compaction
+//! in the background) and periodically renders a [`HeapSnapshot`] as a
+//! text dashboard: per-block occupancy bars, limbo/hole fragmentation,
+//! incarnation churn, indirection-table load, epoch lag, pin hold-time and
+//! compaction percentiles, the coordinator's pass counters and SLO state,
+//! and the tracer's per-ring drop counters. The workload is the subject;
+//! the point is watching the observatory instruments move while writers
+//! run.
 //!
 //! ```text
 //! smc-top [--threads N] [--objects N] [--refresh-ms N] [--ticks N]
@@ -15,17 +16,21 @@
 //! ```
 //!
 //! `--json` prints each snapshot as one `smc-heap-snapshot/v1` JSON
-//! document (extended with tracer and workload figures) instead of the
-//! dashboard; `--once` renders a single snapshot and exits (CI runs
-//! `smc-top --json --once`). `SMC_TRACE_OUT` additionally writes a Chrome
-//! trace of the run on exit, like every bench binary.
+//! document (extended with tracer, workload and coordinator figures)
+//! instead of the dashboard; `--once` renders a single snapshot and exits
+//! (CI runs `smc-top --json --once`). `SMC_TRACE_OUT` additionally writes
+//! a Chrome trace of the run on exit, like every bench binary.
+//!
+//! ctrl-c (or SIGTERM) exits cleanly: the coordinator is quiesced, the
+//! heap validated, and the trace written — same path as a normal exit.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use smc::{ContextConfig, Ref, Smc, Tabular};
-use smc_bench::{arg_flag, arg_usize, init_tracing};
+use smc_bench::{arg_flag, arg_usize, init_tracing, install_signal_handler, interrupted};
+use smc_maint::{Coordinator, MaintConfig, MaintPolicy, MaintSnapshot, SloPolicy};
 use smc_memory::{HeapSnapshot, MemoryStats, Runtime};
 use smc_obs::{Histogram, JsonValue, Registry, Summary};
 use smc_util::Pcg32;
@@ -100,8 +105,40 @@ fn fmt_summary(s: &Summary) -> String {
     )
 }
 
+/// The coordinator panel: one line of queue/pass counters plus the SLO
+/// state and the last finished pass.
+fn render_maint(m: &MaintSnapshot) {
+    let last = m.last_pass.map_or_else(
+        || "-".to_string(),
+        |lp| {
+            format!(
+                "ctx#{} {} moved {} bailed {}",
+                lp.context_id,
+                lp.outcome.as_str(),
+                lp.moved,
+                lp.bailed
+            )
+        },
+    );
+    println!(
+        "  maint: queue {} active {} | planned {} done {} deferred {} \
+         throttled {} retried {} cancelled {} watchdog {} | slo {} | last {}",
+        m.queue_depth,
+        m.passes_active,
+        m.passes_planned,
+        m.passes_completed,
+        m.passes_deferred,
+        m.passes_throttled,
+        m.passes_retried,
+        m.passes_cancelled,
+        m.watchdog_cancels,
+        if m.slo_breached { "BREACHED" } else { "ok" },
+        last,
+    );
+}
+
 /// Renders one dashboard frame to stdout.
-fn render(tick: u64, snap: &HeapSnapshot, rt: &Runtime, live: u64) {
+fn render(tick: u64, snap: &HeapSnapshot, rt: &Runtime, live: u64, m: &MaintSnapshot) {
     println!(
         "smc-top tick {tick} — epoch {} (lag {}, min pinned {}) — watermark {}",
         snap.watermark.global_epoch_end,
@@ -158,6 +195,7 @@ fn render(tick: u64, snap: &HeapSnapshot, rt: &Runtime, live: u64) {
     );
     let merged = Registry::global().merged("smc_top.worker_op_ns");
     println!("  worker op ns:        {}", fmt_summary(&merged.summary()));
+    render_maint(m);
     let dropped = smc_obs::trace::dropped();
     let per_thread = smc_obs::trace::dropped_by_thread()
         .iter()
@@ -177,9 +215,39 @@ fn render(tick: u64, snap: &HeapSnapshot, rt: &Runtime, live: u64) {
     println!();
 }
 
-/// The `--json` document: the heap snapshot extended with tracer and
-/// workload figures.
-fn json_doc(tick: u64, snap: &HeapSnapshot, rt: &Runtime, live: u64) -> JsonValue {
+/// The coordinator figures for the `--json` document.
+fn maint_json(m: &MaintSnapshot) -> JsonValue {
+    let mut o = JsonValue::obj();
+    o.set("queue_depth", m.queue_depth);
+    o.set("passes_active", m.passes_active);
+    o.set("passes_planned", m.passes_planned);
+    o.set("passes_completed", m.passes_completed);
+    o.set("passes_deferred", m.passes_deferred);
+    o.set("passes_throttled", m.passes_throttled);
+    o.set("passes_retried", m.passes_retried);
+    o.set("passes_cancelled", m.passes_cancelled);
+    o.set("watchdog_cancels", m.watchdog_cancels);
+    o.set("slo_breached", m.slo_breached);
+    if let Some(lp) = m.last_pass {
+        let mut l = JsonValue::obj();
+        l.set("context_id", lp.context_id);
+        l.set("outcome", lp.outcome.as_str());
+        l.set("moved", lp.moved);
+        l.set("bailed", lp.bailed);
+        o.set("last_pass", l);
+    }
+    o
+}
+
+/// The `--json` document: the heap snapshot extended with tracer,
+/// workload and coordinator figures.
+fn json_doc(
+    tick: u64,
+    snap: &HeapSnapshot,
+    rt: &Runtime,
+    live: u64,
+    m: &MaintSnapshot,
+) -> JsonValue {
     let mut doc = snap.to_json();
     doc.set("tick", tick);
     doc.set("collection_len", live);
@@ -209,11 +277,13 @@ fn json_doc(tick: u64, snap: &HeapSnapshot, rt: &Runtime, live: u64) -> JsonValu
     p.set("p50_ns", pass.p50);
     p.set("p99_ns", pass.p99);
     doc.set("compaction_pass_ns", p);
+    doc.set("maint", maint_json(m));
     doc
 }
 
 fn main() {
     let trace_out = init_tracing();
+    install_signal_handler();
     let threads = arg_usize("--threads", 2);
     let objects = arg_usize("--objects", 50_000);
     let refresh_ms = arg_usize("--refresh-ms", 500);
@@ -230,6 +300,29 @@ fn main() {
         ..ContextConfig::default()
     };
     let c: Arc<Smc<Row>> = Arc::new(Smc::with_config(&rt, config));
+
+    // The coordinator owns compaction: the dashboard loop never calls
+    // `compact()` itself, it only reads the counters. A foreground scan
+    // probe (below) feeds the SLO gauge so the back-pressure state on the
+    // panel is live.
+    let scan_gauge = Arc::new(Histogram::new());
+    Registry::global().register("smc_top.scan_ns", &scan_gauge);
+    let coordinator = Coordinator::new(MaintConfig {
+        slo: SloPolicy {
+            gauge: Some(scan_gauge.clone()),
+            p99_ceiling: Duration::from_millis(250),
+            ..SloPolicy::default()
+        },
+        ..MaintConfig::default()
+    });
+    c.register_maintenance(
+        &coordinator,
+        MaintPolicy {
+            min_interval: Duration::from_millis((refresh_ms as u64 / 4).max(5)),
+            ..MaintPolicy::default()
+        },
+    );
+
     let keys = Arc::new(AtomicU64::new(0));
     for i in 0..objects as u64 {
         let key = keys.fetch_add(1, Ordering::Relaxed);
@@ -256,21 +349,29 @@ fn main() {
         );
     }
     let mut tick = 0u64;
-    loop {
+    while !interrupted() {
         tick += 1;
+        // Foreground scan probe: the latency the coordinator's SLO loop
+        // watches is the one the dashboard itself experiences.
+        let t0 = Instant::now();
+        if let Ok(guard) = rt.try_pin() {
+            let mut seen = 0u64;
+            c.for_each(&guard, |_| seen += 1);
+            std::hint::black_box(seen);
+        }
+        scan_gauge.record_duration(t0.elapsed());
         // Snapshot concurrently with the workers — the observatory's whole
-        // claim — then compact so the next frame shows relocation activity.
+        // claim. Relocation activity between frames is the coordinator's.
         let snap = c.heap_snapshot();
+        let m = coordinator.snapshot();
         if json {
-            println!("{}", json_doc(tick, &snap, &rt, c.len()).to_json());
+            println!("{}", json_doc(tick, &snap, &rt, c.len(), &m).to_json());
         } else {
-            render(tick, &snap, &rt, c.len());
+            render(tick, &snap, &rt, c.len(), &m);
         }
         if ticks > 0 && tick >= ticks as u64 {
             break;
         }
-        c.compact();
-        c.release_retired();
         std::thread::sleep(Duration::from_millis(refresh_ms as u64));
     }
 
@@ -278,8 +379,14 @@ fn main() {
     for h in handles {
         h.join().expect("worker panicked");
     }
-    // Quiesce and sanity-check before exiting: the snapshot instruments
-    // must reconcile with the structural validator once writers stop.
+    // Quiesce and sanity-check before exiting — also the ctrl-c path: the
+    // coordinator drains its in-flight pass, a tidy pass sweeps what the
+    // planner never saw, and the snapshot instruments must reconcile with
+    // the structural validator once writers stop.
+    coordinator.quiesce();
+    if !json {
+        render_maint(&coordinator.snapshot());
+    }
     c.compact();
     c.release_retired();
     rt.drain_graveyard_blocking();

@@ -21,12 +21,16 @@
 //! The defaults deliberately pick a compaction-eager configuration
 //! (in-place reclamation off, high occupancy cutoff) and a tight budget so
 //! all four failpoints and the OOM recovery ladder actually fire.
+//!
+//! SIGINT/SIGTERM end the run early but cleanly: workers wind down at the
+//! next op boundary, the current round still finishes its quiescent verify,
+//! and the summary, csv line and `SMC_TRACE_OUT` trace are all written.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use smc::{ContextConfig, Ref, Smc, Tabular};
-use smc_bench::{arg_f64, arg_usize, csv, init_tracing};
+use smc_bench::{arg_f64, arg_usize, csv, init_tracing, install_signal_handler, interrupted};
 use smc_memory::error::MemError;
 use smc_memory::{Runtime, BLOCK_SIZE};
 use smc_util::Pcg32;
@@ -73,6 +77,11 @@ fn worker(
     let mut pool: Vec<Ref<Row>> = Vec::new();
     let mut t = WorkerTally::default();
     for _ in 0..ops {
+        // Wind down at an op boundary on SIGINT/SIGTERM; the pool is still
+        // returned so the round's model reconcile stays exact.
+        if interrupted() {
+            break;
+        }
         match rng.gen_range(0u32..100) {
             // Insert-heavy mix keeps memory pressure on the budget.
             0..=44 => {
@@ -152,6 +161,7 @@ fn worker(
 
 fn main() {
     let trace_out = init_tracing();
+    install_signal_handler();
     let seed = arg_usize("--seed", 0x5eed) as u64;
     let threads = arg_usize("--threads", 4);
     let ops = arg_usize("--ops", 20_000);
@@ -255,6 +265,12 @@ fn main() {
             c.len(),
             report.blocks
         );
+        // The quiescent verify above already ran for this round, so a
+        // signal-shortened run still ends on a validated heap.
+        if interrupted() {
+            println!("stress: interrupted — stopping after round {round}");
+            break;
+        }
     }
 
     assert_eq!(total.torn_reads, 0, "readers observed torn objects");

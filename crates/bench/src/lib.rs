@@ -167,6 +167,59 @@ pub fn finish(report: &mut Report) -> ! {
     std::process::exit(write_report(report))
 }
 
+/// Graceful-shutdown signal handling for long-running binaries (`stress`,
+/// `smc-top`, `fig15_soak`): [`install_signal_handler`] registers an
+/// async-signal-safe handler for SIGINT and SIGTERM that only sets a flag;
+/// the main loop polls [`interrupted`] and winds down in order — quiesce the
+/// maintenance coordinator, drain the tracer rings to `SMC_TRACE_OUT`, write
+/// the report — instead of dying mid-pass. Zero dependencies: the handler is
+/// registered through libc's `signal`, which Rust's std already links.
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only an atomic store: the full shutdown runs on the main thread.
+        INTERRUPTED.store(true, Ordering::Relaxed);
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    /// Routes SIGINT and SIGTERM to a flag instead of process abort.
+    pub fn install_signal_handler() {
+        unsafe {
+            let handler = on_signal as *const () as usize;
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+
+    /// True once SIGINT or SIGTERM has been received.
+    pub fn interrupted() -> bool {
+        INTERRUPTED.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(not(unix))]
+mod signals {
+    /// No-op on non-unix targets: the default ^C behavior applies.
+    pub fn install_signal_handler() {}
+
+    /// Always false on non-unix targets.
+    pub fn interrupted() -> bool {
+        false
+    }
+}
+
+pub use signals::{install_signal_handler, interrupted};
+
 /// Formats a duration as fractional milliseconds.
 pub fn ms(d: Duration) -> String {
     format!("{:.2}", d.as_secs_f64() * 1e3)

@@ -30,7 +30,8 @@ use smc_memory::epoch::EpochManager;
 use smc_memory::incarnation::{IncWord, FLAG_FORWARD, FLAG_FROZEN, FLAG_LOCK, FLAG_MASK, INC_MASK};
 use smc_memory::indirection::{EntryRef, IndirectionTable};
 use smc_memory::reloc::{
-    bail_out_relocation, try_move_object, MoveOutcome, RelocEntry, RelocStatus, RelocationList,
+    bail_out_relocation, cancel_relocation, try_move_object, MoveOutcome, RelocEntry, RelocStatus,
+    RelocationList,
 };
 use smc_memory::runtime::Runtime;
 use smc_memory::slot::SlotState;
@@ -48,6 +49,7 @@ pub fn all() -> Vec<NamedScenario> {
         ("free_vs_freeze", free_vs_freeze),
         ("double_mover", double_mover),
         ("move_vs_bail", move_vs_bail),
+        ("cancel_vs_inflight_move", cancel_vs_inflight_move),
         ("slot_vs_entry_incarnation", slot_vs_entry_incarnation),
         ("exactly_once_visitation", exactly_once_visitation),
         ("budget_race", budget_race),
@@ -335,6 +337,84 @@ pub fn move_vs_bail() -> Scenario {
                     assert_eq!(dst.header().valid_count.load(Ordering::SeqCst), 0);
                 }
                 RelocStatus::Pending => panic!("relocation never settled"),
+            }
+            unsafe {
+                src.deallocate();
+                dst.deallocate();
+            }
+            drop(table);
+        })
+}
+
+/// The maintenance coordinator's quiesce/cancel rollback races a mover still
+/// executing the pass being cancelled (the `Coordinator::cancel` path:
+/// `request_compaction_cancel` → pass epilogue rolls every pending
+/// relocation back through [`cancel_relocation`]). Oracle: cancel is
+/// *exact* — whichever side settles the entry, the world reconciles
+/// bit-exact. A completed move leaves a forwarding source and valid
+/// destination; a cancelled move leaves the object in place with freeze and
+/// lock fully stripped on both the slot and the entry, exactly as
+/// `Smc::verify` demands after `quiesce()`/`cancel()`. Catches
+/// [`smc_memory::mutation::Mutation::CancelSkipsBailRollback`].
+pub fn cancel_vs_inflight_move() -> Scenario {
+    let fx = move_fixture(5150, 0);
+    let (src, dst, entry, reloc) = (fx.src, fx.dst, fx.entry, fx.reloc.clone());
+    let mover_reloc = reloc.clone();
+    let canceller_reloc = reloc.clone();
+    let mover_table = fx.table.clone();
+    let canceller_table = fx.table.clone();
+    let table = fx.table;
+    Scenario::new()
+        .thread(move || {
+            // The worker thread mid-pass, moving the entry.
+            let _ = unsafe { try_move_object(src, &mover_reloc) };
+            drop(mover_table);
+        })
+        .thread(move || {
+            // The cancelled pass's epilogue, rolling the entry back.
+            let _ = unsafe { cancel_relocation(src, &canceller_reloc) };
+            drop(canceller_table);
+        })
+        .finally(move || {
+            match reloc.status() {
+                RelocStatus::Succeeded => {
+                    // The move beat the cancel: normal post-move state.
+                    assert_eq!(unsafe { dst.obj_ptr(DEST_SLOT).cast::<u64>().read() }, 5150);
+                    assert_eq!(dst.slot_word(DEST_SLOT).state(), SlotState::Valid);
+                    assert_eq!(
+                        entry.get().load_payload(Ordering::SeqCst),
+                        dst.obj_ptr(DEST_SLOT) as usize
+                    );
+                    let src_word = src.slot_inc(SRC_SLOT).load(Ordering::SeqCst);
+                    assert_ne!(src_word & FLAG_FORWARD, 0);
+                    assert_eq!(src_word & (FLAG_FROZEN | FLAG_LOCK), 0);
+                }
+                RelocStatus::Failed => {
+                    // Cancel won: the object must stay put, fully thawed, so
+                    // a later pass can retry it and verify reconciles now.
+                    assert_eq!(src.slot_word(SRC_SLOT).state(), SlotState::Valid);
+                    assert_eq!(unsafe { src.obj_ptr(SRC_SLOT).cast::<u64>().read() }, 5150);
+                    let src_word = src.slot_inc(SRC_SLOT).load(Ordering::SeqCst);
+                    assert_eq!(
+                        src_word & FLAG_FROZEN,
+                        0,
+                        "cancelled relocation left the source slot frozen: \
+                         the quiesced heap would fail Smc::verify and readers \
+                         would wedge on the §5.1 slow path"
+                    );
+                    assert_eq!(src_word & FLAG_LOCK, 0);
+                    assert_eq!(
+                        entry.get().inc().load(Ordering::SeqCst) & FLAG_MASK,
+                        0,
+                        "cancel must strip the entry-side freeze too"
+                    );
+                    assert_eq!(
+                        entry.get().load_payload(Ordering::SeqCst),
+                        src.obj_ptr(SRC_SLOT) as usize
+                    );
+                    assert_eq!(dst.header().valid_count.load(Ordering::SeqCst), 0);
+                }
+                RelocStatus::Pending => panic!("cancelled relocation never settled"),
             }
             unsafe {
                 src.deallocate();

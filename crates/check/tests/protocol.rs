@@ -126,6 +126,15 @@ fn catches_bail_keeps_frozen() {
 }
 
 #[test]
+fn catches_cancel_skips_bail_rollback() {
+    assert_mutation_caught(
+        Mutation::CancelSkipsBailRollback,
+        "cancel_vs_inflight_move",
+        scenarios::cancel_vs_inflight_move,
+    );
+}
+
+#[test]
 fn catches_slot_vs_entry_incarnation() {
     assert_mutation_caught(
         Mutation::SlotVsEntryInc,

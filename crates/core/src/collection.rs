@@ -267,6 +267,18 @@ impl<T: Tabular> Smc<T> {
         self.ctx.release_retired()
     }
 
+    /// Hands this collection's maintenance to a background
+    /// [`Coordinator`](smc_maint::Coordinator): the coordinator plans and
+    /// runs compaction passes for it under `policy`, instead of the
+    /// application calling [`compact`](Self::compact) by hand.
+    pub fn register_maintenance(
+        &self,
+        coordinator: &smc_maint::Coordinator,
+        policy: smc_maint::MaintPolicy,
+    ) {
+        coordinator.register(self.ctx.clone(), policy);
+    }
+
     /// Validates the collection's structural invariants (block headers, slot
     /// directories, indirection back-pointers, incarnation flags) and
     /// cross-checks the recount against [`len`](Self::len). Requires

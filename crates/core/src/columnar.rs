@@ -180,6 +180,17 @@ impl<T: Columnar> ColumnarSmc<T> {
         &self.ctx
     }
 
+    /// Hands this collection's maintenance to a background
+    /// [`Coordinator`](smc_maint::Coordinator); see
+    /// [`Smc::register_maintenance`](crate::Smc::register_maintenance).
+    pub fn register_maintenance(
+        &self,
+        coordinator: &smc_maint::Coordinator,
+        policy: smc_maint::MaintPolicy,
+    ) {
+        coordinator.register(self.ctx.clone(), policy);
+    }
+
     /// Captures a lock-free observatory snapshot of this collection's heap;
     /// see [`smc_memory::inspect`] for the consistency model. Does not
     /// require quiescence.

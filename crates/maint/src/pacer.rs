@@ -1,0 +1,110 @@
+//! Token-bucket pacer bounding how fast the coordinator may start passes.
+//!
+//! The planner must take one token per planned pass; tokens refill at a
+//! configured rate up to a burst capacity. Combined with the worker-count
+//! concurrency limit this bounds both work in flight *and* work per second,
+//! so a pathological policy (e.g. a context hovering exactly at a threshold)
+//! cannot turn the coordinator into a busy loop of back-to-back passes.
+//!
+//! Time is passed in explicitly (`Instant` arguments) rather than read from
+//! the clock, so unit tests drive the bucket deterministically.
+
+use std::time::{Duration, Instant};
+
+/// A token bucket: `capacity` burst tokens, refilled continuously at
+/// `refill_per_sec`.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    capacity: f64,
+    tokens: f64,
+    refill_per_sec: f64,
+    last: Option<Instant>,
+}
+
+impl TokenBucket {
+    /// A bucket that starts full. `capacity` is clamped to at least one
+    /// token; a non-positive refill rate means the bucket never refills.
+    pub fn new(capacity: f64, refill_per_sec: f64) -> TokenBucket {
+        let capacity = capacity.max(1.0);
+        TokenBucket {
+            capacity,
+            tokens: capacity,
+            refill_per_sec: refill_per_sec.max(0.0),
+            last: None,
+        }
+    }
+
+    /// Takes one token if available at time `now`. Returns false (and takes
+    /// nothing) when the bucket is empty.
+    pub fn try_take(&mut self, now: Instant) -> bool {
+        self.refill(now);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available at time `now` (whole tokens).
+    pub fn available(&mut self, now: Instant) -> u64 {
+        self.refill(now);
+        self.tokens as u64
+    }
+
+    fn refill(&mut self, now: Instant) {
+        if let Some(last) = self.last {
+            let dt = now.saturating_duration_since(last);
+            if dt > Duration::ZERO {
+                self.tokens =
+                    (self.tokens + dt.as_secs_f64() * self.refill_per_sec).min(self.capacity);
+            }
+        }
+        self.last = Some(self.last.map_or(now, |l| l.max(now)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_then_empty_then_refill() {
+        let t0 = Instant::now();
+        let mut b = TokenBucket::new(3.0, 2.0);
+        assert!(b.try_take(t0));
+        assert!(b.try_take(t0));
+        assert!(b.try_take(t0));
+        assert!(!b.try_take(t0), "burst capacity is 3");
+        // 500 ms at 2 tokens/s refills exactly one token.
+        let t1 = t0 + Duration::from_millis(500);
+        assert!(b.try_take(t1));
+        assert!(!b.try_take(t1));
+    }
+
+    #[test]
+    fn refill_caps_at_capacity() {
+        let t0 = Instant::now();
+        let mut b = TokenBucket::new(2.0, 100.0);
+        assert!(b.try_take(t0));
+        let much_later = t0 + Duration::from_secs(60);
+        assert_eq!(b.available(much_later), 2, "refill must cap at capacity");
+    }
+
+    #[test]
+    fn zero_refill_never_recovers() {
+        let t0 = Instant::now();
+        let mut b = TokenBucket::new(1.0, 0.0);
+        assert!(b.try_take(t0));
+        assert!(!b.try_take(t0 + Duration::from_secs(3600)));
+    }
+
+    #[test]
+    fn time_going_backwards_is_harmless() {
+        let t0 = Instant::now();
+        let mut b = TokenBucket::new(1.0, 1.0);
+        assert!(b.try_take(t0 + Duration::from_secs(1)));
+        // An earlier instant must not mint tokens or panic.
+        assert!(!b.try_take(t0));
+    }
+}

@@ -46,7 +46,7 @@ use crate::fault::FaultSite;
 use crate::incarnation::{IncWord, FLAG_FROZEN};
 use crate::indirection::EntryRef;
 use crate::reloc::{
-    bail_out_relocation, try_move_object, MoveOutcome, RelocEntry, RelocStatus, RelocationList,
+    cancel_relocation, try_move_object, MoveOutcome, RelocEntry, RelocStatus, RelocationList,
 };
 use crate::runtime::Runtime;
 use crate::slot::{self, SlotId, SlotState};
@@ -205,6 +205,11 @@ pub struct CompactionReport {
     /// [`FaultSite::Relocation`] crash). Unmoved objects were bailed out;
     /// the context is valid and a later pass will retry them.
     pub interrupted: bool,
+    /// The pass was cancelled mid-flight via
+    /// [`request_compaction_cancel`](MemoryContext::request_compaction_cancel):
+    /// every still-pending relocation was rolled back through the §5.1 bail
+    /// path, so the context is valid and a later pass can retry.
+    pub cancelled: bool,
 }
 
 /// Atomic view of which blocks and groups an enumeration must visit.
@@ -252,6 +257,10 @@ pub struct MemoryContext {
     /// Fully-emptied compaction sources awaiting direct-pointer fix-up and
     /// burial (released by [`release_retired`](Self::release_retired)).
     pending_retired: Mutex<Vec<BlockRef>>,
+    /// Set by [`request_compaction_cancel`](Self::request_compaction_cancel);
+    /// the in-flight pass checks it between relocations and winds down via
+    /// the bail path. Cleared when the pass finishes.
+    cancel_requested: AtomicBool,
 }
 
 impl MemoryContext {
@@ -317,6 +326,7 @@ impl MemoryContext {
             thread_blocks: thread_blocks.into_boxed_slice(),
             reclaim_queue: Mutex::new(VecDeque::new()),
             pending_retired: Mutex::new(Vec::new()),
+            cancel_requested: AtomicBool::new(false),
         }
     }
 
@@ -348,6 +358,23 @@ impl MemoryContext {
     /// The configuration in effect.
     pub fn config(&self) -> &ContextConfig {
         &self.config
+    }
+
+    /// Asks an in-flight compaction pass to stop as soon as possible.
+    ///
+    /// The moving phase checks the flag between relocations; on observing it
+    /// the pass abandons further moves and its epilogue rolls every
+    /// still-pending relocation back through the §5.1 bail path, leaving the
+    /// context bit-exact valid (the pass reports `cancelled`). Safe to call
+    /// from any thread, including when no pass is running — the flag is
+    /// consumed and cleared by the next pass to finish.
+    pub fn request_compaction_cancel(&self) {
+        self.cancel_requested.store(true, Ordering::Release);
+    }
+
+    /// Whether a cancel has been requested and not yet consumed by a pass.
+    pub fn compaction_cancel_requested(&self) -> bool {
+        self.cancel_requested.load(Ordering::Acquire)
     }
 
     /// Atomic snapshot of the blocks and groups an enumeration must visit.
@@ -572,6 +599,12 @@ impl MemoryContext {
 
     /// Pops the reclaim queue's front block if its epoch has matured, resets
     /// its allocation cursor, and adopts it for `tid`.
+    ///
+    /// Adoption happens *while holding the queue lock*: compaction's
+    /// candidate selection takes the same lock and requires
+    /// `active_owner == 0`, so releasing the lock before claiming ownership
+    /// would let a concurrent pass freeze — and later retire and free — the
+    /// block this thread is about to allocate from.
     fn pop_reclaimable(&self, tid: usize) -> Option<BlockRef> {
         let mut q = self.reclaim_queue.lock();
         let &(block, ready_at) = q.front()?;
@@ -579,10 +612,15 @@ impl MemoryContext {
             return None;
         }
         q.pop_front();
+        debug_assert_eq!(
+            block.header().compacting.load(Ordering::Acquire),
+            0,
+            "a queued block cannot be mid-compaction"
+        );
         block.header().in_reclaim_queue.store(0, Ordering::Release);
         block.header().alloc_cursor.store(0, Ordering::Relaxed);
-        drop(q);
         self.adopt_thread_block(tid, block);
+        drop(q);
         Some(block)
     }
 
@@ -598,13 +636,21 @@ impl MemoryContext {
         if limbo / header.capacity as f64 <= self.config.reclamation_threshold {
             return;
         }
+        let mut q = self.reclaim_queue.lock();
+        // Re-check under the lock candidate selection also holds: a pass
+        // that claimed this block between the screen above and the lock
+        // acquisition must not find it (re)enqueued behind its back — it
+        // may be about to retire, bury and free it.
+        if header.compacting.load(Ordering::Acquire) != 0 {
+            return;
+        }
         if header
             .in_reclaim_queue
             .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
         {
             let ready_at = self.runtime.global_epoch() + 2;
-            self.reclaim_queue.lock().push_back((block, ready_at));
+            q.push_back((block, ready_at));
         }
     }
 
@@ -621,14 +667,21 @@ impl MemoryContext {
     /// Fallible [`free`](Self::free): `Err(MemError::TooManyThreads)` when
     /// the calling thread cannot claim an epoch slot.
     pub fn try_free(&self, entry: EntryRef, expected_entry_inc: u32) -> Result<bool, MemError> {
-        let tid = self.runtime.epochs.thread_index()?;
-        // Winning this CAS is what makes us *the* remover.
-        if entry
-            .get()
-            .inc()
-            .try_bump_from(expected_entry_inc)
-            .is_none()
-        {
+        // Pin for the whole slot surgery: the moment our decrement below
+        // empties the block, a concurrent pass may retire and bury it, and a
+        // buried block is freed once the global epoch advances past its
+        // grace period — the pin keeps the epoch from getting there while we
+        // still write into the block.
+        let _guard = self.runtime.try_pin()?;
+        // Winning the entry lock is what makes us *the* remover (§5.1
+        // footnote: free serializes with freeze/lock through the incarnation
+        // word). Holding the lock bit — rather than bumping up front — keeps
+        // movers out for the whole surgery: a relocation frozen at this
+        // incarnation spins at its entry lock until the bump below retires
+        // the counter, then dies with `MoveOutcome::Freed`. If a mover got
+        // the lock first we spin here instead, and afterwards the payload
+        // points at the object's *new* home, which is the one we free.
+        if entry.get().inc().lock(expected_entry_inc).is_none() {
             return Ok(false);
         }
         let payload = entry.get().load_payload(Ordering::Acquire);
@@ -641,11 +694,15 @@ impl MemoryContext {
         block.header().valid_count.fetch_sub(1, Ordering::Relaxed);
         block.header().limbo_count.fetch_add(1, Ordering::Relaxed);
         MemoryStats::inc(&self.runtime.stats.objects_freed);
+        // The bump both retires the incarnation — failing every outstanding
+        // reference — and releases the lock bit (a bump clears all flags).
+        // Its release ordering publishes the slot surgery above, which is
+        // what `freeze_group`'s post-freeze slot re-check relies on.
+        entry.get().inc().bump();
         self.maybe_enqueue_for_reclamation(block);
         // Entry reuse is deferred two epochs: a direct pointer chasing a
         // forwarding tombstone (§6) may still read this entry until every
         // critical section that could hold such a pointer has ended.
-        let _ = tid;
         self.runtime.indirection.release_at(entry, epoch + 2);
         Ok(true)
     }
@@ -778,7 +835,8 @@ impl MemoryContext {
         self.runtime.epochs.release_advance(tid);
         drop(guard);
 
-        // Bail out anything still pending (aborted passes, timed-out groups).
+        // Roll back anything still pending (aborted, cancelled, or timed-out
+        // groups) through the cancel/bail path.
         for group in &groups {
             for &src in &group.sources {
                 let list = src.header().reloc_list.load(Ordering::Acquire);
@@ -788,13 +846,17 @@ impl MemoryContext {
                 let list = unsafe { &*list };
                 for entry in &list.entries {
                     if entry.status() == RelocStatus::Pending {
-                        unsafe { bail_out_relocation(src, entry) };
+                        unsafe { cancel_relocation(src, entry) };
                         report.bailed += 1;
                         MemoryStats::inc(&self.runtime.stats.relocations_bailed);
                     }
                 }
             }
         }
+
+        // A cancel request is consumed by the pass that observed it (or, if
+        // it arrived too late to stop anything, by this pass completing).
+        self.cancel_requested.store(false, Ordering::Release);
 
         self.publish_groups(&groups, &mut report);
         MemoryStats::inc(&self.runtime.stats.compactions);
@@ -874,6 +936,13 @@ impl MemoryContext {
                 return None;
             }
         };
+        // Destinations are born mid-pass: a free of a just-moved object must
+        // not hand the block to the reclamation queue while the pass still
+        // writes into it — `publish_groups` may even bury it (fully-freed
+        // dest) and a queued-but-buried block is a use-after-free waiting in
+        // `pop_reclaimable`. The flag comes off when the block enters
+        // regular membership.
+        dest.header().compacting.store(1, Ordering::Release);
         let mut next_dest_slot: SlotId = 0;
         for &src in &sources {
             let mut entries = Vec::new();
@@ -898,6 +967,19 @@ impl MemoryContext {
                 // the slot word for direct-pointer readers. A failure means
                 // the object was freed concurrently — skip it.
                 if !entry.get().inc().try_set_flag(inc, FLAG_FROZEN) {
+                    continue;
+                }
+                // Re-check the slot now that the entry is frozen: a racing
+                // free bumps the entry only *after* its slot surgery, so if
+                // the `inc` we froze was the post-free counter, the slot is
+                // observably limbo by now (the bump's release ordering
+                // publishes the surgery, and source slots cannot be reused
+                // mid-pass — the block is marked compacting and the epoch is
+                // held). Retract the freeze and skip; without this the pass
+                // would relocate a mid-free object and the freer would write
+                // into a block the pass then retires and frees.
+                if src.slot_word(slot_id).state() != SlotState::Valid {
+                    entry.get().inc().clear_flag(inc, FLAG_FROZEN);
                     continue;
                 }
                 let _ = self
@@ -963,6 +1045,13 @@ impl MemoryContext {
                     MemoryStats::inc(&self.runtime.stats.compactions_interrupted);
                     return false;
                 }
+                // Cooperative cancel (watchdog / quiesce): stop moving and
+                // let the epilogue roll the remaining entries back through
+                // the bail path.
+                if self.cancel_requested.load(Ordering::Acquire) {
+                    report.cancelled = true;
+                    return false;
+                }
                 match unsafe { try_move_object(src, entry) } {
                     MoveOutcome::MovedByUs => {
                         report.moved += 1;
@@ -984,18 +1073,29 @@ impl MemoryContext {
         for group in groups {
             m.groups.retain(|g| !Arc::ptr_eq(g, group));
             if group.dest.header().valid_count.load(Ordering::Relaxed) > 0 {
+                // Joining regular membership lifts the mid-pass reclamation
+                // embargo set at allocation (see `freeze_group`).
+                group.dest.header().compacting.store(0, Ordering::Release);
                 m.blocks.push(group.dest);
             } else {
+                // `compacting` stays set on the discarded dest, same as on
+                // retired sources below: the block is headed for the
+                // graveyard and must stay un-enqueueable.
                 // Nothing moved (fully bailed/aborted): discard the dest.
                 self.runtime
                     .bury_block(group.dest, self.runtime.global_epoch() + 2);
             }
             for &src in &group.sources {
-                src.header().compacting.store(0, Ordering::Release);
                 if src.header().valid_count.load(Ordering::Relaxed) == 0 {
+                    // `compacting` stays set on retired sources: it is what
+                    // keeps a straggling `free` (which sampled the block
+                    // before the move) from re-enqueueing a block that is
+                    // headed for the graveyard. The flag is reinitialized
+                    // with the rest of the header if the memory is reused.
                     report.retired_bases.push(src.base() as usize);
                     self.pending_retired.lock().push(src);
                 } else {
+                    src.header().compacting.store(0, Ordering::Release);
                     m.blocks.push(src);
                 }
             }

@@ -25,7 +25,7 @@ use smc_util::rng::splitmix64;
 use crate::stats::MemoryStats;
 
 /// Number of distinct failpoints.
-pub const NUM_SITES: usize = 4;
+pub const NUM_SITES: usize = 6;
 
 /// The failpoints wired into the memory manager.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -49,6 +49,16 @@ pub enum FaultSite {
     /// stay `Pending` and are bailed out by the pass epilogue, leaving the
     /// collection valid and the compaction retriable.
     Relocation,
+    /// Maintenance-coordinator planning cycle (`smc-maint`). Injection makes
+    /// one planning sweep fail transiently — the coordinator must classify
+    /// it as retriable and plan again on a later cycle, not wedge.
+    MaintPlan,
+    /// Maintenance-coordinator pass dispatch (`smc-maint`). Injection fails
+    /// a planned pass before it reaches [`MemoryContext::compact`]; the
+    /// coordinator retries it with seeded-jitter backoff.
+    ///
+    /// [`MemoryContext::compact`]: crate::context::MemoryContext::compact
+    MaintPass,
 }
 
 impl FaultSite {
@@ -58,6 +68,8 @@ impl FaultSite {
         FaultSite::EpochAdvance,
         FaultSite::ThreadClaim,
         FaultSite::Relocation,
+        FaultSite::MaintPlan,
+        FaultSite::MaintPass,
     ];
 
     /// Dense index of this site.
@@ -68,6 +80,8 @@ impl FaultSite {
             FaultSite::EpochAdvance => 1,
             FaultSite::ThreadClaim => 2,
             FaultSite::Relocation => 3,
+            FaultSite::MaintPlan => 4,
+            FaultSite::MaintPass => 5,
         }
     }
 
@@ -79,6 +93,8 @@ impl FaultSite {
             0x9e37_79b9_0000_0002,
             0x9e37_79b9_0000_0003,
             0x9e37_79b9_0000_0004,
+            0x9e37_79b9_0000_0005,
+            0x9e37_79b9_0000_0006,
         ][self.index()]
     }
 
@@ -89,6 +105,8 @@ impl FaultSite {
             FaultSite::EpochAdvance => "epoch-advance",
             FaultSite::ThreadClaim => "thread-claim",
             FaultSite::Relocation => "relocation",
+            FaultSite::MaintPlan => "maint-plan",
+            FaultSite::MaintPass => "maint-pass",
         }
     }
 }

@@ -166,6 +166,30 @@ impl IncWord {
         }
     }
 
+    /// Clears a flag if the counter still equals `expected_inc`. A counter
+    /// change means a concurrent free already bumped the word — and a bump
+    /// clears every flag — so there is nothing left to undo either way.
+    /// Used by `freeze_group` to retract a freeze whose slot re-check failed.
+    pub fn clear_flag(&self, expected_inc: u32, flag: u32) {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            if cur & INC_MASK != expected_inc & INC_MASK {
+                return;
+            }
+            let next = cur & !flag;
+            if next == cur {
+                return;
+            }
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
     /// Atomically acquires the [`FLAG_LOCK`] bit, spinning while another
     /// thread holds it. Returns the word observed at acquisition (with the
     /// lock bit set), or `None` if the counter changed from `expected_inc`
@@ -293,6 +317,19 @@ mod tests {
         let w = IncWord::new(3);
         w.bump();
         assert!(w.lock(3).is_none());
+    }
+
+    #[test]
+    fn clear_flag_respects_counter() {
+        let w = IncWord::new(4);
+        assert!(w.try_set_flag(4, FLAG_FROZEN));
+        w.clear_flag(4, FLAG_FROZEN);
+        assert_eq!(w.load(Acquire), 4);
+        // Stale counter: the bump already cleared every flag; nothing to undo.
+        assert!(w.try_set_flag(4, FLAG_FROZEN));
+        w.bump();
+        w.clear_flag(4, FLAG_FROZEN);
+        assert_eq!(w.load(Acquire), 5);
     }
 
     #[test]

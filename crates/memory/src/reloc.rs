@@ -288,6 +288,31 @@ pub unsafe fn bail_out_relocation(src_block: BlockRef, reloc: &RelocEntry) -> Mo
     }
 }
 
+/// Cancels one scheduled relocation on behalf of a compaction pass that is
+/// being torn down — a watchdog-cancelled pass, a coordinator `cancel()`, or
+/// the pass epilogue rolling back entries an interrupted mover left
+/// `Pending`. The rollback *is* the §5.1 bail path: the entry lock
+/// serializes the cancel against in-flight movers, the entry settles
+/// `Failed`, and the freeze is stripped from both incarnation words so the
+/// object stays put, fully thawed, and retriable by a later pass.
+///
+/// # Safety
+/// Same contract as [`try_move_object`].
+pub unsafe fn cancel_relocation(src_block: BlockRef, reloc: &RelocEntry) -> MoveOutcome {
+    if mutation::enabled(Mutation::CancelSkipsBailRollback) {
+        // Re-introduced bug (`CancelSkipsBailRollback`): settle the entry
+        // without the locked bail rollback. The slot and entry stay frozen
+        // (readers wedge on the §5.1 slow path), and a mover holding the
+        // entry lock can still complete the move the cancel claims it
+        // prevented.
+        if reloc.status() == RelocStatus::Pending {
+            reloc.set_status(RelocStatus::Failed);
+        }
+        return MoveOutcome::BailedOut;
+    }
+    bail_out_relocation(src_block, reloc)
+}
+
 impl RelocEntry {
     fn obj_size(&self, src_block: BlockRef) -> usize {
         // The object size travels with the list; reach it through the header.

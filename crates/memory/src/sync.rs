@@ -89,11 +89,12 @@ mod passthrough {
         std::thread::yield_now();
     }
 
-    /// Exponential-ish backoff used by allocation recovery: `1 << n` spin
-    /// pauses followed by a thread yield.
+    /// Exponential-ish backoff used by allocation recovery:
+    /// [`smc_util::backoff::spin_bound`] spin pauses followed by a thread
+    /// yield, so the ladder shares one envelope with every other retry loop.
     #[inline]
     pub fn backoff(n: u32) {
-        for _ in 0..(1u32 << n.min(6)) {
+        for _ in 0..smc_util::backoff::spin_bound(n) {
             std::hint::spin_loop();
         }
         std::thread::yield_now();

@@ -217,6 +217,43 @@ pub enum Event {
         /// Span duration in nanoseconds.
         nanos: u64,
     },
+    /// The maintenance coordinator dispatched a compaction pass.
+    MaintPassStart {
+        /// Memory-context id the pass targets.
+        context: u64,
+        /// Why the pass was planned (e.g. `frag`, `limbo`, `churn`, `nudge`).
+        reason: Label,
+    },
+    /// A coordinator-driven compaction pass finished.
+    MaintPassEnd {
+        /// Memory-context id the pass targeted.
+        context: u64,
+        /// Objects moved by the pass.
+        moved: u64,
+        /// Relocations rolled back through the bail path.
+        bailed: u64,
+        /// Outcome class (`done`, `retry`, `cancel`, `abort`). Must fit in
+        /// 7 bytes: the record packs context/moved/bailed plus the label's
+        /// first word, so only short tokens survive encoding.
+        outcome: Label,
+    },
+    /// The coordinator deferred a due pass because the foreground scan SLO
+    /// is breached (back-pressure).
+    MaintDeferred {
+        /// Memory-context id whose pass was deferred.
+        context: u64,
+        /// Observed foreground p99 scan latency in nanoseconds.
+        p99_ns: u64,
+        /// The configured SLO ceiling in nanoseconds.
+        slo_ns: u64,
+    },
+    /// The coordinator's SLO state flipped (breached or recovered).
+    MaintSloState {
+        /// True when entering the breached (back-pressure) state.
+        breached: bool,
+        /// Observed foreground p99 scan latency in nanoseconds.
+        p99_ns: u64,
+    },
 }
 
 const K_GC_BEGIN: u64 = 1;
@@ -232,6 +269,10 @@ const K_FAILPOINT: u64 = 10;
 const K_MORSEL: u64 = 11;
 const K_BROADCAST: u64 = 12;
 const K_SPAN: u64 = 13;
+const K_MAINT_START: u64 = 14;
+const K_MAINT_END: u64 = 15;
+const K_MAINT_DEFER: u64 = 16;
+const K_MAINT_SLO: u64 = 17;
 
 impl Event {
     /// Short kind name, stable for log processing.
@@ -250,6 +291,10 @@ impl Event {
             Event::MorselDispatch { .. } => "morsel-dispatch",
             Event::PoolBroadcast { .. } => "pool-broadcast",
             Event::QuerySpan { .. } => "query-span",
+            Event::MaintPassStart { .. } => "maint-pass-start",
+            Event::MaintPassEnd { .. } => "maint-pass-end",
+            Event::MaintDeferred { .. } => "maint-deferred",
+            Event::MaintSloState { .. } => "maint-slo-state",
         }
     }
 
@@ -293,6 +338,31 @@ impl Event {
             Event::QuerySpan { label, nanos } => {
                 let (a, b) = label.pack();
                 (K_SPAN, [a, b, nanos, 0])
+            }
+            Event::MaintPassStart { context, reason } => {
+                let (a, b) = reason.pack();
+                (K_MAINT_START, [context, a, b, 0])
+            }
+            Event::MaintPassEnd {
+                context,
+                moved,
+                bailed,
+                outcome,
+            } => {
+                // Four payload words must carry context/moved/bailed plus the
+                // outcome, so only the label's first packed word (length +
+                // 7 bytes) is stored — enough for every outcome token.
+                let (a, b) = outcome.pack();
+                debug_assert_eq!(b, 0, "outcome label must fit 7 bytes");
+                (K_MAINT_END, [context, moved, bailed, a])
+            }
+            Event::MaintDeferred {
+                context,
+                p99_ns,
+                slo_ns,
+            } => (K_MAINT_DEFER, [context, p99_ns, slo_ns, 0]),
+            Event::MaintSloState { breached, p99_ns } => {
+                (K_MAINT_SLO, [breached as u64, p99_ns, 0, 0])
             }
         }
     }
@@ -347,6 +417,25 @@ impl Event {
             K_SPAN => Event::QuerySpan {
                 label: Label::unpack(p[0], p[1]),
                 nanos: p[2],
+            },
+            K_MAINT_START => Event::MaintPassStart {
+                context: p[0],
+                reason: Label::unpack(p[1], p[2]),
+            },
+            K_MAINT_END => Event::MaintPassEnd {
+                context: p[0],
+                moved: p[1],
+                bailed: p[2],
+                outcome: Label::unpack(p[3], 0),
+            },
+            K_MAINT_DEFER => Event::MaintDeferred {
+                context: p[0],
+                p99_ns: p[1],
+                slo_ns: p[2],
+            },
+            K_MAINT_SLO => Event::MaintSloState {
+                breached: p[0] != 0,
+                p99_ns: p[1],
             },
             _ => return None,
         })
@@ -806,6 +895,25 @@ mod tests {
             Event::QuerySpan {
                 label: Label::new("smc.q1"),
                 nanos: 22,
+            },
+            Event::MaintPassStart {
+                context: 23,
+                reason: Label::new("frag"),
+            },
+            Event::MaintPassEnd {
+                context: 24,
+                moved: 25,
+                bailed: 26,
+                outcome: Label::new("cancel"),
+            },
+            Event::MaintDeferred {
+                context: 27,
+                p99_ns: 28,
+                slo_ns: 29,
+            },
+            Event::MaintSloState {
+                breached: true,
+                p99_ns: 30,
             },
         ];
         for e in events {

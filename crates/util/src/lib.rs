@@ -7,11 +7,17 @@
 //!   `parking_lot`-style API (no poison `Result`s at every call site);
 //! * [`rng`] — a small, seeded PCG pseudo-random generator standing in for
 //!   `rand::StdRng` in the TPC-H generator, workloads, and tests.
+//!
+//! Plus [`backoff`] — bounded exponential retry backoff with deterministic
+//! seeded jitter, shared by the maintenance coordinator and the allocator's
+//! OOM recovery ladder.
 
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod rng;
 pub mod sync;
 
+pub use backoff::Backoff;
 pub use rng::Pcg32;
 pub use sync::{Mutex, RwLock};

@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
-"""Bench-report gate: validate a freshly produced BENCH_fig14.json against the
-checked-in baseline (examples/BENCH_fig14.json).
+"""Bench-report gate: validate a freshly produced bench report (BENCH_fig14.json,
+BENCH_fig15.json, ...) against its checked-in baseline in examples/.
 
 The gate does NOT compare absolute timings (CI machines are noisy); it checks
 the *structure and correctness signals* of the report:
@@ -13,9 +13,16 @@ the *structure and correctness signals* of the report:
     report — a silently dropped parity check must fail the gate;
   * every series has at least one row, and the fresh report covers at least
     the baseline's series names;
-  * the reader counters (``pins_taken``, ``blocks_scanned``,
-    ``morsels_dispatched``) are non-zero — zero means the epoch machinery /
-    morsel engine never actually did work;
+  * the figure's required counters are non-zero — for query reports
+    (fig14) that is ``pins_taken`` / ``blocks_scanned`` /
+    ``morsels_dispatched`` (zero means the epoch machinery / morsel engine
+    never did work); for the coordinator soak (fig15) it is ``pins_taken``
+    / ``passes_planned`` / ``passes_completed``;
+  * fig15 reports must additionally carry the ``slo_p999``,
+    ``backpressure_deferred`` and ``post_quiesce_verify`` checks by name
+    (passing, via the rule above) and a non-zero ``passes_deferred``
+    counter — a soak in which the SLO back-pressure loop never engaged
+    proves nothing about back-pressure;
   * if the report carries tracer counters, it may not claim an empty trace
     (``trace_events`` = 0) while also reporting dropped ring events — that
     combination means the tracer recorded work and the exporter lost all of
@@ -36,6 +43,15 @@ import sys
 
 SCHEMA = "smc-bench-report/v1"
 REQUIRED_COUNTERS = ("pins_taken", "blocks_scanned", "morsels_dispatched")
+FIG15_COUNTERS = ("pins_taken", "passes_planned", "passes_completed")
+FIG15_CHECKS = ("slo_p999", "backpressure_deferred", "post_quiesce_verify")
+
+
+def required_counters(report):
+    """The non-zero counters this figure must produce."""
+    if report.get("figure") == "fig15":
+        return FIG15_COUNTERS
+    return REQUIRED_COUNTERS
 
 
 def fail(msg):
@@ -87,13 +103,28 @@ def check_report(fresh, baseline):
         fail(f"series present in baseline but missing from fresh report: "
              f"{', '.join(missing_series)}")
 
-    # --- reader counters ----------------------------------------------------
+    # --- required counters --------------------------------------------------
     counters = fresh.get("counters", {})
-    for name in REQUIRED_COUNTERS:
+    required = required_counters(fresh)
+    for name in required:
         value = counters.get(name)
         if not isinstance(value, (int, float)) or value <= 0:
-            fail(f"counter {name!r} is {value!r} — the epoch/morsel "
-                 f"machinery did no work")
+            fail(f"counter {name!r} is {value!r} — the machinery this "
+                 f"figure measures did no work")
+
+    # --- fig15 coordinator soak rules ----------------------------------------
+    # The soak is only evidence if its three load-bearing oracles ran (SLO
+    # held, back-pressure engaged, post-quiesce reconcile exact) and the
+    # back-pressure path actually deferred work at least once.
+    if fresh.get("figure") == "fig15":
+        missing_fig15 = sorted(n for n in FIG15_CHECKS if n not in fresh_names)
+        if missing_fig15:
+            fail(f"fig15 report is missing required checks: "
+                 f"{', '.join(missing_fig15)}")
+        deferred = counters.get("passes_deferred")
+        if not isinstance(deferred, (int, float)) or deferred <= 0:
+            fail(f"counter 'passes_deferred' is {deferred!r} — the SLO "
+                 f"back-pressure loop never engaged during the soak")
 
     # --- tracer honesty ------------------------------------------------------
     # Only meaningful when the run traced (SMC_TRACE_OUT set): an exported
@@ -111,7 +142,7 @@ def check_report(fresh, baseline):
     return {
         "checks": len(checks),
         "series": sorted(n for n in fresh_series if n),
-        "counters": {n: counters[n] for n in REQUIRED_COUNTERS},
+        "counters": {n: counters[n] for n in required},
     }
 
 
@@ -143,8 +174,9 @@ def doctored_reports(base):
     """Yields (description, doctored_fresh_report) pairs, each of which the
     gate MUST reject when compared against the clean baseline."""
     d = copy.deepcopy(base)
-    d["checks"] = [c for c in d["checks"] if c["name"] != "q6_parity_t1"]
-    yield "dropped parity check q6_parity_t1", d
+    dropped = d["checks"][-1]["name"]
+    d["checks"] = d["checks"][:-1]
+    yield f"dropped check {dropped}", d
 
     d = copy.deepcopy(base)
     d["checks"][0]["passed"] = False
@@ -154,17 +186,41 @@ def doctored_reports(base):
     d["all_checks_passed"] = False
     yield "all_checks_passed = false", d
 
+    required = required_counters(base)
     d = copy.deepcopy(base)
-    d["counters"]["morsels_dispatched"] = 0
-    yield "morsels_dispatched = 0", d
+    d["counters"][required[-1]] = 0
+    yield f"{required[-1]} = 0", d
 
     d = copy.deepcopy(base)
-    del d["counters"]["blocks_scanned"]
-    yield "blocks_scanned counter removed", d
+    del d["counters"][required[1]]
+    yield f"{required[1]} counter removed", d
 
     d = copy.deepcopy(base)
     d["counters"]["pins_taken"] = 0
     yield "pins_taken = 0", d
+
+    if base.get("figure") == "fig15":
+        # Coordinator-soak-specific rules: the gate must reject a soak whose
+        # back-pressure loop never engaged or whose load-bearing oracles
+        # were silently dropped or failed.
+        d = copy.deepcopy(base)
+        d["counters"]["passes_deferred"] = 0
+        yield "fig15: passes_deferred = 0 (back-pressure never engaged)", d
+
+        d = copy.deepcopy(base)
+        d["checks"] = [c for c in d["checks"]
+                       if c["name"] != "post_quiesce_verify"]
+        yield "fig15: post_quiesce_verify oracle dropped", d
+
+        d = copy.deepcopy(base)
+        for c in d["checks"]:
+            if c["name"] == "slo_p999":
+                c["passed"] = False
+        yield "fig15: slo_p999 flipped to failed", d
+
+        d = copy.deepcopy(base)
+        d["counters"]["passes_completed"] = 0
+        yield "fig15: passes_completed = 0 (coordinator never ran)", d
 
     d = copy.deepcopy(base)
     d["counters"]["trace_events"] = 0
