@@ -1,0 +1,434 @@
+//! `smc-loadgen` — closed-loop load harness for the SMC server (Figure 16,
+//! this repo's addition).
+//!
+//! Drives a fixed aggregate request rate against an [`smc_serve::Server`]
+//! from `--connections` closed-loop clients: each connection paces itself
+//! to `rate / connections` requests per second, issues one request at a
+//! time, and records the service latency into a per-op-class histogram
+//! (`ingest` = upsert/delete, `query` = count/sum). Lateness against the
+//! pacing schedule is tracked separately, so a saturated server shows up as
+//! a `saturation_free` check failure rather than silently stretching the
+//! schedule.
+//!
+//! By default the server runs **embedded** (in-process, ephemeral port)
+//! with `--shards`/`--workers`/`--tenants`, and tenant 0 optionally capped
+//! by `--budget-mb` — over-budget errors are counted, not failed, because a
+//! clean wire error under budget pressure is exactly the contract under
+//! test. `--addr HOST:PORT` targets an external server instead (started
+//! with the standalone `smc-serve` binary); drain verification is then
+//! skipped, everything else is identical because the whole harness speaks
+//! the wire protocol.
+//!
+//! Checks recorded in `BENCH_fig16.json` (gated by `scripts/bench_gate.py`):
+//! `slo_p999_ingest` / `slo_p999_query` (p99.9 service latency within
+//! `--slo-ingest-us` / `--slo-query-us`), `saturation_free` (≤10% of
+//! requests started late), `shard_requests_nonzero` (every shard served
+//! work), `no_dropped_tenants` (every targeted tenant kept answering), and
+//! `drain_verify` (embedded server drained and reconciled bit-exact).
+//!
+//! ```text
+//! smc-loadgen [--duration 5s] [--rate N] [--connections N]
+//!             [--shards N] [--workers N] [--tenants N] [--budget-mb M]
+//!             [--query-pct P] [--keys N] [--batch N] [--seed N]
+//!             [--slo-ingest-us N] [--slo-query-us N] [--addr HOST:PORT]
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use smc_bench::{
+    arg_usize, csv, finish, init_tracing, install_signal_handler, interrupted, JsonValue, Report,
+};
+use smc_obs::Histogram;
+use smc_serve::wire::ErrorCode;
+use smc_serve::{Client, ClientError, Server, ServerConfig, TenantConfig};
+use smc_util::Pcg32;
+
+/// Parses `--duration` values like `5s`, `750ms`, or a bare seconds count.
+fn parse_duration(s: &str) -> Option<Duration> {
+    if let Some(ms) = s.strip_suffix("ms") {
+        return ms
+            .parse::<f64>()
+            .ok()
+            .map(Duration::from_secs_f64)
+            .map(|d| d / 1000);
+    }
+    let secs = s.strip_suffix('s').unwrap_or(s);
+    secs.parse::<f64>().ok().map(Duration::from_secs_f64)
+}
+
+fn arg_string(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// What one connection worker brings home.
+struct ConnResult {
+    tenant: u16,
+    completed: u64,
+    late: u64,
+    failed: u64,
+    over_budget: u64,
+    tenant_ok: u64,
+}
+
+struct Workload {
+    tenant: u16,
+    interval: Duration,
+    duration: Duration,
+    query_pct: usize,
+    keys: u64,
+    batch: usize,
+    seed: u64,
+}
+
+/// One closed-loop connection: pace, issue, record, repeat.
+fn run_conn(
+    addr: std::net::SocketAddr,
+    w: Workload,
+    ingest: Arc<Histogram>,
+    query: Arc<Histogram>,
+) -> ConnResult {
+    let mut out = ConnResult {
+        tenant: w.tenant,
+        completed: 0,
+        late: 0,
+        failed: 0,
+        over_budget: 0,
+        tenant_ok: 0,
+    };
+    let Ok(mut client) = Client::connect(addr) else {
+        out.failed = 1;
+        return out;
+    };
+    let _ = client.set_timeout(Some(Duration::from_secs(30)));
+    let mut rng = Pcg32::seed_from_u64(w.seed);
+    let start = Instant::now();
+    let end = start + w.duration;
+    let mut next = start;
+    loop {
+        let now = Instant::now();
+        if now >= end || interrupted() {
+            break;
+        }
+        if now < next {
+            std::thread::sleep(next - now);
+        } else if now > next + w.interval {
+            out.late += 1;
+        }
+        let is_query = rng.gen_range(0..100usize) < w.query_pct;
+        let t0 = Instant::now();
+        let result = if is_query {
+            let lo = rng.gen_range(0u64..900);
+            let hi = lo + rng.gen_range(1u64..101);
+            if rng.gen_bool(0.5) {
+                client.count(w.tenant, lo, hi).map(|_| ())
+            } else {
+                client.sum(w.tenant, lo, hi).map(|_| ())
+            }
+        } else if rng.gen_bool(0.8) {
+            let rows: Vec<(u64, u64)> = (0..w.batch)
+                .map(|_| (rng.gen_range(0..w.keys), rng.gen_range(0u64..1000)))
+                .collect();
+            client.upsert(w.tenant, rows).map(|_| ())
+        } else {
+            let keys: Vec<u64> = (0..w.batch / 4 + 1)
+                .map(|_| rng.gen_range(0..w.keys))
+                .collect();
+            client.delete(w.tenant, keys).map(|_| ())
+        };
+        let elapsed = t0.elapsed();
+        if is_query {
+            query.record_duration(elapsed);
+        } else {
+            ingest.record_duration(elapsed);
+        }
+        match result {
+            Ok(()) => {
+                out.completed += 1;
+                out.tenant_ok += 1;
+            }
+            Err(ClientError::Server(ErrorCode::TenantOverBudget, _)) => {
+                // The contract under test: a clean wire error, not a crash.
+                out.completed += 1;
+                out.over_budget += 1;
+            }
+            Err(_) => out.failed += 1,
+        }
+        next += w.interval;
+        // After a long stall, resync instead of bursting to catch up.
+        if Instant::now() > next + w.interval * 8 {
+            next = Instant::now();
+        }
+    }
+    out
+}
+
+fn main() {
+    let trace = init_tracing();
+    install_signal_handler();
+
+    let duration = arg_string("--duration")
+        .and_then(|s| parse_duration(&s))
+        .unwrap_or(Duration::from_secs(5));
+    let rate = arg_usize("--rate", 2000).max(1);
+    let connections = arg_usize("--connections", 4).max(1);
+    let shards = arg_usize("--shards", 2).max(1);
+    let workers = arg_usize("--workers", 2).max(1);
+    let ntenants = arg_usize("--tenants", 2).max(1);
+    let budget_mb = arg_usize("--budget-mb", 0);
+    let query_pct = arg_usize("--query-pct", 40).min(100);
+    let keys = arg_usize("--keys", 50_000).max(1) as u64;
+    let batch = arg_usize("--batch", 64).max(1);
+    let seed = arg_usize("--seed", 42) as u64;
+    let slo_ingest_us = arg_usize("--slo-ingest-us", 50_000) as u64;
+    let slo_query_us = arg_usize("--slo-query-us", 100_000) as u64;
+    let external = arg_string("--addr");
+
+    // Embedded server unless --addr points elsewhere.
+    let mut embedded: Option<Server> = None;
+    let addr = match &external {
+        Some(a) => a.parse().expect("--addr must be HOST:PORT"),
+        None => {
+            let tenants = (0..ntenants)
+                .map(|i| TenantConfig {
+                    name: format!("tenant{i}"),
+                    budget_bytes: if i == 0 && budget_mb > 0 {
+                        Some((budget_mb as u64) << 20)
+                    } else {
+                        None
+                    },
+                })
+                .collect();
+            let server = Server::start(ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                shards,
+                workers_per_shard: workers,
+                tenants,
+                ..ServerConfig::default()
+            })
+            .expect("embedded server binds an ephemeral port");
+            let addr = server.local_addr();
+            embedded = Some(server);
+            addr
+        }
+    };
+
+    println!(
+        "smc-loadgen: {} conns x {:.0} req/s against {} for {:?}",
+        connections,
+        rate as f64 / connections as f64,
+        addr,
+        duration
+    );
+
+    let ingest_hist = Arc::new(Histogram::new());
+    let query_hist = Arc::new(Histogram::new());
+    let interval = Duration::from_secs_f64(connections as f64 / rate as f64);
+    let t0 = Instant::now();
+    let joins: Vec<_> = (0..connections)
+        .map(|c| {
+            let w = Workload {
+                tenant: (c % ntenants) as u16,
+                interval,
+                duration,
+                query_pct,
+                keys,
+                batch,
+                seed: seed.wrapping_add(c as u64),
+            };
+            let (ih, qh) = (ingest_hist.clone(), query_hist.clone());
+            std::thread::spawn(move || run_conn(addr, w, ih, qh))
+        })
+        .collect();
+    let results: Vec<ConnResult> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+    let wall = t0.elapsed();
+
+    // Server-side counters, over the wire in both modes.
+    let stats = Client::connect(addr).ok().and_then(|mut c| c.stats().ok());
+
+    let mut report = Report::new("fig16", "Closed-loop multi-tenant server load");
+    report.param("rate", rate as u64);
+    report.param("connections", connections as u64);
+    report.param("duration_ms", duration.as_millis() as u64);
+    report.param("shards", shards as u64);
+    report.param("tenants", ntenants as u64);
+    report.param("query_pct", query_pct as u64);
+    report.param("budget_mb", budget_mb as u64);
+    report.param("seed", seed);
+    report.param(
+        "mode",
+        if external.is_some() {
+            "external"
+        } else {
+            "embedded"
+        },
+    );
+    if interrupted() {
+        report.param("interrupted", true);
+    }
+
+    let completed: u64 = results.iter().map(|r| r.completed).sum();
+    let late: u64 = results.iter().map(|r| r.late).sum();
+    let failed: u64 = results.iter().map(|r| r.failed).sum();
+    let over_budget: u64 = results.iter().map(|r| r.over_budget).sum();
+    let achieved = completed as f64 / wall.as_secs_f64();
+
+    // Per-op-class latency series: the figure's headline numbers.
+    let lat = report.series("latency_us", &["op_class", "p50_us", "p99_us", "p999_us"]);
+    csv(&["op_class", "p50_us", "p99_us", "p999_us"]);
+    for (name, h) in [("ingest", &ingest_hist), ("query", &query_hist)] {
+        let (p50, p99, p999) = (
+            h.percentile(50.0) / 1_000,
+            h.percentile(99.0) / 1_000,
+            h.percentile(99.9) / 1_000,
+        );
+        csv(&[name, &p50.to_string(), &p99.to_string(), &p999.to_string()]);
+        report.push_row(
+            lat,
+            vec![
+                JsonValue::Str(name.to_string()),
+                p50.into(),
+                p99.into(),
+                p999.into(),
+            ],
+        );
+    }
+    report.histogram("ingest", &ingest_hist);
+    report.histogram("query", &query_hist);
+
+    report.counter("requests_completed", completed);
+    report.counter("requests_late", late);
+    report.counter("requests_failed", failed);
+    report.counter("over_budget_errors", over_budget);
+    report.counter("achieved_rate", achieved as u64);
+
+    // Shard and tenant panels from the wire STATS op, plus the shared
+    // memory-counter schema summed across the per-shard runtimes.
+    let shard_series = report.series("shard_requests", &["shard", "requests"]);
+    let tenant_series = report.series(
+        "tenant_stats",
+        &[
+            "tenant",
+            "budget_bytes",
+            "used_bytes",
+            "live_objects",
+            "over_budget_errors",
+        ],
+    );
+    let mut shards_nonzero = true;
+    let mut stats_tenants = 0usize;
+    match &stats {
+        Some(body) => {
+            let (mut pins, mut blocks, mut morsels) = (0u64, 0u64, 0u64);
+            for (i, s) in body.shards.iter().enumerate() {
+                report.push_row(shard_series, vec![(i as u64).into(), s.requests.into()]);
+                shards_nonzero &= s.requests > 0;
+                pins += s.pins_taken;
+                blocks += s.blocks_scanned;
+                morsels += s.morsels_dispatched;
+            }
+            report.counter("pins_taken", pins);
+            report.counter("blocks_scanned", blocks);
+            report.counter("morsels_dispatched", morsels);
+            stats_tenants = body.tenants.len();
+            for t in &body.tenants {
+                report.push_row(
+                    tenant_series,
+                    vec![
+                        (t.tenant as u64).into(),
+                        if t.budget_bytes == u64::MAX {
+                            JsonValue::Str("unlimited".to_string())
+                        } else {
+                            t.budget_bytes.into()
+                        },
+                        t.used_bytes.into(),
+                        t.live_objects.into(),
+                        t.over_budget_errors.into(),
+                    ],
+                );
+            }
+        }
+        None => {
+            shards_nonzero = false;
+            smc_bench::record_zero_memory_counters(&mut report);
+        }
+    }
+
+    // Checks the gate enforces.
+    let ip999 = ingest_hist.percentile(99.9) / 1_000;
+    let qp999 = query_hist.percentile(99.9) / 1_000;
+    report.check(
+        "slo_p999_ingest",
+        ip999 <= slo_ingest_us && ingest_hist.count() > 0,
+        format!("ingest p99.9 {ip999}us vs SLO {slo_ingest_us}us"),
+    );
+    report.check(
+        "slo_p999_query",
+        qp999 <= slo_query_us && query_hist.count() > 0,
+        format!("query p99.9 {qp999}us vs SLO {slo_query_us}us"),
+    );
+    report.check(
+        "saturation_free",
+        completed > 0 && late * 10 <= completed,
+        format!(
+            "{late} of {completed} requests started late (achieved {achieved:.0}/s of {rate}/s)"
+        ),
+    );
+    report.check(
+        "no_internal_errors",
+        failed == 0,
+        format!("{failed} requests failed outside the budget contract"),
+    );
+    report.check(
+        "shard_requests_nonzero",
+        shards_nonzero,
+        "every shard must have served requests".to_string(),
+    );
+    // Every targeted tenant kept answering (over-budget replies count: the
+    // tenant was *answered*, not dropped).
+    let mut targeted_ok = vec![0u64; ntenants];
+    for r in &results {
+        targeted_ok[r.tenant as usize] += r.tenant_ok + r.over_budget;
+    }
+    let all_tenants_alive = targeted_ok
+        .iter()
+        .take(connections.min(ntenants))
+        .all(|&n| n > 0)
+        && (stats.is_none() || stats_tenants == ntenants);
+    report.check(
+        "no_dropped_tenants",
+        all_tenants_alive,
+        format!("per-tenant served counts: {targeted_ok:?}"),
+    );
+
+    match embedded {
+        Some(mut server) => {
+            let drain = server.shutdown();
+            report.counter("drain_requests", drain.requests());
+            report.check(
+                "drain_verify",
+                drain.clean(),
+                if drain.clean() {
+                    format!(
+                        "{} shards drained and reconciled bit-exact",
+                        drain.shards.len()
+                    )
+                } else {
+                    drain.verify_errors().join("; ")
+                },
+            );
+        }
+        None => report.check(
+            "drain_verify",
+            true,
+            "external server: drain owned by smc-serve".to_string(),
+        ),
+    }
+
+    let _ = trace;
+    finish(&mut report);
+}

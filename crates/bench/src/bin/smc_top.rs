@@ -12,8 +12,13 @@
 //!
 //! ```text
 //! smc-top [--threads N] [--objects N] [--refresh-ms N] [--ticks N]
-//!         [--once] [--json]
+//!         [--budget-mb N] [--once] [--json]
 //! ```
+//!
+//! `--budget-mb N` caps the demo collection's context at N MiB (the
+//! per-tenant budget machinery the serve layer rides); the `tenants` panel
+//! line — and the `tenants` array in `--json` — then shows budget vs used
+//! bytes live.
 //!
 //! `--json` prints each snapshot as one `smc-heap-snapshot/v1` JSON
 //! document (extended with tracer, workload and coordinator figures)
@@ -176,6 +181,26 @@ fn render(tick: u64, snap: &HeapSnapshot, rt: &Runtime, live: u64, m: &MaintSnap
             c.incarnation_churn,
         );
     }
+    for c in &snap.collections {
+        let budget = c
+            .budget_bytes
+            .map_or_else(|| "unlimited".to_string(), |b| format!("{:.2} MiB", mib(b)));
+        let used = c.footprint_bytes();
+        let frac = c
+            .budget_bytes
+            .map(|b| used as f64 / b.max(1) as f64)
+            .unwrap_or(0.0);
+        println!(
+            "  tenants: ctx#{} budget {budget}  used {:.2} MiB {}",
+            c.context_id,
+            mib(used),
+            if c.budget_bytes.is_some() {
+                bar(frac, 20)
+            } else {
+                String::new()
+            },
+        );
+    }
     println!(
         "  indirection: live {}/{} ({:.1}%)  quarantined {}  deferred {}",
         snap.indirection.live_entries,
@@ -278,6 +303,23 @@ fn json_doc(
     p.set("p99_ns", pass.p99);
     doc.set("compaction_pass_ns", p);
     doc.set("maint", maint_json(m));
+    // The tenants panel: per-context budget vs used bytes, the serve
+    // layer's multi-tenant accounting surfaced through the observatory.
+    let tenants = snap
+        .collections
+        .iter()
+        .map(|c| {
+            let mut t = JsonValue::obj();
+            t.set("context_id", c.context_id);
+            match c.budget_bytes {
+                Some(b) => t.set("budget_bytes", b),
+                None => t.set("budget_bytes", JsonValue::Null),
+            }
+            t.set("budget_used_bytes", c.footprint_bytes());
+            t
+        })
+        .collect();
+    doc.set("tenants", JsonValue::Arr(tenants));
     doc
 }
 
@@ -290,6 +332,7 @@ fn main() {
     let json = arg_flag("--json");
     let once = arg_flag("--once");
     let ticks = arg_usize("--ticks", if once { 1 } else { 0 });
+    let budget_mb = arg_usize("--budget-mb", 0);
 
     let rt = Runtime::new();
     // Compaction-eager configuration so the dashboard has relocation and
@@ -297,6 +340,7 @@ fn main() {
     let config = ContextConfig {
         reclamation_threshold: 1.1, // in-place reclamation off
         compaction_occupancy: 0.85,
+        budget_bytes: (budget_mb > 0).then_some((budget_mb as u64) << 20),
         ..ContextConfig::default()
     };
     let c: Arc<Smc<Row>> = Arc::new(Smc::with_config(&rt, config));

@@ -65,6 +65,15 @@ pub struct ContextConfig {
     /// counters before bailing out (§5.2: "bails out of compacting a certain
     /// group after waiting for a predefined amount of time").
     pub compaction_patience: Duration,
+    /// Per-context footprint budget in bytes, `None` for unlimited. When the
+    /// next fresh block would push [`MemoryContext::bytes`] past this cap,
+    /// allocation falls back to reclaimable blocks only and surfaces
+    /// [`MemError::OutOfMemory`] once those run dry. This is how the serve
+    /// layer bounds one tenant without starving its neighbours: the
+    /// runtime-wide budget stays shared, the context budget is the tenant's
+    /// slice. Compaction destination blocks are exempt — compaction is the
+    /// mechanism that gets an over-budget context *back under* its cap.
+    pub budget_bytes: Option<u64>,
 }
 
 impl Default for ContextConfig {
@@ -73,6 +82,7 @@ impl Default for ContextConfig {
             reclamation_threshold: 0.05,
             compaction_occupancy: 0.30,
             compaction_patience: Duration::from_millis(100),
+            budget_bytes: None,
         }
     }
 }
@@ -575,6 +585,16 @@ impl MemoryContext {
             }
             if let Some(block) = self.pop_reclaimable(tid) {
                 return Ok(block);
+            }
+        }
+        // Per-context budget gate: reclaimable blocks recycled above do not
+        // grow the footprint, but a fresh block would. An over-budget
+        // context gets a clean error here — never a crash, and never a
+        // runtime-wide stall.
+        if let Some(budget) = self.config.budget_bytes {
+            if (self.bytes() + crate::block::BLOCK_SIZE) as u64 > budget {
+                MemoryStats::inc(&self.runtime.stats.context_budget_rejections);
+                return self.pop_reclaimable(tid).ok_or(MemError::OutOfMemory);
             }
         }
         // Nothing reclaimable: a fresh block from the OS, subject to the
@@ -1355,6 +1375,41 @@ mod tests {
             assert!(c.free(a.entry, a.entry_inc));
         }
         assert_eq!(c.reclaim_queue.lock().len(), 1);
+    }
+
+    #[test]
+    fn context_budget_rejects_growth_then_recovers_via_reclaim() {
+        let rt = Runtime::new();
+        let config = ContextConfig {
+            // One block exactly: the second fresh block breaches the budget.
+            budget_bytes: Some(crate::block::BLOCK_SIZE as u64),
+            reclamation_threshold: 0.0,
+            ..ContextConfig::default()
+        };
+        let c = ctx_with(&rt, config);
+        let cap = c.layout().capacity as usize;
+        let mut allocs = Vec::new();
+        for i in 0..cap {
+            allocs.push(alloc_u64(&c, i as u64));
+        }
+        assert_eq!(
+            c.alloc_with(|_, _| {}).unwrap_err(),
+            MemError::OutOfMemory,
+            "growth past the context budget must fail cleanly"
+        );
+        assert_eq!(c.block_count(), 1, "no block may leak past the budget");
+        assert!(MemoryStats::get(&rt.stats.context_budget_rejections) >= 1);
+        // Free half the block: it joins the reclamation queue, and once its
+        // limbo epochs mature the same context allocates again — budget
+        // pressure degrades to reuse, not to a stuck tenant.
+        for a in allocs.drain(..cap / 2) {
+            assert!(c.free(a.entry, a.entry_inc));
+        }
+        rt.epochs.try_advance().unwrap();
+        rt.epochs.try_advance().unwrap();
+        let a = alloc_u64(&c, 9999);
+        assert_eq!(read_u64(a.entry), 9999);
+        assert_eq!(c.block_count(), 1, "recovery must reuse, not grow");
     }
 
     #[test]

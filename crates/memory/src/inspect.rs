@@ -125,6 +125,10 @@ pub struct CollectionSnapshot {
     pub capacity_slots: u64,
     /// Total incarnation churn.
     pub incarnation_churn: u64,
+    /// The context's byte budget
+    /// ([`ContextConfig::budget_bytes`](crate::context::ContextConfig::budget_bytes)),
+    /// `None` for unlimited — lets a tenants panel show used-vs-budget.
+    pub budget_bytes: Option<u64>,
 }
 
 impl CollectionSnapshot {
@@ -153,6 +157,7 @@ impl CollectionSnapshot {
             hole_slots: 0,
             capacity_slots: 0,
             incarnation_churn: 0,
+            budget_bytes: ctx.config().budget_bytes,
             blocks,
         };
         for b in &snap.blocks {
@@ -347,6 +352,11 @@ impl HeapSnapshot {
                 cj.set("dead_bytes", c.dead_bytes());
                 cj.set("hole_bytes", c.hole_bytes());
                 cj.set("footprint_bytes", c.footprint_bytes());
+                match c.budget_bytes {
+                    Some(b) => cj.set("budget_bytes", b),
+                    None => cj.set("budget_bytes", JsonValue::Null),
+                }
+                cj.set("budget_used_bytes", c.footprint_bytes());
                 cj.set("incarnation_churn", c.incarnation_churn);
                 let blocks = c
                     .blocks

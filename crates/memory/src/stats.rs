@@ -49,6 +49,10 @@ pub struct MemoryStats {
     pub emergency_epoch_advances: AtomicU64,
     /// Individual allocation retries taken under memory pressure.
     pub alloc_retries: AtomicU64,
+    /// Fresh-block requests rejected by a per-context budget
+    /// ([`ContextConfig::budget_bytes`](crate::context::ContextConfig::budget_bytes))
+    /// — tenant-level pressure, distinct from the runtime-wide budget.
+    pub context_budget_rejections: AtomicU64,
     /// Failures injected by the fault registry ([`crate::fault`]).
     pub faults_injected: AtomicU64,
     /// Compaction passes aborted mid-relocation (injected crash or reader
@@ -124,6 +128,7 @@ impl MemoryStats {
             oom_recoveries: Self::get(&self.oom_recoveries),
             emergency_epoch_advances: Self::get(&self.emergency_epoch_advances),
             alloc_retries: Self::get(&self.alloc_retries),
+            context_budget_rejections: Self::get(&self.context_budget_rejections),
             faults_injected: Self::get(&self.faults_injected),
             compactions_interrupted: Self::get(&self.compactions_interrupted),
             pins_taken: Self::get(&self.pins_taken),
@@ -169,6 +174,8 @@ pub struct StatsSnapshot {
     pub emergency_epoch_advances: u64,
     /// Individual allocation retries taken under memory pressure.
     pub alloc_retries: u64,
+    /// Fresh-block requests rejected by a per-context budget.
+    pub context_budget_rejections: u64,
     /// Failures injected by the fault registry ([`crate::fault`]).
     pub faults_injected: u64,
     /// Compaction passes aborted mid-relocation.
@@ -204,6 +211,11 @@ impl std::fmt::Display for StatsSnapshot {
             self.emergency_epoch_advances
         )?;
         writeln!(f, "alloc_retries={}", self.alloc_retries)?;
+        writeln!(
+            f,
+            "context_budget_rejections={}",
+            self.context_budget_rejections
+        )?;
         writeln!(f, "faults_injected={}", self.faults_injected)?;
         writeln!(
             f,
@@ -266,7 +278,8 @@ mod tests {
         assert!(dump.contains("pins_taken=9"));
         assert!(dump.contains("blocks_scanned=0"));
         assert!(dump.contains("morsels_dispatched=2"));
+        assert!(dump.contains("context_budget_rejections=0"));
         // One key=value pair per snapshot field.
-        assert_eq!(dump.lines().count(), 21);
+        assert_eq!(dump.lines().count(), 22);
     }
 }

@@ -1,0 +1,550 @@
+//! The TCP front: nonblocking acceptor, thread-per-connection framing, and
+//! the scatter-gather router between connections and shards.
+//!
+//! A connection thread owns its socket and one `ShardSender` per shard.
+//! Ingest batches are partitioned by key hash and fan out only to the
+//! shards that own keys in the batch; `COUNT`/`SUM` scatter to every shard
+//! and the connection thread merges the partial aggregates. The server
+//! never shares mutable state across shards — the only cross-shard
+//! structure is this routing layer, and it is per-connection.
+//!
+//! Shutdown runs in strict order: stop the acceptor, let connection threads
+//! finish their in-flight request and exit (dropping their rings), then
+//! stop each shard, which drains leftover jobs, quiesces its maintenance
+//! coordinator, and verifies every tenant collection plus its runtime
+//! ([`Server::shutdown`] returns the combined [`DrainReport`]).
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use smc::Runtime;
+use smc_maint::{MaintConfig, MaintPolicy};
+use smc_memory::stats::MemoryStats;
+
+use crate::shard::{
+    run_shard, shard_of, ReplyCell, SendOutcome, ShardConfig, ShardDrain, ShardJob, ShardReply,
+    ShardRequest, ShardSender, ShardShared,
+};
+use crate::wire::{
+    write_frame, ErrorCode, FrameError, FrameReader, Request, Response, ShardStats, StatsBody,
+    TenantStats,
+};
+
+/// One tenant as configured at server start. Tenant ids on the wire are the
+/// index of the tenant in [`ServerConfig::tenants`].
+#[derive(Debug, Clone)]
+pub struct TenantConfig {
+    /// Human-readable name (reports, error messages).
+    pub name: String,
+    /// Total byte budget across all shards, `None` for unlimited. Split
+    /// evenly per shard and enforced by each shard's `MemoryContext`.
+    pub budget_bytes: Option<u64>,
+}
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:0` for an ephemeral port.
+    pub addr: String,
+    /// Number of shards (one runtime + worker set + coordinator each).
+    pub shards: usize,
+    /// Scan workers per shard.
+    pub workers_per_shard: usize,
+    /// Tenants, in wire-id order.
+    pub tenants: Vec<TenantConfig>,
+    /// How long a connection leans on a full shard ring before answering
+    /// with backpressure (`Internal` error) instead of queueing.
+    pub ring_patience: Duration,
+    /// How long a connection waits for a shard reply before declaring the
+    /// shard wedged.
+    pub reply_timeout: Duration,
+    /// Maintenance coordinator tunables applied to every shard.
+    pub maint: MaintConfig,
+    /// Maintenance policy registered for every tenant collection.
+    pub maint_policy: MaintPolicy,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            shards: 2,
+            workers_per_shard: 2,
+            tenants: vec![TenantConfig {
+                name: "default".to_string(),
+                budget_bytes: None,
+            }],
+            ring_patience: Duration::from_millis(200),
+            reply_timeout: Duration::from_secs(10),
+            maint: MaintConfig::default(),
+            maint_policy: MaintPolicy::default(),
+        }
+    }
+}
+
+/// Everything [`Server::shutdown`] learned while draining.
+#[derive(Debug)]
+pub struct DrainReport {
+    /// Per-shard drain results, in shard order.
+    pub shards: Vec<ShardDrain>,
+}
+
+impl DrainReport {
+    /// True when every shard drained and verified clean.
+    pub fn clean(&self) -> bool {
+        self.shards.iter().all(|s| s.verify_errors.is_empty())
+    }
+
+    /// Total requests served across shards.
+    pub fn requests(&self) -> u64 {
+        self.shards.iter().map(|s| s.requests).sum()
+    }
+
+    /// All verification failures, across shards.
+    pub fn verify_errors(&self) -> Vec<&str> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.verify_errors.iter().map(String::as_str))
+            .collect()
+    }
+}
+
+/// A running shard-per-core SMC server.
+pub struct Server {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    shards: Vec<Arc<ShardShared>>,
+    shard_joins: Vec<JoinHandle<ShardDrain>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("local_addr", &self.local_addr)
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Binds, spawns the shard threads and the acceptor, and returns.
+    pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        assert!(config.shards >= 1, "a server needs at least one shard");
+        assert!(!config.tenants.is_empty(), "a server needs tenants");
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let mut shards = Vec::with_capacity(config.shards);
+        let mut shard_joins = Vec::with_capacity(config.shards);
+        for index in 0..config.shards {
+            let shared = Arc::new(ShardShared::new(
+                index,
+                Runtime::new(),
+                &config.tenants,
+                config.shards,
+            ));
+            let cfg = ShardConfig {
+                workers: config.workers_per_shard.max(1),
+                maint: config.maint.clone(),
+                maint_policy: config.maint_policy,
+            };
+            let s = shared.clone();
+            let join = std::thread::Builder::new()
+                .name(format!("smc-shard-{index}"))
+                .spawn(move || run_shard(s, cfg))?;
+            shards.push(shared);
+            shard_joins.push(join);
+        }
+
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let stop = stop.clone();
+            let conns = conns.clone();
+            let shards = shards.clone();
+            let config = config.clone();
+            std::thread::Builder::new()
+                .name("smc-acceptor".to_string())
+                .spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        match listener.accept() {
+                            Ok((stream, _peer)) => {
+                                let stop = stop.clone();
+                                let shards = shards.clone();
+                                let config = config.clone();
+                                let handle = std::thread::Builder::new()
+                                    .name("smc-conn".to_string())
+                                    .spawn(move || handle_conn(stream, &shards, &config, &stop));
+                                match handle {
+                                    Ok(h) => {
+                                        conns.lock().unwrap_or_else(|e| e.into_inner()).push(h)
+                                    }
+                                    Err(_) => { /* spawn failed: drop the socket */ }
+                                }
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(5));
+                            }
+                            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                        }
+                    }
+                })?
+        };
+
+        Ok(Server {
+            local_addr,
+            stop,
+            acceptor: Some(acceptor),
+            conns,
+            shards,
+            shard_joins,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Requests from all shards the counters behind the `STATS` op. Usable
+    /// while the server runs (the loadgen polls it between windows).
+    pub fn stats(&self) -> StatsBody {
+        gather_stats(&self.shards)
+    }
+
+    /// Stops accepting, drains connections, then drains, quiesces, and
+    /// verifies every shard. Idempotent; the second call returns an empty
+    /// report.
+    pub fn shutdown(&mut self) -> DrainReport {
+        self.stop.store(true, Ordering::Release);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        let conns: Vec<JoinHandle<()>> = self
+            .conns
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+            .collect();
+        for c in conns {
+            let _ = c.join();
+        }
+        // Every producer ring is dropped now; shards can drain to closure.
+        for s in &self.shards {
+            s.request_stop();
+        }
+        let mut report = DrainReport { shards: Vec::new() };
+        for join in self.shard_joins.drain(..) {
+            match join.join() {
+                Ok(d) => report.shards.push(d),
+                Err(_) => report.shards.push(ShardDrain {
+                    shard: usize::MAX,
+                    requests: 0,
+                    tenants_verified: 0,
+                    verify_errors: vec!["shard thread panicked".to_string()],
+                }),
+            }
+        }
+        report
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() || !self.shard_joins.is_empty() {
+            let _ = self.shutdown();
+        }
+    }
+}
+
+/// Collects the `STATS` body from shard shared state (no shard round-trip:
+/// every field is an atomic or an `Arc<MemoryContext>` accessor).
+fn gather_stats(shards: &[Arc<ShardShared>]) -> StatsBody {
+    let mut body = StatsBody::default();
+    for s in shards {
+        body.shards.push(ShardStats {
+            requests: s.requests_served.load(Ordering::Relaxed),
+            pins_taken: MemoryStats::get(&s.runtime.stats.pins_taken),
+            blocks_scanned: MemoryStats::get(&s.runtime.stats.blocks_scanned),
+            morsels_dispatched: MemoryStats::get(&s.runtime.stats.morsels_dispatched),
+        });
+    }
+    let ntenants = shards.first().map_or(0, |s| s.tenants.len());
+    for id in 0..ntenants {
+        let mut t = TenantStats {
+            tenant: id as u16,
+            budget_bytes: 0,
+            used_bytes: 0,
+            live_objects: 0,
+            over_budget_errors: 0,
+        };
+        let mut unlimited = false;
+        for s in shards {
+            let ts = &s.tenants[id];
+            match ts.budget_bytes {
+                Some(b) => t.budget_bytes = t.budget_bytes.saturating_add(b),
+                None => unlimited = true,
+            }
+            if let Some(ctx) = ts.ctx.get() {
+                t.used_bytes += ctx.bytes() as u64;
+                t.live_objects += ctx.live_objects();
+            }
+            t.over_budget_errors += ts.over_budget_errors.load(Ordering::Relaxed);
+        }
+        if unlimited {
+            t.budget_bytes = u64::MAX;
+        }
+        body.tenants.push(t);
+    }
+    body
+}
+
+/// The connection loop: frame in, route, frame out.
+fn handle_conn(
+    stream: TcpStream,
+    shards: &[Arc<ShardShared>],
+    config: &ServerConfig,
+    stop: &AtomicBool,
+) {
+    let mut stream = stream;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let senders: Vec<ShardSender> = shards.iter().map(|s| s.connect()).collect();
+    let mut reader = FrameReader::new();
+    loop {
+        let payload = match reader.read_frame(&mut stream, || stop.load(Ordering::Acquire)) {
+            Ok(p) => p,
+            Err(FrameError::Closed) | Err(FrameError::Truncated) => break,
+            Err(FrameError::Stopped) => {
+                // Draining: tell a peer mid-conversation why we hang up.
+                let resp = Response::err(ErrorCode::Shutdown, "server draining");
+                let _ = write_frame(&mut stream, &resp.encode());
+                break;
+            }
+            Err(FrameError::Oversized(len)) => {
+                // The stream cannot be resynchronized after a bogus prefix:
+                // answer, then close.
+                let resp = Response::err(
+                    ErrorCode::BadFrame,
+                    format!("frame length {len} exceeds {}", crate::wire::MAX_FRAME),
+                );
+                let _ = write_frame(&mut stream, &resp.encode());
+                break;
+            }
+            Err(FrameError::Io(_)) => break,
+        };
+        let response = match Request::decode(&payload) {
+            Ok(req) => dispatch(req, shards, &senders, config),
+            // Framing is still intact (the prefix was honest), so a decode
+            // error answers and keeps the connection.
+            Err(e) => Response::err(e.code(), e.message()),
+        };
+        if write_frame(&mut stream, &response.encode()).is_err() {
+            break;
+        }
+    }
+    let _ = stream.flush();
+    // Dropping `senders` closes the rings; shards prune them once drained.
+}
+
+/// Routes one request: single-shard for ingest partitions, scatter-gather
+/// for queries, local for `PING`/`STATS`.
+fn dispatch(
+    req: Request,
+    shards: &[Arc<ShardShared>],
+    senders: &[ShardSender],
+    config: &ServerConfig,
+) -> Response {
+    let ntenants = shards.first().map_or(0, |s| s.tenants.len());
+    match req {
+        Request::Ping => Response::Ok(Vec::new()),
+        Request::Stats => Response::Ok(gather_stats(shards).encode()),
+        Request::Upsert { tenant, rows } => {
+            if tenant as usize >= ntenants {
+                return unknown_tenant(tenant);
+            }
+            let mut parts: Vec<Vec<(u64, u64)>> = vec![Vec::new(); shards.len()];
+            for (k, v) in rows {
+                parts[shard_of(k, shards.len())].push((k, v));
+            }
+            let sent = scatter(shards, senders, config, |shard| {
+                let rows = std::mem::take(&mut parts[shard]);
+                if rows.is_empty() {
+                    None
+                } else {
+                    Some(ShardRequest::Upsert { tenant, rows })
+                }
+            });
+            merge_ingest(sent, |r| match r {
+                ShardReply::Upserted(n) => Some(*n),
+                _ => None,
+            })
+        }
+        Request::Delete { tenant, keys } => {
+            if tenant as usize >= ntenants {
+                return unknown_tenant(tenant);
+            }
+            let mut parts: Vec<Vec<u64>> = vec![Vec::new(); shards.len()];
+            for k in keys {
+                parts[shard_of(k, shards.len())].push(k);
+            }
+            let sent = scatter(shards, senders, config, |shard| {
+                let keys = std::mem::take(&mut parts[shard]);
+                if keys.is_empty() {
+                    None
+                } else {
+                    Some(ShardRequest::Delete { tenant, keys })
+                }
+            });
+            merge_ingest(sent, |r| match r {
+                ShardReply::Deleted(n) => Some(*n),
+                _ => None,
+            })
+        }
+        Request::Count { tenant, lo, hi } => {
+            if tenant as usize >= ntenants {
+                return unknown_tenant(tenant);
+            }
+            let sent = scatter(shards, senders, config, |_| {
+                Some(ShardRequest::Count { tenant, lo, hi })
+            });
+            let mut total = 0u64;
+            for outcome in sent {
+                match outcome {
+                    Ok(ShardReply::Counted(n)) => total += n,
+                    Ok(ShardReply::Error(code, msg)) => return Response::Err(code, msg),
+                    Ok(other) => return internal(format!("mismatched reply {other:?}")),
+                    Err(resp) => return resp,
+                }
+            }
+            Response::Ok(total.to_le_bytes().to_vec())
+        }
+        Request::Sum { tenant, lo, hi } => {
+            if tenant as usize >= ntenants {
+                return unknown_tenant(tenant);
+            }
+            let sent = scatter(shards, senders, config, |_| {
+                Some(ShardRequest::Sum { tenant, lo, hi })
+            });
+            let (mut count, mut sum) = (0u64, 0u64);
+            for outcome in sent {
+                match outcome {
+                    Ok(ShardReply::Summed { count: c, sum: s }) => {
+                        count += c;
+                        sum = sum.wrapping_add(s);
+                    }
+                    Ok(ShardReply::Error(code, msg)) => return Response::Err(code, msg),
+                    Ok(other) => return internal(format!("mismatched reply {other:?}")),
+                    Err(resp) => return resp,
+                }
+            }
+            let mut body = count.to_le_bytes().to_vec();
+            body.extend_from_slice(&sum.to_le_bytes());
+            Response::Ok(body)
+        }
+    }
+}
+
+fn unknown_tenant(tenant: u16) -> Response {
+    Response::err(
+        ErrorCode::UnknownTenant,
+        format!("tenant {tenant} is not configured"),
+    )
+}
+
+fn internal(msg: String) -> Response {
+    Response::err(ErrorCode::Internal, msg)
+}
+
+/// Sends one job per shard (where `make` yields one), then collects every
+/// reply. Send-then-collect keeps the shards working in parallel during a
+/// scatter-gather query.
+fn scatter(
+    shards: &[Arc<ShardShared>],
+    senders: &[ShardSender],
+    config: &ServerConfig,
+    mut make: impl FnMut(usize) -> Option<ShardRequest>,
+) -> Vec<Result<ShardReply, Response>> {
+    let mut cells: Vec<Option<Arc<ReplyCell>>> = Vec::with_capacity(shards.len());
+    let mut failures: Vec<Option<Response>> = vec![None; shards.len()];
+    for (i, sender) in senders.iter().enumerate() {
+        let Some(req) = make(i) else {
+            cells.push(None);
+            continue;
+        };
+        let cell = ReplyCell::new();
+        let job = ShardJob {
+            req,
+            reply: cell.clone(),
+        };
+        match sender.send(&shards[i], job, config.ring_patience) {
+            SendOutcome::Queued => cells.push(Some(cell)),
+            SendOutcome::Saturated => {
+                cells.push(None);
+                failures[i] = Some(internal(format!("shard {i} ring saturated")));
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(shards.len());
+    for (i, cell) in cells.into_iter().enumerate() {
+        if let Some(resp) = failures[i].take() {
+            out.push(Err(resp));
+            continue;
+        }
+        let Some(cell) = cell else { continue };
+        match cell.wait(config.reply_timeout) {
+            Some(reply) => out.push(Ok(reply)),
+            None => out.push(Err(internal(format!("shard {i} reply timed out")))),
+        }
+    }
+    out
+}
+
+/// Merges per-shard ingest acks: totals on success. On mixed outcomes the
+/// budget error wins over transport noise — it is the one the tenant can
+/// act on — and the message carries how much of the batch still applied.
+fn merge_ingest(
+    sent: Vec<Result<ShardReply, Response>>,
+    extract: impl Fn(&ShardReply) -> Option<u64>,
+) -> Response {
+    let mut total = 0u64;
+    let mut budget_err: Option<Response> = None;
+    let mut first_err: Option<Response> = None;
+    for outcome in sent {
+        match outcome {
+            Ok(reply) => {
+                if let Some(n) = extract(&reply) {
+                    total += n;
+                } else {
+                    let resp = match reply {
+                        ShardReply::Error(code, msg) => Response::Err(code, msg),
+                        other => internal(format!("mismatched reply {other:?}")),
+                    };
+                    match &resp {
+                        Response::Err(ErrorCode::TenantOverBudget, _) if budget_err.is_none() => {
+                            budget_err = Some(resp);
+                        }
+                        _ if first_err.is_none() => first_err = Some(resp),
+                        _ => {}
+                    }
+                }
+            }
+            Err(resp) => {
+                if first_err.is_none() {
+                    first_err = Some(resp);
+                }
+            }
+        }
+    }
+    match budget_err.or(first_err) {
+        Some(resp) => resp,
+        None => Response::Ok(total.to_le_bytes().to_vec()),
+    }
+}

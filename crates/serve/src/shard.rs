@@ -1,0 +1,576 @@
+//! Shard-local runtimes: one [`Runtime`], worker pool, and maintenance
+//! coordinator per shard thread, no cross-shard locks.
+//!
+//! A shard owns everything about its slice of the keyspace: per-tenant
+//! [`Smc<Row>`] collections, the `key → Ref` index (touched only by the
+//! shard thread, so it needs no lock), the `smc-exec` pool that runs scans
+//! morsel-parallel, and the `smc-maint` coordinator that compacts in the
+//! background under the shard's own SLO gauge. Connection threads reach a
+//! shard exclusively through SPSC rings ([`smc_util::spsc`]) — one ring per
+//! (connection, shard) pair — and block on a `ReplyCell` until the shard
+//! executes their job. Backpressure is the ring itself: a full ring pushes
+//! back on the connection, never on the shard.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use smc::{ContextConfig, Ref, Runtime, Smc, Tabular};
+use smc_exec::{ParScan, WorkerPool};
+use smc_maint::{Coordinator, MaintConfig, MaintPolicy};
+use smc_memory::{MemError, MemoryContext};
+use smc_obs::Histogram;
+use smc_util::spsc::{self, Consumer, Producer};
+
+use crate::wire::ErrorCode;
+
+/// The one row shape the server stores: a keyed 16-byte record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C)]
+pub struct Row {
+    /// Tenant-scoped primary key.
+    pub key: u64,
+    /// The value ingested with the key; queries filter and aggregate it.
+    pub value: u64,
+}
+
+// SAFETY: plain-old-data, no padding secrets, no interior references.
+unsafe impl Tabular for Row {}
+
+/// Capacity of each (connection, shard) request ring.
+pub(crate) const RING_CAPACITY: usize = 256;
+
+/// Distributes `key` to a shard by hash (splitmix64 finalizer — sequential
+/// keys must not land on one shard).
+pub fn shard_of(key: u64, shards: usize) -> usize {
+    let mut z = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z % shards.max(1) as u64) as usize
+}
+
+/// A request as the shard executes it (already routed and decoded).
+#[derive(Debug)]
+pub(crate) enum ShardRequest {
+    /// Insert-or-overwrite rows; all keys already hash to this shard.
+    Upsert { tenant: u16, rows: Vec<(u64, u64)> },
+    /// Remove keys; absent keys are ignored.
+    Delete { tenant: u16, keys: Vec<u64> },
+    /// Count rows with value in `[lo, hi)`.
+    Count { tenant: u16, lo: u64, hi: u64 },
+    /// Sum values over rows with value in `[lo, hi)`.
+    Sum { tenant: u16, lo: u64, hi: u64 },
+}
+
+/// A shard's answer to one [`ShardRequest`].
+#[derive(Debug)]
+pub(crate) enum ShardReply {
+    /// Rows applied by an upsert.
+    Upserted(u64),
+    /// Rows removed by a delete.
+    Deleted(u64),
+    /// Matching rows counted.
+    Counted(u64),
+    /// Matching rows counted and their values summed.
+    Summed { count: u64, sum: u64 },
+    /// The request failed; mirrors a wire error.
+    Error(ErrorCode, String),
+}
+
+/// One-shot rendezvous a connection thread parks on while the owning shard
+/// executes its job.
+#[derive(Debug, Default)]
+pub(crate) struct ReplyCell {
+    slot: Mutex<Option<ShardReply>>,
+    ready: Condvar,
+}
+
+impl ReplyCell {
+    pub(crate) fn new() -> Arc<ReplyCell> {
+        Arc::new(ReplyCell::default())
+    }
+
+    pub(crate) fn fill(&self, reply: ShardReply) {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        *slot = Some(reply);
+        self.ready.notify_all();
+    }
+
+    /// Blocks until the shard replies or `timeout` elapses.
+    pub(crate) fn wait(&self, timeout: Duration) -> Option<ShardReply> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if slot.is_some() {
+                return slot.take();
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (s, _) = self
+                .ready
+                .wait_timeout(slot, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            slot = s;
+        }
+    }
+}
+
+/// One unit of work in a shard's inbox.
+#[derive(Debug)]
+pub(crate) struct ShardJob {
+    pub(crate) req: ShardRequest,
+    pub(crate) reply: Arc<ReplyCell>,
+}
+
+/// Wake-up signal for a shard parked on an empty inbox.
+#[derive(Debug, Default)]
+struct Doorbell {
+    rings: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Doorbell {
+    fn ring(&self) {
+        let mut rings = self.rings.lock().unwrap_or_else(|e| e.into_inner());
+        *rings += 1;
+        self.cv.notify_one();
+    }
+
+    /// Parks until rung (since `seen`) or `timeout`; returns the new count.
+    fn wait(&self, seen: u64, timeout: Duration) -> u64 {
+        let mut rings = self.rings.lock().unwrap_or_else(|e| e.into_inner());
+        if *rings == seen {
+            let (r, _) = self
+                .cv
+                .wait_timeout(rings, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            rings = r;
+        }
+        *rings
+    }
+}
+
+/// Tenant state visible outside the shard thread (stats, budgets).
+#[derive(Debug)]
+pub(crate) struct TenantShared {
+    /// Wire-protocol tenant id (index into the configured tenant list).
+    pub(crate) id: u16,
+    /// Human-readable tenant name (reports, panels).
+    pub(crate) name: String,
+    /// Per-shard slice of the tenant's byte budget, `None` for unlimited.
+    pub(crate) budget_bytes: Option<u64>,
+    /// The tenant's context on this shard, set once by the shard thread.
+    pub(crate) ctx: OnceLock<Arc<MemoryContext>>,
+    /// Ingest requests this shard rejected for this tenant's budget.
+    pub(crate) over_budget_errors: AtomicU64,
+}
+
+/// The part of a shard shared with connection threads and the server.
+#[derive(Debug)]
+pub(crate) struct ShardShared {
+    /// Shard index, for labels.
+    pub(crate) index: usize,
+    /// Tells the shard thread to drain and exit.
+    pub(crate) stop: AtomicBool,
+    /// Requests executed by this shard.
+    pub(crate) requests_served: AtomicU64,
+    /// The shard-private runtime (shared only for stats/verify reads).
+    pub(crate) runtime: Arc<Runtime>,
+    /// Per-tenant shared state, indexed by tenant id.
+    pub(crate) tenants: Vec<TenantShared>,
+    /// Foreground query latency (ns); doubles as the maint SLO gauge.
+    pub(crate) query_latency: Arc<Histogram>,
+    /// Consumers handed over by new connections, adopted by the shard loop.
+    inbox_reg: Mutex<Vec<Consumer<ShardJob>>>,
+    doorbell: Doorbell,
+}
+
+impl ShardShared {
+    pub(crate) fn new(
+        index: usize,
+        runtime: Arc<Runtime>,
+        tenants: &[crate::server::TenantConfig],
+        shards: usize,
+    ) -> ShardShared {
+        let tenants = tenants
+            .iter()
+            .enumerate()
+            .map(|(id, t)| TenantShared {
+                id: id as u16,
+                name: t.name.clone(),
+                // The tenant budget is split evenly across shards: each
+                // shard enforces its slice locally, no cross-shard locks.
+                budget_bytes: t.budget_bytes.map(|b| (b / shards.max(1) as u64).max(1)),
+                ctx: OnceLock::new(),
+                over_budget_errors: AtomicU64::new(0),
+            })
+            .collect();
+        ShardShared {
+            index,
+            stop: AtomicBool::new(false),
+            requests_served: AtomicU64::new(0),
+            runtime,
+            tenants,
+            query_latency: Arc::new(Histogram::new()),
+            inbox_reg: Mutex::new(Vec::new()),
+            doorbell: Doorbell::default(),
+        }
+    }
+
+    /// Opens a new request ring into this shard (one per connection).
+    pub(crate) fn connect(&self) -> ShardSender {
+        let (tx, rx) = spsc::channel(RING_CAPACITY);
+        self.inbox_reg
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(rx);
+        self.doorbell.ring();
+        ShardSender { tx }
+    }
+
+    /// Asks the shard thread to drain and exit.
+    pub(crate) fn request_stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        self.doorbell.ring();
+    }
+}
+
+/// A connection's sending end of one shard's inbox.
+#[derive(Debug)]
+pub(crate) struct ShardSender {
+    tx: Producer<ShardJob>,
+}
+
+/// Outcome of [`ShardSender::send`].
+pub(crate) enum SendOutcome {
+    /// The job is in the ring; wait on its `ReplyCell`.
+    Queued,
+    /// The ring stayed full past the backpressure window; the job was
+    /// dropped, so its `ReplyCell` will never fill.
+    Saturated,
+}
+
+impl ShardSender {
+    /// Enqueues a job, ringing the shard's doorbell. A full ring is retried
+    /// for `patience` (the closed-loop backpressure path), then handed back.
+    pub(crate) fn send(
+        &self,
+        shard: &ShardShared,
+        mut job: ShardJob,
+        patience: Duration,
+    ) -> SendOutcome {
+        let deadline = Instant::now() + patience;
+        loop {
+            match self.tx.push(job) {
+                Ok(()) => {
+                    shard.doorbell.ring();
+                    return SendOutcome::Queued;
+                }
+                Err(back) => {
+                    job = back;
+                    if Instant::now() >= deadline {
+                        return SendOutcome::Saturated;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// What one shard reports after draining at shutdown.
+#[derive(Debug)]
+pub struct ShardDrain {
+    /// Shard index.
+    pub shard: usize,
+    /// Requests the shard executed over its lifetime.
+    pub requests: u64,
+    /// Tenant collections that passed `Smc::verify` at drain.
+    pub tenants_verified: usize,
+    /// Verification failures (collection or runtime), empty when clean.
+    pub verify_errors: Vec<String>,
+}
+
+/// Per-tenant state private to the shard thread.
+struct TenantLocal {
+    smc: Smc<Row>,
+    index: HashMap<u64, Ref<Row>>,
+}
+
+/// Tunables for one shard thread.
+pub(crate) struct ShardConfig {
+    pub(crate) workers: usize,
+    pub(crate) maint: MaintConfig,
+    pub(crate) maint_policy: MaintPolicy,
+}
+
+/// The shard thread body: builds the shard-local world, serves jobs until
+/// stopped, then drains, quiesces maintenance, and verifies (satellite
+/// "graceful drain" — the per-shard half).
+pub(crate) fn run_shard(shared: Arc<ShardShared>, cfg: ShardConfig) -> ShardDrain {
+    let runtime = shared.runtime.clone();
+    let mut tenants: HashMap<u16, TenantLocal> = HashMap::new();
+    for t in &shared.tenants {
+        let smc: Smc<Row> = Smc::with_config(
+            &runtime,
+            ContextConfig {
+                budget_bytes: t.budget_bytes,
+                ..ContextConfig::default()
+            },
+        );
+        t.ctx
+            .set(smc.context().clone())
+            .expect("shard thread sets each tenant context once");
+        tenants.insert(
+            t.id,
+            TenantLocal {
+                smc,
+                index: HashMap::new(),
+            },
+        );
+    }
+    let pool = WorkerPool::for_runtime(&runtime, cfg.workers)
+        .expect("shard worker registration exceeded the epoch thread registry");
+    let coordinator = Coordinator::new(MaintConfig {
+        slo: smc_maint::SloPolicy {
+            gauge: Some(shared.query_latency.clone()),
+            ..cfg.maint.slo.clone()
+        },
+        ..cfg.maint
+    });
+    for t in tenants.values() {
+        t.smc.register_maintenance(&coordinator, cfg.maint_policy);
+    }
+
+    let mut inboxes: Vec<Consumer<ShardJob>> = Vec::new();
+    let mut seen_rings = 0u64;
+    loop {
+        inboxes.extend(
+            shared
+                .inbox_reg
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .drain(..),
+        );
+        let mut served = 0u64;
+        inboxes.retain_mut(|rx| {
+            while let Some(job) = rx.pop() {
+                execute(&shared, &mut tenants, &pool, job);
+                served += 1;
+            }
+            // A closed, drained ring belongs to a finished connection.
+            !(rx.is_closed() && rx.is_empty())
+        });
+        if served > 0 {
+            shared.requests_served.fetch_add(served, Ordering::Relaxed);
+        }
+        if shared.stop.load(Ordering::Acquire) {
+            // Stop is only requested after connection threads exit, so every
+            // producer is dropped: one more adoption + drain sweep empties
+            // the world, then the rings all read closed.
+            let drained = inboxes.is_empty()
+                && shared
+                    .inbox_reg
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .is_empty();
+            if drained {
+                break;
+            }
+            continue;
+        }
+        if served == 0 {
+            seen_rings = shared.doorbell.wait(seen_rings, Duration::from_millis(1));
+        }
+    }
+
+    // Quiesce maintenance exactly (no half-moved state), release retired
+    // blocks, drain the graveyard, then reconcile bit-exact.
+    coordinator.quiesce();
+    let mut verify_errors = Vec::new();
+    let mut tenants_verified = 0usize;
+    for t in &shared.tenants {
+        let local = &tenants[&t.id];
+        local.smc.release_retired();
+        runtime.drain_graveyard_blocking();
+        match local.smc.verify() {
+            Ok(_) => tenants_verified += 1,
+            Err(errs) => verify_errors.extend(
+                errs.into_iter()
+                    .map(|e| format!("shard {} tenant {}: {e}", shared.index, t.name)),
+            ),
+        }
+    }
+    if let Err(errs) = runtime.verify() {
+        verify_errors.extend(
+            errs.into_iter()
+                .map(|e| format!("shard {} runtime: {e}", shared.index)),
+        );
+    }
+    drop(pool);
+    ShardDrain {
+        shard: shared.index,
+        requests: shared.requests_served.load(Ordering::Relaxed),
+        tenants_verified,
+        verify_errors,
+    }
+}
+
+/// Executes one job against the shard-local state and fills its reply.
+fn execute(
+    shared: &ShardShared,
+    tenants: &mut HashMap<u16, TenantLocal>,
+    pool: &WorkerPool,
+    job: ShardJob,
+) {
+    let tenant_id = match &job.req {
+        ShardRequest::Upsert { tenant, .. }
+        | ShardRequest::Delete { tenant, .. }
+        | ShardRequest::Count { tenant, .. }
+        | ShardRequest::Sum { tenant, .. } => *tenant,
+    };
+    let Some(local) = tenants.get_mut(&tenant_id) else {
+        job.reply.fill(ShardReply::Error(
+            ErrorCode::UnknownTenant,
+            format!("tenant {tenant_id} is not configured"),
+        ));
+        return;
+    };
+    let reply = match job.req {
+        ShardRequest::Upsert { rows, .. } => upsert(shared, tenant_id, local, rows),
+        ShardRequest::Delete { keys, .. } => delete(local, keys),
+        ShardRequest::Count { lo, hi, .. } => {
+            let start = Instant::now();
+            let n = ParScan::new(&local.smc, pool)
+                .filter_count(|row: &Row| row.value >= lo && row.value < hi);
+            shared.query_latency.record_duration(start.elapsed());
+            ShardReply::Counted(n)
+        }
+        ShardRequest::Sum { lo, hi, .. } => {
+            let start = Instant::now();
+            let (count, sum) = ParScan::new(&local.smc, pool).filter_fold(
+                || (0u64, 0u64),
+                |row: &Row| row.value >= lo && row.value < hi,
+                |acc, row| {
+                    acc.0 += 1;
+                    acc.1 = acc.1.wrapping_add(row.value);
+                },
+                |acc, part| {
+                    acc.0 += part.0;
+                    acc.1 = acc.1.wrapping_add(part.1);
+                },
+            );
+            shared.query_latency.record_duration(start.elapsed());
+            ShardReply::Summed { count, sum }
+        }
+    };
+    job.reply.fill(reply);
+}
+
+fn upsert(
+    shared: &ShardShared,
+    tenant_id: u16,
+    local: &mut TenantLocal,
+    rows: Vec<(u64, u64)>,
+) -> ShardReply {
+    let mut applied = 0u64;
+    for (key, value) in rows {
+        if let Some(&r) = local.index.get(&key) {
+            let guard = shared.runtime.pin();
+            if local
+                .smc
+                .update(r, &guard, |row: &mut Row| row.value = value)
+                .is_some()
+            {
+                applied += 1;
+                continue;
+            }
+            // The reference went stale (removed behind the index, which
+            // only drain paths can cause); fall through to reinsert.
+            local.index.remove(&key);
+        }
+        match local.smc.try_add(Row { key, value }) {
+            Ok(r) => {
+                local.index.insert(key, r);
+                applied += 1;
+            }
+            Err(MemError::OutOfMemory) => {
+                shared.tenants[tenant_id as usize]
+                    .over_budget_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                return ShardReply::Error(
+                    ErrorCode::TenantOverBudget,
+                    format!(
+                        "tenant {tenant_id} over memory budget on shard {} \
+                         ({applied} of batch applied)",
+                        shared.index
+                    ),
+                );
+            }
+            Err(e) => {
+                return ShardReply::Error(
+                    ErrorCode::Internal,
+                    format!("upsert failed on shard {}: {e}", shared.index),
+                );
+            }
+        }
+    }
+    ShardReply::Upserted(applied)
+}
+
+fn delete(local: &mut TenantLocal, keys: Vec<u64>) -> ShardReply {
+    let mut deleted = 0u64;
+    for key in keys {
+        if let Some(r) = local.index.remove(&key) {
+            if matches!(local.smc.try_remove(r), Ok(true)) {
+                deleted += 1;
+            }
+        }
+    }
+    ShardReply::Deleted(deleted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_of_spreads_sequential_keys() {
+        let shards = 4;
+        let mut hit = vec![0usize; shards];
+        for k in 0..4000u64 {
+            hit[shard_of(k, shards)] += 1;
+        }
+        for (i, &n) in hit.iter().enumerate() {
+            assert!(
+                n > 500,
+                "shard {i} got only {n}/4000 sequential keys: {hit:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reply_cell_rendezvous() {
+        let cell = ReplyCell::new();
+        let c2 = cell.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            c2.fill(ShardReply::Counted(5));
+        });
+        match cell.wait(Duration::from_secs(5)) {
+            Some(ShardReply::Counted(5)) => {}
+            other => panic!("unexpected reply {other:?}"),
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn reply_cell_times_out_without_a_shard() {
+        let cell = ReplyCell::new();
+        assert!(cell.wait(Duration::from_millis(20)).is_none());
+    }
+}

@@ -1,0 +1,685 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Every message — request or response — is one *frame*: a little-endian
+//! `u32` payload length followed by that many payload bytes, capped at
+//! [`MAX_FRAME`]. Requests open with a fixed three-byte header (`op: u8`,
+//! `tenant: u16 LE`) and an op-specific body; responses open with a status
+//! byte (`0` = OK, else an [`ErrorCode`]) and an op-specific or
+//! error-message body. All integers are little-endian; there is no framing
+//! state beyond the prefix, so a malformed frame poisons at most its own
+//! connection.
+//!
+//! Decoding is total: any byte sequence either parses or yields a typed
+//! [`DecodeError`], never a panic — the fuzz-ish tests in
+//! `tests/wire_protocol.rs` hold the server to that.
+
+use std::io::{ErrorKind, Read, Write};
+
+/// Largest accepted frame payload (1 MiB). A length prefix past this is a
+/// protocol error, not an allocation: the reader refuses before buffering.
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// Request opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Op {
+    /// Liveness probe; empty body, empty OK response.
+    Ping = 0x01,
+    /// Batched upsert: `count: u32`, then `count` × (`key: u64`,
+    /// `value: u64`). OK body: `applied: u64`.
+    Upsert = 0x02,
+    /// Batched delete: `count: u32`, then `count` × `key: u64`.
+    /// OK body: `deleted: u64`.
+    Delete = 0x03,
+    /// Count rows with `value` in `[lo, hi)`: `lo: u64`, `hi: u64`.
+    /// OK body: `count: u64`.
+    Count = 0x04,
+    /// Sum `value` over rows with `value` in `[lo, hi)`: `lo: u64`,
+    /// `hi: u64`. OK body: `count: u64`, `sum: u64`.
+    Sum = 0x05,
+    /// Server-wide statistics; empty body. OK body: [`StatsBody`].
+    Stats = 0x06,
+}
+
+/// Error codes carried in the response status byte (`0` means OK).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The frame parsed as no known request shape.
+    BadFrame = 1,
+    /// The opcode byte is not assigned.
+    UnknownOp = 2,
+    /// The tenant's memory budget rejected the ingest.
+    TenantOverBudget = 3,
+    /// The tenant id is not configured on this server.
+    UnknownTenant = 4,
+    /// The server is draining and no longer accepts work.
+    Shutdown = 5,
+    /// The server hit an internal error executing the request.
+    Internal = 6,
+}
+
+impl ErrorCode {
+    /// Decodes a status byte (never 0, which is OK).
+    pub fn from_byte(b: u8) -> Option<ErrorCode> {
+        match b {
+            1 => Some(ErrorCode::BadFrame),
+            2 => Some(ErrorCode::UnknownOp),
+            3 => Some(ErrorCode::TenantOverBudget),
+            4 => Some(ErrorCode::UnknownTenant),
+            5 => Some(ErrorCode::Shutdown),
+            6 => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Batched upsert of `(key, value)` rows for one tenant.
+    Upsert {
+        /// Target tenant id.
+        tenant: u16,
+        /// Rows to insert or overwrite, keyed by `key`.
+        rows: Vec<(u64, u64)>,
+    },
+    /// Batched delete by key for one tenant.
+    Delete {
+        /// Target tenant id.
+        tenant: u16,
+        /// Keys to remove; absent keys are ignored.
+        keys: Vec<u64>,
+    },
+    /// Count rows whose value lies in `[lo, hi)`.
+    Count {
+        /// Target tenant id.
+        tenant: u16,
+        /// Inclusive lower value bound.
+        lo: u64,
+        /// Exclusive upper value bound.
+        hi: u64,
+    },
+    /// Sum values of rows whose value lies in `[lo, hi)`.
+    Sum {
+        /// Target tenant id.
+        tenant: u16,
+        /// Inclusive lower value bound.
+        lo: u64,
+        /// Exclusive upper value bound.
+        hi: u64,
+    },
+    /// Server-wide statistics.
+    Stats,
+}
+
+/// Why a request payload failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode byte is unassigned — maps to [`ErrorCode::UnknownOp`].
+    UnknownOp(u8),
+    /// The payload is structurally wrong — maps to [`ErrorCode::BadFrame`].
+    Malformed(String),
+}
+
+impl DecodeError {
+    /// The wire error code this decode failure answers with.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            DecodeError::UnknownOp(_) => ErrorCode::UnknownOp,
+            DecodeError::Malformed(_) => ErrorCode::BadFrame,
+        }
+    }
+
+    /// Human-readable detail for the error response body.
+    pub fn message(&self) -> String {
+        match self {
+            DecodeError::UnknownOp(op) => format!("unknown opcode 0x{op:02x}"),
+            DecodeError::Malformed(m) => m.clone(),
+        }
+    }
+}
+
+/// A decoded response: OK with an op-specific body, or a typed error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Success; body layout depends on the request op.
+    Ok(Vec<u8>),
+    /// Failure with a code and a human-readable message.
+    Err(ErrorCode, String),
+}
+
+impl Response {
+    /// Builds an error response.
+    pub fn err(code: ErrorCode, msg: impl Into<String>) -> Response {
+        Response::Err(code, msg.into())
+    }
+
+    /// Serializes into a frame payload (status byte + body).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::Ok(body) => {
+                let mut out = Vec::with_capacity(1 + body.len());
+                out.push(0);
+                out.extend_from_slice(body);
+                out
+            }
+            Response::Err(code, msg) => {
+                let mut out = Vec::with_capacity(1 + msg.len());
+                out.push(*code as u8);
+                out.extend_from_slice(msg.as_bytes());
+                out
+            }
+        }
+    }
+
+    /// Parses a frame payload into a response.
+    pub fn decode(payload: &[u8]) -> Result<Response, DecodeError> {
+        let (&status, body) = payload
+            .split_first()
+            .ok_or_else(|| DecodeError::Malformed("empty response frame".into()))?;
+        if status == 0 {
+            return Ok(Response::Ok(body.to_vec()));
+        }
+        let code = ErrorCode::from_byte(status)
+            .ok_or_else(|| DecodeError::Malformed(format!("unknown status byte {status}")))?;
+        Ok(Response::Err(
+            code,
+            String::from_utf8_lossy(body).into_owned(),
+        ))
+    }
+}
+
+impl Request {
+    /// The opcode this request serializes under.
+    pub fn op(&self) -> Op {
+        match self {
+            Request::Ping => Op::Ping,
+            Request::Upsert { .. } => Op::Upsert,
+            Request::Delete { .. } => Op::Delete,
+            Request::Count { .. } => Op::Count,
+            Request::Sum { .. } => Op::Sum,
+            Request::Stats => Op::Stats,
+        }
+    }
+
+    /// Serializes into a frame payload (header + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.push(self.op() as u8);
+        let tenant = match self {
+            Request::Upsert { tenant, .. }
+            | Request::Delete { tenant, .. }
+            | Request::Count { tenant, .. }
+            | Request::Sum { tenant, .. } => *tenant,
+            Request::Ping | Request::Stats => 0,
+        };
+        out.extend_from_slice(&tenant.to_le_bytes());
+        match self {
+            Request::Ping | Request::Stats => {}
+            Request::Upsert { rows, .. } => {
+                out.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+                for (k, v) in rows {
+                    out.extend_from_slice(&k.to_le_bytes());
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Request::Delete { keys, .. } => {
+                out.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+                for k in keys {
+                    out.extend_from_slice(&k.to_le_bytes());
+                }
+            }
+            Request::Count { lo, hi, .. } | Request::Sum { lo, hi, .. } => {
+                out.extend_from_slice(&lo.to_le_bytes());
+                out.extend_from_slice(&hi.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses a frame payload into a request.
+    pub fn decode(payload: &[u8]) -> Result<Request, DecodeError> {
+        let mut cur = Cursor::new(payload);
+        let op = cur.u8()?;
+        let tenant = cur.u16()?;
+        let req = match op {
+            0x01 => Request::Ping,
+            0x02 => {
+                let count = cur.u32()? as usize;
+                // Validate the count against the actual remaining bytes
+                // before allocating: a doctored count must not reserve.
+                if cur.remaining() != count * 16 {
+                    return Err(DecodeError::Malformed(format!(
+                        "upsert count {count} does not match {} body bytes",
+                        cur.remaining()
+                    )));
+                }
+                let mut rows = Vec::with_capacity(count);
+                for _ in 0..count {
+                    rows.push((cur.u64()?, cur.u64()?));
+                }
+                Request::Upsert { tenant, rows }
+            }
+            0x03 => {
+                let count = cur.u32()? as usize;
+                if cur.remaining() != count * 8 {
+                    return Err(DecodeError::Malformed(format!(
+                        "delete count {count} does not match {} body bytes",
+                        cur.remaining()
+                    )));
+                }
+                let mut keys = Vec::with_capacity(count);
+                for _ in 0..count {
+                    keys.push(cur.u64()?);
+                }
+                Request::Delete { tenant, keys }
+            }
+            0x04 => Request::Count {
+                tenant,
+                lo: cur.u64()?,
+                hi: cur.u64()?,
+            },
+            0x05 => Request::Sum {
+                tenant,
+                lo: cur.u64()?,
+                hi: cur.u64()?,
+            },
+            0x06 => Request::Stats,
+            other => return Err(DecodeError::UnknownOp(other)),
+        };
+        if cur.remaining() != 0 {
+            return Err(DecodeError::Malformed(format!(
+                "{} trailing bytes after a complete request",
+                cur.remaining()
+            )));
+        }
+        Ok(req)
+    }
+}
+
+/// Per-shard counters in a [`Op::Stats`] response.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Requests this shard executed.
+    pub requests: u64,
+    /// Epoch pins taken on the shard's runtime.
+    pub pins_taken: u64,
+    /// Blocks enumerated by the shard's parallel scans.
+    pub blocks_scanned: u64,
+    /// Morsels dispatched by the shard's parallel scans.
+    pub morsels_dispatched: u64,
+}
+
+/// Per-tenant accounting in a [`Op::Stats`] response, summed across shards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Tenant id.
+    pub tenant: u16,
+    /// Configured per-shard budget × shards, or `u64::MAX` for unlimited.
+    pub budget_bytes: u64,
+    /// Off-heap bytes currently held by the tenant's contexts.
+    pub used_bytes: u64,
+    /// Live objects across shards.
+    pub live_objects: u64,
+    /// Ingest requests rejected by the tenant's budget.
+    pub over_budget_errors: u64,
+}
+
+/// Body of an OK [`Op::Stats`] response.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsBody {
+    /// One entry per shard, in shard order.
+    pub shards: Vec<ShardStats>,
+    /// One entry per configured tenant.
+    pub tenants: Vec<TenantStats>,
+}
+
+impl StatsBody {
+    /// Serializes into an OK response body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.shards.len() as u32).to_le_bytes());
+        for s in &self.shards {
+            out.extend_from_slice(&s.requests.to_le_bytes());
+            out.extend_from_slice(&s.pins_taken.to_le_bytes());
+            out.extend_from_slice(&s.blocks_scanned.to_le_bytes());
+            out.extend_from_slice(&s.morsels_dispatched.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.tenants.len() as u32).to_le_bytes());
+        for t in &self.tenants {
+            out.extend_from_slice(&t.tenant.to_le_bytes());
+            out.extend_from_slice(&t.budget_bytes.to_le_bytes());
+            out.extend_from_slice(&t.used_bytes.to_le_bytes());
+            out.extend_from_slice(&t.live_objects.to_le_bytes());
+            out.extend_from_slice(&t.over_budget_errors.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses an OK response body.
+    pub fn decode(body: &[u8]) -> Result<StatsBody, DecodeError> {
+        let mut cur = Cursor::new(body);
+        let nshards = cur.u32()? as usize;
+        if cur.remaining() < nshards * 32 {
+            return Err(DecodeError::Malformed("stats shard section short".into()));
+        }
+        let mut shards = Vec::with_capacity(nshards);
+        for _ in 0..nshards {
+            shards.push(ShardStats {
+                requests: cur.u64()?,
+                pins_taken: cur.u64()?,
+                blocks_scanned: cur.u64()?,
+                morsels_dispatched: cur.u64()?,
+            });
+        }
+        let ntenants = cur.u32()? as usize;
+        if cur.remaining() != ntenants * 34 {
+            return Err(DecodeError::Malformed("stats tenant section short".into()));
+        }
+        let mut tenants = Vec::with_capacity(ntenants);
+        for _ in 0..ntenants {
+            tenants.push(TenantStats {
+                tenant: cur.u16()?,
+                budget_bytes: cur.u64()?,
+                used_bytes: cur.u64()?,
+                live_objects: cur.u64()?,
+                over_budget_errors: cur.u64()?,
+            });
+        }
+        Ok(StatsBody { shards, tenants })
+    }
+}
+
+/// Why [`FrameReader::read_frame`] stopped.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed cleanly at a frame boundary.
+    Closed,
+    /// The connection died mid-frame (partial prefix or payload).
+    Truncated,
+    /// The length prefix exceeded [`MAX_FRAME`]; carries the claimed length.
+    Oversized(u32),
+    /// The stop predicate fired while waiting for bytes.
+    Stopped,
+    /// Any other transport error.
+    Io(std::io::Error),
+}
+
+/// Incremental frame reader that survives read timeouts.
+///
+/// Connection threads poll a stop flag while blocked on the socket: the
+/// socket carries a read timeout, and a timed-out `read` returns control
+/// here with any partial bytes *already buffered*, so a frame split across
+/// timeout boundaries reassembles instead of corrupting the stream.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// A reader with an empty buffer.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// Reads one complete frame payload, calling `should_stop` whenever the
+    /// transport times out.
+    pub fn read_frame(
+        &mut self,
+        r: &mut impl Read,
+        mut should_stop: impl FnMut() -> bool,
+    ) -> Result<Vec<u8>, FrameError> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if self.buf.len() >= 4 {
+                let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
+                if len > MAX_FRAME {
+                    return Err(FrameError::Oversized(len));
+                }
+                let total = 4 + len as usize;
+                if self.buf.len() >= total {
+                    let payload = self.buf[4..total].to_vec();
+                    self.buf.drain(..total);
+                    return Ok(payload);
+                }
+            }
+            match r.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        Err(FrameError::Closed)
+                    } else {
+                        Err(FrameError::Truncated)
+                    };
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    if should_stop() {
+                        return Err(FrameError::Stopped);
+                    }
+                }
+                Err(e) => return Err(FrameError::Io(e)),
+            }
+        }
+    }
+}
+
+/// Writes one frame (length prefix + payload).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME as usize);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Bounds-checked little-endian reader over a byte slice.
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Cursor<'a> {
+        Cursor { data, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Malformed(format!(
+                "frame too short: wanted {n} more bytes, had {}",
+                self.remaining()
+            )));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        let s = self.take(2)?;
+        Ok(u16::from_le_bytes([s[0], s[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let s = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+        ]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let cases = vec![
+            Request::Ping,
+            Request::Stats,
+            Request::Upsert {
+                tenant: 3,
+                rows: vec![(1, 10), (2, 20)],
+            },
+            Request::Delete {
+                tenant: 1,
+                keys: vec![9, 8, 7],
+            },
+            Request::Count {
+                tenant: 0,
+                lo: 5,
+                hi: 500,
+            },
+            Request::Sum {
+                tenant: 65535,
+                lo: 0,
+                hi: u64::MAX,
+            },
+        ];
+        for req in cases {
+            assert_eq!(Request::decode(&req.encode()), Ok(req));
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let ok = Response::Ok(vec![1, 2, 3]);
+        assert_eq!(Response::decode(&ok.encode()), Ok(ok));
+        let err = Response::err(ErrorCode::TenantOverBudget, "tenant 2 over budget");
+        assert_eq!(Response::decode(&err.encode()), Ok(err));
+    }
+
+    #[test]
+    fn stats_body_round_trips() {
+        let body = StatsBody {
+            shards: vec![
+                ShardStats {
+                    requests: 10,
+                    pins_taken: 20,
+                    blocks_scanned: 30,
+                    morsels_dispatched: 40,
+                },
+                ShardStats::default(),
+            ],
+            tenants: vec![TenantStats {
+                tenant: 7,
+                budget_bytes: 1 << 20,
+                used_bytes: 1 << 16,
+                live_objects: 99,
+                over_budget_errors: 3,
+            }],
+        };
+        assert_eq!(StatsBody::decode(&body.encode()), Ok(body));
+    }
+
+    #[test]
+    fn malformed_requests_decode_to_errors_not_panics() {
+        // Empty payload.
+        assert!(matches!(
+            Request::decode(&[]),
+            Err(DecodeError::Malformed(_))
+        ));
+        // Unknown opcode.
+        assert_eq!(
+            Request::decode(&[0x7f, 0, 0]).unwrap_err().code(),
+            ErrorCode::UnknownOp
+        );
+        // Upsert whose count promises more rows than the body carries — must
+        // not allocate based on the doctored count.
+        let mut p = vec![0x02, 0, 0];
+        p.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(Request::decode(&p).unwrap_err().code(), ErrorCode::BadFrame);
+        // Trailing garbage after a complete request.
+        let mut p = Request::Ping.encode();
+        p.push(0xee);
+        assert_eq!(Request::decode(&p).unwrap_err().code(), ErrorCode::BadFrame);
+    }
+
+    #[test]
+    fn frame_reader_reassembles_split_frames() {
+        let req = Request::Count {
+            tenant: 1,
+            lo: 2,
+            hi: 3,
+        };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &req.encode()).unwrap();
+        write_frame(&mut wire, &Request::Ping.encode()).unwrap();
+        // Feed the bytes one at a time through a reader that times out
+        // between each byte.
+        struct Trickle<'a> {
+            data: &'a [u8],
+            pos: usize,
+            starved: bool,
+        }
+        impl Read for Trickle<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if !self.starved {
+                    self.starved = true;
+                    return Err(std::io::Error::from(ErrorKind::WouldBlock));
+                }
+                self.starved = false;
+                if self.pos == self.data.len() {
+                    return Ok(0);
+                }
+                buf[0] = self.data[self.pos];
+                self.pos += 1;
+                Ok(1)
+            }
+        }
+        let mut t = Trickle {
+            data: &wire,
+            pos: 0,
+            starved: false,
+        };
+        let mut fr = FrameReader::new();
+        let p1 = fr.read_frame(&mut t, || false).unwrap();
+        assert_eq!(Request::decode(&p1), Ok(req));
+        let p2 = fr.read_frame(&mut t, || false).unwrap();
+        assert_eq!(Request::decode(&p2), Ok(Request::Ping));
+        assert!(matches!(
+            fr.read_frame(&mut t, || false),
+            Err(FrameError::Closed)
+        ));
+    }
+
+    #[test]
+    fn oversized_prefix_is_refused_without_buffering() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        wire.extend_from_slice(&[0u8; 16]);
+        let mut fr = FrameReader::new();
+        match fr.read_frame(&mut &wire[..], || false) {
+            Err(FrameError::Oversized(len)) => assert_eq!(len, MAX_FRAME + 1),
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_frame_reports_truncation() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::Ping.encode()).unwrap();
+        wire.truncate(wire.len() - 1);
+        let mut fr = FrameReader::new();
+        assert!(matches!(
+            fr.read_frame(&mut &wire[..], || false),
+            Err(FrameError::Truncated)
+        ));
+    }
+}

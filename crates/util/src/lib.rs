@@ -10,12 +10,15 @@
 //!
 //! Plus [`backoff`] — bounded exponential retry backoff with deterministic
 //! seeded jitter, shared by the maintenance coordinator and the allocator's
-//! OOM recovery ladder.
+//! OOM recovery ladder — and [`spsc`], the bounded lock-free
+//! single-producer/single-consumer ring the serve layer uses to route
+//! requests from connection threads to shard threads.
 
 #![warn(missing_docs)]
 
 pub mod backoff;
 pub mod rng;
+pub mod spsc;
 pub mod sync;
 
 pub use backoff::Backoff;

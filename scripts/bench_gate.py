@@ -23,6 +23,12 @@ the *structure and correctness signals* of the report:
     (passing, via the rule above) and a non-zero ``passes_deferred``
     counter — a soak in which the SLO back-pressure loop never engaged
     proves nothing about back-pressure;
+  * fig16 (server load) reports must carry the saturation-free latency
+    oracles (``slo_p999_ingest``/``slo_p999_query``/``saturation_free``),
+    the tenancy oracles (``no_dropped_tenants``/``drain_verify``), a
+    non-zero ``requests_completed`` counter, and a ``shard_requests``
+    series in which **every** shard's request counter is non-zero — an
+    idle shard means the key-hash router never spread the load;
   * if the report carries tracer counters, it may not claim an empty trace
     (``trace_events`` = 0) while also reporting dropped ring events — that
     combination means the tracer recorded work and the exporter lost all of
@@ -45,12 +51,19 @@ SCHEMA = "smc-bench-report/v1"
 REQUIRED_COUNTERS = ("pins_taken", "blocks_scanned", "morsels_dispatched")
 FIG15_COUNTERS = ("pins_taken", "passes_planned", "passes_completed")
 FIG15_CHECKS = ("slo_p999", "backpressure_deferred", "post_quiesce_verify")
+FIG16_COUNTERS = ("pins_taken", "blocks_scanned", "morsels_dispatched",
+                  "requests_completed")
+FIG16_CHECKS = ("slo_p999_ingest", "slo_p999_query", "saturation_free",
+                "shard_requests_nonzero", "no_dropped_tenants",
+                "drain_verify")
 
 
 def required_counters(report):
     """The non-zero counters this figure must produce."""
     if report.get("figure") == "fig15":
         return FIG15_COUNTERS
+    if report.get("figure") == "fig16":
+        return FIG16_COUNTERS
     return REQUIRED_COUNTERS
 
 
@@ -125,6 +138,28 @@ def check_report(fresh, baseline):
         if not isinstance(deferred, (int, float)) or deferred <= 0:
             fail(f"counter 'passes_deferred' is {deferred!r} — the SLO "
                  f"back-pressure loop never engaged during the soak")
+
+    # --- fig16 server-load rules ---------------------------------------------
+    # A load run is only evidence if its latency oracles ran saturation-free,
+    # no tenant stopped answering, the embedded server drained verified, and
+    # the key-hash router actually spread work: every shard's request counter
+    # in the per-shard series must be non-zero.
+    if fresh.get("figure") == "fig16":
+        missing_fig16 = sorted(n for n in FIG16_CHECKS if n not in fresh_names)
+        if missing_fig16:
+            fail(f"fig16 report is missing required checks: "
+                 f"{', '.join(missing_fig16)}")
+        shard_rows = None
+        for s in series:
+            if s.get("name") == "shard_requests":
+                shard_rows = s.get("rows") or []
+        if shard_rows is None:
+            fail("fig16 report has no 'shard_requests' series")
+        for row in shard_rows:
+            if (len(row) < 2 or not isinstance(row[1], (int, float))
+                    or row[1] <= 0):
+                fail(f"shard_requests row {row!r} shows an idle shard — "
+                     f"every shard must have served requests")
 
     # --- tracer honesty ------------------------------------------------------
     # Only meaningful when the run traced (SMC_TRACE_OUT set): an exported
@@ -221,6 +256,36 @@ def doctored_reports(base):
         d = copy.deepcopy(base)
         d["counters"]["passes_completed"] = 0
         yield "fig15: passes_completed = 0 (coordinator never ran)", d
+
+    if base.get("figure") == "fig16":
+        # Server-load-specific rules: an idle shard, a dropped tenancy
+        # oracle, a saturated run passed off as clean, or a run that drove
+        # no load at all must each be rejected.
+        d = copy.deepcopy(base)
+        for s in d["series"]:
+            if s["name"] == "shard_requests":
+                s["rows"][0][1] = 0
+        yield "fig16: shard 0 served zero requests", d
+
+        d = copy.deepcopy(base)
+        d["checks"] = [c for c in d["checks"]
+                       if c["name"] != "no_dropped_tenants"]
+        yield "fig16: no_dropped_tenants oracle dropped", d
+
+        d = copy.deepcopy(base)
+        for c in d["checks"]:
+            if c["name"] == "saturation_free":
+                c["passed"] = False
+        yield "fig16: saturation_free flipped to failed", d
+
+        d = copy.deepcopy(base)
+        d["counters"]["requests_completed"] = 0
+        yield "fig16: requests_completed = 0 (no load was driven)", d
+
+        d = copy.deepcopy(base)
+        d["series"] = [s for s in d["series"]
+                       if s["name"] != "shard_requests"]
+        yield "fig16: shard_requests series removed", d
 
     d = copy.deepcopy(base)
     d["counters"]["trace_events"] = 0
