@@ -1,0 +1,393 @@
+//! Figure 17 (this repo's addition): the persistence tier end to end —
+//! snapshot throughput, cold-start recovery, torn-write rejection, and
+//! larger-than-memory scans through the spill/fault rung.
+//!
+//! Four phases:
+//!
+//! 1. **Snapshot**: populate a collection (with ~10% decimation so the
+//!    heap has holes, like a real query-dominated workload), then write a
+//!    crash-consistent snapshot and report its page count and throughput.
+//! 2. **Cold recovery**: rebuild the collection into a *fresh runtime*
+//!    from the snapshot alone. The recovered aggregate (count + key sum)
+//!    must match the surviving model exactly — the `recover_verify` check.
+//! 3. **Torn-write probes**: arm each snapshot failpoint
+//!    (`SnapshotPage`, `SnapshotManifest`, `SnapshotRename`) in turn so a
+//!    later snapshot attempt dies mid-write, then prove recovery still
+//!    loads the previous generation bit-exact; finally corrupt a page of a
+//!    copied snapshot on disk and prove recovery rejects it with a *named*
+//!    page error instead of loading garbage — `torn_page_rejected`.
+//! 4. **Spill/fault**: recover the same snapshot into a context budget a
+//!    quarter of the dataset with a spill file attached. Ingest-time
+//!    eviction plus scan-through-the-page-store must still produce the
+//!    exact aggregate, and random point updates must fault pages back in —
+//!    `spill_faults_counted`. Cold (spilled) and hot (fully resident) scan
+//!    latencies are recorded as histograms for the report.
+//!
+//! ```text
+//! fig17_recovery [--objects N] [--scans N] [--seed N]
+//! ```
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use smc::{Ref, Smc, Tabular};
+use smc_bench::{
+    arg_usize, csv, csv_into, finish, init_tracing, install_signal_handler, record_memory_counters,
+    Report,
+};
+use smc_memory::fault::FaultSite;
+use smc_memory::{ContextConfig, MemoryStats, Runtime, BLOCK_SIZE};
+use smc_obs::hist::Histogram;
+use smc_persist::{Persist, PersistError, RecoverOptions, SpillFile};
+use smc_util::Pcg32;
+
+/// 64-byte row, checksummed so recovery corruption would be visible to the
+/// scanner as well as to the page checksums.
+#[derive(Clone, Copy)]
+struct Row {
+    key: u64,
+    checksum: u64,
+    _pad: [u64; 6],
+}
+unsafe impl Tabular for Row {}
+
+impl Row {
+    fn new(key: u64) -> Row {
+        Row {
+            key,
+            checksum: key.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x5ca1_ab1e,
+            _pad: [0; 6],
+        }
+    }
+
+    fn coherent(&self) -> bool {
+        self.checksum == self.key.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x5ca1_ab1e
+    }
+}
+
+/// Full scan under one pin: (rows seen, sum of keys, torn rows).
+fn scan(rt: &Arc<Runtime>, c: &Smc<Row>, gauge: Option<&Histogram>) -> (u64, u64, u64) {
+    let t0 = Instant::now();
+    let guard = rt.pin();
+    let mut sum = 0u64;
+    let mut torn = 0u64;
+    let seen = c.for_each(&guard, |row| {
+        sum = sum.wrapping_add(row.key);
+        if !row.coherent() {
+            torn += 1;
+        }
+    });
+    drop(guard);
+    if let Some(g) = gauge {
+        g.record_duration(t0.elapsed());
+    }
+    (seen, sum, torn)
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("smc-fig17-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn main() {
+    let _trace = init_tracing();
+    install_signal_handler();
+    let objects = arg_usize("--objects", 120_000);
+    let scans = arg_usize("--scans", 8).max(1);
+    let seed = arg_usize("--seed", 0x5eed) as u64;
+
+    println!("Figure 17: persistence tier — objects={objects} scans={scans} seed={seed:#x}");
+
+    let mut report = Report::new(
+        "fig17",
+        "Persistence: snapshot, recovery, torn writes, spill/fault",
+    );
+    report.param("objects", objects as u64);
+    report.param("scans", scans as u64);
+    report.param("seed", seed);
+    let columns = ["phase", "objects", "pages", "bytes", "millis"];
+    let sid = report.series("phases", &columns);
+    csv(&columns);
+    let phase_row =
+        |report: &mut Report, phase: &str, objs: u64, pages: u64, bytes: u64, ms: u128| {
+            csv_into(
+                report,
+                sid,
+                &[
+                    phase,
+                    &objs.to_string(),
+                    &pages.to_string(),
+                    &bytes.to_string(),
+                    &ms.to_string(),
+                ],
+            );
+        };
+
+    let dir = tmpdir("snapshot");
+
+    // ---- Phase 1: populate + snapshot -------------------------------------
+    let rt1 = Runtime::new();
+    let c1: Smc<Row> = Smc::new(&rt1);
+    let mut rng = Pcg32::seed_from_u64(seed);
+    let mut refs: Vec<Ref<Row>> = Vec::with_capacity(objects);
+    for key in 0..objects as u64 {
+        refs.push(c1.try_add(Row::new(key)).expect("populate"));
+    }
+    // Decimate ~10% so the snapshot walks a fragmented heap, not an array.
+    let mut model_count = 0u64;
+    let mut model_sum = 0u64;
+    for (key, r) in refs.iter().enumerate() {
+        if rng.gen_range(0u32..10) == 0 {
+            assert!(matches!(c1.try_remove(*r), Ok(true)));
+        } else {
+            model_count += 1;
+            model_sum = model_sum.wrapping_add(key as u64);
+        }
+    }
+    let t0 = Instant::now();
+    let snap = c1.snapshot_to(&dir).expect("snapshot");
+    let snap_ms = t0.elapsed().as_millis();
+    println!(
+        "snapshot: gen {} — {} objects, {} pages, {} bytes in {snap_ms}ms",
+        snap.generation, snap.objects, snap.pages, snap.bytes
+    );
+    assert_eq!(snap.objects, model_count, "snapshot captured the survivors");
+    phase_row(
+        &mut report,
+        "snapshot",
+        snap.objects,
+        snap.pages,
+        snap.bytes,
+        snap_ms,
+    );
+
+    // ---- Phase 2: cold recovery + hot scans --------------------------------
+    let rt2 = Runtime::new();
+    let t0 = Instant::now();
+    let (c2, rec) = Smc::recover_from(&rt2, &dir).expect("recovery");
+    let rec_ms = t0.elapsed().as_millis();
+    let hot_gauge = Histogram::new();
+    let (mut seen, mut sum, mut torn) = (0, 0, 0);
+    for _ in 0..scans {
+        (seen, sum, torn) = scan(&rt2, &c2, Some(&hot_gauge));
+    }
+    let recover_ok = rec.objects == model_count
+        && seen == model_count
+        && sum == model_sum
+        && torn == 0
+        && c2.verify().is_ok();
+    println!(
+        "recovery: {} objects, {} pages in {rec_ms}ms — scan parity {}",
+        rec.objects,
+        rec.pages,
+        if recover_ok { "ok" } else { "FAILED" }
+    );
+    phase_row(&mut report, "recover", rec.objects, rec.pages, 0, rec_ms);
+    report.check(
+        "recover_verify",
+        recover_ok,
+        format!(
+            "cold recovery bit-exact: {seen} objects (model {model_count}), key sum \
+             {sum:#x} (model {model_sum:#x}), {torn} torn rows, verify ok"
+        ),
+    );
+
+    // ---- Phase 3: torn-write probes ----------------------------------------
+    // Kill a new snapshot attempt at each failpoint; the previous generation
+    // must stay the recovery target, bit-exact.
+    let mut torn_ok = true;
+    let mut probes = 0u64;
+    for site in [
+        FaultSite::SnapshotPage,
+        FaultSite::SnapshotManifest,
+        FaultSite::SnapshotRename,
+    ] {
+        rt1.faults().set_rate(site, 1024);
+        rt1.faults().set_limit(Some(1));
+        rt1.faults().enable(seed ^ probes);
+        let died = c1.snapshot_to(&dir).is_err();
+        rt1.faults().set_rate(site, 0);
+        rt1.faults().disable();
+        let rt = Runtime::new();
+        let survived = match Smc::<Row>::recover_from(&rt, &dir) {
+            Ok((c, rep)) => {
+                let (n, s, t) = scan(&rt, &c, None);
+                rep.generation == snap.generation && n == model_count && s == model_sum && t == 0
+            }
+            Err(e) => {
+                println!("torn probe {site:?}: recovery unexpectedly failed: {e}");
+                false
+            }
+        };
+        println!(
+            "torn probe {site:?}: snapshot {} — previous generation {}",
+            if died {
+                "died mid-write"
+            } else {
+                "SURVIVED (failpoint missed)"
+            },
+            if survived {
+                "recovered exactly"
+            } else {
+                "LOST"
+            },
+        );
+        torn_ok &= died && survived;
+        probes += 1;
+    }
+    // Post-hoc corruption: a flipped byte inside a page must be rejected
+    // with a named page error, never materialized.
+    let corrupt_dir = tmpdir("corrupt");
+    std::fs::create_dir_all(&corrupt_dir).expect("corrupt dir");
+    for entry in std::fs::read_dir(&dir).expect("read snapshot dir") {
+        let entry = entry.expect("dir entry");
+        std::fs::copy(entry.path(), corrupt_dir.join(entry.file_name())).expect("copy");
+    }
+    // Corrupt the page file the manifest actually references — earlier torn
+    // probes may have left an orphaned (unreferenced) page file behind, and
+    // flipping a byte there would prove nothing.
+    let manifest = std::fs::read_to_string(corrupt_dir.join("MANIFEST")).expect("read manifest");
+    let referenced = manifest
+        .lines()
+        .find_map(|l| l.strip_prefix("page_file "))
+        .expect("manifest names its page file")
+        .trim();
+    let page_file = corrupt_dir.join(referenced);
+    let mut bytes = std::fs::read(&page_file).expect("read pages");
+    let flip = bytes.len() - 100;
+    bytes[flip] ^= 0xff;
+    std::fs::write(&page_file, &bytes).expect("write corrupted pages");
+    let rt = Runtime::new();
+    let rejected = match Smc::<Row>::recover_from(&rt, &corrupt_dir) {
+        Err(PersistError::PageChecksum { page }) => {
+            println!("corruption probe: rejected with named page {page}");
+            true
+        }
+        Err(e) => {
+            println!("corruption probe: rejected, but not by checksum: {e}");
+            false
+        }
+        Ok(_) => {
+            println!("corruption probe: LOADED CORRUPTED DATA");
+            false
+        }
+    };
+    torn_ok &= rejected;
+    report.check(
+        "torn_page_rejected",
+        torn_ok,
+        format!(
+            "{probes} mid-write crash probes recovered the previous generation \
+             exactly; flipped page byte rejected with a named PageChecksum error"
+        ),
+    );
+    phase_row(&mut report, "torn_probes", probes + 1, 0, 0, 0);
+
+    // ---- Phase 4: larger-than-memory recovery + spill/fault ----------------
+    let rt3 = Runtime::new();
+    let budget = ((model_count * 64) / 4).max(BLOCK_SIZE as u64);
+    let spill_dir = tmpdir("spill");
+    let store = Arc::new(SpillFile::create(spill_dir.join("spill.dat")).expect("spill file"));
+    let t0 = Instant::now();
+    let (c3, rec3) = Smc::recover_opts(
+        &rt3,
+        RecoverOptions {
+            config: ContextConfig {
+                budget_bytes: Some(budget),
+                ..ContextConfig::default()
+            },
+            store: Some(store.clone()),
+        },
+        &dir,
+    )
+    .expect("budgeted recovery");
+    let spill_ms = t0.elapsed().as_millis();
+    let spilled_blocks = c3.spilled_blocks();
+    let cold_gauge = Histogram::new();
+    let (mut seen3, mut sum3, mut torn3) = (0, 0, 0);
+    for _ in 0..scans {
+        (seen3, sum3, torn3) = scan(&rt3, &c3, Some(&cold_gauge));
+    }
+    // Point updates through spilled refs: each one faults its page back in.
+    let mut sample: Vec<Ref<Row>> = Vec::new();
+    {
+        let guard = rt3.pin();
+        let mut i = 0u64;
+        c3.for_each_ref(&guard, |r, _row| {
+            if i % 997 == 0 {
+                sample.push(r);
+            }
+            i += 1;
+        });
+        for r in &sample {
+            c3.update(*r, &guard, |row: &mut Row| {
+                let key = row.key;
+                *row = Row::new(key);
+            })
+            .expect("spilled ref faults in and updates");
+        }
+    }
+    let faulted = MemoryStats::get(&rt3.stats.blocks_faulted_in);
+    let spill_ok = rec3.objects == model_count
+        && seen3 == model_count
+        && sum3 == model_sum
+        && torn3 == 0
+        && spilled_blocks > 0
+        && faulted > 0
+        && c3.verify().is_ok();
+    println!(
+        "spill: budget {budget} bytes — {} blocks spilled, {} faulted in on \
+         update, scan parity {} ({spill_ms}ms recovery)",
+        spilled_blocks,
+        faulted,
+        if spill_ok { "ok" } else { "FAILED" },
+    );
+    phase_row(
+        &mut report,
+        "spill",
+        rec3.objects,
+        spilled_blocks,
+        budget,
+        spill_ms,
+    );
+    report.check(
+        "spill_faults_counted",
+        spill_ok,
+        format!(
+            "budget {budget} < dataset: {spilled_blocks} blocks spilled, full-scan \
+             parity through the page store, {faulted} pages faulted back in by \
+             point updates, verify ok"
+        ),
+    );
+
+    println!(
+        "scan latency: hot p50 {}us p99 {}us — cold (spilled) p50 {}us p99 {}us",
+        hot_gauge.p50() / 1_000,
+        hot_gauge.p99() / 1_000,
+        cold_gauge.p50() / 1_000,
+        cold_gauge.p99() / 1_000,
+    );
+    report.histogram("scan_hot_ns", &hot_gauge);
+    report.histogram("scan_cold_ns", &cold_gauge);
+    report.counter("snapshot_pages", snap.pages);
+    report.counter("snapshot_bytes", snap.bytes);
+    report.counter("recovered_objects", rec.objects);
+    report.counter(
+        "blocks_spilled",
+        MemoryStats::get(&rt3.stats.blocks_spilled),
+    );
+    report.counter("blocks_faulted_in", faulted);
+    report.counter(
+        "spill_fault_failures",
+        MemoryStats::get(&rt3.stats.spill_fault_failures),
+    );
+    record_memory_counters(&mut report, &rt3.stats);
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&corrupt_dir).ok();
+    drop(store);
+    std::fs::remove_dir_all(&spill_dir).ok();
+    finish(&mut report);
+}

@@ -9,13 +9,20 @@
 //!
 //! ```text
 //! smc-serve [--addr HOST:PORT] [--shards N] [--workers N]
-//!           [--tenants N] [--budget-mb M]
+//!           [--tenants N] [--budget-mb M] [--persist-dir PATH]
 //! ```
 //!
 //! `--budget-mb M` (when nonzero) caps **tenant 0** at M MiB across all
 //! shards — the canonical multi-tenant demo: hammer tenant 0 past its
 //! budget and watch it get clean `TenantOverBudget` errors while the other
 //! tenants keep answering. Remaining tenants are unlimited.
+//!
+//! `--persist-dir PATH` turns on the persistence tier: every tenant is
+//! recovered from its last snapshot at start, budgets smaller than the
+//! dataset spill to a per-tenant page file instead of rejecting, and the
+//! SIGTERM drain writes a fresh snapshot of the verified state before
+//! exit. The shard/tenant layout under PATH is
+//! `shard-<i>/tenant-<id>/{snapshot/,spill.dat}`.
 
 use std::time::Duration;
 
@@ -35,6 +42,13 @@ fn main() {
     let workers = arg_usize("--workers", 2).max(1);
     let ntenants = arg_usize("--tenants", 2).max(1);
     let budget_mb = arg_usize("--budget-mb", 0);
+    let persist_dir = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--persist-dir")
+            .and_then(|i| args.get(i + 1))
+            .map(std::path::PathBuf::from)
+    };
 
     let tenants = (0..ntenants)
         .map(|i| TenantConfig {
@@ -48,11 +62,15 @@ fn main() {
         .collect();
 
     install_signal_handler();
+    if let Some(dir) = &persist_dir {
+        println!("smc-serve: persistence at {}", dir.display());
+    }
     let mut server = match Server::start(ServerConfig {
         addr,
         shards,
         workers_per_shard: workers,
         tenants,
+        persist_dir,
         ..ServerConfig::default()
     }) {
         Ok(s) => s,
@@ -74,8 +92,9 @@ fn main() {
     let report = server.shutdown();
     for d in &report.shards {
         println!(
-            "smc-serve: shard {} drained: {} requests, {} tenants verified",
-            d.shard, d.requests, d.tenants_verified
+            "smc-serve: shard {} drained: {} requests, {} tenants verified, \
+             {} snapshots written",
+            d.shard, d.requests, d.tenants_verified, d.snapshots_written
         );
     }
     let errors = report.verify_errors();

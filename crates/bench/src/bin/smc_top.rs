@@ -180,6 +180,14 @@ fn render(tick: u64, snap: &HeapSnapshot, rt: &Runtime, live: u64, m: &MaintSnap
             mib(c.footprint_bytes()),
             c.incarnation_churn,
         );
+        if c.spilled_blocks > 0 {
+            println!(
+                "         spilled {} blocks / {} objects (resident {} blocks)",
+                c.spilled_blocks,
+                c.spilled_objects,
+                c.block_count(),
+            );
+        }
     }
     for c in &snap.collections {
         let budget = c
@@ -316,6 +324,8 @@ fn json_doc(
                 None => t.set("budget_bytes", JsonValue::Null),
             }
             t.set("budget_used_bytes", c.footprint_bytes());
+            t.set("spilled_blocks", c.spilled_blocks);
+            t.set("spilled_objects", c.spilled_objects);
             t
         })
         .collect();

@@ -152,6 +152,25 @@ impl<T: Tabular> Smc<T> {
         self.ctx.bytes()
     }
 
+    /// Attaches a page store and enables the larger-than-memory tier: under
+    /// budget pressure the collection evicts cold blocks to the store, and
+    /// touching an evicted object faults its page back in transparently.
+    /// Returns false for layouts that cannot spill (columnar contexts).
+    pub fn enable_spill(&self, store: Arc<dyn smc_memory::PageStore>) -> bool {
+        self.ctx.enable_spill(store)
+    }
+
+    /// Blocks currently evicted to the page store.
+    pub fn spilled_blocks(&self) -> u64 {
+        self.ctx.spilled_blocks()
+    }
+
+    /// Live objects resident only in spilled pages (counted in
+    /// [`len`](Self::len)).
+    pub fn spilled_objects(&self) -> u64 {
+        self.ctx.spilled_objects()
+    }
+
     /// Reads a copy of the referenced object.
     pub fn read(&self, r: Ref<T>, guard: &Guard<'_>) -> Option<T> {
         r.read(guard)
@@ -180,28 +199,86 @@ impl<T: Tabular> Smc<T> {
     /// enumeration loop (§4): block by block, skipping dead slots through
     /// the slot directory, never materializing references.
     ///
+    /// When the collection has a spill store attached
+    /// ([`enable_spill`](Self::enable_spill)), spilled pages are scanned
+    /// *in place* — objects are read out of the page images without
+    /// promoting them back into memory, so a scan does not thrash the
+    /// working set it displaced. Panics if a spilled page cannot be read;
+    /// use [`try_for_each`](Self::try_for_each) where that must be an error.
+    ///
     /// Returns the number of objects visited.
-    pub fn for_each(&self, guard: &Guard<'_>, mut f: impl FnMut(&T)) -> u64 {
+    pub fn for_each(&self, guard: &Guard<'_>, f: impl FnMut(&T)) -> u64 {
+        self.try_for_each(guard, f)
+            .expect("spilled page unreadable")
+    }
+
+    /// Fallible [`for_each`](Self::for_each):
+    /// `Err(MemError::SpillFault)` when a spilled page cannot be read back
+    /// (the scan stops — fail closed, no partial page is surfaced).
+    pub fn try_for_each(&self, guard: &Guard<'_>, mut f: impl FnMut(&T)) -> Result<u64, MemError> {
         let mut n = 0;
-        self.visit_blocks(guard, |block| {
-            let cap = block.header().capacity;
-            for slot in 0..cap {
-                if block.slot_word(slot).state() == SlotState::Valid {
-                    // SAFETY: valid slot in a pinned critical section.
-                    f(unsafe { &*block.obj_ptr(slot).cast::<T>() });
-                    n += 1;
-                }
+        // Spilled pages first: the membership snapshot is taken under the
+        // same spill mutex, so a page faulted in mid-scan cannot be seen
+        // twice (as page *and* block) or missed entirely.
+        let m = self
+            .ctx
+            .scan_spilled_then_snapshot(&mut |_entry_addr, obj| {
+                // SAFETY: the callback's pointer addresses `size_of::<T>()`
+                // bytes of a decoded page record of this typed context.
+                f(unsafe { &*obj.cast::<T>() });
+                n += 1;
+            })?;
+        for block in m.blocks {
+            n += self.scan_block(block, &mut f);
+        }
+        for group in m.groups {
+            visit_group(&group, guard, self.ctx.runtime(), &mut |block| {
+                n += self.scan_block(block, &mut f);
+            });
+        }
+        Ok(n)
+    }
+
+    fn scan_block(&self, block: BlockRef, f: &mut impl FnMut(&T)) -> u64 {
+        let mut n = 0;
+        let cap = block.header().capacity;
+        for slot in 0..cap {
+            if block.slot_word(slot).state() == SlotState::Valid {
+                // SAFETY: valid slot in a pinned critical section.
+                f(unsafe { &*block.obj_ptr(slot).cast::<T>() });
+                n += 1;
             }
-        });
+        }
         n
     }
 
     /// Like [`for_each`](Self::for_each) but also hands out the checked
     /// reference of each object (built from the slot's back-pointer, exactly
-    /// as the paper's generated code yields `ObjRef`s, §4).
-    pub fn for_each_ref(&self, guard: &Guard<'_>, mut f: impl FnMut(Ref<T>, &T)) -> u64 {
+    /// as the paper's generated code yields `ObjRef`s, §4). Spilled objects
+    /// yield working references too — dereferencing one faults its page in.
+    pub fn for_each_ref(&self, guard: &Guard<'_>, f: impl FnMut(Ref<T>, &T)) -> u64 {
+        self.try_for_each_ref(guard, f)
+            .expect("spilled page unreadable")
+    }
+
+    /// Fallible [`for_each_ref`](Self::for_each_ref); see
+    /// [`try_for_each`](Self::try_for_each) for the error contract.
+    pub fn try_for_each_ref(
+        &self,
+        guard: &Guard<'_>,
+        mut f: impl FnMut(Ref<T>, &T),
+    ) -> Result<u64, MemError> {
         let mut n = 0;
-        self.visit_blocks(guard, |block| {
+        let m = self
+            .ctx
+            .scan_spilled_then_snapshot(&mut |entry_addr, obj| {
+                let entry = unsafe { smc_memory::indirection::EntryRef::from_addr(entry_addr) };
+                let r = Ref::from_parts(entry, entry.get().inc().incarnation());
+                // SAFETY: as in `try_for_each`.
+                f(r, unsafe { &*obj.cast::<T>() });
+                n += 1;
+            })?;
+        let mut scan = |block: BlockRef| {
             let cap = block.header().capacity;
             for slot in 0..cap {
                 if block.slot_word(slot).state() == SlotState::Valid {
@@ -215,13 +292,23 @@ impl<T: Tabular> Smc<T> {
                     n += 1;
                 }
             }
-        });
-        n
+        };
+        for block in m.blocks {
+            scan(block);
+        }
+        for group in m.groups {
+            visit_group(&group, guard, self.ctx.runtime(), &mut scan);
+        }
+        Ok(n)
     }
 
     /// Lazily iterates `(Ref<T>, &T)` pairs. Prefer [`for_each`](Smc::for_each) in
     /// performance-critical query code; the pull iterator exists for
     /// ergonomic composition.
+    ///
+    /// **Resident objects only**: spilled pages are not visited (a lazy
+    /// pull iterator cannot hold the spill mutex across `next` calls). Use
+    /// [`for_each`](Self::for_each) for scans that must see spilled data.
     pub fn iter<'g, 'e>(&self, guard: &'g Guard<'e>) -> Iter<'g, 'e, T> {
         let m = self.ctx.membership_snapshot();
         let mut work: VecDeque<WorkItem> = m.blocks.into_iter().map(WorkItem::Block).collect();
@@ -287,10 +374,10 @@ impl<T: Tabular> Smc<T> {
     pub fn verify(&self) -> Result<VerifyReport, Vec<String>> {
         let report = self.ctx.verify()?;
         let len = self.len();
-        if report.valid_slots != len {
+        if report.valid_slots + report.spilled_slots != len {
             return Err(vec![format!(
-                "recounted {} valid slots but collection len() is {len}",
-                report.valid_slots
+                "recounted {} valid + {} spilled slots but collection len() is {len}",
+                report.valid_slots, report.spilled_slots
             )]);
         }
         Ok(report)

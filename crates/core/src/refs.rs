@@ -28,6 +28,7 @@ use smc_memory::epoch::Guard;
 use smc_memory::incarnation::{FLAG_FORWARD, INC_MASK};
 use smc_memory::indirection::EntryRef;
 use smc_memory::reloc::{bail_out_relocation, try_move_object};
+use smc_memory::spill;
 use smc_memory::tabular::Tabular;
 
 /// A checked reference to an object in a self-managed collection.
@@ -147,18 +148,33 @@ impl<T: Tabular> Ref<T> {
     #[inline]
     fn resolve(&self, guard: &Guard<'_>) -> Option<*mut T> {
         let entry = self.entry()?;
-        let word = entry.get().inc().load(Ordering::Acquire);
-        // Fast path: exact match, no flags set.
-        if word == self.inc {
-            let payload = entry.get().load_payload(Ordering::Acquire);
-            if payload == 0 {
-                return None;
+        // Bounded retry: each iteration either returns or faults one spilled
+        // page back in (repointing the entry at a resident slot). A page can
+        // be re-spilled between our fault-in and the re-read only by a
+        // concurrent evictor racing this hot object; 8 rounds outlasts any
+        // realistic eviction storm, and bailing to `None` afterwards is the
+        // same fail-closed answer an unreadable page gets.
+        for _ in 0..8 {
+            let word = entry.get().inc().load(Ordering::Acquire);
+            // Fast path: exact match, no flags set.
+            if word == self.inc {
+                let payload = entry.get().load_payload(Ordering::Acquire);
+                if payload == 0 {
+                    return None;
+                }
+                if spill::is_spill_tagged(payload) {
+                    if !spill::fault_in_tagged(payload) {
+                        return None; // page unreadable: fail closed
+                    }
+                    continue;
+                }
+                return Some(payload as *mut T);
             }
-            return Some(payload as *mut T);
-        }
-        // Masked match: the object is alive but frozen/locked by compaction.
-        if word & INC_MASK == self.inc & INC_MASK {
-            return self.slow_path(entry, guard);
+            // Masked match: alive but frozen/locked by compaction.
+            if word & INC_MASK == self.inc & INC_MASK {
+                return self.slow_path(entry, guard);
+            }
+            return None;
         }
         None
     }
@@ -168,7 +184,10 @@ impl<T: Tabular> Ref<T> {
     fn slow_path(&self, entry: EntryRef, guard: &Guard<'_>) -> Option<*mut T> {
         let deref = |e: EntryRef| -> Option<*mut T> {
             let payload = e.get().load_payload(Ordering::Acquire);
-            if payload == 0 {
+            // A spill tag cannot coexist with compaction flags (eviction
+            // skips compacting blocks), so seeing one here means the world
+            // changed under us — fail closed rather than deref a stub.
+            if payload == 0 || spill::is_spill_tagged(payload) {
                 None
             } else {
                 Some(payload as *mut T)
@@ -322,7 +341,9 @@ impl<T: Tabular> DirectRef<T> {
                 }
                 let entry = unsafe { EntryRef::from_addr(back) };
                 let payload = entry.get().load_payload(Ordering::Acquire);
-                if payload == 0 {
+                // A forwarded object that was then spilled has no resident
+                // address to heal to — fail closed (re-resolve via `Ref`).
+                if payload == 0 || spill::is_spill_tagged(payload) {
                     return None;
                 }
                 addr = payload;

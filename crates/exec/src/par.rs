@@ -98,7 +98,21 @@ impl<'a, T: Tabular + Sync> ParScan<'a, T> {
         // Coordinator guard: pinned before the snapshot, held until every
         // worker is done (the safety argument in the module docs).
         let _coord = runtime.pin();
-        let morsels = self.collection.context().morsels();
+        // Spilled pages first, on the coordinating thread: they are the cold
+        // tail, read sequentially from the page store while the membership
+        // snapshot is taken under the same spill mutex (a page faulted in
+        // mid-scan can't be seen twice or missed). Resident morsels then fan
+        // out to the workers as usual.
+        let mut spilled_acc = make();
+        let morsels = self
+            .collection
+            .context()
+            .morsels_spilled_then_snapshot(&mut |_entry_addr, obj| {
+                // SAFETY: the callback's pointer addresses size_of::<T>()
+                // initialized bytes of a record this collection spilled.
+                body(&mut spilled_acc, unsafe { &*obj.cast::<T>() });
+            })
+            .expect("spilled page unreadable");
         let cursor = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<A>>> =
             (0..self.pool.threads()).map(|_| Mutex::new(None)).collect();
@@ -125,7 +139,9 @@ impl<'a, T: Tabular + Sync> ParScan<'a, T> {
             }
             *slots[widx].lock().unwrap_or_else(|e| e.into_inner()) = Some(acc);
         });
-        take_partials(slots)
+        let mut partials = take_partials(slots);
+        partials.push(spilled_acc);
+        partials
     }
 
     /// Counts objects passing `pred` — parallel `filter_for_each` without a

@@ -184,6 +184,10 @@ struct Registration {
 struct Planned {
     ctx: Arc<MemoryContext>,
     reason: PassReason,
+    /// For [`PassReason::Spill`]: the resident-byte watermark the pass
+    /// evicts toward, computed at planning time from the policy ratio and
+    /// the snapshot's budget. `None` for every other reason.
+    spill_target: Option<u64>,
 }
 
 struct InFlight {
@@ -496,7 +500,7 @@ fn planner_loop(inner: &Inner) {
             if g.mode != Mode::Running {
                 return;
             }
-            let mut due: Vec<(usize, PassReason)> = Vec::new();
+            let mut due: Vec<(usize, PassReason, Option<u64>)> = Vec::new();
             let busy: Vec<u64> = g
                 .queue
                 .iter()
@@ -508,7 +512,7 @@ fn planner_loop(inner: &Inner) {
                     continue;
                 }
                 if reg.forced {
-                    due.push((i, PassReason::Nudge));
+                    due.push((i, PassReason::Nudge, None));
                     continue;
                 }
                 if reg
@@ -524,15 +528,21 @@ fn planner_loop(inner: &Inner) {
                 let Some(snap) = snap else { continue };
                 let churn_delta = snap.incarnation_churn.saturating_sub(reg.last_churn);
                 if let Some(reason) = reg.policy.due(&snap, churn_delta) {
-                    due.push((i, reason));
+                    let target = (reason == PassReason::Spill)
+                        .then(|| reg.policy.spill_target_bytes(&snap))
+                        .flatten();
+                    due.push((i, reason, target));
                 }
                 reg.last_churn = snap.incarnation_churn;
             }
             due
         };
 
-        for (idx, reason) in due {
-            if breached {
+        for (idx, reason, spill_target) in due {
+            // Spill bypasses SLO deferral: eviction is how a budget-hot
+            // context sheds pressure, and deferring it under back-pressure
+            // only turns budget heat into allocation rejections.
+            if breached && reason != PassReason::Spill {
                 let g = inner.lock();
                 let Some(reg) = g.registrations.get(idx) else {
                     continue;
@@ -559,7 +569,11 @@ fn planner_loop(inner: &Inner) {
             reg.forced = false;
             reg.last_pass = Some(now);
             let ctx = reg.ctx.clone();
-            g.queue.push_back(Planned { ctx, reason });
+            g.queue.push_back(Planned {
+                ctx,
+                reason,
+                spill_target,
+            });
             inner.counters.planned.fetch_add(1, Ordering::Relaxed);
             inner.work_cv.notify_all();
         }
@@ -624,6 +638,24 @@ fn run_pass(inner: &Inner, worker: u64, planned: &Planned) -> LastPass {
         let cancelling = { inner.lock().mode == Mode::Cancelling };
         if cancelling {
             break PassOutcome::Cancelled;
+        }
+        // Spill pass: evict cold blocks toward the watermark instead of
+        // compacting. `moved` counts evicted blocks in the pass summary.
+        // The loop is bounded by the context's block count; a store
+        // failure (try_spill_one returns false after rollback) ends the
+        // pass with whatever progress was made.
+        if planned.reason == PassReason::Spill {
+            let target = planned.spill_target.unwrap_or(0);
+            while ctx.bytes() as u64 > target {
+                if inner.lock().mode == Mode::Cancelling {
+                    break;
+                }
+                if !ctx.try_spill_one() {
+                    break;
+                }
+                moved += 1;
+            }
+            break PassOutcome::Done;
         }
         // Injected transient failure before the pass proper.
         if ctx.runtime().faults().should_fail(FaultSite::MaintPass) {

@@ -201,6 +201,79 @@ mod tests {
     }
 
     #[test]
+    fn spill_pass_runs_under_budget_pressure_despite_slo_breach() {
+        let rt = Runtime::new();
+        // Budget of four blocks; fill roughly three with fully-live rows so
+        // fragmentation stays near zero — nothing for compaction to reclaim,
+        // but the footprint sits above a 50 % spill watermark.
+        let ctx = Arc::new(
+            MemoryContext::new_rows(
+                rt.clone(),
+                64,
+                8,
+                1,
+                ContextConfig {
+                    budget_bytes: Some(4 * smc_memory::BLOCK_SIZE as u64),
+                    ..ContextConfig::default()
+                },
+            )
+            .expect("layout fits a block"),
+        );
+        let store = Arc::new(smc_memory::MemoryPageStore::new());
+        assert!(ctx.enable_spill(store.clone()));
+        for i in 0..2800u64 {
+            alloc(&ctx, i);
+        }
+        assert!(ctx.bytes() as u64 > 2 * smc_memory::BLOCK_SIZE as u64);
+
+        // SLO permanently breached: compaction passes would be deferred, but
+        // the spill rung must still run — it is the pressure-relief valve.
+        let gauge = Arc::new(Histogram::new());
+        gauge.record(1_000_000);
+        let coord = Coordinator::new(MaintConfig {
+            slo: SloPolicy {
+                gauge: Some(gauge.clone()),
+                p99_ceiling: Duration::ZERO,
+                backoff_base: Duration::from_millis(1),
+                backoff_cap: Duration::from_millis(4),
+            },
+            ..fast_config()
+        });
+        coord.register(
+            ctx.clone(),
+            MaintPolicy {
+                frag_ratio_ceiling: 1.1,
+                limbo_bytes_ceiling: u64::MAX,
+                spill_budget_ratio: Some(0.5),
+                min_interval: Duration::from_millis(1),
+                ..MaintPolicy::default()
+            },
+        );
+        assert!(
+            wait_until(Duration::from_secs(10), || coord
+                .snapshot()
+                .passes_completed
+                > 0
+                && ctx.spilled_blocks() > 0),
+            "spill pass must run while the SLO is breached: {:?} spilled={}",
+            coord.snapshot(),
+            ctx.spilled_blocks()
+        );
+        assert!(coord.snapshot().slo_breached, "breach stays engaged");
+        coord.quiesce();
+        // Eviction brought the footprint to (or below) the watermark, and
+        // every spilled object is still reachable and verifiable.
+        assert!(
+            ctx.bytes() as u64 <= 2 * smc_memory::BLOCK_SIZE as u64,
+            "footprint must drop to the 50% watermark, still {}",
+            ctx.bytes()
+        );
+        assert!(!store.is_empty(), "pages landed in the store");
+        assert!(ctx.verify().is_ok(), "context verify after spill pass");
+        assert!(rt.verify().is_ok(), "runtime verify after spill pass");
+    }
+
+    #[test]
     fn maint_pass_failpoint_is_retried_transparently() {
         let rt = Runtime::new();
         let ctx = context(&rt);

@@ -23,6 +23,11 @@ pub enum PassReason {
     Churn,
     /// An explicit [`Coordinator::nudge`](crate::Coordinator::nudge).
     Nudge,
+    /// Resident footprint exceeded the spill watermark of the context
+    /// budget: evict cold blocks to the page store instead of compacting.
+    /// The rung below compaction on the OOM ladder — it fires when there
+    /// is little fragmentation to reclaim but the budget is hot.
+    Spill,
 }
 
 impl PassReason {
@@ -33,6 +38,7 @@ impl PassReason {
             PassReason::Limbo => "limbo",
             PassReason::Churn => "churn",
             PassReason::Nudge => "nudge",
+            PassReason::Spill => "spill",
         }
     }
 }
@@ -50,6 +56,14 @@ pub struct MaintPolicy {
     /// Never schedule two passes for the same context closer together than
     /// this (nudges are exempt).
     pub min_interval: Duration,
+    /// Spill watermark as a fraction of the context budget. When the
+    /// resident footprint exceeds `ratio * budget_bytes` — and no other
+    /// signal fired, i.e. there is little garbage to compact away — the
+    /// planner schedules a [`PassReason::Spill`] pass that evicts cold
+    /// blocks to the context's page store instead of compacting. `None`
+    /// (the default) disables the rung; it only makes sense for contexts
+    /// with both a budget and a spill store attached.
+    pub spill_budget_ratio: Option<f64>,
 }
 
 impl Default for MaintPolicy {
@@ -59,6 +73,7 @@ impl Default for MaintPolicy {
             limbo_bytes_ceiling: 8 << 20,
             churn_ceiling: u64::MAX,
             min_interval: Duration::from_millis(50),
+            spill_budget_ratio: None,
         }
     }
 }
@@ -67,7 +82,10 @@ impl MaintPolicy {
     /// Evaluates the policy against a snapshot. `churn_delta` is the
     /// incarnation churn accumulated since the previous evaluation. Returns
     /// the *first* triggered reason in fixed priority order (frag, limbo,
-    /// churn) so reports are deterministic.
+    /// churn, spill) so reports are deterministic. Spill comes last on
+    /// purpose: when fragmentation is high a compaction pass frees budget
+    /// without touching disk, so eviction is only chosen when the footprint
+    /// is hot *and* mostly live.
     pub fn due(&self, snap: &CollectionSnapshot, churn_delta: u64) -> Option<PassReason> {
         if frag_ratio(snap) > self.frag_ratio_ceiling {
             return Some(PassReason::Frag);
@@ -78,7 +96,20 @@ impl MaintPolicy {
         if churn_delta > self.churn_ceiling {
             return Some(PassReason::Churn);
         }
+        if let (Some(ratio), Some(budget)) = (self.spill_budget_ratio, snap.budget_bytes) {
+            if snap.footprint_bytes() as f64 > ratio * budget as f64 {
+                return Some(PassReason::Spill);
+            }
+        }
         None
+    }
+
+    /// Byte target a spill pass evicts toward: the spill watermark itself.
+    /// `None` when the rung is disabled or the snapshot has no budget.
+    pub fn spill_target_bytes(&self, snap: &CollectionSnapshot) -> Option<u64> {
+        let ratio = self.spill_budget_ratio?;
+        let budget = snap.budget_bytes?;
+        Some((ratio * budget as f64) as u64)
     }
 }
 
@@ -153,5 +184,33 @@ mod tests {
         assert_eq!(PassReason::Limbo.as_str(), "limbo");
         assert_eq!(PassReason::Churn.as_str(), "churn");
         assert_eq!(PassReason::Nudge.as_str(), "nudge");
+        assert_eq!(PassReason::Spill.as_str(), "spill");
+    }
+
+    #[test]
+    fn spill_rung_fires_only_when_budget_hot_and_frag_low() {
+        let rt = Runtime::new();
+        let ctx = context(&rt);
+        for i in 0..512u64 {
+            alloc(&ctx, i);
+        }
+        let mut snap = snapshot_of(&ctx);
+        let policy = MaintPolicy {
+            spill_budget_ratio: Some(0.5),
+            ..MaintPolicy::default()
+        };
+        // No budget on the context: the rung never fires.
+        assert_eq!(policy.due(&snap, 0), None);
+        assert_eq!(policy.spill_target_bytes(&snap), None);
+        // Budget well above footprint: still quiet.
+        snap.budget_bytes = Some(snap.footprint_bytes() * 4);
+        assert_eq!(policy.due(&snap, 0), None);
+        // Budget hot (footprint > 50% of budget) with low frag: spill.
+        snap.budget_bytes = Some(snap.footprint_bytes() + 1);
+        assert_eq!(policy.due(&snap, 0), Some(PassReason::Spill));
+        assert_eq!(
+            policy.spill_target_bytes(&snap),
+            Some(((snap.footprint_bytes() + 1) as f64 * 0.5) as u64)
+        );
     }
 }

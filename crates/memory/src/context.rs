@@ -37,19 +37,22 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::sync::{AtomicBool, AtomicU32, AtomicUsize, Mutex, RwLock};
+use crate::sync::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Mutex, RwLock};
 
 use crate::block::{BlockLayout, BlockRef};
 use crate::epoch::Guard;
 use crate::error::MemError;
 use crate::fault::FaultSite;
-use crate::incarnation::{IncWord, FLAG_FROZEN};
+use crate::incarnation::{IncWord, FLAG_FROZEN, FLAG_LOCK, FLAG_MASK};
 use crate::indirection::EntryRef;
 use crate::reloc::{
     cancel_relocation, try_move_object, MoveOutcome, RelocEntry, RelocStatus, RelocationList,
 };
 use crate::runtime::Runtime;
 use crate::slot::{self, SlotId, SlotState};
+use crate::spill::{
+    self, PageStore, SpillScanGuard, SpillState, SpillStub, SpilledPage, SPILL_TAG,
+};
 use crate::stats::MemoryStats;
 
 /// Tunables of a context.
@@ -271,6 +274,16 @@ pub struct MemoryContext {
     /// the in-flight pass checks it between relocations and winds down via
     /// the bail path. Cleared when the pass finishes.
     cancel_requested: AtomicBool,
+    /// Spill state ([`crate::spill`]): the page store, the spilled-page
+    /// list, and a weak self-handle for stubs. One mutex covers spill,
+    /// fault-in and spilled-page scans — the holder is the only possible
+    /// writer of a tagged entry payload.
+    spill: Mutex<SpillState>,
+    /// Blocks currently spilled to the page store (gauge).
+    spilled_blocks_gauge: AtomicU64,
+    /// Objects living in spilled pages (gauge); lets
+    /// [`live_objects`](Self::live_objects) answer without the spill mutex.
+    spilled_objects_gauge: AtomicU64,
 }
 
 impl MemoryContext {
@@ -337,6 +350,9 @@ impl MemoryContext {
             reclaim_queue: Mutex::new(VecDeque::new()),
             pending_retired: Mutex::new(Vec::new()),
             cancel_requested: AtomicBool::new(false),
+            spill: Mutex::new(SpillState::default()),
+            spilled_blocks_gauge: AtomicU64::new(0),
+            spilled_objects_gauge: AtomicU64::new(0),
         }
     }
 
@@ -406,6 +422,24 @@ impl MemoryContext {
         out.extend(m.blocks.iter().copied().map(Morsel::Block));
         out.extend(m.groups.iter().cloned().map(Morsel::Group));
         out
+    }
+
+    /// Like [`morsels`](Self::morsels), but first visits every spilled
+    /// record (same callback contract and atomicity as
+    /// [`scan_spilled_then_snapshot`](Self::scan_spilled_then_snapshot)):
+    /// the morsel list comes from the membership snapshot taken under the
+    /// spill mutex, so a page faulted in mid-scan is never seen both as a
+    /// page and as a block, or missed entirely. This is the primitive
+    /// parallel scans use to keep larger-than-memory contexts complete.
+    pub fn morsels_spilled_then_snapshot(
+        &self,
+        visit: &mut dyn FnMut(usize, *const u8),
+    ) -> Result<Vec<Morsel>, MemError> {
+        let m = self.scan_spilled_then_snapshot(visit)?;
+        let mut out = Vec::with_capacity(m.blocks.len() + m.groups.len());
+        out.extend(m.blocks.iter().copied().map(Morsel::Block));
+        out.extend(m.groups.iter().cloned().map(Morsel::Group));
+        Ok(out)
     }
 
     /// Number of blocks currently owned (regular + group sources + dests).
@@ -588,11 +622,14 @@ impl MemoryContext {
             }
         }
         // Per-context budget gate: reclaimable blocks recycled above do not
-        // grow the footprint, but a fresh block would. An over-budget
-        // context gets a clean error here — never a crash, and never a
-        // runtime-wide stall.
+        // grow the footprint, but a fresh block would. The spill rung runs
+        // first — evicting one cold block to the page store frees exactly
+        // the footprint the fresh block needs, turning budget pressure into
+        // a larger-than-memory context instead of an error. Contexts without
+        // a page store keep the PR 1 behavior: a clean error here — never a
+        // crash, and never a runtime-wide stall.
         if let Some(budget) = self.config.budget_bytes {
-            if (self.bytes() + crate::block::BLOCK_SIZE) as u64 > budget {
+            if (self.bytes() + crate::block::BLOCK_SIZE) as u64 > budget && !self.try_spill_one() {
                 MemoryStats::inc(&self.runtime.stats.context_budget_rejections);
                 return self.pop_reclaimable(tid).ok_or(MemError::OutOfMemory);
             }
@@ -611,7 +648,19 @@ impl MemoryContext {
             Err(e) => {
                 // The recovery ladder advanced epochs while the budget stayed
                 // exhausted — queued limbo blocks may have matured during the
-                // retries. One last sweep before surfacing the error.
+                // retries, and spilling a resident block may free runtime
+                // budget once its burial ripens. One last sweep before
+                // surfacing the error.
+                if self.try_spill_one() {
+                    if let Ok(block) =
+                        self.runtime
+                            .allocate_block(&self.layout, self.type_id, self.id)
+                    {
+                        self.adopt_thread_block(tid, block);
+                        self.membership.write().blocks.push(block);
+                        return Ok(block);
+                    }
+                }
                 self.pop_reclaimable(tid).ok_or(e)
             }
         }
@@ -677,15 +726,18 @@ impl MemoryContext {
     /// Frees the object behind `entry` if its entry incarnation still equals
     /// `expected_entry_inc`. Returns false when the object was already
     /// removed (remove is idempotent per reference, §2). Panics if the
-    /// calling thread cannot register with the epoch system; use
-    /// [`try_free`](Self::try_free) where that must be an error.
+    /// calling thread cannot register with the epoch system or the object
+    /// sits in a spilled page that cannot be faulted back in; use
+    /// [`try_free`](Self::try_free) where those must be errors.
     pub fn free(&self, entry: EntryRef, expected_entry_inc: u32) -> bool {
         self.try_free(entry, expected_entry_inc)
-            .expect("thread registry full")
+            .expect("thread registry full or spill fault failed")
     }
 
     /// Fallible [`free`](Self::free): `Err(MemError::TooManyThreads)` when
-    /// the calling thread cannot claim an epoch slot.
+    /// the calling thread cannot claim an epoch slot,
+    /// `Err(MemError::SpillFault)` when the object lives in a spilled page
+    /// that cannot be read back (the free does not happen — fail closed).
     pub fn try_free(&self, entry: EntryRef, expected_entry_inc: u32) -> Result<bool, MemError> {
         // Pin for the whole slot surgery: the moment our decrement below
         // empties the block, a concurrent pass may retire and bury it, and a
@@ -701,10 +753,25 @@ impl MemoryContext {
         // the counter, then dies with `MoveOutcome::Freed`. If a mover got
         // the lock first we spin here instead, and afterwards the payload
         // points at the object's *new* home, which is the one we free.
-        if entry.get().inc().lock(expected_entry_inc).is_none() {
-            return Ok(false);
-        }
-        let payload = entry.get().load_payload(Ordering::Acquire);
+        let payload = loop {
+            let Some(observed) = entry.get().inc().lock(expected_entry_inc) else {
+                return Ok(false);
+            };
+            let payload = entry.get().load_payload(Ordering::Acquire);
+            if !spill::is_spill_tagged(payload) {
+                break payload;
+            }
+            // The object lives in a spilled page. Bring the page home first
+            // — every record in a page is live, so this keeps the invariant
+            // that spilled pages never carry dead objects — then retry the
+            // lock: the fault-in repointed the entry at a resident slot.
+            entry
+                .get()
+                .inc()
+                .unlock_with_flags(observed & FLAG_MASK & !FLAG_LOCK);
+            let block_id = unsafe { (*((payload & !SPILL_TAG) as *const SpillStub)).block_id };
+            self.fault_in_block(block_id)?;
+        };
         debug_assert_ne!(payload, 0, "live entry without payload");
         let (block, slot_id) = unsafe { self.locate(payload) };
         // Invalidate direct pointers.
@@ -1186,7 +1253,7 @@ impl MemoryContext {
         out
     }
 
-    /// Live objects across all blocks.
+    /// Live objects across all blocks, resident and spilled.
     pub fn live_objects(&self) -> u64 {
         let m = self.membership_snapshot();
         let count = |b: &BlockRef| b.header().valid_count.load(Ordering::Relaxed) as u64;
@@ -1195,6 +1262,359 @@ impl MemoryContext {
                 .iter()
                 .map(|g| g.sources.iter().map(count).sum::<u64>() + count(&g.dest))
                 .sum::<u64>()
+            // The gauge, not the page list: `len()` must stay callable from
+            // inside a spilled-page scan callback, which holds the spill
+            // mutex.
+            + self.spilled_objects_gauge.load(Ordering::Relaxed)
+    }
+
+    // ------------------------------------------------------------------
+    // Spill and fault-in (persistence tier)
+    // ------------------------------------------------------------------
+
+    /// Attaches a page store, enabling the spill rung of the OOM ladder and
+    /// fault-in on dereference. Returns false for columnar contexts (their
+    /// entry payloads point into the incarnation column, whose cells the
+    /// relocation protocol reads unconditionally — spill tagging is a
+    /// row-store feature).
+    pub fn enable_spill(self: &Arc<Self>, store: Arc<dyn PageStore>) -> bool {
+        if self.mode != LayoutMode::Rows {
+            return false;
+        }
+        let mut s = self.spill.lock();
+        s.store = Some(store);
+        s.this = Arc::downgrade(self);
+        true
+    }
+
+    /// True once [`enable_spill`](Self::enable_spill) has attached a store.
+    pub fn spill_enabled(&self) -> bool {
+        self.spill.lock().store.is_some()
+    }
+
+    /// Blocks currently spilled to the page store.
+    pub fn spilled_blocks(&self) -> u64 {
+        self.spilled_blocks_gauge.load(Ordering::Relaxed)
+    }
+
+    /// Objects currently living in spilled pages.
+    pub fn spilled_objects(&self) -> u64 {
+        self.spilled_objects_gauge.load(Ordering::Relaxed)
+    }
+
+    /// Runs `f` over the spilled-page directory under the spill mutex.
+    /// Used by the validator and the persistence tier, which must observe
+    /// a page list that cannot race fault-in.
+    pub(crate) fn with_spill_pages<R>(&self, f: impl FnOnce(&[SpilledPage]) -> R) -> R {
+        let s = self.spill.lock();
+        f(&s.pages)
+    }
+
+    /// Evicts one cold resident block to the page store. Returns true when a
+    /// block was spilled; false when spill is disabled, no block qualifies,
+    /// the store failed (rolled back), or the caller is inside a
+    /// spilled-page scan (the mutex is already held above us).
+    pub fn try_spill_one(&self) -> bool {
+        if spill::in_spill_scan() {
+            return false;
+        }
+        let mut s = self.spill.lock();
+        if s.store.is_none() {
+            return false;
+        }
+        self.try_spill_one_locked(&mut s)
+    }
+
+    /// Spill body; requires the spill mutex. Victim selection mirrors
+    /// compaction's candidate selection (owner-free, not compacting, pulled
+    /// out of the reclamation queue), minus the occupancy ceiling — any
+    /// resident block with live objects is a candidate, coldest-first being
+    /// approximated by collection order.
+    fn try_spill_one_locked(&self, s: &mut SpillState) -> bool {
+        let store = s.store.as_ref().expect("spill store attached").clone();
+        let victim = {
+            let m = self.membership.read();
+            let mut q = self.reclaim_queue.lock();
+            let found = m.blocks.iter().find(|b| {
+                let h = b.header();
+                h.valid_count.load(Ordering::Relaxed) > 0
+                    && h.active_owner.load(Ordering::Acquire) == 0
+                    && h.compacting
+                        .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+            });
+            match found {
+                Some(b) => {
+                    let h = b.header();
+                    if h.in_reclaim_queue.load(Ordering::Acquire) == 1 {
+                        q.retain(|(qb, _)| qb != b);
+                        h.in_reclaim_queue.store(0, Ordering::Release);
+                    }
+                    *b
+                }
+                None => return false,
+            }
+        };
+        // Remove the victim from membership before touching entries: scans
+        // snapshot membership under this same spill mutex, so no enumeration
+        // can miss the block (it is either in their snapshot or in the page
+        // list, never neither, never both).
+        self.membership.write().blocks.retain(|b| *b != victim);
+        let header = victim.header();
+        let block_id = header.block_id;
+        let stub = Box::new(SpillStub {
+            ctx: s.this.clone(),
+            block_id,
+        });
+        let tag = Box::into_raw(stub) as usize | SPILL_TAG;
+        let obj_size = self.obj_size as usize;
+        let mut entries: Vec<(usize, SlotId)> = Vec::new();
+        let mut objs: Vec<u8> = Vec::new();
+        for slot_id in 0..header.capacity {
+            if victim.slot_word(slot_id).state() != SlotState::Valid {
+                continue;
+            }
+            let back = victim.back_ptr(slot_id).load(Ordering::Acquire);
+            if back == 0 {
+                continue;
+            }
+            let entry = unsafe { EntryRef::from_addr(back) };
+            let inc = entry.get().inc().incarnation();
+            let Some(observed) = entry.get().inc().lock(inc) else {
+                continue; // freed concurrently between state check and lock
+            };
+            if entry.get().load_payload(Ordering::Acquire) != self.payload_of(&victim, slot_id) {
+                // The entry moved on (freed and reused); not ours to spill.
+                entry
+                    .get()
+                    .inc()
+                    .unlock_with_flags(observed & FLAG_MASK & !FLAG_LOCK);
+                continue;
+            }
+            let src = self.payload_of(&victim, slot_id) as *const u8;
+            let at = objs.len();
+            objs.resize(at + obj_size, 0);
+            unsafe { std::ptr::copy_nonoverlapping(src, objs[at..].as_mut_ptr(), obj_size) };
+            // Retire direct pointers into the page — a spilled slot must not
+            // satisfy a §6 direct dereference against stale memory.
+            self.slot_inc(&victim, slot_id).bump_unlocked();
+            entry.get().store_payload(tag, Ordering::Release);
+            entry
+                .get()
+                .inc()
+                .unlock_with_flags(observed & FLAG_MASK & !FLAG_LOCK);
+            entries.push((back, slot_id));
+        }
+        if entries.is_empty() {
+            // Raced empty: undo and report no progress.
+            drop(unsafe { Box::from_raw((tag & !SPILL_TAG) as *mut SpillStub) });
+            self.membership.write().blocks.push(victim);
+            header.compacting.store(0, Ordering::Release);
+            self.maybe_enqueue_for_reclamation(victim);
+            return false;
+        }
+        let page = spill::encode_page(block_id, obj_size, &entries, &objs);
+        let ticket = match store.store_page(block_id, &page) {
+            Ok(t) => t,
+            Err(_) => {
+                // Store failed: restore every tagged entry. We still hold
+                // the spill mutex, so nothing else can have repointed them.
+                for &(back, slot_id) in &entries {
+                    let entry = unsafe { EntryRef::from_addr(back) };
+                    let inc = entry.get().inc().incarnation();
+                    if let Some(observed) = entry.get().inc().lock(inc) {
+                        if entry.get().load_payload(Ordering::Acquire) == tag {
+                            entry.get().store_payload(
+                                self.payload_of(&victim, slot_id),
+                                Ordering::Release,
+                            );
+                        }
+                        entry
+                            .get()
+                            .inc()
+                            .unlock_with_flags(observed & FLAG_MASK & !FLAG_LOCK);
+                    }
+                }
+                drop(unsafe { Box::from_raw((tag & !SPILL_TAG) as *mut SpillStub) });
+                self.membership.write().blocks.push(victim);
+                header.compacting.store(0, Ordering::Release);
+                self.maybe_enqueue_for_reclamation(victim);
+                MemoryStats::inc(&self.runtime.stats.spill_fault_failures);
+                return false;
+            }
+        };
+        self.spilled_blocks_gauge.fetch_add(1, Ordering::Relaxed);
+        self.spilled_objects_gauge
+            .fetch_add(entries.len() as u64, Ordering::Relaxed);
+        MemoryStats::inc(&self.runtime.stats.blocks_spilled);
+        s.pages.push(SpilledPage {
+            block_id,
+            ticket,
+            tag,
+            entries,
+        });
+        // The victim's slots stay Valid with intact data until burial ripens:
+        // a reader that loaded the resident payload just before our tag store
+        // reads the old copy safely for two more epochs. (In-place writes in
+        // that window are lost on fault-in — the same isolation caveat as a
+        // §5 relocation mid-copy; mutate through `try_update`-style replace,
+        // not in place, when spill is enabled.)
+        self.runtime
+            .bury_block(victim, self.runtime.global_epoch() + 2);
+        smc_obs::trace::emit(smc_obs::Event::BlockSpilled {
+            context: self.id,
+            block_id,
+        });
+        true
+    }
+
+    /// Brings the spilled page `block_id` back to residency. `Ok(true)` when
+    /// this call faulted the page in, `Ok(false)` when the page was not
+    /// spilled (typically: another thread won the race). Fails closed with
+    /// [`MemError::SpillFault`] on any store or integrity failure — the page
+    /// stays spilled and the heap intact — and when called from inside a
+    /// spilled-page scan callback (the scan already streams the data).
+    pub fn fault_in_block(&self, block_id: u64) -> Result<bool, MemError> {
+        if spill::in_spill_scan() {
+            return Err(MemError::SpillFault);
+        }
+        let start = Instant::now();
+        let mut s = self.spill.lock();
+        // Make room first if the budget is hot: faulting one page in while
+        // over budget should displace another page, not grow the footprint.
+        if let Some(budget) = self.config.budget_bytes {
+            if s.store.is_some() && (self.bytes() + crate::block::BLOCK_SIZE) as u64 > budget {
+                let _ = self.try_spill_one_locked(&mut s);
+            }
+        }
+        let Some(idx) = s.pages.iter().position(|p| p.block_id == block_id) else {
+            return Ok(false);
+        };
+        let store = s.store.as_ref().expect("page without store").clone();
+        let ticket = s.pages[idx].ticket;
+        let mut bytes = Vec::new();
+        if store.load_page(ticket, block_id, &mut bytes).is_err() {
+            MemoryStats::inc(&self.runtime.stats.spill_fault_failures);
+            return Err(MemError::SpillFault);
+        }
+        let records = match spill::decode_page(&bytes, block_id, self.obj_size as u64) {
+            Ok(r) => r,
+            Err(_) => {
+                MemoryStats::inc(&self.runtime.stats.spill_fault_failures);
+                return Err(MemError::SpillFault);
+            }
+        };
+        if records.len() != s.pages[idx].entries.len() {
+            MemoryStats::inc(&self.runtime.stats.spill_fault_failures);
+            return Err(MemError::SpillFault);
+        }
+        // Fresh block, new block id: fault-in is a relocation, not a revival.
+        // Allocation bypasses the runtime budget gate — the faulting thread
+        // may be pinned (dereference path) and so can never ripen its own
+        // victim's burial; see `Runtime::allocate_block_unbudgeted`.
+        let fresh = self
+            .runtime
+            .allocate_block_unbudgeted(&self.layout, self.type_id, self.id)?;
+        let page = s.pages.swap_remove(idx);
+        let obj_size = self.obj_size as usize;
+        let mut live: u32 = 0;
+        for (i, (entry_addr, obj)) in records.iter().enumerate() {
+            let slot_id = i as SlotId;
+            debug_assert_eq!(*entry_addr as usize, page.entries[i].0);
+            let entry = unsafe { EntryRef::from_addr(*entry_addr as usize) };
+            // Object bytes, back pointer and slot state land before the
+            // payload repoint publishes the slot to retrying readers.
+            unsafe {
+                std::ptr::copy_nonoverlapping(obj.as_ptr(), fresh.obj_ptr(slot_id), obj_size)
+            };
+            fresh
+                .back_ptr(slot_id)
+                .store(*entry_addr as usize, Ordering::Release);
+            fresh.slot_word(slot_id).set_valid();
+            if entry.get().load_payload(Ordering::Acquire) == page.tag {
+                entry
+                    .get()
+                    .store_payload(self.payload_of(&fresh, slot_id), Ordering::Release);
+                live += 1;
+            } else {
+                // Defensive: the entry no longer references this page (it
+                // should be impossible — frees fault in first). Unpublish.
+                fresh.slot_word(slot_id).reset();
+                fresh.back_ptr(slot_id).store(0, Ordering::Release);
+            }
+        }
+        fresh.header().valid_count.store(live, Ordering::Relaxed);
+        fresh
+            .header()
+            .alloc_cursor
+            .store(records.len() as SlotId, Ordering::Relaxed);
+        self.membership.write().blocks.push(fresh);
+        store.discard_page(page.ticket);
+        // The stub outlives the repoint by two epochs: a reader pinned now
+        // may still hold the tagged payload it loaded before us.
+        self.runtime
+            .bury_stub(page.tag & !SPILL_TAG, self.runtime.global_epoch() + 2);
+        self.spilled_blocks_gauge.fetch_sub(1, Ordering::Relaxed);
+        self.spilled_objects_gauge
+            .fetch_sub(page.entries.len() as u64, Ordering::Relaxed);
+        MemoryStats::inc(&self.runtime.stats.blocks_faulted_in);
+        let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.runtime.stats.spill_fault_ns.record(nanos);
+        smc_obs::trace::emit(smc_obs::Event::BlockFaulted {
+            context: self.id,
+            block_id,
+            nanos,
+        });
+        Ok(true)
+    }
+
+    /// Streams every spilled record through `visit` *without* promoting
+    /// pages to residency, then returns a membership snapshot taken under
+    /// the same spill mutex — the scan-without-thrashing primitive behind
+    /// `Smc::for_each`. A page and its resident reincarnation can never both
+    /// be visited: pages faulted in after this walk hold blocks that are not
+    /// in the returned snapshot, and blocks spilled after the snapshot keep
+    /// their (still live, epoch-protected) resident copies.
+    ///
+    /// `visit` receives `(entry_addr, object_ptr)` per record and runs with
+    /// the spill mutex held: it may free resident objects, allocate, and
+    /// call [`live_objects`](Self::live_objects), but freeing a *spilled*
+    /// object or nesting another spilled scan fails with
+    /// [`MemError::SpillFault`].
+    pub fn scan_spilled_then_snapshot(
+        &self,
+        visit: &mut dyn FnMut(usize, *const u8),
+    ) -> Result<Membership, MemError> {
+        if self.mode != LayoutMode::Rows || spill::in_spill_scan() {
+            return Ok(self.membership_snapshot());
+        }
+        let s = self.spill.lock();
+        if s.pages.is_empty() {
+            return Ok(self.membership_snapshot());
+        }
+        let store = s.store.as_ref().expect("pages without store").clone();
+        let _scan = SpillScanGuard::enter();
+        let mut bytes = Vec::new();
+        for page in &s.pages {
+            if store
+                .load_page(page.ticket, page.block_id, &mut bytes)
+                .is_err()
+            {
+                MemoryStats::inc(&self.runtime.stats.spill_fault_failures);
+                return Err(MemError::SpillFault);
+            }
+            let records = match spill::decode_page(&bytes, page.block_id, self.obj_size as u64) {
+                Ok(r) => r,
+                Err(_) => {
+                    MemoryStats::inc(&self.runtime.stats.spill_fault_failures);
+                    return Err(MemError::SpillFault);
+                }
+            };
+            for (entry_addr, obj) in records {
+                visit(entry_addr as usize, obj.as_ptr());
+            }
+        }
+        Ok(self.membership_snapshot())
     }
 }
 
@@ -1204,6 +1624,27 @@ impl Drop for MemoryContext {
         // null rather than into recycled blocks, then hand all blocks to the
         // runtime graveyard for epoch-safe burial.
         let free_at = self.runtime.global_epoch() + 2;
+        // Spilled pages first: retire their entries (stale refs upgrade the
+        // stub's weak context handle and get null), release the store pages,
+        // and bury the stubs like any other epoch-protected object.
+        let s = self.spill.get_mut();
+        let store = s.store.clone();
+        for page in s.pages.drain(..) {
+            for &(entry_addr, _) in &page.entries {
+                let entry = unsafe { EntryRef::from_addr(entry_addr) };
+                if entry.get().load_payload(Ordering::Acquire) == page.tag {
+                    entry.get().inc().bump_unlocked();
+                    self.runtime.indirection.release(entry, 0);
+                    MemoryStats::inc(&self.runtime.stats.objects_freed);
+                }
+            }
+            if let Some(store) = &store {
+                store.discard_page(page.ticket);
+            }
+            self.runtime.bury_stub(page.tag & !SPILL_TAG, free_at);
+        }
+        self.spilled_blocks_gauge.store(0, Ordering::Relaxed);
+        self.spilled_objects_gauge.store(0, Ordering::Relaxed);
         let m = self.membership.get_mut();
         let all_blocks = m
             .blocks
@@ -1612,5 +2053,213 @@ mod tests {
         assert_eq!(group.query_counter.load(Ordering::SeqCst), 0);
         assert!(group.relocation_started());
         unsafe { group.dest.deallocate() };
+    }
+
+    // ---- spill tier -----------------------------------------------------
+
+    fn spill_ctx(rt: &Arc<Runtime>) -> (Arc<MemoryContext>, Arc<crate::spill::MemoryPageStore>) {
+        let c = Arc::new(ctx(rt));
+        let store = Arc::new(crate::spill::MemoryPageStore::new());
+        assert!(c.enable_spill(store.clone()));
+        (c, store)
+    }
+
+    /// Fills exactly two blocks and spills the first (cold) one.
+    fn fill_two_blocks_and_spill(
+        rt: &Arc<Runtime>,
+        c: &Arc<MemoryContext>,
+    ) -> (Vec<Allocation>, Vec<Allocation>) {
+        let cap = c.layout().capacity as usize;
+        let first: Vec<_> = (0..cap).map(|i| alloc_u64(c, i as u64)).collect();
+        let second: Vec<_> = (cap..cap + 4).map(|i| alloc_u64(c, i as u64)).collect();
+        assert_eq!(c.block_count(), 2);
+        assert!(c.try_spill_one(), "a full cold block must be spillable");
+        assert_eq!(c.spilled_blocks(), 1);
+        assert_eq!(c.spilled_objects(), cap as u64);
+        assert_eq!(c.block_count(), 1, "the victim leaves membership");
+        let _ = rt;
+        (first, second)
+    }
+
+    #[test]
+    fn spill_then_free_faults_the_page_back_in() {
+        let rt = Runtime::new();
+        let (c, store) = spill_ctx(&rt);
+        let (first, _second) = fill_two_blocks_and_spill(&rt, &c);
+        assert_eq!(store.len(), 1);
+        // live_objects counts spilled objects; verify balances.
+        let cap = c.layout().capacity as u64;
+        assert_eq!(c.live_objects(), cap + 4);
+        let report = c.verify().unwrap();
+        assert_eq!(report.spilled_slots, cap);
+        assert_eq!(report.valid_slots + report.spilled_slots, cap + 4);
+        // Freeing a spilled object transparently faults its page in.
+        let victim = &first[3];
+        assert!(c.try_free(victim.entry, victim.entry_inc).unwrap());
+        assert_eq!(c.spilled_blocks(), 0);
+        assert_eq!(c.spilled_objects(), 0);
+        assert_eq!(store.len(), 0, "the page ticket is discarded");
+        assert_eq!(c.live_objects(), cap + 3);
+        assert_eq!(MemoryStats::get(&rt.stats.blocks_spilled), 1);
+        assert_eq!(MemoryStats::get(&rt.stats.blocks_faulted_in), 1);
+        // The faulted-in copies carry the original values.
+        for (i, a) in first.iter().enumerate() {
+            if i == 3 {
+                continue;
+            }
+            assert_eq!(
+                read_u64(a.entry),
+                i as u64,
+                "object {i} survives the round trip"
+            );
+        }
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn budget_pressure_spills_instead_of_rejecting() {
+        let rt = Runtime::new();
+        let config = ContextConfig {
+            // One resident block: growth must spill, not reject.
+            budget_bytes: Some(crate::block::BLOCK_SIZE as u64),
+            ..ContextConfig::default()
+        };
+        let c = Arc::new(ctx_with(&rt, config));
+        let store = Arc::new(crate::spill::MemoryPageStore::new());
+        assert!(c.enable_spill(store.clone()));
+        let cap = c.layout().capacity as usize;
+        // Allocate three blocks' worth under a one-block budget.
+        let allocs: Vec<_> = (0..cap * 3).map(|i| alloc_u64(&c, i as u64)).collect();
+        assert!(c.spilled_blocks() >= 2, "growth rode the spill rung");
+        assert_eq!(c.block_count(), 1, "resident footprint stays at budget");
+        assert_eq!(c.live_objects(), (cap * 3) as u64);
+        assert_eq!(MemoryStats::get(&rt.stats.context_budget_rejections), 0);
+        // Every object — resident or spilled — still reads back (reading a
+        // spilled one faults it in, which may spill another block in turn).
+        for (i, a) in allocs.iter().enumerate() {
+            let payload = loop {
+                let p = a.entry.get().load_payload(Ordering::Acquire);
+                if !spill::is_spill_tagged(p) {
+                    break p;
+                }
+                let block_id = unsafe { (*((p & !SPILL_TAG) as *const SpillStub)).block_id };
+                c.fault_in_block(block_id).unwrap();
+            };
+            assert_eq!(unsafe { (payload as *const u64).read() }, i as u64);
+        }
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn spill_store_failure_rolls_back_cleanly() {
+        let rt = Runtime::new();
+        let (c, store) = spill_ctx(&rt);
+        let cap = c.layout().capacity as usize;
+        let _allocs: Vec<_> = (0..cap + 4).map(|i| alloc_u64(&c, i as u64)).collect();
+        store.fail_next_store();
+        assert!(!c.try_spill_one(), "a failed store must report no spill");
+        assert_eq!(c.spilled_blocks(), 0);
+        assert_eq!(c.block_count(), 2, "the victim rejoins membership");
+        assert_eq!(MemoryStats::get(&rt.stats.spill_fault_failures), 1);
+        c.verify().unwrap();
+        // The store works again: the next attempt succeeds.
+        assert!(c.try_spill_one());
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn fault_in_load_failure_fails_closed() {
+        let rt = Runtime::new();
+        let (c, store) = spill_ctx(&rt);
+        let (first, _second) = fill_two_blocks_and_spill(&rt, &c);
+        store.set_fail_loads(true);
+        let victim = &first[0];
+        assert_eq!(
+            c.try_free(victim.entry, victim.entry_inc).unwrap_err(),
+            MemError::SpillFault,
+            "an unreadable page must fail closed, never panic"
+        );
+        // The page stays spilled; nothing was partially materialized.
+        assert_eq!(c.spilled_blocks(), 1);
+        c.verify().unwrap();
+        store.set_fail_loads(false);
+        assert!(c.try_free(victim.entry, victim.entry_inc).unwrap());
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn fault_in_corrupted_page_fails_closed() {
+        let rt = Runtime::new();
+        let (c, store) = spill_ctx(&rt);
+        let (first, _second) = fill_two_blocks_and_spill(&rt, &c);
+        store.corrupt_page(0);
+        let victim = &first[0];
+        assert_eq!(
+            c.try_free(victim.entry, victim.entry_inc).unwrap_err(),
+            MemError::SpillFault
+        );
+        assert!(MemoryStats::get(&rt.stats.spill_fault_failures) >= 1);
+        assert_eq!(c.spilled_blocks(), 1, "the corrupt page is not dropped");
+    }
+
+    #[test]
+    fn spilled_scan_visits_every_object_exactly_once() {
+        let rt = Runtime::new();
+        let (c, _store) = spill_ctx(&rt);
+        let (_first, _second) = fill_two_blocks_and_spill(&rt, &c);
+        let cap = c.layout().capacity as usize;
+        let mut seen = Vec::new();
+        let snapshot = c
+            .scan_spilled_then_snapshot(&mut |_entry_addr, obj| {
+                seen.push(unsafe { obj.cast::<u64>().read() });
+            })
+            .unwrap();
+        // The page walk yielded the spilled objects; the membership
+        // snapshot holds the resident remainder — no overlap.
+        assert_eq!(seen.len(), cap);
+        seen.sort_unstable();
+        let expect: Vec<u64> = (0..cap as u64).collect();
+        assert_eq!(seen, expect);
+        let resident: usize = snapshot
+            .blocks
+            .iter()
+            .map(|b| b.header().valid_count.load(Ordering::Relaxed) as usize)
+            .sum();
+        assert_eq!(resident, 4);
+    }
+
+    #[test]
+    fn context_drop_releases_spilled_entries() {
+        let rt = Runtime::new();
+        let store = Arc::new(crate::spill::MemoryPageStore::new());
+        {
+            let (c, _) = {
+                let c = Arc::new(ctx(&rt));
+                assert!(c.enable_spill(store.clone()));
+                (c, ())
+            };
+            let _kept = fill_two_blocks_and_spill(&rt, &c);
+        }
+        rt.drain_graveyard_blocking();
+        assert_eq!(store.len(), 0, "dropping the context discards its pages");
+        assert_eq!(rt.indirection.live_entries(), 0);
+        rt.verify().unwrap();
+    }
+
+    #[test]
+    fn spill_disabled_for_columnar_contexts() {
+        let rt = Runtime::new();
+        let c = Arc::new(
+            MemoryContext::new_columnar(
+                rt.clone(),
+                12,
+                type_id_of::<u64>(),
+                ContextConfig::default(),
+            )
+            .unwrap(),
+        );
+        let store = Arc::new(crate::spill::MemoryPageStore::new());
+        assert!(!c.enable_spill(store), "columnar layouts cannot spill");
+        assert!(!c.spill_enabled());
     }
 }

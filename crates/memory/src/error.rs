@@ -37,6 +37,11 @@ pub enum MemError {
     /// Thread registry is full: more concurrent threads touched the runtime
     /// than `epoch::MAX_THREADS`.
     TooManyThreads,
+    /// A spilled page could not be brought back to residency: the page store
+    /// failed the read, the page failed its checksum, or the operation was
+    /// attempted from inside a spill-page scan. The page stays spilled and
+    /// the heap stays intact — spill I/O always fails closed.
+    SpillFault,
 }
 
 impl fmt::Display for MemError {
@@ -51,6 +56,7 @@ impl fmt::Display for MemError {
             }
             MemError::OutOfMemory => f.write_str("out of memory allocating a block"),
             MemError::TooManyThreads => f.write_str("epoch thread registry is full"),
+            MemError::SpillFault => f.write_str("spilled page could not be faulted in"),
         }
     }
 }
@@ -75,6 +81,7 @@ mod tests {
             .to_string()
             .contains("10"));
         assert!(MemError::TooManyThreads.to_string().contains("registry"));
+        assert!(MemError::SpillFault.to_string().contains("spilled"));
     }
 
     #[test]

@@ -25,7 +25,7 @@ use smc_util::rng::splitmix64;
 use crate::stats::MemoryStats;
 
 /// Number of distinct failpoints.
-pub const NUM_SITES: usize = 6;
+pub const NUM_SITES: usize = 9;
 
 /// The failpoints wired into the memory manager.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -59,6 +59,18 @@ pub enum FaultSite {
     ///
     /// [`MemoryContext::compact`]: crate::context::MemoryContext::compact
     MaintPass,
+    /// Snapshot page write (`smc-persist`). Injection fails the page file
+    /// write mid-snapshot — the snapshot aborts, the previous published
+    /// generation stays intact, and the temporary files are removed.
+    SnapshotPage,
+    /// Snapshot manifest write (`smc-persist`). Injection fails the
+    /// `MANIFEST.tmp` write after all pages landed; the snapshot is not
+    /// published and recovery still sees the previous generation.
+    SnapshotManifest,
+    /// Snapshot manifest publish (`smc-persist`'s atomic rename). Injection
+    /// fails the rename — the last durable step — proving the commit point
+    /// is exactly the rename and nothing earlier.
+    SnapshotRename,
 }
 
 impl FaultSite {
@@ -70,6 +82,9 @@ impl FaultSite {
         FaultSite::Relocation,
         FaultSite::MaintPlan,
         FaultSite::MaintPass,
+        FaultSite::SnapshotPage,
+        FaultSite::SnapshotManifest,
+        FaultSite::SnapshotRename,
     ];
 
     /// Dense index of this site.
@@ -82,6 +97,9 @@ impl FaultSite {
             FaultSite::Relocation => 3,
             FaultSite::MaintPlan => 4,
             FaultSite::MaintPass => 5,
+            FaultSite::SnapshotPage => 6,
+            FaultSite::SnapshotManifest => 7,
+            FaultSite::SnapshotRename => 8,
         }
     }
 
@@ -95,6 +113,9 @@ impl FaultSite {
             0x9e37_79b9_0000_0004,
             0x9e37_79b9_0000_0005,
             0x9e37_79b9_0000_0006,
+            0x9e37_79b9_0000_0007,
+            0x9e37_79b9_0000_0008,
+            0x9e37_79b9_0000_0009,
         ][self.index()]
     }
 
@@ -107,6 +128,9 @@ impl FaultSite {
             FaultSite::Relocation => "relocation",
             FaultSite::MaintPlan => "maint-plan",
             FaultSite::MaintPass => "maint-pass",
+            FaultSite::SnapshotPage => "snapshot-page",
+            FaultSite::SnapshotManifest => "snapshot-manifest",
+            FaultSite::SnapshotRename => "snapshot-rename",
         }
     }
 }

@@ -129,6 +129,11 @@ pub struct CollectionSnapshot {
     /// ([`ContextConfig::budget_bytes`](crate::context::ContextConfig::budget_bytes)),
     /// `None` for unlimited — lets a tenants panel show used-vs-budget.
     pub budget_bytes: Option<u64>,
+    /// Blocks currently evicted to the page store (§ spill tier).
+    pub spilled_blocks: u64,
+    /// Live objects resident only in spilled pages — counted into
+    /// `live_objects()` but absent from `valid_slots` (no heap slot).
+    pub spilled_objects: u64,
 }
 
 impl CollectionSnapshot {
@@ -158,6 +163,8 @@ impl CollectionSnapshot {
             capacity_slots: 0,
             incarnation_churn: 0,
             budget_bytes: ctx.config().budget_bytes,
+            spilled_blocks: ctx.spilled_blocks(),
+            spilled_objects: ctx.spilled_objects(),
             blocks,
         };
         for b in &snap.blocks {
@@ -357,6 +364,8 @@ impl HeapSnapshot {
                     None => cj.set("budget_bytes", JsonValue::Null),
                 }
                 cj.set("budget_used_bytes", c.footprint_bytes());
+                cj.set("spilled_blocks", c.spilled_blocks);
+                cj.set("spilled_objects", c.spilled_objects);
                 cj.set("incarnation_churn", c.incarnation_churn);
                 let blocks = c
                     .blocks

@@ -72,6 +72,7 @@ pub mod mutation;
 pub mod reloc;
 pub mod runtime;
 pub mod slot;
+pub mod spill;
 pub mod stats;
 pub mod sync;
 pub mod tabular;
@@ -89,6 +90,7 @@ pub use inline_str::InlineStr;
 pub use inspect::{BlockSnapshot, CollectionSnapshot, HeapSnapshot, IndirectionLoad, Watermark};
 pub use runtime::Runtime;
 pub use slot::{SlotId, SlotState};
+pub use spill::{MemoryPageStore, PageStore, SpillIoError};
 pub use stats::MemoryStats;
 pub use tabular::Tabular;
 pub use verify::VerifyReport;

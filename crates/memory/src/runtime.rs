@@ -46,6 +46,11 @@ pub struct Runtime {
     /// Blocks whose contexts released them, awaiting the epoch at which no
     /// reader can still hold pointers into them.
     graveyard: Mutex<Vec<(BlockRef, u64)>>,
+    /// Spill stubs ([`crate::spill::SpillStub`]) whose pages faulted back in,
+    /// awaiting the epoch at which no pinned reader can still dereference
+    /// the tagged payload it loaded before the fault-in. Stored as raw
+    /// `Box::into_raw` addresses.
+    stub_graveyard: Mutex<Vec<(usize, u64)>>,
     next_context_id: AtomicU64,
 }
 
@@ -70,6 +75,7 @@ impl Runtime {
             budget_bytes: AtomicU64::new(budget_bytes.unwrap_or(u64::MAX)),
             compaction_mutex: Mutex::new(()),
             graveyard: Mutex::new(Vec::new()),
+            stub_graveyard: Mutex::new(Vec::new()),
             next_context_id: AtomicU64::new(1),
         })
     }
@@ -237,6 +243,34 @@ impl Runtime {
         self.graveyard.lock().push((block, free_at));
     }
 
+    /// Hands a spill stub (raw `Box<SpillStub>` address, tag bit stripped)
+    /// to the stub graveyard, to be freed once the global epoch reaches
+    /// `free_at` — after which no pinned reader can still hold the tagged
+    /// payload it came from.
+    pub(crate) fn bury_stub(&self, stub_addr: usize, free_at: u64) {
+        self.stub_graveyard.lock().push((stub_addr, free_at));
+    }
+
+    /// Allocates one block outside the budget gate and recovery ladder.
+    ///
+    /// Spill fault-in must allocate a destination block while the faulting
+    /// thread may itself be pinned (a dereference faults in mid-read); a
+    /// pinned thread can never ripen its own victim's burial epoch, so
+    /// routing through the ladder could deadlock against the budget. The
+    /// transient overshoot is at most one block per concurrent faulter and
+    /// settles as buried spill victims drain.
+    pub(crate) fn allocate_block_unbudgeted(
+        &self,
+        layout: &BlockLayout,
+        type_id: u64,
+        context_id: u64,
+    ) -> Result<BlockRef, MemError> {
+        let block = BlockRef::allocate(layout, type_id, context_id)?;
+        MemoryStats::inc(&self.stats.blocks_live);
+        MemoryStats::inc(&self.stats.blocks_allocated);
+        Ok(block)
+    }
+
     /// Opportunistically frees graveyard blocks whose epoch has passed.
     /// Called from allocation slow paths; also usable directly.
     pub fn drain_graveyard(&self) -> usize {
@@ -254,7 +288,20 @@ impl Runtime {
                 true
             }
         });
-        before - yard.len()
+        let freed = before - yard.len();
+        drop(yard);
+        // Ripe spill stubs ride the same epoch discipline but are not blocks:
+        // they do not count toward the returned total or the block gauges.
+        let mut stubs = self.stub_graveyard.lock();
+        stubs.retain(|(addr, free_at)| {
+            if *free_at <= now {
+                drop(unsafe { Box::from_raw(*addr as *mut crate::spill::SpillStub) });
+                false
+            } else {
+                true
+            }
+        });
+        freed
     }
 
     /// Number of blocks awaiting burial.
@@ -282,6 +329,11 @@ impl Drop for Runtime {
         let mut yard = self.graveyard.lock();
         for (block, _) in yard.drain(..) {
             unsafe { block.deallocate() };
+        }
+        drop(yard);
+        let mut stubs = self.stub_graveyard.lock();
+        for (addr, _) in stubs.drain(..) {
+            drop(unsafe { Box::from_raw(addr as *mut crate::spill::SpillStub) });
         }
     }
 }

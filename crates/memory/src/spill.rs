@@ -1,0 +1,491 @@
+//! Block spill and fault-in — the residency layer of the persistence tier.
+//!
+//! A context with a byte budget smaller than its dataset can *spill* cold
+//! blocks to a [`PageStore`] (a heapfile, see `smc-persist`) and *fault*
+//! them back in on first touch. Spilling is a new rung on the PR 1 OOM
+//! ladder: when the per-context budget gate would reject a fresh block, the
+//! allocator first tries to evict one resident block to the store, which
+//! frees exactly the footprint the fresh block needs.
+//!
+//! ## How a spilled object stays reachable
+//!
+//! The indirection table is the paper's one level of indirection (§3.2), and
+//! spill rides it. Row payloads are always 4-byte aligned (`BlockLayout`
+//! guarantees stride and object offset are multiples of 4), so bit 0 of an
+//! entry payload is free. A spilled object's entry keeps its incarnation —
+//! references stay valid — but its payload becomes a *tagged stub pointer*:
+//! `Box<SpillStub> | SPILL_TAG`. Dereference ([`Ref::resolve`] in
+//! `smc-core`) sees the tag, calls [`fault_in_tagged`], and retries; free
+//! ([`MemoryContext::try_free`]) does the same. The stub carries a weak
+//! context handle plus the spilled block id, which is all a bare entry
+//! payload needs to find its way home.
+//!
+//! Fault-in loads the page, verifies its checksum (failing **closed** with
+//! [`crate::error::MemError::SpillFault`] on any corruption — a torn page never becomes a
+//! partial heap), copies every record into a *fresh* block and repoints the
+//! entries. Stubs are freed through an epoch graveyard: a reader pinned at
+//! epoch `e` may still dereference a stub it loaded before the fault-in, so
+//! the box is buried until `e + 2`, exactly like a block.
+//!
+//! ## Scans
+//!
+//! Enumerations must not thrash: a scan over a larger-than-budget dataset
+//! would otherwise fault every page back in and spill another to make room.
+//! `Smc::for_each` therefore walks spilled pages *first*, streaming records
+//! out of a transient read buffer without promoting them to residency, and
+//! takes its membership snapshot under the same spill mutex — a page and its
+//! resident reincarnation can never both be visited.
+//!
+//! [`Ref::resolve`]: https://docs.rs/smc
+//! [`MemoryContext::try_free`]: crate::context::MemoryContext::try_free
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::{Arc, Weak};
+
+use crate::context::MemoryContext;
+use crate::slot::SlotId;
+
+/// Bit 0 of an indirection-entry payload marks a spilled object. Row object
+/// pointers are always 4-byte aligned (see `BlockLayout::rows`), so the bit
+/// is never set on a resident payload.
+pub const SPILL_TAG: usize = 1;
+
+/// True when an entry payload is a tagged `SpillStub` pointer rather than
+/// a resident object address.
+#[inline]
+pub fn is_spill_tagged(payload: usize) -> bool {
+    payload & SPILL_TAG != 0
+}
+
+/// An I/O failure reported by a [`PageStore`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpillIoError(pub String);
+
+impl fmt::Display for SpillIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page store error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpillIoError {}
+
+/// Backing storage for spilled pages — implemented by `smc-persist`'s
+/// heapfile (`SpillFile`) and by [`MemoryPageStore`] for tests.
+///
+/// A *page* is an opaque byte string (the encoded record set of one block).
+/// `store_page` returns a ticket the context presents to `load_page` and
+/// `discard_page`; stores may recycle ticket slots after a discard.
+pub trait PageStore: Send + Sync + fmt::Debug {
+    /// Persists one page and returns its ticket. Must not return until the
+    /// bytes are durably readable back — the context declares the block
+    /// spilled (and frees its memory) only after this succeeds.
+    fn store_page(&self, block_id: u64, bytes: &[u8]) -> Result<u64, SpillIoError>;
+
+    /// Reads the page behind `ticket` into `out` (replacing its contents).
+    fn load_page(&self, ticket: u64, block_id: u64, out: &mut Vec<u8>) -> Result<(), SpillIoError>;
+
+    /// Releases the page behind `ticket`; the ticket may be reused.
+    fn discard_page(&self, ticket: u64);
+}
+
+/// In-memory [`PageStore`] for tests and benchmarks: pages live in a vector
+/// of byte strings, tickets are indices with free-slot recycling.
+#[derive(Debug, Default)]
+pub struct MemoryPageStore {
+    inner: std::sync::Mutex<MemoryPages>,
+    /// When true, the next `store_page` fails (exercises rollback paths).
+    fail_next_store: std::sync::atomic::AtomicBool,
+    /// When true, every `load_page` fails (exercises fail-closed paths).
+    fail_loads: std::sync::atomic::AtomicBool,
+}
+
+#[derive(Debug, Default)]
+struct MemoryPages {
+    pages: Vec<Option<(u64, Vec<u8>)>>,
+    free: Vec<usize>,
+}
+
+impl MemoryPageStore {
+    /// An empty store.
+    pub fn new() -> MemoryPageStore {
+        MemoryPageStore::default()
+    }
+
+    /// Number of pages currently stored.
+    pub fn len(&self) -> usize {
+        let inner = self.inner.lock().unwrap();
+        inner.pages.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// True when no pages are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Makes the next `store_page` call fail (then auto-rearms to success).
+    pub fn fail_next_store(&self) {
+        self.fail_next_store
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Makes every `load_page` call fail until called with `false`.
+    pub fn set_fail_loads(&self, fail: bool) {
+        self.fail_loads
+            .store(fail, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Flips one byte of the stored page behind `ticket` (torn-write test
+    /// helper); returns false if the ticket holds no page.
+    pub fn corrupt_page(&self, ticket: u64) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        match inner
+            .pages
+            .get_mut(ticket as usize)
+            .and_then(|p| p.as_mut())
+        {
+            Some((_, bytes)) if !bytes.is_empty() => {
+                let mid = bytes.len() / 2;
+                bytes[mid] ^= 0xff;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+impl PageStore for MemoryPageStore {
+    fn store_page(&self, block_id: u64, bytes: &[u8]) -> Result<u64, SpillIoError> {
+        if self
+            .fail_next_store
+            .swap(false, std::sync::atomic::Ordering::Relaxed)
+        {
+            return Err(SpillIoError("injected store failure".into()));
+        }
+        let mut inner = self.inner.lock().unwrap();
+        let page = Some((block_id, bytes.to_vec()));
+        match inner.free.pop() {
+            Some(i) => {
+                inner.pages[i] = page;
+                Ok(i as u64)
+            }
+            None => {
+                inner.pages.push(page);
+                Ok(inner.pages.len() as u64 - 1)
+            }
+        }
+    }
+
+    fn load_page(&self, ticket: u64, block_id: u64, out: &mut Vec<u8>) -> Result<(), SpillIoError> {
+        if self.fail_loads.load(std::sync::atomic::Ordering::Relaxed) {
+            return Err(SpillIoError("injected load failure".into()));
+        }
+        let inner = self.inner.lock().unwrap();
+        match inner.pages.get(ticket as usize).and_then(|p| p.as_ref()) {
+            Some((id, bytes)) if *id == block_id => {
+                out.clear();
+                out.extend_from_slice(bytes);
+                Ok(())
+            }
+            Some(_) => Err(SpillIoError(format!(
+                "ticket {ticket} holds a different block"
+            ))),
+            None => Err(SpillIoError(format!("no page behind ticket {ticket}"))),
+        }
+    }
+
+    fn discard_page(&self, ticket: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(p) = inner.pages.get_mut(ticket as usize) {
+            if p.take().is_some() {
+                inner.free.push(ticket as usize);
+            }
+        }
+    }
+}
+
+/// What a tagged entry payload points at: enough to route a bare
+/// dereference back to its context and spilled block. One stub is shared by
+/// every entry of a spilled page; it is freed through the runtime's stub
+/// graveyard two epochs after the page faults back in.
+#[derive(Debug)]
+pub(crate) struct SpillStub {
+    /// The owning context (weak: a stub must not keep a dropped collection
+    /// alive; upgrade failure renders the reference null).
+    pub(crate) ctx: Weak<MemoryContext>,
+    /// The spilled block's id, key into the context's page list.
+    pub(crate) block_id: u64,
+}
+
+/// Bookkeeping for one spilled block.
+#[derive(Debug)]
+pub(crate) struct SpilledPage {
+    /// Id of the (now buried) source block.
+    pub(crate) block_id: u64,
+    /// The store's handle for the page bytes.
+    pub(crate) ticket: u64,
+    /// The tagged stub pointer installed in every member entry's payload.
+    pub(crate) tag: usize,
+    /// `(entry_addr, source_slot)` per record, in page order.
+    pub(crate) entries: Vec<(usize, SlotId)>,
+}
+
+/// Per-context spill state, behind one mutex: the store handle, a weak
+/// self-reference (stubs need `Weak<MemoryContext>`), and the page list.
+#[derive(Debug, Default)]
+pub(crate) struct SpillState {
+    pub(crate) store: Option<Arc<dyn PageStore>>,
+    pub(crate) this: Weak<MemoryContext>,
+    pub(crate) pages: Vec<SpilledPage>,
+}
+
+// ---------------------------------------------------------------------
+// Page codec
+// ---------------------------------------------------------------------
+
+/// Magic prefix of an encoded spill page ("SMCPAGE1").
+const PAGE_MAGIC: u64 = 0x534d_4350_4147_4531;
+
+/// FNV-1a 64-bit hash — the checksum of spill pages and snapshot pages
+/// (`smc-persist` reuses it so both tiers share one integrity primitive).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Errors from [`decode_page`]. Internal: the fault path maps every variant
+/// to [`MemError::SpillFault`](crate::error::MemError::SpillFault).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PageError {
+    Truncated,
+    BadMagic,
+    BadBlockId,
+    BadObjSize,
+    Checksum,
+}
+
+/// Encodes one page: header, `n` records of `entry_addr || obj bytes`, and
+/// a trailing FNV-1a checksum over everything before it.
+pub(crate) fn encode_page(
+    block_id: u64,
+    obj_size: usize,
+    entry_addrs: &[(usize, SlotId)],
+    objs: &[u8],
+) -> Vec<u8> {
+    debug_assert_eq!(objs.len(), entry_addrs.len() * obj_size);
+    let mut out = Vec::with_capacity(32 + entry_addrs.len() * (8 + obj_size) + 8);
+    out.extend_from_slice(&PAGE_MAGIC.to_le_bytes());
+    out.extend_from_slice(&block_id.to_le_bytes());
+    out.extend_from_slice(&(obj_size as u64).to_le_bytes());
+    out.extend_from_slice(&(entry_addrs.len() as u64).to_le_bytes());
+    for (i, &(addr, _slot)) in entry_addrs.iter().enumerate() {
+        out.extend_from_slice(&(addr as u64).to_le_bytes());
+        out.extend_from_slice(&objs[i * obj_size..(i + 1) * obj_size]);
+    }
+    let sum = fnv1a64(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+fn read_u64(bytes: &[u8], off: usize) -> Option<u64> {
+    bytes
+        .get(off..off + 8)
+        .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+}
+
+/// Decodes and verifies one page, returning `(entry_addr, obj_bytes)` per
+/// record. Any truncation or corruption is an error — never a partial page.
+pub(crate) fn decode_page(
+    bytes: &[u8],
+    expect_block_id: u64,
+    expect_obj_size: u64,
+) -> Result<Vec<(u64, &[u8])>, PageError> {
+    if bytes.len() < 40 {
+        return Err(PageError::Truncated);
+    }
+    let body_len = bytes.len() - 8;
+    let sum = read_u64(bytes, body_len).ok_or(PageError::Truncated)?;
+    if fnv1a64(&bytes[..body_len]) != sum {
+        return Err(PageError::Checksum);
+    }
+    if read_u64(bytes, 0) != Some(PAGE_MAGIC) {
+        return Err(PageError::BadMagic);
+    }
+    if read_u64(bytes, 8) != Some(expect_block_id) {
+        return Err(PageError::BadBlockId);
+    }
+    if read_u64(bytes, 16) != Some(expect_obj_size) {
+        return Err(PageError::BadObjSize);
+    }
+    let n = read_u64(bytes, 24).ok_or(PageError::Truncated)? as usize;
+    let obj_size = expect_obj_size as usize;
+    let rec = 8 + obj_size;
+    if body_len != 32 + n * rec {
+        return Err(PageError::Truncated);
+    }
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let off = 32 + i * rec;
+        let addr = read_u64(bytes, off).ok_or(PageError::Truncated)?;
+        out.push((addr, &bytes[off + 8..off + rec]));
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Scan re-entrancy guard
+// ---------------------------------------------------------------------
+
+thread_local! {
+    /// Depth of spill-page walks on this thread. While non-zero, the thread
+    /// holds the spill mutex of some context: fault-in and spill must not be
+    /// attempted (self-deadlock), and nested scans fall back to
+    /// resident-only enumeration.
+    static IN_SPILL_SCAN: Cell<u32> = const { Cell::new(0) };
+}
+
+/// True while this thread is inside a spill-page walk (and therefore holds
+/// a spill mutex).
+pub(crate) fn in_spill_scan() -> bool {
+    IN_SPILL_SCAN.with(|c| c.get() > 0)
+}
+
+/// RAII marker for a spill-page walk.
+pub(crate) struct SpillScanGuard;
+
+impl SpillScanGuard {
+    pub(crate) fn enter() -> SpillScanGuard {
+        IN_SPILL_SCAN.with(|c| c.set(c.get() + 1));
+        SpillScanGuard
+    }
+}
+
+impl Drop for SpillScanGuard {
+    fn drop(&mut self) {
+        IN_SPILL_SCAN.with(|c| c.set(c.get() - 1));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dereference hook
+// ---------------------------------------------------------------------
+
+/// Faults in the block behind a tagged entry payload. Called by `smc-core`'s
+/// `Ref::resolve` when it observes [`SPILL_TAG`]; returns true when the
+/// caller should re-read the entry payload (the object may now be resident),
+/// false when the reference is dead or the page is unreadable (fail closed).
+///
+/// # Safety contract (checked by construction, not by this signature)
+///
+/// `payload` must have been loaded from an indirection entry *while the
+/// calling thread holds an epoch guard*: stubs are freed through the epoch
+/// graveyard, so a pinned reader's stub pointer stays dereferenceable.
+pub fn fault_in_tagged(payload: usize) -> bool {
+    debug_assert!(is_spill_tagged(payload));
+    let stub = unsafe { &*((payload & !SPILL_TAG) as *const SpillStub) };
+    let Some(ctx) = stub.ctx.upgrade() else {
+        return false; // collection dropped: the reference is null
+    };
+    ctx.fault_in_block(stub.block_id).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn page_roundtrip() {
+        let objs: Vec<u8> = (0..32u8).collect();
+        let entries = vec![(0x1000usize, 0u32), (0x2000, 1), (0x3000, 7), (0x4000, 9)];
+        let page = encode_page(42, 8, &entries, &objs);
+        let records = decode_page(&page, 42, 8).unwrap();
+        assert_eq!(records.len(), 4);
+        assert_eq!(records[0].0, 0x1000);
+        assert_eq!(records[2].0, 0x3000);
+        assert_eq!(records[3].1, &objs[24..32]);
+    }
+
+    #[test]
+    fn page_decode_fails_closed() {
+        let objs = vec![7u8; 16];
+        let entries = vec![(0x10usize, 0u32), (0x20, 1)];
+        let good = encode_page(5, 8, &entries, &objs);
+        // Truncation at every prefix length must error, never panic.
+        for cut in 0..good.len() {
+            assert!(decode_page(&good[..cut], 5, 8).is_err(), "cut at {cut}");
+        }
+        // Single-byte corruption anywhere must be caught by the checksum
+        // (or by a failed field check — either way, an error).
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x01;
+            assert!(decode_page(&bad, 5, 8).is_err(), "corrupt byte {i}");
+        }
+        // Mismatched expectations are named errors.
+        assert_eq!(decode_page(&good, 6, 8), Err(PageError::BadBlockId));
+        assert_eq!(decode_page(&good, 5, 16), Err(PageError::BadObjSize));
+        assert!(decode_page(&good, 5, 8).is_ok());
+    }
+
+    #[test]
+    fn memory_store_roundtrip_and_recycling() {
+        let store = MemoryPageStore::new();
+        let t1 = store.store_page(1, b"page-one").unwrap();
+        let t2 = store.store_page(2, b"page-two").unwrap();
+        assert_ne!(t1, t2);
+        assert_eq!(store.len(), 2);
+        let mut buf = Vec::new();
+        store.load_page(t1, 1, &mut buf).unwrap();
+        assert_eq!(buf, b"page-one");
+        // Wrong block id for a ticket is an error.
+        assert!(store.load_page(t1, 9, &mut buf).is_err());
+        store.discard_page(t1);
+        assert!(store.load_page(t1, 1, &mut buf).is_err());
+        // Ticket slot is recycled.
+        let t3 = store.store_page(3, b"three").unwrap();
+        assert_eq!(t3, t1);
+        store.discard_page(t2);
+        store.discard_page(t3);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn memory_store_failure_switches() {
+        let store = MemoryPageStore::new();
+        store.fail_next_store();
+        assert!(store.store_page(1, b"x").is_err());
+        let t = store.store_page(1, b"x").unwrap(); // rearmed
+        let mut buf = Vec::new();
+        store.set_fail_loads(true);
+        assert!(store.load_page(t, 1, &mut buf).is_err());
+        store.set_fail_loads(false);
+        store.load_page(t, 1, &mut buf).unwrap();
+    }
+
+    #[test]
+    fn spill_scan_guard_nests() {
+        assert!(!in_spill_scan());
+        {
+            let _g = SpillScanGuard::enter();
+            assert!(in_spill_scan());
+            {
+                let _g2 = SpillScanGuard::enter();
+                assert!(in_spill_scan());
+            }
+            assert!(in_spill_scan());
+        }
+        assert!(!in_spill_scan());
+    }
+}

@@ -66,6 +66,14 @@ pub struct MemoryStats {
     /// Morsels (blocks or compaction groups) claimed from a parallel scan's
     /// work-stealing cursor.
     pub morsels_dispatched: AtomicU64,
+    /// Blocks evicted to a page store under budget pressure (the spill rung
+    /// of the OOM ladder; see [`crate::spill`]).
+    pub blocks_spilled: AtomicU64,
+    /// Spilled pages brought back to residency on dereference or free.
+    pub blocks_faulted_in: AtomicU64,
+    /// Fault-in attempts that failed closed (page-store read error or
+    /// checksum mismatch; the page stayed spilled).
+    pub spill_fault_failures: AtomicU64,
     /// Wall time of whole compaction passes, in nanoseconds (select through
     /// publish). Report via [`Histogram::summary`] (p50/p95/p99).
     pub compaction_pass_ns: Histogram,
@@ -73,6 +81,9 @@ pub struct MemoryStats {
     /// window during which readers may hit relocated slots and must follow
     /// forwarding state (§5.1). This is the SMC analogue of a GC pause.
     pub compaction_pause_ns: Histogram,
+    /// Wall time of successful spill fault-ins, in nanoseconds (page-store
+    /// read through entry repoint) — the cold-access latency tax.
+    pub spill_fault_ns: Histogram,
 }
 
 impl MemoryStats {
@@ -134,6 +145,9 @@ impl MemoryStats {
             pins_taken: Self::get(&self.pins_taken),
             blocks_scanned: Self::get(&self.blocks_scanned),
             morsels_dispatched: Self::get(&self.morsels_dispatched),
+            blocks_spilled: Self::get(&self.blocks_spilled),
+            blocks_faulted_in: Self::get(&self.blocks_faulted_in),
+            spill_fault_failures: Self::get(&self.spill_fault_failures),
         }
     }
 }
@@ -186,6 +200,12 @@ pub struct StatsSnapshot {
     pub blocks_scanned: u64,
     /// Morsels claimed from a parallel scan's work-stealing cursor.
     pub morsels_dispatched: u64,
+    /// Blocks evicted to a page store under budget pressure.
+    pub blocks_spilled: u64,
+    /// Spilled pages brought back to residency.
+    pub blocks_faulted_in: u64,
+    /// Fault-in attempts that failed closed.
+    pub spill_fault_failures: u64,
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -224,7 +244,10 @@ impl std::fmt::Display for StatsSnapshot {
         )?;
         writeln!(f, "pins_taken={}", self.pins_taken)?;
         writeln!(f, "blocks_scanned={}", self.blocks_scanned)?;
-        write!(f, "morsels_dispatched={}", self.morsels_dispatched)
+        writeln!(f, "morsels_dispatched={}", self.morsels_dispatched)?;
+        writeln!(f, "blocks_spilled={}", self.blocks_spilled)?;
+        writeln!(f, "blocks_faulted_in={}", self.blocks_faulted_in)?;
+        write!(f, "spill_fault_failures={}", self.spill_fault_failures)
     }
 }
 
@@ -279,7 +302,9 @@ mod tests {
         assert!(dump.contains("blocks_scanned=0"));
         assert!(dump.contains("morsels_dispatched=2"));
         assert!(dump.contains("context_budget_rejections=0"));
+        assert!(dump.contains("blocks_spilled=0"));
+        assert!(dump.contains("spill_fault_failures=0"));
         // One key=value pair per snapshot field.
-        assert_eq!(dump.lines().count(), 22);
+        assert_eq!(dump.lines().count(), 25);
     }
 }

@@ -35,6 +35,8 @@ pub struct VerifyReport {
     pub valid_slots: u64,
     /// Limbo (freed, unreclaimed) slots found.
     pub limbo_slots: u64,
+    /// Live objects resident only in spilled pages (no heap slot).
+    pub spilled_slots: u64,
     /// In-flight compaction groups encountered (0 when quiescent).
     pub groups: usize,
 }
@@ -91,7 +93,54 @@ impl MemoryContext {
         for block in m.blocks.iter().copied().chain(group_blocks) {
             self.verify_block(block, &mut v, &mut report);
         }
+        self.verify_spilled(&mut v, &mut report);
         v.into_result(report)
+    }
+
+    /// Accounts objects that live only in spilled pages. Every entry a
+    /// spilled page claims must still carry that page's spill-stub tag
+    /// (fault-in untags and removes the page atomically under the spill
+    /// mutex, so a mismatch means a lost or double-resident object) and
+    /// must not be left `LOCK`ed.
+    fn verify_spilled(&self, v: &mut Violations, report: &mut VerifyReport) {
+        let (pages, counted) = self.with_spill_pages(|pages| {
+            let mut counted = 0u64;
+            for page in pages {
+                for &(back, slot) in &page.entries {
+                    counted += 1;
+                    let id = page.block_id;
+                    let entry = unsafe { EntryRef::from_addr(back) };
+                    let payload = entry.get().load_payload(Ordering::Acquire);
+                    if payload != page.tag {
+                        v.push(format!(
+                            "spilled block {id} slot {slot}: entry payload {payload:#x} \
+                             != spill stub {:#x}",
+                            page.tag
+                        ));
+                    }
+                    let word = entry.get().inc().load(Ordering::Acquire);
+                    if word & FLAG_LOCK != 0 {
+                        v.push(format!(
+                            "spilled block {id} slot {slot}: entry incarnation left LOCKed"
+                        ));
+                    }
+                }
+            }
+            (pages.len(), counted)
+        });
+        report.spilled_slots = counted;
+        let gauge_blocks = self.spilled_blocks();
+        if gauge_blocks != pages as u64 {
+            v.push(format!(
+                "spilled-blocks gauge {gauge_blocks} != spill page count {pages}"
+            ));
+        }
+        let gauge_objects = self.spilled_objects();
+        if gauge_objects != counted {
+            v.push(format!(
+                "spilled-objects gauge {gauge_objects} != recounted {counted}"
+            ));
+        }
     }
 
     fn verify_block(&self, block: BlockRef, v: &mut Violations, report: &mut VerifyReport) {

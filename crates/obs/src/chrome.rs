@@ -358,6 +358,40 @@ fn instant_args(e: &Event) -> Vec<(String, JsonValue)> {
         Event::MorselDispatch { worker, morsel } => {
             vec![kv("worker", worker), kv("morsel", morsel)]
         }
+        Event::BlockSpilled { context, block_id } => {
+            vec![kv("context", context), kv("block_id", block_id)]
+        }
+        Event::BlockFaulted {
+            context,
+            block_id,
+            nanos,
+        } => vec![
+            kv("context", context),
+            kv("block_id", block_id),
+            kv("nanos", nanos),
+        ],
+        Event::SnapshotWritten {
+            context,
+            pages,
+            bytes,
+            nanos,
+        } => vec![
+            kv("context", context),
+            kv("pages", pages),
+            kv("bytes", bytes),
+            kv("nanos", nanos),
+        ],
+        Event::RecoveryLoaded {
+            context,
+            pages,
+            objects,
+            nanos,
+        } => vec![
+            kv("context", context),
+            kv("pages", pages),
+            kv("objects", objects),
+            kv("nanos", nanos),
+        ],
         _ => Vec::new(),
     }
 }

@@ -254,6 +254,45 @@ pub enum Event {
         /// Observed foreground p99 scan latency in nanoseconds.
         p99_ns: u64,
     },
+    /// A block was evicted to the page store (the spill rung of the OOM
+    /// ladder; persistence tier).
+    BlockSpilled {
+        /// Memory-context id that spilled the block.
+        context: u64,
+        /// Id of the spilled block.
+        block_id: u64,
+    },
+    /// A spilled page was brought back to residency (into a fresh block).
+    BlockFaulted {
+        /// Memory-context id that faulted the page in.
+        context: u64,
+        /// Id of the originally-spilled block.
+        block_id: u64,
+        /// Fault-in duration in nanoseconds (store read through repoint).
+        nanos: u64,
+    },
+    /// A crash-consistent snapshot generation was published (`smc-persist`).
+    SnapshotWritten {
+        /// Memory-context id that was snapshotted.
+        context: u64,
+        /// Pages written to the generation's page file.
+        pages: u64,
+        /// Total bytes written (pages plus manifest).
+        bytes: u64,
+        /// Snapshot duration in nanoseconds (walk through rename).
+        nanos: u64,
+    },
+    /// A context was rebuilt from a snapshot directory (`smc-persist`).
+    RecoveryLoaded {
+        /// Memory-context id of the rebuilt context.
+        context: u64,
+        /// Pages read and verified.
+        pages: u64,
+        /// Objects re-inserted.
+        objects: u64,
+        /// Recovery duration in nanoseconds (read through verify).
+        nanos: u64,
+    },
 }
 
 const K_GC_BEGIN: u64 = 1;
@@ -273,6 +312,10 @@ const K_MAINT_START: u64 = 14;
 const K_MAINT_END: u64 = 15;
 const K_MAINT_DEFER: u64 = 16;
 const K_MAINT_SLO: u64 = 17;
+const K_SPILL: u64 = 18;
+const K_FAULT_IN: u64 = 19;
+const K_SNAP_WRITE: u64 = 20;
+const K_RECOVER: u64 = 21;
 
 impl Event {
     /// Short kind name, stable for log processing.
@@ -295,6 +338,10 @@ impl Event {
             Event::MaintPassEnd { .. } => "maint-pass-end",
             Event::MaintDeferred { .. } => "maint-deferred",
             Event::MaintSloState { .. } => "maint-slo-state",
+            Event::BlockSpilled { .. } => "block-spilled",
+            Event::BlockFaulted { .. } => "block-faulted",
+            Event::SnapshotWritten { .. } => "snapshot-written",
+            Event::RecoveryLoaded { .. } => "recovery-loaded",
         }
     }
 
@@ -364,6 +411,24 @@ impl Event {
             Event::MaintSloState { breached, p99_ns } => {
                 (K_MAINT_SLO, [breached as u64, p99_ns, 0, 0])
             }
+            Event::BlockSpilled { context, block_id } => (K_SPILL, [context, block_id, 0, 0]),
+            Event::BlockFaulted {
+                context,
+                block_id,
+                nanos,
+            } => (K_FAULT_IN, [context, block_id, nanos, 0]),
+            Event::SnapshotWritten {
+                context,
+                pages,
+                bytes,
+                nanos,
+            } => (K_SNAP_WRITE, [context, pages, bytes, nanos]),
+            Event::RecoveryLoaded {
+                context,
+                pages,
+                objects,
+                nanos,
+            } => (K_RECOVER, [context, pages, objects, nanos]),
         }
     }
 
@@ -436,6 +501,27 @@ impl Event {
             K_MAINT_SLO => Event::MaintSloState {
                 breached: p[0] != 0,
                 p99_ns: p[1],
+            },
+            K_SPILL => Event::BlockSpilled {
+                context: p[0],
+                block_id: p[1],
+            },
+            K_FAULT_IN => Event::BlockFaulted {
+                context: p[0],
+                block_id: p[1],
+                nanos: p[2],
+            },
+            K_SNAP_WRITE => Event::SnapshotWritten {
+                context: p[0],
+                pages: p[1],
+                bytes: p[2],
+                nanos: p[3],
+            },
+            K_RECOVER => Event::RecoveryLoaded {
+                context: p[0],
+                pages: p[1],
+                objects: p[2],
+                nanos: p[3],
             },
             _ => return None,
         })
@@ -914,6 +1000,27 @@ mod tests {
             Event::MaintSloState {
                 breached: true,
                 p99_ns: 30,
+            },
+            Event::BlockSpilled {
+                context: 31,
+                block_id: 32,
+            },
+            Event::BlockFaulted {
+                context: 33,
+                block_id: 34,
+                nanos: 35,
+            },
+            Event::SnapshotWritten {
+                context: 36,
+                pages: 37,
+                bytes: 38,
+                nanos: 39,
+            },
+            Event::RecoveryLoaded {
+                context: 40,
+                pages: 41,
+                objects: 42,
+                nanos: 43,
             },
         ];
         for e in events {

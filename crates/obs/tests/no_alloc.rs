@@ -12,10 +12,24 @@ use smc_obs::trace::{self, Event, Label};
 struct CountingAlloc;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+/// Thread whose allocations are counted; 0 = everyone. The libtest harness
+/// keeps its own threads alive (stdout capture, timers) and they allocate
+/// at unpredictable points — counting them made this test flaky.
+static COUNTED_THREAD: AtomicU64 = AtomicU64::new(0);
+
+fn thread_id() -> u64 {
+    // Stable per-thread integer without allocating: the address of a
+    // thread-local is unique per live thread.
+    thread_local! { static MARKER: u8 = const { 0 }; }
+    MARKER.with(|m| m as *const u8 as u64)
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        let counted = COUNTED_THREAD.load(Ordering::Relaxed);
+        if counted == 0 || counted == thread_id() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.alloc(layout) }
     }
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
@@ -30,8 +44,10 @@ static ALLOC: CountingAlloc = CountingAlloc;
 fn disabled_emit_allocates_nothing_and_records_nothing() {
     assert!(!trace::is_enabled(), "tracer must start disabled");
 
-    // Warm anything lazily initialised outside the measured window.
+    // Warm anything lazily initialised outside the measured window, then
+    // restrict counting to this thread (see `COUNTED_THREAD`).
     trace::emit(Event::EpochAdvance { epoch: 0 });
+    COUNTED_THREAD.store(thread_id(), Ordering::Relaxed);
 
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     for i in 0..10_000u64 {

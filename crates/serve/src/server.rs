@@ -16,6 +16,7 @@
 
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -66,6 +67,13 @@ pub struct ServerConfig {
     pub maint: MaintConfig,
     /// Maintenance policy registered for every tenant collection.
     pub maint_policy: MaintPolicy,
+    /// Persistence root, `None` to run purely in memory. When set, each
+    /// shard recovers every tenant from
+    /// `<dir>/shard-<i>/tenant-<id>/snapshot/` at start (starting empty
+    /// when no snapshot exists yet), attaches a spill file so tenant
+    /// budgets smaller than the dataset evict instead of rejecting, and
+    /// writes a fresh snapshot of the verified state at drain.
+    pub persist_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -82,6 +90,7 @@ impl Default for ServerConfig {
             reply_timeout: Duration::from_secs(10),
             maint: MaintConfig::default(),
             maint_policy: MaintPolicy::default(),
+            persist_dir: None,
         }
     }
 }
@@ -102,6 +111,11 @@ impl DrainReport {
     /// Total requests served across shards.
     pub fn requests(&self) -> u64 {
         self.shards.iter().map(|s| s.requests).sum()
+    }
+
+    /// Total tenant snapshots written at drain (0 without a persist dir).
+    pub fn snapshots_written(&self) -> usize {
+        self.shards.iter().map(|s| s.snapshots_written).sum()
     }
 
     /// All verification failures, across shards.
@@ -155,6 +169,7 @@ impl Server {
                 workers: config.workers_per_shard.max(1),
                 maint: config.maint.clone(),
                 maint_policy: config.maint_policy,
+                persist_dir: config.persist_dir.clone(),
             };
             let s = shared.clone();
             let join = std::thread::Builder::new()
@@ -248,6 +263,7 @@ impl Server {
                     shard: usize::MAX,
                     requests: 0,
                     tenants_verified: 0,
+                    snapshots_written: 0,
                     verify_errors: vec!["shard thread panicked".to_string()],
                 }),
             }

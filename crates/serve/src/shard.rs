@@ -12,6 +12,7 @@
 //! back on the connection, never on the shard.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
@@ -19,8 +20,9 @@ use std::time::{Duration, Instant};
 use smc::{ContextConfig, Ref, Runtime, Smc, Tabular};
 use smc_exec::{ParScan, WorkerPool};
 use smc_maint::{Coordinator, MaintConfig, MaintPolicy};
-use smc_memory::{MemError, MemoryContext};
+use smc_memory::{MemError, MemoryContext, PageStore};
 use smc_obs::Histogram;
+use smc_persist::{Persist, PersistError, RecoverOptions, SpillFile};
 use smc_util::spsc::{self, Consumer, Producer};
 
 use crate::wire::ErrorCode;
@@ -291,6 +293,8 @@ pub struct ShardDrain {
     pub requests: u64,
     /// Tenant collections that passed `Smc::verify` at drain.
     pub tenants_verified: usize,
+    /// Tenant snapshots written at drain (0 without a persist dir).
+    pub snapshots_written: usize,
     /// Verification failures (collection or runtime), empty when clean.
     pub verify_errors: Vec<String>,
 }
@@ -306,6 +310,9 @@ pub(crate) struct ShardConfig {
     pub(crate) workers: usize,
     pub(crate) maint: MaintConfig,
     pub(crate) maint_policy: MaintPolicy,
+    /// Server-wide persistence root; the shard owns the
+    /// `shard-<index>/tenant-<id>/` subtree underneath it.
+    pub(crate) persist_dir: Option<PathBuf>,
 }
 
 /// The shard thread body: builds the shard-local world, serves jobs until
@@ -313,25 +320,49 @@ pub(crate) struct ShardConfig {
 /// "graceful drain" — the per-shard half).
 pub(crate) fn run_shard(shared: Arc<ShardShared>, cfg: ShardConfig) -> ShardDrain {
     let runtime = shared.runtime.clone();
+    // This shard's slice of the persistence tree: snapshots and the spill
+    // file for tenant N live under `<persist_dir>/shard-<index>/tenant-N/`.
+    let persist_root = cfg
+        .persist_dir
+        .as_ref()
+        .map(|d| d.join(format!("shard-{}", shared.index)));
     let mut tenants: HashMap<u16, TenantLocal> = HashMap::new();
     for t in &shared.tenants {
-        let smc: Smc<Row> = Smc::with_config(
-            &runtime,
-            ContextConfig {
-                budget_bytes: t.budget_bytes,
-                ..ContextConfig::default()
-            },
-        );
-        t.ctx
-            .set(smc.context().clone())
-            .expect("shard thread sets each tenant context once");
-        tenants.insert(
-            t.id,
-            TenantLocal {
-                smc,
+        let config = ContextConfig {
+            budget_bytes: t.budget_bytes,
+            ..ContextConfig::default()
+        };
+        let local = match &persist_root {
+            Some(root) => {
+                let dir = root.join(format!("tenant-{}", t.id));
+                match build_persistent_tenant(&runtime, config, &dir) {
+                    Ok(local) => local,
+                    Err(msg) => {
+                        // Fail closed: a corrupt snapshot must not be
+                        // silently shadowed by an empty collection. The
+                        // shard refuses to serve; the drain report names
+                        // the tenant and page so the operator can restore.
+                        let msg = format!("shard {} tenant {}: {msg}", shared.index, t.name);
+                        eprintln!("smc-serve: recovery failed: {msg}");
+                        return ShardDrain {
+                            shard: shared.index,
+                            requests: 0,
+                            tenants_verified: 0,
+                            snapshots_written: 0,
+                            verify_errors: vec![msg],
+                        };
+                    }
+                }
+            }
+            None => TenantLocal {
+                smc: Smc::with_config(&runtime, config),
                 index: HashMap::new(),
             },
-        );
+        };
+        t.ctx
+            .set(local.smc.context().clone())
+            .expect("shard thread sets each tenant context once");
+        tenants.insert(t.id, local);
     }
     let pool = WorkerPool::for_runtime(&runtime, cfg.workers)
         .expect("shard worker registration exceeded the epoch thread registry");
@@ -393,6 +424,7 @@ pub(crate) fn run_shard(shared: Arc<ShardShared>, cfg: ShardConfig) -> ShardDrai
     coordinator.quiesce();
     let mut verify_errors = Vec::new();
     let mut tenants_verified = 0usize;
+    let mut snapshots_written = 0usize;
     for t in &shared.tenants {
         let local = &tenants[&t.id];
         local.smc.release_retired();
@@ -403,6 +435,20 @@ pub(crate) fn run_shard(shared: Arc<ShardShared>, cfg: ShardConfig) -> ShardDrai
                 errs.into_iter()
                     .map(|e| format!("shard {} tenant {}: {e}", shared.index, t.name)),
             ),
+        }
+        // Snapshot the verified state: the next start recovers exactly what
+        // drained. A snapshot failure is a drain error, not a panic — the
+        // previous generation on disk stays intact (commit is the manifest
+        // rename), so the operator still has a consistent restore point.
+        if let Some(root) = &persist_root {
+            let dir = root.join(format!("tenant-{}", t.id)).join("snapshot");
+            match local.smc.snapshot_to(&dir) {
+                Ok(_) => snapshots_written += 1,
+                Err(e) => verify_errors.push(format!(
+                    "shard {} tenant {}: snapshot failed: {e}",
+                    shared.index, t.name
+                )),
+            }
         }
     }
     if let Err(errs) = runtime.verify() {
@@ -416,7 +462,53 @@ pub(crate) fn run_shard(shared: Arc<ShardShared>, cfg: ShardConfig) -> ShardDrai
         shard: shared.index,
         requests: shared.requests_served.load(Ordering::Relaxed),
         tenants_verified,
+        snapshots_written,
         verify_errors,
+    }
+}
+
+/// Builds one tenant's collection from its persistence directory: recover
+/// the latest snapshot when one exists (rebuilding the key index from the
+/// recovered rows), start empty otherwise, and in both cases attach the
+/// tenant's spill file so a budget smaller than the dataset spills instead
+/// of rejecting. Any error other than "no snapshot yet" is returned as a
+/// named, fail-closed message.
+fn build_persistent_tenant(
+    runtime: &Arc<Runtime>,
+    config: ContextConfig,
+    dir: &std::path::Path,
+) -> Result<TenantLocal, String> {
+    let store: Arc<dyn PageStore> = Arc::new(
+        SpillFile::create(dir.join("spill.dat"))
+            .map_err(|e| format!("spill file {:?}: {e}", dir.join("spill.dat")))?,
+    );
+    let snapshot_dir = dir.join("snapshot");
+    match Smc::recover_opts(
+        runtime,
+        RecoverOptions {
+            config,
+            store: Some(store.clone()),
+        },
+        &snapshot_dir,
+    ) {
+        Ok((smc, _report)) => {
+            let mut index = HashMap::new();
+            let guard = runtime.pin();
+            smc.for_each_ref(&guard, |r, row: &Row| {
+                index.insert(row.key, r);
+            });
+            drop(guard);
+            Ok(TenantLocal { smc, index })
+        }
+        Err(PersistError::NoSnapshot) => {
+            let smc: Smc<Row> = Smc::with_config(runtime, config);
+            smc.enable_spill(store);
+            Ok(TenantLocal {
+                smc,
+                index: HashMap::new(),
+            })
+        }
+        Err(e) => Err(format!("recovery from {snapshot_dir:?}: {e}")),
     }
 }
 

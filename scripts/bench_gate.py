@@ -29,6 +29,14 @@ the *structure and correctness signals* of the report:
     non-zero ``requests_completed`` counter, and a ``shard_requests``
     series in which **every** shard's request counter is non-zero — an
     idle shard means the key-hash router never spread the load;
+  * fig17 (persistence) reports must carry the ``recover_verify``,
+    ``torn_page_rejected`` and ``spill_faults_counted`` oracles by name
+    (cold recovery bit-exact, torn/corrupted snapshots rejected with a
+    named page, larger-than-memory scans through the spill store exact),
+    and non-zero ``snapshot_pages`` / ``recovered_objects`` /
+    ``blocks_spilled`` / ``blocks_faulted_in`` counters — a run that
+    never spilled or never faulted a page back in proves nothing about
+    the larger-than-memory path;
   * if the report carries tracer counters, it may not claim an empty trace
     (``trace_events`` = 0) while also reporting dropped ring events — that
     combination means the tracer recorded work and the exporter lost all of
@@ -56,6 +64,10 @@ FIG16_COUNTERS = ("pins_taken", "blocks_scanned", "morsels_dispatched",
 FIG16_CHECKS = ("slo_p999_ingest", "slo_p999_query", "saturation_free",
                 "shard_requests_nonzero", "no_dropped_tenants",
                 "drain_verify")
+FIG17_COUNTERS = ("pins_taken", "snapshot_pages", "recovered_objects",
+                  "blocks_spilled", "blocks_faulted_in")
+FIG17_CHECKS = ("recover_verify", "torn_page_rejected",
+                "spill_faults_counted")
 
 
 def required_counters(report):
@@ -64,6 +76,8 @@ def required_counters(report):
         return FIG15_COUNTERS
     if report.get("figure") == "fig16":
         return FIG16_COUNTERS
+    if report.get("figure") == "fig17":
+        return FIG17_COUNTERS
     return REQUIRED_COUNTERS
 
 
@@ -160,6 +174,19 @@ def check_report(fresh, baseline):
                     or row[1] <= 0):
                 fail(f"shard_requests row {row!r} shows an idle shard — "
                      f"every shard must have served requests")
+
+    # --- fig17 persistence rules ---------------------------------------------
+    # A persistence run is only evidence if all three of its load-bearing
+    # oracles ran: cold recovery reproduced the model bit-exact, every torn
+    # or corrupted snapshot was rejected with a named error (never loaded),
+    # and the budget-constrained phase actually spilled and faulted pages
+    # while keeping scans exact. The counter rule above already rejects runs
+    # where blocks_spilled / blocks_faulted_in are zero.
+    if fresh.get("figure") == "fig17":
+        missing_fig17 = sorted(n for n in FIG17_CHECKS if n not in fresh_names)
+        if missing_fig17:
+            fail(f"fig17 report is missing required checks: "
+                 f"{', '.join(missing_fig17)}")
 
     # --- tracer honesty ------------------------------------------------------
     # Only meaningful when the run traced (SMC_TRACE_OUT set): an exported
@@ -286,6 +313,33 @@ def doctored_reports(base):
         d["series"] = [s for s in d["series"]
                        if s["name"] != "shard_requests"]
         yield "fig16: shard_requests series removed", d
+
+    if base.get("figure") == "fig17":
+        # Persistence-specific rules: a run that never spilled, never
+        # faulted a page back in, silently dropped the torn-write oracle,
+        # or whose recovery parity failed must each be rejected.
+        d = copy.deepcopy(base)
+        d["counters"]["blocks_spilled"] = 0
+        yield "fig17: blocks_spilled = 0 (nothing was ever evicted)", d
+
+        d = copy.deepcopy(base)
+        d["counters"]["blocks_faulted_in"] = 0
+        yield "fig17: blocks_faulted_in = 0 (spilled pages never read back)", d
+
+        d = copy.deepcopy(base)
+        d["checks"] = [c for c in d["checks"]
+                       if c["name"] != "torn_page_rejected"]
+        yield "fig17: torn_page_rejected oracle dropped", d
+
+        d = copy.deepcopy(base)
+        for c in d["checks"]:
+            if c["name"] == "recover_verify":
+                c["passed"] = False
+        yield "fig17: recover_verify flipped to failed", d
+
+        d = copy.deepcopy(base)
+        d["counters"]["recovered_objects"] = 0
+        yield "fig17: recovered_objects = 0 (recovery loaded nothing)", d
 
     d = copy.deepcopy(base)
     d["counters"]["trace_events"] = 0

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Doc-drift gate: the README architecture table must list every workspace
+crate.
+
+The table in README.md ("## Architecture") is the first thing a reader uses
+to orient themselves; a crate that exists in ``crates/`` but not in the table
+is invisible documentation debt. This script:
+
+  * enumerates the workspace members by reading each ``crates/*/Cargo.toml``
+    ``[package] name`` (the authoritative list — the workspace manifest uses
+    a ``crates/*`` glob, so a directory IS a member);
+  * requires each crate to appear in README.md on a line that carries both
+    its directory (``persist/``) and its package name (``smc-persist``);
+  * exits 1 naming every missing crate.
+
+``--self-test`` verifies the gate actually bites: it re-runs the check
+against a README with one crate's row deleted and fails if that slips
+through.
+
+Exit status: 0 = in sync, 1 = drift (or self-test failure), 2 = IO error.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def workspace_crates():
+    """Yields (directory_name, package_name) for every workspace member."""
+    crates = []
+    for manifest in sorted(ROOT.glob("crates/*/Cargo.toml")):
+        text = manifest.read_text()
+        m = re.search(r'^name\s*=\s*"([^"]+)"', text, re.MULTILINE)
+        if not m:
+            print(f"doc_drift: no package name in {manifest}", file=sys.stderr)
+            sys.exit(2)
+        crates.append((manifest.parent.name, m.group(1)))
+    if not crates:
+        print("doc_drift: found no crates/*/Cargo.toml", file=sys.stderr)
+        sys.exit(2)
+    return crates
+
+
+def missing_from(readme_text, crates):
+    """Crates without a README line naming both their dir and package."""
+    missing = []
+    lines = readme_text.splitlines()
+    for dirname, package in crates:
+        if not any(f"{dirname}/" in ln and package in ln for ln in lines):
+            missing.append((dirname, package))
+    return missing
+
+
+def run_check(readme_path):
+    try:
+        text = Path(readme_path).read_text()
+    except OSError as e:
+        print(f"doc_drift: cannot read {readme_path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    crates = workspace_crates()
+    missing = missing_from(text, crates)
+    if missing:
+        for dirname, package in missing:
+            print(f"doc_drift: FAIL: workspace crate {package!r} "
+                  f"(crates/{dirname}) is missing from the README "
+                  f"architecture table", file=sys.stderr)
+        return 1
+    print(f"doc_drift: PASS — all {len(crates)} workspace crates listed "
+          f"in {readme_path}")
+    return 0
+
+
+def self_test(readme_path):
+    text = Path(readme_path).read_text()
+    crates = workspace_crates()
+    if missing_from(text, crates):
+        print("doc_drift self-test: clean README already fails the check",
+              file=sys.stderr)
+        return 1
+    # Delete one crate's row and demand the gate notices.
+    dirname, package = crates[-1]
+    doctored = "\n".join(
+        ln for ln in text.splitlines()
+        if not (f"{dirname}/" in ln and package in ln))
+    if not missing_from(doctored, crates):
+        print(f"doc_drift self-test: FAILED to notice {package!r} "
+              f"deleted from the table", file=sys.stderr)
+        return 1
+    print(f"doc_drift self-test: correctly caught deleted row for "
+          f"{package!r}")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--readme", default=str(ROOT / "README.md"),
+                    help="README to check (default: repo README.md)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the gate catches a deleted table row")
+    args = ap.parse_args()
+    if args.self_test:
+        sys.exit(self_test(args.readme))
+    sys.exit(run_check(args.readme))
+
+
+if __name__ == "__main__":
+    main()

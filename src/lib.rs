@@ -8,6 +8,7 @@ pub use columnstore;
 pub use managed_heap;
 pub use smc;
 pub use smc_memory;
+pub use smc_persist;
 pub use smc_query;
 pub use smc_util;
 pub use tpch;

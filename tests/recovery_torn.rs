@@ -1,0 +1,210 @@
+//! Torn-write matrix for the persistence tier (`smc-persist`).
+//!
+//! A snapshot can die at three distinct points — while streaming a page,
+//! while writing the manifest sidecar, or at the atomic rename that commits
+//! it — and a committed snapshot can still rot on disk afterwards. For every
+//! case the contract is the same and is the whole point of the tier:
+//! **fail closed**. A torn snapshot must leave the previous generation
+//! loadable and bit-exact; a rotted page must be rejected with a *named*
+//! page error, never materialized into a collection.
+//!
+//! The mid-write kills use the runtime's seeded failpoints
+//! ([`FaultSite::SnapshotPage`] / [`FaultSite::SnapshotManifest`] /
+//! [`FaultSite::SnapshotRename`]); the rot cases truncate and byte-flip the
+//! page file the committed manifest actually references.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use smc_repro::smc::{Smc, Tabular};
+use smc_repro::smc_memory::fault::FaultSite;
+use smc_repro::smc_memory::Runtime;
+use smc_repro::smc_persist::{Persist, PersistError};
+
+/// Checksummed row so a corrupted payload would also be visible to the
+/// scanner, not just to the page checksums.
+#[derive(Clone, Copy)]
+struct Row {
+    key: u64,
+    check: u64,
+}
+unsafe impl Tabular for Row {}
+
+fn row(key: u64) -> Row {
+    Row {
+        key,
+        check: key.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+    }
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("smc-torn-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Scans `c` and returns `(count, key_sum)`, asserting every row's
+/// checksum holds.
+fn audit(rt: &Arc<Runtime>, c: &Smc<Row>) -> (u64, u64) {
+    let guard = rt.pin();
+    let (mut count, mut sum) = (0u64, 0u64);
+    c.for_each(&guard, |r| {
+        assert_eq!(
+            r.check,
+            r.key.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            "row payload corrupted in memory"
+        );
+        count += 1;
+        sum = sum.wrapping_add(r.key);
+    });
+    (count, sum)
+}
+
+/// Builds a collection of `n` rows and snapshots it as generation 1,
+/// returning the runtime, the live collection, and the model aggregate.
+fn committed_generation(dir: &std::path::Path, n: u64) -> (Arc<Runtime>, Smc<Row>, (u64, u64)) {
+    let rt = Runtime::new();
+    let c: Smc<Row> = Smc::new(&rt);
+    for k in 0..n {
+        c.add(row(k));
+    }
+    let report = c.snapshot_to(dir).expect("clean snapshot commits");
+    assert_eq!(report.generation, 1);
+    assert_eq!(report.objects, n);
+    let model = audit(&rt, &c);
+    (rt, c, model)
+}
+
+/// The committed manifest names its page file; rot probes must corrupt
+/// that file, not whatever orphan an earlier torn attempt left behind.
+fn referenced_page_file(dir: &std::path::Path) -> PathBuf {
+    let manifest = std::fs::read_to_string(dir.join("MANIFEST")).expect("read MANIFEST");
+    let name = manifest
+        .lines()
+        .find_map(|l| l.strip_prefix("page_file "))
+        .expect("manifest names its page file")
+        .trim();
+    dir.join(name)
+}
+
+/// One mid-write kill: arm `site` so the *next* snapshot attempt dies,
+/// then prove the directory still recovers generation 1 exactly.
+fn torn_snapshot_recovers_previous_generation(site: FaultSite, tag: &str) {
+    const N: u64 = 5_000;
+    let dir = tmpdir(tag);
+    let (rt, c, model) = committed_generation(&dir, N);
+
+    // Mutate past the committed generation so "previous generation" and
+    // "current heap" are distinguishable, then kill the second snapshot.
+    for k in N..N + 500 {
+        c.add(row(k));
+    }
+    rt.faults().set_rate(site, 1024);
+    rt.faults().set_limit(Some(1));
+    rt.faults().enable(0x7041 ^ site.index() as u64);
+    let died = c.snapshot_to(&dir);
+    rt.faults().set_rate(site, 0);
+    rt.faults().disable();
+    assert!(
+        died.is_err(),
+        "{site:?}: armed failpoint did not kill the snapshot"
+    );
+
+    // Fail closed: a fresh runtime recovers generation 1, bit-exact.
+    let rt2 = Runtime::new();
+    let (recovered, report) =
+        Smc::<Row>::recover_from(&rt2, &dir).expect("previous generation must stay loadable");
+    assert_eq!(report.generation, 1, "{site:?}: wrong generation recovered");
+    assert_eq!(report.objects, N);
+    assert_eq!(
+        audit(&rt2, &recovered),
+        model,
+        "{site:?}: recovered aggregate diverged from the committed model"
+    );
+    recovered.verify().expect("recovered heap verifies");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_page_write_recovers_previous_generation() {
+    torn_snapshot_recovers_previous_generation(FaultSite::SnapshotPage, "page");
+}
+
+#[test]
+fn torn_manifest_write_recovers_previous_generation() {
+    torn_snapshot_recovers_previous_generation(FaultSite::SnapshotManifest, "manifest");
+}
+
+#[test]
+fn torn_rename_recovers_previous_generation() {
+    torn_snapshot_recovers_previous_generation(FaultSite::SnapshotRename, "rename");
+}
+
+#[test]
+fn flipped_byte_in_page_file_is_rejected_with_named_page() {
+    let dir = tmpdir("flip");
+    let (_rt, _c, _model) = committed_generation(&dir, 5_000);
+
+    let page_file = referenced_page_file(&dir);
+    let mut bytes = std::fs::read(&page_file).expect("read page file");
+    let flip = bytes.len() - 100;
+    bytes[flip] ^= 0xff;
+    std::fs::write(&page_file, &bytes).expect("write corrupted page file");
+
+    let rt2 = Runtime::new();
+    match Smc::<Row>::recover_from(&rt2, &dir) {
+        Err(PersistError::PageChecksum { page }) => {
+            // The error must localize the damage: the named page's extent
+            // has to contain the byte we flipped.
+            assert!(
+                page < bytes.len() as u64,
+                "named page {page} cannot exceed the file's page count"
+            );
+        }
+        Err(e) => panic!("rejected, but without naming the page: {e}"),
+        Ok(_) => panic!("recovery materialized a corrupted snapshot"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncated_page_file_is_rejected_with_named_page() {
+    let dir = tmpdir("trunc");
+    let (_rt, _c, _model) = committed_generation(&dir, 5_000);
+
+    let page_file = referenced_page_file(&dir);
+    let len = std::fs::metadata(&page_file).expect("stat page file").len();
+    let f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&page_file)
+        .expect("open page file");
+    f.set_len(len - 100).expect("truncate page file");
+    drop(f);
+
+    let rt2 = Runtime::new();
+    match Smc::<Row>::recover_from(&rt2, &dir) {
+        Err(PersistError::PageTruncated { expected, got, .. }) => {
+            assert!(got < expected, "truncation error must show the shortfall");
+        }
+        // A truncation that beheads a page mid-header can also surface as a
+        // checksum failure; both are named, fail-closed rejections.
+        Err(PersistError::PageChecksum { .. }) => {}
+        Err(e) => panic!("rejected, but without naming the page: {e}"),
+        Ok(_) => panic!("recovery materialized a truncated snapshot"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn empty_directory_reports_no_snapshot_not_garbage() {
+    let dir = tmpdir("empty");
+    std::fs::create_dir_all(&dir).expect("create empty dir");
+    let rt = Runtime::new();
+    match Smc::<Row>::recover_from(&rt, &dir) {
+        Err(PersistError::NoSnapshot) => {}
+        Err(e) => panic!("want NoSnapshot, got {e}"),
+        Ok(_) => panic!("recovered a collection from an empty directory"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
