@@ -54,6 +54,7 @@ pub fn all() -> Vec<NamedScenario> {
         ("exactly_once_visitation", exactly_once_visitation),
         ("budget_race", budget_race),
         ("snapshot_vs_advance", snapshot_vs_advance),
+        ("remote_free_vs_owner_pop", remote_free_vs_owner_pop),
     ]
 }
 
@@ -647,4 +648,57 @@ pub fn budget_race() -> Scenario {
             unsafe { block.deallocate() };
         }
     })
+}
+
+/// The sharded allocator's remote-free protocol under a one-block budget.
+///
+/// Thread A (the owner shard) allocates the budget's only block, buries it
+/// ripe, and allocates again; thread B races it on `drain_graveyard`. The
+/// ripe block comes home one of two ways, depending on who drains first:
+/// through A's own recovery-ladder drain (owner free → local push → pop), or
+/// through B's drain (cross-thread free → A's MPSC return queue → drained by
+/// A's next allocation). Oracle: A's second allocation succeeds on *every*
+/// interleaving — a budgeted block parked in a return queue is still
+/// allocatable memory — and the books balance afterwards. Catches
+/// [`smc_memory::mutation::Mutation::DropRemoteDrain`], which strands the
+/// remote queue and turns a reachable block into a spurious OOM.
+pub fn remote_free_vs_owner_pop() -> Scenario {
+    let rt = Runtime::with_budget(Some(BLOCK_SIZE as u64));
+    let layout = BlockLayout::rows_of::<u64>().expect("u64 fits a block");
+    let rt_a = rt.clone();
+    let rt_b = rt.clone();
+    let second = Arc::new(Mutex::new(None));
+    let second_fin = second.clone();
+    Scenario::new()
+        .thread(move || {
+            let x = rt_a
+                .allocate_block(&layout, type_id_of::<u64>(), 1)
+                .expect("first allocation owns the whole budget");
+            rt_a.bury_block(x, 0);
+            let y = rt_a.allocate_block(&layout, type_id_of::<u64>(), 1).expect(
+                "owner must reacquire its buried block: a remote-freed block \
+                 parked in the return queue is allocatable memory, not a leak",
+            );
+            *second.lock().unwrap() = Some(y);
+        })
+        .thread(move || {
+            // Racing reclaimer: may free A's ripe block first, making it a
+            // *remote* free onto A's shard queue.
+            let _ = rt_b.drain_graveyard();
+        })
+        .finally(move || {
+            let y = second_fin
+                .lock()
+                .unwrap()
+                .take()
+                .expect("thread A stored its second block");
+            assert_eq!(
+                MemoryStats::get(&rt.stats.blocks_live),
+                1,
+                "exactly one handout lives at quiescence"
+            );
+            rt.free_block(y);
+            rt.verify()
+                .unwrap_or_else(|v| panic!("allocator books must reconcile at quiescence: {v:?}"));
+        })
 }

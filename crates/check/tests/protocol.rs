@@ -135,6 +135,15 @@ fn catches_cancel_skips_bail_rollback() {
 }
 
 #[test]
+fn catches_drop_remote_drain() {
+    assert_mutation_caught(
+        Mutation::DropRemoteDrain,
+        "remote_free_vs_owner_pop",
+        scenarios::remote_free_vs_owner_pop,
+    );
+}
+
+#[test]
 fn catches_slot_vs_entry_incarnation() {
     assert_mutation_caught(
         Mutation::SlotVsEntryInc,

@@ -1,0 +1,602 @@
+//! Sharded lock-free block allocation and size-class slabs.
+//!
+//! Every `MemoryContext` used to funnel block acquisition through one shared
+//! runtime path — a single budget CAS plus a `malloc` per block — which is
+//! exactly where the paper's off-heap design (§4) would serialize on
+//! multi-core. This module splits the allocation layer into per-thread
+//! *allocation shards*:
+//!
+//! * Each registered thread (epoch thread slot `i`) owns shard `i`: a
+//!   **local free list** of recycled 64 KiB blocks with lock-free pop, plus
+//!   an **MPSC remote return queue**. A thread allocating a block first pops
+//!   its local list; a thread freeing a block it does not own pushes it onto
+//!   the owner's remote queue, which the owner drains into its local list on
+//!   its next allocation or `Runtime::alloc_maintenance` tick.
+//! * The global budget gate (`BlockAllocator::reserve`) is demoted to a
+//!   slow path that hands out fresh block ranges in batches of
+//!   [`ALLOC_BATCH`]: one budget CAS amortizes over several handouts, and
+//!   the extras are parked in the allocating shard's cache.
+//! * Under budget pressure the recovery ladder's final rung
+//!   (`BlockAllocator::trim`) claws idle shard caches back to the OS.
+//!
+//! Both stacks use an ownership-transfer discipline that never dereferences
+//! a block the thread does not exclusively own: **pop takes the whole chain
+//! with one `swap`**, keeps the head, and pushes the remainder back with one
+//! CAS. Pushes only write the pushed block's own link word. There is no ABA
+//! window and no read of memory another thread could be re-initializing or
+//! returning to the OS — which is what keeps the fast paths clean under
+//! ThreadSanitizer and exhaustively checkable by `smc-check` (the
+//! `remote_free_vs_owner_pop` scenario and the
+//! [`Mutation::DropRemoteDrain`]
+//! seeded bug).
+//!
+//! The **size-class slabs** (`SlabAllocator`) serve variable-size payloads
+//! (strings, varlen columns) from power-of-two cells (32 B … 4 KiB) carved
+//! out of raw budgeted blocks, instead of forcing every byte through one
+//! fixed block geometry. Per-class occupancy is surfaced through
+//! [`AllocSnapshot`] into `HeapSnapshot`, `Smc::verify`, and `smc-top`.
+//!
+//! Accounting contract (checked by `Runtime::verify` at quiescence):
+//! `budgeted == blocks_live + cached` — every block the allocator holds from
+//! the OS is either handed out (`blocks_live`, which includes slab pages) or
+//! parked in a shard cache, and the byte budget gates `budgeted`, not just
+//! live handouts.
+
+use std::sync::atomic::Ordering;
+
+use crate::block::{raw_dealloc_block, BLOCK_SIZE};
+use crate::epoch::MAX_THREADS;
+use crate::mutation::{self, Mutation};
+use crate::stats::MemoryStats;
+use crate::sync::{AtomicBool, AtomicU64, Mutex};
+
+/// Fresh blocks reserved per slow-path budget CAS when sharding is on: one
+/// handout plus `ALLOC_BATCH - 1` cache refills (fewer when the budget has
+/// less headroom).
+pub const ALLOC_BATCH: u64 = 4;
+
+/// Per-shard cap on cached free blocks; frees beyond it go back to the OS.
+/// Bounds idle memory at `MAX_SHARD_CACHE * 64 KiB` per allocating thread.
+pub const MAX_SHARD_CACHE: u64 = 8;
+
+/// Empty free-list sentinel (no block lives at address 0).
+const NO_BLOCK: u64 = 0;
+
+/// The link word threaded through free blocks: the first 8 bytes of a
+/// retired block hold the address of the next block in its stack.
+///
+/// # Safety
+/// `addr` must be the base of a raw block allocation exclusively owned by
+/// the caller (popped chain) or being pushed by the caller.
+unsafe fn link(addr: u64) -> &'static AtomicU64 {
+    &*(addr as usize as *const AtomicU64)
+}
+
+/// Pushes an owned chain (`first` … `last`, already linked) onto `head`.
+/// Lock-free: only the chain's own link word and the head CAS are touched.
+fn push_chain(head: &AtomicU64, first: u64, last: u64) {
+    loop {
+        let cur = head.load(Ordering::Relaxed);
+        unsafe { link(last) }.store(cur, Ordering::Relaxed);
+        if head
+            .compare_exchange_weak(cur, first, Ordering::Release, Ordering::Relaxed)
+            .is_ok()
+        {
+            return;
+        }
+        crate::sync::cpu_relax();
+    }
+}
+
+/// Takes the entire chain off `head`, transferring ownership to the caller.
+fn take_all(head: &AtomicU64) -> u64 {
+    head.swap(NO_BLOCK, Ordering::AcqRel)
+}
+
+/// Walks an **owned** chain, returning `(length, tail)`.
+fn chain_ends(first: u64) -> (u64, u64) {
+    let mut len = 1;
+    let mut tail = first;
+    loop {
+        let next = unsafe { link(tail) }.load(Ordering::Relaxed);
+        if next == NO_BLOCK {
+            return (len, tail);
+        }
+        len += 1;
+        tail = next;
+    }
+}
+
+/// One thread's allocation shard. Padded to a cache line so neighbouring
+/// shards never false-share.
+#[repr(align(64))]
+#[derive(Debug)]
+struct Shard {
+    /// Local free list of recycled blocks (lock-free swap-pop, CAS-push).
+    local: AtomicU64,
+    /// Remote return queue: blocks freed by non-owner threads (CAS-push),
+    /// drained by the owner with one swap.
+    remote: AtomicU64,
+    /// Blocks parked in this shard (local + remote), advisory gauge for the
+    /// cache cap and the trim rung's cheap skip. Uninstrumented: exact only
+    /// at quiescence, which is when `Runtime::verify` reads it.
+    cached: std::sync::atomic::AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            local: AtomicU64::new(NO_BLOCK),
+            remote: AtomicU64::new(NO_BLOCK),
+            cached: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+}
+
+/// The runtime's sharded block allocator (see module docs). One per
+/// [`Runtime`](crate::runtime::Runtime); the runtime owns the allocation
+/// *policy* (ladder, fault injection, accounting) and this struct owns the
+/// shard *mechanics*.
+#[derive(Debug)]
+pub(crate) struct BlockAllocator {
+    shards: Box<[Shard]>,
+    /// Blocks currently held from the OS on the budget's account: live
+    /// handouts plus shard-cached spares. The byte budget gates this gauge.
+    budgeted: AtomicU64,
+    /// When false, the allocator degrades to the legacy shared path: batch
+    /// size 1, no recycling (frees go straight back to the OS).
+    sharded: AtomicBool,
+}
+
+impl BlockAllocator {
+    pub(crate) fn new() -> BlockAllocator {
+        BlockAllocator {
+            shards: (0..MAX_THREADS).map(|_| Shard::new()).collect(),
+            budgeted: AtomicU64::new(0),
+            sharded: AtomicBool::new(true),
+        }
+    }
+
+    pub(crate) fn is_sharded(&self) -> bool {
+        self.sharded.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn set_sharded(&self, on: bool) {
+        self.sharded.store(on, Ordering::Relaxed);
+    }
+
+    /// Blocks currently reserved against the budget (live + cached).
+    pub(crate) fn budgeted_blocks(&self) -> u64 {
+        self.budgeted.load(Ordering::Relaxed)
+    }
+
+    /// Total blocks parked across all shard caches.
+    pub(crate) fn cached_blocks(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.cached.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Blocks parked in one shard's cache.
+    pub(crate) fn shard_cached(&self, idx: usize) -> u64 {
+        self.shards[idx].cached.load(Ordering::Relaxed)
+    }
+
+    /// Reserves up to `want` fresh blocks against `budget_bytes`
+    /// (`u64::MAX` = unlimited). Returns the granted count (0 = budget
+    /// exhausted). The CAS makes enforcement exact under concurrent
+    /// allocators; partial grants let the batch shrink to the headroom.
+    pub(crate) fn reserve(&self, budget_bytes: u64, want: u64) -> u64 {
+        loop {
+            let cur = self.budgeted.load(Ordering::Relaxed);
+            let granted = if budget_bytes == u64::MAX {
+                want
+            } else {
+                want.min((budget_bytes / BLOCK_SIZE as u64).saturating_sub(cur))
+            };
+            if granted == 0 {
+                return 0;
+            }
+            if self
+                .budgeted
+                .compare_exchange(cur, cur + granted, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return granted;
+            }
+        }
+    }
+
+    /// Reserves one block unconditionally (the spill fault-in path, which
+    /// must overshoot the budget rather than deadlock; the overshoot
+    /// settles as frees route back to the OS while over budget).
+    pub(crate) fn force_reserve(&self, n: u64) {
+        self.budgeted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Returns `n` blocks' worth of budget (memory already freed to OS).
+    pub(crate) fn unreserve(&self, n: u64) {
+        self.budgeted.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Pops one recycled block off shard `idx`'s local free list.
+    pub(crate) fn pop_cached(&self, idx: usize) -> Option<u64> {
+        let shard = &self.shards[idx];
+        let chain = take_all(&shard.local);
+        if chain == NO_BLOCK {
+            return None;
+        }
+        let rest = unsafe { link(chain) }.load(Ordering::Relaxed);
+        if rest != NO_BLOCK {
+            let (_, tail) = chain_ends(rest);
+            push_chain(&shard.local, rest, tail);
+        }
+        shard.cached.fetch_sub(1, Ordering::Relaxed);
+        Some(chain)
+    }
+
+    /// Parks an owned block on shard `idx`'s local free list (owner-thread
+    /// free or batch refill).
+    pub(crate) fn push_local(&self, idx: usize, addr: u64) {
+        push_chain(&self.shards[idx].local, addr, addr);
+        self.shards[idx].cached.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Pushes a block freed by a non-owner thread onto shard `idx`'s remote
+    /// return queue.
+    pub(crate) fn push_remote(&self, idx: usize, addr: u64) {
+        push_chain(&self.shards[idx].remote, addr, addr);
+        self.shards[idx].cached.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drains shard `idx`'s remote return queue into its local free list
+    /// (owner-only). Returns the number of blocks moved. This is the drain
+    /// the seeded [`Mutation::DropRemoteDrain`] bug removes.
+    pub(crate) fn drain_remote(&self, idx: usize, stats: &MemoryStats) -> u64 {
+        if mutation::enabled(Mutation::DropRemoteDrain) {
+            return 0;
+        }
+        let shard = &self.shards[idx];
+        let chain = take_all(&shard.remote);
+        if chain == NO_BLOCK {
+            return 0;
+        }
+        let (n, tail) = chain_ends(chain);
+        push_chain(&shard.local, chain, tail);
+        MemoryStats::add(&stats.remote_frees_drained, n);
+        n
+    }
+
+    /// The recovery ladder's final rung: returns every shard-cached block to
+    /// the OS, freeing their budget reservations. Returns blocks trimmed.
+    pub(crate) fn trim(&self, stats: &MemoryStats) -> u64 {
+        let mut trimmed = 0u64;
+        for shard in self.shards.iter() {
+            if shard.cached.load(Ordering::Relaxed) == 0 {
+                continue;
+            }
+            let mut n = 0u64;
+            let mut chain = take_all(&shard.local);
+            // The mutated protocol loses remote-freed blocks entirely, so
+            // the trim rung must not rescue them either.
+            if !mutation::enabled(Mutation::DropRemoteDrain) {
+                let remote = take_all(&shard.remote);
+                if remote != NO_BLOCK {
+                    let (_, tail) = chain_ends(remote);
+                    unsafe { link(tail) }.store(chain, Ordering::Relaxed);
+                    chain = remote;
+                }
+            }
+            while chain != NO_BLOCK {
+                let next = unsafe { link(chain) }.load(Ordering::Relaxed);
+                unsafe { raw_dealloc_block(chain as usize) };
+                chain = next;
+                n += 1;
+            }
+            if n > 0 {
+                shard.cached.fetch_sub(n, Ordering::Relaxed);
+                self.unreserve(n);
+                trimmed += n;
+            }
+        }
+        if trimmed > 0 {
+            MemoryStats::add(&stats.blocks_trimmed, trimmed);
+        }
+        trimmed
+    }
+}
+
+impl Drop for BlockAllocator {
+    fn drop(&mut self) {
+        // The runtime is being torn down: no thread can still touch the
+        // shards, so every cached block is quiescent.
+        for shard in self.shards.iter() {
+            for head in [&shard.local, &shard.remote] {
+                let mut chain = take_all(head);
+                while chain != NO_BLOCK {
+                    let next = unsafe { link(chain) }.load(Ordering::Relaxed);
+                    unsafe { raw_dealloc_block(chain as usize) };
+                    chain = next;
+                }
+            }
+        }
+    }
+}
+
+// ---- size-class slabs ----------------------------------------------------
+
+/// Smallest slab cell in bytes.
+pub const SLAB_MIN_CELL: usize = 32;
+/// Largest slab cell in bytes; larger payloads are
+/// [`MemError::ObjectTooLarge`](crate::error::MemError::ObjectTooLarge).
+pub const SLAB_MAX_CELL: usize = 4096;
+/// Number of power-of-two size classes (32, 64, …, 4096).
+pub const SLAB_CLASS_COUNT: usize = 8;
+
+/// Cell size of class `class`.
+#[inline]
+pub(crate) fn slab_cell_size(class: usize) -> usize {
+    SLAB_MIN_CELL << class
+}
+
+/// Smallest class whose cell fits `len` bytes, or `None` when `len` exceeds
+/// [`SLAB_MAX_CELL`].
+#[inline]
+pub(crate) fn slab_class_for(len: usize) -> Option<usize> {
+    if len > SLAB_MAX_CELL {
+        return None;
+    }
+    let cell = len.max(SLAB_MIN_CELL).next_power_of_two();
+    Some(cell.trailing_zeros() as usize - SLAB_MIN_CELL.trailing_zeros() as usize)
+}
+
+/// Mutable state of one size class, behind its own lock (classes never
+/// contend with each other, and the block fast path never touches them).
+#[derive(Debug, Default)]
+pub(crate) struct ClassState {
+    /// Free cell addresses.
+    free: Vec<usize>,
+    /// Base addresses of the raw budgeted pages this class carved up.
+    pages: Vec<usize>,
+    /// Cells currently handed out.
+    live: u64,
+    /// Cells ever handed out (drives the `slab_classes_used` figure).
+    allocated_total: u64,
+}
+
+/// Power-of-two size-class slab allocator for variable-size payloads (see
+/// module docs). Pages are raw budgeted blocks; cells are naturally aligned
+/// (page bases are block-aligned, cell sizes are powers of two).
+#[derive(Debug)]
+pub(crate) struct SlabAllocator {
+    classes: [Mutex<ClassState>; SLAB_CLASS_COUNT],
+}
+
+impl SlabAllocator {
+    pub(crate) fn new() -> SlabAllocator {
+        SlabAllocator {
+            classes: std::array::from_fn(|_| Mutex::new(ClassState::default())),
+        }
+    }
+
+    /// Locked access to one class (runtime-side alloc/free policy).
+    pub(crate) fn class(&self, class: usize) -> crate::sync::MutexGuard<'_, ClassState> {
+        self.classes[class].lock()
+    }
+
+    /// Per-class occupancy for snapshots and validators.
+    pub(crate) fn occupancy(&self) -> Vec<SlabClassOccupancy> {
+        (0..SLAB_CLASS_COUNT)
+            .map(|class| {
+                let st = self.classes[class].lock();
+                let cell = slab_cell_size(class);
+                SlabClassOccupancy {
+                    cell_size: cell as u32,
+                    pages: st.pages.len() as u32,
+                    cells_live: st.live,
+                    cells_free: st.free.len() as u64,
+                    cells_capacity: (st.pages.len() * (BLOCK_SIZE / cell)) as u64,
+                    cells_allocated_total: st.allocated_total,
+                }
+            })
+            .collect()
+    }
+}
+
+impl ClassState {
+    /// Carves a fresh raw page into cells of `class`'s size.
+    pub(crate) fn add_page(&mut self, class: usize, base: usize) {
+        let cell = slab_cell_size(class);
+        self.pages.push(base);
+        // Reversed so the lowest address pops first.
+        for i in (0..BLOCK_SIZE / cell).rev() {
+            self.free.push(base + i * cell);
+        }
+    }
+
+    /// Pops one free cell, if any.
+    pub(crate) fn take_cell(&mut self) -> Option<usize> {
+        let addr = self.free.pop()?;
+        self.live += 1;
+        self.allocated_total += 1;
+        Some(addr)
+    }
+
+    /// Returns a cell to the free list.
+    pub(crate) fn put_cell(&mut self, addr: usize) {
+        self.free.push(addr);
+        self.live -= 1;
+    }
+}
+
+impl Drop for SlabAllocator {
+    fn drop(&mut self) {
+        for class in &mut self.classes {
+            let st = class.get_mut();
+            for &page in &st.pages {
+                unsafe { raw_dealloc_block(page) };
+            }
+        }
+    }
+}
+
+/// Point-in-time occupancy of one slab size class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlabClassOccupancy {
+    /// Cell size in bytes (power of two).
+    pub cell_size: u32,
+    /// Budgeted pages carved up for this class.
+    pub pages: u32,
+    /// Cells currently handed out.
+    pub cells_live: u64,
+    /// Cells on the free list.
+    pub cells_free: u64,
+    /// Total cells across all pages.
+    pub cells_capacity: u64,
+    /// Cells ever handed out.
+    pub cells_allocated_total: u64,
+}
+
+/// Point-in-time view of the allocation layer, carried by
+/// [`HeapSnapshot`](crate::inspect::HeapSnapshot) and rendered by `smc-top`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// Whether the sharded fast path is enabled.
+    pub sharded: bool,
+    /// Blocks reserved against the budget (live handouts + shard caches).
+    pub budgeted_blocks: u64,
+    /// Blocks parked across all shard caches.
+    pub cached_blocks: u64,
+    /// Handouts served from a shard free list (monotonic).
+    pub blocks_recycled: u64,
+    /// Cross-thread frees pushed to owner return queues (monotonic).
+    pub remote_frees: u64,
+    /// Remote frees drained by owners (monotonic).
+    pub remote_frees_drained: u64,
+    /// Per-class slab occupancy.
+    pub slab_classes: Vec<SlabClassOccupancy>,
+}
+
+impl AllocSnapshot {
+    /// Number of slab classes that have ever served a cell.
+    pub fn slab_classes_used(&self) -> usize {
+        self.slab_classes
+            .iter()
+            .filter(|c| c.cells_allocated_total > 0)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::MemoryStats;
+
+    #[test]
+    fn class_selection_is_tight() {
+        assert_eq!(slab_class_for(0), Some(0));
+        assert_eq!(slab_class_for(1), Some(0));
+        assert_eq!(slab_class_for(32), Some(0));
+        assert_eq!(slab_class_for(33), Some(1));
+        assert_eq!(slab_class_for(64), Some(1));
+        assert_eq!(slab_class_for(2048), Some(6));
+        assert_eq!(slab_class_for(2049), Some(7));
+        assert_eq!(slab_class_for(4096), Some(7));
+        assert_eq!(slab_class_for(4097), None);
+        for class in 0..SLAB_CLASS_COUNT {
+            assert_eq!(slab_class_for(slab_cell_size(class)), Some(class));
+        }
+    }
+
+    #[test]
+    fn stacks_transfer_ownership_in_lifo_chains() {
+        let alloc = BlockAllocator::new();
+        let stats = MemoryStats::new();
+        let a = crate::block::raw_alloc_block() as u64;
+        let b = crate::block::raw_alloc_block() as u64;
+        let c = crate::block::raw_alloc_block() as u64;
+        alloc.force_reserve(3);
+        alloc.push_local(0, a);
+        alloc.push_local(0, b);
+        alloc.push_remote(0, c);
+        assert_eq!(alloc.shard_cached(0), 3);
+        assert_eq!(alloc.cached_blocks(), 3);
+        // LIFO pop of the local stack.
+        assert_eq!(alloc.pop_cached(0), Some(b));
+        // Remote drain moves c in front of a.
+        assert_eq!(alloc.drain_remote(0, &stats), 1);
+        assert_eq!(MemoryStats::get(&stats.remote_frees_drained), 1);
+        assert_eq!(alloc.pop_cached(0), Some(c));
+        assert_eq!(alloc.pop_cached(0), Some(a));
+        assert_eq!(alloc.pop_cached(0), None);
+        assert_eq!(alloc.shard_cached(0), 0);
+        for addr in [a, b, c] {
+            unsafe { crate::block::raw_dealloc_block(addr as usize) };
+        }
+        alloc.unreserve(3);
+        assert_eq!(alloc.budgeted_blocks(), 0);
+    }
+
+    #[test]
+    fn reserve_grants_partial_batches_exactly() {
+        let alloc = BlockAllocator::new();
+        let budget = 3 * BLOCK_SIZE as u64;
+        assert_eq!(alloc.reserve(budget, ALLOC_BATCH), 3);
+        assert_eq!(alloc.reserve(budget, ALLOC_BATCH), 0);
+        alloc.unreserve(1);
+        assert_eq!(alloc.reserve(budget, ALLOC_BATCH), 1);
+        assert_eq!(alloc.reserve(u64::MAX, ALLOC_BATCH), ALLOC_BATCH);
+    }
+
+    #[test]
+    fn trim_returns_cached_blocks_to_the_budget() {
+        let alloc = BlockAllocator::new();
+        let stats = MemoryStats::new();
+        alloc.force_reserve(2);
+        alloc.push_local(1, crate::block::raw_alloc_block() as u64);
+        alloc.push_remote(2, crate::block::raw_alloc_block() as u64);
+        assert_eq!(alloc.trim(&stats), 2);
+        assert_eq!(alloc.budgeted_blocks(), 0);
+        assert_eq!(alloc.cached_blocks(), 0);
+        assert_eq!(MemoryStats::get(&stats.blocks_trimmed), 2);
+        assert_eq!(alloc.trim(&stats), 0, "second trim finds nothing");
+    }
+
+    #[test]
+    fn allocator_drop_frees_cached_blocks() {
+        let alloc = BlockAllocator::new();
+        alloc.force_reserve(2);
+        alloc.push_local(0, crate::block::raw_alloc_block() as u64);
+        alloc.push_remote(3, crate::block::raw_alloc_block() as u64);
+        drop(alloc); // must not leak (asserted by miri / leak checkers)
+    }
+
+    #[test]
+    fn slab_pages_carve_into_cells() {
+        let slab = SlabAllocator::new();
+        let class = slab_class_for(100).unwrap();
+        assert_eq!(slab_cell_size(class), 128);
+        {
+            let mut st = slab.class(class);
+            st.add_page(class, crate::block::raw_alloc_block());
+            assert_eq!(st.free.len(), BLOCK_SIZE / 128);
+            let a = st.take_cell().unwrap();
+            let b = st.take_cell().unwrap();
+            assert_eq!(b - a, 128, "cells are contiguous from the page base");
+            assert_eq!(a % 128, 0, "cells are naturally aligned");
+            st.put_cell(a);
+            assert_eq!(st.live, 1);
+        }
+        let occ = slab.occupancy();
+        assert_eq!(occ.len(), SLAB_CLASS_COUNT);
+        assert_eq!(occ[class].pages, 1);
+        assert_eq!(occ[class].cells_live, 1);
+        assert_eq!(occ[class].cells_allocated_total, 2);
+        assert_eq!(
+            occ[class].cells_free + occ[class].cells_live,
+            occ[class].cells_capacity
+        );
+        // Dropping the slab frees the page.
+    }
+}

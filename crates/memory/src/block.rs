@@ -180,6 +180,14 @@ pub struct BlockHeader {
     /// Pre-relocation read pins taken by queries processing this block's
     /// compaction group (§5.2's query counter).
     pub query_counter: AtomicU32,
+    /// Allocation-shard ownership ([`crate::alloc`]): `0` for blocks
+    /// allocated outside the budgeted runtime path (tests, hand-built
+    /// fixtures), `thread_index + 1` for blocks handed out by a shard, or
+    /// `u32::MAX` for budgeted blocks with no owning shard (allocating
+    /// thread could not register, or sharding disabled). Determines where
+    /// the block goes when freed: the owner's free list or straight back to
+    /// the OS. Survives [`wipe`](BlockRef::wipe); ownership outlives tenancy.
+    pub owner_shard: AtomicU32,
 }
 
 static NEXT_BLOCK_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
@@ -192,43 +200,139 @@ pub struct BlockRef(NonNull<BlockHeader>);
 unsafe impl Send for BlockRef {}
 unsafe impl Sync for BlockRef {}
 
+/// Allocates one raw, zeroed, size-aligned block from the OS and returns its
+/// base address. The caller owns the memory; pair with
+/// [`raw_dealloc_block`] or promote via [`BlockRef::init_at`].
+pub(crate) fn raw_alloc_block() -> usize {
+    let alloc_layout = Layout::from_size_align(BLOCK_SIZE, BLOCK_ALIGN).expect("static layout");
+    // Zeroed: slot directory all-Free, incarnation words all 0.
+    let base = unsafe { alloc_zeroed(alloc_layout) };
+    if base.is_null() {
+        handle_alloc_error(alloc_layout);
+    }
+    base as usize
+}
+
+/// Returns a raw block allocation (from [`raw_alloc_block`] or
+/// [`BlockRef::retire`]) to the OS.
+///
+/// # Safety
+/// `addr` must be the base of a live raw block allocation, and no pointers
+/// into it may remain in use.
+pub(crate) unsafe fn raw_dealloc_block(addr: usize) {
+    let alloc_layout = Layout::from_size_align(BLOCK_SIZE, BLOCK_ALIGN).expect("static layout");
+    dealloc(addr as *mut u8, alloc_layout);
+}
+
 impl BlockRef {
-    /// Allocates and initializes a zeroed, aligned block.
+    /// Allocates and initializes a zeroed, aligned block outside the
+    /// budgeted allocator path (`owner_shard` 0): tests and hand-built
+    /// fixtures. Runtime handouts go through
+    /// `init_at`/`reuse_at` instead.
     pub fn allocate(
         layout: &BlockLayout,
         type_id: u64,
         context_id: u64,
     ) -> Result<BlockRef, MemError> {
-        let alloc_layout = Layout::from_size_align(BLOCK_SIZE, BLOCK_ALIGN).expect("static layout");
-        // Zeroed: slot directory all-Free, incarnation words all 0.
-        let base = unsafe { alloc_zeroed(alloc_layout) };
-        let Some(base) = NonNull::new(base) else {
-            handle_alloc_error(alloc_layout);
-        };
-        let header = base.cast::<BlockHeader>();
-        unsafe {
-            header.as_ptr().write(BlockHeader {
-                magic: MAGIC,
-                type_id,
-                context_id,
-                block_id: NEXT_BLOCK_ID.fetch_add(1, Ordering::Relaxed),
-                capacity: layout.capacity,
-                slot_stride: layout.slot_stride,
-                obj_offset: layout.obj_offset,
-                slotdir_offset: layout.slotdir_offset,
-                backptr_offset: layout.backptr_offset,
-                store_offset: layout.store_offset,
-                valid_count: AtomicU32::new(0),
-                limbo_count: AtomicU32::new(0),
-                alloc_cursor: AtomicU32::new(0),
-                in_reclaim_queue: AtomicU32::new(0),
-                active_owner: AtomicU32::new(0),
-                compacting: AtomicU32::new(0),
-                reloc_list: AtomicPtr::new(std::ptr::null_mut()),
-                query_counter: AtomicU32::new(0),
-            });
+        let base = raw_alloc_block();
+        Ok(unsafe { Self::init_at(base, layout, type_id, context_id, 0) })
+    }
+
+    /// Writes a fresh block header over **zeroed** raw memory and returns
+    /// the handle.
+    ///
+    /// # Safety
+    /// `base` must come from [`raw_alloc_block`] (size-aligned, fully
+    /// zeroed) and must not be shared with any other thread yet.
+    pub(crate) unsafe fn init_at(
+        base: usize,
+        layout: &BlockLayout,
+        type_id: u64,
+        context_id: u64,
+        owner_shard: u32,
+    ) -> BlockRef {
+        let header = base as *mut BlockHeader;
+        header.write(BlockHeader {
+            magic: MAGIC,
+            type_id,
+            context_id,
+            block_id: NEXT_BLOCK_ID.fetch_add(1, Ordering::Relaxed),
+            capacity: layout.capacity,
+            slot_stride: layout.slot_stride,
+            obj_offset: layout.obj_offset,
+            slotdir_offset: layout.slotdir_offset,
+            backptr_offset: layout.backptr_offset,
+            store_offset: layout.store_offset,
+            valid_count: AtomicU32::new(0),
+            limbo_count: AtomicU32::new(0),
+            alloc_cursor: AtomicU32::new(0),
+            in_reclaim_queue: AtomicU32::new(0),
+            active_owner: AtomicU32::new(0),
+            compacting: AtomicU32::new(0),
+            reloc_list: AtomicPtr::new(std::ptr::null_mut()),
+            query_counter: AtomicU32::new(0),
+            owner_shard: AtomicU32::new(owner_shard),
+        });
+        BlockRef(NonNull::new_unchecked(header))
+    }
+
+    /// Re-initializes a **recycled** (retired, possibly dirty) raw block for
+    /// a new tenancy without paying a full 64 KiB zeroing: one memset covers
+    /// the header, slot directory and back-pointers (everything before the
+    /// object store), and the store is only normalized at the new geometry's
+    /// incarnation words — flags cleared, counter bits kept, so a stale
+    /// direct pointer into the recycled block still fails its incarnation
+    /// check (same contract as [`wipe`](Self::wipe)). Payload bytes are left
+    /// as-is: reads are gated by the slot directory (all `Free` after the
+    /// memset) and the incarnation check.
+    ///
+    /// # Safety
+    /// `base` must be a retired block allocation ([`retire`](Self::retire))
+    /// exclusively owned by the caller, with no live pointers into it
+    /// (epoch barrier at retirement).
+    pub(crate) unsafe fn reuse_at(
+        base: usize,
+        layout: &BlockLayout,
+        type_id: u64,
+        context_id: u64,
+        owner_shard: u32,
+    ) -> BlockRef {
+        std::ptr::write_bytes(base as *mut u8, 0, layout.store_offset as usize);
+        let block = Self::init_at(base, layout, type_id, context_id, owner_shard);
+        let h = block.header();
+        if h.slot_stride > 0 {
+            for slot in 0..h.capacity {
+                let inc = block.slot_inc(slot);
+                let cur = inc.load(Ordering::Relaxed);
+                inc.store(cur & crate::incarnation::INC_MASK, Ordering::Relaxed);
+            }
+        } else {
+            // Columnar stores keep incarnations in the leading column.
+            for slot in 0..h.capacity {
+                let inc = block.payload_inc(slot);
+                let cur = inc.load(Ordering::Relaxed);
+                inc.store(cur & crate::incarnation::INC_MASK, Ordering::Relaxed);
+            }
         }
-        Ok(BlockRef(header))
+        block
+    }
+
+    /// Tears the block down to raw recyclable memory: drops any leftover
+    /// relocation list and returns the base address for a free list. The
+    /// header bytes are left in place (overwritten on reuse).
+    ///
+    /// # Safety
+    /// Same quiescence contract as [`deallocate`](Self::deallocate); the
+    /// handle must not be used afterwards.
+    pub(crate) unsafe fn retire(self) -> usize {
+        let rl = self
+            .header()
+            .reloc_list
+            .swap(std::ptr::null_mut(), Ordering::AcqRel);
+        if !rl.is_null() {
+            drop(Box::from_raw(rl));
+        }
+        self.0.as_ptr() as usize
     }
 
     /// Frees the block's memory. The caller must guarantee quiescence: no
@@ -238,16 +342,7 @@ impl BlockRef {
     /// No live references into the block may exist, and the handle must not
     /// be used afterwards.
     pub unsafe fn deallocate(self) {
-        // Drop any leftover relocation list.
-        let rl = self
-            .header()
-            .reloc_list
-            .swap(std::ptr::null_mut(), Ordering::AcqRel);
-        if !rl.is_null() {
-            drop(Box::from_raw(rl));
-        }
-        let alloc_layout = Layout::from_size_align(BLOCK_SIZE, BLOCK_ALIGN).expect("static layout");
-        dealloc(self.0.as_ptr().cast(), alloc_layout);
+        raw_dealloc_block(self.retire());
     }
 
     /// The header.

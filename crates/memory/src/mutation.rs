@@ -34,6 +34,11 @@ pub enum Mutation {
     /// never rolls back — and a racing mover can finish the move *after* the
     /// cancel claimed the object stayed put.
     CancelSkipsBailRollback = 1 << 5,
+    /// The sharded allocator forgets to drain the owner's remote return
+    /// queue (`BlockAllocator::drain_remote` becomes a no-op), so blocks
+    /// freed by other threads are stranded: budgeted but never reusable,
+    /// and a budget-capped owner OOMs despite memory being available.
+    DropRemoteDrain = 1 << 6,
 }
 
 #[cfg(smc_check)]

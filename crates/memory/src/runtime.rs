@@ -4,13 +4,21 @@
 //! whose `alloc`/`free` are "part of the runtime API and are called by the
 //! collection implementation as needed" (§2). [`Runtime`] is that API
 //! surface: it owns the global epoch state, the global indirection table,
-//! the compaction coordination flags of §5.1, and a *graveyard* of blocks
-//! awaiting epoch-safe return to the OS.
+//! the compaction coordination flags of §5.1, a *graveyard* of blocks
+//! awaiting epoch-safe return to the OS, and — since the allocator rework —
+//! the sharded block allocator and size-class slabs of
+//! [`crate::alloc`]. Block acquisition is thread-local in the common case
+//! (pop from the calling thread's shard cache); the budget gate only runs
+//! on the batched slow path that hands out fresh block ranges.
 
+use std::ptr::NonNull;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use crate::block::{BlockLayout, BlockRef, BLOCK_SIZE};
+use crate::alloc::{
+    AllocSnapshot, BlockAllocator, SlabAllocator, ALLOC_BATCH, MAX_SHARD_CACHE, SLAB_MAX_CELL,
+};
+use crate::block::{raw_alloc_block, raw_dealloc_block, BlockLayout, BlockRef, BLOCK_SIZE};
 use crate::epoch::{EpochManager, Guard};
 use crate::error::MemError;
 use crate::fault::{FaultInjector, FaultSite};
@@ -38,8 +46,14 @@ pub struct Runtime {
     pub stats: Arc<MemoryStats>,
     /// Failpoint registry covering blocks, epochs, thread slots, relocation.
     faults: Arc<FaultInjector>,
-    /// Cap on live block bytes; `u64::MAX` means unlimited.
+    /// Cap on budgeted block bytes (live handouts + shard-cached spares);
+    /// `u64::MAX` means unlimited.
     budget_bytes: AtomicU64,
+    /// Sharded block allocation mechanics (shard caches, remote return
+    /// queues, the budget gauge). Policy lives here in the runtime.
+    pub(crate) alloc: BlockAllocator,
+    /// Power-of-two size-class slabs for variable-size payloads.
+    slab: SlabAllocator,
     /// Serializes compaction passes ("the compaction thread", §5.1 — one at
     /// a time per runtime).
     pub(crate) compaction_mutex: Mutex<()>,
@@ -51,6 +65,11 @@ pub struct Runtime {
     /// the tagged payload it loaded before the fault-in. Stored as raw
     /// `Box::into_raw` addresses.
     stub_graveyard: Mutex<Vec<(usize, u64)>>,
+    /// Entries across both graveyards, maintained outside the locks so the
+    /// per-allocation [`drain_graveyard`](Self::drain_graveyard) call can
+    /// skip the mutexes entirely when there is nothing to reap. Advisory
+    /// (uninstrumented): a stale zero only delays reaping to the next call.
+    reclaim_pending: std::sync::atomic::AtomicU64,
     next_context_id: AtomicU64,
 }
 
@@ -60,7 +79,7 @@ impl Runtime {
         Self::with_budget(None)
     }
 
-    /// Creates a fresh runtime whose live block bytes are capped at
+    /// Creates a fresh runtime whose budgeted block bytes are capped at
     /// `budget_bytes` (`None` = unlimited). When an allocation would exceed
     /// the budget, [`allocate_block`](Self::allocate_block) runs a bounded
     /// recovery ladder before surfacing [`MemError::OutOfMemory`].
@@ -73,9 +92,12 @@ impl Runtime {
             stats,
             faults,
             budget_bytes: AtomicU64::new(budget_bytes.unwrap_or(u64::MAX)),
+            alloc: BlockAllocator::new(),
+            slab: SlabAllocator::new(),
             compaction_mutex: Mutex::new(()),
             graveyard: Mutex::new(Vec::new()),
             stub_graveyard: Mutex::new(Vec::new()),
+            reclaim_pending: std::sync::atomic::AtomicU64::new(0),
             next_context_id: AtomicU64::new(1),
         })
     }
@@ -85,7 +107,7 @@ impl Runtime {
         &self.faults
     }
 
-    /// Sets or clears the live-block byte budget at runtime.
+    /// Sets or clears the budgeted-block byte budget at runtime.
     pub fn set_memory_budget(&self, budget_bytes: Option<u64>) {
         self.budget_bytes
             .store(budget_bytes.unwrap_or(u64::MAX), Ordering::Relaxed);
@@ -97,6 +119,18 @@ impl Runtime {
             u64::MAX => None,
             b => Some(b),
         }
+    }
+
+    /// Enables or disables the sharded allocation fast path. Disabled, the
+    /// allocator degrades to the legacy shared path (batch size 1, every
+    /// free returns to the OS) — the `fig18_alloc` baseline mode.
+    pub fn set_sharded_alloc(&self, on: bool) {
+        self.alloc.set_sharded(on);
+    }
+
+    /// Whether the sharded allocation fast path is enabled (default: yes).
+    pub fn sharded_alloc(&self) -> bool {
+        self.alloc.is_sharded()
     }
 
     /// Enters a critical section (§3.4). All object dereferences require the
@@ -118,11 +152,18 @@ impl Runtime {
     /// recovery ladder. All block allocations of the memory system route
     /// through here (contexts' thread blocks and compaction destinations).
     ///
+    /// Fast path: pop a recycled block from the calling thread's allocation
+    /// shard (no budget CAS, no lock), draining the shard's remote return
+    /// queue when the local list runs dry. Slow path: reserve a fresh batch
+    /// of up to [`ALLOC_BATCH`] blocks against the budget, hand out one and
+    /// park the rest in the shard cache.
+    ///
     /// On budget exhaustion the ladder, per attempt: (1) frees every
     /// epoch-ready graveyard block and deferred indirection entry; (2) forces
     /// an emergency epoch advance so limbo memory ripens (unless a compaction
     /// holds the advance reservation); (3) backs off briefly to let
-    /// concurrent frees land. After [`MAX_ALLOC_ATTEMPTS`] failed attempts it
+    /// concurrent frees land; and on the final attempt (4) trims idle shard
+    /// caches back to the OS. After [`MAX_ALLOC_ATTEMPTS`] failed attempts it
     /// returns [`MemError::OutOfMemory`].
     pub fn allocate_block(
         &self,
@@ -134,21 +175,58 @@ impl Runtime {
             // Simulated hard OS failure: no recovery, straight to the caller.
             return Err(MemError::OutOfMemory);
         }
+        let (base, owner, recycled) = self.acquire_raw()?;
+        let block = unsafe {
+            if recycled {
+                BlockRef::reuse_at(base, layout, type_id, context_id, owner)
+            } else {
+                BlockRef::init_at(base, layout, type_id, context_id, owner)
+            }
+        };
+        Ok(block)
+    }
+
+    /// Acquires one raw block's memory: `(base, owner_shard_tag, recycled)`.
+    /// Owns all allocation accounting (`blocks_allocated`/`blocks_live`
+    /// count *handouts*, fresh or recycled) and the recovery ladder.
+    fn acquire_raw(&self) -> Result<(usize, u32, bool), MemError> {
+        let shard = if self.alloc.is_sharded() {
+            self.epochs.thread_index().ok()
+        } else {
+            None
+        };
         let mut attempt = 0u32;
         loop {
-            if self.try_reserve_block() {
-                let block = match BlockRef::allocate(layout, type_id, context_id) {
-                    Ok(b) => b,
-                    Err(e) => {
-                        self.stats.blocks_live.fetch_sub(1, Ordering::Relaxed);
-                        return Err(e);
-                    }
-                };
-                MemoryStats::inc(&self.stats.blocks_allocated);
-                if attempt > 0 {
-                    MemoryStats::inc(&self.stats.oom_recoveries);
+            if let Some(idx) = shard {
+                if let Some(addr) = self.alloc.pop_cached(idx) {
+                    MemoryStats::inc(&self.stats.blocks_recycled);
+                    self.note_handout(attempt);
+                    return Ok((addr as usize, idx as u32 + 1, true));
                 }
-                return Ok(block);
+                if self.alloc.drain_remote(idx, &self.stats) > 0 {
+                    // Remote frees landed: retry the local pop before
+                    // touching the budget.
+                    continue;
+                }
+            }
+            let budget = self.budget_bytes.load(Ordering::Relaxed);
+            let want = if shard.is_some() { ALLOC_BATCH } else { 1 };
+            let granted = self.alloc.reserve(budget, want);
+            if granted > 0 {
+                let base = raw_alloc_block();
+                self.note_handout(attempt);
+                if granted > 1 {
+                    let idx = shard.expect("batched grants only on the sharded path");
+                    for _ in 1..granted {
+                        self.alloc.push_local(idx, raw_alloc_block() as u64);
+                    }
+                    MemoryStats::inc(&self.stats.alloc_batch_refills);
+                }
+                let owner = match shard {
+                    Some(idx) => idx as u32 + 1,
+                    None => u32::MAX,
+                };
+                return Ok((base, owner, false));
             }
             if attempt >= MAX_ALLOC_ATTEMPTS {
                 return Err(MemError::OutOfMemory);
@@ -159,25 +237,11 @@ impl Runtime {
         }
     }
 
-    /// Reserves budget for one block by incrementing `blocks_live` if the
-    /// result still fits. The CAS makes budget enforcement exact under
-    /// concurrent allocators; `drain_graveyard` decrements the same gauge
-    /// when blocks return to the OS.
-    fn try_reserve_block(&self) -> bool {
-        let budget = self.budget_bytes.load(Ordering::Relaxed);
-        loop {
-            let live = self.stats.blocks_live.load(Ordering::Relaxed);
-            if budget != u64::MAX && (live + 1).saturating_mul(BLOCK_SIZE as u64) > budget {
-                return false;
-            }
-            if self
-                .stats
-                .blocks_live
-                .compare_exchange(live, live + 1, Ordering::Relaxed, Ordering::Relaxed)
-                .is_ok()
-            {
-                return true;
-            }
+    fn note_handout(&self, attempt: u32) {
+        MemoryStats::inc(&self.stats.blocks_allocated);
+        MemoryStats::inc(&self.stats.blocks_live);
+        if attempt > 0 {
+            MemoryStats::inc(&self.stats.oom_recoveries);
         }
     }
 
@@ -203,8 +267,158 @@ impl Runtime {
         if ripened > 0 {
             return;
         }
-        // (3) Capped backoff: concurrent removals/compactions may free blocks.
+        // (3) Last rung: claw shard-cached spares back from every thread.
+        // Only at the final attempt — recycled spares are the fast path's
+        // whole point, so they are sacrificed only when the alternative is
+        // conceding OutOfMemory.
+        if attempt >= MAX_ALLOC_ATTEMPTS && self.alloc.trim(&self.stats) > 0 {
+            return;
+        }
+        // (4) Capped backoff: concurrent removals/compactions may free blocks.
         crate::sync::backoff(attempt);
+    }
+
+    /// Returns a block handed out by [`allocate_block`](Self::allocate_block)
+    /// (or the graveyard's epoch-delayed equivalent). The memory is parked
+    /// on an allocation shard for recycling when the sharded path is on and
+    /// the cache has room; otherwise it goes back to the OS and frees its
+    /// budget reservation.
+    ///
+    /// Callers must guarantee no thread can still dereference into the
+    /// block — either because it was never published or because its burial
+    /// epoch passed (the graveyard handles the latter).
+    pub fn free_block(&self, block: BlockRef) {
+        MemoryStats::inc(&self.stats.blocks_freed);
+        self.stats.blocks_live.fetch_sub(1, Ordering::Relaxed);
+        self.release_block(block);
+    }
+
+    /// Routes a retired block's memory: shard cache, owner's remote return
+    /// queue, or OS. Does not touch the handout gauges — callers do.
+    fn release_block(&self, block: BlockRef) {
+        let owner = block.header().owner_shard.load(Ordering::Relaxed);
+        let base = unsafe { block.retire() };
+        if owner == 0 {
+            // Hand-allocated outside the runtime's budget (tests, fixtures):
+            // never reserved, so nothing to unreserve or recycle.
+            unsafe { raw_dealloc_block(base) };
+            return;
+        }
+        let budget = self.budget_bytes.load(Ordering::Relaxed);
+        let over_budget = budget != u64::MAX
+            && self
+                .alloc
+                .budgeted_blocks()
+                .saturating_mul(BLOCK_SIZE as u64)
+                > budget;
+        if self.alloc.is_sharded() && owner != u32::MAX && !over_budget {
+            // Recycle. The freeing thread keeps blocks it owns; foreign
+            // blocks go home via the owner's MPSC return queue.
+            let target = (owner - 1) as usize;
+            if self.alloc.shard_cached(target) < MAX_SHARD_CACHE {
+                match self.epochs.thread_index() {
+                    Ok(me) if me == target => {
+                        self.alloc.push_local(target, base as u64);
+                        return;
+                    }
+                    Ok(_) => {
+                        MemoryStats::inc(&self.stats.remote_frees);
+                        self.alloc.push_remote(target, base as u64);
+                        return;
+                    }
+                    Err(_) => {} // registry exhausted: fall through to OS
+                }
+            }
+        }
+        // Legacy path, overshoot settlement, cache cap, or unregistered
+        // freeing thread: return the memory and its reservation.
+        unsafe { raw_dealloc_block(base) };
+        self.alloc.unreserve(1);
+    }
+
+    /// Drains the calling thread's remote return queue into its local free
+    /// list, returning the number of blocks reclaimed. Worker pools and
+    /// server shards call this on their idle/maintenance ticks so remote
+    /// frees do not sit in limbo until the owner's next allocation.
+    pub fn alloc_maintenance(&self) -> u64 {
+        match self.epochs.thread_index() {
+            Ok(idx) => self.alloc.drain_remote(idx, &self.stats),
+            Err(_) => 0,
+        }
+    }
+
+    /// Pre-faults up to `n` fresh blocks into the calling thread's shard
+    /// cache (subject to budget), so a worker's first allocations skip the
+    /// slow path. Returns the number of blocks parked.
+    pub fn prewarm_local_blocks(&self, n: u64) -> u64 {
+        if !self.alloc.is_sharded() {
+            return 0;
+        }
+        let Ok(idx) = self.epochs.thread_index() else {
+            return 0;
+        };
+        let budget = self.budget_bytes.load(Ordering::Relaxed);
+        let granted = self.alloc.reserve(budget, n.min(MAX_SHARD_CACHE));
+        for _ in 0..granted {
+            self.alloc.push_local(idx, raw_alloc_block() as u64);
+        }
+        granted
+    }
+
+    /// Point-in-time view of the allocation layer (shard caches, budget
+    /// gauge, slab occupancy) for `HeapSnapshot` and `smc-top`.
+    pub fn alloc_snapshot(&self) -> AllocSnapshot {
+        AllocSnapshot {
+            sharded: self.alloc.is_sharded(),
+            budgeted_blocks: self.alloc.budgeted_blocks(),
+            cached_blocks: self.alloc.cached_blocks(),
+            blocks_recycled: MemoryStats::get(&self.stats.blocks_recycled),
+            remote_frees: MemoryStats::get(&self.stats.remote_frees),
+            remote_frees_drained: MemoryStats::get(&self.stats.remote_frees_drained),
+            slab_classes: self.slab.occupancy(),
+        }
+    }
+
+    /// Allocates `len` bytes from the power-of-two size-class slabs
+    /// (variable-size payloads: strings, varlen columns). Lengths above
+    /// [`SLAB_MAX_CELL`] are [`MemError::ObjectTooLarge`]. Slab pages are
+    /// budgeted block handouts acquired through the same ladder as
+    /// [`allocate_block`](Self::allocate_block).
+    ///
+    /// The returned cell is *not* zeroed: slab payloads are gated by their
+    /// owners (e.g. a varlen column writes before publishing a length), so
+    /// recycled cells may hold stale bytes.
+    pub fn alloc_varlen(&self, len: usize) -> Result<NonNull<u8>, MemError> {
+        let class = crate::alloc::slab_class_for(len).ok_or(MemError::ObjectTooLarge {
+            size: len,
+            max: SLAB_MAX_CELL,
+        })?;
+        let mut st = self.slab.class(class);
+        let addr = match st.take_cell() {
+            Some(addr) => addr,
+            None => {
+                // Refill under the class lock (classes refill independently;
+                // the block ladder never takes a class lock, so no cycle).
+                let (base, _owner, _recycled) = self.acquire_raw()?;
+                st.add_page(class, base);
+                st.take_cell().expect("fresh page must yield a cell")
+            }
+        };
+        MemoryStats::inc(&self.stats.slab_cells_allocated);
+        Ok(NonNull::new(addr as *mut u8).expect("slab cells are never at address 0"))
+    }
+
+    /// Returns a cell obtained from [`alloc_varlen`](Self::alloc_varlen).
+    ///
+    /// # Safety
+    /// `ptr` must have come from `alloc_varlen(len')` on this runtime with
+    /// `len'` mapping to the same size class as `len`, must not be freed
+    /// twice, and no live reference into the cell may remain.
+    pub unsafe fn free_varlen(&self, ptr: NonNull<u8>, len: usize) {
+        let class = crate::alloc::slab_class_for(len)
+            .expect("free_varlen length must match an allocatable class");
+        self.slab.class(class).put_cell(ptr.as_ptr() as usize);
+        MemoryStats::inc(&self.stats.slab_cells_freed);
     }
 
     /// Current global epoch.
@@ -237,10 +451,13 @@ impl Runtime {
         self.epochs.set_moving_phase(on);
     }
 
-    /// Hands a block to the graveyard, to be returned to the OS once the
-    /// global epoch reaches `free_at`.
-    pub(crate) fn bury_block(&self, block: BlockRef, free_at: u64) {
+    /// Hands a block to the graveyard, to be returned to the allocator once
+    /// the global epoch reaches `free_at` (ripe blocks recycle through the
+    /// owner's shard cache, or the OS past the cache cap).
+    pub fn bury_block(&self, block: BlockRef, free_at: u64) {
         self.graveyard.lock().push((block, free_at));
+        self.reclaim_pending
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Hands a spill stub (raw `Box<SpillStub>` address, tag bit stripped)
@@ -249,6 +466,8 @@ impl Runtime {
     /// payload it came from.
     pub(crate) fn bury_stub(&self, stub_addr: usize, free_at: u64) {
         self.stub_graveyard.lock().push((stub_addr, free_at));
+        self.reclaim_pending
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Allocates one block outside the budget gate and recovery ladder.
@@ -257,32 +476,42 @@ impl Runtime {
     /// thread may itself be pinned (a dereference faults in mid-read); a
     /// pinned thread can never ripen its own victim's burial epoch, so
     /// routing through the ladder could deadlock against the budget. The
-    /// transient overshoot is at most one block per concurrent faulter and
-    /// settles as buried spill victims drain.
+    /// reservation is forced (transient overshoot, at most one block per
+    /// concurrent faulter) and settles as buried spill victims drain: frees
+    /// observed while over budget return to the OS instead of the cache.
     pub(crate) fn allocate_block_unbudgeted(
         &self,
         layout: &BlockLayout,
         type_id: u64,
         context_id: u64,
     ) -> Result<BlockRef, MemError> {
-        let block = BlockRef::allocate(layout, type_id, context_id)?;
-        MemoryStats::inc(&self.stats.blocks_live);
-        MemoryStats::inc(&self.stats.blocks_allocated);
-        Ok(block)
+        self.alloc.force_reserve(1);
+        let owner = match self.epochs.thread_index() {
+            Ok(idx) => idx as u32 + 1,
+            Err(_) => u32::MAX,
+        };
+        let base = raw_alloc_block();
+        self.note_handout(0);
+        Ok(unsafe { BlockRef::init_at(base, layout, type_id, context_id, owner) })
     }
 
     /// Opportunistically frees graveyard blocks whose epoch has passed.
-    /// Called from allocation slow paths; also usable directly.
+    /// Called from allocation slow paths; also usable directly. The common
+    /// nothing-pending case is one uninstrumented atomic load — no locks.
     pub fn drain_graveyard(&self) -> usize {
+        if self
+            .reclaim_pending
+            .load(std::sync::atomic::Ordering::Relaxed)
+            == 0
+        {
+            return 0;
+        }
         let now = self.global_epoch();
         let mut yard = self.graveyard.lock();
         let before = yard.len();
         yard.retain(|(block, free_at)| {
             if *free_at <= now {
-                unsafe { block.deallocate() };
-                MemoryStats::inc(&self.stats.blocks_freed);
-                let live = &self.stats.blocks_live;
-                live.fetch_sub(1, Ordering::Relaxed);
+                self.free_block(*block);
                 false
             } else {
                 true
@@ -293,6 +522,7 @@ impl Runtime {
         // Ripe spill stubs ride the same epoch discipline but are not blocks:
         // they do not count toward the returned total or the block gauges.
         let mut stubs = self.stub_graveyard.lock();
+        let sbefore = stubs.len();
         stubs.retain(|(addr, free_at)| {
             if *free_at <= now {
                 drop(unsafe { Box::from_raw(*addr as *mut crate::spill::SpillStub) });
@@ -301,6 +531,14 @@ impl Runtime {
                 true
             }
         });
+        let sfreed = sbefore - stubs.len();
+        drop(stubs);
+        if freed + sfreed > 0 {
+            self.reclaim_pending.fetch_sub(
+                (freed + sfreed) as u64,
+                std::sync::atomic::Ordering::Relaxed,
+            );
+        }
         freed
     }
 
@@ -335,6 +573,9 @@ impl Drop for Runtime {
         for (addr, _) in stubs.drain(..) {
             drop(unsafe { Box::from_raw(addr as *mut crate::spill::SpillStub) });
         }
+        drop(stubs);
+        // `alloc` (shard caches) and `slab` (pages) free their own memory
+        // when their fields drop after this body.
     }
 }
 
@@ -408,12 +649,16 @@ mod tests {
     #[test]
     fn budget_exhaustion_surfaces_out_of_memory() {
         // A two-block budget: the third allocation must fail with an error,
-        // not a panic, after exhausting the recovery ladder.
+        // not a panic, after exhausting the recovery ladder. The batched
+        // grant parks the budget's second block in this thread's shard
+        // cache, so the second allocation is a recycling fast-path hit.
         let rt = Runtime::with_budget(Some(2 * BLOCK_SIZE as u64));
         assert_eq!(rt.memory_budget(), Some(2 * BLOCK_SIZE as u64));
         let layout = BlockLayout::rows_of::<u64>().unwrap();
         let a = rt.allocate_block(&layout, 1, 1).unwrap();
+        assert_eq!(MemoryStats::get(&rt.stats.alloc_batch_refills), 1);
         let b = rt.allocate_block(&layout, 1, 1).unwrap();
+        assert_eq!(MemoryStats::get(&rt.stats.blocks_recycled), 1);
         let third = rt.allocate_block(&layout, 1, 1);
         assert!(matches!(third, Err(MemError::OutOfMemory)));
         assert_eq!(
@@ -425,6 +670,7 @@ mod tests {
             2,
             "failed attempt must not leak budget"
         );
+        assert_eq!(rt.alloc.budgeted_blocks(), 2);
         // Raising the budget unblocks allocation.
         rt.set_memory_budget(Some(3 * BLOCK_SIZE as u64));
         let c = rt.allocate_block(&layout, 1, 1).unwrap();
@@ -432,6 +678,7 @@ mod tests {
             rt.bury_block(blk, 0);
         }
         rt.drain_graveyard();
+        rt.verify().unwrap();
     }
 
     #[test]
@@ -440,16 +687,104 @@ mod tests {
         let layout = BlockLayout::rows_of::<u64>().unwrap();
         let a = rt.allocate_block(&layout, 1, 1).unwrap();
         // The only budgeted block sits in the graveyard two epochs out; the
-        // ladder must advance epochs, drain it, and then succeed.
+        // ladder must advance epochs, drain it into the shard cache, and
+        // then recycle it.
         rt.bury_block(a, rt.global_epoch() + 2);
         let b = rt
             .allocate_block(&layout, 1, 1)
             .expect("recovery ladder should free the graveyard");
         assert_eq!(MemoryStats::get(&rt.stats.oom_recoveries), 1);
+        assert_eq!(MemoryStats::get(&rt.stats.blocks_recycled), 1);
         assert!(MemoryStats::get(&rt.stats.emergency_epoch_advances) >= 1);
         assert!(MemoryStats::get(&rt.stats.alloc_retries) >= 1);
         rt.bury_block(b, 0);
         rt.drain_graveyard();
+    }
+
+    #[test]
+    fn final_ladder_rung_trims_foreign_shard_caches() {
+        // Budget of one block, parked in another shard's cache: only the
+        // trim rung can claw it back for this thread.
+        let rt = Runtime::with_budget(Some(BLOCK_SIZE as u64));
+        let me = rt.epochs.thread_index().unwrap();
+        let foreign = (me + 1) % crate::epoch::MAX_THREADS;
+        assert_eq!(rt.alloc.reserve(BLOCK_SIZE as u64, 1), 1);
+        rt.alloc.push_local(foreign, raw_alloc_block() as u64);
+        let layout = BlockLayout::rows_of::<u64>().unwrap();
+        let b = rt
+            .allocate_block(&layout, 1, 1)
+            .expect("trim rung must reclaim the foreign cache");
+        assert_eq!(MemoryStats::get(&rt.stats.blocks_trimmed), 1);
+        rt.free_block(b);
+        rt.verify().unwrap();
+    }
+
+    #[test]
+    fn legacy_shared_path_skips_recycling() {
+        let rt = Runtime::new();
+        assert!(rt.sharded_alloc());
+        rt.set_sharded_alloc(false);
+        let layout = BlockLayout::rows_of::<u64>().unwrap();
+        let a = rt.allocate_block(&layout, 1, 1).unwrap();
+        rt.free_block(a);
+        assert_eq!(rt.alloc.cached_blocks(), 0, "legacy frees go to the OS");
+        assert_eq!(rt.alloc.budgeted_blocks(), 0);
+        assert_eq!(MemoryStats::get(&rt.stats.blocks_recycled), 0);
+        assert_eq!(MemoryStats::get(&rt.stats.alloc_batch_refills), 0);
+        rt.verify().unwrap();
+    }
+
+    #[test]
+    fn prewarm_fills_the_local_cache() {
+        let rt = Runtime::new();
+        assert_eq!(rt.prewarm_local_blocks(3), 3);
+        assert_eq!(rt.alloc.cached_blocks(), 3);
+        let layout = BlockLayout::rows_of::<u64>().unwrap();
+        let a = rt.allocate_block(&layout, 1, 1).unwrap();
+        assert_eq!(
+            MemoryStats::get(&rt.stats.blocks_recycled),
+            1,
+            "prewarmed blocks serve the fast path"
+        );
+        rt.free_block(a);
+        rt.verify().unwrap();
+    }
+
+    #[test]
+    fn varlen_cells_recycle_within_their_class() {
+        let rt = Runtime::new();
+        let p = rt.alloc_varlen(100).unwrap();
+        let q = rt.alloc_varlen(100).unwrap();
+        assert_ne!(p, q);
+        unsafe { rt.free_varlen(p, 100) };
+        let r = rt.alloc_varlen(128).unwrap(); // same 128-byte class
+        assert_eq!(r, p, "freed cell is reused LIFO");
+        let snap = rt.alloc_snapshot();
+        assert_eq!(snap.slab_classes_used(), 1);
+        let class = &snap.slab_classes[2]; // 32 << 2 == 128
+        assert_eq!(class.cell_size, 128);
+        assert_eq!(class.pages, 1);
+        assert_eq!(class.cells_live, 2);
+        assert_eq!(class.cells_allocated_total, 3);
+        assert!(matches!(
+            rt.alloc_varlen(SLAB_MAX_CELL + 1),
+            Err(MemError::ObjectTooLarge { size, max })
+                if size == SLAB_MAX_CELL + 1 && max == SLAB_MAX_CELL
+        ));
+        unsafe {
+            rt.free_varlen(q, 100);
+            rt.free_varlen(r, 128);
+        }
+        rt.verify().unwrap();
+    }
+
+    #[test]
+    fn varlen_respects_the_block_budget() {
+        let rt = Runtime::with_budget(Some(BLOCK_SIZE as u64));
+        let p = rt.alloc_varlen(64).unwrap(); // first slab page takes the budget
+        assert!(matches!(rt.alloc_varlen(4096), Err(MemError::OutOfMemory)));
+        unsafe { rt.free_varlen(p, 64) };
+        rt.verify().unwrap();
     }
 
     #[test]

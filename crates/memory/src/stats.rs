@@ -74,6 +74,25 @@ pub struct MemoryStats {
     /// Fault-in attempts that failed closed (page-store read error or
     /// checksum mismatch; the page stayed spilled).
     pub spill_fault_failures: AtomicU64,
+    /// Block handouts served from a shard's recycled free list instead of a
+    /// fresh OS allocation ([`crate::alloc`]).
+    pub blocks_recycled: AtomicU64,
+    /// Blocks freed by a thread other than the owning shard's thread and
+    /// pushed onto the owner's remote return queue.
+    pub remote_frees: AtomicU64,
+    /// Remote-freed blocks drained from a return queue into the owner's
+    /// local free list (on the owner's next allocation or maintenance tick).
+    pub remote_frees_drained: AtomicU64,
+    /// Batched slow-path refills: fresh budget reservations that handed out
+    /// one block and parked the rest of the batch in the shard cache.
+    pub alloc_batch_refills: AtomicU64,
+    /// Shard-cached blocks returned to the OS by the allocation ladder's
+    /// trim rung (budget pressure reclaiming idle caches).
+    pub blocks_trimmed: AtomicU64,
+    /// Variable-size cells handed out by the size-class slab allocator.
+    pub slab_cells_allocated: AtomicU64,
+    /// Variable-size cells returned to the size-class slab allocator.
+    pub slab_cells_freed: AtomicU64,
     /// Wall time of whole compaction passes, in nanoseconds (select through
     /// publish). Report via [`Histogram::summary`] (p50/p95/p99).
     pub compaction_pass_ns: Histogram,
@@ -148,6 +167,13 @@ impl MemoryStats {
             blocks_spilled: Self::get(&self.blocks_spilled),
             blocks_faulted_in: Self::get(&self.blocks_faulted_in),
             spill_fault_failures: Self::get(&self.spill_fault_failures),
+            blocks_recycled: Self::get(&self.blocks_recycled),
+            remote_frees: Self::get(&self.remote_frees),
+            remote_frees_drained: Self::get(&self.remote_frees_drained),
+            alloc_batch_refills: Self::get(&self.alloc_batch_refills),
+            blocks_trimmed: Self::get(&self.blocks_trimmed),
+            slab_cells_allocated: Self::get(&self.slab_cells_allocated),
+            slab_cells_freed: Self::get(&self.slab_cells_freed),
         }
     }
 }
@@ -206,6 +232,20 @@ pub struct StatsSnapshot {
     pub blocks_faulted_in: u64,
     /// Fault-in attempts that failed closed.
     pub spill_fault_failures: u64,
+    /// Block handouts served from a shard's recycled free list.
+    pub blocks_recycled: u64,
+    /// Blocks pushed onto another shard's remote return queue.
+    pub remote_frees: u64,
+    /// Remote-freed blocks drained into an owner's local free list.
+    pub remote_frees_drained: u64,
+    /// Batched slow-path refills of a shard cache.
+    pub alloc_batch_refills: u64,
+    /// Shard-cached blocks returned to the OS by the trim rung.
+    pub blocks_trimmed: u64,
+    /// Variable-size cells handed out by the slab allocator.
+    pub slab_cells_allocated: u64,
+    /// Variable-size cells returned to the slab allocator.
+    pub slab_cells_freed: u64,
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -247,7 +287,14 @@ impl std::fmt::Display for StatsSnapshot {
         writeln!(f, "morsels_dispatched={}", self.morsels_dispatched)?;
         writeln!(f, "blocks_spilled={}", self.blocks_spilled)?;
         writeln!(f, "blocks_faulted_in={}", self.blocks_faulted_in)?;
-        write!(f, "spill_fault_failures={}", self.spill_fault_failures)
+        writeln!(f, "spill_fault_failures={}", self.spill_fault_failures)?;
+        writeln!(f, "blocks_recycled={}", self.blocks_recycled)?;
+        writeln!(f, "remote_frees={}", self.remote_frees)?;
+        writeln!(f, "remote_frees_drained={}", self.remote_frees_drained)?;
+        writeln!(f, "alloc_batch_refills={}", self.alloc_batch_refills)?;
+        writeln!(f, "blocks_trimmed={}", self.blocks_trimmed)?;
+        writeln!(f, "slab_cells_allocated={}", self.slab_cells_allocated)?;
+        write!(f, "slab_cells_freed={}", self.slab_cells_freed)
     }
 }
 
@@ -304,7 +351,10 @@ mod tests {
         assert!(dump.contains("context_budget_rejections=0"));
         assert!(dump.contains("blocks_spilled=0"));
         assert!(dump.contains("spill_fault_failures=0"));
+        assert!(dump.contains("blocks_recycled=0"));
+        assert!(dump.contains("remote_frees_drained=0"));
+        assert!(dump.contains("slab_cells_allocated=0"));
         // One key=value pair per snapshot field.
-        assert_eq!(dump.lines().count(), 25);
+        assert_eq!(dump.lines().count(), 32);
     }
 }

@@ -279,7 +279,12 @@ impl Runtime {
     ///   announced relocation epoch; both clear when quiescent);
     /// - block accounting balances: `blocks_live` equals
     ///   `blocks_allocated - blocks_freed` and covers the graveyard;
-    /// - the live-block byte total respects the configured budget;
+    /// - allocator accounting balances: every budget-reserved block is
+    ///   either a live handout or parked in a shard cache
+    ///   (`budgeted == blocks_live + cached`);
+    /// - the budgeted byte total (handouts + caches) respects the budget;
+    /// - slab accounting balances per class: live + free cells equal the
+    ///   carved capacity, and lifetime allocated − freed equals live;
     /// - the indirection table's live entries equal the live object count.
     pub fn verify(&self) -> Result<(), Vec<String>> {
         let mut v = Violations::new();
@@ -300,11 +305,41 @@ impl Runtime {
                 "graveyard holds {buried} blocks but only {live} live"
             ));
         }
+        let budgeted = self.alloc.budgeted_blocks();
+        let cached = self.alloc.cached_blocks();
+        if budgeted != live + cached {
+            v.push(format!(
+                "allocator accounting off: budgeted {budgeted} != live {live} + cached {cached}"
+            ));
+        }
         if let Some(budget) = self.memory_budget() {
-            let bytes = self.stats.bytes_live(BLOCK_SIZE);
+            let bytes = budgeted.saturating_mul(BLOCK_SIZE as u64);
             if bytes > budget {
-                v.push(format!("live bytes {bytes} exceed budget {budget}"));
+                v.push(format!("budgeted bytes {bytes} exceed budget {budget}"));
             }
+        }
+        for class in self.alloc_snapshot().slab_classes {
+            let cell = class.cell_size;
+            if class.cells_live + class.cells_free != class.cells_capacity {
+                v.push(format!(
+                    "slab class {cell}B accounting off: live {} + free {} != capacity {}",
+                    class.cells_live, class.cells_free, class.cells_capacity
+                ));
+            }
+        }
+        let cells_alloc = MemoryStats::get(&self.stats.slab_cells_allocated);
+        let cells_freed = MemoryStats::get(&self.stats.slab_cells_freed);
+        let cells_live: u64 = self
+            .alloc_snapshot()
+            .slab_classes
+            .iter()
+            .map(|c| c.cells_live)
+            .sum();
+        if cells_alloc.checked_sub(cells_freed) != Some(cells_live) {
+            v.push(format!(
+                "slab cell accounting off: allocated {cells_alloc} - freed {cells_freed} \
+                 != live {cells_live}"
+            ));
         }
         let entries = self.indirection.live_entries();
         let objects = self.stats.objects_live();

@@ -366,6 +366,9 @@ pub(crate) fn run_shard(shared: Arc<ShardShared>, cfg: ShardConfig) -> ShardDrai
     }
     let pool = WorkerPool::for_runtime(&runtime, cfg.workers)
         .expect("shard worker registration exceeded the epoch thread registry");
+    // Prewarm this shard thread's allocation cache so the first tenant
+    // writes after startup skip the budget slow path.
+    runtime.prewarm_local_blocks(smc_memory::ALLOC_BATCH);
     let coordinator = Coordinator::new(MaintConfig {
         slo: smc_maint::SloPolicy {
             gauge: Some(shared.query_latency.clone()),
@@ -415,6 +418,9 @@ pub(crate) fn run_shard(shared: Arc<ShardShared>, cfg: ShardConfig) -> ShardDrai
             continue;
         }
         if served == 0 {
+            // Idle tick: repatriate blocks the pool's workers freed to this
+            // thread's remote return queue before sleeping on the doorbell.
+            runtime.alloc_maintenance();
             seen_rings = shared.doorbell.wait(seen_rings, Duration::from_millis(1));
         }
     }

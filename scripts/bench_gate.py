@@ -37,6 +37,13 @@ the *structure and correctness signals* of the report:
     ``blocks_spilled`` / ``blocks_faulted_in`` counters — a run that
     never spilled or never faulted a page back in proves nothing about
     the larger-than-memory path;
+  * fig18 (contended allocator) reports must carry the ``sharded_speedup``,
+    ``alloc_parity`` and ``post_churn_verify`` oracles by name, non-zero
+    ``allocs_total`` / ``remote_frees_drained`` / ``slab_classes_used``
+    counters (the MPSC remote-free queues and the size-class slabs must
+    both have carried load), and every ``alloc_churn`` row must clear an
+    absolute allocs/sec floor — a mode that "ran" at zero throughput
+    never ran;
   * if the report carries tracer counters, it may not claim an empty trace
     (``trace_events`` = 0) while also reporting dropped ring events — that
     combination means the tracer recorded work and the exporter lost all of
@@ -68,6 +75,13 @@ FIG17_COUNTERS = ("pins_taken", "snapshot_pages", "recovered_objects",
                   "blocks_spilled", "blocks_faulted_in")
 FIG17_CHECKS = ("recover_verify", "torn_page_rejected",
                 "spill_faults_counted")
+FIG18_COUNTERS = ("allocs_total", "remote_frees_drained",
+                  "slab_classes_used")
+FIG18_CHECKS = ("sharded_speedup", "alloc_parity", "post_churn_verify")
+# Absolute floor on every alloc_churn row's allocs/sec. Deliberately far
+# below any real machine (a single serialized core measures ~25k/s): the
+# floor rejects zeroed or garbage rows, not slow hardware.
+FIG18_MIN_ALLOCS_PER_SEC = 1000
 
 
 def required_counters(report):
@@ -78,6 +92,8 @@ def required_counters(report):
         return FIG16_COUNTERS
     if report.get("figure") == "fig17":
         return FIG17_COUNTERS
+    if report.get("figure") == "fig18":
+        return FIG18_COUNTERS
     return REQUIRED_COUNTERS
 
 
@@ -188,6 +204,33 @@ def check_report(fresh, baseline):
             fail(f"fig17 report is missing required checks: "
                  f"{', '.join(missing_fig17)}")
 
+    # --- fig18 contended-allocator rules --------------------------------------
+    # A churn run is only evidence if its three oracles ran (sharded speedup
+    # or its recorded low-core waiver, exact alloc/free parity, post-churn
+    # verify) and the two reworked protocols actually carried load: the
+    # counter rule above already rejects runs where remote_frees_drained
+    # (MPSC return queues) or slab_classes_used (size-class slabs) is zero.
+    # On top of that, every alloc_churn row must clear an absolute
+    # throughput floor — a mode that "ran" at zero allocs/sec never ran.
+    if fresh.get("figure") == "fig18":
+        missing_fig18 = sorted(n for n in FIG18_CHECKS if n not in fresh_names)
+        if missing_fig18:
+            fail(f"fig18 report is missing required checks: "
+                 f"{', '.join(missing_fig18)}")
+        churn_rows = None
+        for s in series:
+            if s.get("name") == "alloc_churn":
+                churn_rows = s.get("rows") or []
+        if churn_rows is None:
+            fail("fig18 report has no 'alloc_churn' series")
+        for row in churn_rows:
+            rate = row[2] if len(row) > 2 else None
+            if (not isinstance(rate, (int, float))
+                    or rate < FIG18_MIN_ALLOCS_PER_SEC):
+                fail(f"alloc_churn row {row!r} is below the "
+                     f"{FIG18_MIN_ALLOCS_PER_SEC} allocs/sec floor — that "
+                     f"mode never really ran")
+
     # --- tracer honesty ------------------------------------------------------
     # Only meaningful when the run traced (SMC_TRACE_OUT set): an exported
     # trace with zero events alongside non-zero ring drops means the tracer
@@ -257,9 +300,12 @@ def doctored_reports(base):
     del d["counters"][required[1]]
     yield f"{required[1]} counter removed", d
 
-    d = copy.deepcopy(base)
-    d["counters"]["pins_taken"] = 0
-    yield "pins_taken = 0", d
+    if "pins_taken" in base.get("counters", {}):
+        # fig18 measures the allocator below the epoch layer, so it carries
+        # no pin counter; every other figure must.
+        d = copy.deepcopy(base)
+        d["counters"]["pins_taken"] = 0
+        yield "pins_taken = 0", d
 
     if base.get("figure") == "fig15":
         # Coordinator-soak-specific rules: the gate must reject a soak whose
@@ -340,6 +386,41 @@ def doctored_reports(base):
         d = copy.deepcopy(base)
         d["counters"]["recovered_objects"] = 0
         yield "fig17: recovered_objects = 0 (recovery loaded nothing)", d
+
+    if base.get("figure") == "fig18":
+        # Contended-allocator-specific rules: a run whose remote-free queues
+        # never drained, whose slab never carved a class, whose speedup
+        # oracle was silently dropped, whose verify failed, or whose
+        # throughput collapsed to zero must each be rejected.
+        d = copy.deepcopy(base)
+        d["counters"]["remote_frees_drained"] = 0
+        yield "fig18: remote_frees_drained = 0 (return queues never ran)", d
+
+        d = copy.deepcopy(base)
+        d["counters"]["slab_classes_used"] = 0
+        yield "fig18: slab_classes_used = 0 (slab path never ran)", d
+
+        d = copy.deepcopy(base)
+        d["checks"] = [c for c in d["checks"]
+                       if c["name"] != "sharded_speedup"]
+        yield "fig18: sharded_speedup oracle dropped", d
+
+        d = copy.deepcopy(base)
+        for c in d["checks"]:
+            if c["name"] == "post_churn_verify":
+                c["passed"] = False
+        yield "fig18: post_churn_verify flipped to failed", d
+
+        d = copy.deepcopy(base)
+        for s in d["series"]:
+            if s["name"] == "alloc_churn":
+                s["rows"][0][2] = 0
+        yield "fig18: alloc_churn row at zero allocs/sec", d
+
+        d = copy.deepcopy(base)
+        d["series"] = [s for s in d["series"]
+                       if s["name"] != "alloc_churn"]
+        yield "fig18: alloc_churn series removed", d
 
     d = copy.deepcopy(base)
     d["counters"]["trace_events"] = 0
