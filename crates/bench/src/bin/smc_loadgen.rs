@@ -26,11 +26,21 @@
 //! work), `no_dropped_tenants` (every targeted tenant kept answering), and
 //! `drain_verify` (embedded server drained and reconciled bit-exact).
 //!
+//! Observability hooks: `--trace-every N` attaches a span-context header
+//! (a fresh `RequestId`) to every Nth request per connection — the server
+//! tags its conn/ring/shard/exec spans with the id, so the Chrome trace
+//! renders per-request flow across threads. `--slow-us U` sets the
+//! embedded server's tail-latency attribution threshold. After the run the
+//! harness issues a `SCRAPE` and folds the server's attribution histograms
+//! into `BENCH_fig16.json` (works identically against `--addr`, where the
+//! scrape is the *only* way to see inside the external process).
+//!
 //! ```text
 //! smc-loadgen [--duration 5s] [--rate N] [--connections N]
 //!             [--shards N] [--workers N] [--tenants N] [--budget-mb M]
 //!             [--query-pct P] [--keys N] [--batch N] [--seed N]
 //!             [--slo-ingest-us N] [--slo-query-us N] [--addr HOST:PORT]
+//!             [--trace-every N] [--slow-us U]
 //! ```
 
 use std::sync::Arc;
@@ -76,6 +86,7 @@ struct ConnResult {
 }
 
 struct Workload {
+    conn: u64,
     tenant: u16,
     interval: Duration,
     duration: Duration,
@@ -83,6 +94,7 @@ struct Workload {
     keys: u64,
     batch: usize,
     seed: u64,
+    trace_every: usize,
 }
 
 /// One closed-loop connection: pace, issue, record, repeat.
@@ -105,7 +117,13 @@ fn run_conn(
         return out;
     };
     let _ = client.set_timeout(Some(Duration::from_secs(30)));
+    if w.trace_every > 0 {
+        // Version negotiation: an old server answers the traced probe with
+        // UnknownOp and the client silently strips headers from then on.
+        let _ = client.negotiate_tracing();
+    }
     let mut rng = Pcg32::seed_from_u64(w.seed);
+    let mut issued = 0u64;
     let start = Instant::now();
     let end = start + w.duration;
     let mut next = start;
@@ -119,6 +137,12 @@ fn run_conn(
         } else if now > next + w.interval {
             out.late += 1;
         }
+        if w.trace_every > 0 && issued % w.trace_every as u64 == 0 {
+            // Unique nonzero id: connection index in the high bits, a
+            // per-connection sequence in the low ones.
+            client.trace_next(((w.conn + 1) << 40) | (issued + 1));
+        }
+        issued += 1;
         let is_query = rng.gen_range(0..100usize) < w.query_pct;
         let t0 = Instant::now();
         let result = if is_query {
@@ -186,6 +210,8 @@ fn main() {
     let seed = arg_usize("--seed", 42) as u64;
     let slo_ingest_us = arg_usize("--slo-ingest-us", 50_000) as u64;
     let slo_query_us = arg_usize("--slo-query-us", 100_000) as u64;
+    let trace_every = arg_usize("--trace-every", 0);
+    let slow_us = arg_usize("--slow-us", 1000);
     let external = arg_string("--addr");
 
     // Embedded server unless --addr points elsewhere.
@@ -208,6 +234,7 @@ fn main() {
                 shards,
                 workers_per_shard: workers,
                 tenants,
+                slow_request_threshold: Duration::from_micros(slow_us as u64),
                 ..ServerConfig::default()
             })
             .expect("embedded server binds an ephemeral port");
@@ -232,6 +259,7 @@ fn main() {
     let joins: Vec<_> = (0..connections)
         .map(|c| {
             let w = Workload {
+                conn: c as u64,
                 tenant: (c % ntenants) as u16,
                 interval,
                 duration,
@@ -239,6 +267,7 @@ fn main() {
                 keys,
                 batch,
                 seed: seed.wrapping_add(c as u64),
+                trace_every,
             };
             let (ih, qh) = (ingest_hist.clone(), query_hist.clone());
             std::thread::spawn(move || run_conn(addr, w, ih, qh))
@@ -249,6 +278,9 @@ fn main() {
 
     // Server-side counters, over the wire in both modes.
     let stats = Client::connect(addr).ok().and_then(|mut c| c.stats().ok());
+    // Full observability document (tail-latency attribution, tracer and
+    // flight health) — same wire path, so it also works against --addr.
+    let scrape = Client::connect(addr).ok().and_then(|mut c| c.scrape().ok());
 
     let mut report = Report::new("fig16", "Closed-loop multi-tenant server load");
     report.param("rate", rate as u64);
@@ -259,6 +291,8 @@ fn main() {
     report.param("query_pct", query_pct as u64);
     report.param("budget_mb", budget_mb as u64);
     report.param("seed", seed);
+    report.param("trace_every", trace_every as u64);
+    report.param("slow_us", slow_us as u64);
     report.param(
         "mode",
         if external.is_some() {
@@ -357,6 +391,69 @@ fn main() {
             smc_bench::record_zero_memory_counters(&mut report);
         }
     }
+
+    // Tail-latency attribution, scraped from the server: per-op-class
+    // breakdown histograms (ring wait / exec / total) in the same summary
+    // shape as this harness's own histograms, plus the pressure counters
+    // (spill faults, budget-ladder rungs, epoch-pin stalls, concurrent
+    // maintenance overlaps) attributed to over-threshold requests.
+    let mut attribution_ok = false;
+    if let Some(attr) = scrape.as_ref().and_then(|d| d.get("attribution")) {
+        if let Some(t) = attr.get("threshold_ns").and_then(JsonValue::as_u64) {
+            report.param("slow_threshold_ns", t);
+        }
+        let attr_series = report.series(
+            "attribution",
+            &[
+                "op_class",
+                "slow_requests",
+                "spill_faults",
+                "budget_rungs",
+                "epoch_stalls",
+                "maint_overlaps",
+            ],
+        );
+        attribution_ok = true;
+        for class in ["ingest", "query"] {
+            let Some(c) = attr.get(class) else {
+                attribution_ok = false;
+                continue;
+            };
+            for part in ["total_ns", "ring_wait_ns", "exec_ns"] {
+                match c.get(part) {
+                    Some(h) => report.histogram_json(format!("attr_{class}_{part}"), h.clone()),
+                    None => attribution_ok = false,
+                }
+            }
+            let g = |k: &str| c.get(k).and_then(JsonValue::as_u64).unwrap_or(0);
+            report.push_row(
+                attr_series,
+                vec![
+                    JsonValue::Str(class.to_string()),
+                    g("slow_requests").into(),
+                    g("spill_faults").into(),
+                    g("budget_rungs").into(),
+                    g("epoch_stalls").into(),
+                    g("maint_overlaps").into(),
+                ],
+            );
+        }
+        let slow_total = ["ingest", "query"]
+            .iter()
+            .filter_map(|c| attr.get(c))
+            .filter_map(|c| c.get("slow_requests").and_then(JsonValue::as_u64))
+            .sum::<u64>();
+        report.counter("slow_requests", slow_total);
+    }
+    report.check(
+        "attribution_scraped",
+        attribution_ok,
+        if attribution_ok {
+            "SCRAPE returned per-op-class attribution histograms".to_string()
+        } else {
+            "SCRAPE missing or incomplete attribution section".to_string()
+        },
+    );
 
     // Checks the gate enforces.
     let ip999 = ingest_hist.percentile(99.9) / 1_000;

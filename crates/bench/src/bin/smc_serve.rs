@@ -10,6 +10,7 @@
 //! ```text
 //! smc-serve [--addr HOST:PORT] [--shards N] [--workers N]
 //!           [--tenants N] [--budget-mb M] [--persist-dir PATH]
+//!           [--slow-us U]
 //! ```
 //!
 //! `--budget-mb M` (when nonzero) caps **tenant 0** at M MiB across all
@@ -23,10 +24,22 @@
 //! SIGTERM drain writes a fresh snapshot of the verified state before
 //! exit. The shard/tenant layout under PATH is
 //! `shard-<i>/tenant-<id>/{snapshot/,spill.dat}`.
+//!
+//! `--slow-us U` sets the tail-latency attribution threshold (default
+//! 1000 µs): requests slower than U microseconds record a structured
+//! breakdown into the per-op-class histograms the `SCRAPE` wire op (and
+//! `smc-top --addr`) report.
+//!
+//! The flight recorder is always armed. When `SMC_FLIGHT_OUT` names a
+//! destination path, the last-seconds event ring is dumped there on panic,
+//! SLO breach, failed drain verify — or on demand via `kill -USR1 <pid>`.
 
 use std::time::Duration;
 
-use smc_bench::{arg_usize, install_signal_handler, interrupted};
+use smc_bench::{
+    arg_usize, init_tracing, install_signal_handler, install_usr1_handler, interrupted,
+    usr1_requested,
+};
 use smc_serve::{Server, ServerConfig, TenantConfig};
 
 fn main() {
@@ -42,6 +55,7 @@ fn main() {
     let workers = arg_usize("--workers", 2).max(1);
     let ntenants = arg_usize("--tenants", 2).max(1);
     let budget_mb = arg_usize("--budget-mb", 0);
+    let slow_us = arg_usize("--slow-us", 1000);
     let persist_dir = {
         let args: Vec<String> = std::env::args().collect();
         args.iter()
@@ -62,6 +76,16 @@ fn main() {
         .collect();
 
     install_signal_handler();
+    install_usr1_handler();
+    // Spans live in *this* process: with SMC_TRACE_OUT set, the SIGTERM
+    // drain writes the Chrome trace — including the per-request `req.*`
+    // spans tagged by clients that sent span-context headers.
+    let trace_out = init_tracing();
+    // The flight recorder is always on: a fixed-budget ring of the last
+    // events, dumped to SMC_FLIGHT_OUT on panic / SLO breach / failed
+    // drain verify / SIGUSR1. Zero steady-state allocation.
+    smc_obs::flight::enable();
+    smc_obs::flight::install_panic_hook();
     if let Some(dir) = &persist_dir {
         println!("smc-serve: persistence at {}", dir.display());
     }
@@ -71,6 +95,7 @@ fn main() {
         workers_per_shard: workers,
         tenants,
         persist_dir,
+        slow_request_threshold: Duration::from_micros(slow_us as u64),
         ..ServerConfig::default()
     }) {
         Ok(s) => s,
@@ -85,11 +110,26 @@ fn main() {
     );
 
     while !interrupted() {
+        if usr1_requested() {
+            match smc_obs::flight::dump("sigusr1") {
+                Some(path) => println!("smc-serve: flight dump at {}", path.display()),
+                None => eprintln!(
+                    "smc-serve: SIGUSR1 received but SMC_FLIGHT_OUT is unset; no dump written"
+                ),
+            }
+        }
         std::thread::sleep(Duration::from_millis(50));
     }
 
     println!("smc-serve: signal received, draining");
     let report = server.shutdown();
+    if let Some(path) = &trace_out {
+        let trace = smc_obs::ChromeTrace::from_ring_snapshot();
+        match trace.write(path) {
+            Ok(()) => println!("smc-serve: trace at {}", path.display()),
+            Err(e) => eprintln!("smc-serve: failed to write trace {}: {e}", path.display()),
+        }
+    }
     for d in &report.shards {
         println!(
             "smc-serve: shard {} drained: {} requests, {} tenants verified, \

@@ -12,8 +12,15 @@
 //!
 //! ```text
 //! smc-top [--threads N] [--objects N] [--refresh-ms N] [--ticks N]
-//!         [--budget-mb N] [--once] [--json]
+//!         [--budget-mb N] [--once] [--json] [--addr HOST:PORT]
 //! ```
+//!
+//! `--addr HOST:PORT` switches from the embedded workload to **live
+//! scrape mode**: each tick issues the `SCRAPE` wire op against a running
+//! external `smc-serve` and renders its observability document —
+//! per-shard request counters, tenant budgets, tail-latency attribution,
+//! tracer and flight-recorder health. `--json` prints the raw
+//! `smc-scrape/v1` documents instead.
 //!
 //! `--budget-mb N` caps the demo collection's context at N MiB (the
 //! per-tenant budget machinery the serve layer rides); the `tenants` panel
@@ -256,22 +263,31 @@ fn render(tick: u64, snap: &HeapSnapshot, rt: &Runtime, live: u64, m: &MaintSnap
     let merged = Registry::global().merged("smc_top.worker_op_ns");
     println!("  worker op ns:        {}", fmt_summary(&merged.summary()));
     render_maint(m);
-    let dropped = smc_obs::trace::dropped();
-    let per_thread = smc_obs::trace::dropped_by_thread()
-        .iter()
-        .map(|(t, d)| format!("ring {t}: {d}"))
-        .collect::<Vec<_>>()
-        .join(", ");
-    println!(
-        "  tracer: {} events dropped{}  |  collection len {}",
-        dropped,
-        if per_thread.is_empty() {
-            String::new()
-        } else {
-            format!(" ({per_thread})")
-        },
-        live,
-    );
+    if smc_obs::trace::is_enabled() {
+        let dropped = smc_obs::trace::dropped();
+        let per_thread = smc_obs::trace::dropped_by_thread()
+            .iter()
+            .map(|(t, d)| format!("ring {t}: {d}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!(
+            "  tracer: {} events dropped{}  |  collection len {}",
+            dropped,
+            if per_thread.is_empty() {
+                String::new()
+            } else {
+                format!(" ({per_thread})")
+            },
+            live,
+        );
+    } else {
+        // Honest panel: zeros from a disabled tracer would read as "no
+        // drops" when nothing was ever recorded.
+        println!(
+            "  tracer: disabled (set SMC_TRACE_OUT to record)  |  \
+             collection len {live}",
+        );
+    }
     println!();
 }
 
@@ -312,6 +328,7 @@ fn json_doc(
     doc.set("tick", tick);
     doc.set("collection_len", live);
     let mut tracer = JsonValue::obj();
+    tracer.set("enabled", smc_obs::trace::is_enabled());
     tracer.set("dropped", smc_obs::trace::dropped());
     let per_thread = smc_obs::trace::dropped_by_thread()
         .into_iter()
@@ -360,6 +377,130 @@ fn json_doc(
     doc
 }
 
+fn arg_string(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Renders one `smc-scrape/v1` document as a dashboard frame.
+fn render_scrape(tick: u64, doc: &JsonValue) {
+    let u = |v: Option<&JsonValue>, k: &str| -> u64 {
+        v.and_then(|o| o.get(k))
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0)
+    };
+    println!("smc-top tick {tick} — live scrape");
+    let stats = doc.get("stats");
+    if let Some(shards) = stats
+        .and_then(|s| s.get("shards"))
+        .and_then(JsonValue::as_arr)
+    {
+        for s in shards {
+            println!(
+                "  shard {}: {} requests  pins {}  blocks scanned {}  morsels {}",
+                u(Some(s), "shard"),
+                u(Some(s), "requests"),
+                u(Some(s), "pins_taken"),
+                u(Some(s), "blocks_scanned"),
+                u(Some(s), "morsels_dispatched"),
+            );
+        }
+    }
+    if let Some(tenants) = stats
+        .and_then(|s| s.get("tenants"))
+        .and_then(JsonValue::as_arr)
+    {
+        for t in tenants {
+            let budget = t
+                .get("budget_bytes")
+                .and_then(JsonValue::as_u64)
+                .filter(|&b| b != u64::MAX)
+                .map_or_else(|| "unlimited".to_string(), |b| format!("{:.2} MiB", mib(b)));
+            println!(
+                "  tenant {}: budget {budget}  used {:.2} MiB  live {}  over-budget {}",
+                u(Some(t), "tenant"),
+                mib(u(Some(t), "used_bytes")),
+                u(Some(t), "live_objects"),
+                u(Some(t), "over_budget_errors"),
+            );
+        }
+    }
+    if let Some(attr) = doc.get("attribution") {
+        let threshold = u(Some(attr), "threshold_ns");
+        for class in ["ingest", "query"] {
+            let Some(c) = attr.get(class) else { continue };
+            let total = c.get("total_ns");
+            let ring = c.get("ring_wait_ns");
+            let exec = c.get("exec_ns");
+            println!(
+                "  slow {class} (> {threshold} ns): {}  total p99 {} ns  \
+                 ring-wait p99 {} ns  exec p99 {} ns  |  spill {}  rungs {}  \
+                 epoch {}  maint-overlap {}",
+                u(Some(c), "slow_requests"),
+                u(total, "p99_ns"),
+                u(ring, "p99_ns"),
+                u(exec, "p99_ns"),
+                u(Some(c), "spill_faults"),
+                u(Some(c), "budget_rungs"),
+                u(Some(c), "epoch_stalls"),
+                u(Some(c), "maint_overlaps"),
+            );
+        }
+    }
+    match doc.get("tracer") {
+        Some(t) if t.get("enabled").and_then(JsonValue::as_bool) == Some(true) => {
+            println!(
+                "  tracer: enabled, {} events dropped",
+                u(Some(t), "dropped")
+            );
+        }
+        // A disabled tracer reports as such — zeros would read as a
+        // drop-free recording that never happened.
+        _ => println!("  tracer: disabled on server (start it with SMC_TRACE_OUT to record)"),
+    }
+    if let Some(f) = doc.get("flight") {
+        let armed = f.get("enabled").and_then(JsonValue::as_bool) == Some(true);
+        println!(
+            "  flight: {}  capacity {}  overwritten {}",
+            if armed { "armed" } else { "disarmed" },
+            u(Some(f), "capacity"),
+            u(Some(f), "dropped"),
+        );
+    }
+    println!();
+}
+
+/// Live scrape mode: poll an external server's `SCRAPE` op instead of
+/// running the embedded workload.
+fn run_scrape(addr: &str, refresh_ms: usize, ticks: usize, json: bool) -> i32 {
+    let mut tick = 0u64;
+    while !interrupted() {
+        tick += 1;
+        let doc = smc_serve::Client::connect(addr)
+            .map_err(smc_serve::ClientError::Io)
+            .and_then(|mut c| {
+                c.set_timeout(Some(Duration::from_secs(10)))?;
+                c.scrape()
+            });
+        match doc {
+            Ok(doc) if json => println!("{}", doc.to_json()),
+            Ok(doc) => render_scrape(tick, &doc),
+            Err(e) => {
+                eprintln!("smc-top: scrape of {addr} failed: {e}");
+                return 1;
+            }
+        }
+        if ticks > 0 && tick >= ticks as u64 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(refresh_ms as u64));
+    }
+    0
+}
+
 fn main() {
     let trace_out = init_tracing();
     install_signal_handler();
@@ -370,6 +511,11 @@ fn main() {
     let once = arg_flag("--once");
     let ticks = arg_usize("--ticks", if once { 1 } else { 0 });
     let budget_mb = arg_usize("--budget-mb", 0);
+
+    if let Some(addr) = arg_string("--addr") {
+        let _ = trace_out;
+        std::process::exit(run_scrape(&addr, refresh_ms, ticks, json));
+    }
 
     let rt = Runtime::new();
     // Compaction-eager configuration so the dashboard has relocation and

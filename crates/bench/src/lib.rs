@@ -43,6 +43,22 @@ pub fn export_trace(report: &mut Report) {
     let trace = smc_obs::ChromeTrace::from_ring_snapshot();
     report.counter("trace_events", trace.len() as u64);
     report.counter("trace_events_dropped", smc_obs::trace::dropped());
+    // Itemize the drops per ring so a lossy trace names the thread that
+    // overflowed rather than one opaque total (mirrors the per-ring
+    // metadata records the Chrome export carries).
+    let by_thread = smc_obs::trace::dropped_by_thread();
+    if !by_thread.is_empty() {
+        let id = report.series("trace_drops_by_thread", &["thread", "dropped"]);
+        for (thread, dropped) in by_thread {
+            report.push_row(
+                id,
+                vec![
+                    JsonValue::Num(thread as f64),
+                    JsonValue::Num(dropped as f64),
+                ],
+            );
+        }
+    }
     let path = PathBuf::from(path);
     match trace.write(&path) {
         Ok(()) => println!("trace: {}", path.display()),
@@ -179,6 +195,7 @@ mod signals {
     use std::sync::atomic::{AtomicBool, Ordering};
 
     static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+    static USR1: AtomicBool = AtomicBool::new(false);
 
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
@@ -189,8 +206,17 @@ mod signals {
         INTERRUPTED.store(true, Ordering::Relaxed);
     }
 
+    extern "C" fn on_usr1(_signum: i32) {
+        USR1.store(true, Ordering::Relaxed);
+    }
+
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
+    // SIGUSR1 is 10 on Linux but 30 on the BSD lineage (macOS included).
+    #[cfg(target_os = "linux")]
+    const SIGUSR1: i32 = 10;
+    #[cfg(not(target_os = "linux"))]
+    const SIGUSR1: i32 = 30;
 
     /// Routes SIGINT and SIGTERM to a flag instead of process abort.
     pub fn install_signal_handler() {
@@ -201,9 +227,23 @@ mod signals {
         }
     }
 
+    /// Routes SIGUSR1 to a separate flag; the main loop polls
+    /// [`usr1_requested`] and dumps the flight recorder — the handler itself
+    /// only stores, so it stays async-signal-safe.
+    pub fn install_usr1_handler() {
+        unsafe {
+            signal(SIGUSR1, on_usr1 as *const () as usize);
+        }
+    }
+
     /// True once SIGINT or SIGTERM has been received.
     pub fn interrupted() -> bool {
         INTERRUPTED.load(Ordering::Relaxed)
+    }
+
+    /// Drains the SIGUSR1 flag: true exactly once per delivered signal.
+    pub fn usr1_requested() -> bool {
+        USR1.swap(false, Ordering::Relaxed)
     }
 }
 
@@ -212,13 +252,21 @@ mod signals {
     /// No-op on non-unix targets: the default ^C behavior applies.
     pub fn install_signal_handler() {}
 
+    /// No-op on non-unix targets: there is no SIGUSR1.
+    pub fn install_usr1_handler() {}
+
     /// Always false on non-unix targets.
     pub fn interrupted() -> bool {
         false
     }
+
+    /// Always false on non-unix targets.
+    pub fn usr1_requested() -> bool {
+        false
+    }
 }
 
-pub use signals::{install_signal_handler, interrupted};
+pub use signals::{install_signal_handler, install_usr1_handler, interrupted, usr1_requested};
 
 /// Formats a duration as fractional milliseconds.
 pub fn ms(d: Duration) -> String {

@@ -116,7 +116,14 @@ impl<'a, T: Tabular + Sync> ParScan<'a, T> {
         let cursor = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<A>>> =
             (0..self.pool.threads()).map(|_| Mutex::new(None)).collect();
+        // Capture the dispatching thread's span context so each worker can
+        // re-enter it: the request id crosses the pool boundary with the
+        // scan, and every worker's share shows up as a `req.exec` span.
+        let req = smc_obs::trace::current_request();
         self.pool.broadcast(|widx| {
+            let _scope = req.map(smc_obs::trace::RequestScope::enter);
+            let worker_start = std::time::Instant::now();
+            let mut claimed = 0u64;
             let guard = runtime
                 .try_pin()
                 .expect("pool workers pre-register with the runtime");
@@ -125,6 +132,7 @@ impl<'a, T: Tabular + Sync> ParScan<'a, T> {
             loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(morsel) = morsels.get(i) else { break };
+                claimed += 1;
                 MemoryStats::inc(&stats.morsels_dispatched);
                 smc_obs::trace::emit(smc_obs::Event::MorselDispatch {
                     worker: widx as u64,
@@ -135,6 +143,15 @@ impl<'a, T: Tabular + Sync> ParScan<'a, T> {
                     Morsel::Group(group) => visit_group(group, &guard, runtime, &mut |block| {
                         scan_block(&block, stats, |obj| body(&mut acc, obj))
                     }),
+                }
+            }
+            if claimed > 0 {
+                if let Some(id) = req {
+                    smc_obs::trace::emit_stage(
+                        id,
+                        "exec",
+                        worker_start.elapsed().as_nanos() as u64,
+                    );
                 }
             }
             *slots[widx].lock().unwrap_or_else(|e| e.into_inner()) = Some(acc);
@@ -255,7 +272,11 @@ impl<'a, T: Columnar> ParColumnarScan<'a, T> {
         let cursor = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<A>>> =
             (0..self.pool.threads()).map(|_| Mutex::new(None)).collect();
+        let req = smc_obs::trace::current_request();
         self.pool.broadcast(|widx| {
+            let _scope = req.map(smc_obs::trace::RequestScope::enter);
+            let worker_start = std::time::Instant::now();
+            let mut claimed = 0u64;
             let guard = runtime
                 .try_pin()
                 .expect("pool workers pre-register with the runtime");
@@ -269,6 +290,7 @@ impl<'a, T: Columnar> ParColumnarScan<'a, T> {
             loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(morsel) = morsels.get(i) else { break };
+                claimed += 1;
                 MemoryStats::inc(&stats.morsels_dispatched);
                 smc_obs::trace::emit(smc_obs::Event::MorselDispatch {
                     worker: widx as u64,
@@ -281,6 +303,15 @@ impl<'a, T: Columnar> ParColumnarScan<'a, T> {
                     Morsel::Group(group) => {
                         visit_group(group, &guard, runtime, &mut |block| visit(block, &mut acc))
                     }
+                }
+            }
+            if claimed > 0 {
+                if let Some(id) = req {
+                    smc_obs::trace::emit_stage(
+                        id,
+                        "exec",
+                        worker_start.elapsed().as_nanos() as u64,
+                    );
                 }
             }
             *slots[widx].lock().unwrap_or_else(|e| e.into_inner()) = Some(acc);
@@ -312,19 +343,29 @@ where
     let chunk = chunk.max(1);
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<A>>> = (0..pool.threads()).map(|_| Mutex::new(None)).collect();
+    let req = smc_obs::trace::current_request();
     pool.broadcast(|widx| {
+        let _scope = req.map(smc_obs::trace::RequestScope::enter);
+        let worker_start = std::time::Instant::now();
+        let mut claimed = 0u64;
         let mut acc = make();
         loop {
             let start = cursor.fetch_add(chunk, Ordering::Relaxed);
             if start >= items.len() {
                 break;
             }
+            claimed += 1;
             smc_obs::trace::emit(smc_obs::Event::MorselDispatch {
                 worker: widx as u64,
                 morsel: (start / chunk) as u64,
             });
             let end = (start + chunk).min(items.len());
             fold_chunk(&mut acc, &items[start..end]);
+        }
+        if claimed > 0 {
+            if let Some(id) = req {
+                smc_obs::trace::emit_stage(id, "exec", worker_start.elapsed().as_nanos() as u64);
+            }
         }
         *slots[widx].lock().unwrap_or_else(|e| e.into_inner()) = Some(acc);
     });

@@ -340,6 +340,12 @@ impl Coordinator {
         );
     }
 
+    /// Maintenance passes executing right now. Cheaper than
+    /// [`snapshot`](Self::snapshot) for per-request attribution probes.
+    pub fn passes_active(&self) -> usize {
+        self.inner.lock().in_flight.len()
+    }
+
     /// Current counters and queue state.
     pub fn snapshot(&self) -> MaintSnapshot {
         let g = self.inner.lock();
@@ -468,6 +474,13 @@ fn planner_loop(inner: &Inner) {
                 breached,
                 p99_ns: p99_ns.unwrap_or(0),
             });
+            if breached {
+                // Entering the breached state is a forensic moment: the
+                // window of events leading up to it is exactly what an
+                // operator wants preserved. No-op unless the flight
+                // recorder is armed and SMC_FLIGHT_OUT is set.
+                let _ = smc_obs::flight::dump("slo-breach");
+            }
         }
         if over_ceiling && !holding {
             hold_until = Some(now + slo_backoff.next_delay());

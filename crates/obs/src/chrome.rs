@@ -95,6 +95,9 @@ impl Record {
 pub struct ChromeTrace {
     records: Vec<Record>,
     tids: Vec<u64>,
+    /// Extra top-level document fields (e.g. the flight recorder's
+    /// `flightTrigger`), appended after `displayTimeUnit`.
+    top_level: Vec<(String, JsonValue)>,
 }
 
 impl Default for Record {
@@ -116,10 +119,12 @@ impl ChromeTrace {
         ChromeTrace::default()
     }
 
-    /// Drains the current [`trace::snapshot`] into a new export.
+    /// Drains the current [`trace::snapshot`] into a new export, itemizing
+    /// any per-ring drop counts as metadata ([`note_dropped`](Self::note_dropped)).
     pub fn from_ring_snapshot() -> ChromeTrace {
         let mut out = ChromeTrace::new();
         out.add_events(&trace::snapshot());
+        out.note_dropped(&trace::dropped_by_thread());
         out
     }
 
@@ -180,6 +185,12 @@ impl ChromeTrace {
                 Event::QuerySpan { label, nanos } => {
                     self.push_complete(t, label.as_str().to_string(), nanos, Vec::new())
                 }
+                Event::ReqStage { req, stage, nanos } => self.push_complete(
+                    t,
+                    format!("req.{stage}"),
+                    nanos,
+                    vec![("req".to_string(), JsonValue::from(req))],
+                ),
                 Event::CompactionRelocate {
                     context,
                     moved,
@@ -216,6 +227,36 @@ impl ChromeTrace {
         }
         // Orphaned begins (pauses still open at snapshot time) are dropped:
         // emitting an unmatched `B` would fail the balance gate.
+    }
+
+    /// Itemizes per-ring drop counts as `M` metadata records (one per
+    /// producer thread that lost events to wraparound, named
+    /// `trace_events_dropped` on that thread's `tid` track), so a drop
+    /// storm names the saturated producer instead of hiding inside one
+    /// aggregate counter. Pass [`trace::dropped_by_thread`].
+    pub fn note_dropped(&mut self, per_ring: &[(u64, u64)]) {
+        for &(tid, dropped) in per_ring {
+            self.note_tid(tid);
+            self.records.push(Record {
+                ts_nanos: 0,
+                ph: "M",
+                name: "trace_events_dropped".to_string(),
+                tid,
+                args: vec![("dropped".to_string(), JsonValue::from(dropped))],
+                ..Record::default()
+            });
+        }
+    }
+
+    /// Sets an extra top-level field on the exported document (e.g. the
+    /// flight recorder's dump trigger). Perfetto ignores unknown top-level
+    /// keys; the trace gate reads them.
+    pub fn set_top_level(&mut self, key: &str, value: JsonValue) {
+        if let Some(slot) = self.top_level.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.top_level.push((key.to_string(), value));
+        }
     }
 
     /// Appends a counter sample (`ph: "C"`) on its own track — used by
@@ -302,6 +343,9 @@ impl ChromeTrace {
         let mut doc = JsonValue::obj();
         doc.set("traceEvents", JsonValue::Arr(events));
         doc.set("displayTimeUnit", "ms");
+        for (k, v) in &self.top_level {
+            doc.set(k, v.clone());
+        }
         doc
     }
 
@@ -483,6 +527,46 @@ mod tests {
         assert!(s.contains("\"ph\":\"C\"") && s.contains("\"epoch\""));
         assert!(s.contains("\"occupancy\""));
         assert!(s.contains("\"thread_name\""));
+    }
+
+    #[test]
+    fn req_stage_becomes_x_span_with_request_arg() {
+        let mut t = ChromeTrace::new();
+        t.add_events(&[ev(
+            0,
+            3,
+            8_000,
+            Event::ReqStage {
+                req: 0x99,
+                stage: Label::new("shard"),
+                nanos: 2_000,
+            },
+        )]);
+        let s = t.to_json_string();
+        assert!(s.contains("\"req.shard\""), "{s}");
+        assert!(s.contains("\"ph\":\"X\""), "{s}");
+        assert!(s.contains("\"req\":153"), "args carry the id: {s}");
+        assert!(s.contains("\"ts\":6"), "start = end - dur: {s}");
+    }
+
+    #[test]
+    fn dropped_counts_become_per_ring_metadata() {
+        let mut t = ChromeTrace::new();
+        t.note_dropped(&[(4, 17), (9, 2)]);
+        let s = t.to_json_string();
+        assert_eq!(s.matches("\"trace_events_dropped\"").count(), 2, "{s}");
+        assert!(s.contains("\"dropped\":17"), "{s}");
+        assert!(s.contains("\"dropped\":2"), "{s}");
+    }
+
+    #[test]
+    fn top_level_fields_survive_serialization() {
+        let mut t = ChromeTrace::new();
+        t.set_top_level("flightTrigger", JsonValue::from("sigusr1"));
+        t.set_top_level("flightTrigger", JsonValue::from("panic"));
+        let s = t.to_json_string();
+        assert!(s.contains("\"flightTrigger\":\"panic\""), "{s}");
+        assert!(!s.contains("sigusr1"), "replaced, not duplicated: {s}");
     }
 
     #[test]

@@ -1,0 +1,294 @@
+//! Always-on flight recorder: a fixed-budget global ring of the most
+//! recent trace events, dumped on demand for crash forensics.
+//!
+//! The per-thread rings ([`crate::trace`]) are an *export* path: they are
+//! enabled for a run, drained once, and written out. The flight recorder is
+//! a *forensic* path: once [`enable`]d it taps every [`crate::trace::emit`] into
+//! one process-global ring of [`FLIGHT_CAPACITY`] slots allocated exactly
+//! once — zero steady-state allocation, oldest records overwritten — and
+//! [`dump`] writes the surviving window as a Chrome trace (plus a
+//! `flightTrigger` top-level field) to the path named by the
+//! **`SMC_FLIGHT_OUT`** environment variable. `smc-serve` dumps on panic
+//! ([`install_panic_hook`]), SIGUSR1, SLO breach, and failed drain verify.
+//!
+//! Recording is multi-producer: a writer claims a slot by one
+//! `fetch_add` on the head and publishes it seqlock-style (tag 0 while
+//! mid-write, `position + 1` when complete). Two writers only collide on a
+//! slot when they are a whole ring apart ([`FLIGHT_CAPACITY`] events), in
+//! which case the loser's record is torn and the tag check makes readers
+//! skip it — an acceptable loss for a forensic ring, and one that never
+//! blocks or corrupts the process.
+//!
+//! ```
+//! use smc_obs::{flight, trace};
+//! use smc_obs::trace::Event;
+//!
+//! flight::enable();
+//! trace::emit(Event::EpochAdvance { epoch: 41 });
+//! assert!(flight::snapshot()
+//!     .iter()
+//!     .any(|t| matches!(t.event, Event::EpochAdvance { epoch: 41 })));
+//! flight::disable();
+//! ```
+
+use std::path::PathBuf;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::chrome::ChromeTrace;
+use crate::report::JsonValue;
+use crate::trace::{Event, TracedEvent};
+
+/// Events the flight ring holds before overwriting the oldest. At 9 words
+/// (72 bytes) per slot the whole recorder is a fixed ~288 KiB.
+pub const FLIGHT_CAPACITY: usize = 4096;
+
+/// Environment variable naming the dump destination. [`dump`] without it is
+/// a no-op (recording still runs; there is just nowhere to write).
+pub const FLIGHT_OUT_ENV: &str = "SMC_FLIGHT_OUT";
+
+/// Seqlock slot: tag + (kind, seq, nanos, thread, p0..p3).
+struct FlightSlot {
+    tag: AtomicU64,
+    words: [AtomicU64; 8],
+}
+
+impl FlightSlot {
+    const fn new() -> FlightSlot {
+        FlightSlot {
+            tag: AtomicU64::new(0),
+            words: [const { AtomicU64::new(0) }; 8],
+        }
+    }
+}
+
+struct FlightRing {
+    head: AtomicU64,
+    dropped: AtomicU64,
+    slots: Box<[FlightSlot]>,
+}
+
+impl FlightRing {
+    fn new() -> FlightRing {
+        FlightRing {
+            head: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            slots: (0..FLIGHT_CAPACITY).map(|_| FlightSlot::new()).collect(),
+        }
+    }
+}
+
+/// The one ring, allocated on first [`enable`] and kept for the process
+/// lifetime (so a race between `disable` and an in-flight `record` can
+/// never use freed memory).
+static RING: OnceLock<FlightRing> = OnceLock::new();
+
+/// Turns the flight recorder on, allocating its ring on the first call.
+/// Independent of [`crate::trace::enable`]: either sink can run alone.
+pub fn enable() {
+    RING.get_or_init(FlightRing::new);
+    crate::trace::set_flight_mode(true);
+}
+
+/// Stops recording (the ring and its contents are retained, so a dump
+/// after `disable` still shows the window leading up to it).
+pub fn disable() {
+    crate::trace::set_flight_mode(false);
+}
+
+/// True while the recorder is tapping emissions.
+pub fn is_enabled() -> bool {
+    ENABLED_HINT.load(Ordering::Relaxed) != 0
+}
+
+/// Mirror of the trace-mode flight bit, kept here so `is_enabled` needs no
+/// access to the tracer's private mode word. Updated by `set_flight_mode`
+/// via [`note_mode`].
+static ENABLED_HINT: AtomicU64 = AtomicU64::new(0);
+
+pub(crate) fn note_mode(on: bool) {
+    ENABLED_HINT.store(on as u64, Ordering::Relaxed);
+}
+
+/// Records one already-encoded emission (called from `trace::emit` when the
+/// flight mode bit is set). Wait-free: one `fetch_add` plus eight relaxed
+/// stores.
+pub(crate) fn record(thread: u64, seq: u64, nanos: u64, event: Event) {
+    let Some(ring) = RING.get() else { return };
+    let pos = ring.head.fetch_add(1, Ordering::Relaxed);
+    if pos >= FLIGHT_CAPACITY as u64 {
+        ring.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+    let slot = &ring.slots[(pos as usize) % FLIGHT_CAPACITY];
+    let (kind, p) = event.encode();
+    slot.tag.store(0, Ordering::Relaxed);
+    fence(Ordering::SeqCst);
+    slot.words[0].store(kind, Ordering::Relaxed);
+    slot.words[1].store(seq, Ordering::Relaxed);
+    slot.words[2].store(nanos, Ordering::Relaxed);
+    slot.words[3].store(thread, Ordering::Relaxed);
+    slot.words[4].store(p[0], Ordering::Relaxed);
+    slot.words[5].store(p[1], Ordering::Relaxed);
+    slot.words[6].store(p[2], Ordering::Relaxed);
+    slot.words[7].store(p[3], Ordering::Relaxed);
+    slot.tag.store(pos + 1, Ordering::Release);
+}
+
+/// Every currently-consistent record in the ring, sorted by global
+/// sequence number. Mid-write or torn slots are skipped.
+pub fn snapshot() -> Vec<TracedEvent> {
+    let Some(ring) = RING.get() else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for slot in ring.slots.iter() {
+        let t1 = slot.tag.load(Ordering::Acquire);
+        if t1 == 0 {
+            continue;
+        }
+        let kind = slot.words[0].load(Ordering::Relaxed);
+        let seq = slot.words[1].load(Ordering::Relaxed);
+        let nanos = slot.words[2].load(Ordering::Relaxed);
+        let thread = slot.words[3].load(Ordering::Relaxed);
+        let p = [
+            slot.words[4].load(Ordering::Relaxed),
+            slot.words[5].load(Ordering::Relaxed),
+            slot.words[6].load(Ordering::Relaxed),
+            slot.words[7].load(Ordering::Relaxed),
+        ];
+        fence(Ordering::SeqCst);
+        if slot.tag.load(Ordering::Relaxed) != t1 {
+            continue;
+        }
+        if let Some(event) = Event::decode(kind, p) {
+            out.push(TracedEvent {
+                seq,
+                thread,
+                nanos,
+                event,
+            });
+        }
+    }
+    out.sort_by_key(|t| t.seq);
+    out
+}
+
+/// Records overwritten by ring wraparound since [`enable`].
+pub fn dropped() -> u64 {
+    RING.get()
+        .map(|r| r.dropped.load(Ordering::Relaxed))
+        .unwrap_or(0)
+}
+
+/// Dumps the current flight window as a Chrome trace to the path named by
+/// [`FLIGHT_OUT_ENV`], recording `trigger` (`panic`, `sigusr1`,
+/// `slo-breach`, `drain-verify-failed`) as the document's `flightTrigger`
+/// field. Returns the written path, or `None` when the env var is unset,
+/// the recorder was never enabled, or the write failed (a dump must never
+/// take the process down — it runs from panic hooks).
+///
+/// Dumps are serialized and each overwrites the previous one: the *last*
+/// trigger before you look is the one you see, which is the forensic
+/// contract (the window leading up to the most recent incident).
+pub fn dump(trigger: &str) -> Option<PathBuf> {
+    static DUMP_LOCK: Mutex<()> = Mutex::new(());
+    let _g = DUMP_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let path = PathBuf::from(std::env::var_os(FLIGHT_OUT_ENV)?);
+    RING.get()?;
+    let mut export = ChromeTrace::new();
+    export.add_events(&snapshot());
+    export.set_top_level("flightTrigger", JsonValue::from(trigger));
+    export.set_top_level("flightDropped", JsonValue::from(dropped()));
+    match export.write(&path) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("smc-obs: flight dump to {} failed: {e}", path.display());
+            None
+        }
+    }
+}
+
+/// Chains a panic hook that dumps the flight window (trigger `panic`)
+/// before the previous hook runs. Idempotent per call site in practice —
+/// calling it twice dumps twice, which is harmless (same file).
+pub fn install_panic_hook() {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let _ = dump("panic");
+        prev(info);
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{self, test_lock, Label};
+
+    #[test]
+    fn flight_taps_emissions_without_ring_tracing() {
+        let _g = test_lock();
+        trace::disable();
+        enable();
+        trace::emit(Event::ReqStage {
+            req: 0xf11647,
+            stage: Label::new("conn"),
+            nanos: 5,
+        });
+        let hit = snapshot()
+            .iter()
+            .any(|t| matches!(t.event, Event::ReqStage { req: 0xf11647, .. }));
+        disable();
+        assert!(hit, "flight records even while ring tracing is off");
+        assert!(
+            !trace::snapshot()
+                .iter()
+                .any(|t| matches!(t.event, Event::ReqStage { req: 0xf11647, .. })),
+            "the per-thread rings stayed untouched"
+        );
+    }
+
+    #[test]
+    fn flight_wraps_and_counts_drops() {
+        let _g = test_lock();
+        enable();
+        let before = dropped();
+        let total = FLIGHT_CAPACITY as u64 + 50;
+        for i in 0..total {
+            trace::emit(Event::MorselDispatch {
+                worker: 0xf1,
+                morsel: i,
+            });
+        }
+        let survivors = snapshot()
+            .iter()
+            .filter(|t| matches!(t.event, Event::MorselDispatch { worker: 0xf1, .. }))
+            .count();
+        disable();
+        assert!(survivors <= FLIGHT_CAPACITY);
+        assert!(
+            survivors >= FLIGHT_CAPACITY - 64,
+            "most of the window survives"
+        );
+        assert!(dropped() >= before + 50);
+    }
+
+    #[test]
+    fn dump_without_env_is_a_noop() {
+        let _g = test_lock();
+        enable();
+        // The test harness never sets SMC_FLIGHT_OUT; a dump with no
+        // destination must return None without touching the filesystem.
+        if std::env::var_os(FLIGHT_OUT_ENV).is_none() {
+            assert_eq!(dump("test"), None);
+        }
+        disable();
+    }
+
+    #[test]
+    fn disabled_recorder_snapshot_is_empty_before_first_enable() {
+        // Can't assert RING is uninitialized (other tests share the
+        // process), but snapshot() must never panic either way.
+        let _ = snapshot();
+        let _ = dropped();
+    }
+}

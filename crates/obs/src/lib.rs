@@ -22,6 +22,16 @@
 //!   rings into Perfetto-loadable JSON (spans from paired begin/end
 //!   events, counter tracks, per-thread tracks), plus [`hist::Registry`]
 //!   for merging thread-local histograms on demand.
+//! - [`flight`] — an always-on flight recorder: a fixed-budget global ring
+//!   of the most recent events, dumped to `SMC_FLIGHT_OUT` on panic, SLO
+//!   breach, failed drain verify, or SIGUSR1 for crash forensics with zero
+//!   steady-state allocation.
+//!
+//! [`trace`] also carries the request-causality layer: a [`RequestId`]
+//! minted at the `smc-serve` wire boundary travels with the request across
+//! threads (thread-local [`trace::RequestScope`]s), and every
+//! [`Event::ReqStage`] emitted on the path renders
+//! as a per-request `X` span in the Chrome export.
 //!
 //! Recording a latency distribution and reading its tail:
 //!
@@ -41,6 +51,7 @@
 #![forbid(unsafe_op_in_unsafe_fn)]
 
 pub mod chrome;
+pub mod flight;
 pub mod hist;
 pub mod report;
 pub mod trace;
@@ -48,4 +59,4 @@ pub mod trace;
 pub use chrome::ChromeTrace;
 pub use hist::{Histogram, Registry, Summary};
 pub use report::{JsonValue, Report, SeriesId};
-pub use trace::{Event, Label, Span, TracedEvent};
+pub use trace::{Event, Label, RequestId, RequestScope, Span, TracedEvent};

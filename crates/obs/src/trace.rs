@@ -33,8 +33,8 @@
 //! trace::disable();
 //! ```
 
-use std::cell::UnsafeCell;
-use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+use std::cell::{Cell, UnsafeCell};
+use std::sync::atomic::{fence, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -293,6 +293,21 @@ pub enum Event {
         /// Recovery duration in nanoseconds (read through verify).
         nanos: u64,
     },
+    /// One stage of a traced request finished on some thread (conn read,
+    /// ring wait, shard execution, exec-worker slice). The Chrome exporter
+    /// renders these as complete (`X`) spans named `req.<stage>` carrying
+    /// the request id, so one request's flow is linkable across `tid`
+    /// tracks ([`RequestId`], DESIGN.md §17).
+    ReqStage {
+        /// The originating [`RequestId`] (non-zero).
+        req: u64,
+        /// Stage name (`conn`, `ring`, `shard`, `exec`). Must fit in
+        /// 7 bytes: the record packs the id, the duration and the label's
+        /// first word, so only short stage tokens survive encoding.
+        stage: Label,
+        /// Stage duration in nanoseconds.
+        nanos: u64,
+    },
 }
 
 const K_GC_BEGIN: u64 = 1;
@@ -316,6 +331,7 @@ const K_SPILL: u64 = 18;
 const K_FAULT_IN: u64 = 19;
 const K_SNAP_WRITE: u64 = 20;
 const K_RECOVER: u64 = 21;
+const K_REQ_STAGE: u64 = 22;
 
 impl Event {
     /// Short kind name, stable for log processing.
@@ -342,10 +358,11 @@ impl Event {
             Event::BlockFaulted { .. } => "block-faulted",
             Event::SnapshotWritten { .. } => "snapshot-written",
             Event::RecoveryLoaded { .. } => "recovery-loaded",
+            Event::ReqStage { .. } => "req-stage",
         }
     }
 
-    fn encode(&self) -> (u64, [u64; 4]) {
+    pub(crate) fn encode(&self) -> (u64, [u64; 4]) {
         match *self {
             Event::GcPauseBegin { major } => (K_GC_BEGIN, [major as u64, 0, 0, 0]),
             Event::GcPauseEnd {
@@ -429,12 +446,17 @@ impl Event {
                 objects,
                 nanos,
             } => (K_RECOVER, [context, pages, objects, nanos]),
+            Event::ReqStage { req, stage, nanos } => {
+                let (a, b) = stage.pack();
+                debug_assert_eq!(b, 0, "stage label must fit 7 bytes");
+                (K_REQ_STAGE, [req, a, nanos, 0])
+            }
         }
     }
 
     /// Defensive inverse of `encode`: a torn or unknown record decodes to
     /// `None` and is skipped by [`snapshot`].
-    fn decode(kind: u64, p: [u64; 4]) -> Option<Event> {
+    pub(crate) fn decode(kind: u64, p: [u64; 4]) -> Option<Event> {
         Some(match kind {
             K_GC_BEGIN => Event::GcPauseBegin { major: p[0] != 0 },
             K_GC_END => Event::GcPauseEnd {
@@ -522,6 +544,11 @@ impl Event {
                 pages: p[1],
                 objects: p[2],
                 nanos: p[3],
+            },
+            K_REQ_STAGE => Event::ReqStage {
+                req: p[0],
+                stage: Label::unpack(p[1], 0),
+                nanos: p[2],
             },
             _ => return None,
         })
@@ -649,7 +676,15 @@ impl Ring {
     }
 }
 
-static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Tracer mode bit: per-thread ring recording ([`enable`]/[`disable`]).
+const MODE_RINGS: u8 = 1 << 0;
+/// Tracer mode bit: the global flight recorder ([`crate::flight::enable`]).
+const MODE_FLIGHT: u8 = 1 << 1;
+
+/// Which sinks are live. Zero means every [`emit`] is a single relaxed load
+/// plus one predictable branch — the ≤ 2 ns/op budget the overhead test
+/// holds covers both sinks being off.
+static MODE: AtomicU8 = AtomicU8::new(0);
 static SEQ: AtomicU64 = AtomicU64::new(0);
 static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
 
@@ -671,39 +706,62 @@ thread_local! {
     };
 }
 
-/// Turns tracing on. Emissions before this call were dropped at zero cost.
+/// Turns ring tracing on. Emissions before this call were dropped at zero
+/// cost (unless the [flight recorder](crate::flight) was already live).
 pub fn enable() {
     origin(); // pin the time origin no later than the first enablement
-    ENABLED.store(true, Ordering::Relaxed);
+    MODE.fetch_or(MODE_RINGS, Ordering::Relaxed);
 }
 
-/// Turns tracing off; [`emit`] reverts to the ≤ 2 ns no-op path.
+/// Turns ring tracing off; with the flight recorder also off, [`emit`]
+/// reverts to the ≤ 2 ns no-op path.
 pub fn disable() {
-    ENABLED.store(false, Ordering::Relaxed);
+    MODE.fetch_and(!MODE_RINGS, Ordering::Relaxed);
 }
 
-/// True while tracing is on.
+/// True while ring tracing is on (the flight recorder does not count: it is
+/// a forensic sink, not the export path `snapshot` serves).
 #[inline]
 pub fn is_enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    MODE.load(Ordering::Relaxed) & MODE_RINGS != 0
 }
 
-/// Emits one event. When tracing is disabled this is one relaxed load and a
-/// branch — no allocation, no clock read, no TLS access.
+/// Flips the flight-recorder mode bit (called by [`crate::flight`] only;
+/// the recorder allocates its ring before setting the bit).
+pub(crate) fn set_flight_mode(on: bool) {
+    origin();
+    if on {
+        MODE.fetch_or(MODE_FLIGHT, Ordering::Relaxed);
+    } else {
+        MODE.fetch_and(!MODE_FLIGHT, Ordering::Relaxed);
+    }
+    crate::flight::note_mode(on);
+}
+
+/// Emits one event. When both sinks are disabled this is one relaxed load
+/// and a branch — no allocation, no clock read, no TLS access.
 #[inline]
 pub fn emit(event: Event) {
-    if !ENABLED.load(Ordering::Relaxed) {
+    let mode = MODE.load(Ordering::Relaxed);
+    if mode == 0 {
         return;
     }
-    emit_enabled(event);
+    emit_enabled(mode, event);
 }
 
 #[cold]
-fn emit_enabled(event: Event) {
+fn emit_enabled(mode: u8, event: Event) {
     let seq = SEQ.fetch_add(1, Ordering::Relaxed);
     let nanos = origin().elapsed().as_nanos() as u64;
     // `try_with`: emissions during TLS teardown are silently dropped.
-    let _ = LOCAL.try_with(|ring| ring.push(seq, nanos, event));
+    let _ = LOCAL.try_with(|ring| {
+        if mode & MODE_RINGS != 0 {
+            ring.push(seq, nanos, event);
+        }
+        if mode & MODE_FLIGHT != 0 {
+            crate::flight::record(ring.thread, seq, nanos, event);
+        }
+    });
 }
 
 /// Collects every currently-readable event from every thread's ring,
@@ -756,6 +814,79 @@ pub fn clear() {
             slot.tag.store(0, Ordering::Release);
         }
     }
+}
+
+/// The identity of one in-flight request, minted by the client side of the
+/// `smc-serve` wire protocol and carried across threads (conn → SPSC ring →
+/// shard → exec workers) so every [`Event::ReqStage`] on the request's path
+/// names the same id. Zero is reserved as "untraced", so a `RequestId` is
+/// always non-zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RequestId(u64);
+
+impl RequestId {
+    /// Wraps a raw wire id; `None` for the reserved untraced value `0`.
+    pub fn new(raw: u64) -> Option<RequestId> {
+        (raw != 0).then_some(RequestId(raw))
+    }
+
+    /// The raw non-zero id.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+thread_local! {
+    /// The request the current thread is executing on behalf of (0 = none).
+    static CURRENT_REQ: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The request id the current thread is working under, if any. Worker pools
+/// capture this before fanning out and re-enter it per worker with
+/// [`RequestScope::enter`], so morsel-level stages inherit the id across the
+/// broadcast boundary.
+pub fn current_request() -> Option<RequestId> {
+    CURRENT_REQ.with(|c| RequestId::new(c.get()))
+}
+
+/// RAII guard marking the current thread as executing `id`. Restores the
+/// previous id (scopes nest) on drop. Entering a scope costs one TLS store
+/// and emits nothing on its own — stages are emitted explicitly.
+#[derive(Debug)]
+pub struct RequestScope {
+    prev: u64,
+}
+
+impl RequestScope {
+    /// Enters `id` on the current thread until the guard drops.
+    pub fn enter(id: RequestId) -> RequestScope {
+        let prev = CURRENT_REQ.with(|c| c.replace(id.get()));
+        RequestScope { prev }
+    }
+}
+
+impl Drop for RequestScope {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        CURRENT_REQ.with(|c| c.set(prev));
+    }
+}
+
+/// Emits a [`ReqStage`](Event::ReqStage) span for `id`. `nanos` is the
+/// stage's duration; the event's timestamp marks the stage's end, so the
+/// Chrome exporter reconstructs the start as `ts - nanos`.
+pub fn emit_stage(id: RequestId, stage: &str, nanos: u64) {
+    emit(Event::ReqStage {
+        req: id.get(),
+        stage: Label::new(stage),
+        nanos,
+    });
 }
 
 /// An RAII span: measures its own lifetime, emits a
@@ -812,15 +943,19 @@ impl Drop for Span<'_> {
     }
 }
 
+/// Tracer state is process-global; tests (here and in [`crate::flight`])
+/// that toggle it serialize on this lock.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    /// Tracer state is process-global; serialize tests that toggle it.
-    fn lock() -> std::sync::MutexGuard<'static, ()> {
-        static LOCK: Mutex<()> = Mutex::new(());
-        LOCK.lock().unwrap_or_else(|e| e.into_inner())
-    }
+    use super::test_lock as lock;
 
     #[test]
     fn label_round_trip_and_truncation() {
@@ -1022,6 +1157,11 @@ mod tests {
                 objects: 42,
                 nanos: 43,
             },
+            Event::ReqStage {
+                req: 44,
+                stage: Label::new("shard"),
+                nanos: 45,
+            },
         ];
         for e in events {
             let (kind, p) = e.encode();
@@ -1047,5 +1187,48 @@ mod tests {
         disable();
         assert!(found);
         assert_eq!(hist.count(), 1);
+    }
+
+    #[test]
+    fn request_scopes_nest_and_restore() {
+        assert_eq!(current_request(), None);
+        let outer = RequestId::new(7).unwrap();
+        let inner = RequestId::new(9).unwrap();
+        {
+            let _o = RequestScope::enter(outer);
+            assert_eq!(current_request(), Some(outer));
+            {
+                let _i = RequestScope::enter(inner);
+                assert_eq!(current_request(), Some(inner));
+            }
+            assert_eq!(current_request(), Some(outer));
+        }
+        assert_eq!(current_request(), None);
+        assert_eq!(RequestId::new(0), None, "zero is the untraced sentinel");
+    }
+
+    #[test]
+    fn request_scope_does_not_leak_across_threads() {
+        let _s = RequestScope::enter(RequestId::new(11).unwrap());
+        let other = std::thread::spawn(current_request).join().unwrap();
+        assert_eq!(other, None, "request context is thread-local");
+    }
+
+    #[test]
+    fn emit_stage_records_the_request_id() {
+        let _g = lock();
+        enable();
+        clear();
+        let id = RequestId::new(0xdead_beef).unwrap();
+        emit_stage(id, "conn", 1234);
+        let found = snapshot().iter().any(|t| {
+            matches!(
+                t.event,
+                Event::ReqStage { req, stage, nanos: 1234 }
+                    if req == id.get() && stage.as_str() == "conn"
+            )
+        });
+        disable();
+        assert!(found);
     }
 }

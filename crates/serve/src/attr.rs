@@ -1,0 +1,288 @@
+//! Tail-latency attribution: where slow requests spent their time.
+//!
+//! Every dispatched request is timed end to end on its connection thread;
+//! one that completes at or over the configured threshold
+//! ([`ServerConfig::slow_request_threshold`](crate::ServerConfig::slow_request_threshold))
+//! records a structured breakdown — ring wait, shard execution, spill
+//! faults, budget-ladder rungs, emergency epoch advances, and whether a
+//! maintenance pass was running — into per-op-class histograms and
+//! counters. The two classes are **ingest** (`UPSERT`/`DELETE`) and
+//! **query** (`COUNT`/`SUM`): the paper's workloads tail out for different
+//! reasons on each (budget ladders vs. scan interference), so mixing them
+//! in one histogram hides exactly the signal an operator needs.
+//!
+//! The breakdown is surfaced twice: in the `SCRAPE` wire op's JSON
+//! document ([`Attribution::to_json`]) and, via `smc-loadgen`, as
+//! `attr_*` histogram summaries in `BENCH_fig16.json`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use smc_obs::{Histogram, JsonValue};
+
+/// The two request classes attribution is kept for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    /// `UPSERT` and `DELETE`: the write path (budget ladder, index upkeep).
+    Ingest,
+    /// `COUNT` and `SUM`: the morsel-parallel scan path.
+    Query,
+}
+
+impl OpClass {
+    /// Stable lowercase name used in JSON documents and report keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::Ingest => "ingest",
+            OpClass::Query => "query",
+        }
+    }
+}
+
+/// One slow request's structured breakdown, aggregated across the shards
+/// it touched (max for the serial waits, sum for the event counters).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SlowBreakdown {
+    /// Longest time any shard-bound job of this request sat in its SPSC
+    /// ring before the shard thread picked it up.
+    pub ring_wait_ns: u64,
+    /// Longest shard-side execution time (the scatter-gather critical
+    /// path; shards run in parallel, so max — not sum — is the tail).
+    pub exec_ns: u64,
+    /// Blocks faulted in from the spill tier during execution.
+    pub spill_faults: u64,
+    /// Budget-ladder rungs climbed (allocation retries + OOM recoveries)
+    /// during execution.
+    pub budget_rungs: u64,
+    /// Emergency epoch advances forced during execution (epoch-pin
+    /// stalls resolved the hard way).
+    pub epoch_stalls: u64,
+    /// True when a background maintenance pass was in flight on at least
+    /// one touched shard while the request executed.
+    pub maint_active: bool,
+}
+
+/// Histograms and counters for one [`OpClass`].
+#[derive(Debug)]
+pub struct ClassAttribution {
+    /// Requests of this class that crossed the threshold.
+    slow_requests: AtomicU64,
+    /// End-to-end latency of slow requests (ns).
+    total: Histogram,
+    /// Ring-wait component of slow requests (ns).
+    ring_wait: Histogram,
+    /// Shard-execution component of slow requests (ns).
+    exec: Histogram,
+    /// Spill-tier faults summed over slow requests.
+    spill_faults: AtomicU64,
+    /// Budget-ladder rungs summed over slow requests.
+    budget_rungs: AtomicU64,
+    /// Emergency epoch advances summed over slow requests.
+    epoch_stalls: AtomicU64,
+    /// Slow requests that overlapped a maintenance pass.
+    maint_overlaps: AtomicU64,
+}
+
+impl ClassAttribution {
+    const fn new() -> ClassAttribution {
+        ClassAttribution {
+            slow_requests: AtomicU64::new(0),
+            total: Histogram::new(),
+            ring_wait: Histogram::new(),
+            exec: Histogram::new(),
+            spill_faults: AtomicU64::new(0),
+            budget_rungs: AtomicU64::new(0),
+            epoch_stalls: AtomicU64::new(0),
+            maint_overlaps: AtomicU64::new(0),
+        }
+    }
+
+    /// Slow requests recorded so far.
+    pub fn slow_requests(&self) -> u64 {
+        self.slow_requests.load(Ordering::Relaxed)
+    }
+
+    /// End-to-end latency histogram of slow requests.
+    pub fn total(&self) -> &Histogram {
+        &self.total
+    }
+
+    /// Ring-wait histogram of slow requests.
+    pub fn ring_wait(&self) -> &Histogram {
+        &self.ring_wait
+    }
+
+    /// Shard-execution histogram of slow requests.
+    pub fn exec(&self) -> &Histogram {
+        &self.exec
+    }
+
+    fn to_json(&self) -> JsonValue {
+        let mut obj = JsonValue::obj();
+        obj.set("slow_requests", JsonValue::from(self.slow_requests()));
+        obj.set("total_ns", summary_json(&self.total));
+        obj.set("ring_wait_ns", summary_json(&self.ring_wait));
+        obj.set("exec_ns", summary_json(&self.exec));
+        obj.set(
+            "spill_faults",
+            JsonValue::from(self.spill_faults.load(Ordering::Relaxed)),
+        );
+        obj.set(
+            "budget_rungs",
+            JsonValue::from(self.budget_rungs.load(Ordering::Relaxed)),
+        );
+        obj.set(
+            "epoch_stalls",
+            JsonValue::from(self.epoch_stalls.load(Ordering::Relaxed)),
+        );
+        obj.set(
+            "maint_overlaps",
+            JsonValue::from(self.maint_overlaps.load(Ordering::Relaxed)),
+        );
+        obj
+    }
+}
+
+/// A histogram summary in the same field shape `Report::histogram` writes,
+/// so gate tooling can apply one schema to both.
+fn summary_json(h: &Histogram) -> JsonValue {
+    let s = h.summary();
+    let mut obj = JsonValue::obj();
+    obj.set("count", JsonValue::from(s.count));
+    obj.set("sum_ns", JsonValue::from(s.sum));
+    obj.set("min_ns", JsonValue::from(s.min));
+    obj.set("max_ns", JsonValue::from(s.max));
+    obj.set("mean_ns", JsonValue::from(s.mean));
+    obj.set("p50_ns", JsonValue::from(s.p50));
+    obj.set("p95_ns", JsonValue::from(s.p95));
+    obj.set("p99_ns", JsonValue::from(s.p99));
+    obj
+}
+
+/// Server-wide tail-latency attribution, shared by every connection
+/// thread. All recording is lock-free (atomic counters + the lock-free
+/// [`Histogram`]s), so attribution adds no serialization to the data path.
+#[derive(Debug)]
+pub struct Attribution {
+    threshold_ns: u64,
+    ingest: ClassAttribution,
+    query: ClassAttribution,
+}
+
+impl Attribution {
+    /// Attribution with the given slow-request threshold. A zero threshold
+    /// records every request — what the load harness uses so fig16 always
+    /// carries a populated breakdown.
+    pub fn new(threshold: Duration) -> Attribution {
+        Attribution {
+            threshold_ns: threshold.as_nanos().min(u64::MAX as u128) as u64,
+            ingest: ClassAttribution::new(),
+            query: ClassAttribution::new(),
+        }
+    }
+
+    /// The configured threshold in nanoseconds.
+    pub fn threshold_ns(&self) -> u64 {
+        self.threshold_ns
+    }
+
+    /// One class's histograms and counters.
+    pub fn class(&self, class: OpClass) -> &ClassAttribution {
+        match class {
+            OpClass::Ingest => &self.ingest,
+            OpClass::Query => &self.query,
+        }
+    }
+
+    /// Records one completed request; a no-op below the threshold.
+    pub fn observe(&self, class: OpClass, total_ns: u64, breakdown: &SlowBreakdown) {
+        if total_ns < self.threshold_ns {
+            return;
+        }
+        let c = self.class(class);
+        c.slow_requests.fetch_add(1, Ordering::Relaxed);
+        c.total.record(total_ns);
+        c.ring_wait.record(breakdown.ring_wait_ns);
+        c.exec.record(breakdown.exec_ns);
+        c.spill_faults
+            .fetch_add(breakdown.spill_faults, Ordering::Relaxed);
+        c.budget_rungs
+            .fetch_add(breakdown.budget_rungs, Ordering::Relaxed);
+        c.epoch_stalls
+            .fetch_add(breakdown.epoch_stalls, Ordering::Relaxed);
+        c.maint_overlaps
+            .fetch_add(breakdown.maint_active as u64, Ordering::Relaxed);
+    }
+
+    /// The attribution section of the `SCRAPE` document.
+    pub fn to_json(&self) -> JsonValue {
+        let mut obj = JsonValue::obj();
+        obj.set("threshold_ns", JsonValue::from(self.threshold_ns));
+        obj.set("ingest", self.ingest.to_json());
+        obj.set("query", self.query.to_json());
+        obj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_gates_recording() {
+        let attr = Attribution::new(Duration::from_micros(100));
+        attr.observe(OpClass::Query, 99_999, &SlowBreakdown::default());
+        assert_eq!(attr.class(OpClass::Query).slow_requests(), 0);
+        attr.observe(
+            OpClass::Query,
+            100_000,
+            &SlowBreakdown {
+                ring_wait_ns: 40_000,
+                exec_ns: 55_000,
+                spill_faults: 2,
+                budget_rungs: 0,
+                epoch_stalls: 1,
+                maint_active: true,
+            },
+        );
+        let q = attr.class(OpClass::Query);
+        assert_eq!(q.slow_requests(), 1);
+        assert_eq!(q.total().count(), 1);
+        assert_eq!(q.ring_wait().max(), 40_000);
+        assert_eq!(attr.class(OpClass::Ingest).slow_requests(), 0);
+    }
+
+    #[test]
+    fn json_shape_matches_report_histograms() {
+        let attr = Attribution::new(Duration::ZERO);
+        attr.observe(
+            OpClass::Ingest,
+            5_000,
+            &SlowBreakdown {
+                ring_wait_ns: 1_000,
+                exec_ns: 3_000,
+                ..SlowBreakdown::default()
+            },
+        );
+        let doc = attr.to_json();
+        let ingest = doc.get("ingest").expect("ingest section");
+        assert_eq!(
+            ingest.get("slow_requests").and_then(JsonValue::as_u64),
+            Some(1)
+        );
+        for hist in ["total_ns", "ring_wait_ns", "exec_ns"] {
+            let h = ingest.get(hist).expect("histogram section");
+            for field in [
+                "count", "sum_ns", "min_ns", "max_ns", "mean_ns", "p50_ns", "p95_ns", "p99_ns",
+            ] {
+                assert!(h.get(field).is_some(), "{hist} missing {field}");
+            }
+        }
+        assert_eq!(
+            doc.get("query")
+                .and_then(|q| q.get("slow_requests"))
+                .and_then(JsonValue::as_u64),
+            Some(0)
+        );
+    }
+}

@@ -10,6 +10,8 @@ use std::io::Write;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use smc_obs::JsonValue;
+
 use crate::wire::{write_frame, ErrorCode, FrameError, FrameReader, Request, Response, StatsBody};
 
 /// Why a client call failed.
@@ -46,6 +48,11 @@ impl From<std::io::Error> for ClientError {
 pub struct Client {
     stream: TcpStream,
     reader: FrameReader,
+    /// Whether this server accepts trace headers. Optimistically true
+    /// until [`Client::negotiate_tracing`] learns otherwise.
+    trace_supported: bool,
+    /// Request id to attach to the next request, consumed on send.
+    trace_next: Option<u64>,
 }
 
 impl Client {
@@ -56,6 +63,8 @@ impl Client {
         Ok(Client {
             stream,
             reader: FrameReader::new(),
+            trace_supported: true,
+            trace_next: None,
         })
     }
 
@@ -65,9 +74,43 @@ impl Client {
         self.stream.set_read_timeout(timeout)
     }
 
+    /// Probes whether the server understands span-context headers by
+    /// sending a traced `PING`. A server that predates the header sees an
+    /// unknown opcode (the flag bit) and answers `UnknownOp`; the client
+    /// then strips trace headers from every later request, so a traced
+    /// workload degrades to an untraced one instead of failing. Returns
+    /// whether tracing is on after negotiation.
+    pub fn negotiate_tracing(&mut self) -> Result<bool, ClientError> {
+        write_frame(&mut self.stream, &Request::Ping.encode_traced(Some(1)))?;
+        match self.read_response()? {
+            Response::Ok(_) => {
+                self.trace_supported = true;
+                Ok(true)
+            }
+            Response::Err(ErrorCode::UnknownOp, _) => {
+                self.trace_supported = false;
+                Ok(false)
+            }
+            Response::Err(code, msg) => Err(ClientError::Server(code, msg)),
+        }
+    }
+
+    /// Attaches `id` to the next request's trace header (0, the untraced
+    /// sentinel, clears instead). Silently dropped if negotiation learned
+    /// the server cannot parse trace headers.
+    pub fn trace_next(&mut self, id: u64) {
+        self.trace_next = (id != 0).then_some(id);
+    }
+
     /// Sends a request and waits for its response.
     pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
-        write_frame(&mut self.stream, &req.encode())?;
+        let trace = if self.trace_supported {
+            self.trace_next.take()
+        } else {
+            self.trace_next = None;
+            None
+        };
+        write_frame(&mut self.stream, &req.encode_traced(trace))?;
         self.read_response()
     }
 
@@ -153,6 +196,23 @@ impl Client {
     pub fn stats(&mut self) -> Result<StatsBody, ClientError> {
         let body = self.call(&Request::Stats)?;
         StatsBody::decode(&body).map_err(|e| ClientError::Protocol(e.message()))
+    }
+
+    /// Pulls the live observability document (`smc-scrape/v1`): stats,
+    /// tail-latency attribution, tracer and flight-recorder health, and
+    /// per-shard heap snapshots, parsed into a [`JsonValue`].
+    pub fn scrape(&mut self) -> Result<JsonValue, ClientError> {
+        let body = self.call(&Request::Scrape)?;
+        let text = std::str::from_utf8(&body)
+            .map_err(|_| ClientError::Protocol("scrape body is not UTF-8".to_string()))?;
+        let doc = JsonValue::parse(text)
+            .map_err(|e| ClientError::Protocol(format!("scrape body is not JSON: {e}")))?;
+        match doc.get("schema").and_then(JsonValue::as_str) {
+            Some("smc-scrape/v1") => Ok(doc),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected scrape schema {other:?}"
+            ))),
+        }
     }
 }
 

@@ -19,14 +19,25 @@
 //! acceptor, finish in-flight requests, quiesce each shard's maintenance
 //! coordinator, then `Smc::verify` + `Runtime::verify` every shard
 //! ([`DrainReport::clean`]).
+//!
+//! The server is observable end to end: clients may stamp requests with a
+//! [`smc_obs::trace::RequestId`] via an optional wire header
+//! ([`wire::TRACE_FLAG`]) that propagates across rings into shard and
+//! morsel execution, requests over
+//! [`ServerConfig::slow_request_threshold`] fold a structured breakdown
+//! into per-op-class histograms ([`attr`]), and the read-only
+//! [`wire::Op::Scrape`] op exports stats, attribution, tracer and
+//! flight-recorder state as one JSON document (schema `smc-scrape/v1`).
 
 #![warn(missing_docs)]
 
+pub mod attr;
 pub mod client;
 pub mod server;
 pub mod shard;
 pub mod wire;
 
+pub use attr::{Attribution, ClassAttribution, OpClass, SlowBreakdown};
 pub use client::{Client, ClientError};
 pub use server::{DrainReport, Server, ServerConfig, TenantConfig};
 pub use shard::{shard_of, Row, ShardDrain};

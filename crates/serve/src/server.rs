@@ -22,17 +22,23 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use std::time::Instant;
+
 use smc::Runtime;
 use smc_maint::{MaintConfig, MaintPolicy};
+use smc_memory::inspect::HeapSnapshot;
 use smc_memory::stats::MemoryStats;
+use smc_obs::trace::{self, RequestId, RequestScope};
+use smc_obs::{flight, JsonValue};
 
+use crate::attr::{Attribution, OpClass, SlowBreakdown};
 use crate::shard::{
     run_shard, shard_of, ReplyCell, SendOutcome, ShardConfig, ShardDrain, ShardJob, ShardReply,
-    ShardRequest, ShardSender, ShardShared,
+    ShardRequest, ShardSender, ShardShared, ShardTiming,
 };
 use crate::wire::{
     write_frame, ErrorCode, FrameError, FrameReader, Request, Response, ShardStats, StatsBody,
-    TenantStats,
+    TenantStats, MAX_FRAME,
 };
 
 /// One tenant as configured at server start. Tenant ids on the wire are the
@@ -74,6 +80,11 @@ pub struct ServerConfig {
     /// budgets smaller than the dataset evict instead of rejecting, and
     /// writes a fresh snapshot of the verified state at drain.
     pub persist_dir: Option<PathBuf>,
+    /// Requests completing at or over this threshold record a tail-latency
+    /// breakdown into the per-op-class [`Attribution`] (surfaced via the
+    /// `SCRAPE` op and `BENCH_fig16.json`). `Duration::ZERO` records every
+    /// request.
+    pub slow_request_threshold: Duration,
 }
 
 impl Default for ServerConfig {
@@ -91,6 +102,7 @@ impl Default for ServerConfig {
             maint: MaintConfig::default(),
             maint_policy: MaintPolicy::default(),
             persist_dir: None,
+            slow_request_threshold: Duration::from_millis(1),
         }
     }
 }
@@ -135,6 +147,7 @@ pub struct Server {
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
     shards: Vec<Arc<ShardShared>>,
     shard_joins: Vec<JoinHandle<ShardDrain>>,
+    attr: Arc<Attribution>,
 }
 
 impl std::fmt::Debug for Server {
@@ -179,12 +192,14 @@ impl Server {
             shard_joins.push(join);
         }
 
+        let attr = Arc::new(Attribution::new(config.slow_request_threshold));
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let acceptor = {
             let stop = stop.clone();
             let conns = conns.clone();
             let shards = shards.clone();
             let config = config.clone();
+            let attr = attr.clone();
             std::thread::Builder::new()
                 .name("smc-acceptor".to_string())
                 .spawn(move || {
@@ -194,9 +209,12 @@ impl Server {
                                 let stop = stop.clone();
                                 let shards = shards.clone();
                                 let config = config.clone();
+                                let attr = attr.clone();
                                 let handle = std::thread::Builder::new()
                                     .name("smc-conn".to_string())
-                                    .spawn(move || handle_conn(stream, &shards, &config, &stop));
+                                    .spawn(move || {
+                                        handle_conn(stream, &shards, &config, &attr, &stop)
+                                    });
                                 match handle {
                                     Ok(h) => {
                                         conns.lock().unwrap_or_else(|e| e.into_inner()).push(h)
@@ -220,6 +238,7 @@ impl Server {
             conns,
             shards,
             shard_joins,
+            attr,
         })
     }
 
@@ -232,6 +251,18 @@ impl Server {
     /// while the server runs (the loadgen polls it between windows).
     pub fn stats(&self) -> StatsBody {
         gather_stats(&self.shards)
+    }
+
+    /// The server's tail-latency attribution (embedded harnesses read it
+    /// directly; external ones get the same data via `SCRAPE`).
+    pub fn attribution(&self) -> &Arc<Attribution> {
+        &self.attr
+    }
+
+    /// The `smc-scrape/v1` document the `SCRAPE` op answers with, built
+    /// in-process (no socket round-trip).
+    pub fn scrape_json(&self) -> JsonValue {
+        gather_scrape(&self.shards, &self.attr)
     }
 
     /// Stops accepting, drains connections, then drains, quiesces, and
@@ -267,6 +298,12 @@ impl Server {
                     verify_errors: vec!["shard thread panicked".to_string()],
                 }),
             }
+        }
+        if !report.clean() {
+            // A failed drain verify is one of the flight recorder's trigger
+            // conditions: preserve the event window before the process
+            // exits. No-op unless the recorder is armed.
+            let _ = flight::dump("drain-verify-failed");
         }
         report
     }
@@ -322,11 +359,107 @@ fn gather_stats(shards: &[Arc<ShardShared>]) -> StatsBody {
     body
 }
 
+/// Builds the `smc-scrape/v1` JSON document: wire stats, tail-latency
+/// attribution, tracer health, flight-recorder status, and per-shard heap
+/// snapshots. The heap section is elided (with an explicit marker) when
+/// the serialized document would not fit in one wire frame.
+fn gather_scrape(shards: &[Arc<ShardShared>], attr: &Attribution) -> JsonValue {
+    let stats = gather_stats(shards);
+    let mut doc = JsonValue::obj();
+    doc.set("schema", JsonValue::from("smc-scrape/v1"));
+
+    let mut stats_json = JsonValue::obj();
+    let shard_rows = stats
+        .shards
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let mut o = JsonValue::obj();
+            o.set("shard", JsonValue::from(i));
+            o.set("requests", JsonValue::from(s.requests));
+            o.set("pins_taken", JsonValue::from(s.pins_taken));
+            o.set("blocks_scanned", JsonValue::from(s.blocks_scanned));
+            o.set("morsels_dispatched", JsonValue::from(s.morsels_dispatched));
+            o
+        })
+        .collect();
+    stats_json.set("shards", JsonValue::Arr(shard_rows));
+    let tenant_rows = stats
+        .tenants
+        .iter()
+        .map(|t| {
+            let mut o = JsonValue::obj();
+            o.set("tenant", JsonValue::from(u64::from(t.tenant)));
+            o.set("budget_bytes", JsonValue::from(t.budget_bytes));
+            o.set("used_bytes", JsonValue::from(t.used_bytes));
+            o.set("live_objects", JsonValue::from(t.live_objects));
+            o.set("over_budget_errors", JsonValue::from(t.over_budget_errors));
+            o
+        })
+        .collect();
+    stats_json.set("tenants", JsonValue::Arr(tenant_rows));
+    doc.set("stats", stats_json);
+
+    doc.set("attribution", attr.to_json());
+
+    let mut tracer = JsonValue::obj();
+    tracer.set("enabled", JsonValue::from(trace::is_enabled()));
+    let by_thread = trace::dropped_by_thread();
+    tracer.set(
+        "dropped",
+        JsonValue::from(by_thread.iter().map(|&(_, n)| n).sum::<u64>()),
+    );
+    tracer.set(
+        "dropped_by_thread",
+        JsonValue::Arr(
+            by_thread
+                .iter()
+                .map(|&(thread, dropped)| {
+                    let mut o = JsonValue::obj();
+                    o.set("thread", JsonValue::from(thread));
+                    o.set("dropped", JsonValue::from(dropped));
+                    o
+                })
+                .collect(),
+        ),
+    );
+    doc.set("tracer", tracer);
+
+    let mut flight_json = JsonValue::obj();
+    flight_json.set("enabled", JsonValue::from(flight::is_enabled()));
+    flight_json.set("dropped", JsonValue::from(flight::dropped()));
+    flight_json.set("capacity", JsonValue::from(flight::FLIGHT_CAPACITY));
+    doc.set("flight", flight_json);
+
+    let heaps = shards
+        .iter()
+        .filter_map(|s| {
+            let ctx_arcs: Vec<_> = s.tenants.iter().filter_map(|t| t.ctx.get()).collect();
+            let ctxs: Vec<&smc_memory::MemoryContext> =
+                ctx_arcs.iter().map(|a| a.as_ref()).collect();
+            // Capture can fail (epoch registry full); a scrape never does.
+            let snap = HeapSnapshot::try_capture(&s.runtime, &ctxs).ok()?;
+            let mut o = JsonValue::obj();
+            o.set("shard", JsonValue::from(s.index));
+            o.set("snapshot", snap.to_json());
+            Some(o)
+        })
+        .collect();
+    doc.set("heap", JsonValue::Arr(heaps));
+    doc.set("heap_elided", JsonValue::Bool(false));
+    if doc.to_json().len() >= MAX_FRAME as usize {
+        doc.set("heap", JsonValue::Arr(Vec::new()));
+        doc.set("heap_elided", JsonValue::Bool(true));
+    }
+    doc
+}
+
 /// The connection loop: frame in, route, frame out.
 fn handle_conn(
     stream: TcpStream,
     shards: &[Arc<ShardShared>],
     config: &ServerConfig,
+    attr: &Attribution,
     stop: &AtomicBool,
 ) {
     let mut stream = stream;
@@ -356,8 +489,19 @@ fn handle_conn(
             }
             Err(FrameError::Io(_)) => break,
         };
-        let response = match Request::decode(&payload) {
-            Ok(req) => dispatch(req, shards, &senders, config),
+        let conn_start = Instant::now();
+        let response = match Request::decode_traced(&payload) {
+            Ok((req, raw_id)) => {
+                let id = raw_id.and_then(RequestId::new);
+                // Hold the span context for the whole connection-side
+                // handling so anything emitted below carries the id.
+                let _scope = id.map(RequestScope::enter);
+                let resp = dispatch(req, shards, &senders, config, attr, id);
+                if let Some(id) = id {
+                    trace::emit_stage(id, "conn", conn_start.elapsed().as_nanos() as u64);
+                }
+                resp
+            }
             // Framing is still intact (the prefix was honest), so a decode
             // error answers and keeps the connection.
             Err(e) => Response::err(e.code(), e.message()),
@@ -370,18 +514,53 @@ fn handle_conn(
     // Dropping `senders` closes the rings; shards prune them once drained.
 }
 
-/// Routes one request: single-shard for ingest partitions, scatter-gather
-/// for queries, local for `PING`/`STATS`.
+/// The attribution class a request belongs to; `None` for the local ops
+/// that never touch a shard (`PING`/`STATS`/`SCRAPE`).
+fn op_class(req: &Request) -> Option<OpClass> {
+    match req {
+        Request::Upsert { .. } | Request::Delete { .. } => Some(OpClass::Ingest),
+        Request::Count { .. } | Request::Sum { .. } => Some(OpClass::Query),
+        Request::Ping | Request::Stats | Request::Scrape => None,
+    }
+}
+
+/// Routes one request and, for shard-bound ops, records its tail-latency
+/// breakdown when it completes at or over the slow-request threshold.
 fn dispatch(
     req: Request,
     shards: &[Arc<ShardShared>],
     senders: &[ShardSender],
     config: &ServerConfig,
+    attr: &Attribution,
+    trace: Option<RequestId>,
+) -> Response {
+    let class = op_class(&req);
+    let start = Instant::now();
+    let mut breakdown = SlowBreakdown::default();
+    let resp = dispatch_inner(req, shards, senders, config, attr, trace, &mut breakdown);
+    if let Some(class) = class {
+        attr.observe(class, start.elapsed().as_nanos() as u64, &breakdown);
+    }
+    resp
+}
+
+/// Routes one request: single-shard for ingest partitions, scatter-gather
+/// for queries, local for `PING`/`STATS`/`SCRAPE`.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_inner(
+    req: Request,
+    shards: &[Arc<ShardShared>],
+    senders: &[ShardSender],
+    config: &ServerConfig,
+    attr: &Attribution,
+    trace: Option<RequestId>,
+    breakdown: &mut SlowBreakdown,
 ) -> Response {
     let ntenants = shards.first().map_or(0, |s| s.tenants.len());
     match req {
         Request::Ping => Response::Ok(Vec::new()),
         Request::Stats => Response::Ok(gather_stats(shards).encode()),
+        Request::Scrape => Response::Ok(gather_scrape(shards, attr).to_json().into_bytes()),
         Request::Upsert { tenant, rows } => {
             if tenant as usize >= ntenants {
                 return unknown_tenant(tenant);
@@ -390,7 +569,7 @@ fn dispatch(
             for (k, v) in rows {
                 parts[shard_of(k, shards.len())].push((k, v));
             }
-            let sent = scatter(shards, senders, config, |shard| {
+            let sent = scatter(shards, senders, config, trace, breakdown, |shard| {
                 let rows = std::mem::take(&mut parts[shard]);
                 if rows.is_empty() {
                     None
@@ -411,7 +590,7 @@ fn dispatch(
             for k in keys {
                 parts[shard_of(k, shards.len())].push(k);
             }
-            let sent = scatter(shards, senders, config, |shard| {
+            let sent = scatter(shards, senders, config, trace, breakdown, |shard| {
                 let keys = std::mem::take(&mut parts[shard]);
                 if keys.is_empty() {
                     None
@@ -428,7 +607,7 @@ fn dispatch(
             if tenant as usize >= ntenants {
                 return unknown_tenant(tenant);
             }
-            let sent = scatter(shards, senders, config, |_| {
+            let sent = scatter(shards, senders, config, trace, breakdown, |_| {
                 Some(ShardRequest::Count { tenant, lo, hi })
             });
             let mut total = 0u64;
@@ -446,7 +625,7 @@ fn dispatch(
             if tenant as usize >= ntenants {
                 return unknown_tenant(tenant);
             }
-            let sent = scatter(shards, senders, config, |_| {
+            let sent = scatter(shards, senders, config, trace, breakdown, |_| {
                 Some(ShardRequest::Sum { tenant, lo, hi })
             });
             let (mut count, mut sum) = (0u64, 0u64);
@@ -482,10 +661,17 @@ fn internal(msg: String) -> Response {
 /// Sends one job per shard (where `make` yields one), then collects every
 /// reply. Send-then-collect keeps the shards working in parallel during a
 /// scatter-gather query.
+///
+/// Per-shard [`ShardTiming`]s fold into `breakdown` as they arrive: max
+/// for ring wait and execution (shards run in parallel, so the slowest one
+/// *is* the request's critical path), sum for the event counters, any for
+/// the maintenance overlap.
 fn scatter(
     shards: &[Arc<ShardShared>],
     senders: &[ShardSender],
     config: &ServerConfig,
+    trace: Option<RequestId>,
+    breakdown: &mut SlowBreakdown,
     mut make: impl FnMut(usize) -> Option<ShardRequest>,
 ) -> Vec<Result<ShardReply, Response>> {
     let mut cells: Vec<Option<Arc<ReplyCell>>> = Vec::with_capacity(shards.len());
@@ -499,6 +685,8 @@ fn scatter(
         let job = ShardJob {
             req,
             reply: cell.clone(),
+            trace,
+            enqueued: Instant::now(),
         };
         match sender.send(&shards[i], job, config.ring_patience) {
             SendOutcome::Queued => cells.push(Some(cell)),
@@ -516,11 +704,24 @@ fn scatter(
         }
         let Some(cell) = cell else { continue };
         match cell.wait(config.reply_timeout) {
-            Some(reply) => out.push(Ok(reply)),
+            Some((reply, timing)) => {
+                fold_timing(breakdown, &timing);
+                out.push(Ok(reply));
+            }
             None => out.push(Err(internal(format!("shard {i} reply timed out")))),
         }
     }
     out
+}
+
+/// Folds one shard's timing into the request-level breakdown.
+fn fold_timing(breakdown: &mut SlowBreakdown, t: &ShardTiming) {
+    breakdown.ring_wait_ns = breakdown.ring_wait_ns.max(t.ring_wait_ns);
+    breakdown.exec_ns = breakdown.exec_ns.max(t.exec_ns);
+    breakdown.spill_faults += t.spill_faults;
+    breakdown.budget_rungs += t.budget_rungs;
+    breakdown.epoch_stalls += t.epoch_stalls;
+    breakdown.maint_active |= t.maint_active;
 }
 
 /// Merges per-shard ingest acks: totals on success. On mixed outcomes the

@@ -20,7 +20,9 @@ use std::time::{Duration, Instant};
 use smc::{ContextConfig, Ref, Runtime, Smc, Tabular};
 use smc_exec::{ParScan, WorkerPool};
 use smc_maint::{Coordinator, MaintConfig, MaintPolicy};
+use smc_memory::stats::MemoryStats;
 use smc_memory::{MemError, MemoryContext, PageStore};
+use smc_obs::trace::{self, RequestId, RequestScope};
 use smc_obs::Histogram;
 use smc_persist::{Persist, PersistError, RecoverOptions, SpillFile};
 use smc_util::spsc::{self, Consumer, Producer};
@@ -81,11 +83,36 @@ pub(crate) enum ShardReply {
     Error(ErrorCode, String),
 }
 
+/// Where one shard-side job spent its time, measured on the shard thread
+/// and handed back with the reply for tail-latency attribution.
+///
+/// The event counters are deltas of the shard runtime's [`MemoryStats`]
+/// across the job's execution window. A concurrent maintenance pass on the
+/// same runtime bumps the same counters, so they attribute *pressure
+/// during the request*, not strictly work *of* the request — which is the
+/// operator-relevant reading (the request stalled behind it either way),
+/// and `maint_active` names the confounder explicitly.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ShardTiming {
+    /// Nanoseconds the job sat in the SPSC ring before the shard ran it.
+    pub(crate) ring_wait_ns: u64,
+    /// Nanoseconds the shard spent executing the job.
+    pub(crate) exec_ns: u64,
+    /// Spill-tier blocks faulted in during the window.
+    pub(crate) spill_faults: u64,
+    /// Budget-ladder rungs (alloc retries + OOM recoveries) in the window.
+    pub(crate) budget_rungs: u64,
+    /// Emergency epoch advances forced in the window.
+    pub(crate) epoch_stalls: u64,
+    /// True when a maintenance pass was in flight when the job finished.
+    pub(crate) maint_active: bool,
+}
+
 /// One-shot rendezvous a connection thread parks on while the owning shard
 /// executes its job.
 #[derive(Debug, Default)]
 pub(crate) struct ReplyCell {
-    slot: Mutex<Option<ShardReply>>,
+    slot: Mutex<Option<(ShardReply, ShardTiming)>>,
     ready: Condvar,
 }
 
@@ -94,14 +121,14 @@ impl ReplyCell {
         Arc::new(ReplyCell::default())
     }
 
-    pub(crate) fn fill(&self, reply: ShardReply) {
+    pub(crate) fn fill(&self, reply: ShardReply, timing: ShardTiming) {
         let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
-        *slot = Some(reply);
+        *slot = Some((reply, timing));
         self.ready.notify_all();
     }
 
     /// Blocks until the shard replies or `timeout` elapses.
-    pub(crate) fn wait(&self, timeout: Duration) -> Option<ShardReply> {
+    pub(crate) fn wait(&self, timeout: Duration) -> Option<(ShardReply, ShardTiming)> {
         let deadline = Instant::now() + timeout;
         let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
         loop {
@@ -126,6 +153,11 @@ impl ReplyCell {
 pub(crate) struct ShardJob {
     pub(crate) req: ShardRequest,
     pub(crate) reply: Arc<ReplyCell>,
+    /// Span context from the wire header, if the request was traced; the
+    /// shard re-enters it so every event it emits carries the id.
+    pub(crate) trace: Option<RequestId>,
+    /// When the connection thread enqueued the job (ring-wait start).
+    pub(crate) enqueued: Instant,
 }
 
 /// Wake-up signal for a shard parked on an empty inbox.
@@ -393,7 +425,7 @@ pub(crate) fn run_shard(shared: Arc<ShardShared>, cfg: ShardConfig) -> ShardDrai
         let mut served = 0u64;
         inboxes.retain_mut(|rx| {
             while let Some(job) = rx.pop() {
-                execute(&shared, &mut tenants, &pool, job);
+                execute(&shared, &mut tenants, &pool, &coordinator, job);
                 served += 1;
             }
             // A closed, drained ring belongs to a finished connection.
@@ -518,55 +550,85 @@ fn build_persistent_tenant(
     }
 }
 
-/// Executes one job against the shard-local state and fills its reply.
+/// Executes one job against the shard-local state and fills its reply,
+/// measuring the [`ShardTiming`] breakdown along the way. A traced job has
+/// its [`RequestScope`] entered for the whole execution window, so scan
+/// workers inherit the id and the `req.ring`/`req.shard` stage spans land
+/// on the shard thread's track.
 fn execute(
     shared: &ShardShared,
     tenants: &mut HashMap<u16, TenantLocal>,
     pool: &WorkerPool,
+    coordinator: &Coordinator,
     job: ShardJob,
 ) {
+    let ring_wait = job.enqueued.elapsed();
+    let _scope = job.trace.map(RequestScope::enter);
+    if let Some(id) = job.trace {
+        trace::emit_stage(id, "ring", ring_wait.as_nanos() as u64);
+    }
+    let stats = &shared.runtime.stats;
+    let faults0 = MemoryStats::get(&stats.blocks_faulted_in);
+    let rungs0 = MemoryStats::get(&stats.alloc_retries) + MemoryStats::get(&stats.oom_recoveries);
+    let stalls0 = MemoryStats::get(&stats.emergency_epoch_advances);
+    let exec_start = Instant::now();
+
     let tenant_id = match &job.req {
         ShardRequest::Upsert { tenant, .. }
         | ShardRequest::Delete { tenant, .. }
         | ShardRequest::Count { tenant, .. }
         | ShardRequest::Sum { tenant, .. } => *tenant,
     };
-    let Some(local) = tenants.get_mut(&tenant_id) else {
-        job.reply.fill(ShardReply::Error(
+    let reply = match tenants.get_mut(&tenant_id) {
+        None => ShardReply::Error(
             ErrorCode::UnknownTenant,
             format!("tenant {tenant_id} is not configured"),
-        ));
-        return;
+        ),
+        Some(local) => match job.req {
+            ShardRequest::Upsert { rows, .. } => upsert(shared, tenant_id, local, rows),
+            ShardRequest::Delete { keys, .. } => delete(local, keys),
+            ShardRequest::Count { lo, hi, .. } => {
+                let start = Instant::now();
+                let n = ParScan::new(&local.smc, pool)
+                    .filter_count(|row: &Row| row.value >= lo && row.value < hi);
+                shared.query_latency.record_duration(start.elapsed());
+                ShardReply::Counted(n)
+            }
+            ShardRequest::Sum { lo, hi, .. } => {
+                let start = Instant::now();
+                let (count, sum) = ParScan::new(&local.smc, pool).filter_fold(
+                    || (0u64, 0u64),
+                    |row: &Row| row.value >= lo && row.value < hi,
+                    |acc, row| {
+                        acc.0 += 1;
+                        acc.1 = acc.1.wrapping_add(row.value);
+                    },
+                    |acc, part| {
+                        acc.0 += part.0;
+                        acc.1 = acc.1.wrapping_add(part.1);
+                    },
+                );
+                shared.query_latency.record_duration(start.elapsed());
+                ShardReply::Summed { count, sum }
+            }
+        },
     };
-    let reply = match job.req {
-        ShardRequest::Upsert { rows, .. } => upsert(shared, tenant_id, local, rows),
-        ShardRequest::Delete { keys, .. } => delete(local, keys),
-        ShardRequest::Count { lo, hi, .. } => {
-            let start = Instant::now();
-            let n = ParScan::new(&local.smc, pool)
-                .filter_count(|row: &Row| row.value >= lo && row.value < hi);
-            shared.query_latency.record_duration(start.elapsed());
-            ShardReply::Counted(n)
-        }
-        ShardRequest::Sum { lo, hi, .. } => {
-            let start = Instant::now();
-            let (count, sum) = ParScan::new(&local.smc, pool).filter_fold(
-                || (0u64, 0u64),
-                |row: &Row| row.value >= lo && row.value < hi,
-                |acc, row| {
-                    acc.0 += 1;
-                    acc.1 = acc.1.wrapping_add(row.value);
-                },
-                |acc, part| {
-                    acc.0 += part.0;
-                    acc.1 = acc.1.wrapping_add(part.1);
-                },
-            );
-            shared.query_latency.record_duration(start.elapsed());
-            ShardReply::Summed { count, sum }
-        }
+
+    let exec_ns = exec_start.elapsed().as_nanos() as u64;
+    if let Some(id) = job.trace {
+        trace::emit_stage(id, "shard", exec_ns);
+    }
+    let timing = ShardTiming {
+        ring_wait_ns: ring_wait.as_nanos() as u64,
+        exec_ns,
+        spill_faults: MemoryStats::get(&stats.blocks_faulted_in).saturating_sub(faults0),
+        budget_rungs: (MemoryStats::get(&stats.alloc_retries)
+            + MemoryStats::get(&stats.oom_recoveries))
+        .saturating_sub(rungs0),
+        epoch_stalls: MemoryStats::get(&stats.emergency_epoch_advances).saturating_sub(stalls0),
+        maint_active: coordinator.passes_active() > 0,
     };
-    job.reply.fill(reply);
+    job.reply.fill(reply, timing);
 }
 
 fn upsert(
@@ -657,10 +719,16 @@ mod tests {
         let c2 = cell.clone();
         let t = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(10));
-            c2.fill(ShardReply::Counted(5));
+            c2.fill(
+                ShardReply::Counted(5),
+                ShardTiming {
+                    ring_wait_ns: 7,
+                    ..ShardTiming::default()
+                },
+            );
         });
         match cell.wait(Duration::from_secs(5)) {
-            Some(ShardReply::Counted(5)) => {}
+            Some((ShardReply::Counted(5), timing)) => assert_eq!(timing.ring_wait_ns, 7),
             other => panic!("unexpected reply {other:?}"),
         }
         t.join().unwrap();

@@ -9,6 +9,18 @@
 //! state beyond the prefix, so a malformed frame poisons at most its own
 //! connection.
 //!
+//! ## Span-context header (DESIGN.md §17)
+//!
+//! The op byte's high bit ([`TRACE_FLAG`]) marks an *optional* trace
+//! header between the op and the tenant: `hlen: u8` followed by `hlen`
+//! header bytes, currently `version: u8` (= 1) and `request_id: u64 LE`
+//! (non-zero). Unknown versions, short headers, and impossible `hlen`
+//! claims all degrade to an untraced request — a trace header can never
+//! *break* a request that would otherwise parse. The flag is
+//! version-negotiated: clients probe with a traced `Ping` and fall back to
+//! plain ops when the server answers `UnknownOp`
+//! ([`Client::negotiate_tracing`](crate::Client::negotiate_tracing)).
+//!
 //! Decoding is total: any byte sequence either parses or yields a typed
 //! [`DecodeError`], never a panic — the fuzz-ish tests in
 //! `tests/wire_protocol.rs` hold the server to that.
@@ -18,6 +30,20 @@ use std::io::{ErrorKind, Read, Write};
 /// Largest accepted frame payload (1 MiB). A length prefix past this is a
 /// protocol error, not an allocation: the reader refuses before buffering.
 pub const MAX_FRAME: u32 = 1 << 20;
+
+/// High bit of the request op byte: set when an optional trace header
+/// (`hlen: u8`, then `hlen` header bytes) sits between the op and the
+/// tenant. Servers that predate the header see the flagged byte as an
+/// unknown opcode, which is exactly the negotiation signal clients use.
+pub const TRACE_FLAG: u8 = 0x80;
+
+/// Version byte a v1 trace header opens with (`version: u8 = 1`,
+/// `request_id: u64 LE`). Headers with other versions are skipped, not
+/// rejected — the request decodes as untraced.
+pub const TRACE_HEADER_VERSION: u8 = 1;
+
+/// Byte length of a v1 trace header body (version + request id).
+pub const TRACE_HEADER_LEN: u8 = 9;
 
 /// Request opcodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +65,11 @@ pub enum Op {
     Sum = 0x05,
     /// Server-wide statistics; empty body. OK body: [`StatsBody`].
     Stats = 0x06,
+    /// Full observability scrape; empty body. OK body: a UTF-8 JSON
+    /// document (`"schema": "smc-scrape/v1"`) carrying stats, tail-latency
+    /// attribution, tracer health, flight-recorder status, and per-shard
+    /// heap snapshots.
+    Scrape = 0x07,
 }
 
 /// Error codes carried in the response status byte (`0` means OK).
@@ -113,6 +144,8 @@ pub enum Request {
     },
     /// Server-wide statistics.
     Stats,
+    /// Full observability scrape (JSON `smc-scrape/v1` document).
+    Scrape,
 }
 
 /// Why a request payload failed to decode.
@@ -202,23 +235,41 @@ impl Request {
             Request::Count { .. } => Op::Count,
             Request::Sum { .. } => Op::Sum,
             Request::Stats => Op::Stats,
+            Request::Scrape => Op::Scrape,
         }
     }
 
     /// Serializes into a frame payload (header + body).
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_traced(None)
+    }
+
+    /// Serializes with an optional span-context header: when `trace` is
+    /// `Some(id)` (`id` non-zero) the op byte carries [`TRACE_FLAG`] and a
+    /// v1 header (`hlen = 9`, `version = 1`, `request_id: u64 LE`) precedes
+    /// the tenant. `Some(0)` is treated as `None` — id 0 is the reserved
+    /// untraced sentinel.
+    pub fn encode_traced(&self, trace: Option<u64>) -> Vec<u8> {
         let mut out = Vec::new();
-        out.push(self.op() as u8);
+        match trace.filter(|&id| id != 0) {
+            Some(id) => {
+                out.push(self.op() as u8 | TRACE_FLAG);
+                out.push(TRACE_HEADER_LEN);
+                out.push(TRACE_HEADER_VERSION);
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+            None => out.push(self.op() as u8),
+        }
         let tenant = match self {
             Request::Upsert { tenant, .. }
             | Request::Delete { tenant, .. }
             | Request::Count { tenant, .. }
             | Request::Sum { tenant, .. } => *tenant,
-            Request::Ping | Request::Stats => 0,
+            Request::Ping | Request::Stats | Request::Scrape => 0,
         };
         out.extend_from_slice(&tenant.to_le_bytes());
         match self {
-            Request::Ping | Request::Stats => {}
+            Request::Ping | Request::Stats | Request::Scrape => {}
             Request::Upsert { rows, .. } => {
                 out.extend_from_slice(&(rows.len() as u32).to_le_bytes());
                 for (k, v) in rows {
@@ -240,10 +291,42 @@ impl Request {
         out
     }
 
-    /// Parses a frame payload into a request.
+    /// Parses a frame payload into a request, discarding any trace header.
     pub fn decode(payload: &[u8]) -> Result<Request, DecodeError> {
+        Request::decode_traced(payload).map(|(req, _)| req)
+    }
+
+    /// Parses a frame payload into a request plus the request id from its
+    /// span-context header, if one is present and well-formed.
+    ///
+    /// Header handling is deliberately forgiving: a short header, an
+    /// unknown version, a zero id, or an `hlen` claiming more bytes than
+    /// the frame holds all yield `None` for the id — the request itself
+    /// still decodes. A bad trace header must degrade to an untraced
+    /// request, never take a request down with it.
+    pub fn decode_traced(payload: &[u8]) -> Result<(Request, Option<u64>), DecodeError> {
         let mut cur = Cursor::new(payload);
-        let op = cur.u8()?;
+        let raw_op = cur.u8()?;
+        let mut trace = None;
+        let op = if raw_op & TRACE_FLAG != 0 {
+            let hlen = cur.u8()? as usize;
+            if hlen <= cur.remaining() {
+                let header = cur.take(hlen)?;
+                if hlen >= TRACE_HEADER_LEN as usize && header[0] == TRACE_HEADER_VERSION {
+                    // Extra header bytes past the 9 we understand are
+                    // forward-compatibility room: consumed, ignored.
+                    let id = u64::from_le_bytes(header[1..9].try_into().expect("9-byte header"));
+                    trace = (id != 0).then_some(id);
+                }
+            }
+            // An hlen that overruns the frame is an impossible claim:
+            // ignore the header entirely and let what bytes remain parse
+            // as an untraced request (e.g. `[0x81, 0xff, tenant]` is a
+            // valid untraced Ping, not an error).
+            raw_op & !TRACE_FLAG
+        } else {
+            raw_op
+        };
         let tenant = cur.u16()?;
         let req = match op {
             0x01 => Request::Ping,
@@ -288,6 +371,7 @@ impl Request {
                 hi: cur.u64()?,
             },
             0x06 => Request::Stats,
+            0x07 => Request::Scrape,
             other => return Err(DecodeError::UnknownOp(other)),
         };
         if cur.remaining() != 0 {
@@ -296,7 +380,7 @@ impl Request {
                 cur.remaining()
             )));
         }
-        Ok(req)
+        Ok((req, trace))
     }
 }
 
@@ -528,11 +612,11 @@ impl<'a> Cursor<'a> {
 mod tests {
     use super::*;
 
-    #[test]
-    fn requests_round_trip() {
-        let cases = vec![
+    fn all_requests() -> Vec<Request> {
+        vec![
             Request::Ping,
             Request::Stats,
+            Request::Scrape,
             Request::Upsert {
                 tenant: 3,
                 rows: vec![(1, 10), (2, 20)],
@@ -551,10 +635,83 @@ mod tests {
                 lo: 0,
                 hi: u64::MAX,
             },
-        ];
-        for req in cases {
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in all_requests() {
             assert_eq!(Request::decode(&req.encode()), Ok(req));
         }
+    }
+
+    #[test]
+    fn traced_requests_round_trip_for_every_op() {
+        for req in all_requests() {
+            let wire = req.encode_traced(Some(0xdead_beef_cafe));
+            assert_eq!(wire[0] & TRACE_FLAG, TRACE_FLAG);
+            assert_eq!(
+                Request::decode_traced(&wire),
+                Ok((req.clone(), Some(0xdead_beef_cafe)))
+            );
+            // The plain decoder accepts the traced frame too.
+            assert_eq!(Request::decode(&wire), Ok(req));
+        }
+    }
+
+    #[test]
+    fn zero_trace_id_encodes_as_untraced() {
+        let wire = Request::Ping.encode_traced(Some(0));
+        assert_eq!(wire, Request::Ping.encode());
+        assert_eq!(Request::decode_traced(&wire), Ok((Request::Ping, None)));
+    }
+
+    #[test]
+    fn malformed_trace_headers_fall_back_to_untraced() {
+        // hlen claims more bytes than the frame holds: the impossible
+        // header is ignored and the rest parses as an untraced Ping.
+        assert_eq!(
+            Request::decode_traced(&[0x01 | TRACE_FLAG, 0xff, 0, 0]),
+            Ok((Request::Ping, None))
+        );
+        // Short header (hlen < 9): consumed, id discarded.
+        assert_eq!(
+            Request::decode_traced(&[0x01 | TRACE_FLAG, 3, 1, 0xaa, 0xbb, 0, 0]),
+            Ok((Request::Ping, None))
+        );
+        // Unknown header version: consumed, id discarded.
+        let mut p = vec![0x01 | TRACE_FLAG, TRACE_HEADER_LEN, 99];
+        p.extend_from_slice(&7u64.to_le_bytes());
+        p.extend_from_slice(&0u16.to_le_bytes());
+        assert_eq!(Request::decode_traced(&p), Ok((Request::Ping, None)));
+        // Zero request id: reserved sentinel, decodes untraced.
+        let mut p = vec![0x01 | TRACE_FLAG, TRACE_HEADER_LEN, TRACE_HEADER_VERSION];
+        p.extend_from_slice(&0u64.to_le_bytes());
+        p.extend_from_slice(&0u16.to_le_bytes());
+        assert_eq!(Request::decode_traced(&p), Ok((Request::Ping, None)));
+        // Zero-length header: legal, untraced.
+        assert_eq!(
+            Request::decode_traced(&[0x01 | TRACE_FLAG, 0, 0, 0]),
+            Ok((Request::Ping, None))
+        );
+        // Oversized-but-present header (hlen > 9): extra bytes are
+        // forward-compat room, the v1 prefix still yields the id.
+        let mut p = vec![0x01 | TRACE_FLAG, 12, TRACE_HEADER_VERSION];
+        p.extend_from_slice(&42u64.to_le_bytes());
+        p.extend_from_slice(&[9, 9, 9]); // 3 opaque future-header bytes
+        p.extend_from_slice(&0u16.to_le_bytes());
+        assert_eq!(Request::decode_traced(&p), Ok((Request::Ping, Some(42))));
+    }
+
+    #[test]
+    fn traced_unknown_op_still_reports_unknown_op() {
+        let mut p = vec![0x7f | TRACE_FLAG, TRACE_HEADER_LEN, TRACE_HEADER_VERSION];
+        p.extend_from_slice(&5u64.to_le_bytes());
+        p.extend_from_slice(&0u16.to_le_bytes());
+        assert_eq!(
+            Request::decode_traced(&p).unwrap_err().code(),
+            ErrorCode::UnknownOp
+        );
     }
 
     #[test]

@@ -144,6 +144,78 @@ fn mid_frame_disconnects_leave_the_server_healthy() {
 }
 
 #[test]
+fn malformed_trace_headers_degrade_to_untraced_requests() {
+    let mut server = test_server(2);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.set_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    // Traced PING whose hlen claims 255 header bytes the frame never
+    // carries: the impossible header is ignored, the request answers OK.
+    client.send_raw(&[0x81, 0xff, 0, 0]).unwrap();
+    match client.read_response().unwrap() {
+        smc_serve::wire::Response::Ok(_) => {}
+        other => panic!("oversized hlen should fall back to untraced Ping, got {other:?}"),
+    }
+
+    // Short header (3 of the 9 v1 bytes): consumed, request still serves.
+    client.send_raw(&[0x81, 3, 1, 0xaa, 0xbb, 0, 0]).unwrap();
+    match client.read_response().unwrap() {
+        smc_serve::wire::Response::Ok(_) => {}
+        other => panic!("short trace header should degrade, got {other:?}"),
+    }
+
+    // Unknown header version on a real COUNT: the query still executes.
+    let mut p = vec![0x04 | smc_serve::wire::TRACE_FLAG, 9, 77];
+    p.extend_from_slice(&123u64.to_le_bytes()); // id under bogus version
+    p.extend_from_slice(&0u16.to_le_bytes()); // tenant
+    p.extend_from_slice(&0u64.to_le_bytes()); // lo
+    p.extend_from_slice(&u64::MAX.to_le_bytes()); // hi
+    client.send_raw(&p).unwrap();
+    match client.read_response().unwrap() {
+        smc_serve::wire::Response::Ok(body) => assert_eq!(body.len(), 8),
+        other => panic!("unknown trace version should degrade, got {other:?}"),
+    }
+
+    // A well-formed traced request round-trips end to end.
+    client.trace_next(0x51ab);
+    client.upsert(0, vec![(1, 10)]).unwrap();
+    assert!(client.negotiate_tracing().unwrap());
+
+    let report = server.shutdown();
+    assert!(
+        report.clean(),
+        "drain failures: {:?}",
+        report.verify_errors()
+    );
+}
+
+#[test]
+fn scrape_answers_a_live_observability_document() {
+    let mut server = test_server(2);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.set_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    client
+        .upsert(0, (0..64).map(|k| (k, k * 2)).collect())
+        .unwrap();
+    client.count(0, 0, u64::MAX).unwrap();
+
+    let doc = client.scrape().expect("scrape parses");
+    let shards = doc
+        .get("stats")
+        .and_then(|s| s.get("shards"))
+        .and_then(|s| s.as_arr())
+        .expect("scrape carries per-shard stats");
+    assert_eq!(shards.len(), 2);
+    assert!(doc.get("attribution").is_some());
+    assert!(doc.get("tracer").is_some());
+    assert!(doc.get("flight").is_some());
+
+    let report = server.shutdown();
+    assert!(report.clean());
+}
+
+#[test]
 fn unknown_tenants_are_rejected_per_request() {
     let mut server = test_server(2);
     let mut client = Client::connect(server.local_addr()).unwrap();

@@ -29,6 +29,14 @@ the *structure and correctness signals* of the report:
     non-zero ``requests_completed`` counter, and a ``shard_requests``
     series in which **every** shard's request counter is non-zero — an
     idle shard means the key-hash router never spread the load;
+  * fig16 reports must additionally carry the scraped tail-latency
+    attribution: the ``attribution_scraped`` oracle, an ``attribution``
+    series with one row per op class (ingest and query), and the six
+    ``attr_<class>_<part>`` histograms (total / ring-wait / exec per
+    class) each in the full summary shape — with each class's
+    ``slow_requests`` row consistent with its total histogram's sample
+    count, so the breakdown can't silently describe a different set of
+    requests than it counted;
   * fig17 (persistence) reports must carry the ``recover_verify``,
     ``torn_page_rejected`` and ``spill_faults_counted`` oracles by name
     (cold recovery bit-exact, torn/corrupted snapshots rejected with a
@@ -70,7 +78,11 @@ FIG16_COUNTERS = ("pins_taken", "blocks_scanned", "morsels_dispatched",
                   "requests_completed")
 FIG16_CHECKS = ("slo_p999_ingest", "slo_p999_query", "saturation_free",
                 "shard_requests_nonzero", "no_dropped_tenants",
-                "drain_verify")
+                "drain_verify", "attribution_scraped")
+FIG16_ATTR_CLASSES = ("ingest", "query")
+FIG16_ATTR_PARTS = ("total_ns", "ring_wait_ns", "exec_ns")
+SUMMARY_FIELDS = ("count", "sum_ns", "min_ns", "max_ns", "mean_ns",
+                  "p50_ns", "p95_ns", "p99_ns")
 FIG17_COUNTERS = ("pins_taken", "snapshot_pages", "recovered_objects",
                   "blocks_spilled", "blocks_faulted_in")
 FIG17_CHECKS = ("recover_verify", "torn_page_rejected",
@@ -190,6 +202,41 @@ def check_report(fresh, baseline):
                     or row[1] <= 0):
                 fail(f"shard_requests row {row!r} shows an idle shard — "
                      f"every shard must have served requests")
+        # Tail-latency attribution: the scraped per-op-class breakdown must
+        # be present in full summary shape, and each class's slow-request
+        # count must agree with its total histogram's sample count.
+        attr_rows = None
+        for s in series:
+            if s.get("name") == "attribution":
+                attr_rows = s.get("rows") or []
+        if attr_rows is None:
+            fail("fig16 report has no 'attribution' series — the scrape "
+                 "breakdown was dropped")
+        slow_by_class = {}
+        for row in attr_rows:
+            if len(row) >= 2 and isinstance(row[0], str):
+                slow_by_class[row[0]] = row[1]
+        hists = fresh.get("histograms", {})
+        for cls in FIG16_ATTR_CLASSES:
+            if cls not in slow_by_class:
+                fail(f"attribution series has no {cls!r} row")
+            for part in FIG16_ATTR_PARTS:
+                name = f"attr_{cls}_{part}"
+                h = hists.get(name)
+                if not isinstance(h, dict):
+                    fail(f"fig16 report is missing attribution histogram "
+                         f"{name!r}")
+                for field in SUMMARY_FIELDS:
+                    v = h.get(field)
+                    if not isinstance(v, (int, float)) or isinstance(v, bool):
+                        fail(f"attribution histogram {name!r} field "
+                             f"{field!r} is {v!r}, want a number")
+            total_count = hists[f"attr_{cls}_total_ns"].get("count")
+            if slow_by_class[cls] != total_count:
+                fail(f"attribution row says {slow_by_class[cls]!r} slow "
+                     f"{cls} request(s) but attr_{cls}_total_ns counted "
+                     f"{total_count!r} — the breakdown describes a "
+                     f"different set of requests than it counted")
 
     # --- fig17 persistence rules ---------------------------------------------
     # A persistence run is only evidence if all three of its load-bearing
@@ -359,6 +406,30 @@ def doctored_reports(base):
         d["series"] = [s for s in d["series"]
                        if s["name"] != "shard_requests"]
         yield "fig16: shard_requests series removed", d
+
+        # Attribution rules: a dropped histogram, a gutted summary, a
+        # breakdown that disagrees with its own sample count, and a
+        # missing breakdown series must each be rejected.
+        d = copy.deepcopy(base)
+        del d["histograms"]["attr_query_total_ns"]
+        yield "fig16: attr_query_total_ns histogram removed", d
+
+        d = copy.deepcopy(base)
+        del d["histograms"]["attr_ingest_ring_wait_ns"]["p99_ns"]
+        yield "fig16: attribution summary missing p99_ns", d
+
+        d = copy.deepcopy(base)
+        d["histograms"]["attr_ingest_total_ns"]["count"] += 1
+        yield "fig16: slow_requests disagrees with total histogram count", d
+
+        d = copy.deepcopy(base)
+        d["series"] = [s for s in d["series"] if s["name"] != "attribution"]
+        yield "fig16: attribution series removed", d
+
+        d = copy.deepcopy(base)
+        d["checks"] = [c for c in d["checks"]
+                       if c["name"] != "attribution_scraped"]
+        yield "fig16: attribution_scraped oracle dropped", d
 
     if base.get("figure") == "fig17":
         # Persistence-specific rules: a run that never spilled, never

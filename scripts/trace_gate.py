@@ -23,7 +23,15 @@ The gate checks the *structural contract* of the exporter
     draining);
   * the trace contains at least one non-metadata event unless
     ``--allow-empty`` is given (a disabled tracer writes a valid empty
-    trace; CI runs with the tracer enabled and wants proof it recorded).
+    trace; CI runs with the tracer enabled and wants proof it recorded);
+  * every ``req.<stage>`` event — a per-request span tagged with the
+    originating ``RequestId`` from the wire's span-context header — is an
+    ``X`` complete span carrying a positive integer ``args.req``, so
+    request flows stay linkable across thread tracks;
+  * with ``--require-request-flow N``, at least one request id must have
+    spans on >= N distinct ``(pid, tid)`` tracks — the end-to-end proof
+    that an id minted at the client crossed the connection thread, the
+    shard, and the morsel workers.
 
 Exit status: 0 = gate passed, 1 = gate failed, 2 = usage/IO error.
 
@@ -60,10 +68,11 @@ def events_of(doc):
     fail("trace is neither an object with 'traceEvents' nor an array")
 
 
-def check_trace(doc, allow_empty=False):
+def check_trace(doc, allow_empty=False, require_request_flow=0):
     """Raises GateError on the first violation; returns a summary dict."""
     events = events_of(doc)
     tracks = {}   # (pid, tid) -> {"ts": last_ts, "stack": [open B names]}
+    req_flows = {}  # request id -> set of (pid, tid) tracks its spans touch
     counted = 0
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
@@ -111,6 +120,18 @@ def check_trace(doc, allow_empty=False):
             dur = ev.get("dur")
             if not isinstance(dur, (int, float)) or isinstance(dur, bool):
                 fail(f"event #{i}: 'X' {name!r} has no numeric 'dur'")
+        if name.startswith("req."):
+            # Per-request spans: always complete spans, always tagged with
+            # the originating RequestId so cross-track flows stay linkable.
+            if ph != "X":
+                fail(f"event #{i}: request span {name!r} has phase {ph!r}, "
+                     f"want 'X' (complete span)")
+            req = ev.get("args", {}).get("req") if \
+                isinstance(ev.get("args"), dict) else None
+            if not isinstance(req, int) or isinstance(req, bool) or req <= 0:
+                fail(f"event #{i}: request span {name!r} carries "
+                     f"args.req={req!r}, want a positive integer RequestId")
+            req_flows.setdefault(req, set()).add((ev["pid"], ev["tid"]))
     for (pid, tid), track in tracks.items():
         if track["stack"]:
             fail(f"track pid={pid} tid={tid} ends with unclosed span(s): "
@@ -119,7 +140,14 @@ def check_trace(doc, allow_empty=False):
     if counted == 0 and not allow_empty:
         fail("trace contains no timeline events (metadata only) — the "
              "tracer recorded nothing; pass --allow-empty if intended")
-    return {"events": len(events), "timeline": counted, "tracks": len(tracks)}
+    widest = max((len(t) for t in req_flows.values()), default=0)
+    if require_request_flow > 0 and widest < require_request_flow:
+        fail(f"no request id spans {require_request_flow} distinct tracks "
+             f"(widest flow touches {widest}) — span-context propagation "
+             f"across conn/shard/exec is broken or no request was traced")
+    return {"events": len(events), "timeline": counted,
+            "tracks": len(tracks), "request_ids": len(req_flows),
+            "widest_flow": widest}
 
 
 def load(path):
@@ -131,15 +159,18 @@ def load(path):
         sys.exit(2)
 
 
-def run_gate(path, allow_empty):
+def run_gate(path, allow_empty, require_request_flow=0):
     doc = load(path)
     try:
-        summary = check_trace(doc, allow_empty=allow_empty)
+        summary = check_trace(doc, allow_empty=allow_empty,
+                              require_request_flow=require_request_flow)
     except GateError as e:
         print(f"trace_gate: FAIL: {path}: {e}", file=sys.stderr)
         return 1
     print(f"trace_gate: PASS — {path}: {summary['events']} events "
-          f"({summary['timeline']} on {summary['tracks']} track(s))")
+          f"({summary['timeline']} on {summary['tracks']} track(s), "
+          f"{summary['request_ids']} traced request(s), widest flow "
+          f"{summary['widest_flow']} track(s))")
     return 0
 
 
@@ -162,6 +193,16 @@ def sample_trace():
             {"ph": "i", "name": "epoch_advance", "pid": 1, "tid": 2, "ts": 30},
             {"ph": "C", "name": "blocks_live", "pid": 1, "tid": 2, "ts": 31,
              "args": {"value": 7}},
+            # One traced request flowing over three tracks: connection
+            # thread (tid 3), shard thread (tid 1), exec worker (tid 2).
+            {"ph": "X", "name": "req.ring", "pid": 1, "tid": 1, "ts": 26,
+             "dur": 2, "args": {"req": 77}},
+            {"ph": "X", "name": "req.shard", "pid": 1, "tid": 1, "ts": 28,
+             "dur": 4, "args": {"req": 77}},
+            {"ph": "X", "name": "req.exec", "pid": 1, "tid": 2, "ts": 32,
+             "dur": 3, "args": {"req": 77}},
+            {"ph": "X", "name": "req.conn", "pid": 1, "tid": 3, "ts": 36,
+             "dur": 9, "args": {"req": 77}},
         ]
     }
 
@@ -211,6 +252,25 @@ def doctored_traces(base):
 
     yield "not a trace container at all", {"events": []}
 
+    d = copy.deepcopy(base)
+    d["traceEvents"][9]["ph"] = "B"  # req.shard demoted to an open span
+    del d["traceEvents"][9]["dur"]
+    d["traceEvents"].append({"ph": "E", "name": "req.shard", "pid": 1,
+                             "tid": 1, "ts": 40})
+    yield "request span with non-X phase", d
+
+    d = copy.deepcopy(base)
+    del d["traceEvents"][9]["args"]
+    yield "request span without args.req", d
+
+    d = copy.deepcopy(base)
+    d["traceEvents"][9]["args"]["req"] = "0xbeef"
+    yield "request span with non-integer args.req", d
+
+    d = copy.deepcopy(base)
+    d["traceEvents"][9]["args"]["req"] = 0
+    yield "request span with the untraced sentinel id 0", d
+
 
 def self_test():
     base = sample_trace()
@@ -244,6 +304,33 @@ def self_test():
               f"through", file=sys.stderr)
         return 1
     print("trace_gate self-test: all doctored traces rejected")
+
+    # --require-request-flow: the sample's one request spans 3 tracks, so
+    # 3 passes and 4 must fail; a trace whose spans all share one track
+    # must fail even at the sample's width.
+    try:
+        check_trace(copy.deepcopy(base), require_request_flow=3)
+    except GateError as e:
+        print(f"trace_gate self-test: 3-track request flow rejected: {e}",
+              file=sys.stderr)
+        return 1
+    narrow = copy.deepcopy(base)
+    for ev in narrow["traceEvents"]:
+        if ev.get("name", "").startswith("req."):
+            ev["tid"] = 1
+    for desc, doc, width in [
+        ("request flow narrower than required", copy.deepcopy(base), 4),
+        ("request spans collapsed onto one track", narrow, 3),
+    ]:
+        try:
+            check_trace(doc, require_request_flow=width)
+        except GateError as e:
+            print(f"trace_gate self-test: correctly rejected [{desc}]: {e}")
+        else:
+            print(f"trace_gate self-test: FAILED to reject [{desc}]",
+                  file=sys.stderr)
+            return 1
+    print("trace_gate self-test: request-flow width enforced")
     return 0
 
 
@@ -253,12 +340,17 @@ def main():
                     help="Chrome trace file to validate (default: trace.json)")
     ap.add_argument("--allow-empty", action="store_true",
                     help="accept a trace with no timeline events")
+    ap.add_argument("--require-request-flow", type=int, default=0,
+                    metavar="N",
+                    help="require at least one traced request whose spans "
+                         "cover N distinct (pid, tid) tracks")
     ap.add_argument("--self-test", action="store_true",
                     help="verify the gate rejects doctored traces, then exit")
     args = ap.parse_args()
     if args.self_test:
         sys.exit(self_test())
-    sys.exit(run_gate(args.trace, args.allow_empty))
+    sys.exit(run_gate(args.trace, args.allow_empty,
+                      args.require_request_flow))
 
 
 if __name__ == "__main__":
